@@ -1,0 +1,415 @@
+package repro
+
+// One benchmark per table and figure of the paper (reduced-scale inputs; the
+// full-scale regeneration lives in cmd/repro), plus micro-benchmarks of the
+// estimation hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches exercise exactly the code path that cmd/repro uses
+// for the corresponding artifact, so their timings track the cost of the
+// real reproduction.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/fbsim"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// benchParams are the reduced-scale parameters shared by the per-figure
+// benches.
+func benchParams() exp.Params { return exp.Params{Quick: true, Reps: 2, Seed: 17} }
+
+// benchPaperGraph caches a quick-scale §6.2.1 graph across benches.
+var benchPaperGraph *graph.Graph
+
+func getPaperGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	if benchPaperGraph == nil {
+		g, err := gen.Paper(randx.New(3), gen.PaperConfig{
+			Sizes:   []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000},
+			K:       20,
+			Alpha:   0.5,
+			Connect: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPaperGraph = g
+	}
+	return benchPaperGraph
+}
+
+// BenchmarkTable1Datasets regenerates the Table 1 rows: build each dataset
+// stand-in and measure |V|, |E|, k_V. (Community detection is benchmarked
+// separately; here the smallest dataset carries it.)
+func BenchmarkTable1Datasets(b *testing.B) {
+	p := benchParams()
+	d := exp.Dataset{Name: "bench-p2p", V: 4000, E: 9500, MeanDeg: 4.7, Dist: gen.PowerLaw, Shape: 2.4, Mixing: 0.6}
+	for i := 0; i < b.N; i++ {
+		g, err := exp.BuildDataset(p, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.MeanDegree() <= 0 {
+			b.Fatal("degenerate dataset")
+		}
+	}
+}
+
+// fig3MiniSweep runs the Fig. 3 protocol (UIS sweep on the §6.2.1 graph) for
+// either the size or the weight estimators.
+func fig3MiniSweep(b *testing.B, weights bool) {
+	g := getPaperGraph(b)
+	N := float64(g.N())
+	truth := map[string]float64{}
+	pair := [2]int32{8, 9}
+	cut := g.EdgeCut(pair[0], pair[1])
+	truthW := float64(cut) / (float64(g.CategorySize(pair[0])) * float64(g.CategorySize(pair[1])))
+	for c := 0; c < g.NumCategories(); c++ {
+		truth[fmt.Sprintf("si/%d", c)] = float64(g.CategorySize(int32(c)))
+		truth[fmt.Sprintf("ss/%d", c)] = float64(g.CategorySize(int32(c)))
+	}
+	truth["wi"] = truthW
+	truth["ws"] = truthW
+	cfg := eval.Config{Seed: 5, Reps: 2, Sizes: []int{300, 1000, 3000}}
+	for i := 0; i < b.N; i++ {
+		_, err := eval.Sweep(cfg, truth,
+			func(r *rand.Rand, maxSize int) (*sample.Sample, error) {
+				return sample.UIS{}.Sample(r, g, maxSize)
+			},
+			func(s *sample.Sample) (map[string]float64, error) {
+				out := map[string]float64{}
+				oi, err := sample.ObserveInduced(g, s)
+				if err != nil {
+					return nil, err
+				}
+				os, err := sample.ObserveStar(g, s)
+				if err != nil {
+					return nil, err
+				}
+				si := core.SizeInduced(oi, N)
+				ss, err := core.SizeStar(os, N)
+				if err != nil {
+					return nil, err
+				}
+				for c := 0; c < g.NumCategories(); c++ {
+					out[fmt.Sprintf("si/%d", c)] = si[c]
+					out[fmt.Sprintf("ss/%d", c)] = ss[c]
+				}
+				if weights {
+					wi, err := core.WeightsInduced(oi)
+					if err != nil {
+						return nil, err
+					}
+					ws, err := core.WeightsStar(os, ss)
+					if err != nil {
+						return nil, err
+					}
+					out["wi"] = wi.Get(pair[0], pair[1])
+					out["ws"] = ws.Get(pair[0], pair[1])
+				} else {
+					out["wi"], out["ws"] = truthW, truthW
+				}
+				return out, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3SizeUIS regenerates the Fig. 3 top row (size estimators).
+func BenchmarkFig3SizeUIS(b *testing.B) { fig3MiniSweep(b, false) }
+
+// BenchmarkFig3WeightUIS regenerates the Fig. 3 bottom row (weight
+// estimators).
+func BenchmarkFig3WeightUIS(b *testing.B) { fig3MiniSweep(b, true) }
+
+// BenchmarkFig4Empirical regenerates one Fig. 4 panel pair (median NRMSE
+// under UIS/RW/S-WRW on an empirical-graph stand-in with spectral
+// categories).
+func BenchmarkFig4Empirical(b *testing.B) {
+	p := benchParams()
+	d := exp.Dataset{Name: "bench-social", V: 1500, E: 9000, MeanDeg: 12, Dist: gen.PowerLaw, Shape: 2.5, Mixing: 0.4}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4Datasets(p, []exp.Dataset{d}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFBGraph caches a small 2009-style substrate.
+var benchFBGraph *graph.Graph
+
+func getFBGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	if benchFBGraph == nil {
+		cfg := fbsim.DefaultConfig()
+		cfg.N = 10000
+		cfg.Regions = 60
+		g, err := fbsim.Build2009(randx.New(9), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFBGraph = g
+	}
+	return benchFBGraph
+}
+
+// BenchmarkTable2Crawls regenerates the Table 2 rows: collect a multi-walk
+// crawl dataset and measure its categorized-sample share.
+func BenchmarkTable2Crawls(b *testing.B) {
+	g := getFBGraph(b)
+	for i := 0; i < b.N; i++ {
+		c, err := fbsim.NewCrawl(randx.New(uint64(i)+1), g, sample.NewRW(500), "RW09", 4, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := c.CategorizedFraction(g); f <= 0 {
+			b.Fatal("no categorized draws")
+		}
+	}
+}
+
+// BenchmarkFig5SamplesPerCategory regenerates the Fig. 5 curves.
+func BenchmarkFig5SamplesPerCategory(b *testing.B) {
+	g := getFBGraph(b)
+	c, err := fbsim.NewCrawl(randx.New(2), g, sample.NewRW(500), "RW09", 4, 1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := c.SamplesPerCategory(g)
+		if len(counts) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig6Facebook regenerates one Fig. 6 panel (the §7.2 NRMSE
+// methodology on a multi-walk crawl).
+func BenchmarkFig6Facebook(b *testing.B) {
+	g := getFBGraph(b)
+	c, err := fbsim.NewCrawl(randx.New(3), g, sample.NewRW(500), "RW09", 4, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fbsim.Evaluate(g, c, fbsim.EvalConfig{
+			Sizes: []int{500, 2000}, TopCategories: 20, MaxPairs: 50,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7CategoryGraphs regenerates the Fig. 7 pipeline: estimate a
+// category graph from a crawl, merge it to countries, and lay it out.
+func BenchmarkFig7CategoryGraphs(b *testing.B) {
+	g := getFBGraph(b)
+	s, err := sample.NewRW(500).Sample(randx.New(4), g, 8000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := sample.ObserveStar(g, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Estimate(o, core.Options{N: float64(g.N())})
+		if err != nil {
+			b.Fatal(err)
+		}
+		regions, err := CategoryGraphFromEstimate(res, g.CategoryNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		countries := regions.Merge(fbsim.CountryOf)
+		countries.Layout(randx.New(5), 50)
+	}
+}
+
+// BenchmarkAblationWeightPlugin measures the star-weight estimator with its
+// three size plug-ins (the DESIGN.md ablation) on one fixed sample.
+func BenchmarkAblationWeightPlugin(b *testing.B) {
+	g := getPaperGraph(b)
+	s, err := sample.NewRW(500).Sample(randx.New(6), g, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := sample.ObserveStar(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	N := float64(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mk := range []func() ([]float64, error){
+			func() ([]float64, error) { return core.SizeInduced(o, N), nil },
+			func() ([]float64, error) { return core.SizeStar(o, N) },
+			func() ([]float64, error) { return core.SizeStarPooledDegree(o, N) },
+		} {
+			sizes, err := mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.WeightsStar(o, sizes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- micro-benchmarks of the hot paths ----------------------------------
+
+func BenchmarkRWSample100k(b *testing.B) {
+	g := getPaperGraph(b)
+	r := randx.New(7)
+	w := sample.NewRW(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Sample(r, g, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSWRWSample10k(b *testing.B) {
+	g := getPaperGraph(b)
+	r := randx.New(8)
+	w, err := sample.NewSWRW(g, sample.SWRWConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Sample(r, g, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserveStar10k(b *testing.B) {
+	g := getPaperGraph(b)
+	s, err := sample.UIS{}.Sample(randx.New(9), g, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sample.ObserveStar(g, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserveInduced10k(b *testing.B) {
+	g := getPaperGraph(b)
+	s, err := sample.UIS{}.Sample(randx.New(10), g, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sample.ObserveInduced(g, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateStar10k(b *testing.B) {
+	g := getPaperGraph(b)
+	s, err := sample.NewRW(500).Sample(randx.New(11), g, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := sample.ObserveStar(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Estimate(o, core.Options{N: float64(g.N())}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPopulationSize(b *testing.B) {
+	g := getPaperGraph(b)
+	wis, err := sample.NewDegreeWIS(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := wis.Sample(randx.New(12), g, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PopulationSize(s)
+	}
+}
+
+func BenchmarkCommunityDetect(b *testing.B) {
+	r := randx.New(13)
+	g, err := gen.Social(r, gen.SocialConfig{
+		N: 3000, MeanDeg: 10, Dist: gen.PowerLaw, Shape: 2.5,
+		Comms: 12, CommZipf: 0.8, Mixing: 0.3, Connect: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labels, count := community.Detect(randx.New(uint64(i)), g, community.Config{MaxCommunities: 15})
+		if count < 1 || len(labels) != g.N() {
+			b.Fatal("detection failed")
+		}
+	}
+}
+
+func BenchmarkGraphBuild1MEdges(b *testing.B) {
+	r := randx.New(14)
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 1_000_000)
+	const n = 100_000
+	for i := range edges {
+		edges[i] = edge{int32(r.IntN(n)), int32(r.IntN(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := graph.NewBuilder(n)
+		for _, e := range edges {
+			bld.AddEdge(e.u, e.v)
+		}
+		if _, err := bld.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplerStudy regenerates the extension experiment (RW vs
+// Frontier vs BFS) at reduced scale.
+func BenchmarkSamplerStudy(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.SamplerStudy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Command geosocialmap serves an interactive visualization of a category
+// graph over HTTP — the repository's stand-in for the paper's
+// www.geosocialmap.com service. It renders nodes sized by (estimated)
+// category size and edges weighted by the estimated connection probability
+// w(A,B), on a force-directed layout computed in Go.
+//
+//	geosocialmap -in results/fig7a-countries.json -addr :8080
+//
+// Without -in it builds a small demo country graph by crawling a synthetic
+// Facebook-2009 substrate (see internal/fbsim), so the server is usable out
+// of the box.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/catgraph"
+	"repro/internal/core"
+	"repro/internal/fbsim"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "category-graph JSON (from cmd/repro or topoest); empty = built-in demo")
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+	cg, err := loadOrDemo(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geosocialmap:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(cg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("geosocialmap: serving %d categories on http://%s", cg.K(), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+func loadOrDemo(path string) (*catgraph.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cg, err := catgraph.ReadJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		if cg.X == nil {
+			cg.Layout(randx.New(7), 300)
+		}
+		return cg, nil
+	}
+	return demoGraph()
+}
+
+// demoGraph crawls a small synthetic Facebook-2009 substrate with a random
+// walk, estimates the region graph with the star estimators, and rolls it up
+// to countries — a miniature of the paper's §7.3.1 pipeline.
+func demoGraph() (*catgraph.Graph, error) {
+	cfg := fbsim.DefaultConfig()
+	cfg.N = 20000
+	cfg.Regions = 120
+	r := randx.New(99)
+	g, err := fbsim.Build2009(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sample.NewRW(2000).Sample(r, g, 40000)
+	if err != nil {
+		return nil, err
+	}
+	o, err := sample.ObserveStar(g, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Estimate(o, core.Options{N: float64(g.N())})
+	if err != nil {
+		return nil, err
+	}
+	regions, err := catgraph.FromEstimate(res, g.CategoryNames())
+	if err != nil {
+		return nil, err
+	}
+	countries := regions.Merge(fbsim.CountryOf)
+	countries.Layout(randx.New(100), 300)
+	return countries, nil
+}
+
+// newHandler exposes the visualization page and its JSON API.
+func newHandler(cg *catgraph.Graph) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, indexHTML)
+	})
+	mux.HandleFunc("/api/graph", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := cg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>geosocialmap — estimated category graph</title>
+<style>
+  body { font-family: sans-serif; margin: 0; background: #0b1320; color: #dde; }
+  #bar { padding: 8px 14px; background: #101b30; }
+  #bar input { width: 280px; }
+  canvas { display: block; }
+  .hint { color: #89a; font-size: 12px; }
+</style>
+</head>
+<body>
+<div id="bar">
+  <strong>geosocialmap</strong>
+  — min edge weight percentile <input id="cut" type="range" min="0" max="99" value="60">
+  <span class="hint">node area ∝ estimated category size; edge width ∝ estimated w(A,B); hover a node for its name</span>
+</div>
+<canvas id="c"></canvas>
+<script>
+let G = null, cutPct = 60, hover = -1;
+const canvas = document.getElementById('c'), ctx = canvas.getContext('2d');
+function resize() {
+  canvas.width = window.innerWidth;
+  canvas.height = window.innerHeight - document.getElementById('bar').offsetHeight;
+  draw();
+}
+window.addEventListener('resize', resize);
+document.getElementById('cut').addEventListener('input', e => { cutPct = +e.target.value; draw(); });
+canvas.addEventListener('mousemove', e => {
+  if (!G) return;
+  const { px, py, pr } = proj();
+  let best = -1, bestD = 1e9;
+  for (const n of G.nodes) {
+    const dx = e.offsetX - px(n.x), dy = e.offsetY - py(n.y);
+    const d = Math.hypot(dx, dy);
+    if (d < Math.max(12, pr(n.size)) && d < bestD) { best = n.id; bestD = d; }
+  }
+  if (best !== hover) { hover = best; draw(); }
+});
+function proj() {
+  const w = canvas.width, h = canvas.height, pad = 40;
+  let maxSize = 1;
+  for (const n of G.nodes) maxSize = Math.max(maxSize, n.size);
+  return {
+    px: x => pad + x * (w - 2 * pad),
+    py: y => pad + y * (h - 2 * pad),
+    pr: s => 4 + 22 * Math.sqrt(s / maxSize),
+  };
+}
+function draw() {
+  if (!G) return;
+  const { px, py, pr } = proj();
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  const ws = G.links.map(l => l.w).sort((a, b) => a - b);
+  const cut = ws.length ? ws[Math.floor(ws.length * cutPct / 100)] : 0;
+  let maxW = ws.length ? ws[ws.length - 1] : 1;
+  for (const l of G.links) {
+    if (l.w < cut) continue;
+    const a = G.nodes[l.a], b = G.nodes[l.b];
+    ctx.strokeStyle = 'rgba(120,170,255,0.45)';
+    ctx.lineWidth = 0.4 + 4 * (l.w / maxW);
+    ctx.beginPath(); ctx.moveTo(px(a.x), py(a.y)); ctx.lineTo(px(b.x), py(b.y)); ctx.stroke();
+  }
+  for (const n of G.nodes) {
+    ctx.fillStyle = n.id === hover ? '#ffd166' : '#5dd39e';
+    ctx.beginPath(); ctx.arc(px(n.x), py(n.y), pr(n.size), 0, 7); ctx.fill();
+  }
+  if (hover >= 0) {
+    const n = G.nodes[hover];
+    ctx.fillStyle = '#fff'; ctx.font = '14px sans-serif';
+    ctx.fillText(n.name + '  (size ≈ ' + Math.round(n.size) + ')', px(n.x) + 10, py(n.y) - 10);
+  }
+}
+fetch('/api/graph').then(r => r.json()).then(g => { G = g; resize(); });
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/catgraph"
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+func testCatGraph() *catgraph.Graph {
+	w := core.NewPairWeights(3)
+	w.Set(0, 1, 0.5)
+	w.Set(1, 2, 0.1)
+	cg := &catgraph.Graph{
+		Names:   []string{"US", "CA", "UK"},
+		Sizes:   []float64{100, 50, 30},
+		N:       1000,
+		Weights: w,
+	}
+	cg.Layout(randx.New(1), 50)
+	return cg
+}
+
+func TestHandlerServesIndex(t *testing.T) {
+	h := newHandler(testCatGraph())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "geosocialmap") {
+		t.Fatal("index page missing content")
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestHandlerServesGraphJSON(t *testing.T) {
+	h := newHandler(testCatGraph())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/graph", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		Nodes []struct {
+			Name string  `json:"name"`
+			Size float64 `json:"size"`
+		} `json:"nodes"`
+		Links []struct {
+			W float64 `json:"w"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != 3 || len(doc.Links) != 2 {
+		t.Fatalf("nodes=%d links=%d", len(doc.Nodes), len(doc.Links))
+	}
+	if doc.Nodes[0].Name != "US" || doc.Nodes[0].Size != 100 {
+		t.Fatalf("node payload %+v", doc.Nodes[0])
+	}
+}
+
+func TestHandler404(t *testing.T) {
+	h := newHandler(testCatGraph())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := newHandler(testCatGraph())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestLoadFromJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testCatGraph().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cg, err := loadOrDemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.K() != 3 || cg.X == nil {
+		t.Fatalf("loaded K=%d layout=%v", cg.K(), cg.X != nil)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := loadOrDemo("/does/not/exist.json"); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,370 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation (Table 1, Table 2, Fig. 3–7) plus the DESIGN.md ablations, and
+// writes TSV data plus an ASCII-plot report under -out.
+//
+// Usage:
+//
+//	repro [-exp all|table1|fig3|fig4|table2|fig5|fig6|fig7|ablation]
+//	      [-quick] [-reps N] [-seed N] [-out DIR]
+//
+// Full-scale runs use the paper's parameters (N = 88,850 synthetic graphs,
+// Table-1-sized empirical stand-ins, 28/25-walk crawls) and take minutes to
+// tens of minutes; -quick shrinks everything to smoke-test scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment to run: all|table1|fig3|fig4|table2|fig5|fig6|fig7|ablation|samplers")
+		quick   = flag.Bool("quick", false, "reduced-scale smoke run")
+		reps    = flag.Int("reps", 0, "replications per cell (0 = scale default)")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		out     = flag.String("out", "results", "output directory")
+	)
+	flag.Parse()
+	p := exp.Params{Quick: *quick, Reps: *reps, Seed: *seed, Workers: *workers}
+	if err := run(*which, p, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, p exp.Params, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	report, err := os.Create(filepath.Join(outDir, "report-"+which+".md"))
+	if err != nil {
+		return err
+	}
+	defer report.Close()
+	w := io.MultiWriter(os.Stdout, report)
+	fmt.Fprintf(w, "# repro -exp %s (quick=%v, seed=%d)\n\n", which, p.Quick, p.Seed)
+
+	wantFig34 := which == "all" || which == "fig3" || which == "fig4" || which == "table1"
+	wantFB := which == "all" || which == "table2" || which == "fig5" || which == "fig6" || which == "fig7"
+	ran := false
+	if which == "all" || which == "fig3" {
+		ran = true
+		if err := runFig3(p, outDir, w); err != nil {
+			return err
+		}
+	}
+	if wantFig34 && which != "fig3" {
+		ran = true
+		if err := runFig4(p, outDir, w, which); err != nil {
+			return err
+		}
+	}
+	if wantFB {
+		ran = true
+		if err := runFacebook(p, outDir, w, which); err != nil {
+			return err
+		}
+	}
+	if which == "all" || which == "ablation" {
+		ran = true
+		if err := runAblations(p, outDir, w); err != nil {
+			return err
+		}
+	}
+	if which == "all" || which == "samplers" {
+		ran = true
+		if err := runSamplerStudy(p, outDir, w); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	fmt.Fprintf(w, "\ndone.\n")
+	return nil
+}
+
+func timer(w io.Writer, name string) func() {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "[%s] running %s...\n", start.Format("15:04:05"), name)
+	return func() {
+		fmt.Fprintf(w, "_%s finished in %s_\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func saveSeries(outDir, name string, series []eval.Series) error {
+	f, err := os.Create(filepath.Join(outDir, name+".tsv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, rows := eval.SeriesTSV(series)
+	return eval.WriteTSV(f, h, rows)
+}
+
+func plot(w io.Writer, title string, series []eval.Series, logX, logY bool) {
+	fmt.Fprintln(w, "```")
+	_ = eval.Plot(w, title, series, eval.PlotOptions{LogX: logX, LogY: logY})
+	fmt.Fprintln(w, "```")
+	fmt.Fprintln(w)
+}
+
+func runFig3(p exp.Params, outDir string, w io.Writer) error {
+	done := timer(w, "Fig. 3 (UIS on synthetic graphs)")
+	res, err := exp.Fig3(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Figure 3 — UIS on §6.2.1 graphs\n\n")
+	titles := map[string]string{
+		"a": "Fig 3(a) NRMSE(|Â|) vs |S| — α=0.5, largest cat, k∈{5,49}",
+		"b": "Fig 3(b) NRMSE(|Â|) vs |S| — k=20, α∈{0,1}",
+		"c": "Fig 3(c) NRMSE(|Â|) vs |S| — k=20, α=0.5, small vs large cat",
+		"d": "Fig 3(d) CDF of NRMSE(|Â|) at |S|=2000",
+		"e": "Fig 3(e) NRMSE(ŵ) vs |S| — e_high, k∈{5,49}",
+		"f": "Fig 3(f) NRMSE(ŵ) vs |S| — e_high, α∈{0,1}",
+		"g": "Fig 3(g) NRMSE(ŵ) vs |S| — e_low vs e_high",
+		"h": "Fig 3(h) CDF of NRMSE(ŵ) at |S|=2000",
+	}
+	for _, panel := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		series := res.Panels[panel]
+		if err := saveSeries(outDir, "fig3"+panel, series); err != nil {
+			return err
+		}
+		logX, logY := true, true
+		if panel == "d" || panel == "h" {
+			logX, logY = true, false // CDF: x = NRMSE (log), y = CDF
+		}
+		plot(w, titles[panel], series, logX, logY)
+	}
+	done()
+	return nil
+}
+
+func runFig4(p exp.Params, outDir string, w io.Writer, which string) error {
+	done := timer(w, "Table 1 + Fig. 4 (empirical stand-ins)")
+	res, err := exp.Fig4(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Table 1 — dataset stand-ins (measured)\n\n")
+	fmt.Fprintf(w, "| Dataset | \\|V\\| | \\|E\\| | k_V | categories |\n|---|---|---|---|---|\n")
+	for _, st := range res.Stats {
+		fmt.Fprintf(w, "| %s | %d | %d | %.1f | %d |\n", st.Name, st.V, st.E, st.MeanDeg, st.Categories)
+	}
+	fmt.Fprintln(w)
+	if which == "table1" {
+		done()
+		return nil
+	}
+	fmt.Fprintf(w, "## Figure 4 — median NRMSE on empirical graphs\n\n")
+	names := make([]string, 0, len(res.Size))
+	for name := range res.Size {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		slug := strings.Map(slugify, name)
+		if err := saveSeries(outDir, "fig4-size-"+slug, res.Size[name]); err != nil {
+			return err
+		}
+		if err := saveSeries(outDir, "fig4-weight-"+slug, res.Weight[name]); err != nil {
+			return err
+		}
+		plot(w, "Fig 4 "+name+" — median NRMSE(|Â|)", res.Size[name], true, true)
+		plot(w, "Fig 4 "+name+" — median NRMSE(ŵ)", res.Weight[name], true, true)
+	}
+	done()
+	return nil
+}
+
+func runFacebook(p exp.Params, outDir string, w io.Writer, which string) error {
+	done := timer(w, "Table 2 + Fig. 5–7 (Facebook crawl study)")
+	res, err := exp.Facebook(p)
+	if err != nil {
+		return err
+	}
+	if which == "all" || which == "table2" {
+		fmt.Fprintf(w, "## Table 2 — crawl datasets (measured)\n\n")
+		fmt.Fprintf(w, "| Crawl | walks | samples/walk | %% categorized samples |\n|---|---|---|---|\n")
+		for _, r := range res.Table2 {
+			fmt.Fprintf(w, "| %s | %d | %d | %.0f%% |\n", r.Name, r.Walks, r.PerWalk, 100*r.Categorized)
+		}
+		fmt.Fprintln(w)
+	}
+	if which == "all" || which == "fig5" {
+		fmt.Fprintf(w, "## Figure 5 — samples per category\n\n")
+		var series []eval.Series
+		names := sortedKeys(res.Fig5)
+		for _, name := range names {
+			counts := res.Fig5[name]
+			s := eval.Series{Name: name}
+			for i, c := range counts {
+				if c == 0 {
+					break
+				}
+				s.X = append(s.X, float64(i+1))
+				s.Y = append(s.Y, float64(c))
+			}
+			series = append(series, s)
+		}
+		if err := saveSeries(outDir, "fig5", series); err != nil {
+			return err
+		}
+		plot(w, "Fig 5 — #samples per category (rank-ordered)", series, false, true)
+	}
+	if which == "all" || which == "fig6" {
+		fmt.Fprintf(w, "## Figure 6 — crawl NRMSE (§7.2 methodology)\n\n")
+		for _, panel := range []struct {
+			title, key string
+			crawls     []string
+		}{
+			{"Fig 6(a) 2009 regions — median NRMSE(|Â|)", "size", []string{"UIS09", "RW09", "MHRW09"}},
+			{"Fig 6(b) 2010 colleges — median NRMSE(|Â|)", "size", []string{"RW10", "S-WRW10"}},
+			{"Fig 6(c) 2009 regions — median NRMSE(ŵ)", "weight", []string{"UIS09", "RW09", "MHRW09"}},
+			{"Fig 6(d) 2010 colleges — median NRMSE(ŵ)", "weight", []string{"RW10", "S-WRW10"}},
+		} {
+			var series []eval.Series
+			for _, crawl := range panel.crawls {
+				ev, ok := res.Fig6[crawl]
+				if !ok {
+					continue
+				}
+				for _, scen := range []string{"induced", "star"} {
+					s := eval.Series{Name: crawl + " " + scen}
+					for i, n := range ev.Sizes {
+						s.X = append(s.X, float64(n))
+						s.Y = append(s.Y, ev.Median[panel.key+"/"+scen][i])
+					}
+					series = append(series, s)
+				}
+			}
+			slug := strings.Map(slugify, panel.title[:8])
+			if err := saveSeries(outDir, "fig6-"+slug, series); err != nil {
+				return err
+			}
+			plot(w, panel.title, series, true, true)
+		}
+	}
+	if which == "all" || which == "fig7" {
+		fmt.Fprintf(w, "## Figure 7 — estimated category graphs\n\n")
+		for _, cg := range []struct {
+			name  string
+			graph interface {
+				WriteJSON(io.Writer) error
+				WriteDOT(io.Writer) error
+			}
+		}{
+			{"fig7a-countries", res.Countries},
+			{"fig7c-colleges", res.Colleges},
+		} {
+			jf, err := os.Create(filepath.Join(outDir, cg.name+".json"))
+			if err != nil {
+				return err
+			}
+			if err := cg.graph.WriteJSON(jf); err != nil {
+				jf.Close()
+				return err
+			}
+			jf.Close()
+			df, err := os.Create(filepath.Join(outDir, cg.name+".dot"))
+			if err != nil {
+				return err
+			}
+			if err := cg.graph.WriteDOT(df); err != nil {
+				df.Close()
+				return err
+			}
+			df.Close()
+			fmt.Fprintf(w, "wrote %s.json / %s.dot\n", cg.name, cg.name)
+		}
+		fmt.Fprintf(w, "\nTop country links (Fig. 7(a) analogue):\n\n")
+		for i, e := range res.Countries.TopEdges(10) {
+			fmt.Fprintf(w, "%2d. %s — %s  w=%.3g\n", i+1, res.Countries.Names[e.A], res.Countries.Names[e.B], e.Weight)
+		}
+		fmt.Fprintln(w)
+	}
+	done()
+	return nil
+}
+
+func runAblations(p exp.Params, outDir string, w io.Writer) error {
+	done := timer(w, "ablations")
+	res, err := exp.Ablations(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Ablations\n\n")
+	if err := saveSeries(outDir, "ablation-plugin", res.Plugin); err != nil {
+		return err
+	}
+	plot(w, "Star weight Eq.(16): size plug-in choice (RW, median over pairs)", res.Plugin, true, true)
+	if err := saveSeries(outDir, "ablation-size-variants", res.SizeVariants); err != nil {
+		return err
+	}
+	plot(w, "Size estimators: Eq.(12) vs pooled footnote-4 variant (RW)", res.SizeVariants, true, true)
+	if err := saveSeries(outDir, "ablation-thinning", res.Thinning); err != nil {
+		return err
+	}
+	plot(w, "Thinning factor T at fixed step budget (RW)", res.Thinning, true, true)
+	if err := saveSeries(outDir, "ablation-stratification", res.Stratification); err != nil {
+		return err
+	}
+	plot(w, "S-WRW stratification strength β (small-category size NRMSE)", res.Stratification, true, true)
+	done()
+	return nil
+}
+
+func runSamplerStudy(p exp.Params, outDir string, w io.Writer) error {
+	done := timer(w, "sampler study (extension)")
+	res, err := exp.SamplerStudy(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Extension — RW vs Frontier vs BFS\n\n")
+	if err := saveSeries(outDir, "samplers-size", res.Size); err != nil {
+		return err
+	}
+	plot(w, "Sampler study — median star size NRMSE", res.Size, true, true)
+	if err := saveSeries(outDir, "samplers-weight", res.Weight); err != nil {
+		return err
+	}
+	plot(w, "Sampler study — median star weight NRMSE", res.Weight, true, true)
+	if err := saveSeries(outDir, "samplers-degdist", res.DegreeDist); err != nil {
+		return err
+	}
+	plot(w, "Sampler study — degree-distribution TV error (+1 offset)", res.DegreeDist, true, false)
+	done()
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func slugify(r rune) rune {
+	switch {
+	case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+		return r
+	case r >= 'A' && r <= 'Z':
+		return r + 32
+	default:
+		return '-'
+	}
+}

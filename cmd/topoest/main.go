@@ -1,0 +1,437 @@
+// Command topoest is the estimation pipeline CLI: it generates category-
+// structured graphs, draws probability samples by crawling or independence
+// sampling, and estimates the coarse-grained topology (the category graph)
+// from those samples — the full workflow of the paper as four composable
+// subcommands operating on plain-text files.
+//
+//	topoest gen      -model paper -k 20 -alpha 0.5 -graph g.txt -cats c.txt
+//	topoest sample   -graph g.txt -cats c.txt -sampler rw -n 10000 -out s.tsv
+//	topoest estimate -graph g.txt -cats c.txt -sample s.tsv -star -format tsv
+//	topoest truth    -graph g.txt -cats c.txt -format tsv
+//
+// "estimate" builds the observation a real crawler would have collected
+// (induced or star) and never uses more information than that scenario
+// reveals; "truth" computes the exact category graph for comparison.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"math/rand/v2"
+
+	"repro/internal/catgraph"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "sample":
+		err = cmdSample(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "truth":
+		err = cmdTruth(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoest:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: topoest <gen|sample|estimate|truth|eval> [flags]
+run "topoest <cmd> -h" for per-command flags`)
+}
+
+// newSampler builds a sampler by name; shared by the sample and eval
+// subcommands.
+func newSampler(name string, g *graph.Graph, burnIn, thin int) (sample.Sampler, error) {
+	switch name {
+	case "uis":
+		return sample.UIS{}, nil
+	case "wisdeg":
+		return sample.NewDegreeWIS(g)
+	case "rw":
+		w := sample.NewRW(burnIn)
+		w.Thin = thin
+		return w, nil
+	case "mhrw":
+		w := sample.NewMHRW(burnIn)
+		w.Thin = thin
+		return w, nil
+	case "swrw":
+		return sample.NewSWRW(g, sample.SWRWConfig{BurnIn: burnIn, Thin: thin})
+	case "frontier":
+		return sample.NewFrontier(10, burnIn), nil
+	case "bfs":
+		return sample.NewBFS(), nil
+	}
+	return nil, fmt.Errorf("unknown sampler %q", name)
+}
+
+// cmdEval runs a replicated NRMSE sweep on a loaded graph — the Fig. 3/4
+// protocol on user data — and writes a TSV of (series, |S|, NRMSE) rows.
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	var (
+		graphIn = fs.String("graph", "graph.txt", "edge-list input")
+		catsIn  = fs.String("cats", "cats.txt", "categories input")
+		sampler = fs.String("sampler", "rw", "uis|wisdeg|rw|mhrw|swrw|frontier|bfs")
+		sizes   = fs.String("sizes", "100,300,1000,3000,10000", "comma-separated |S| grid")
+		reps    = fs.Int("reps", 20, "replications per cell")
+		burnIn  = fs.Int("burnin", 1000, "walk burn-in")
+		seed    = fs.Uint64("seed", 1, "seed")
+		out     = fs.String("out", "", "TSV output (default stdout)")
+	)
+	fs.Parse(args)
+	g, err := loadGraph(*graphIn, *catsIn)
+	if err != nil {
+		return err
+	}
+	var grid []int
+	for _, part := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad size %q", part)
+		}
+		grid = append(grid, n)
+	}
+	truth := map[string]float64{}
+	for c := 0; c < g.NumCategories(); c++ {
+		truth[fmt.Sprintf("size/%d", c)] = float64(g.CategorySize(int32(c)))
+	}
+	N := float64(g.N())
+	res, err := eval.Sweep(eval.Config{Seed: *seed, Reps: *reps, Sizes: grid}, truth,
+		func(r *rand.Rand, maxSize int) (*sample.Sample, error) {
+			smp, err := newSampler(*sampler, g, *burnIn, 1)
+			if err != nil {
+				return nil, err
+			}
+			return smp.Sample(r, g, maxSize)
+		},
+		func(s *sample.Sample) (map[string]float64, error) {
+			o, err := sample.ObserveStar(g, s)
+			if err != nil {
+				return nil, err
+			}
+			est, err := core.SizeStar(o, N)
+			if err != nil {
+				return nil, err
+			}
+			vals := make(map[string]float64, len(est))
+			for c, x := range est {
+				vals[fmt.Sprintf("size/%d", c)] = x
+			}
+			return vals, nil
+		})
+	if err != nil {
+		return err
+	}
+	var series []eval.Series
+	series = append(series, res.MedianSeries(*sampler+" star size (median)", "size/"))
+	h, rows := eval.SeriesTSV(series)
+	if *out == "" {
+		return eval.WriteTSV(os.Stdout, h, rows)
+	}
+	return writeTo(*out, func(w io.Writer) error { return eval.WriteTSV(w, h, rows) })
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		model    = fs.String("model", "paper", "graph model: paper|social|gnm")
+		k        = fs.Int("k", 20, "paper model: intra-category degree")
+		alpha    = fs.Float64("alpha", 0.5, "paper model: label shuffle fraction")
+		n        = fs.Int("n", 10000, "social/gnm: node count")
+		m        = fs.Int64("m", 50000, "gnm: edge count")
+		meanDeg  = fs.Float64("meandeg", 20, "social: mean degree")
+		comms    = fs.Int("comms", 50, "social: planted communities")
+		mixing   = fs.Float64("mixing", 0.3, "social: mixing fraction")
+		seed     = fs.Uint64("seed", 1, "seed")
+		graphOut = fs.String("graph", "graph.txt", "edge-list output")
+		catsOut  = fs.String("cats", "cats.txt", "categories output")
+	)
+	fs.Parse(args)
+	r := randx.New(*seed)
+	var g *graph.Graph
+	var err error
+	switch *model {
+	case "paper":
+		g, err = gen.Paper(r, gen.PaperConfig{K: *k, Alpha: *alpha, Connect: true})
+	case "social":
+		g, err = gen.Social(r, gen.SocialConfig{
+			N: *n, MeanDeg: *meanDeg, Dist: gen.PowerLaw, Shape: 2.5,
+			Comms: *comms, CommZipf: 0.8, Mixing: *mixing, Connect: true, SetAsCats: true,
+		})
+	case "gnm":
+		g, err = gen.GNM(r, *n, *m)
+		if err == nil {
+			// single category: everything in one block (useful as a null case)
+			err = g.SetCategories(make([]int32, g.N()), 1, []string{"all"})
+		}
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+	if err := writeTo(*graphOut, g.WriteEdgeList); err != nil {
+		return err
+	}
+	if err := writeTo(*catsOut, g.WriteCategories); err != nil {
+		return err
+	}
+	fmt.Printf("generated %s: N=%d |E|=%d k_V=%.1f categories=%d\n",
+		*model, g.N(), g.M(), g.MeanDegree(), g.NumCategories())
+	return nil
+}
+
+func loadGraph(graphPath, catsPath string) (*graph.Graph, error) {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	g, err := graph.ReadEdgeList(bufio.NewReader(gf))
+	if err != nil {
+		return nil, err
+	}
+	cf, err := os.Open(catsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	if err := g.ReadCategories(bufio.NewReader(cf)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	var (
+		graphIn = fs.String("graph", "graph.txt", "edge-list input")
+		catsIn  = fs.String("cats", "cats.txt", "categories input")
+		sampler = fs.String("sampler", "rw", "uis|wisdeg|rw|mhrw|swrw|frontier|bfs")
+		n       = fs.Int("n", 10000, "draws")
+		burnIn  = fs.Int("burnin", 1000, "walk burn-in steps")
+		thin    = fs.Int("thin", 1, "keep every thin-th draw")
+		seed    = fs.Uint64("seed", 1, "seed")
+		out     = fs.String("out", "sample.tsv", "sample output (node, weight per line)")
+	)
+	fs.Parse(args)
+	g, err := loadGraph(*graphIn, *catsIn)
+	if err != nil {
+		return err
+	}
+	smp, err := newSampler(*sampler, g, *burnIn, *thin)
+	if err != nil {
+		return err
+	}
+	s, err := smp.Sample(randx.New(*seed), g, *n)
+	if err != nil {
+		return err
+	}
+	if err := writeTo(*out, func(f io.Writer) error { return writeSample(f, s) }); err != nil {
+		return err
+	}
+	fmt.Printf("sampled %d draws with %s (%d distinct nodes)\n", s.Len(), smp.Name(), distinct(s))
+	return nil
+}
+
+func distinct(s *sample.Sample) int {
+	seen := map[int32]bool{}
+	for _, v := range s.Nodes {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+func writeSample(f io.Writer, s *sample.Sample) error {
+	bw := bufio.NewWriter(f)
+	fmt.Fprintln(bw, "# sample node\tweight")
+	for i, v := range s.Nodes {
+		fmt.Fprintf(bw, "%d\t%g\n", v, s.Weight(i))
+	}
+	return bw.Flush()
+}
+
+func readSample(path string) (*sample.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s := &sample.Sample{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	uniform := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		v, err := strconv.ParseInt(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample line %q: %w", line, err)
+		}
+		w := 1.0
+		if len(parts) > 1 {
+			if w, err = strconv.ParseFloat(parts[1], 64); err != nil {
+				return nil, fmt.Errorf("bad weight in %q: %w", line, err)
+			}
+		}
+		s.Nodes = append(s.Nodes, int32(v))
+		s.Weights = append(s.Weights, w)
+		if w != 1 {
+			uniform = false
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if uniform {
+		s.Weights = nil
+	}
+	return s, nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	var (
+		graphIn  = fs.String("graph", "graph.txt", "edge-list input")
+		catsIn   = fs.String("cats", "cats.txt", "categories input")
+		sampleIn = fs.String("sample", "sample.tsv", "sample input")
+		star     = fs.Bool("star", true, "star observation (false = induced subgraph)")
+		popN     = fs.Float64("N", 0, "population size (0 = use the graph's true N)")
+		ci       = fs.Int("ci", 0, "bootstrap resamples for size standard errors (0 = off, §5.3.2)")
+		format   = fs.String("format", "tsv", "output format: tsv|json|dot")
+		out      = fs.String("out", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+	g, err := loadGraph(*graphIn, *catsIn)
+	if err != nil {
+		return err
+	}
+	s, err := readSample(*sampleIn)
+	if err != nil {
+		return err
+	}
+	var o *sample.Observation
+	if *star {
+		o, err = sample.ObserveStar(g, s)
+	} else {
+		o, err = sample.ObserveInduced(g, s)
+	}
+	if err != nil {
+		return err
+	}
+	N := *popN
+	if N == 0 {
+		N = float64(g.N())
+	}
+	res, err := core.Estimate(o, core.Options{N: N})
+	if err != nil {
+		return err
+	}
+	if *ci > 0 {
+		// Bootstrap standard errors of every category size (§5.3.2), to
+		// stderr so the machine-readable output stays clean.
+		r := randx.New(4242)
+		for c := 0; c < o.K; c++ {
+			c := int32(c)
+			mean, sd := core.Bootstrap(r, o, *ci, func(ob *sample.Observation) float64 {
+				if !ob.Star {
+					return core.SizeInduced(ob, N)[c]
+				}
+				sz, err := core.SizeStar(ob, N)
+				if err != nil {
+					return 0
+				}
+				return sz[c]
+			})
+			fmt.Fprintf(os.Stderr, "size[%s] = %.4g ± %.4g (bootstrap mean %.4g, B=%d)\n",
+				g.CategoryName(c), res.Sizes[c], sd, mean, *ci)
+		}
+	}
+	cg, err := catgraph.FromEstimate(res, g.CategoryNames())
+	if err != nil {
+		return err
+	}
+	return emit(cg, *format, *out)
+}
+
+func cmdTruth(args []string) error {
+	fs := flag.NewFlagSet("truth", flag.ExitOnError)
+	var (
+		graphIn = fs.String("graph", "graph.txt", "edge-list input")
+		catsIn  = fs.String("cats", "cats.txt", "categories input")
+		format  = fs.String("format", "tsv", "output format: tsv|json|dot")
+		out     = fs.String("out", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+	g, err := loadGraph(*graphIn, *catsIn)
+	if err != nil {
+		return err
+	}
+	cg, err := catgraph.FromGraph(g)
+	if err != nil {
+		return err
+	}
+	return emit(cg, *format, *out)
+}
+
+func emit(cg *catgraph.Graph, format, out string) error {
+	var write func(io.Writer) error
+	switch format {
+	case "tsv":
+		write = cg.WriteTSV
+	case "json":
+		cg.Layout(randx.New(42), 200)
+		write = cg.WriteJSON
+	case "dot":
+		write = cg.WriteDOT
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if out == "" {
+		return write(os.Stdout)
+	}
+	return writeTo(out, write)
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

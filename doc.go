@@ -1,0 +1,43 @@
+// Package repro estimates the coarse-grained topology of a large graph from
+// a probability sample of its nodes, implementing Kurant, Gjoka, Wang,
+// Almquist, Butts & Markopoulou, "Coarse-Grained Topology Estimation via
+// Graph Sampling" (arXiv:1105.5488, SIGCOMM WOSN 2012).
+//
+// # Problem
+//
+// The nodes of a graph G are partitioned into categories (countries,
+// colleges, communities, ...). The category graph GC has one node per
+// category, and the weight of edge {A,B} is the probability that a random
+// member of A is connected to a random member of B:
+//
+//	w(A,B) = |E_{A,B}| / (|A|·|B|)            (Eq. 3)
+//
+// This package estimates the category sizes |A| and the weights w(A,B) from
+// a sample of nodes collected by independence sampling (UIS/WIS) or by
+// crawling (RW, MHRW, S-WRW), under two measurement scenarios:
+//
+//   - induced subgraph sampling: only the sampled nodes, their categories
+//     and the edges among them are observed;
+//   - star sampling: the categories of every neighbor of a sampled node are
+//     observed as well (the situation when scraping social-network pages).
+//
+// All estimators are design-based and consistent; non-uniform designs are
+// corrected with Hansen–Hurwitz re-weighting using the samplers' reported
+// draw weights.
+//
+// # Quick start
+//
+//	g, _ := repro.GeneratePaperGraph(repro.NewRand(1), 20, 0.5) // §6.2.1 model
+//	s, _ := repro.NewRW(1000).Sample(repro.NewRand(2), g, 10000)
+//	o, _ := repro.ObserveStar(g, s)
+//	res, _ := repro.Estimate(o, repro.Options{N: float64(g.N())})
+//	cg, _ := repro.CategoryGraphFromEstimate(res, g.CategoryNames())
+//	cg.WriteTSV(os.Stdout)
+//
+// The packages under internal/ hold the implementation: internal/core (the
+// estimators), internal/sample (samplers and observation models),
+// internal/graph, internal/gen, internal/community, internal/catgraph,
+// internal/stats, internal/eval, internal/fbsim and internal/exp (the
+// experiment definitions reproducing every table and figure of the paper —
+// see DESIGN.md and EXPERIMENTS.md).
+package repro

@@ -1,0 +1,113 @@
+package repro_test
+
+// Executable godoc examples: each compiles, runs in `go test`, and appears
+// on the package documentation page — the quickest path for a new user into
+// the API.
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// buildToyGraph returns the deterministic two-category graph shared by the
+// examples: a 6-cycle with one chord, categories L = {0,1,2}, R = {3,4,5}.
+func buildToyGraph() *repro.Graph {
+	b := repro.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 0)
+	b.AddEdge(0, 3)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	if err := g.SetCategories([]int32{0, 0, 0, 1, 1, 1}, 2, []string{"L", "R"}); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ExampleTrueCategoryGraph computes the exact category graph of a fully
+// known graph — Eq. (3) of the paper.
+func ExampleTrueCategoryGraph() {
+	g := buildToyGraph()
+	cg, err := repro.TrueCategoryGraph(g)
+	if err != nil {
+		panic(err)
+	}
+	// Cut L–R has 3 edges ({2,3},{5,0} sides of the cycle plus chord {0,3})
+	// out of |L|·|R| = 9 possible.
+	fmt.Printf("w(L,R) = %.4f\n", cg.Weight(0, 1))
+	// Output:
+	// w(L,R) = 0.3333
+}
+
+// ExampleEstimate estimates the category graph from a census star sample;
+// with every node observed once the estimate is exact.
+func ExampleEstimate() {
+	g := buildToyGraph()
+	s := &repro.Sample{Nodes: []int32{0, 1, 2, 3, 4, 5}}
+	o, err := repro.ObserveStar(g, s)
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.Estimate(o, repro.Options{N: 6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("|L| = %.1f, |R| = %.1f, w(L,R) = %.4f\n",
+		res.Sizes[0], res.Sizes[1], res.Weights.Get(0, 1))
+	// Output:
+	// |L| = 3.0, |R| = 3.0, w(L,R) = 0.3333
+}
+
+// ExampleObserveInduced shows the information gap between the two
+// measurement scenarios: an induced observation of two non-adjacent nodes
+// contains no edges at all, while the star observation of the same sample
+// sees every incident edge's category.
+func ExampleObserveInduced() {
+	g := buildToyGraph()
+	s := &repro.Sample{Nodes: []int32{1, 4}}
+	induced, err := repro.ObserveInduced(g, s)
+	if err != nil {
+		panic(err)
+	}
+	star, err := repro.ObserveStar(g, s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("induced sees %d edges of G[S]\n", len(induced.Edges))
+	fmt.Printf("star sees %.0f neighbor endpoints in L\n",
+		star.NbrCount(0, 0)+star.NbrCount(1, 0))
+	// Output:
+	// induced sees 0 edges of G[S]
+	// star sees 2 neighbor endpoints in L
+}
+
+// ExampleNewRW demonstrates bias-corrected estimation from a crawl: the
+// random walk reports degree-proportional sampling weights, which the
+// Hansen–Hurwitz estimators undo (§5).
+func ExampleNewRW() {
+	g := buildToyGraph()
+	walk := repro.NewRW(100)
+	s, err := walk.Sample(repro.NewRand(7), g, 4000)
+	if err != nil {
+		panic(err)
+	}
+	o, err := repro.ObserveStar(g, s)
+	if err != nil {
+		panic(err)
+	}
+	sizes, err := repro.SizeStar(o, 6)
+	if err != nil {
+		panic(err)
+	}
+	// Both categories have 3 nodes; a consistent estimator lands close.
+	fmt.Printf("|L| ≈ %.0f, |R| ≈ %.0f\n", sizes[0], sizes[1])
+	// Output:
+	// |L| ≈ 3, |R| ≈ 3
+}

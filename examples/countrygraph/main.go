@@ -1,0 +1,93 @@
+// Countrygraph reproduces the §7.3.1 pipeline in miniature: crawl a
+// Facebook-2009-style graph (507-region category structure scaled down),
+// estimate the region-to-region category graph from the star sample, merge
+// regions into countries, and write the country friendship map as DOT and
+// JSON (the latter viewable with cmd/geosocialmap).
+//
+//	go run ./examples/countrygraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/fbsim"
+)
+
+func main() {
+	r := repro.NewRand(2024)
+	cfg := fbsim.DefaultConfig()
+	cfg.N = 30000 // miniature substrate; cmd/repro runs the full 200K
+	cfg.Regions = 150
+	g, err := fbsim.Build2009(r, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("substrate: N=%d |E|=%d, %d regions covering %.0f%% of users\n",
+		g.N(), g.M(), g.NumCategories(), 100*g.CategorizedFraction())
+
+	// Three independent random-walk crawls, merged (the paper combines
+	// several independent crawls to reduce variance, §7.2).
+	var samples []*repro.Sample
+	for i := 0; i < 3; i++ {
+		s, err := repro.NewRW(2000).Sample(r, g, 20000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, s)
+	}
+	merged := mergeSamples(samples)
+	o, err := repro.ObserveStar(g, merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Estimate(o, repro.Options{N: float64(g.N())})
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions, err := repro.CategoryGraphFromEstimate(res, g.CategoryNames())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	countries := regions.Merge(fbsim.CountryOf)
+	countries.Layout(repro.NewRand(7), 300)
+	fmt.Printf("\nmerged %d regions into %d countries\n", regions.K(), countries.K())
+	fmt.Println("\nstrongest country-to-country links (estimated):")
+	for i, e := range countries.TopEdges(12) {
+		fmt.Printf("%3d. %-3s — %-3s  ŵ=%.4g  cut≈%.0f\n", i+1,
+			countries.Names[e.A], countries.Names[e.B], e.Weight, countries.Cut(e.A, e.B))
+	}
+
+	for _, out := range []struct {
+		path  string
+		write func(*os.File) error
+	}{
+		{"countries.dot", func(f *os.File) error { return countries.WriteDOT(f) }},
+		{"countries.json", func(f *os.File) error { return countries.WriteJSON(f) }},
+	} {
+		f, err := os.Create(out.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := out.write(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", out.path)
+	}
+	fmt.Println("view with: go run ./cmd/geosocialmap -in countries.json")
+}
+
+func mergeSamples(samples []*repro.Sample) *repro.Sample {
+	out := &repro.Sample{}
+	for _, s := range samples {
+		out.Nodes = append(out.Nodes, s.Nodes...)
+		for i := 0; i < s.Len(); i++ {
+			out.Weights = append(out.Weights, s.Weight(i))
+		}
+	}
+	return out
+}

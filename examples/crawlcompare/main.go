@@ -1,0 +1,103 @@
+// Crawlcompare is a sampler shoot-out on the paper's §6.2.1 synthetic graph:
+// it measures the NRMSE of category size and edge weight estimation under
+// UIS, RW, MHRW and S-WRW at growing sample sizes — a condensed, textual
+// version of Figures 3, 4 and 6 — and finishes with a §4.3 population-size
+// estimate from walk collisions.
+//
+//	go run ./examples/crawlcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+func main() {
+	g, err := repro.GeneratePaperGraph(repro.NewRand(42), 20, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := repro.TrueCategoryGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: N=%d |E|=%d, 10 categories (50…50000)\n\n", g.N(), g.M())
+
+	const (
+		reps   = 12
+		target = 0 // category of interest: the smallest (hardest)
+	)
+	pairHigh, err := truth.EdgeAtWeightPercentile(0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	N := float64(g.N())
+	samplers := []struct {
+		name string
+		mk   func() (repro.Sampler, error)
+	}{
+		{"UIS", func() (repro.Sampler, error) { return repro.NewUIS(), nil }},
+		{"RW", func() (repro.Sampler, error) { return repro.NewRW(1000), nil }},
+		{"MHRW", func() (repro.Sampler, error) { return repro.NewMHRW(1000), nil }},
+		{"S-WRW", func() (repro.Sampler, error) { return repro.NewSWRW(g, repro.SWRWConfig{BurnIn: 1000}) }},
+	}
+	fmt.Println("median NRMSE of the smallest category's size (star estimator) and of")
+	fmt.Println("a 75th-percentile edge weight (star estimator), by sampler and |S|:")
+	fmt.Printf("\n%-8s", "|S|")
+	for _, s := range samplers {
+		fmt.Printf("  %9s-size %9s-w", s.name, s.name)
+	}
+	fmt.Println()
+	for _, n := range []int{1000, 5000, 20000} {
+		fmt.Printf("%-8d", n)
+		for _, smp := range samplers {
+			sizeErr := stats.NewNRMSE(truth.Sizes[target])
+			wErr := stats.NewNRMSE(pairHigh.Weight)
+			for rep := 0; rep < reps; rep++ {
+				r := randx.Derive(7, uint64(n*100+rep))
+				sampler, err := smp.mk()
+				if err != nil {
+					log.Fatal(err)
+				}
+				s, err := sampler.Sample(r, g, n)
+				if err != nil {
+					log.Fatal(err)
+				}
+				o, err := repro.ObserveStar(g, s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sizes, err := repro.SizeStar(o, N)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sizeErr.Add(sizes[target])
+				w, err := repro.WeightsStar(o, sizes)
+				if err != nil {
+					log.Fatal(err)
+				}
+				wErr.Add(w.Get(pairHigh.A, pairHigh.B))
+			}
+			fmt.Printf("  %14.3f %11.3f", sizeErr.Value(), wErr.Value())
+		}
+		fmt.Println()
+	}
+
+	// Population-size estimation from collisions (§4.3), with thinning.
+	wis, err := repro.NewDegreeWIS(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := wis.Sample(repro.NewRand(9), g, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nhat := repro.PopulationSize(s)
+	fmt.Printf("\npopulation size: N̂ = %.0f (true %d, rel. err %.1f%%)\n",
+		nhat, g.N(), 100*math.Abs(nhat-N)/N)
+}

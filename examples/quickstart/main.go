@@ -1,0 +1,88 @@
+// Quickstart: the Figure-1 workflow end to end on a small graph.
+//
+// It builds a categorized graph, computes the exact category graph, then
+// pretends the graph is unknown: it crawls it with a random walk, observes
+// the sample under star sampling, estimates sizes and weights with the
+// Hansen–Hurwitz corrected estimators, and prints estimate vs truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	// A three-category friendship graph (white / gray / black, as in the
+	// paper's Fig. 1), dense enough for a walk to mix quickly.
+	r := repro.NewRand(1)
+	const n = 900
+	b := repro.NewBuilder(n)
+	cat := make([]int32, n)
+	for v := 0; v < n; v++ {
+		cat[v] = int32(v % 3)
+	}
+	// Intra-category edges: ring plus chords within each category.
+	for v := 0; v < n; v++ {
+		b.AddEdge(int32(v), int32((v+3)%n)) // same category (v+3 keeps v%3)
+		b.AddEdge(int32(v), int32((v+9)%n)) // same category
+		if v%3 == 0 {
+			b.AddEdge(int32(v), int32((v+1)%n)) // white–gray
+		}
+		if v%7 == 0 {
+			b.AddEdge(int32(v), int32((v+2)%n)) // cross pair
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.SetCategories(cat, 3, []string{"white", "gray", "black"}); err != nil {
+		log.Fatal(err)
+	}
+
+	truth, err := repro.TrueCategoryGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Crawl with a simple random walk: 4000 draws after 500 burn-in steps.
+	walk := repro.NewRW(500)
+	s, err := walk.Sample(r, g, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := repro.ObserveStar(g, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Estimate(o, repro.Options{N: float64(g.N())})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := repro.CategoryGraphFromEstimate(res, g.CategoryNames())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("category sizes (estimate vs truth):")
+	for c := 0; c < est.K(); c++ {
+		fmt.Printf("  %-6s  %8.1f  vs %6.0f\n", est.Names[c], est.Sizes[c], truth.Sizes[c])
+	}
+	fmt.Println("\ncategory edge weights w(A,B) (estimate vs truth):")
+	for a := int32(0); a < 3; a++ {
+		for bb := a + 1; bb < 3; bb++ {
+			fmt.Printf("  w(%s,%s)  %.5f  vs %.5f\n",
+				est.Names[a], est.Names[bb], est.Weight(a, bb), truth.Weight(a, bb))
+		}
+	}
+
+	fmt.Println("\nestimated category graph as TSV:")
+	if err := est.WriteTSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package catgraph assembles, transforms and exports category graphs — the
+// weighted graphs GC of Section 2.2 whose nodes are categories and whose
+// edge weights w(A,B) = |E_{A,B}|/(|A|·|B|) the paper estimates.
+//
+// It provides exact construction from a fully known graph (the ground truth
+// of the simulations), assembly from estimator output, the category-merge
+// operation used to roll up regions into countries (§7.3.1), and the export
+// formats backing the geosocialmap visualization: TSV, DOT and JSON with an
+// embedded force-directed layout.
+package catgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Graph is a weighted category graph. Sizes are float64 because estimated
+// sizes are generally fractional; exact graphs carry integral values.
+type Graph struct {
+	// Names[c] labels category c.
+	Names []string
+	// Sizes[c] is (an estimate of) |A| for category c.
+	Sizes []float64
+	// N is the population size the sizes refer to (1 when only relative
+	// values are known, §4.3).
+	N float64
+	// Weights holds w(A,B) for unordered pairs A ≠ B.
+	Weights *core.PairWeights
+	// X, Y hold an optional 2-D layout (see Layout).
+	X, Y []float64
+}
+
+// K returns the number of categories.
+func (cg *Graph) K() int { return len(cg.Names) }
+
+// Weight returns w(a,b).
+func (cg *Graph) Weight(a, b int32) float64 { return cg.Weights.Get(a, b) }
+
+// Cut returns the implied edge-cut size |E_{A,B}| = w(A,B)·|A|·|B| — the
+// unnormalized weight variant discussed in §2.2.
+func (cg *Graph) Cut(a, b int32) float64 {
+	return cg.Weights.Get(a, b) * cg.Sizes[a] * cg.Sizes[b]
+}
+
+// FromGraph computes the exact category graph of g (which must carry a
+// category partition): the ground truth of every simulation.
+func FromGraph(g *graph.Graph) (*Graph, error) {
+	if !g.HasCategories() {
+		return nil, fmt.Errorf("catgraph: graph has no categories")
+	}
+	k := g.NumCategories()
+	cg := &Graph{
+		Names:   append([]string(nil), g.CategoryNames()...),
+		Sizes:   make([]float64, k),
+		N:       float64(g.N()),
+		Weights: core.NewPairWeights(k),
+	}
+	for c := 0; c < k; c++ {
+		cg.Sizes[c] = float64(g.CategorySize(int32(c)))
+	}
+	cuts := g.CutMatrix()
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			if cuts[a][b] == 0 {
+				continue
+			}
+			den := cg.Sizes[a] * cg.Sizes[b]
+			if den > 0 {
+				cg.Weights.Set(int32(a), int32(b), float64(cuts[a][b])/den)
+			}
+		}
+	}
+	return cg, nil
+}
+
+// FromEstimate assembles a category graph from estimator output. names may
+// be nil, in which case generic names are used.
+func FromEstimate(res *core.Result, names []string) (*Graph, error) {
+	k := len(res.Sizes)
+	if names == nil {
+		names = make([]string, k)
+		for i := range names {
+			names[i] = fmt.Sprintf("C%d", i)
+		}
+	}
+	if len(names) != k {
+		return nil, fmt.Errorf("catgraph: %d names for %d categories", len(names), k)
+	}
+	return &Graph{
+		Names:   append([]string(nil), names...),
+		Sizes:   append([]float64(nil), res.Sizes...),
+		N:       res.N,
+		Weights: res.Weights,
+	}, nil
+}
+
+// Merge combines categories according to groupOf: categories mapping to the
+// same group name are merged (§7.3.1 merges all regions of one country).
+// Sizes add; edge cuts add; merged weights are recomputed as
+// cut'/(|A'|·|B'|). Intra-group cuts are dropped (GC has no self-loops).
+func (cg *Graph) Merge(groupOf func(name string) string) *Graph {
+	ids := map[string]int32{}
+	var names []string
+	newOf := make([]int32, cg.K())
+	for c, name := range cg.Names {
+		gname := groupOf(name)
+		id, ok := ids[gname]
+		if !ok {
+			id = int32(len(names))
+			ids[gname] = id
+			names = append(names, gname)
+		}
+		newOf[c] = id
+	}
+	out := &Graph{
+		Names:   names,
+		Sizes:   make([]float64, len(names)),
+		N:       cg.N,
+		Weights: core.NewPairWeights(len(names)),
+	}
+	for c, id := range newOf {
+		out.Sizes[id] += cg.Sizes[c]
+	}
+	cuts := core.NewPairWeights(len(names))
+	cg.Weights.ForEach(func(a, b int32, w float64) {
+		na, nb := newOf[a], newOf[b]
+		if na == nb {
+			return
+		}
+		cuts.Add(na, nb, w*cg.Sizes[a]*cg.Sizes[b])
+	})
+	cuts.ForEach(func(a, b int32, cut float64) {
+		den := out.Sizes[a] * out.Sizes[b]
+		if den > 0 {
+			out.Weights.Set(a, b, cut/den)
+		}
+	})
+	return out
+}
+
+// Edge is one weighted category-graph edge, used by sorted accessors.
+type Edge struct {
+	A, B   int32
+	Weight float64
+}
+
+// Edges returns all edges sorted by descending weight (NaNs last).
+func (cg *Graph) Edges() []Edge {
+	var out []Edge
+	cg.Weights.ForEach(func(a, b int32, w float64) {
+		out = append(out, Edge{A: a, B: b, Weight: w})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := out[i].Weight, out[j].Weight
+		if math.IsNaN(wj) {
+			return !math.IsNaN(wi)
+		}
+		if math.IsNaN(wi) {
+			return false
+		}
+		if wi != wj {
+			return wi > wj
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// TopEdges returns the k heaviest edges.
+func (cg *Graph) TopEdges(k int) []Edge {
+	e := cg.Edges()
+	if k < len(e) {
+		e = e[:k]
+	}
+	return e
+}
+
+// FilterCategories returns the subgraph on the categories selected by keep
+// (by old index), renumbering them in the order given.
+func (cg *Graph) FilterCategories(keep []int32) *Graph {
+	newOf := make(map[int32]int32, len(keep))
+	out := &Graph{N: cg.N, Weights: core.NewPairWeights(len(keep))}
+	for i, c := range keep {
+		newOf[c] = int32(i)
+		out.Names = append(out.Names, cg.Names[c])
+		out.Sizes = append(out.Sizes, cg.Sizes[c])
+	}
+	cg.Weights.ForEach(func(a, b int32, w float64) {
+		na, aok := newOf[a]
+		nb, bok := newOf[b]
+		if aok && bok {
+			out.Weights.Set(na, nb, w)
+		}
+	})
+	return out
+}
+
+// WeightPercentiles returns the weights at the given quantiles across all
+// present edges — the paper's e_low/e_high (25th/75th percentile weight
+// edges of Fig. 3(g)) are WeightPercentiles(0.25, 0.75).
+func (cg *Graph) WeightPercentiles(qs ...float64) []float64 {
+	var ws []float64
+	cg.Weights.ForEach(func(a, b int32, w float64) {
+		if !math.IsNaN(w) {
+			ws = append(ws, w)
+		}
+	})
+	sort.Float64s(ws)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if len(ws) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		pos := q * float64(len(ws)-1)
+		lo := int(pos)
+		hi := lo
+		if lo+1 < len(ws) {
+			hi = lo + 1
+		}
+		frac := pos - float64(lo)
+		out[i] = ws[lo]*(1-frac) + ws[hi]*frac
+	}
+	return out
+}
+
+// EdgeAtWeightPercentile returns the present edge whose weight is closest to
+// the q-th percentile weight.
+func (cg *Graph) EdgeAtWeightPercentile(q float64) (Edge, error) {
+	target := cg.WeightPercentiles(q)[0]
+	if math.IsNaN(target) {
+		return Edge{}, fmt.Errorf("catgraph: no edges")
+	}
+	best := Edge{Weight: math.NaN()}
+	bestDiff := math.Inf(1)
+	cg.Weights.ForEach(func(a, b int32, w float64) {
+		if d := math.Abs(w - target); d < bestDiff {
+			bestDiff = d
+			best = Edge{A: a, B: b, Weight: w}
+		}
+	})
+	return best, nil
+}

@@ -1,0 +1,272 @@
+package catgraph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// fig1 builds the Figure-1 style graph used across the repo's tests.
+func fig1(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(9)
+	for _, e := range [][2]int32{
+		{0, 6}, {1, 7}, {2, 6}, {6, 3}, {0, 3}, {1, 3}, {1, 4}, {2, 4},
+		{0, 1}, {7, 8}, {3, 4}, {5, 4}, {5, 8},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetCategories([]int32{0, 0, 0, 1, 1, 1, 2, 2, 2}, 3, []string{"white", "gray", "black"}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromGraphGroundTruth(t *testing.T) {
+	g := fig1(t)
+	cg, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.K() != 3 || cg.N != 9 {
+		t.Fatalf("K=%d N=%v", cg.K(), cg.N)
+	}
+	for a := int32(0); a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if want := g.TrueWeight(a, b); cg.Weight(a, b) != want {
+				t.Errorf("w(%d,%d)=%v want %v", a, b, cg.Weight(a, b), want)
+			}
+		}
+	}
+	// Cut round-trips weight·|A|·|B|.
+	if got, want := cg.Cut(0, 2), float64(g.EdgeCut(0, 2)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cut = %v want %v", got, want)
+	}
+}
+
+func TestFromGraphRequiresCategories(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g, _ := b.Build()
+	if _, err := FromGraph(g); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestFromEstimate(t *testing.T) {
+	g := fig1(t)
+	nodes := make([]int32, g.N())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	o, err := sample.ObserveStar(g, &sample.Sample{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Estimate(o, core.Options{N: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := FromEstimate(res, g.CategoryNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Census estimate must equal ground truth.
+	truth, _ := FromGraph(g)
+	for a := int32(0); a < 3; a++ {
+		if math.Abs(cg.Sizes[a]-truth.Sizes[a]) > 1e-9 {
+			t.Errorf("size[%d] %v vs %v", a, cg.Sizes[a], truth.Sizes[a])
+		}
+		for b := a + 1; b < 3; b++ {
+			if math.Abs(cg.Weight(a, b)-truth.Weight(a, b)) > 1e-9 {
+				t.Errorf("w(%d,%d) %v vs %v", a, b, cg.Weight(a, b), truth.Weight(a, b))
+			}
+		}
+	}
+	if _, err := FromEstimate(res, []string{"just-one"}); err == nil {
+		t.Error("name count mismatch must fail")
+	}
+	// nil names get generated.
+	gen, err := FromEstimate(res, nil)
+	if err != nil || gen.Names[2] != "C2" {
+		t.Errorf("generated names: %v, %v", gen.Names, err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	g := fig1(t)
+	cg, _ := FromGraph(g)
+	// Merge gray and black into "dark": cut(white,dark) = cut(w,g)+cut(w,b)
+	merged := cg.Merge(func(name string) string {
+		if name == "white" {
+			return "white"
+		}
+		return "dark"
+	})
+	if merged.K() != 2 {
+		t.Fatalf("K=%d", merged.K())
+	}
+	wi, di := int32(0), int32(1)
+	if merged.Names[0] != "white" {
+		wi, di = 1, 0
+	}
+	if merged.Sizes[di] != 6 {
+		t.Fatalf("dark size %v", merged.Sizes[di])
+	}
+	wantCut := float64(g.EdgeCut(0, 1) + g.EdgeCut(0, 2))
+	wantW := wantCut / (3 * 6)
+	if math.Abs(merged.Weight(wi, di)-wantW) > 1e-12 {
+		t.Fatalf("merged weight %v want %v", merged.Weight(wi, di), wantW)
+	}
+	// Total cut mass between distinct groups is preserved.
+	if math.Abs(merged.Cut(wi, di)-wantCut) > 1e-9 {
+		t.Fatalf("merged cut %v want %v", merged.Cut(wi, di), wantCut)
+	}
+}
+
+func TestEdgesSortedAndTopEdges(t *testing.T) {
+	g := fig1(t)
+	cg, _ := FromGraph(g)
+	edges := cg.Edges()
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Weight > edges[i-1].Weight {
+			t.Fatal("edges not sorted by descending weight")
+		}
+	}
+	top := cg.TopEdges(1)
+	if len(top) != 1 || top[0].Weight != edges[0].Weight {
+		t.Fatal("TopEdges broken")
+	}
+	if len(cg.TopEdges(100)) != len(edges) {
+		t.Fatal("TopEdges must clamp")
+	}
+}
+
+func TestFilterCategories(t *testing.T) {
+	g := fig1(t)
+	cg, _ := FromGraph(g)
+	sub := cg.FilterCategories([]int32{2, 0})
+	if sub.K() != 2 || sub.Names[0] != "black" || sub.Names[1] != "white" {
+		t.Fatalf("names %v", sub.Names)
+	}
+	if sub.Weight(0, 1) != cg.Weight(2, 0) {
+		t.Fatal("weights not carried through filter")
+	}
+}
+
+func TestWeightPercentilesAndEdgeAt(t *testing.T) {
+	g := fig1(t)
+	cg, _ := FromGraph(g)
+	qs := cg.WeightPercentiles(0, 0.5, 1)
+	if qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Fatalf("percentiles not monotone: %v", qs)
+	}
+	e, err := cg.EdgeAtWeightPercentile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Weight != cg.Edges()[0].Weight {
+		t.Fatal("percentile-1 edge must be the heaviest")
+	}
+	empty := &Graph{Names: []string{"a"}, Sizes: []float64{1}, N: 1, Weights: core.NewPairWeights(1)}
+	if _, err := empty.EdgeAtWeightPercentile(0.5); err == nil {
+		t.Fatal("no edges must error")
+	}
+}
+
+func TestTSVAndDOTExports(t *testing.T) {
+	g := fig1(t)
+	cg, _ := FromGraph(g)
+	var tsv bytes.Buffer
+	if err := cg.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	s := tsv.String()
+	if !strings.Contains(s, "white") || !strings.Contains(s, "edge\t") {
+		t.Fatalf("TSV missing content:\n%s", s)
+	}
+	var dot bytes.Buffer
+	if err := cg.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	d := dot.String()
+	if !strings.Contains(d, "graph category_graph") || !strings.Contains(d, "n0 --") && !strings.Contains(d, "n1 --") {
+		t.Fatalf("DOT missing structure:\n%s", d)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := fig1(t)
+	cg, _ := FromGraph(g)
+	cg.Layout(randx.New(1), 50)
+	var buf bytes.Buffer
+	if err := cg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != 3 || back.N != 9 {
+		t.Fatalf("K=%d N=%v", back.K(), back.N)
+	}
+	for a := int32(0); a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if math.Abs(back.Weight(a, b)-cg.Weight(a, b)) > 1e-12 {
+				t.Errorf("w(%d,%d) changed in round trip", a, b)
+			}
+		}
+	}
+	if back.Names[1] != "gray" {
+		t.Fatal("names lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":[{"id":5,"name":"x","size":1}],"links":[]}`)); err == nil {
+		t.Error("non-dense ids must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":[{"id":0,"name":"x","size":1}],"links":[{"a":0,"b":9,"w":1}]}`)); err == nil {
+		t.Error("out-of-range link must fail")
+	}
+}
+
+func TestLayoutProperties(t *testing.T) {
+	g := fig1(t)
+	cg, _ := FromGraph(g)
+	cg.Layout(randx.New(2), 200)
+	if len(cg.X) != 3 || len(cg.Y) != 3 {
+		t.Fatal("layout size")
+	}
+	for i := range cg.X {
+		if cg.X[i] < 0 || cg.X[i] > 1 || cg.Y[i] < 0 || cg.Y[i] > 1 {
+			t.Fatalf("node %d escaped the unit square: (%v,%v)", i, cg.X[i], cg.Y[i])
+		}
+	}
+	// Nodes must not collapse onto one point.
+	d01 := math.Hypot(cg.X[0]-cg.X[1], cg.Y[0]-cg.Y[1])
+	if d01 < 0.05 {
+		t.Fatalf("nodes 0,1 collapsed: distance %v", d01)
+	}
+	// Degenerate sizes.
+	single := &Graph{Names: []string{"a"}, Sizes: []float64{1}, N: 1, Weights: core.NewPairWeights(1)}
+	single.Layout(randx.New(3), 10)
+	if single.X[0] != 0.5 {
+		t.Fatal("singleton must sit at center")
+	}
+	empty := &Graph{Weights: core.NewPairWeights(0)}
+	empty.Layout(randx.New(3), 10) // must not panic
+}

@@ -1,0 +1,147 @@
+package catgraph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteTSV writes "a<TAB>b<TAB>nameA<TAB>nameB<TAB>weight<TAB>cut" rows
+// preceded by a size table, a plain-text interchange format for the
+// cmd/topoest pipeline and spreadsheet work.
+func (cg *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# category graph: %d categories, N=%g\n", cg.K(), cg.N)
+	fmt.Fprintf(bw, "# category\tname\tsize\n")
+	for c, name := range cg.Names {
+		fmt.Fprintf(bw, "size\t%d\t%s\t%.6g\n", c, name, cg.Sizes[c])
+	}
+	fmt.Fprintf(bw, "# a\tb\tnameA\tnameB\tweight\tcut\n")
+	for _, e := range cg.Edges() {
+		fmt.Fprintf(bw, "edge\t%d\t%d\t%s\t%s\t%.6g\t%.6g\n",
+			e.A, e.B, cg.Names[e.A], cg.Names[e.B], e.Weight, cg.Cut(e.A, e.B))
+	}
+	return bw.Flush()
+}
+
+// WriteDOT writes a Graphviz representation: node area scales with category
+// size, edge pen width with weight relative to the maximum.
+func (cg *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph category_graph {")
+	fmt.Fprintln(bw, "  layout=neato; overlap=false; splines=true;")
+	fmt.Fprintln(bw, "  node [shape=circle style=filled fillcolor=\"#9ecae1\"];")
+	var maxSize float64
+	for _, s := range cg.Sizes {
+		maxSize = math.Max(maxSize, s)
+	}
+	for c, name := range cg.Names {
+		wdt := 0.3
+		if maxSize > 0 {
+			wdt = 0.3 + 1.2*math.Sqrt(cg.Sizes[c]/maxSize)
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q width=%.2f];\n", c, name, wdt)
+	}
+	edges := cg.Edges()
+	var maxW float64
+	for _, e := range edges {
+		if !math.IsNaN(e.Weight) {
+			maxW = math.Max(maxW, e.Weight)
+		}
+	}
+	for _, e := range edges {
+		if math.IsNaN(e.Weight) || e.Weight <= 0 {
+			continue
+		}
+		pw := 0.2 + 4*e.Weight/maxW
+		fmt.Fprintf(bw, "  n%d -- n%d [penwidth=%.2f];\n", e.A, e.B, pw)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// jsonGraph is the wire format of the geosocialmap visualization.
+type jsonGraph struct {
+	N     float64    `json:"n"`
+	Nodes []jsonNode `json:"nodes"`
+	Links []jsonLink `json:"links"`
+}
+
+type jsonNode struct {
+	ID   int32   `json:"id"`
+	Name string  `json:"name"`
+	Size float64 `json:"size"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
+}
+
+type jsonLink struct {
+	A      int32   `json:"a"`
+	B      int32   `json:"b"`
+	Weight float64 `json:"w"`
+	Cut    float64 `json:"cut"`
+}
+
+// WriteJSON writes the {nodes, links} JSON document consumed by
+// cmd/geosocialmap. NaN weights are skipped (JSON cannot carry them).
+func (cg *Graph) WriteJSON(w io.Writer) error {
+	doc := jsonGraph{N: cg.N}
+	for c, name := range cg.Names {
+		n := jsonNode{ID: int32(c), Name: name, Size: cg.Sizes[c]}
+		if cg.X != nil {
+			n.X, n.Y = cg.X[c], cg.Y[c]
+		}
+		doc.Nodes = append(doc.Nodes, n)
+	}
+	for _, e := range cg.Edges() {
+		if math.IsNaN(e.Weight) {
+			continue
+		}
+		cut := cg.Cut(e.A, e.B)
+		if math.IsNaN(cut) {
+			cut = 0
+		}
+		doc.Links = append(doc.Links, jsonLink{A: e.A, B: e.B, Weight: e.Weight, Cut: cut})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses the document written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var doc jsonGraph
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("catgraph: %w", err)
+	}
+	cg := &Graph{N: doc.N}
+	for _, n := range doc.Nodes {
+		if int(n.ID) != len(cg.Names) {
+			return nil, fmt.Errorf("catgraph: non-dense node ids in JSON")
+		}
+		cg.Names = append(cg.Names, n.Name)
+		cg.Sizes = append(cg.Sizes, n.Size)
+		if n.X != 0 || n.Y != 0 {
+			if cg.X == nil {
+				cg.X = make([]float64, 0, len(doc.Nodes))
+				cg.Y = make([]float64, 0, len(doc.Nodes))
+			}
+		}
+	}
+	if cg.X != nil {
+		cg.X = make([]float64, len(cg.Names))
+		cg.Y = make([]float64, len(cg.Names))
+		for i, n := range doc.Nodes {
+			cg.X[i], cg.Y[i] = n.X, n.Y
+		}
+	}
+	cg.Weights = newPairWeights(len(cg.Names))
+	for _, l := range doc.Links {
+		if int(l.A) >= cg.K() || int(l.B) >= cg.K() || l.A < 0 || l.B < 0 {
+			return nil, fmt.Errorf("catgraph: link (%d,%d) out of range", l.A, l.B)
+		}
+		cg.Weights.Set(l.A, l.B, l.Weight)
+	}
+	return cg, nil
+}

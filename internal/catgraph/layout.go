@@ -1,0 +1,109 @@
+package catgraph
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/core"
+)
+
+// newPairWeights avoids exporting the constructor dependency in export.go.
+func newPairWeights(k int) *core.PairWeights { return core.NewPairWeights(k) }
+
+// Layout computes a Fruchterman–Reingold force-directed layout and stores it
+// in cg.X, cg.Y (unit square, center 0.5/0.5). Edge attraction scales with
+// weight, which pulls strongly connected categories together — the effect
+// that makes physical proximity visible in the paper's Fig. 7 maps.
+// Category graphs have at most a few hundred nodes, so the O(K²) repulsion
+// per iteration is cheap.
+func (cg *Graph) Layout(r *rand.Rand, iters int) {
+	k := cg.K()
+	cg.X = make([]float64, k)
+	cg.Y = make([]float64, k)
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		cg.X[0], cg.Y[0] = 0.5, 0.5
+		return
+	}
+	for i := range cg.X {
+		cg.X[i] = r.Float64()
+		cg.Y[i] = r.Float64()
+	}
+	area := 1.0
+	kopt := math.Sqrt(area / float64(k)) // optimal pairwise distance
+	var maxW float64
+	cg.Weights.ForEach(func(a, b int32, w float64) {
+		if !math.IsNaN(w) {
+			maxW = math.Max(maxW, w)
+		}
+	})
+	if maxW == 0 {
+		maxW = 1
+	}
+	dx := make([]float64, k)
+	dy := make([]float64, k)
+	if iters <= 0 {
+		iters = 100
+	}
+	temp := 0.1
+	cool := math.Pow(0.01/temp, 1/float64(iters))
+	for it := 0; it < iters; it++ {
+		for i := range dx {
+			dx[i], dy[i] = 0, 0
+		}
+		// Repulsion between all pairs.
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				ddx, ddy := cg.X[i]-cg.X[j], cg.Y[i]-cg.Y[j]
+				d2 := ddx*ddx + ddy*ddy
+				if d2 < 1e-9 {
+					ddx, ddy, d2 = r.Float64()*1e-3, r.Float64()*1e-3, 1e-6
+				}
+				f := kopt * kopt / d2
+				dx[i] += ddx * f
+				dy[i] += ddy * f
+				dx[j] -= ddx * f
+				dy[j] -= ddy * f
+			}
+		}
+		// Weighted attraction along edges.
+		cg.Weights.ForEach(func(a, b int32, w float64) {
+			if math.IsNaN(w) || w <= 0 {
+				return
+			}
+			ddx, ddy := cg.X[a]-cg.X[b], cg.Y[a]-cg.Y[b]
+			d := math.Hypot(ddx, ddy)
+			if d < 1e-9 {
+				return
+			}
+			f := d * d / kopt * (w / maxW)
+			dx[a] -= ddx / d * f
+			dy[a] -= ddy / d * f
+			dx[b] += ddx / d * f
+			dy[b] += ddy / d * f
+		})
+		// Displace, clamped by temperature, and keep inside the unit box.
+		for i := 0; i < k; i++ {
+			d := math.Hypot(dx[i], dy[i])
+			if d < 1e-12 {
+				continue
+			}
+			step := math.Min(d, temp)
+			cg.X[i] = clamp01(cg.X[i] + dx[i]/d*step)
+			cg.Y[i] = clamp01(cg.Y[i] + dy[i]/d*step)
+		}
+		temp *= cool
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0.02 {
+		return 0.02
+	}
+	if x > 0.98 {
+		return 0.98
+	}
+	return x
+}

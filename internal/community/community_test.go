@@ -1,0 +1,212 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+// planted builds a two-block planted partition: two dense k-regular blocks
+// of size n joined by a handful of bridge edges.
+func planted(t testing.TB, n, k, bridges int, seed uint64) *graph.Graph {
+	t.Helper()
+	r := randx.New(seed)
+	b := graph.NewBuilder(2 * n)
+	left := make([]int32, n)
+	right := make([]int32, n)
+	for i := 0; i < n; i++ {
+		left[i] = int32(i)
+		right[i] = int32(n + i)
+	}
+	for _, blk := range [][]int32{left, right} {
+		edges, err := gen.RegularEdges(r, blk, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddEdge(int32(r.IntN(n)), int32(n+r.IntN(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// purity returns the fraction of node pairs within the same true block that
+// the labeling also puts together, on the two-block graphs above.
+func sameBlockAgreement(labels []int32, n int) float64 {
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			if labels[i] == labels[j] {
+				agree++
+			}
+			total++
+			if labels[n+i] == labels[n+j] {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+func TestDetectRecoversPlantedPartition(t *testing.T) {
+	g := planted(t, 60, 8, 6, 1)
+	labels, count := Detect(randx.New(2), g, Config{})
+	if count < 2 {
+		t.Fatalf("found %d communities, want >= 2", count)
+	}
+	if agg := sameBlockAgreement(labels, 60); agg < 0.9 {
+		t.Fatalf("within-block agreement %.3f, want > 0.9", agg)
+	}
+	// The two blocks must (mostly) receive different labels.
+	if labels[0] == labels[60+0] && labels[1] == labels[60+1] && labels[2] == labels[60+2] {
+		t.Fatal("blocks not separated")
+	}
+}
+
+func TestDetectModularityPositive(t *testing.T) {
+	g := planted(t, 40, 6, 4, 3)
+	labels, _ := Detect(randx.New(4), g, Config{})
+	q := Modularity(g, labels)
+	if q < 0.3 {
+		t.Fatalf("modularity %.3f, want > 0.3 on a strongly clustered graph", q)
+	}
+}
+
+func TestDetectIndivisibleRandomGraph(t *testing.T) {
+	// A sparse ER graph has no strong communities; the detector must not
+	// shred it into singletons (MinSize guards) and must terminate.
+	r := randx.New(5)
+	g, err := gen.GNM(r, 300, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := Detect(randx.New(6), g, Config{})
+	if count < 1 || count > 300 {
+		t.Fatalf("count = %d", count)
+	}
+	if len(labels) != 300 {
+		t.Fatal("labels length")
+	}
+}
+
+func TestDetectMaxCommunitiesCap(t *testing.T) {
+	g := planted(t, 60, 8, 6, 7)
+	_, count := Detect(randx.New(8), g, Config{MaxCommunities: 2})
+	if count > 2 {
+		t.Fatalf("cap violated: %d", count)
+	}
+}
+
+func TestDetectEmptyAndEdgeless(t *testing.T) {
+	g, _ := graph.NewBuilder(0).Build()
+	labels, count := Detect(randx.New(1), g, Config{})
+	if count != 0 || len(labels) != 0 {
+		t.Fatal("empty graph")
+	}
+	g2, _ := graph.NewBuilder(3).Build()
+	labels2, count2 := Detect(randx.New(1), g2, Config{})
+	if count2 != 3 {
+		t.Fatalf("edgeless graph: %d communities, want 3 singletons", count2)
+	}
+	_ = labels2
+}
+
+func TestDetectComponentsAreSeparated(t *testing.T) {
+	// Two disconnected triangles must never share a community.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g, _ := b.Build()
+	labels, count := Detect(randx.New(9), g, Config{})
+	if count < 2 {
+		t.Fatalf("count = %d", count)
+	}
+	if labels[0] == labels[3] {
+		t.Fatal("disconnected components merged")
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	g := planted(t, 30, 4, 2, 11)
+	// Perfect split vs all-in-one: Q(split) > Q(trivial) = 0-ish.
+	perfect := make([]int32, 60)
+	for i := 30; i < 60; i++ {
+		perfect[i] = 1
+	}
+	allOne := make([]int32, 60)
+	if Modularity(g, perfect) <= Modularity(g, allOne) {
+		t.Fatal("perfect split must beat trivial labeling")
+	}
+	if q := Modularity(g, allOne); q > 1e-12 || q < -0.5 {
+		t.Fatalf("trivial modularity %v", q)
+	}
+}
+
+func TestLabelPropagationOnPlanted(t *testing.T) {
+	g := planted(t, 50, 8, 3, 13)
+	labels, count := LabelPropagation(randx.New(14), g, 20)
+	if count < 1 {
+		t.Fatal("no communities")
+	}
+	if q := Modularity(g, labels); q < 0.25 {
+		t.Fatalf("LPA modularity %.3f too low", q)
+	}
+}
+
+func TestCategoriesFromCommunities(t *testing.T) {
+	g := planted(t, 40, 6, 4, 15)
+	labels, count := Detect(randx.New(16), g, Config{})
+	k, err := CategoriesFromCommunities(g, labels, count, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasCategories() {
+		t.Fatal("categories not installed")
+	}
+	if k != g.NumCategories() {
+		t.Fatal("k mismatch")
+	}
+	if k != min(count, 1)+boolToInt(count > 1) {
+		t.Fatalf("k = %d for count = %d, keep = 1", k, count)
+	}
+	// Category 0 must be the largest community.
+	if count > 1 && g.CategorySize(0) < g.CategorySize(1) {
+		t.Fatal("largest community must come first")
+	}
+	if count > 1 && g.CategoryName(int32(k-1)) != "rest" {
+		t.Fatalf("last category %q, want rest", g.CategoryName(int32(k-1)))
+	}
+}
+
+func TestCategoriesFromCommunitiesKeepAll(t *testing.T) {
+	g := planted(t, 30, 4, 3, 17)
+	labels, count := Detect(randx.New(18), g, Config{})
+	k, err := CategoriesFromCommunities(g, labels, count, count+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != count {
+		t.Fatalf("keep > count must give k = count: %d vs %d", k, count)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

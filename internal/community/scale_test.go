@@ -1,0 +1,35 @@
+package community
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/randx"
+)
+
+// TestDetectScalesToManyCommunities is the regression test for the
+// fine-tuning stage: on a 16K-node planted-partition graph with 120
+// communities and heavy-tailed degrees, recursive bisection with refinement
+// must recover a large share of the structure (the §6.3.1 setting needs 50+
+// communities on graphs this size and larger).
+func TestDetectScalesToManyCommunities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second detection test")
+	}
+	g, err := gen.Social(randx.New(5), gen.SocialConfig{
+		N: 16000, MeanDeg: 25, Dist: gen.Lognormal, Shape: 1.1,
+		Comms: 120, CommZipf: 0.8, Mixing: 0.3, Connect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := Detect(randx.New(6), g, Config{MaxCommunities: 70, MinSize: 50, MaxIter: 200})
+	q := Modularity(g, labels)
+	t.Logf("found %d communities, Q=%.3f", count, q)
+	if count < 40 {
+		t.Fatalf("found only %d communities, want >= 40", count)
+	}
+	if q < 0.45 {
+		t.Fatalf("modularity %.3f, want >= 0.45", q)
+	}
+}

@@ -1,0 +1,165 @@
+// Package core implements the paper's contribution: design-based estimators
+// of the category graph — category sizes |A| and category edge weights
+// w(A,B) = |E_{A,B}|/(|A|·|B|) — from a probability sample of nodes.
+//
+// Two measurement scenarios are supported (§3.2): induced subgraph sampling
+// (only the sampled nodes and the edges among them are seen) and star
+// sampling (the categories of all neighbors of each sampled node are seen as
+// well). For each scenario, both the uniform estimators of §4 and the
+// Hansen–Hurwitz re-weighted estimators of §5 are provided; the uniform
+// forms are the w(v) ≡ 1 special case of the weighted forms, and the
+// implementation computes the general form throughout.
+//
+// Estimator ↔ equation map (see also DESIGN.md):
+//
+//	SizeInduced            Eq. (4) uniform / Eq. (11) weighted
+//	SizeStar               Eq. (5)+(6)+(7) / Eq. (12)+(13)+(14)
+//	SizeStarPooledDegree   footnote-4 model-based variant (k̂_A := k̂_V)
+//	WeightsInduced         Eq. (8) / Eq. (15)
+//	WeightsStar            Eq. (9) / Eq. (16)
+//	PopulationSize         §4.3, the collision estimator of Katzir et al. [33]
+//	Bootstrap              §5.3.2, resampling variance estimation [9]
+//
+// All estimators consume a sample.Observation and never touch the underlying
+// graph, mirroring the information constraints of the sampling designs. The
+// consistency proofs of the paper's Appendix are exercised empirically by
+// this package's tests (census samples recover exact values; errors shrink
+// as the sample grows).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+// SizeInduced estimates every category size |A| under induced subgraph
+// sampling: Eq. (4) for uniform samples and its Hansen–Hurwitz form Eq. (11)
+// for weighted samples,
+//
+//	|Â| = N · w⁻¹(S_A) / w⁻¹(S).
+//
+// N is the population size |V| (pass 1 to estimate relative sizes, §4.3).
+// Categories with no sampled member estimate to 0.
+func SizeInduced(o *sample.Observation, N float64) []float64 {
+	_, rew := o.CategoryDrawCounts()
+	total := o.TotalReweighted()
+	out := make([]float64, o.K)
+	if total == 0 {
+		return out
+	}
+	for c := range out {
+		out[c] = N * rew[c] / total
+	}
+	return out
+}
+
+// MeanDegrees returns the estimated global mean degree k̂_V and per-category
+// mean degrees k̂_A of Eq. (6) (uniform) / Eq. (14) (weighted). Categories
+// with no sampled member get NaN. Star observations only.
+func MeanDegrees(o *sample.Observation) (kV float64, kA []float64, err error) {
+	if !o.Star {
+		return 0, nil, fmt.Errorf("core: MeanDegrees requires a star observation")
+	}
+	var num float64
+	numA := make([]float64, o.K)
+	_, rew := o.CategoryDrawCounts()
+	for i := range o.Nodes {
+		t := o.Mult[i] * o.Deg[i] / o.Weight[i]
+		num += t
+		if c := o.Cat[i]; c != graph.None {
+			numA[c] += t
+		}
+	}
+	total := o.TotalReweighted()
+	if total == 0 {
+		return math.NaN(), nil, fmt.Errorf("core: empty observation")
+	}
+	kV = num / total
+	kA = make([]float64, o.K)
+	for c := range kA {
+		if rew[c] == 0 {
+			kA[c] = math.NaN()
+			continue
+		}
+		kA[c] = numA[c] / rew[c]
+	}
+	return kV, kA, nil
+}
+
+// VolumeFractions returns the star-based estimates f̂vol_A of Eq. (7)
+// (uniform) / Eq. (13) (weighted): the share of neighbor-endpoints observed
+// in each category among all observed neighbor-endpoints.
+func VolumeFractions(o *sample.Observation) ([]float64, error) {
+	if !o.Star {
+		return nil, fmt.Errorf("core: VolumeFractions requires a star observation")
+	}
+	var den float64
+	num := make([]float64, o.K)
+	for i := range o.Nodes {
+		den += o.Mult[i] * o.Deg[i] / o.Weight[i]
+		for j := o.NbrOff[i]; j < o.NbrOff[i+1]; j++ {
+			num[o.NbrCat[j]] += o.Mult[i] / o.Weight[i] * o.NbrCnt[j]
+		}
+	}
+	out := make([]float64, o.K)
+	if den == 0 {
+		return out, nil
+	}
+	for c := range out {
+		out[c] = num[c] / den
+	}
+	return out, nil
+}
+
+// SizeStar estimates every category size via star sampling, Eq. (5)/(12):
+//
+//	|Â| = N · f̂vol_A · k̂_V / k̂_A.
+//
+// When a category was never sampled directly but neighbors in it were
+// observed (so f̂vol_A > 0 while k̂_A is undefined), the estimator falls
+// back to the model-based k̂_A := k̂_V variant of the paper's footnote 4 for
+// that category, which keeps the estimate finite at small sample sizes.
+// Categories with no observed mass at all estimate to 0.
+func SizeStar(o *sample.Observation, N float64) ([]float64, error) {
+	fvol, err := VolumeFractions(o)
+	if err != nil {
+		return nil, err
+	}
+	kV, kA, err := MeanDegrees(o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, o.K)
+	for c := range out {
+		switch {
+		case fvol[c] == 0:
+			out[c] = 0
+		case math.IsNaN(kA[c]) || kA[c] == 0:
+			out[c] = N * fvol[c] // footnote-4 fallback: k̂_A := k̂_V
+		default:
+			out[c] = N * fvol[c] * kV / kA[c]
+		}
+	}
+	return out, nil
+}
+
+// SizeStarPooledDegree is the fully model-based variant of footnote 4: it
+// sets k̂_A := k̂_V for every category, trading bias for variance:
+//
+//	|Â| = N · f̂vol_A.
+//
+// It remains usable even when no sampled vertex fell in A.
+func SizeStarPooledDegree(o *sample.Observation, N float64) ([]float64, error) {
+	fvol, err := VolumeFractions(o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, o.K)
+	for c := range out {
+		out[c] = N * fvol[c]
+	}
+	return out, nil
+}

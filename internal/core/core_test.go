@@ -1,0 +1,506 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// fig1 builds a fully categorized 9-node graph in the spirit of the paper's
+// Figure 1: categories white {0,1,2}, gray {3,4,5}, black {6,7,8}.
+func fig1(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(9)
+	edges := [][2]int32{
+		{0, 6}, {1, 7}, {2, 6}, // white-black (3)
+		{6, 3},                         // black-gray (1)
+		{0, 3}, {1, 3}, {1, 4}, {2, 4}, // white-gray (4)
+		{0, 1}, {7, 8}, {3, 4}, // intra
+		{5, 4}, {5, 8}, // gray-gray + gray-black
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := []int32{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	if err := g.SetCategories(cat, 3, []string{"white", "gray", "black"}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// census returns the uniform sample containing every node exactly once.
+func census(g *graph.Graph) *sample.Sample {
+	nodes := make([]int32, g.N())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	return &sample.Sample{Nodes: nodes}
+}
+
+func TestCensusSizeInducedExact(t *testing.T) {
+	g := fig1(t)
+	o, err := sample.ObserveInduced(g, census(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := SizeInduced(o, float64(g.N()))
+	for c := int32(0); c < 3; c++ {
+		if want := float64(g.CategorySize(c)); sizes[c] != want {
+			t.Errorf("category %d: %v, want %v", c, sizes[c], want)
+		}
+	}
+}
+
+func TestCensusStarComponentsExact(t *testing.T) {
+	g := fig1(t)
+	o, err := sample.ObserveStar(g, census(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kV, kA, err := MeanDegrees(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.MeanDegree(); math.Abs(kV-want) > 1e-12 {
+		t.Errorf("kV = %v, want %v", kV, want)
+	}
+	for c := int32(0); c < 3; c++ {
+		want := float64(g.CategoryVolume(c)) / float64(g.CategorySize(c))
+		if math.Abs(kA[c]-want) > 1e-12 {
+			t.Errorf("kA[%d] = %v, want %v", c, kA[c], want)
+		}
+	}
+	fvol, err := VolumeFractions(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := int32(0); c < 3; c++ {
+		want := float64(g.CategoryVolume(c)) / float64(g.Volume())
+		if math.Abs(fvol[c]-want) > 1e-12 {
+			t.Errorf("fvol[%d] = %v, want %v", c, fvol[c], want)
+		}
+	}
+	sizes, err := SizeStar(o, float64(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := int32(0); c < 3; c++ {
+		if want := float64(g.CategorySize(c)); math.Abs(sizes[c]-want) > 1e-9 {
+			t.Errorf("star size[%d] = %v, want %v", c, sizes[c], want)
+		}
+	}
+}
+
+func TestCensusWeightsInducedExact(t *testing.T) {
+	g := fig1(t)
+	o, err := sample.ObserveInduced(g, census(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WeightsInduced(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := int32(0); a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if want := g.TrueWeight(a, b); math.Abs(w.Get(a, b)-want) > 1e-12 {
+				t.Errorf("w(%d,%d) = %v, want %v", a, b, w.Get(a, b), want)
+			}
+			if w.Get(a, b) != w.Get(b, a) {
+				t.Error("PairWeights must be symmetric")
+			}
+		}
+	}
+}
+
+func TestCensusWeightsStarExact(t *testing.T) {
+	g := fig1(t)
+	o, err := sample.ObserveStar(g, census(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := SizeStar(o, float64(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WeightsStar(o, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := int32(0); a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if want := g.TrueWeight(a, b); math.Abs(w.Get(a, b)-want) > 1e-9 {
+				t.Errorf("star w(%d,%d) = %v, want %v", a, b, w.Get(a, b), want)
+			}
+		}
+	}
+}
+
+func TestUniformEqualsConstantWeights(t *testing.T) {
+	// Scaling all sampling weights by a constant must not change any
+	// estimate: the uniform estimators of §4 are the w≡c case of §5.
+	g := fig1(t)
+	nodes := []int32{0, 2, 3, 6, 6, 8, 1}
+	su := &sample.Sample{Nodes: nodes}
+	sw := &sample.Sample{Nodes: nodes, Weights: []float64{7, 7, 7, 7, 7, 7, 7}}
+	for _, star := range []bool{false, true} {
+		ou, err := sample.Subsample(g, su, len(nodes), star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ow, err := sample.Subsample(g, sw, len(nodes), star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := Estimate(ou, Options{N: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := Estimate(ow, Options{N: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 3; c++ {
+			if stats.RelErr(ru.Sizes[c], rw.Sizes[c]) > 1e-12 {
+				t.Errorf("star=%v: size[%d] %v != %v", star, c, ru.Sizes[c], rw.Sizes[c])
+			}
+		}
+		ru.Weights.ForEach(func(a, b int32, w float64) {
+			if stats.RelErr(w, rw.Weights.Get(a, b)) > 1e-12 {
+				t.Errorf("star=%v: w(%d,%d) %v != %v", star, a, b, w, rw.Weights.Get(a, b))
+			}
+		})
+	}
+}
+
+func TestMultiplicityCountsTwice(t *testing.T) {
+	// §4.2.1: "when S contains the same node multiple times, we count any
+	// corresponding sampled edges multiple times as well". Sample white
+	// node 0 twice alongside black node 6: the numerator of Eq. (8) counts
+	// the {0,6} edge twice, the denominator |S_A|·|S_B| = 2·1.
+	g := fig1(t)
+	o, err := sample.ObserveInduced(g, &sample.Sample{Nodes: []int32{0, 0, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WeightsInduced(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Get(0, 2); got != 1.0 {
+		t.Fatalf("w(white,black) = %v, want 2/2 = 1", got)
+	}
+	sizes := SizeInduced(o, 9)
+	if sizes[0] != 9*2.0/3.0 {
+		t.Fatalf("size(white) = %v, want 6 (2 of 3 draws)", sizes[0])
+	}
+}
+
+func TestHansenHurwitzCorrectsDegreeBias(t *testing.T) {
+	// A degree-proportional independence sample (what RW converges to) is
+	// heavily biased toward the dense category; the weighted estimators
+	// must undo the bias. Built on a paper-model graph with a dense small
+	// category and a sparse large one.
+	r := randx.New(42)
+	g, err := gen.Paper(r, gen.PaperConfig{Sizes: []int64{300, 3000}, K: 10, Alpha: 0.3, Connect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wis, err := sample.NewDegreeWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wis.Sample(r, g, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oInd, err := sample.ObserveInduced(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oStar, err := sample.ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := float64(g.N())
+	indSizes := SizeInduced(oInd, N)
+	starSizes, err := SizeStar(oStar, N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := int32(0); c < 2; c++ {
+		want := float64(g.CategorySize(c))
+		if e := stats.RelErr(indSizes[c], want); e > 0.05 {
+			t.Errorf("induced size[%d] = %v, want %v (rel err %.3f)", c, indSizes[c], want, e)
+		}
+		if e := stats.RelErr(starSizes[c], want); e > 0.05 {
+			t.Errorf("star size[%d] = %v, want %v (rel err %.3f)", c, starSizes[c], want, e)
+		}
+	}
+	wInd, err := WeightsInduced(oInd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wStar, err := WeightsStar(oStar, starSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.TrueWeight(0, 1)
+	if e := stats.RelErr(wInd.Get(0, 1), want); e > 0.15 {
+		t.Errorf("induced w = %v, want %v (rel err %.3f)", wInd.Get(0, 1), want, e)
+	}
+	if e := stats.RelErr(wStar.Get(0, 1), want); e > 0.05 {
+		t.Errorf("star w = %v, want %v (rel err %.3f)", wStar.Get(0, 1), want, e)
+	}
+}
+
+func TestSizeStarFallbackWithoutDirectDraws(t *testing.T) {
+	// Black node 8 is a neighbor of gray node 5. Sampling only node 5 gives
+	// no draw in black, yet star sampling sees black mass: the footnote-4
+	// fallback must produce a finite positive size.
+	g := fig1(t)
+	o, err := sample.ObserveStar(g, &sample.Sample{Nodes: []int32{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := SizeStar(o, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sizes[2]) || sizes[2] <= 0 {
+		t.Fatalf("size(black) = %v, want finite positive fallback", sizes[2])
+	}
+	// A category with no observed mass at all estimates to 0.
+	if sizes[0] != 0 {
+		t.Fatalf("size(white) = %v, want 0 (never observed)", sizes[0])
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	g := fig1(t)
+	oInd, _ := sample.ObserveInduced(g, census(g))
+	oStar, _ := sample.ObserveStar(g, census(g))
+	if _, err := WeightsInduced(oStar); err == nil {
+		t.Error("WeightsInduced must reject star observations")
+	}
+	if _, err := WeightsStar(oInd, make([]float64, 3)); err == nil {
+		t.Error("WeightsStar must reject induced observations")
+	}
+	if _, _, err := MeanDegrees(oInd); err == nil {
+		t.Error("MeanDegrees must reject induced observations")
+	}
+	if _, err := VolumeFractions(oInd); err == nil {
+		t.Error("VolumeFractions must reject induced observations")
+	}
+	if _, err := SizeStar(oInd, 9); err == nil {
+		t.Error("SizeStar must reject induced observations")
+	}
+	if _, err := WeightsStar(oStar, make([]float64, 2)); err == nil {
+		t.Error("WeightsStar must validate the size slice length")
+	}
+}
+
+func TestEstimateAutoSelection(t *testing.T) {
+	g := fig1(t)
+	oInd, _ := sample.ObserveInduced(g, census(g))
+	oStar, _ := sample.ObserveStar(g, census(g))
+	rInd, err := Estimate(oInd, Options{N: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rInd.SizeMethod != SizeMethodInduced || rInd.WeightKind != "induced" {
+		t.Fatalf("auto on induced chose %v/%v", rInd.SizeMethod, rInd.WeightKind)
+	}
+	rStar, err := Estimate(oStar, Options{N: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rStar.SizeMethod != SizeMethodStar || rStar.WeightKind != "star" {
+		t.Fatalf("auto on star chose %v/%v", rStar.SizeMethod, rStar.WeightKind)
+	}
+	// Relative mode: N omitted.
+	rel, err := Estimate(oInd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.N != 1 {
+		t.Fatalf("relative mode N = %v", rel.N)
+	}
+	if stats.RelErr(rel.Sizes[0], 1.0/3.0) > 1e-12 {
+		t.Fatalf("relative size = %v, want 1/3", rel.Sizes[0])
+	}
+	// Mismatched explicit method.
+	if _, err := Estimate(oInd, Options{Size: SizeMethodStar}); err == nil {
+		t.Error("star size method on induced observation must fail")
+	}
+	if _, err := Estimate(oInd, Options{Size: SizeMethod(99)}); err == nil {
+		t.Error("unknown size method must fail")
+	}
+}
+
+func TestPairWeights(t *testing.T) {
+	p := NewPairWeights(5)
+	p.Set(3, 1, 0.5)
+	if p.Get(1, 3) != 0.5 || p.Get(3, 1) != 0.5 {
+		t.Fatal("unordered access broken")
+	}
+	p.Add(1, 3, 0.25)
+	if p.Get(1, 3) != 0.75 {
+		t.Fatal("Add broken")
+	}
+	if p.Get(0, 4) != 0 {
+		t.Fatal("missing pair must be 0")
+	}
+	if p.Len() != 1 {
+		t.Fatal("Len broken")
+	}
+	visited := 0
+	p.ForEach(func(a, b int32, w float64) {
+		visited++
+		if a != 1 || b != 3 || w != 0.75 {
+			t.Fatalf("ForEach yielded (%d,%d,%v)", a, b, w)
+		}
+	})
+	if visited != 1 {
+		t.Fatal("ForEach count")
+	}
+}
+
+func TestPopulationSizeUIS(t *testing.T) {
+	r := randx.New(17)
+	g, err := gen.GNM(r, 1000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sample.UIS{}.Sample(r, g, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nhat := PopulationSize(s)
+	if e := stats.RelErr(nhat, 1000); e > 0.15 {
+		t.Fatalf("N̂ = %v, want ≈1000 (rel err %.3f)", nhat, e)
+	}
+	// Both estimators coincide exactly under uniform weights.
+	if stats.RelErr(PopulationSizeHH(s), nhat) > 1e-9 {
+		t.Fatal("HH variant must equal Katzir under uniform sampling")
+	}
+}
+
+func TestPopulationSizeWeighted(t *testing.T) {
+	r := randx.New(23)
+	g, err := gen.Social(r, gen.SocialConfig{N: 2000, MeanDeg: 12, Dist: gen.PowerLaw, Shape: 2.5, Comms: 10, Mixing: 0.3, Connect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wis, err := sample.NewDegreeWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wis.Sample(r, g, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelErr(PopulationSize(s), 2000); e > 0.2 {
+		t.Fatalf("Katzir N̂ = %v (rel err %.3f)", PopulationSize(s), e)
+	}
+	if e := stats.RelErr(PopulationSizeHH(s), 2000); e > 0.25 {
+		t.Fatalf("HH N̂ = %v (rel err %.3f)", PopulationSizeHH(s), e)
+	}
+}
+
+func TestPopulationSizeDegenerate(t *testing.T) {
+	if !math.IsInf(PopulationSize(&sample.Sample{Nodes: []int32{1}}), 1) {
+		t.Error("n<2 must be +Inf")
+	}
+	if !math.IsInf(PopulationSize(&sample.Sample{Nodes: []int32{1, 2, 3}}), 1) {
+		t.Error("no collisions must be +Inf")
+	}
+	if !math.IsInf(PopulationSizeHH(&sample.Sample{Nodes: []int32{1, 2}}), 1) {
+		t.Error("HH: no collisions must be +Inf")
+	}
+}
+
+func TestBootstrapSizeEstimator(t *testing.T) {
+	g := fig1(t)
+	r := randx.New(31)
+	s, err := sample.UIS{}.Sample(r, g, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := sample.ObserveInduced(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := SizeInduced(o, 9)[0]
+	mean, sd := Bootstrap(r, o, 200, func(ob *sample.Observation) float64 {
+		return SizeInduced(ob, 9)[0]
+	})
+	if math.Abs(mean-point) > 0.3 {
+		t.Fatalf("bootstrap mean %v far from point estimate %v", mean, point)
+	}
+	if sd <= 0 || sd > 1.5 {
+		t.Fatalf("bootstrap sd %v implausible", sd)
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	r := randx.New(1)
+	o := &sample.Observation{}
+	if m, _ := Bootstrap(r, o, 10, func(*sample.Observation) float64 { return 1 }); !math.IsNaN(m) {
+		t.Error("empty observation must give NaN")
+	}
+}
+
+func TestConsistencyErrorShrinks(t *testing.T) {
+	// Empirical check of the Appendix: NRMSE at |S|=8000 must be well below
+	// NRMSE at |S|=250 for all four estimator families under UIS.
+	r := randx.New(57)
+	g, err := gen.Paper(r, gen.PaperConfig{Sizes: []int64{200, 400, 800}, K: 8, Alpha: 0.5, Connect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := float64(g.N())
+	truthSize := float64(g.CategorySize(0))
+	truthW := g.TrueWeight(1, 2)
+	reps := 40
+	errAt := func(n int) (sizeInd, sizeStar, wInd, wStar float64) {
+		eSI := stats.NewNRMSE(truthSize)
+		eSS := stats.NewNRMSE(truthSize)
+		eWI := stats.NewNRMSE(truthW)
+		eWS := stats.NewNRMSE(truthW)
+		for rep := 0; rep < reps; rep++ {
+			rr := randx.Derive(91, uint64(n*1000+rep))
+			s, err := sample.UIS{}.Sample(rr, g, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oi, _ := sample.ObserveInduced(g, s)
+			os, _ := sample.ObserveStar(g, s)
+			eSI.Add(SizeInduced(oi, N)[0])
+			ss, _ := SizeStar(os, N)
+			eSS.Add(ss[0])
+			wi, _ := WeightsInduced(oi)
+			eWI.Add(wi.Get(1, 2))
+			ws, _ := WeightsStar(os, ss)
+			eWS.Add(ws.Get(1, 2))
+		}
+		return eSI.Value(), eSS.Value(), eWI.Value(), eWS.Value()
+	}
+	a1, a2, a3, a4 := errAt(250)
+	b1, b2, b3, b4 := errAt(8000)
+	for i, pair := range [][2]float64{{a1, b1}, {a2, b2}, {a3, b3}, {a4, b4}} {
+		small, big := pair[1], pair[0]
+		if !(small < big*0.6) {
+			t.Errorf("estimator %d: NRMSE did not shrink (%.4f → %.4f)", i, big, small)
+		}
+	}
+}

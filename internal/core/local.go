@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+// Local graph-property estimators (§1 of the paper cites these as the
+// well-understood counterpart of coarse-grained topology estimation; they
+// are included so the library covers the full measurement workflow).
+// All are Hansen–Hurwitz corrected, so they are consistent under both
+// uniform and weighted designs.
+
+// DegreeDistribution estimates the degree distribution P(deg = d) from a
+// star observation: each draw contributes mass 1/w(v) at its degree.
+// The returned slice is indexed by degree and sums to 1.
+func DegreeDistribution(o *sample.Observation) ([]float64, error) {
+	if !o.Star {
+		return nil, fmt.Errorf("core: DegreeDistribution requires a star observation (induced sampling does not reveal degrees)")
+	}
+	maxDeg := 0
+	for i := range o.Nodes {
+		if d := int(o.Deg[i]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	dist := make([]float64, maxDeg+1)
+	var total float64
+	for i := range o.Nodes {
+		m := o.Mult[i] / o.Weight[i]
+		dist[int(o.Deg[i])] += m
+		total += m
+	}
+	if total == 0 {
+		return dist, nil
+	}
+	for d := range dist {
+		dist[d] /= total
+	}
+	return dist, nil
+}
+
+// CategoryFractions estimates the relative category sizes f_A = |A|/N
+// (node attribute frequency, the simplest local property). It works under
+// both scenarios.
+func CategoryFractions(o *sample.Observation) []float64 {
+	return SizeInduced(o, 1)
+}
+
+// MeanDegree estimates k_V, the average node degree, from a star
+// observation (Eq. (6)/(14)).
+func MeanDegree(o *sample.Observation) (float64, error) {
+	kV, _, err := MeanDegrees(o)
+	return kV, err
+}
+
+// UncategorizedFraction estimates the share of nodes that belong to no
+// category (the paper's 2009 Facebook regional categories cover only 34% of
+// users; the complement is this quantity).
+func UncategorizedFraction(o *sample.Observation) float64 {
+	var none, total float64
+	for i := range o.Nodes {
+		m := o.Mult[i] / o.Weight[i]
+		total += m
+		if o.Cat[i] == graph.None {
+			none += m
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return none / total
+}

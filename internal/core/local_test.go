@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+func TestDegreeDistributionCensusExact(t *testing.T) {
+	g := fig1(t)
+	o, err := sample.ObserveStar(g, census(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DegreeDistribution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := g.DegreeHistogram()
+	for d, cnt := range hist {
+		want := float64(cnt) / float64(g.N())
+		if d >= len(dist) {
+			if cnt != 0 {
+				t.Fatalf("degree %d missing from estimate", d)
+			}
+			continue
+		}
+		if math.Abs(dist[d]-want) > 1e-12 {
+			t.Errorf("P(deg=%d) = %v, want %v", d, dist[d], want)
+		}
+	}
+}
+
+func TestDegreeDistributionCorrectsWalkBias(t *testing.T) {
+	// RW oversamples high degrees; the HH-corrected estimator must recover
+	// the true distribution while the uncorrected frequency must not.
+	r := randx.New(91)
+	g, err := gen.Social(r, gen.SocialConfig{
+		N: 4000, MeanDeg: 8, Dist: gen.PowerLaw, Shape: 2.4,
+		Comms: 8, Mixing: 0.4, Connect: true, SetAsCats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sample.NewRW(1000).Sample(r, g, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := sample.ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DegreeDistribution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := g.DegreeHistogram()
+	// Compare the mass of low-degree nodes (where the bias is largest).
+	var wantLow, gotLow, rawLow, draws float64
+	for d := 0; d <= 3 && d < len(hist); d++ {
+		wantLow += float64(hist[d]) / float64(g.N())
+		if d < len(dist) {
+			gotLow += dist[d]
+		}
+	}
+	for i := range o.Nodes {
+		draws += o.Mult[i]
+		if o.Deg[i] <= 3 {
+			rawLow += o.Mult[i]
+		}
+	}
+	rawLow /= draws
+	if e := stats.RelErr(gotLow, wantLow); e > 0.1 {
+		t.Fatalf("corrected low-degree mass %v vs true %v (rel err %.3f)", gotLow, wantLow, e)
+	}
+	if rawLow > 0.8*wantLow {
+		t.Fatalf("raw frequency %v not biased below truth %v — test graph too homogeneous", rawLow, wantLow)
+	}
+}
+
+func TestDegreeDistributionRequiresStar(t *testing.T) {
+	g := fig1(t)
+	o, _ := sample.ObserveInduced(g, census(g))
+	if _, err := DegreeDistribution(o); err == nil {
+		t.Fatal("induced observation must be rejected")
+	}
+}
+
+func TestCategoryFractionsAndMeanDegree(t *testing.T) {
+	g := fig1(t)
+	o, err := sample.ObserveStar(g, census(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := CategoryFractions(o)
+	for c := int32(0); c < 3; c++ {
+		want := float64(g.CategorySize(c)) / float64(g.N())
+		if math.Abs(fr[c]-want) > 1e-12 {
+			t.Errorf("f_%d = %v, want %v", c, fr[c], want)
+		}
+	}
+	kv, err := MeanDegree(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kv-g.MeanDegree()) > 1e-12 {
+		t.Errorf("k_V = %v, want %v", kv, g.MeanDegree())
+	}
+}
+
+func TestUncategorizedFraction(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g, _ := b.Build()
+	if err := g.SetCategories([]int32{0, graph.None, graph.None, 0}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	o, err := sample.ObserveInduced(g, &sample.Sample{Nodes: []int32{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := UncategorizedFraction(o); got != 0.5 {
+		t.Fatalf("uncategorized fraction %v, want 0.5", got)
+	}
+	empty := &sample.Observation{}
+	if !math.IsNaN(UncategorizedFraction(empty)) {
+		t.Fatal("empty observation must give NaN")
+	}
+}

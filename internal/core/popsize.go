@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/sample"
+)
+
+// PopulationSize estimates N = |V| from sample collisions (§4.3), using the
+// weighted "reversed coupon collector" estimator of Katzir, Liberty &
+// Somekh [33]:
+//
+//	N̂ = (n−1)/n · Ψ₁ · Ψ₋₁ / (2C),
+//
+// where Ψ₁ = Σ_i w(x_i), Ψ₋₁ = Σ_i 1/w(x_i) over the n draws, and C is the
+// number of colliding draw pairs (i < j with x_i = x_j). Under a uniform
+// design (w ≡ 1) this reduces to the birthday estimator n(n−1)/(2C).
+//
+// It returns +Inf when no collisions occurred — the sample is too small to
+// say anything about N. For walk-based samples, thin first (§5.4): raw
+// consecutive draws collide for trivial reasons and bias N̂ low.
+func PopulationSize(s *sample.Sample) float64 {
+	n := float64(s.Len())
+	if n < 2 {
+		return math.Inf(1)
+	}
+	var psi1, psiInv float64
+	mult := make(map[int32]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		w := s.Weight(i)
+		psi1 += w
+		psiInv += 1 / w
+		mult[s.Nodes[i]]++
+	}
+	var collisions float64
+	for _, m := range mult {
+		collisions += m * (m - 1) / 2
+	}
+	if collisions == 0 {
+		return math.Inf(1)
+	}
+	return (n - 1) / n * psi1 * psiInv / (2 * collisions)
+}
+
+// PopulationSizeHH is a Hansen–Hurwitz flavoured alternative that re-weights
+// each colliding pair by 1/w(v)²:
+//
+//	N̂ = (n−1)/(2n) · (Σ_i 1/w(x_i))² / Σ_v C(m_v,2)/w(v)²,
+//
+// which is likewise consistent (both reduce to the birthday estimator under
+// uniform sampling) but weights collisions at low-probability nodes more
+// heavily. Exposed for the ablation study; returns +Inf without collisions.
+func PopulationSizeHH(s *sample.Sample) float64 {
+	n := float64(s.Len())
+	if n < 2 {
+		return math.Inf(1)
+	}
+	var psiInv float64
+	mult := make(map[int32]float64, s.Len())
+	weight := make(map[int32]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		w := s.Weight(i)
+		psiInv += 1 / w
+		mult[s.Nodes[i]]++
+		weight[s.Nodes[i]] = w
+	}
+	var r float64
+	for v, m := range mult {
+		w := weight[v]
+		r += m * (m - 1) / 2 / (w * w)
+	}
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return (n - 1) / (2 * n) * psiInv * psiInv / r
+}
+
+// Bootstrap resamples the draws of o with replacement B times and reports
+// the mean and standard deviation of statistic over the resamples — the
+// §5.3.2 recipe for choosing between the Eq. (4)/(11) and Eq. (5)/(12) size
+// plug-ins inside Eq. (16). The observation passed to statistic shares the
+// node arrays of o but carries resampled multiplicities; statistic must not
+// retain it.
+func Bootstrap(r *rand.Rand, o *sample.Observation, B int, statistic func(*sample.Observation) float64) (mean, sd float64) {
+	if o.Draws == 0 || B <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	// Expand the multiplicity vector into a per-draw index list once.
+	drawIdx := make([]int32, 0, o.Draws)
+	for i := range o.Nodes {
+		for k := 0; k < int(o.Mult[i]); k++ {
+			drawIdx = append(drawIdx, int32(i))
+		}
+	}
+	clone := *o
+	var m, m2, cnt float64
+	mult := make([]float64, len(o.Mult))
+	for b := 0; b < B; b++ {
+		for i := range mult {
+			mult[i] = 0
+		}
+		for k := 0; k < len(drawIdx); k++ {
+			mult[drawIdx[r.IntN(len(drawIdx))]]++
+		}
+		clone.Mult = mult
+		x := statistic(&clone)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		m += x
+		m2 += x * x
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN(), math.NaN()
+	}
+	mean = m / cnt
+	v := m2/cnt - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}

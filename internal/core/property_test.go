@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// randomCase builds a random fully-categorized graph and a random weighted
+// sample over it, for property tests.
+func randomCase(seed uint64) (*graph.Graph, *sample.Sample, bool) {
+	r := randx.New(seed)
+	n := r.IntN(40) + 6
+	k := r.IntN(3) + 2
+	b := graph.NewBuilder(n)
+	for i := 0; i < 3*n; i++ {
+		b.AddEdge(int32(r.IntN(n)), int32(r.IntN(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, false
+	}
+	cat := make([]int32, n)
+	for v := range cat {
+		cat[v] = int32(r.IntN(k))
+	}
+	if err := g.SetCategories(cat, k, nil); err != nil {
+		return nil, nil, false
+	}
+	draws := r.IntN(60) + 5
+	s := &sample.Sample{Nodes: make([]int32, draws), Weights: make([]float64, draws)}
+	perNode := make([]float64, n)
+	for v := range perNode {
+		perNode[v] = 0.25 + 2*r.Float64() // fixed positive weight per node
+	}
+	for i := range s.Nodes {
+		v := int32(r.IntN(n))
+		s.Nodes[i] = v
+		s.Weights[i] = perNode[v]
+	}
+	return g, s, true
+}
+
+// TestPropertySizesSumToN: with a fully categorized graph, the induced size
+// estimates always sum exactly to N — the estimator distributes the
+// population, it never invents mass.
+func TestPropertySizesSumToN(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, s, ok := randomCase(seed)
+		if !ok {
+			return true
+		}
+		o, err := sample.ObserveInduced(g, s)
+		if err != nil {
+			return false
+		}
+		N := float64(g.N())
+		sizes := SizeInduced(o, N)
+		var sum float64
+		for _, x := range sizes {
+			sum += x
+		}
+		return math.Abs(sum-N) < 1e-9*N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInducedWeightInUnitInterval: ŵ_induced(A,B) ∈ [0,1] for any
+// sample and any weights — the observed edge mass can never exceed the
+// observed pair mass.
+func TestPropertyInducedWeightInUnitInterval(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, s, ok := randomCase(seed)
+		if !ok {
+			return true
+		}
+		o, err := sample.ObserveInduced(g, s)
+		if err != nil {
+			return false
+		}
+		w, err := WeightsInduced(o)
+		if err != nil {
+			return false
+		}
+		good := true
+		w.ForEach(func(a, b int32, x float64) {
+			if x < 0 || x > 1+1e-12 || math.IsNaN(x) {
+				good = false
+			}
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyVolumeFractionsSumBounded: star volume fractions are
+// non-negative and sum to ≤ 1 (uncategorized neighbors absorb the rest).
+func TestPropertyVolumeFractions(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, s, ok := randomCase(seed)
+		if !ok {
+			return true
+		}
+		o, err := sample.ObserveStar(g, s)
+		if err != nil {
+			return false
+		}
+		fv, err := VolumeFractions(o)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, x := range fv {
+			if x < 0 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return sum <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEstimatesScaleFree: multiplying N scales sizes linearly and
+// divides star weights accordingly (the §4.3 proportionality property).
+func TestPropertyEstimatesScaleFree(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, s, ok := randomCase(seed)
+		if !ok {
+			return true
+		}
+		o, err := sample.ObserveStar(g, s)
+		if err != nil {
+			return false
+		}
+		s1, err := SizeStar(o, 1)
+		if err != nil {
+			return false
+		}
+		s10, err := SizeStar(o, 10)
+		if err != nil {
+			return false
+		}
+		for c := range s1 {
+			if stats.RelErr(10*s1[c], s10[c]) > 1e-9 {
+				return false
+			}
+		}
+		w1, err := WeightsStar(o, s1)
+		if err != nil {
+			return false
+		}
+		w10, err := WeightsStar(o, s10)
+		if err != nil {
+			return false
+		}
+		good := true
+		w1.ForEach(func(a, b int32, x float64) {
+			y := w10.Get(a, b)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return
+			}
+			if stats.RelErr(x, 10*y) > 1e-9 {
+				good = false
+			}
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- within-category density extension ------------------------------------
+
+func TestWithinWeightsCensusExact(t *testing.T) {
+	g := fig1(t)
+	s := census(g)
+	oi, err := sample.ObserveInduced(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi, err := WithinWeightsInduced(oi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := sample.ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := SizeStar(os, float64(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := WithinWeightsStar(os, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := g.CutMatrix()
+	for c := int32(0); c < 3; c++ {
+		sz := float64(g.CategorySize(c))
+		want := float64(cm[c][c]) / (sz * (sz - 1) / 2)
+		if math.Abs(wi[c]-want) > 1e-9 {
+			t.Errorf("induced w(%d,%d) = %v, want %v", c, c, wi[c], want)
+		}
+		if math.Abs(ws[c]-want) > 1e-9 {
+			t.Errorf("star w(%d,%d) = %v, want %v", c, c, ws[c], want)
+		}
+	}
+}
+
+func TestWithinWeightsScenarioValidation(t *testing.T) {
+	g := fig1(t)
+	oi, _ := sample.ObserveInduced(g, census(g))
+	os, _ := sample.ObserveStar(g, census(g))
+	if _, err := WithinWeightsInduced(os); err == nil {
+		t.Error("star observation must be rejected")
+	}
+	if _, err := WithinWeightsStar(oi, make([]float64, 3)); err == nil {
+		t.Error("induced observation must be rejected")
+	}
+	if _, err := WithinWeightsStar(os, make([]float64, 1)); err == nil {
+		t.Error("size length mismatch must be rejected")
+	}
+}
+
+func TestWithinWeightsConvergeUnderSampling(t *testing.T) {
+	g := fig1(t)
+	cm := g.CutMatrix()
+	sz := float64(g.CategorySize(0))
+	want := float64(cm[0][0]) / (sz * (sz - 1) / 2)
+	if want == 0 {
+		t.Skip("no within-category edges in category 0")
+	}
+	acc := stats.NewNRMSE(want)
+	for rep := 0; rep < 60; rep++ {
+		r := randx.Derive(1234, uint64(rep))
+		s, err := sample.UIS{}.Sample(r, g, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := sample.ObserveInduced(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wi, err := WithinWeightsInduced(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(wi[0])
+	}
+	if acc.Value() > 0.2 {
+		t.Fatalf("within-density NRMSE %.3f at |S|=2000 on a 9-node graph", acc.Value())
+	}
+}

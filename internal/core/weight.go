@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+// PairWeights holds estimated (or exact) category-graph edge weights for
+// unordered category pairs {A,B}, A ≠ B. Missing pairs weigh 0.
+type PairWeights struct {
+	K int
+	m map[uint64]float64
+}
+
+// NewPairWeights returns an empty weight table over k categories.
+func NewPairWeights(k int) *PairWeights {
+	return &PairWeights{K: k, m: make(map[uint64]float64)}
+}
+
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// Get returns w(a,b) (0 when the pair was never observed).
+func (p *PairWeights) Get(a, b int32) float64 { return p.m[pairKey(a, b)] }
+
+// Set stores w(a,b).
+func (p *PairWeights) Set(a, b int32, w float64) { p.m[pairKey(a, b)] = w }
+
+// Add accumulates into w(a,b).
+func (p *PairWeights) Add(a, b int32, w float64) { p.m[pairKey(a, b)] += w }
+
+// Len returns the number of stored pairs.
+func (p *PairWeights) Len() int { return len(p.m) }
+
+// ForEach visits every stored pair (a < b) with its weight.
+func (p *PairWeights) ForEach(fn func(a, b int32, w float64)) {
+	for k, w := range p.m {
+		fn(int32(k>>32), int32(k&0xffffffff), w)
+	}
+}
+
+// WeightsInduced estimates all category edge weights under induced subgraph
+// sampling, Eq. (8) (uniform) / Eq. (15) (weighted):
+//
+//	ŵ(A,B) = Σ_{a∈S_A} Σ_{b∈S_B} 1{{a,b}∈E} / (w(a)·w(b))
+//	         ───────────────────────────────────────────────
+//	                    w⁻¹(S_A) · w⁻¹(S_B)
+//
+// Repeated draws count with multiplicity (§4.2.1). Pairs with nothing
+// observed estimate to 0.
+func WeightsInduced(o *sample.Observation) (*PairWeights, error) {
+	if o.Star {
+		return nil, fmt.Errorf("core: WeightsInduced requires an induced observation (star observations do not record G[S])")
+	}
+	_, rew := o.CategoryDrawCounts()
+	num := NewPairWeights(o.K)
+	for _, e := range o.Edges {
+		i, j := e[0], e[1]
+		a, b := o.Cat[i], o.Cat[j]
+		if a == graph.None || b == graph.None || a == b {
+			continue
+		}
+		num.Add(a, b, o.Mult[i]*o.Mult[j]/(o.Weight[i]*o.Weight[j]))
+	}
+	out := NewPairWeights(o.K)
+	num.ForEach(func(a, b int32, n float64) {
+		den := rew[a] * rew[b]
+		if den > 0 {
+			out.Set(a, b, n/den)
+		}
+	})
+	return out, nil
+}
+
+// WeightInduced is the single-pair convenience form of WeightsInduced.
+func WeightInduced(o *sample.Observation, a, b int32) (float64, error) {
+	w, err := WeightsInduced(o)
+	if err != nil {
+		return 0, err
+	}
+	return w.Get(a, b), nil
+}
+
+// WeightsStar estimates all category edge weights under star sampling,
+// Eq. (9) (uniform) / Eq. (16) (weighted):
+//
+//	ŵ(A,B) = ( Σ_{a∈S_A} |E_{a,B}|/w(a) + Σ_{b∈S_B} |E_{b,A}|/w(b) )
+//	         ─────────────────────────────────────────────────────────
+//	                  w⁻¹(S_A)·|B̂|  +  w⁻¹(S_B)·|Â|
+//
+// sizes supplies the plugged-in category size estimates |Â| (§4.2.2 and
+// §5.3.2 allow either Eq. (4)/(11) or Eq. (5)/(12); pass whichever has the
+// smaller variance for the application). Pairs whose denominator is zero
+// while the numerator is positive yield NaN (the observation carries
+// evidence of a cut whose category sizes were estimated as zero — use the
+// star size estimator to avoid this at small sample sizes).
+func WeightsStar(o *sample.Observation, sizes []float64) (*PairWeights, error) {
+	if !o.Star {
+		return nil, fmt.Errorf("core: WeightsStar requires a star observation")
+	}
+	if len(sizes) != o.K {
+		return nil, fmt.Errorf("core: %d size estimates for %d categories", len(sizes), o.K)
+	}
+	_, rew := o.CategoryDrawCounts()
+	num := NewPairWeights(o.K)
+	for i := range o.Nodes {
+		a := o.Cat[i]
+		if a == graph.None {
+			continue
+		}
+		for j := o.NbrOff[i]; j < o.NbrOff[i+1]; j++ {
+			b := o.NbrCat[j]
+			if b == a {
+				continue
+			}
+			num.Add(a, b, o.Mult[i]/o.Weight[i]*o.NbrCnt[j])
+		}
+	}
+	out := NewPairWeights(o.K)
+	num.ForEach(func(a, b int32, n float64) {
+		den := rew[a]*sizes[b] + rew[b]*sizes[a]
+		if den > 0 {
+			out.Set(a, b, n/den)
+		} else if n > 0 {
+			out.Set(a, b, math.NaN())
+		}
+	})
+	return out, nil
+}
+
+// WeightStar is the single-pair convenience form of WeightsStar.
+func WeightStar(o *sample.Observation, a, b int32, sizeA, sizeB float64) (float64, error) {
+	if !o.Star {
+		return 0, fmt.Errorf("core: WeightStar requires a star observation")
+	}
+	sizes := make([]float64, o.K)
+	sizes[a], sizes[b] = sizeA, sizeB
+	w, err := WeightsStar(o, sizes)
+	if err != nil {
+		return 0, err
+	}
+	return w.Get(a, b), nil
+}
+
+// SizeMethod selects the category-size estimator plugged into Estimate and
+// WeightsStar.
+type SizeMethod int
+
+const (
+	// SizeMethodAuto uses the star estimator on star observations and the
+	// induced estimator otherwise.
+	SizeMethodAuto SizeMethod = iota
+	// SizeMethodInduced is Eq. (4)/(11).
+	SizeMethodInduced
+	// SizeMethodStar is Eq. (5)/(12).
+	SizeMethodStar
+	// SizeMethodStarPooled is the footnote-4 variant with k̂_A := k̂_V.
+	SizeMethodStarPooled
+)
+
+// String implements fmt.Stringer.
+func (m SizeMethod) String() string {
+	switch m {
+	case SizeMethodAuto:
+		return "auto"
+	case SizeMethodInduced:
+		return "induced"
+	case SizeMethodStar:
+		return "star"
+	case SizeMethodStarPooled:
+		return "star-pooled"
+	}
+	return fmt.Sprintf("SizeMethod(%d)", int(m))
+}
+
+// Options configures Estimate.
+type Options struct {
+	// N is the population size |V|; 0 means unknown, in which case sizes
+	// and weights are produced up to a constant of proportionality with
+	// N := 1 (§4.3).
+	N float64
+	// Size selects the size estimator.
+	Size SizeMethod
+}
+
+// Result is a complete category-graph estimate.
+type Result struct {
+	// N is the population size used (1 when unknown).
+	N float64
+	// Sizes[c] is the estimated |A| of category c.
+	Sizes []float64
+	// Weights holds the estimated edge weights ŵ(A,B).
+	Weights *PairWeights
+	// SizeMethod and WeightScenario record how the estimate was produced.
+	SizeMethod SizeMethod
+	WeightKind string // "induced" or "star"
+}
+
+// Estimate produces the full category-graph estimate from one observation:
+// category sizes by the selected method and edge weights by the estimator
+// matching the observation's scenario (Eq. 8/15 for induced, Eq. 9/16 for
+// star with the selected size plug-in).
+func Estimate(o *sample.Observation, opts Options) (*Result, error) {
+	N := opts.N
+	if N <= 0 {
+		N = 1
+	}
+	method := opts.Size
+	if method == SizeMethodAuto {
+		if o.Star {
+			method = SizeMethodStar
+		} else {
+			method = SizeMethodInduced
+		}
+	}
+	var sizes []float64
+	var err error
+	switch method {
+	case SizeMethodInduced:
+		sizes = SizeInduced(o, N)
+	case SizeMethodStar:
+		sizes, err = SizeStar(o, N)
+	case SizeMethodStarPooled:
+		sizes, err = SizeStarPooledDegree(o, N)
+	default:
+		err = fmt.Errorf("core: unknown size method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{N: N, Sizes: sizes, SizeMethod: method}
+	if o.Star {
+		res.WeightKind = "star"
+		res.Weights, err = WeightsStar(o, sizes)
+	} else {
+		res.WeightKind = "induced"
+		res.Weights, err = WeightsInduced(o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+// Within-category density estimation is an extension beyond the paper: the
+// category graph of §2.2 deliberately has no self-loops, but the same
+// design-based machinery estimates the internal density
+//
+//	w(A,A) = |E_{A,A}| / C(|A|,2),
+//
+// the probability that two random members of A are connected — the "block
+// density" of the blockmodeling literature the paper connects to in §8.
+// Both scenarios are supported; census samples recover the exact value.
+
+// WithinWeightsInduced estimates w(A,A) for every category from an induced
+// observation. The Hansen–Hurwitz denominator counts the unordered draw
+// pairs inside A whose two draws hit *distinct* nodes (same-node pairs can
+// never be edges): (w⁻¹(S_A)² − Σ_v (m_v/w(v))²)/2, summing over distinct
+// sampled nodes v ∈ A.
+func WithinWeightsInduced(o *sample.Observation) ([]float64, error) {
+	if o.Star {
+		return nil, fmt.Errorf("core: WithinWeightsInduced requires an induced observation")
+	}
+	num := make([]float64, o.K)
+	for _, e := range o.Edges {
+		i, j := e[0], e[1]
+		a := o.Cat[i]
+		if a == graph.None || a != o.Cat[j] {
+			continue
+		}
+		num[a] += o.Mult[i] * o.Mult[j] / (o.Weight[i] * o.Weight[j])
+	}
+	_, rew := o.CategoryDrawCounts()
+	rew2 := make([]float64, o.K)
+	for i, c := range o.Cat {
+		if c == graph.None {
+			continue
+		}
+		t := o.Mult[i] / o.Weight[i]
+		rew2[c] += t * t
+	}
+	out := make([]float64, o.K)
+	for c := range out {
+		den := (rew[c]*rew[c] - rew2[c]) / 2
+		if den > 0 {
+			out[c] = num[c] / den
+		}
+	}
+	return out, nil
+}
+
+// WithinWeightsStar estimates w(A,A) from a star observation: sampling
+// a ∈ A reveals its |E_{a,A}| within-category edges out of a potential
+// |A|−1, giving
+//
+//	ŵ(A,A) = Σ_{a∈S_A} |E_{a,A}|/w(a)  /  ( w⁻¹(S_A) · (|Â|−1) ).
+//
+// sizes supplies the plugged-in size estimates, as in WeightsStar.
+func WithinWeightsStar(o *sample.Observation, sizes []float64) ([]float64, error) {
+	if !o.Star {
+		return nil, fmt.Errorf("core: WithinWeightsStar requires a star observation")
+	}
+	if len(sizes) != o.K {
+		return nil, fmt.Errorf("core: %d size estimates for %d categories", len(sizes), o.K)
+	}
+	num := make([]float64, o.K)
+	for i := range o.Nodes {
+		a := o.Cat[i]
+		if a == graph.None {
+			continue
+		}
+		num[a] += o.Mult[i] / o.Weight[i] * o.NbrCount(i, a)
+	}
+	_, rew := o.CategoryDrawCounts()
+	out := make([]float64, o.K)
+	for c := range out {
+		den := rew[c] * (sizes[c] - 1)
+		if den > 0 {
+			out[c] = num[c] / den
+		}
+	}
+	return out, nil
+}

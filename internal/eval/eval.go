@@ -1,0 +1,226 @@
+// Package eval is the experiment harness behind Sections 6 and 7: it runs
+// replicated estimation sweeps over a grid of sample sizes in parallel,
+// aggregates the Normalized Root Mean Square Error of Eq. (17) per estimated
+// quantity, and renders the resulting series as TSV tables and ASCII log-log
+// plots (the textual counterpart of the paper's figures).
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Config controls a sweep.
+type Config struct {
+	// Seed is the experiment's master seed; every replication derives an
+	// independent stream from it.
+	Seed uint64
+	// Reps is the number of replications per sample size.
+	Reps int
+	// Sizes is the sample-size grid |S|.
+	Sizes []int
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result holds NRMSE curves per quantity over the sample-size grid.
+type Result struct {
+	Sizes []int
+	// NRMSE[key][i] is the error of quantity key at Sizes[i].
+	NRMSE map[string][]float64
+}
+
+// Draw produces one full-length sample for a replication (e.g. one walk, or
+// one UIS batch of maxSize draws).
+type Draw func(r *rand.Rand, maxSize int) (*sample.Sample, error)
+
+// Eval computes the estimated quantities from a sample prefix. Keys must be
+// stable across replications; every key needs an entry in truth.
+type Eval func(s *sample.Sample) (map[string]float64, error)
+
+// Sweep draws Reps independent samples of max(Sizes) draws each, evaluates
+// every quantity on each prefix of the grid, and reports NRMSE against
+// truth. This mirrors the paper's methodology: a crawl is collected once and
+// estimators are applied to its growing prefixes.
+func Sweep(cfg Config, truth map[string]float64, draw Draw, eval Eval) (*Result, error) {
+	if len(cfg.Sizes) == 0 || cfg.Reps <= 0 {
+		return nil, fmt.Errorf("eval: empty size grid or no replications")
+	}
+	maxSize := 0
+	for _, s := range cfg.Sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("eval: invalid sample size %d", s)
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	type repOut struct {
+		rep  int
+		vals []map[string]float64 // per size
+		err  error
+	}
+	jobs := make(chan int)
+	outs := make(chan repOut)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				r := randx.Derive(cfg.Seed, uint64(rep))
+				s, err := draw(r, maxSize)
+				if err != nil {
+					outs <- repOut{rep: rep, err: err}
+					continue
+				}
+				vals := make([]map[string]float64, len(cfg.Sizes))
+				for i, n := range cfg.Sizes {
+					v, err := eval(s.Prefix(n))
+					if err != nil {
+						outs <- repOut{rep: rep, err: err}
+						vals = nil
+						break
+					}
+					vals[i] = v
+				}
+				if vals != nil {
+					outs <- repOut{rep: rep, vals: vals}
+				}
+			}
+		}()
+	}
+	go func() {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			jobs <- rep
+		}
+		close(jobs)
+		wg.Wait()
+		close(outs)
+	}()
+
+	acc := map[string][]*stats.NRMSE{}
+	for key, tv := range truth {
+		cells := make([]*stats.NRMSE, len(cfg.Sizes))
+		for i := range cells {
+			cells[i] = stats.NewNRMSE(tv)
+		}
+		acc[key] = cells
+	}
+	var firstErr error
+	for out := range outs {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("eval: replication %d: %w", out.rep, out.err)
+			}
+			continue
+		}
+		for i, vals := range out.vals {
+			for key, cells := range acc {
+				v, ok := vals[key]
+				if !ok {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("eval: replication %d missing quantity %q", out.rep, key)
+					}
+					continue
+				}
+				cells[i].Add(v)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &Result{Sizes: cfg.Sizes, NRMSE: map[string][]float64{}}
+	for key, cells := range acc {
+		ys := make([]float64, len(cells))
+		for i, c := range cells {
+			ys[i] = c.Value()
+		}
+		res.NRMSE[key] = ys
+	}
+	return res, nil
+}
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Series extracts the NRMSE curve of one quantity.
+func (r *Result) Series(key, name string) Series {
+	ys, ok := r.NRMSE[key]
+	if !ok {
+		return Series{Name: name}
+	}
+	s := Series{Name: name, X: make([]float64, len(r.Sizes)), Y: append([]float64(nil), ys...)}
+	for i, n := range r.Sizes {
+		s.X[i] = float64(n)
+	}
+	return s
+}
+
+// MedianSeries returns, per sample size, the median NRMSE over the
+// quantities selected by the prefix filter (empty = all) — the "median
+// NRMSE across all categories" curves of Fig. 4 and Fig. 6.
+func (r *Result) MedianSeries(name, keyPrefix string) Series {
+	s := Series{Name: name, X: make([]float64, len(r.Sizes)), Y: make([]float64, len(r.Sizes))}
+	keys := r.keysWithPrefix(keyPrefix)
+	for i, n := range r.Sizes {
+		s.X[i] = float64(n)
+		vals := make([]float64, 0, len(keys))
+		for _, k := range keys {
+			vals = append(vals, r.NRMSE[k][i])
+		}
+		s.Y[i] = stats.MedianFinite(vals)
+	}
+	return s
+}
+
+// ValuesAt returns the NRMSE of the selected quantities at one sample size —
+// the per-category CDF data of Fig. 3(d,h).
+func (r *Result) ValuesAt(size int, keyPrefix string) []float64 {
+	idx := -1
+	for i, n := range r.Sizes {
+		if n == size {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	keys := r.keysWithPrefix(keyPrefix)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, r.NRMSE[k][idx])
+	}
+	return out
+}
+
+func (r *Result) keysWithPrefix(prefix string) []string {
+	keys := make([]string, 0, len(r.NRMSE))
+	for k := range r.NRMSE {
+		if prefix == "" || len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

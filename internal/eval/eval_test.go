@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+func TestSweepUnbiasedCoinEstimator(t *testing.T) {
+	// Synthetic check with known math: estimating p=0.25 from Bernoulli
+	// samples has NRMSE = sqrt(p(1-p)/n)/p; the sweep must reproduce that
+	// within Monte-Carlo noise and shrink like 1/sqrt(n).
+	truth := map[string]float64{"p": 0.25}
+	cfg := Config{Seed: 5, Reps: 400, Sizes: []int{100, 400}}
+	draw := func(r *rand.Rand, maxSize int) (*sample.Sample, error) {
+		nodes := make([]int32, maxSize)
+		for i := range nodes {
+			if r.Float64() < 0.25 {
+				nodes[i] = 1
+			}
+		}
+		return &sample.Sample{Nodes: nodes}, nil
+	}
+	eval := func(s *sample.Sample) (map[string]float64, error) {
+		var ones float64
+		for _, v := range s.Nodes {
+			ones += float64(v)
+		}
+		return map[string]float64{"p": ones / float64(s.Len())}, nil
+	}
+	res, err := Sweep(cfg, truth, draw, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range cfg.Sizes {
+		want := math.Sqrt(0.25*0.75/float64(n)) / 0.25
+		got := res.NRMSE["p"][i]
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("n=%d: NRMSE %.4f, want %.4f", n, got, want)
+		}
+	}
+	if !(res.NRMSE["p"][1] < res.NRMSE["p"][0]) {
+		t.Error("error must shrink with n")
+	}
+}
+
+func TestSweepAgainstGraphEstimators(t *testing.T) {
+	// End-to-end: UIS + induced size estimator on a paper-model graph.
+	r := randx.New(1)
+	g, err := gen.Paper(r, gen.PaperConfig{Sizes: []int64{100, 400}, K: 6, Alpha: 0.5, Connect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string]float64{
+		"size/0": float64(g.CategorySize(0)),
+		"size/1": float64(g.CategorySize(1)),
+	}
+	cfg := Config{Seed: 2, Reps: 30, Sizes: []int{50, 200, 800}}
+	draw := func(rr *rand.Rand, maxSize int) (*sample.Sample, error) {
+		return sample.UIS{}.Sample(rr, g, maxSize)
+	}
+	eval := func(s *sample.Sample) (map[string]float64, error) {
+		o, err := sample.ObserveInduced(g, s)
+		if err != nil {
+			return nil, err
+		}
+		est := make(map[string]float64)
+		N := float64(g.N())
+		_, rew := o.CategoryDrawCounts()
+		tot := o.TotalReweighted()
+		est["size/0"] = N * rew[0] / tot
+		est["size/1"] = N * rew[1] / tot
+		return est, nil
+	}
+	res, err := Sweep(cfg, truth, draw, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"size/0", "size/1"} {
+		first, last := res.NRMSE[key][0], res.NRMSE[key][2]
+		if !(last < first) {
+			t.Errorf("%s: NRMSE did not shrink: %v", key, res.NRMSE[key])
+		}
+	}
+	// Series accessors.
+	s := res.Series("size/0", "cat0")
+	if len(s.X) != 3 || s.X[0] != 50 {
+		t.Fatalf("series X = %v", s.X)
+	}
+	med := res.MedianSeries("median", "size/")
+	if len(med.Y) != 3 {
+		t.Fatal("median series length")
+	}
+	if med.Y[0] < math.Min(res.NRMSE["size/0"][0], res.NRMSE["size/1"][0])-1e-12 ||
+		med.Y[0] > math.Max(res.NRMSE["size/0"][0], res.NRMSE["size/1"][0])+1e-12 {
+		t.Fatal("median outside the [min,max] envelope")
+	}
+	vals := res.ValuesAt(200, "size/")
+	if len(vals) != 2 {
+		t.Fatalf("ValuesAt returned %v", vals)
+	}
+	if res.ValuesAt(999, "") != nil {
+		t.Fatal("unknown size must return nil")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	draw := func(r *rand.Rand, n int) (*sample.Sample, error) { return &sample.Sample{Nodes: make([]int32, n)}, nil }
+	eval := func(s *sample.Sample) (map[string]float64, error) { return map[string]float64{"x": 1}, nil }
+	if _, err := Sweep(Config{Reps: 1}, nil, draw, eval); err == nil {
+		t.Error("empty grid must fail")
+	}
+	if _, err := Sweep(Config{Reps: 0, Sizes: []int{1}}, nil, draw, eval); err == nil {
+		t.Error("zero reps must fail")
+	}
+	if _, err := Sweep(Config{Reps: 1, Sizes: []int{-5}}, nil, draw, eval); err == nil {
+		t.Error("negative size must fail")
+	}
+	// Draw errors propagate.
+	bad := func(r *rand.Rand, n int) (*sample.Sample, error) { return nil, fmt.Errorf("boom") }
+	if _, err := Sweep(Config{Reps: 2, Sizes: []int{1}}, map[string]float64{"x": 1}, bad, eval); err == nil {
+		t.Error("draw error must propagate")
+	}
+	// Missing quantity detected.
+	evalEmpty := func(s *sample.Sample) (map[string]float64, error) { return map[string]float64{}, nil }
+	if _, err := Sweep(Config{Reps: 1, Sizes: []int{1}}, map[string]float64{"x": 1}, draw, evalEmpty); err == nil {
+		t.Error("missing quantity must fail")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	truth := map[string]float64{"m": 0.5}
+	cfg := Config{Seed: 9, Reps: 20, Sizes: []int{64}, Workers: 4}
+	draw := func(r *rand.Rand, n int) (*sample.Sample, error) {
+		nodes := make([]int32, n)
+		for i := range nodes {
+			nodes[i] = int32(r.IntN(2))
+		}
+		return &sample.Sample{Nodes: nodes}, nil
+	}
+	eval := func(s *sample.Sample) (map[string]float64, error) {
+		var ones float64
+		for _, v := range s.Nodes {
+			ones += float64(v)
+		}
+		return map[string]float64{"m": ones / float64(s.Len())}, nil
+	}
+	a, err := Sweep(cfg, truth, draw, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(cfg, truth, draw, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NRMSE["m"][0] != b.NRMSE["m"][0] {
+		t.Fatal("same seed must give identical sweeps regardless of scheduling")
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	s := []Series{
+		{Name: "alpha", X: []float64{10, 100, 1000}, Y: []float64{0.5, 0.1, 0.02}},
+		{Name: "beta", X: []float64{10, 100, 1000}, Y: []float64{0.9, 0.4, 0.15}},
+	}
+	var buf bytes.Buffer
+	if err := Plot(&buf, "test plot", s, PlotOptions{LogX: true, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test plot") || !strings.Contains(out, "o = alpha") || !strings.Contains(out, "* = beta") {
+		t.Fatalf("plot output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("no markers plotted")
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "empty", []Series{{Name: "x", X: []float64{1}, Y: []float64{math.NaN()}}}, PlotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finite data") {
+		t.Fatal("degenerate plot must say so")
+	}
+	// Single point and zero on log axis must not panic.
+	buf.Reset()
+	if err := Plot(&buf, "one", []Series{{Name: "x", X: []float64{0, 5}, Y: []float64{1, 1}}}, PlotOptions{LogX: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTSVAndSeriesTSV(t *testing.T) {
+	h, rows := SeriesTSV([]Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}})
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, h, rows); err != nil {
+		t.Fatal(err)
+	}
+	want := "series\tx\ty\ns\t1\t3\ns\t2\t4\n"
+	if buf.String() != want {
+		t.Fatalf("got %q want %q", buf.String(), want)
+	}
+}

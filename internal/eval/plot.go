@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotOptions controls the ASCII renderer.
+type PlotOptions struct {
+	Width, Height int  // plot area in characters (default 64×18)
+	LogX, LogY    bool // logarithmic axes (the paper's figures are log-log)
+}
+
+var markers = []byte("o*x+#@%&")
+
+// Plot renders the series as an ASCII chart — the textual stand-in for the
+// paper's matplotlib panels, embedded in EXPERIMENTS.md by cmd/repro.
+// Non-finite points are skipped.
+func Plot(w io.Writer, title string, series []Series, opt PlotOptions) error {
+	bw := bufio.NewWriter(w)
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 18
+	}
+	// Collect finite points and ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			if opt.LogX && x <= 0 || opt.LogY && y <= 0 {
+				continue
+			}
+			if opt.LogX {
+				x = math.Log10(x)
+			}
+			if opt.LogY {
+				y = math.Log10(y)
+			}
+			pts = append(pts, pt{x, y, m})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	fmt.Fprintf(bw, "%s\n", title)
+	if len(pts) == 0 {
+		fmt.Fprintln(bw, "  (no finite data)")
+		return bw.Flush()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		c := int((p.x - minX) / (maxX - minX) * float64(width-1))
+		r := int((p.y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - r
+		if grid[row][c] == ' ' {
+			grid[row][c] = p.m
+		} else if grid[row][c] != p.m {
+			grid[row][c] = '?'
+		}
+	}
+	yLab := func(v float64) string {
+		if opt.LogY {
+			return fmt.Sprintf("%8.2g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%8.3g", v)
+	}
+	xLab := func(v float64) string {
+		if opt.LogX {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 8)
+		switch r {
+		case 0:
+			label = yLab(maxY)
+		case height - 1:
+			label = yLab(minY)
+		}
+		fmt.Fprintf(bw, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(bw, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(bw, "%s  %s%s%s\n", strings.Repeat(" ", 8), xLab(minX),
+		strings.Repeat(" ", maxInt(1, width-len(xLab(minX))-len(xLab(maxX)))), xLab(maxX))
+	for si, s := range series {
+		fmt.Fprintf(bw, "    %c = %s\n", markers[si%len(markers)], s.Name)
+	}
+	return bw.Flush()
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteTSV writes a header line and rows separated by tabs.
+func WriteTSV(w io.Writer, header []string, rows [][]string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(bw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SeriesTSV flattens series into (series, x, y) rows for WriteTSV.
+func SeriesTSV(series []Series) (header []string, rows [][]string) {
+	header = []string{"series", "x", "y"}
+	for _, s := range series {
+		for i := range s.X {
+			rows = append(rows, []string{s.Name, fmt.Sprintf("%g", s.X[i]), fmt.Sprintf("%g", s.Y[i])})
+		}
+	}
+	return header, rows
+}

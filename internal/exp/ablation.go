@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/randx"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// AblationResult bundles the design-choice studies DESIGN.md calls out.
+type AblationResult struct {
+	// Plugin: NRMSE of the star weight estimator (median over pairs) as a
+	// function of |S| under RW, with three size plug-ins: induced Eq. (11),
+	// star Eq. (12), and the pooled footnote-4 variant.
+	Plugin []eval.Series
+	// SizeVariants: median size NRMSE for star Eq. (12) vs the pooled
+	// footnote-4 variant — the paper's precision-vs-accuracy trade.
+	SizeVariants []eval.Series
+	// Thinning: NRMSE of the population-size estimator and of the star
+	// weight estimator as a function of the thinning factor T at a fixed
+	// draw budget (§5.4).
+	Thinning []eval.Series
+	// Stratification: small-category size NRMSE for S-WRW category-weight
+	// exponents β ∈ {0, 0.5, 1} (β=1 ≈ plain RW mass allocation).
+	Stratification []eval.Series
+}
+
+// Ablations runs all four studies on a §6.2.1 graph under walk sampling.
+func Ablations(p Params) (*AblationResult, error) {
+	g, err := paperGraph(p.Seed+31, p.paperSizes(), 20, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	reps := p.reps(60, 12)
+	out := &AblationResult{}
+	pairs := allPairs(g.NumCategories())
+	N := float64(g.N())
+	truth := truthAll(g, pairs)
+
+	// --- Plug-in + size-variant study -------------------------------------
+	pluginTruth := map[string]float64{}
+	for _, pr := range pairs {
+		key := fmt.Sprintf("w/%d-%d", pr[0], pr[1])
+		base := truth[fmt.Sprintf("wi/%d-%d", pr[0], pr[1])]
+		for _, v := range []string{"ind", "star", "pooled"} {
+			pluginTruth[v+key] = base
+		}
+	}
+	for c := 0; c < g.NumCategories(); c++ {
+		pluginTruth[fmt.Sprintf("sstar/%d", c)] = float64(g.CategorySize(int32(c)))
+		pluginTruth[fmt.Sprintf("spooled/%d", c)] = float64(g.CategorySize(int32(c)))
+	}
+	cfg := eval.Config{Seed: p.Seed + 32, Reps: reps, Sizes: p.sampleGrid(), Workers: p.Workers}
+	res, err := eval.Sweep(cfg, pluginTruth,
+		func(r *rand.Rand, maxSize int) (*sample.Sample, error) {
+			return sample.NewRW(1000).Sample(r, g, maxSize)
+		},
+		func(s *sample.Sample) (map[string]float64, error) {
+			o, err := sample.ObserveStar(g, s)
+			if err != nil {
+				return nil, err
+			}
+			sizesInd := core.SizeInduced(o, N)
+			sizesStar, err := core.SizeStar(o, N)
+			if err != nil {
+				return nil, err
+			}
+			sizesPooled, err := core.SizeStarPooledDegree(o, N)
+			if err != nil {
+				return nil, err
+			}
+			vals := map[string]float64{}
+			for _, variant := range []struct {
+				tag   string
+				sizes []float64
+			}{{"ind", sizesInd}, {"star", sizesStar}, {"pooled", sizesPooled}} {
+				w, err := core.WeightsStar(o, variant.sizes)
+				if err != nil {
+					return nil, err
+				}
+				for _, pr := range pairs {
+					vals[fmt.Sprintf("%sw/%d-%d", variant.tag, pr[0], pr[1])] = w.Get(pr[0], pr[1])
+				}
+			}
+			for c := 0; c < g.NumCategories(); c++ {
+				vals[fmt.Sprintf("sstar/%d", c)] = sizesStar[c]
+				vals[fmt.Sprintf("spooled/%d", c)] = sizesPooled[c]
+			}
+			return vals, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("plugin ablation: %w", err)
+	}
+	out.Plugin = []eval.Series{
+		res.MedianSeries("plug-in: induced size", "indw/"),
+		res.MedianSeries("plug-in: star size", "starw/"),
+		res.MedianSeries("plug-in: pooled size", "pooledw/"),
+	}
+	out.SizeVariants = []eval.Series{
+		res.MedianSeries("star size Eq.(12)", "sstar/"),
+		res.MedianSeries("pooled size (footnote 4)", "spooled/"),
+	}
+
+	// --- Thinning study ----------------------------------------------------
+	// Fixed budget of walk steps; thinning keeps every T-th. Collisions are
+	// what the population estimator feeds on, and §5.4 predicts raw
+	// consecutive draws bias N̂ (trivial collisions) while large T discards
+	// information.
+	budget := 30000
+	if p.Quick {
+		budget = 10000
+	}
+	thins := []int{1, 2, 5, 10, 20, 50}
+	popSeries := eval.Series{Name: "population size N̂"}
+	weightSeries := eval.Series{Name: "star weight (median)"}
+	ehigh := pairs[0]
+	// choose a well-populated pair: heaviest true weight
+	bestW := 0.0
+	for _, pr := range pairs {
+		if w := truth[fmt.Sprintf("wi/%d-%d", pr[0], pr[1])]; w > bestW {
+			bestW, ehigh = w, pr
+		}
+	}
+	for _, T := range thins {
+		popErr := stats.NewNRMSE(N)
+		wErr := stats.NewNRMSE(bestW)
+		for rep := 0; rep < reps; rep++ {
+			r := randx.Derive(p.Seed+33, uint64(T*1000+rep))
+			s, err := sample.NewRW(1000).Sample(r, g, budget)
+			if err != nil {
+				return nil, err
+			}
+			thinned := s.Thin(T)
+			popErr.Add(core.PopulationSize(thinned))
+			o, err := sample.ObserveStar(g, thinned)
+			if err != nil {
+				return nil, err
+			}
+			sizes, err := core.SizeStar(o, N)
+			if err != nil {
+				return nil, err
+			}
+			w, err := core.WeightsStar(o, sizes)
+			if err != nil {
+				return nil, err
+			}
+			wErr.Add(w.Get(ehigh[0], ehigh[1]))
+		}
+		popSeries.X = append(popSeries.X, float64(T))
+		popSeries.Y = append(popSeries.Y, popErr.Value())
+		weightSeries.X = append(weightSeries.X, float64(T))
+		weightSeries.Y = append(weightSeries.Y, wErr.Value())
+	}
+	out.Thinning = []eval.Series{popSeries, weightSeries}
+
+	// --- Stratification strength -------------------------------------------
+	// S-WRW with category weights w_C ∝ vol(C)^β: β=0 is the paper's equal
+	// weighting (time equalized across categories), β=1 reproduces plain
+	// RW mass allocation. Median NRMSE of star sizes across the three
+	// smallest categories.
+	small := []int32{0, 1, 2}
+	for _, beta := range []float64{0, 0.5, 1} {
+		cw := make([]float64, g.NumCategories())
+		for c := range cw {
+			cw[c] = math.Pow(float64(g.CategoryVolume(int32(c))), beta)
+		}
+		serie := eval.Series{Name: fmt.Sprintf("S-WRW β=%.1f", beta)}
+		for _, n := range p.sampleGrid() {
+			accs := make([]*stats.NRMSE, len(small))
+			for i, c := range small {
+				accs[i] = stats.NewNRMSE(float64(g.CategorySize(c)))
+			}
+			for rep := 0; rep < reps/2+1; rep++ {
+				r := randx.Derive(p.Seed+34, uint64(n)*1009+uint64(rep)+uint64(beta*7))
+				sw, err := sample.NewSWRW(g, sample.SWRWConfig{CategoryWeight: cw, BurnIn: 1000})
+				if err != nil {
+					return nil, err
+				}
+				s, err := sw.Sample(r, g, n)
+				if err != nil {
+					return nil, err
+				}
+				o, err := sample.ObserveStar(g, s)
+				if err != nil {
+					return nil, err
+				}
+				sizes, err := core.SizeStar(o, N)
+				if err != nil {
+					return nil, err
+				}
+				for i, c := range small {
+					accs[i].Add(sizes[c])
+				}
+			}
+			med := make([]float64, len(accs))
+			for i, a := range accs {
+				med[i] = a.Value()
+			}
+			serie.X = append(serie.X, float64(n))
+			serie.Y = append(serie.Y, stats.MedianFinite(med))
+		}
+		out.Stratification = append(out.Stratification, serie)
+	}
+	return out, nil
+}

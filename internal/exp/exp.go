@@ -1,0 +1,179 @@
+// Package exp defines the reproduction of every table and figure in the
+// paper's evaluation (Sections 6 and 7) plus the ablation studies called out
+// in DESIGN.md. cmd/repro runs these at full paper scale and writes
+// results/; the repository-root benchmarks run them at reduced scale.
+//
+// Every experiment is deterministic given Params.Seed.
+package exp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// Params scales an experiment.
+type Params struct {
+	// Quick switches to reduced-scale graphs and grids (used by benchmarks
+	// and -quick runs); the full scale matches the paper's parameters.
+	Quick bool
+	// Reps is the number of replications per cell (0 = scale default).
+	Reps int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+func (p Params) reps(full, quick int) int {
+	if p.Reps > 0 {
+		return p.Reps
+	}
+	if p.Quick {
+		return quick
+	}
+	return full
+}
+
+// paperSizes returns the §6.2.1 category sizes at the chosen scale. The
+// quick variant keeps ten categories and the 1-2-5 flavour while dividing
+// the graph by roughly a factor 7 (all categories stay larger than the
+// maximum intra-degree k=49).
+func (p Params) paperSizes() []int64 {
+	if p.Quick {
+		return []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000}
+	}
+	return gen.PaperSizes
+}
+
+// sampleGrid returns the |S| grid (log-spaced, as in the paper's figures).
+func (p Params) sampleGrid() []int {
+	if p.Quick {
+		return []int{100, 300, 1000, 3000, 10000}
+	}
+	return []int{100, 300, 1000, 3000, 10000, 30000, 100000}
+}
+
+// cdfSampleSize is the |S| at which Fig. 3(d,h) freeze their CDFs.
+func (p Params) cdfSampleSize() int { return 2000 }
+
+// paperGraph builds one §6.2.1 graph.
+func paperGraph(seed uint64, sizes []int64, k int, alpha float64) (*graph.Graph, error) {
+	return gen.Paper(randx.New(seed), gen.PaperConfig{
+		Sizes:   sizes,
+		K:       k,
+		Alpha:   alpha,
+		Connect: true,
+	})
+}
+
+// estimateAll evaluates all four estimator families on a sample prefix and
+// returns the flat quantity map used by eval.Sweep. Keys:
+//
+//	si/<c>   induced size of category c     (Eq. 4/11)
+//	ss/<c>   star size of category c        (Eq. 5/12)
+//	wi/<a>-<b> induced weight of pair (a,b) (Eq. 8/15)
+//	ws/<a>-<b> star weight of pair (a,b)    (Eq. 9/16)
+func estimateAll(g *graph.Graph, s *sample.Sample, pairs [][2]int32) (map[string]float64, error) {
+	oi, err := sample.ObserveInduced(g, s)
+	if err != nil {
+		return nil, err
+	}
+	os, err := sample.ObserveStar(g, s)
+	if err != nil {
+		return nil, err
+	}
+	N := float64(g.N())
+	out := make(map[string]float64, 2*g.NumCategories()+2*len(pairs))
+	si := core.SizeInduced(oi, N)
+	ss, err := core.SizeStar(os, N)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < g.NumCategories(); c++ {
+		out[fmt.Sprintf("si/%d", c)] = si[c]
+		out[fmt.Sprintf("ss/%d", c)] = ss[c]
+	}
+	wi, err := core.WeightsInduced(oi)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := core.WeightsStar(os, ss)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pairs {
+		out[fmt.Sprintf("wi/%d-%d", p[0], p[1])] = wi.Get(p[0], p[1])
+		out[fmt.Sprintf("ws/%d-%d", p[0], p[1])] = ws.Get(p[0], p[1])
+	}
+	return out, nil
+}
+
+// truthAll returns the exact values for the estimateAll quantity keys.
+func truthAll(g *graph.Graph, pairs [][2]int32) map[string]float64 {
+	out := make(map[string]float64)
+	for c := 0; c < g.NumCategories(); c++ {
+		out[fmt.Sprintf("si/%d", c)] = float64(g.CategorySize(int32(c)))
+		out[fmt.Sprintf("ss/%d", c)] = float64(g.CategorySize(int32(c)))
+	}
+	cuts := g.CutMatrix()
+	for _, p := range pairs {
+		w := float64(cuts[p[0]][p[1]]) / (float64(g.CategorySize(p[0])) * float64(g.CategorySize(p[1])))
+		out[fmt.Sprintf("wi/%d-%d", p[0], p[1])] = w
+		out[fmt.Sprintf("ws/%d-%d", p[0], p[1])] = w
+	}
+	return out
+}
+
+// allPairs enumerates all category pairs (a < b).
+func allPairs(k int) [][2]int32 {
+	var out [][2]int32
+	for a := int32(0); a < int32(k); a++ {
+		for b := a + 1; b < int32(k); b++ {
+			out = append(out, [2]int32{a, b})
+		}
+	}
+	return out
+}
+
+// sweepSampler runs the standard sweep for one graph/sampler combination.
+func sweepSampler(p Params, g *graph.Graph, makeSampler func() (sample.Sampler, error), pairs [][2]int32, reps int) (*eval.Result, error) {
+	truth := truthAll(g, pairs)
+	cfg := eval.Config{Seed: p.Seed, Reps: reps, Sizes: p.sampleGridWithCDF(), Workers: p.Workers}
+	draw := func(r *rand.Rand, maxSize int) (*sample.Sample, error) {
+		smp, err := makeSampler()
+		if err != nil {
+			return nil, err
+		}
+		return smp.Sample(r, g, maxSize)
+	}
+	ev := func(s *sample.Sample) (map[string]float64, error) {
+		return estimateAll(g, s, pairs)
+	}
+	return eval.Sweep(cfg, truth, draw, ev)
+}
+
+// sampleGridWithCDF is sampleGrid plus the CDF freeze point.
+func (p Params) sampleGridWithCDF() []int {
+	grid := p.sampleGrid()
+	cdf := p.cdfSampleSize()
+	for _, n := range grid {
+		if n == cdf {
+			return grid
+		}
+	}
+	out := append([]int(nil), grid...)
+	out = append(out, cdf)
+	// keep sorted
+	for i := len(out) - 1; i > 0 && out[i] < out[i-1]; i-- {
+		out[i], out[i-1] = out[i-1], out[i]
+	}
+	return out
+}

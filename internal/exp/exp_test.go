@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// tiny returns Params that keep each experiment seconds-scale.
+func tiny() Params { return Params{Quick: true, Reps: 3, Seed: 11} }
+
+func finiteTail(ys []float64) bool {
+	if len(ys) == 0 {
+		return false
+	}
+	last := ys[len(ys)-1]
+	return !math.IsNaN(last) && !math.IsInf(last, 0)
+}
+
+func TestFig3PanelsComplete(t *testing.T) {
+	res, err := Fig3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPanels := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, panel := range wantPanels {
+		series, ok := res.Panels[panel]
+		if !ok || len(series) == 0 {
+			t.Fatalf("panel %s missing", panel)
+		}
+		switch panel {
+		case "d", "h": // CDFs: two series, non-decreasing Y in [0,1]
+			if len(series) != 2 {
+				t.Fatalf("panel %s: %d series", panel, len(series))
+			}
+			for _, s := range series {
+				for i := 1; i < len(s.Y); i++ {
+					if s.Y[i] < s.Y[i-1] {
+						t.Fatalf("panel %s series %s: CDF not monotone", panel, s.Name)
+					}
+				}
+				if len(s.Y) > 0 && (s.Y[len(s.Y)-1] < 0.99 || s.Y[0] < 0) {
+					t.Fatalf("panel %s: CDF range wrong", panel)
+				}
+			}
+		default: // 4 curves over the sample grid
+			if len(series) != 4 {
+				t.Fatalf("panel %s: %d series, want 4", panel, len(series))
+			}
+			for _, s := range series {
+				if !finiteTail(s.Y) {
+					t.Fatalf("panel %s series %s: no finite tail: %v", panel, s.Name, s.Y)
+				}
+			}
+		}
+	}
+	// Headline property at the largest |S|: size error for the big
+	// category shrinks from the first to the last grid point.
+	for _, s := range res.Panels["a"] {
+		if last, first := s.Y[len(s.Y)-1], s.Y[0]; !(last < first) {
+			t.Errorf("panel a %s: NRMSE did not decrease (%v)", s.Name, s.Y)
+		}
+	}
+}
+
+func TestFig4SingleDataset(t *testing.T) {
+	p := tiny()
+	d := Dataset{Name: "tiny-social", V: 1500, E: 9000, MeanDeg: 12, Dist: gen.PowerLaw, Shape: 2.5, Mixing: 0.4}
+	res, err := Fig4Datasets(p, []Dataset{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 1 {
+		t.Fatalf("stats: %v", res.Stats)
+	}
+	st := res.Stats[0]
+	if st.V != 1500 || st.Categories < 2 {
+		t.Fatalf("stats row %+v", st)
+	}
+	if math.Abs(st.MeanDeg-12) > 1.5 {
+		t.Fatalf("mean degree %v, want ≈12", st.MeanDeg)
+	}
+	sizeSeries := res.Size[d.Name]
+	weightSeries := res.Weight[d.Name]
+	if len(sizeSeries) != 6 || len(weightSeries) != 6 {
+		t.Fatalf("series counts: %d size, %d weight (want 6 each: 3 samplers × 2 scenarios)",
+			len(sizeSeries), len(weightSeries))
+	}
+	for _, s := range sizeSeries {
+		if !finiteTail(s.Y) {
+			t.Errorf("size series %s has no finite tail", s.Name)
+		}
+	}
+}
+
+func TestTable1DatasetsScales(t *testing.T) {
+	full := Table1Datasets(false)
+	quick := Table1Datasets(true)
+	if len(full) != 4 || len(quick) != 4 {
+		t.Fatal("dataset count")
+	}
+	if full[0].V != 36364 || full[0].E != 1590651 {
+		t.Fatalf("Texas targets wrong: %+v", full[0])
+	}
+	for i := range quick {
+		if quick[i].V >= full[i].V {
+			t.Fatal("quick mode must shrink datasets")
+		}
+	}
+}
+
+func TestFacebookStudyQuick(t *testing.T) {
+	res, err := Facebook(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table2) != 5 {
+		t.Fatalf("table 2 rows: %d, want 5 (MHRW09, RW09, UIS09, RW10, S-WRW10)", len(res.Table2))
+	}
+	// §7.1 structure: 2009 crawls see ~34% categorized samples or more
+	// (walks over-visit big regions); 2010 RW sees very few college draws
+	// while S-WRW sees many (Fig. 5(b)).
+	rows := map[string]Table2Row{}
+	for _, r := range res.Table2 {
+		rows[r.Name] = r
+	}
+	if rows["RW10"].Categorized > 0.5 {
+		t.Errorf("RW10 categorized fraction %.3f suspiciously high", rows["RW10"].Categorized)
+	}
+	if rows["S-WRW10"].Categorized < 3*rows["RW10"].Categorized {
+		t.Errorf("S-WRW10 (%.3f) should dwarf RW10 (%.3f) — the paper's order-of-magnitude gain",
+			rows["S-WRW10"].Categorized, rows["RW10"].Categorized)
+	}
+	for name, counts := range res.Fig5 {
+		for i := 1; i < len(counts); i++ {
+			if counts[i] > counts[i-1] {
+				t.Fatalf("Fig5 %s not sorted", name)
+			}
+		}
+	}
+	for name, ev := range res.Fig6 {
+		for key, curve := range ev.Median {
+			if len(curve) == 0 {
+				t.Fatalf("Fig6 %s/%s empty", name, key)
+			}
+		}
+	}
+	if res.Countries == nil || res.Countries.K() < 2 {
+		t.Fatal("country graph missing")
+	}
+	if res.Colleges == nil || res.Colleges.K() < 2 {
+		t.Fatal("college graph missing")
+	}
+	// Country graph must carry a layout for the visualization.
+	if res.Countries.X == nil {
+		t.Fatal("country graph has no layout")
+	}
+	// Merged country sizes are estimates; they must be positive for the
+	// countries that were actually observed.
+	pos := 0
+	for _, s := range res.Countries.Sizes {
+		if s > 0 {
+			pos++
+		}
+	}
+	if pos < res.Countries.K()/2 {
+		t.Fatalf("only %d/%d countries have positive size estimates", pos, res.Countries.K())
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	res, err := Ablations(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plugin) != 3 {
+		t.Fatalf("plugin series: %d", len(res.Plugin))
+	}
+	if len(res.SizeVariants) != 2 {
+		t.Fatalf("size variant series: %d", len(res.SizeVariants))
+	}
+	if len(res.Thinning) != 2 {
+		t.Fatalf("thinning series: %d", len(res.Thinning))
+	}
+	if len(res.Stratification) != 3 {
+		t.Fatalf("stratification series: %d", len(res.Stratification))
+	}
+	for _, s := range res.Plugin {
+		if !finiteTail(s.Y) {
+			t.Errorf("plugin series %s: %v", s.Name, s.Y)
+		}
+	}
+	for _, s := range res.Thinning {
+		if len(s.X) != 6 {
+			t.Errorf("thinning series %s: %d points", s.Name, len(s.X))
+		}
+	}
+}
+
+func TestSampleGridWithCDF(t *testing.T) {
+	p := Params{Quick: true}
+	grid := p.sampleGridWithCDF()
+	found := false
+	for i, n := range grid {
+		if n == p.cdfSampleSize() {
+			found = true
+		}
+		if i > 0 && grid[i] <= grid[i-1] {
+			t.Fatalf("grid not strictly increasing: %v", grid)
+		}
+	}
+	if !found {
+		t.Fatalf("CDF size missing from grid %v", grid)
+	}
+}
+
+func TestSamplerStudyQuick(t *testing.T) {
+	res, err := SamplerStudy(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Size) != 3 || len(res.Weight) != 3 || len(res.DegreeDist) != 3 {
+		t.Fatalf("series counts: %d/%d/%d", len(res.Size), len(res.Weight), len(res.DegreeDist))
+	}
+	byName := map[string][]float64{}
+	for _, s := range res.Size {
+		byName[s.Name] = s.Y
+	}
+	// RW and Frontier must improve with sample size.
+	for _, name := range []string{"RW", "Frontier"} {
+		ys := byName[name]
+		if !(ys[len(ys)-1] < ys[0]) {
+			t.Errorf("%s size NRMSE did not shrink: %v", name, ys)
+		}
+	}
+	// BFS must end up worse than RW at the largest |S| (bias floor).
+	if byName["BFS"][len(byName["BFS"])-1] < byName["RW"][len(byName["RW"])-1] {
+		t.Errorf("BFS (%v) beat RW (%v) at full size — bias floor missing",
+			byName["BFS"], byName["RW"])
+	}
+	for _, s := range res.DegreeDist {
+		for _, y := range s.Y {
+			if y < 0 || math.IsNaN(y) {
+				t.Fatalf("degree-dist TV series %s has bad value %v", s.Name, y)
+			}
+		}
+	}
+}

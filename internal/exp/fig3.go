@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/catgraph"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Fig3Result holds one eval.Series bundle per panel of Fig. 3 (a–h).
+// Panels a–c and e–g are NRMSE-vs-|S| log-log curves; d and h are CDFs of
+// per-quantity NRMSE at |S| = 2000.
+type Fig3Result struct {
+	Panels map[string][]eval.Series
+}
+
+// Fig3 reproduces the §6.2 simulation study: UIS on five instances of the
+// synthetic graph model — (k, α) ∈ {(5,0.5), (49,0.5), (20,0), (20,1),
+// (20,0.5)} — with induced and star estimators for category sizes (top row)
+// and category edge weights (bottom row).
+func Fig3(p Params) (*Fig3Result, error) {
+	sizes := p.paperSizes()
+	reps := p.reps(100, 20)
+	type gcfg struct {
+		k     int
+		alpha float64
+	}
+	cfgs := []gcfg{{5, 0.5}, {49, 0.5}, {20, 0}, {20, 1}, {20, 0.5}}
+	results := make(map[gcfg]*eval.Result)
+	graphs := make(map[gcfg]*graph.Graph)
+	for i, c := range cfgs {
+		g, err := paperGraph(p.Seed+uint64(100+i), sizes, c.k, c.alpha)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 graph k=%d α=%g: %w", c.k, c.alpha, err)
+		}
+		pairs := allPairs(g.NumCategories())
+		res, err := sweepSampler(p, g, func() (sample.Sampler, error) { return sample.UIS{}, nil }, pairs, reps)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 sweep k=%d α=%g: %w", c.k, c.alpha, err)
+		}
+		results[c] = res
+		graphs[c] = g
+	}
+	largest := len(sizes) - 1 // category index of the |C|=50000 role
+	smallMid := 3             // the |C|=500 role (4th category in both scales)
+
+	sizeSeries := func(c gcfg, cat int, label string) []eval.Series {
+		r := results[c]
+		return []eval.Series{
+			r.Series(fmt.Sprintf("si/%d", cat), "induced "+label),
+			r.Series(fmt.Sprintf("ss/%d", cat), "star "+label),
+		}
+	}
+	// e_low / e_high: edges at the 25th/75th percentile true weight of the
+	// relevant graph (computed on the exact category graph).
+	edgeAt := func(c gcfg, q float64) ([2]int32, error) {
+		cg, err := catgraph.FromGraph(graphs[c])
+		if err != nil {
+			return [2]int32{}, err
+		}
+		e, err := cg.EdgeAtWeightPercentile(q)
+		if err != nil {
+			return [2]int32{}, err
+		}
+		return [2]int32{e.A, e.B}, nil
+	}
+	weightSeries := func(c gcfg, pair [2]int32, label string) []eval.Series {
+		r := results[c]
+		return []eval.Series{
+			r.Series(fmt.Sprintf("wi/%d-%d", pair[0], pair[1]), "induced "+label),
+			r.Series(fmt.Sprintf("ws/%d-%d", pair[0], pair[1]), "star "+label),
+		}
+	}
+
+	out := &Fig3Result{Panels: map[string][]eval.Series{}}
+	// (a) size of the largest category, k = 5 vs 49, α = 0.5.
+	out.Panels["a"] = append(sizeSeries(gcfg{5, 0.5}, largest, "k=5"), sizeSeries(gcfg{49, 0.5}, largest, "k=49")...)
+	// (b) α = 0 vs 1, k = 20.
+	out.Panels["b"] = append(sizeSeries(gcfg{20, 0}, largest, "α=0"), sizeSeries(gcfg{20, 1}, largest, "α=1")...)
+	// (c) |C| = 500 vs 50000, k = 20, α = 0.5.
+	out.Panels["c"] = append(sizeSeries(gcfg{20, 0.5}, smallMid, "|C| small"), sizeSeries(gcfg{20, 0.5}, largest, "|C| large")...)
+	// (d) CDF of the NRMSE of all ten size estimates at |S| = 2000.
+	base := results[gcfg{20, 0.5}]
+	cdfSeries := func(prefix, name string) eval.Series {
+		vals := base.ValuesAt(p.cdfSampleSize(), prefix)
+		x, y := stats.CDF(vals)
+		return eval.Series{Name: name, X: x, Y: y}
+	}
+	out.Panels["d"] = []eval.Series{cdfSeries("si/", "induced"), cdfSeries("ss/", "star")}
+
+	// (e) weight of e_high, k = 5 vs 49.
+	eh5, err := edgeAt(gcfg{5, 0.5}, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	eh49, err := edgeAt(gcfg{49, 0.5}, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	out.Panels["e"] = append(weightSeries(gcfg{5, 0.5}, eh5, "k=5"), weightSeries(gcfg{49, 0.5}, eh49, "k=49")...)
+	// (f) weight of e_high, α = 0 vs 1.
+	eh0, err := edgeAt(gcfg{20, 0}, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	eh1, err := edgeAt(gcfg{20, 1}, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	out.Panels["f"] = append(weightSeries(gcfg{20, 0}, eh0, "α=0"), weightSeries(gcfg{20, 1}, eh1, "α=1")...)
+	// (g) e_low vs e_high on the base graph.
+	el, err := edgeAt(gcfg{20, 0.5}, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	eh, err := edgeAt(gcfg{20, 0.5}, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	out.Panels["g"] = append(weightSeries(gcfg{20, 0.5}, el, "e_low"), weightSeries(gcfg{20, 0.5}, eh, "e_high")...)
+	// (h) CDF of weight-estimate NRMSE at |S| = 2000.
+	out.Panels["h"] = []eval.Series{cdfSeries("wi/", "induced"), cdfSeries("ws/", "star")}
+	return out, nil
+}

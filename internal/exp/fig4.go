@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/community"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// Dataset describes one Table-1 stand-in. The targets are the |V|, |E| and
+// mean-degree values the paper reports for the real snapshots; the generator
+// below reproduces them (see DESIGN.md for the substitution argument).
+type Dataset struct {
+	Name    string
+	V       int
+	E       int64
+	MeanDeg float64
+	Dist    gen.DegreeDist
+	Shape   float64
+	Mixing  float64
+}
+
+// Table1Datasets lists the four empirical topologies of Table 1.
+func Table1Datasets(quick bool) []Dataset {
+	full := []Dataset{
+		{Name: "Facebook: Texas", V: 36364, E: 1590651, MeanDeg: 87.5, Dist: gen.Lognormal, Shape: 1.0, Mixing: 0.3},
+		{Name: "Facebook: New Orleans", V: 63392, E: 816885, MeanDeg: 25.8, Dist: gen.Lognormal, Shape: 1.1, Mixing: 0.3},
+		{Name: "P2P", V: 62561, E: 147877, MeanDeg: 4.7, Dist: gen.PowerLaw, Shape: 2.4, Mixing: 0.6},
+		{Name: "Epinions", V: 75877, E: 405738, MeanDeg: 10.7, Dist: gen.PowerLaw, Shape: 2.2, Mixing: 0.4},
+	}
+	if !quick {
+		return full
+	}
+	for i := range full {
+		full[i].V /= 8
+		full[i].E /= 8
+		full[i].MeanDeg = 2 * float64(full[i].E) / float64(full[i].V)
+	}
+	return full
+}
+
+// BuildDataset generates the stand-in graph for d and installs the §6.3.1
+// categories: the 50 largest spectral communities plus one "rest" category
+// (fewer in quick mode).
+func BuildDataset(p Params, d Dataset) (*graph.Graph, error) {
+	r := randx.New(p.Seed ^ hashName(d.Name))
+	g, err := gen.Social(r, gen.SocialConfig{
+		N:        d.V,
+		MeanDeg:  2 * float64(d.E) / float64(d.V),
+		Dist:     d.Dist,
+		Shape:    d.Shape,
+		Comms:    120,
+		CommZipf: 0.8,
+		Mixing:   d.Mixing,
+		Connect:  true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", d.Name, err)
+	}
+	keep := 50
+	maxComms := 70
+	minSize := 50
+	if p.Quick {
+		keep, maxComms, minSize = 20, 30, 20
+	}
+	labels, count := community.Detect(r, g, community.Config{
+		MaxCommunities: maxComms,
+		MinSize:        minSize,
+	})
+	if _, err := community.CategoriesFromCommunities(g, labels, count, keep); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Fig4Result holds, per dataset, the median-NRMSE curves of the size (top
+// row) and weight (bottom row) estimators under UIS, RW and S-WRW.
+type Fig4Result struct {
+	// Size[dataset] and Weight[dataset] each hold six series:
+	// {UIS,RW,S-WRW} × {induced,star}.
+	Size   map[string][]eval.Series
+	Weight map[string][]eval.Series
+	// Stats records the generated graphs' Table-1 row (measured values).
+	Stats []DatasetStats
+}
+
+// DatasetStats is one measured Table-1 row.
+type DatasetStats struct {
+	Name       string
+	V          int
+	E          int64
+	MeanDeg    float64
+	Categories int
+}
+
+// Fig4 reproduces the §6.3 simulations: on each empirical-graph stand-in,
+// estimate all category sizes and pairwise weights under UIS, RW and S-WRW,
+// and report the median NRMSE across categories (sizes) and across present
+// pairs (weights).
+func Fig4(p Params) (*Fig4Result, error) {
+	return Fig4Datasets(p, Table1Datasets(p.Quick))
+}
+
+// Fig4Datasets runs the Fig. 4 protocol on an explicit dataset list (used by
+// tests and benchmarks to bound runtime to a single small dataset).
+func Fig4Datasets(p Params, datasets []Dataset) (*Fig4Result, error) {
+	reps := p.reps(30, 8)
+	out := &Fig4Result{Size: map[string][]eval.Series{}, Weight: map[string][]eval.Series{}}
+	for _, d := range datasets {
+		g, err := BuildDataset(p, d)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats = append(out.Stats, DatasetStats{
+			Name: d.Name, V: g.N(), E: g.M(), MeanDeg: g.MeanDegree(), Categories: g.NumCategories(),
+		})
+		pairs := presentPairs(g, 300)
+		samplers := []struct {
+			name string
+			mk   func() (sample.Sampler, error)
+		}{
+			{"UIS", func() (sample.Sampler, error) { return sample.UIS{}, nil }},
+			{"RW", func() (sample.Sampler, error) { return sample.NewRW(1000), nil }},
+			{"S-WRW", func() (sample.Sampler, error) { return sample.NewSWRW(g, sample.SWRWConfig{BurnIn: 1000}) }},
+		}
+		for _, smp := range samplers {
+			res, err := sweepSampler(p, g, smp.mk, pairs, reps)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s/%s: %w", d.Name, smp.name, err)
+			}
+			out.Size[d.Name] = append(out.Size[d.Name],
+				res.MedianSeries(smp.name+" induced", "si/"),
+				res.MedianSeries(smp.name+" star", "ss/"))
+			out.Weight[d.Name] = append(out.Weight[d.Name],
+				res.MedianSeries(smp.name+" induced", "wi/"),
+				res.MedianSeries(smp.name+" star", "ws/"))
+		}
+	}
+	return out, nil
+}
+
+// presentPairs returns up to maxPairs category pairs with nonzero true cut,
+// heaviest cuts first — evaluating all K² pairs of a 51-category graph per
+// replication would dominate runtime without changing the median.
+func presentPairs(g *graph.Graph, maxPairs int) [][2]int32 {
+	cuts := g.CutMatrix()
+	type pairCut struct {
+		p [2]int32
+		c int64
+	}
+	var all []pairCut
+	k := g.NumCategories()
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			if cuts[a][b] > 0 {
+				all = append(all, pairCut{[2]int32{int32(a), int32(b)}, cuts[a][b]})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	if len(all) > maxPairs {
+		all = all[:maxPairs]
+	}
+	out := make([][2]int32, len(all))
+	for i, x := range all {
+		out[i] = x.p
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catgraph"
+	"repro/internal/core"
+	"repro/internal/fbsim"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// FacebookStudy bundles everything §7 produces: the crawl datasets (Table
+// 2), the per-category sample counts (Fig. 5), the crawl NRMSE curves
+// (Fig. 6) and the estimated category graphs behind Fig. 7.
+type FacebookStudy struct {
+	Table2 []Table2Row
+	// Fig5 maps crawl name → sorted per-category sample counts.
+	Fig5 map[string][]int64
+	// Fig6 maps crawl name → §7.2 evaluation.
+	Fig6 map[string]*fbsim.CrawlEval
+	// Countries is the §7.3.1 country-to-country friendship graph.
+	Countries *catgraph.Graph
+	// Colleges is the §7.3.3 college-to-college friendship graph.
+	Colleges *catgraph.Graph
+}
+
+// Table2Row is one measured row of Table 2.
+type Table2Row struct {
+	Name        string
+	Walks       int
+	PerWalk     int
+	Categorized float64 // fraction of draws landing in a category
+}
+
+// fbScale returns crawl dimensions at the chosen scale. The paper collected
+// 28×81K (2009) and 25×40K (2010) samples on a 200M-user graph; the counts
+// below scale with the substrate (200K nodes) while keeping the walk count.
+func fbScale(p Params) (cfg fbsim.Config, walks09, per09, walks10, per10 int) {
+	cfg = fbsim.DefaultConfig()
+	if p.Quick {
+		cfg.N = 20000
+		cfg.Regions = 100
+		cfg.Colleges = 60
+		return cfg, 6, 2000, 5, 1500
+	}
+	return cfg, 28, 20000, 25, 10000
+}
+
+// Facebook runs the full §7 pipeline.
+func Facebook(p Params) (*FacebookStudy, error) {
+	cfg, walks09, per09, walks10, per10 := fbScale(p)
+	out := &FacebookStudy{Fig5: map[string][]int64{}, Fig6: map[string]*fbsim.CrawlEval{}}
+
+	// ----- 2009: regions, three crawl types (Table 2 top). -----
+	g09, err := fbsim.Build2009(randx.New(p.Seed+7001), cfg)
+	if err != nil {
+		return nil, err
+	}
+	crawls09 := []struct {
+		name string
+		mk   func() (sample.Sampler, error)
+	}{
+		{"MHRW09", func() (sample.Sampler, error) { return sample.NewMHRW(2000), nil }},
+		{"RW09", func() (sample.Sampler, error) { return sample.NewRW(2000), nil }},
+		{"UIS09", func() (sample.Sampler, error) { return sample.UIS{}, nil }},
+	}
+	grid09 := fig6Grid(per09)
+	var all09 []*fbsim.Crawl
+	for i, c := range crawls09 {
+		smp, err := c.mk()
+		if err != nil {
+			return nil, err
+		}
+		perWalk := per09
+		if c.name == "UIS09" {
+			perWalk = per09 / 2 // the paper's UIS dataset is about half the size
+		}
+		crawl, err := fbsim.NewCrawl(randx.New(p.Seed+uint64(7100+i)), g09, smp, c.name, walks09, perWalk)
+		if err != nil {
+			return nil, err
+		}
+		all09 = append(all09, crawl)
+		out.Table2 = append(out.Table2, Table2Row{
+			Name: c.name, Walks: walks09, PerWalk: perWalk,
+			Categorized: crawl.CategorizedFraction(g09),
+		})
+		out.Fig5[c.name] = crawl.SamplesPerCategory(g09)
+		ev, err := fbsim.Evaluate(g09, crawl, fbsim.EvalConfig{
+			Sizes: capGrid(grid09, perWalk), TopCategories: 100, MaxPairs: 200,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", c.name, err)
+		}
+		out.Fig6[c.name] = ev
+	}
+
+	// ----- 2010: colleges, RW and S-WRW (Table 2 bottom). -----
+	g10, err := fbsim.Build2010(randx.New(p.Seed+7002), cfg)
+	if err != nil {
+		return nil, err
+	}
+	swrw, err := sample.NewSWRW(g10, sample.SWRWConfig{BurnIn: 2000})
+	if err != nil {
+		return nil, err
+	}
+	crawls10 := []struct {
+		name string
+		s    sample.Sampler
+	}{
+		{"RW10", sample.NewRW(2000)},
+		{"S-WRW10", swrw},
+	}
+	var swrwCrawl *fbsim.Crawl
+	for i, c := range crawls10 {
+		crawl, err := fbsim.NewCrawl(randx.New(p.Seed+uint64(7200+i)), g10, c.s, c.name, walks10, per10)
+		if err != nil {
+			return nil, err
+		}
+		if c.name == "S-WRW10" {
+			swrwCrawl = crawl
+		}
+		out.Table2 = append(out.Table2, Table2Row{
+			Name: c.name, Walks: walks10, PerWalk: per10,
+			Categorized: crawl.CategorizedFraction(g10),
+		})
+		out.Fig5[c.name] = crawl.SamplesPerCategory(g10)
+		ev, err := fbsim.Evaluate(g10, crawl, fbsim.EvalConfig{
+			Sizes: capGrid(fig6Grid(per10), per10), TopCategories: 100, MaxPairs: 200,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", c.name, err)
+		}
+		out.Fig6[c.name] = ev
+	}
+
+	// ----- Fig. 7(a): country graph from the 2009 crawls (§7.3.1). -----
+	// Recipe from the paper: UIS induced size estimates, star weight
+	// estimates averaged over the three crawl types, then merge regions
+	// into countries.
+	countries, err := countryGraph(g09, all09)
+	if err != nil {
+		return nil, err
+	}
+	out.Countries = countries
+
+	// ----- Fig. 7(c): college graph from the three S-WRW walks (§7.3.3):
+	// star size estimates fed into star weight estimators.
+	colleges, err := collegeGraph(g10, swrwCrawl)
+	if err != nil {
+		return nil, err
+	}
+	out.Colleges = colleges
+	return out, nil
+}
+
+func fig6Grid(perWalk int) []int {
+	base := []int{200, 500, 1000, 2000, 5000, 10000, 20000}
+	return capGrid(base, perWalk)
+}
+
+func capGrid(grid []int, maxN int) []int {
+	out := grid[:0:0]
+	for _, n := range grid {
+		if n <= maxN {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != maxN {
+		out = append(out, maxN)
+	}
+	return out
+}
+
+// countryGraph implements the §7.3.1 recipe.
+func countryGraph(g *graph.Graph, crawls []*fbsim.Crawl) (*catgraph.Graph, error) {
+	N := float64(g.N())
+	// Sizes: UIS induced (the paper: "UIS induced sampling performed
+	// exceptionally well, we used it in the category size estimation").
+	var sizes []float64
+	for _, c := range crawls {
+		if c.Name != "UIS09" {
+			continue
+		}
+		merged := sample.Merge(c.Walks...)
+		o, err := sample.ObserveInduced(g, merged)
+		if err != nil {
+			return nil, err
+		}
+		sizes = core.SizeInduced(o, N)
+	}
+	if sizes == nil {
+		return nil, fmt.Errorf("exp: UIS09 crawl missing")
+	}
+	// Weights: star estimators per crawl type, averaged (the paper takes
+	// the average of the UIS/MHRW/RW estimates).
+	avg := core.NewPairWeights(g.NumCategories())
+	counts := core.NewPairWeights(g.NumCategories())
+	for _, c := range crawls {
+		merged := sample.Merge(c.Walks...)
+		o, err := sample.ObserveStar(g, merged)
+		if err != nil {
+			return nil, err
+		}
+		w, err := core.WeightsStar(o, sizes)
+		if err != nil {
+			return nil, err
+		}
+		w.ForEach(func(a, b int32, x float64) {
+			if x == x { // skip NaN
+				avg.Add(a, b, x)
+				counts.Add(a, b, 1)
+			}
+		})
+	}
+	final := core.NewPairWeights(g.NumCategories())
+	avg.ForEach(func(a, b int32, x float64) {
+		final.Set(a, b, x/counts.Get(a, b))
+	})
+	regions, err := catgraph.FromEstimate(&core.Result{N: N, Sizes: sizes, Weights: final}, g.CategoryNames())
+	if err != nil {
+		return nil, err
+	}
+	countriesCG := regions.Merge(fbsim.CountryOf)
+	countriesCG.Layout(randx.New(777), 300)
+	return countriesCG, nil
+}
+
+// collegeGraph implements the §7.3.3 recipe on the S-WRW crawl.
+func collegeGraph(g *graph.Graph, crawl *fbsim.Crawl) (*catgraph.Graph, error) {
+	if crawl == nil {
+		return nil, fmt.Errorf("exp: S-WRW10 crawl missing")
+	}
+	N := float64(g.N())
+	merged := sample.Merge(crawl.Walks...)
+	o, err := sample.ObserveStar(g, merged)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := core.SizeStar(o, N)
+	if err != nil {
+		return nil, err
+	}
+	weights, err := core.WeightsStar(o, sizes)
+	if err != nil {
+		return nil, err
+	}
+	cg, err := catgraph.FromEstimate(&core.Result{N: N, Sizes: sizes, Weights: weights}, g.CategoryNames())
+	if err != nil {
+		return nil, err
+	}
+	// Restrict to the 100 best-covered colleges for the visualization
+	// (the paper draws the top 133 US News colleges).
+	_, rew := o.CategoryDrawCounts()
+	type catMass struct {
+		c int32
+		n float64
+	}
+	order := make([]catMass, 0, len(rew))
+	for c := range rew {
+		order = append(order, catMass{int32(c), rew[c]})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].n > order[j].n })
+	keep := make([]int32, 0, 100)
+	for i := 0; i < len(order) && i < 100; i++ {
+		keep = append(keep, order[i].c)
+	}
+	top := cg.FilterCategories(keep)
+	top.Layout(randx.New(778), 300)
+	return top, nil
+}

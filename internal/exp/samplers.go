@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/sample"
+)
+
+// SamplerStudyResult holds the extension experiment comparing crawl designs
+// beyond the paper's set: RW vs Frontier (multiple dependent walkers, [52])
+// vs BFS (the §8 cautionary baseline).
+type SamplerStudyResult struct {
+	// Size: median star size NRMSE per sampler.
+	Size []eval.Series
+	// Weight: median star weight NRMSE per sampler.
+	Weight []eval.Series
+	// DegreeDist: total-variation distance of the HH-estimated degree
+	// distribution from the truth per sampler — the §1 "local property"
+	// benchmark.
+	DegreeDist []eval.Series
+}
+
+// SamplerStudy runs the extension experiment on a §6.2.1 graph. The
+// expectation (verified in EXPERIMENTS.md): Frontier tracks RW (same
+// stationary design, less autocorrelation, so equal or better NRMSE);
+// BFS shows a bias floor — its curves stop improving with sample size
+// because no design weight exists to correct it.
+func SamplerStudy(p Params) (*SamplerStudyResult, error) {
+	g, err := paperGraph(p.Seed+41, p.paperSizes(), 20, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	reps := p.reps(40, 8)
+	N := float64(g.N())
+	pairs := allPairs(g.NumCategories())
+	truth := truthAll(g, pairs)
+	trueHist := g.DegreeHistogram()
+	trueDist := make([]float64, len(trueHist))
+	for d, c := range trueHist {
+		trueDist[d] = float64(c) / N
+	}
+
+	out := &SamplerStudyResult{}
+	samplers := []struct {
+		name string
+		mk   func() (sample.Sampler, error)
+	}{
+		{"RW", func() (sample.Sampler, error) { return sample.NewRW(1000), nil }},
+		{"Frontier", func() (sample.Sampler, error) { return sample.NewFrontier(10, 1000), nil }},
+		{"BFS", func() (sample.Sampler, error) { return sample.NewBFS(), nil }},
+	}
+	for _, smp := range samplers {
+		quantities := map[string]float64{}
+		for c := 0; c < g.NumCategories(); c++ {
+			quantities[fmt.Sprintf("s/%d", c)] = truth[fmt.Sprintf("ss/%d", c)]
+		}
+		for _, pr := range pairs {
+			quantities[fmt.Sprintf("w/%d-%d", pr[0], pr[1])] = truth[fmt.Sprintf("ws/%d-%d", pr[0], pr[1])]
+		}
+		quantities["tv"] = 1 // sentinel truth; TV distance is its own error measure
+		cfg := eval.Config{Seed: p.Seed + 42, Reps: reps, Sizes: p.sampleGrid(), Workers: p.Workers}
+		mk := smp.mk
+		res, err := eval.Sweep(cfg, quantities,
+			func(r *rand.Rand, maxSize int) (*sample.Sample, error) {
+				s, err := mk()
+				if err != nil {
+					return nil, err
+				}
+				return s.Sample(r, g, maxSize)
+			},
+			func(s *sample.Sample) (map[string]float64, error) {
+				o, err := sample.ObserveStar(g, s)
+				if err != nil {
+					return nil, err
+				}
+				sizes, err := core.SizeStar(o, N)
+				if err != nil {
+					return nil, err
+				}
+				w, err := core.WeightsStar(o, sizes)
+				if err != nil {
+					return nil, err
+				}
+				vals := map[string]float64{}
+				for c := 0; c < g.NumCategories(); c++ {
+					vals[fmt.Sprintf("s/%d", c)] = sizes[c]
+				}
+				for _, pr := range pairs {
+					vals[fmt.Sprintf("w/%d-%d", pr[0], pr[1])] = w.Get(pr[0], pr[1])
+				}
+				dist, err := core.DegreeDistribution(o)
+				if err != nil {
+					return nil, err
+				}
+				// Recorded as 1 + TV against sentinel truth 1, so the
+				// sweep's NRMSE cell equals the RMS of the TV distance
+				// across replications.
+				vals["tv"] = 1 + totalVariation(dist, trueDist)
+				return vals, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("sampler study %s: %w", smp.name, err)
+		}
+		out.Size = append(out.Size, res.MedianSeries(smp.name, "s/"))
+		out.Weight = append(out.Weight, res.MedianSeries(smp.name, "w/"))
+		out.DegreeDist = append(out.DegreeDist, res.Series("tv", smp.name))
+	}
+	return out, nil
+}
+
+// totalVariation returns TV(p, q) = ½ Σ_d |p_d − q_d| over the union of
+// supports.
+func totalVariation(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	var tv float64
+	for d := 0; d < n; d++ {
+		var pd, qd float64
+		if d < len(p) {
+			pd = p[d]
+		}
+		if d < len(q) {
+			qd = q[d]
+		}
+		tv += math.Abs(pd - qd)
+	}
+	return tv / 2
+}

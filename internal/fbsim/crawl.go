@@ -1,0 +1,295 @@
+package fbsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Crawl is one crawl dataset in the sense of Table 2: several independent
+// walks of the same sampler over the same graph.
+type Crawl struct {
+	Name  string
+	Walks []*sample.Sample
+}
+
+// NewCrawl collects `walks` independent samples of perWalk draws each.
+func NewCrawl(r *rand.Rand, g *graph.Graph, s sample.Sampler, name string, walks, perWalk int) (*Crawl, error) {
+	ws, err := sample.Walks(r, g, s, walks, perWalk)
+	if err != nil {
+		return nil, fmt.Errorf("fbsim: crawl %s: %w", name, err)
+	}
+	return &Crawl{Name: name, Walks: ws}, nil
+}
+
+// TotalDraws returns the number of draws across all walks.
+func (c *Crawl) TotalDraws() int {
+	t := 0
+	for _, w := range c.Walks {
+		t += w.Len()
+	}
+	return t
+}
+
+// CategorizedFraction returns the share of draws that landed in a category —
+// the "% categ. samples" column of Table 2.
+func (c *Crawl) CategorizedFraction(g *graph.Graph) float64 {
+	var in, all float64
+	for _, w := range c.Walks {
+		for _, v := range w.Nodes {
+			all++
+			if g.Category(v) != graph.None {
+				in++
+			}
+		}
+	}
+	if all == 0 {
+		return 0
+	}
+	return in / all
+}
+
+// SamplesPerCategory returns the per-category draw totals across all walks,
+// sorted in decreasing order — the curves of Fig. 5.
+func (c *Crawl) SamplesPerCategory(g *graph.Graph) []int64 {
+	counts := make([]int64, g.NumCategories())
+	for _, w := range c.Walks {
+		for _, v := range w.Nodes {
+			if cat := g.Category(v); cat != graph.None {
+				counts[cat]++
+			}
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	return counts
+}
+
+// TopCategories returns the ids of the k categories with the most draws
+// across all walks — the "most popular" categories evaluated in Fig. 6.
+func (c *Crawl) TopCategories(g *graph.Graph, k int) []int32 {
+	counts := make([]int64, g.NumCategories())
+	for _, w := range c.Walks {
+		for _, v := range w.Nodes {
+			if cat := g.Category(v); cat != graph.None {
+				counts[cat]++
+			}
+		}
+	}
+	ids := make([]int32, g.NumCategories())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return counts[ids[i]] > counts[ids[j]] })
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// EvalConfig controls the §7.2 NRMSE evaluation of a crawl.
+type EvalConfig struct {
+	// Sizes is the per-walk prefix grid |S|.
+	Sizes []int
+	// TopCategories bounds the evaluated categories (paper: 100 most
+	// popular).
+	TopCategories int
+	// MaxPairs bounds the number of category pairs entering the weight
+	// median (highest-truth pairs first); 0 means 300.
+	MaxPairs int
+}
+
+// CrawlEval holds the §7.2 results for one crawl: median NRMSE curves per
+// estimator family.
+type CrawlEval struct {
+	Sizes []int
+	// Median maps "size/induced", "size/star", "weight/induced",
+	// "weight/star" to NRMSE curves over Sizes.
+	Median map[string][]float64
+}
+
+// Evaluate applies the paper's §7.2 methodology to a crawl: for each
+// estimator family, the ground truth of every quantity is the average of the
+// full-length estimates over all walks, and each walk is one replication.
+// The reported curve is the median NRMSE over the top categories (sizes) or
+// over the heaviest category pairs (weights).
+func Evaluate(g *graph.Graph, c *Crawl, cfg EvalConfig) (*CrawlEval, error) {
+	if len(c.Walks) < 2 {
+		return nil, fmt.Errorf("fbsim: need at least 2 walks, have %d", len(c.Walks))
+	}
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("fbsim: empty size grid")
+	}
+	topK := cfg.TopCategories
+	if topK <= 0 {
+		topK = 100
+	}
+	maxPairs := cfg.MaxPairs
+	if maxPairs <= 0 {
+		maxPairs = 300
+	}
+	cats := c.TopCategories(g, topK)
+	N := float64(g.N())
+
+	type est struct {
+		sizeInd, sizeStar []float64
+		wInd, wStar       *core.PairWeights
+	}
+	full := make([]est, len(c.Walks))
+	estimateAt := func(w *sample.Sample, n int) (est, error) {
+		var e est
+		p := w.Prefix(n)
+		oi, err := sample.ObserveInduced(g, p)
+		if err != nil {
+			return e, err
+		}
+		os, err := sample.ObserveStar(g, p)
+		if err != nil {
+			return e, err
+		}
+		e.sizeInd = core.SizeInduced(oi, N)
+		e.sizeStar, err = core.SizeStar(os, N)
+		if err != nil {
+			return e, err
+		}
+		e.wInd, err = core.WeightsInduced(oi)
+		if err != nil {
+			return e, err
+		}
+		e.wStar, err = core.WeightsStar(os, e.sizeStar)
+		if err != nil {
+			return e, err
+		}
+		return e, nil
+	}
+	for i, w := range c.Walks {
+		var err error
+		full[i], err = estimateAt(w, w.Len())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Cross-walk average = ground truth (§7.2), per estimator family.
+	W := float64(len(c.Walks))
+	truthSizeInd := make(map[int32]float64)
+	truthSizeStar := make(map[int32]float64)
+	for _, a := range cats {
+		for i := range full {
+			truthSizeInd[a] += full[i].sizeInd[a] / W
+			truthSizeStar[a] += full[i].sizeStar[a] / W
+		}
+	}
+	type pairT struct{ a, b int32 }
+	truthWInd := make(map[pairT]float64)
+	truthWStar := make(map[pairT]float64)
+	inTop := make(map[int32]bool, len(cats))
+	for _, a := range cats {
+		inTop[a] = true
+	}
+	for i := range full {
+		full[i].wInd.ForEach(func(a, b int32, w float64) {
+			if inTop[a] && inTop[b] {
+				truthWInd[pairT{a, b}] += w / W
+			}
+		})
+		full[i].wStar.ForEach(func(a, b int32, w float64) {
+			if inTop[a] && inTop[b] && !isNaN(w) {
+				truthWStar[pairT{a, b}] += w / W
+			}
+		})
+	}
+	// Evaluate weights on the heaviest pairs by star truth (the family with
+	// the wider support); induced truth falls back to the same pair set.
+	pairs := make([]pairT, 0, len(truthWStar))
+	for p, w := range truthWStar {
+		if w > 0 {
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		wi, wj := truthWStar[pairs[i]], truthWStar[pairs[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	if len(pairs) > maxPairs {
+		pairs = pairs[:maxPairs]
+	}
+
+	out := &CrawlEval{Sizes: cfg.Sizes, Median: map[string][]float64{
+		"size/induced":   make([]float64, len(cfg.Sizes)),
+		"size/star":      make([]float64, len(cfg.Sizes)),
+		"weight/induced": make([]float64, len(cfg.Sizes)),
+		"weight/star":    make([]float64, len(cfg.Sizes)),
+	}}
+	for si, n := range cfg.Sizes {
+		accSI := newAccSet(len(cats))
+		accSS := newAccSet(len(cats))
+		accWI := newAccSet(len(pairs))
+		accWS := newAccSet(len(pairs))
+		for _, w := range c.Walks {
+			e, err := estimateAt(w, n)
+			if err != nil {
+				return nil, err
+			}
+			for ci, a := range cats {
+				accSI.add(ci, e.sizeInd[a], truthSizeInd[a])
+				accSS.add(ci, e.sizeStar[a], truthSizeStar[a])
+			}
+			for pi, p := range pairs {
+				accWI.add(pi, e.wInd.Get(p.a, p.b), truthWInd[p])
+				accWS.add(pi, e.wStar.Get(p.a, p.b), truthWStar[p])
+			}
+		}
+		out.Median["size/induced"][si] = accSI.median()
+		out.Median["size/star"][si] = accSS.median()
+		out.Median["weight/induced"][si] = accWI.median()
+		out.Median["weight/star"][si] = accWS.median()
+	}
+	return out, nil
+}
+
+func isNaN(x float64) bool { return x != x }
+
+// accSet accumulates squared errors per quantity and reports the median
+// NRMSE.
+type accSet struct {
+	sq    []float64
+	n     []float64
+	truth []float64
+}
+
+func newAccSet(k int) *accSet {
+	return &accSet{sq: make([]float64, k), n: make([]float64, k), truth: make([]float64, k)}
+}
+
+func (a *accSet) add(i int, estimate, truth float64) {
+	if isNaN(estimate) || truth == 0 {
+		return
+	}
+	d := estimate - truth
+	a.sq[i] += d * d
+	a.n[i]++
+	a.truth[i] = truth
+}
+
+func (a *accSet) median() float64 {
+	vals := make([]float64, 0, len(a.sq))
+	for i := range a.sq {
+		if a.n[i] == 0 || a.truth[i] == 0 {
+			continue
+		}
+		vals = append(vals, math.Sqrt(a.sq[i]/a.n[i])/math.Abs(a.truth[i]))
+	}
+	return stats.MedianFinite(vals)
+}

@@ -1,0 +1,154 @@
+// Package fbsim reproduces the Facebook measurement study of Section 7 on a
+// synthetic substrate. The paper's input data — 10.1M sampled Facebook users
+// collected in 2009/2010 (Table 2) — is proprietary and long gone; following
+// the substitution rule in DESIGN.md, this package builds Facebook-like
+// graphs whose category structure matches the paper's description:
+//
+//   - 2009: geographical regions — 507 region categories covering 34% of the
+//     population, with heavily skewed (Zipf) region sizes (Fig. 5(a));
+//   - 2010: colleges — many small college categories covering 3.5% of the
+//     population (Fig. 5(b)), where a plain RW collects only a handful of
+//     samples per college and S-WRW improves that by an order of magnitude.
+//
+// Crawl datasets then mirror Table 2: several independent walks per crawl
+// type, evaluated with the paper's own §7.2 methodology (the cross-walk
+// average serves as ground truth, each walk is one replication).
+package fbsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Config scales the synthetic Facebook substrate. The defaults (see
+// DefaultConfig) give a 200K-node graph that keeps every §7 experiment
+// minutes-scale; the category counts and coverage fractions follow the
+// paper, with the number of colleges scaled by the N ratio.
+type Config struct {
+	N       int     // population size
+	MeanDeg float64 // mean friend count
+	Mixing  float64 // planted-partition mixing (fraction of global edges)
+
+	Regions        int     // number of region categories (2009)
+	RegionCoverage float64 // fraction of nodes with a region (0.34)
+	RegionZipf     float64 // region size skew
+
+	Colleges        int     // number of college categories (2010)
+	CollegeCoverage float64 // fraction of nodes in a college (0.035)
+	CollegeZipf     float64 // college size skew
+}
+
+// DefaultConfig returns the scaled-down §7 substrate configuration.
+func DefaultConfig() Config {
+	return Config{
+		N:               200_000,
+		MeanDeg:         20,
+		Mixing:          0.25,
+		Regions:         507,
+		RegionCoverage:  0.34,
+		RegionZipf:      1.1,
+		Colleges:        500,
+		CollegeCoverage: 0.035,
+		CollegeZipf:     0.8,
+	}
+}
+
+// Build2009 constructs the 2009-style graph: a social graph whose planted
+// communities include the 507 regions (covering RegionCoverage of nodes);
+// region communities become categories, everyone else is uncategorized.
+// Region names are "CC:Region-i" so that catgraph.Merge can roll them up
+// into countries as in §7.3.1.
+func Build2009(r *rand.Rand, cfg Config) (*graph.Graph, error) {
+	return buildWithCategories(r, cfg, cfg.Regions, cfg.RegionCoverage, cfg.RegionZipf, regionName)
+}
+
+// Build2010 constructs the 2010-style graph: college communities covering
+// CollegeCoverage of the population, named "college-i".
+func Build2010(r *rand.Rand, cfg Config) (*graph.Graph, error) {
+	return buildWithCategories(r, cfg, cfg.Colleges, cfg.CollegeCoverage, cfg.CollegeZipf,
+		func(i int) string { return fmt.Sprintf("college-%04d", i) })
+}
+
+func buildWithCategories(r *rand.Rand, cfg Config, k int, coverage, zipf float64, name func(int) string) (*graph.Graph, error) {
+	if k <= 0 || coverage <= 0 || coverage >= 1 {
+		return nil, fmt.Errorf("fbsim: need positive category count and coverage in (0,1)")
+	}
+	covered := int(float64(cfg.N) * coverage)
+	if covered < k {
+		return nil, fmt.Errorf("fbsim: coverage %d nodes < %d categories", covered, k)
+	}
+	catSizes := gen.ZipfSizes(covered, k, zipf)
+	var catTotal int64
+	for _, s := range catSizes {
+		catTotal += s
+	}
+	rest := int64(cfg.N) - catTotal
+	// The uncovered population forms its own communities (about the same
+	// granularity as the categorized part) so the graph is socially
+	// clustered everywhere, not only inside categories.
+	fillers := max(int(rest/2000), 20)
+	commSizes := append(append([]int64(nil), catSizes...), gen.ZipfSizes(int(rest), fillers, 1.0)...)
+	g, err := gen.Social(r, gen.SocialConfig{
+		N:         cfg.N,
+		MeanDeg:   cfg.MeanDeg,
+		Dist:      gen.Lognormal,
+		Shape:     1.1,
+		Mixing:    cfg.Mixing,
+		CommSizes: commSizes,
+		Connect:   true,
+		SetAsCats: true, // temporary labels: community index
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Re-label: the first k communities are the categories, the filler
+	// communities become uncategorized.
+	cat := make([]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		c := g.Category(int32(v))
+		if int(c) < k {
+			cat[v] = c
+		} else {
+			cat[v] = graph.None
+		}
+	}
+	names := make([]string, k)
+	for i := range names {
+		names[i] = name(i)
+	}
+	if err := g.SetCategories(cat, k, names); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// countries used to compose region names; regions of the same country merge
+// in the §7.3.1 roll-up.
+var countries = []string{
+	"US", "CA", "UK", "DE", "FR", "IT", "ES", "PT", "NL", "BE", "CH", "AT",
+	"SE", "NO", "DK", "FI", "IE", "PL", "CZ", "HU", "RO", "GR", "TR", "RU",
+	"UA", "MX", "BR", "AR", "CL", "CO", "PE", "VE", "AU", "NZ", "JP", "KR",
+	"TW", "HK", "SG", "MY", "TH", "PH", "ID", "VN", "IN", "PK", "BD", "LK",
+	"AE", "SA", "IL", "JO", "LB", "EG", "MA", "TN", "ZA", "NG", "KE", "GH",
+}
+
+// regionName assigns region i to a country round-robin, so large countries
+// (low i mod) end up with several regions — mirroring Facebook's 2009
+// city/state-level granularity for the US, Canada and the UK.
+func regionName(i int) string {
+	c := countries[i%len(countries)]
+	return fmt.Sprintf("%s:region-%02d", c, i/len(countries))
+}
+
+// CountryOf extracts the merge key of a region name ("US:region-03" → "US").
+func CountryOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == ':' {
+			return name[:i]
+		}
+	}
+	return name
+}

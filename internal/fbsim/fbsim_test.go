@@ -1,0 +1,234 @@
+package fbsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// smallConfig keeps fbsim tests fast.
+func smallConfig() Config {
+	return Config{
+		N: 8000, MeanDeg: 12, Mixing: 0.25,
+		Regions: 40, RegionCoverage: 0.34, RegionZipf: 1.0,
+		Colleges: 30, CollegeCoverage: 0.05, CollegeZipf: 0.8,
+	}
+}
+
+func TestBuild2009Shape(t *testing.T) {
+	cfg := smallConfig()
+	g, err := Build2009(randx.New(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != cfg.N {
+		t.Fatalf("N=%d", g.N())
+	}
+	if g.NumCategories() != cfg.Regions {
+		t.Fatalf("categories=%d", g.NumCategories())
+	}
+	frac := g.CategorizedFraction()
+	if math.Abs(frac-cfg.RegionCoverage) > 0.02 {
+		t.Fatalf("coverage %.3f, want ≈%.2f", frac, cfg.RegionCoverage)
+	}
+	if !g.IsConnected() {
+		t.Fatal("substrate must be connected")
+	}
+	// Region sizes must be skewed: largest ≥ 4× median.
+	var largest, smallest int64 = 0, 1 << 60
+	for c := int32(0); c < int32(cfg.Regions); c++ {
+		s := g.CategorySize(c)
+		if s > largest {
+			largest = s
+		}
+		if s < smallest {
+			smallest = s
+		}
+	}
+	if largest < 4*smallest {
+		t.Fatalf("region sizes not skewed: max %d min %d", largest, smallest)
+	}
+	if CountryOf(g.CategoryName(0)) == g.CategoryName(0) {
+		t.Fatalf("region name %q should carry a country prefix", g.CategoryName(0))
+	}
+}
+
+func TestBuild2010Shape(t *testing.T) {
+	cfg := smallConfig()
+	g, err := Build2010(randx.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCategories() != cfg.Colleges {
+		t.Fatalf("categories=%d", g.NumCategories())
+	}
+	if frac := g.CategorizedFraction(); math.Abs(frac-cfg.CollegeCoverage) > 0.01 {
+		t.Fatalf("coverage %.3f", frac)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Regions = 0
+	if _, err := Build2009(randx.New(1), cfg); err == nil {
+		t.Error("zero regions must fail")
+	}
+	cfg = smallConfig()
+	cfg.RegionCoverage = 0.0001 // fewer covered nodes than regions
+	if _, err := Build2009(randx.New(1), cfg); err == nil {
+		t.Error("coverage < categories must fail")
+	}
+}
+
+func TestCountryOf(t *testing.T) {
+	if CountryOf("US:region-03") != "US" {
+		t.Fatal("prefix extraction")
+	}
+	if CountryOf("plain") != "plain" {
+		t.Fatal("no-colon name must be returned unchanged")
+	}
+}
+
+func TestCrawlBasics(t *testing.T) {
+	g, err := Build2009(randx.New(3), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCrawl(randx.New(4), g, sample.NewRW(100), "RW", 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Walks) != 5 || c.TotalDraws() != 2000 {
+		t.Fatalf("walks=%d draws=%d", len(c.Walks), c.TotalDraws())
+	}
+	frac := c.CategorizedFraction(g)
+	if frac <= 0.1 || frac >= 0.9 {
+		t.Fatalf("categorized draw fraction %.3f implausible for 34%% coverage", frac)
+	}
+	spc := c.SamplesPerCategory(g)
+	if len(spc) != g.NumCategories() {
+		t.Fatal("length mismatch")
+	}
+	for i := 1; i < len(spc); i++ {
+		if spc[i] > spc[i-1] {
+			t.Fatal("not sorted descending")
+		}
+	}
+	var sum int64
+	for _, v := range spc {
+		sum += v
+	}
+	if float64(sum)/2000 != frac {
+		t.Fatalf("sum %d inconsistent with categorized fraction", sum)
+	}
+	top := c.TopCategories(g, 10)
+	if len(top) != 10 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestSWRWOversamplesColleges(t *testing.T) {
+	// The Fig. 5(b) phenomenon: S-WRW collects far more college samples
+	// than plain RW on the 2010-style graph.
+	cfg := smallConfig()
+	g, err := Build2010(randx.New(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewCrawl(randx.New(6), g, sample.NewRW(200), "RW10", 4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swrwSampler, err := sample.NewSWRW(g, sample.SWRWConfig{BurnIn: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swrw, err := NewCrawl(randx.New(7), g, swrwSampler, "S-WRW10", 4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, fs := rw.CategorizedFraction(g), swrw.CategorizedFraction(g)
+	if fs < 3*fr {
+		t.Fatalf("S-WRW categorized fraction %.3f not ≫ RW's %.3f", fs, fr)
+	}
+}
+
+func TestEvaluateMethodology(t *testing.T) {
+	g, err := Build2009(randx.New(8), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCrawl(randx.New(9), g, sample.NewRW(200), "RW09", 6, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(g, c, EvalConfig{Sizes: []int{400, 1500, 4000}, TopCategories: 15, MaxPairs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(ev.Sizes) - 1
+	for _, key := range []string{"size/induced", "size/star", "weight/induced", "weight/star"} {
+		curve, ok := ev.Median[key]
+		if !ok || len(curve) != 3 {
+			t.Fatalf("missing curve %s", key)
+		}
+		if math.IsNaN(curve[last]) {
+			t.Errorf("%s: NaN at full size", key)
+		}
+	}
+	// The headline §7.2 findings, on an RW crawl:
+	// (i) star size estimation beats induced size estimation (Fig. 6(a));
+	if ev.Median["size/star"][last] > ev.Median["size/induced"][last] {
+		t.Errorf("star size NRMSE %.3f worse than induced %.3f",
+			ev.Median["size/star"][last], ev.Median["size/induced"][last])
+	}
+	// (ii) star weights dramatically beat induced weights (Fig. 6(c,d));
+	if ev.Median["weight/star"][last] > ev.Median["weight/induced"][last] {
+		t.Errorf("star weight NRMSE %.3f worse than induced %.3f at full |S|",
+			ev.Median["weight/star"][last], ev.Median["weight/induced"][last])
+	}
+	// (iii) size errors shrink as the prefix grows.
+	if !(ev.Median["size/star"][last] < ev.Median["size/star"][0]) {
+		t.Errorf("size/star did not shrink: %v", ev.Median["size/star"])
+	}
+	if !(ev.Median["size/induced"][last] < ev.Median["size/induced"][0]) {
+		t.Errorf("size/induced did not shrink: %v", ev.Median["size/induced"])
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g, err := Build2009(randx.New(10), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Crawl{Name: "tiny", Walks: []*sample.Sample{{Nodes: []int32{0}}}}
+	if _, err := Evaluate(g, c, EvalConfig{Sizes: []int{1}}); err == nil {
+		t.Error("single walk must fail")
+	}
+	c2, err := NewCrawl(randx.New(11), g, sample.NewRW(10), "x", 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(g, c2, EvalConfig{}); err == nil {
+		t.Error("empty size grid must fail")
+	}
+}
+
+func TestBuildPreservesNone(t *testing.T) {
+	g, err := Build2009(randx.New(12), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g.Category(v) == graph.None {
+			none++
+		}
+	}
+	if none == 0 {
+		t.Fatal("2009 graph must have uncategorized nodes (66% of population)")
+	}
+}

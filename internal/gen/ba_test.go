@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g, err := BarabasiAlbert(randx.New(1), 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5000 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// |E| = C(m+1,2) + m·(n−m−1) minus any duplicate-collapsed edges
+	// (targets is a set, so there are none).
+	wantM := int64(3*4/2 + 3*(5000-4))
+	if g.M() != wantM {
+		t.Fatalf("M=%d want %d", g.M(), wantM)
+	}
+	// BA graphs are connected by construction.
+	if !g.IsConnected() {
+		t.Fatal("BA graph must be connected")
+	}
+	// Minimum degree m; heavy tail: max degree far above the mean.
+	minDeg, maxDeg := g.N(), 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := g.Degree(v)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if minDeg < 3 {
+		t.Fatalf("min degree %d < m", minDeg)
+	}
+	if float64(maxDeg) < 8*g.MeanDegree() {
+		t.Fatalf("max degree %d not heavy-tailed (mean %.1f)", maxDeg, g.MeanDegree())
+	}
+}
+
+func TestBarabasiAlbertHubAttraction(t *testing.T) {
+	// Early nodes must accumulate much higher degree than late ones.
+	g, err := BarabasiAlbert(randx.New(2), 3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late float64
+	for v := int32(0); v < 50; v++ {
+		early += float64(g.Degree(v))
+	}
+	for v := int32(g.N() - 50); v < int32(g.N()); v++ {
+		late += float64(g.Degree(v))
+	}
+	if early < 3*late {
+		t.Fatalf("early mass %v not ≫ late mass %v", early, late)
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(randx.New(1), 5, 0); err == nil {
+		t.Error("m=0 must fail")
+	}
+	if _, err := BarabasiAlbert(randx.New(1), 3, 3); err == nil {
+		t.Error("n <= m must fail")
+	}
+}

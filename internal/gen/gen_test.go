@@ -1,0 +1,384 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+func TestGNMBasics(t *testing.T) {
+	r := randx.New(1)
+	g, err := GNM(r, 100, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 || g.M() != 250 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestGNMRejectsTooManyEdges(t *testing.T) {
+	if _, err := GNM(randx.New(1), 4, 10); err == nil {
+		t.Fatal("want error for m > n(n-1)/2")
+	}
+}
+
+func TestGNMComplete(t *testing.T) {
+	// Exactly the complete graph must be reachable.
+	g, err := GNM(randx.New(2), 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 5; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("deg(%d)=%d in K5", u, g.Degree(u))
+		}
+	}
+}
+
+func TestRegularDegrees(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{50, 5}, {100, 20}, {64, 49}, {10, 3}} {
+		g, err := Regular(randx.New(uint64(tc.n*tc.k)), tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		for v := int32(0); v < int32(tc.n); v++ {
+			if g.Degree(v) != tc.k {
+				t.Fatalf("n=%d k=%d: deg(%d)=%d", tc.n, tc.k, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestRegularErrors(t *testing.T) {
+	if _, err := Regular(randx.New(1), 5, 3); err == nil {
+		t.Error("odd n·k should fail")
+	}
+	if _, err := Regular(randx.New(1), 5, 5); err == nil {
+		t.Error("k >= n should fail")
+	}
+	if _, err := Regular(randx.New(1), 5, -1); err == nil {
+		t.Error("negative k should fail")
+	}
+	g, err := Regular(randx.New(1), 5, 0)
+	if err != nil || g.M() != 0 {
+		t.Error("k=0 should give an empty graph")
+	}
+}
+
+func TestRegularPropertyDegreeSequence(t *testing.T) {
+	f := func(seed uint64, rawN, rawK uint8) bool {
+		n := int(rawN%40) + 10
+		k := int(rawK % 8)
+		if n*k%2 == 1 {
+			k++
+		}
+		if k >= n {
+			return true
+		}
+		g, err := Regular(randx.New(seed), n, k)
+		if err != nil {
+			return false
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if g.Degree(v) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularEdgesOnSubset(t *testing.T) {
+	// The generator must work on an arbitrary node id subset (categories).
+	nodes := []int32{5, 17, 23, 42, 99, 100}
+	edges, err := RegularEdges(randx.New(9), nodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := map[int32]int{}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			t.Fatal("self-loop")
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for _, v := range nodes {
+		if deg[v] != 3 {
+			t.Fatalf("deg(%d)=%d", v, deg[v])
+		}
+	}
+}
+
+func TestPaperModelShape(t *testing.T) {
+	// Scaled-down version of §6.2.1 keeps the |E| = 0.6·N·k identity.
+	cfg := PaperConfig{
+		Sizes: []int64{50, 100, 200, 500, 1000},
+		K:     8,
+		Alpha: 0.5,
+	}
+	g, err := Paper(randx.New(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := int64(1850)
+	if int64(g.N()) != N {
+		t.Fatalf("N=%d", g.N())
+	}
+	wantM := N*8/2 + N*8/10
+	if g.M() != wantM {
+		t.Fatalf("M=%d want %d (=0.6·N·k)", g.M(), wantM)
+	}
+	if g.NumCategories() != 5 {
+		t.Fatalf("k=%d", g.NumCategories())
+	}
+	// α-shuffle preserves category sizes.
+	for c, want := range cfg.Sizes {
+		if g.CategorySize(int32(c)) != want {
+			t.Fatalf("category %d size %d, want %d", c, g.CategorySize(int32(c)), want)
+		}
+	}
+}
+
+func TestPaperSizesSumToPaperN(t *testing.T) {
+	var n int64
+	for _, s := range PaperSizes {
+		n += s
+	}
+	if n != 88850 {
+		t.Fatalf("ΣPaperSizes = %d, want 88850 (the paper's N)", n)
+	}
+}
+
+func TestPaperAlphaZeroKeepsBlocks(t *testing.T) {
+	cfg := PaperConfig{Sizes: []int64{60, 120}, K: 4, Alpha: 0}
+	g, err := Paper(randx.New(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 60; v++ {
+		if g.Category(v) != 0 {
+			t.Fatal("α=0 must keep block labels")
+		}
+	}
+}
+
+func TestPaperAlphaOneDecouples(t *testing.T) {
+	// With α=1 labels should be (nearly) independent of blocks: the
+	// fraction of intra-category edges should be close to the random
+	// expectation rather than the α=0 structure.
+	cfg := PaperConfig{Sizes: []int64{500, 500}, K: 6, Alpha: 1}
+	g, err := Paper(randx.New(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := g.CutMatrix()
+	intra := float64(cm[0][0] + cm[1][1])
+	total := intra + float64(cm[0][1])
+	// Random labels on two equal halves → ~50% intra. The α=0 construction
+	// would give ~83% intra (k/(k+2·k/10)... structure >> 50%).
+	frac := intra / total
+	if frac > 0.6 {
+		t.Fatalf("α=1 intra fraction %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestPaperValidation(t *testing.T) {
+	if _, err := Paper(randx.New(1), PaperConfig{K: 0}); err == nil {
+		t.Error("K=0 must fail")
+	}
+	if _, err := Paper(randx.New(1), PaperConfig{K: 5, Alpha: 2}); err == nil {
+		t.Error("alpha out of range must fail")
+	}
+	if _, err := Paper(randx.New(1), PaperConfig{Sizes: []int64{10}, K: 20}); err == nil {
+		t.Error("category smaller than k must fail")
+	}
+}
+
+func TestConnectMakesConnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := []int32{0, 0, 1, 1, 1, 1}
+	if err := g.SetCategories(cat, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	cg, err := Connect(randx.New(1), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg.IsConnected() {
+		t.Fatal("still disconnected")
+	}
+	if cg.M() != 5 {
+		t.Fatalf("M=%d, want 5 (3 + 2 patch edges)", cg.M())
+	}
+	if cg.Category(0) != 0 || cg.Category(4) != 1 {
+		t.Fatal("categories lost")
+	}
+	// Already-connected graphs are returned unchanged.
+	cg2, err := Connect(randx.New(1), cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg2.M() != cg.M() {
+		t.Fatal("Connect modified a connected graph")
+	}
+}
+
+func TestDegreeWeightsMean(t *testing.T) {
+	for _, dist := range []DegreeDist{PowerLaw, Lognormal} {
+		w := DegreeWeights(randx.New(11), 20000, dist, 25, 0)
+		var sum float64
+		for _, x := range w {
+			if x <= 0 {
+				t.Fatal("non-positive weight")
+			}
+			sum += x
+		}
+		mean := sum / float64(len(w))
+		if math.Abs(mean-25) > 1e-9 {
+			t.Fatalf("dist %d: mean %v, want 25", dist, mean)
+		}
+	}
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	w := DegreeWeights(randx.New(13), 50000, PowerLaw, 10, 2.2)
+	if q := maxOf(w) / 10; q < 5 {
+		t.Fatalf("power-law max/mean = %.1f, expected heavy tail", q)
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestChungLuMatchesTargets(t *testing.T) {
+	w := DegreeWeights(randx.New(17), 5000, Lognormal, 12, 0.8)
+	g, err := ChungLu(randx.New(18), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := int64(5000 * 12 / 2)
+	if g.M() != wantM {
+		t.Fatalf("M=%d want %d", g.M(), wantM)
+	}
+	// High-weight nodes should end up with higher degree on average:
+	// correlation between w and deg must be strongly positive.
+	var mw, md stats2 // tiny inline moments
+	for v := 0; v < g.N(); v++ {
+		mw.add(w[v])
+		md.add(float64(g.Degree(int32(v))))
+	}
+	var cov float64
+	for v := 0; v < g.N(); v++ {
+		cov += (w[v] - mw.mean()) * (float64(g.Degree(int32(v))) - md.mean())
+	}
+	corr := cov / float64(g.N()) / (mw.sd() * md.sd())
+	if corr < 0.8 {
+		t.Fatalf("weight-degree correlation %.3f, want > 0.8", corr)
+	}
+}
+
+type stats2 struct {
+	n          int
+	sum, sumSq float64
+}
+
+func (s *stats2) add(x float64) { s.n++; s.sum += x; s.sumSq += x * x }
+func (s *stats2) mean() float64 { return s.sum / float64(s.n) }
+func (s *stats2) sd() float64   { m := s.mean(); return math.Sqrt(s.sumSq/float64(s.n) - m*m) }
+
+func TestZipfSizes(t *testing.T) {
+	sizes := ZipfSizes(1000, 10, 1.0)
+	var sum int64
+	for i, s := range sizes {
+		if s < 1 {
+			t.Fatalf("part %d is %d", i, s)
+		}
+		if i > 0 && s > sizes[i-1] {
+			t.Fatal("sizes not non-increasing")
+		}
+		sum += s
+	}
+	if sum != 1000 {
+		t.Fatalf("sum=%d", sum)
+	}
+	eq := ZipfSizes(100, 4, 0)
+	for _, s := range eq {
+		if s != 25 {
+			t.Fatalf("skew 0 should give equal parts, got %v", eq)
+		}
+	}
+}
+
+func TestSocialGraph(t *testing.T) {
+	cfg := SocialConfig{
+		N: 4000, MeanDeg: 10, Dist: PowerLaw, Shape: 2.5,
+		Comms: 20, CommZipf: 1.0, Mixing: 0.2, Connect: true, SetAsCats: true,
+	}
+	g, err := Social(randx.New(21), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4000 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("Connect requested but graph disconnected")
+	}
+	if math.Abs(g.MeanDegree()-10) > 1.0 {
+		t.Fatalf("mean degree %v, want ≈10", g.MeanDegree())
+	}
+	if g.NumCategories() != 20 {
+		t.Fatalf("categories = %d", g.NumCategories())
+	}
+	// Community structure: intra-community edges should dominate the
+	// random expectation by a wide margin with μ=0.2.
+	cm := g.CutMatrix()
+	var intra, total int64
+	for a := 0; a < 20; a++ {
+		for b := a; b < 20; b++ {
+			if a == b {
+				intra += cm[a][a]
+				total += cm[a][a]
+			} else {
+				total += cm[a][b]
+			}
+		}
+	}
+	if frac := float64(intra) / float64(total); frac < 0.5 {
+		t.Fatalf("intra-community edge fraction %.3f, want > 0.5", frac)
+	}
+}
+
+func TestSocialValidation(t *testing.T) {
+	if _, err := Social(randx.New(1), SocialConfig{N: 5}); err == nil {
+		t.Error("tiny N must fail")
+	}
+	if _, err := Social(randx.New(1), SocialConfig{N: 100, MeanDeg: 5, Mixing: 1.5}); err == nil {
+		t.Error("mixing > 1 must fail")
+	}
+	if _, err := Social(randx.New(1), SocialConfig{N: 100, MeanDeg: 0}); err == nil {
+		t.Error("zero mean degree must fail")
+	}
+}

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// PaperSizes is the category size sequence of §6.2.1: ten categories whose
+// sizes range from 50 to 50,000 in a 1-2-5 decade series. They sum to the
+// paper's N = 88,850.
+var PaperSizes = []int64{50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000, 50000}
+
+// PaperConfig parameterizes the synthetic model of §6.2.1.
+type PaperConfig struct {
+	// Sizes holds the category sizes. Defaults to PaperSizes.
+	Sizes []int64
+	// K is the intra-category average degree (the paper sweeps 5…49).
+	// Each category starts as a K-regular random graph.
+	K int
+	// Alpha is the community-tightness knob α ∈ [0,1]: the fraction of
+	// nodes whose category labels are randomly permuted after construction.
+	// α=0 keeps the strong community structure; α=1 makes categories
+	// independent of topology.
+	Alpha float64
+	// InterEdgeFactor scales the number of random inter-category edges:
+	// N·K/InterDivisor edges are added. The paper uses divisor 10, giving
+	// |E| = 0.6·N·K. Zero means the paper's value.
+	InterDivisor int
+	// Connect forces the result to be connected (paper: "the resulting
+	// graph G is connected (in all instances we used)").
+	Connect bool
+}
+
+// Paper generates a graph from the §6.2.1 model: nodes partitioned into
+// categories of the configured sizes, a K-regular random graph inside each
+// category, N·K/10 uniform random inter-category edges, and finally the
+// category labels of an α-fraction of nodes randomly permuted.
+func Paper(r *rand.Rand, cfg PaperConfig) (*graph.Graph, error) {
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = PaperSizes
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("gen: paper model needs K >= 1, got %d", cfg.K)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("gen: alpha %v outside [0,1]", cfg.Alpha)
+	}
+	div := cfg.InterDivisor
+	if div == 0 {
+		div = 10
+	}
+	var n int64
+	for i, s := range sizes {
+		if s <= int64(cfg.K) {
+			return nil, fmt.Errorf("gen: category %d size %d too small for k=%d", i, s, cfg.K)
+		}
+		n += s
+	}
+	N := int(n)
+	k := len(sizes)
+
+	// Contiguous block assignment; the block structure drives edge
+	// construction, labels may be shuffled afterwards.
+	blockOf := make([]int32, N)
+	start := make([]int64, k+1)
+	for c := 0; c < k; c++ {
+		start[c+1] = start[c] + sizes[c]
+		for v := start[c]; v < start[c+1]; v++ {
+			blockOf[v] = int32(c)
+		}
+	}
+
+	b := graph.NewBuilder(N)
+	seen := make(edgeSet)
+	// Intra-category K-regular graphs.
+	for c := 0; c < k; c++ {
+		members := make([]int32, sizes[c])
+		for i := range members {
+			members[i] = int32(start[c] + int64(i))
+		}
+		edges, err := RegularEdges(r, members, cfg.K)
+		if err != nil {
+			return nil, fmt.Errorf("gen: category %d: %w", c, err)
+		}
+		for _, e := range edges {
+			seen.add(e[0], e[1])
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	// N·K/div random inter-category edges.
+	inter := int64(N) * int64(cfg.K) / int64(div)
+	for added := int64(0); added < inter; {
+		u, v := int32(r.IntN(N)), int32(r.IntN(N))
+		if u == v || blockOf[u] == blockOf[v] || seen.has(u, v) {
+			continue
+		}
+		seen.add(u, v)
+		b.AddEdge(u, v)
+		added++
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// α-shuffle: permute the labels of a uniform fraction α of nodes.
+	cat := append([]int32(nil), blockOf...)
+	if cfg.Alpha > 0 {
+		count := int(cfg.Alpha * float64(N))
+		perm := r.Perm(N)[:count]
+		labels := make([]int32, count)
+		for i, v := range perm {
+			labels[i] = cat[v]
+		}
+		r.Shuffle(count, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+		for i, v := range perm {
+			cat[v] = labels[i]
+		}
+	}
+	names := make([]string, k)
+	for c := 0; c < k; c++ {
+		names[c] = fmt.Sprintf("cat%02d-%d", c, sizes[c])
+	}
+	if err := g.SetCategories(cat, k, names); err != nil {
+		return nil, err
+	}
+	if cfg.Connect {
+		return Connect(r, g)
+	}
+	return g, nil
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// RegularEdges returns the edge list of a random k-regular graph on the
+// given nodes, using the pairing (configuration) model with local repair:
+// stubs are shuffled and paired; pairs that would form self-loops or
+// duplicate edges return their stubs to a pool, which is then drained either
+// by pairing pool stubs directly or by double-edge swaps against random
+// valid edges. The repair preserves the degree sequence exactly.
+//
+// n·k must be even and k < n. The result is a uniform-ish sample from
+// k-regular graphs (exact uniformity is not required by the paper — the
+// model of §6.2.1 only needs "a k-regular random graph").
+func RegularEdges(r *rand.Rand, nodes []int32, k int) ([][2]int32, error) {
+	n := len(nodes)
+	if k < 0 || k >= n {
+		return nil, fmt.Errorf("gen: k=%d out of range for n=%d", k, n)
+	}
+	if n*k%2 != 0 {
+		return nil, fmt.Errorf("gen: n·k = %d·%d is odd", n, k)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	stubs := make([]int32, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			stubs[i*k+j] = int32(i) // local index; mapped to nodes at the end
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	type pair = [2]int32
+	edges := make([]pair, 0, n*k/2)
+	seen := make(edgeSet, n*k/2)
+	var pool []int32 // stubs from rejected pairs
+	for i := 0; i < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b || seen.has(a, b) {
+			pool = append(pool, a, b)
+			continue
+		}
+		seen.add(a, b)
+		edges = append(edges, pair{a, b})
+	}
+	// Drain the pool. Each iteration draws two random pool stubs a,b and
+	// either pairs them directly or rewires them into a random valid edge
+	// (x,y) as (a,x),(b,y). Both moves keep the degree sequence intact and
+	// keep `seen` exactly in sync with `edges`.
+	maxAttempts := 400*len(pool) + 2000
+	attempts := 0
+	for len(pool) > 0 {
+		if attempts++; attempts > maxAttempts {
+			return nil, fmt.Errorf("gen: k-regular repair did not converge (n=%d k=%d, %d stubs left)", n, k, len(pool))
+		}
+		// Draw two distinct random pool positions and move them to the end.
+		i := r.IntN(len(pool))
+		pool[i], pool[len(pool)-1] = pool[len(pool)-1], pool[i]
+		j := r.IntN(len(pool) - 1)
+		pool[j], pool[len(pool)-2] = pool[len(pool)-2], pool[j]
+		a, b := pool[len(pool)-1], pool[len(pool)-2]
+		if a != b && !seen.has(a, b) {
+			seen.add(a, b)
+			edges = append(edges, pair{a, b})
+			pool = pool[:len(pool)-2]
+			continue
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		ei := r.IntN(len(edges))
+		x, y := edges[ei][0], edges[ei][1]
+		if r.IntN(2) == 0 {
+			x, y = y, x
+		}
+		if a == x || b == y || seen.has(a, x) || seen.has(b, y) {
+			continue
+		}
+		seen.del(x, y)
+		seen.add(a, x)
+		seen.add(b, y)
+		edges[ei] = pair{a, x}
+		edges = append(edges, pair{b, y})
+		pool = pool[:len(pool)-2]
+	}
+	out := make([][2]int32, len(edges))
+	for i, p := range edges {
+		out[i] = [2]int32{nodes[p[0]], nodes[p[1]]}
+	}
+	return out, nil
+}
+
+// Regular returns a random k-regular graph on n nodes.
+func Regular(r *rand.Rand, n, k int) (*graph.Graph, error) {
+	nodes := make([]int32, n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	edges, err := RegularEdges(r, nodes, k)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,270 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+// DegreeDist selects the expected-degree profile of ChungLu and Social.
+type DegreeDist int
+
+const (
+	// PowerLaw draws expected degrees from a bounded Pareto distribution
+	// with the configured exponent — the profile of P2P and Epinions-like
+	// graphs.
+	PowerLaw DegreeDist = iota
+	// Lognormal draws expected degrees from a lognormal distribution — a
+	// good match for Facebook-like friendship degree profiles.
+	Lognormal
+)
+
+// DegreeWeights draws n expected-degree weights with mean ≈ meanDeg.
+// For PowerLaw, shape is the exponent γ (>1; degrees ~ x^-γ, bounded by
+// n^(1/2) to keep the graph simple); for Lognormal, shape is σ of the
+// underlying normal.
+func DegreeWeights(r *rand.Rand, n int, dist DegreeDist, meanDeg, shape float64) []float64 {
+	w := make([]float64, n)
+	switch dist {
+	case PowerLaw:
+		gamma := shape
+		if gamma <= 1 {
+			gamma = 2.5
+		}
+		xmin := 1.0
+		xmax := math.Sqrt(float64(n) * meanDeg) // structural cutoff
+		// Inverse-CDF sampling of a bounded Pareto.
+		a := math.Pow(xmin, 1-gamma)
+		b := math.Pow(xmax, 1-gamma)
+		for i := range w {
+			u := r.Float64()
+			w[i] = math.Pow(a-u*(a-b), 1/(1-gamma))
+		}
+	case Lognormal:
+		sigma := shape
+		if sigma <= 0 {
+			sigma = 1
+		}
+		for i := range w {
+			w[i] = math.Exp(r.NormFloat64() * sigma)
+		}
+	}
+	// Rescale to the requested mean degree.
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	scale := meanDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	return w
+}
+
+// ChungLu generates a graph with expected degrees proportional to weights:
+// m = Σw/2 edges are drawn with both endpoints sampled proportionally to
+// weight, rejecting self-loops and duplicates (the Norros–Reittu flavour of
+// the Chung–Lu model).
+func ChungLu(r *rand.Rand, weights []float64) (*graph.Graph, error) {
+	n := len(weights)
+	if n < 2 {
+		return nil, fmt.Errorf("gen: chung-lu needs >= 2 nodes")
+	}
+	alias, err := randx.NewAlias(weights)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	m := int64(math.Round(sum / 2))
+	b := graph.NewBuilder(n)
+	seen := make(edgeSet, m)
+	misses := 0
+	for int64(len(seen)) < m {
+		u, v := alias.Draw(r), alias.Draw(r)
+		if u == v || seen.has(u, v) {
+			if misses++; misses > 50*int(m)+1000 {
+				break // saturated (very dense or degenerate weights)
+			}
+			continue
+		}
+		seen.add(u, v)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// SocialConfig parameterizes the degree-corrected planted-partition
+// generator that stands in for the empirical snapshots of Table 1.
+type SocialConfig struct {
+	N         int        // number of nodes
+	MeanDeg   float64    // target mean degree (|E| ≈ N·MeanDeg/2)
+	Dist      DegreeDist // expected-degree profile
+	Shape     float64    // exponent (PowerLaw) or σ (Lognormal)
+	Comms     int        // number of planted communities
+	CommZipf  float64    // community-size skew: sizes ∝ rank^-CommZipf
+	Mixing    float64    // μ ∈ [0,1]: fraction of purely random edges
+	Connect   bool       // patch connectivity after generation
+	SetAsCats bool       // install the planted communities as categories
+
+	// CommSizes, when non-nil, fixes the community sizes explicitly
+	// (must sum to N); Comms and CommZipf are then ignored. The Facebook
+	// simulation uses this to plant region- and college-sized communities.
+	CommSizes []int64
+}
+
+// Social generates a degree-corrected planted-partition graph: nodes are
+// assigned to Comms communities with Zipf-skewed sizes; a fraction (1−μ) of
+// the ≈N·MeanDeg/2 edges pick both endpoints inside one community (chosen
+// proportionally to its weight mass) and μ of them pick endpoints globally,
+// all proportionally to per-node expected-degree weights. The result has a
+// heavy-tailed degree distribution and pronounced community structure — the
+// two properties §6.3 of the paper attributes its empirical-graph findings
+// to.
+func Social(r *rand.Rand, cfg SocialConfig) (*graph.Graph, error) {
+	if cfg.N < 10 {
+		return nil, fmt.Errorf("gen: social graph needs N >= 10")
+	}
+	if cfg.Comms <= 0 {
+		cfg.Comms = 50
+	}
+	if cfg.Mixing < 0 || cfg.Mixing > 1 {
+		return nil, fmt.Errorf("gen: mixing %v outside [0,1]", cfg.Mixing)
+	}
+	if cfg.MeanDeg <= 0 {
+		return nil, fmt.Errorf("gen: mean degree must be positive")
+	}
+	sizes := cfg.CommSizes
+	if sizes == nil {
+		sizes = ZipfSizes(cfg.N, cfg.Comms, cfg.CommZipf)
+	} else {
+		var sum int64
+		for _, s := range sizes {
+			if s < 1 {
+				return nil, fmt.Errorf("gen: community size %d < 1", s)
+			}
+			sum += s
+		}
+		if sum != int64(cfg.N) {
+			return nil, fmt.Errorf("gen: community sizes sum to %d, want N=%d", sum, cfg.N)
+		}
+		cfg.Comms = len(sizes)
+	}
+	comm := make([]int32, cfg.N)
+	v := 0
+	for c, s := range sizes {
+		for i := int64(0); i < s; i++ {
+			comm[v] = int32(c)
+			v++
+		}
+	}
+	w := DegreeWeights(r, cfg.N, cfg.Dist, cfg.MeanDeg, cfg.Shape)
+
+	// Global and per-community alias tables.
+	global, err := randx.NewAlias(w)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]int32, cfg.Comms)
+	for i, c := range comm {
+		members[c] = append(members[c], int32(i))
+	}
+	commAlias := make([]*randx.Alias, cfg.Comms)
+	commMass := make([]float64, cfg.Comms)
+	for c := range members {
+		cw := make([]float64, len(members[c]))
+		for i, node := range members[c] {
+			cw[i] = w[node]
+			commMass[c] += w[node]
+		}
+		if len(cw) > 0 {
+			commAlias[c], err = randx.NewAlias(cw)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	massAlias, err := randx.NewAlias(commMass)
+	if err != nil {
+		return nil, err
+	}
+
+	m := int64(float64(cfg.N) * cfg.MeanDeg / 2)
+	b := graph.NewBuilder(cfg.N)
+	seen := make(edgeSet, m)
+	misses := 0
+	for int64(len(seen)) < m {
+		var u, vv int32
+		if r.Float64() < cfg.Mixing {
+			u, vv = global.Draw(r), global.Draw(r)
+		} else {
+			c := massAlias.Draw(r)
+			mem := members[c]
+			if len(mem) < 2 {
+				continue
+			}
+			u = mem[commAlias[c].Draw(r)]
+			vv = mem[commAlias[c].Draw(r)]
+		}
+		if u == vv || seen.has(u, vv) {
+			if misses++; misses > 100*int(m)+1000 {
+				break
+			}
+			continue
+		}
+		seen.add(u, vv)
+		b.AddEdge(u, vv)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SetAsCats {
+		names := make([]string, cfg.Comms)
+		for c := range names {
+			names[c] = fmt.Sprintf("comm%03d", c)
+		}
+		if err := g.SetCategories(comm, cfg.Comms, names); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Connect {
+		return Connect(r, g)
+	}
+	return g, nil
+}
+
+// ZipfSizes splits total into k positive parts with sizes proportional to
+// rank^-skew (skew = 0 gives equal parts). The parts sum exactly to total
+// and are non-increasing.
+func ZipfSizes(total, k int, skew float64) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	raw := make([]float64, k)
+	var sum float64
+	for i := range raw {
+		raw[i] = math.Pow(float64(i+1), -skew)
+		sum += raw[i]
+	}
+	out := make([]int64, k)
+	var used int64
+	for i := range raw {
+		out[i] = int64(raw[i] / sum * float64(total))
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		used += out[i]
+	}
+	// Fix rounding drift on the largest part, keeping every part >= 1.
+	out[0] += int64(total) - used
+	if out[0] < 1 {
+		out[0] = 1
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package graph
+
+import "fmt"
+
+// SetCategories installs a partition of the nodes into k categories.
+// cat[v] must be in [0, k) or None. names is optional; if non-nil it must
+// have length k.
+func (g *Graph) SetCategories(cat []int32, k int, names []string) error {
+	if len(cat) != g.N() {
+		return fmt.Errorf("graph: category slice has %d entries for %d nodes", len(cat), g.N())
+	}
+	if names != nil && len(names) != k {
+		return fmt.Errorf("graph: %d names for %d categories", len(names), k)
+	}
+	size := make([]int64, k)
+	vol := make([]int64, k)
+	for v, c := range cat {
+		if c == None {
+			continue
+		}
+		if c < 0 || int(c) >= k {
+			return fmt.Errorf("graph: node %d has category %d outside [0,%d)", v, c, k)
+		}
+		size[c]++
+		vol[c] += int64(g.Degree(int32(v)))
+	}
+	g.cat = append([]int32(nil), cat...)
+	g.catSize = size
+	g.catVol = vol
+	if names == nil {
+		names = make([]string, k)
+		for i := range names {
+			names[i] = fmt.Sprintf("C%d", i)
+		}
+	}
+	g.catNames = append([]string(nil), names...)
+	return nil
+}
+
+// HasCategories reports whether a partition has been installed.
+func (g *Graph) HasCategories() bool { return g.cat != nil }
+
+// NumCategories returns the number of categories k (0 if no partition).
+func (g *Graph) NumCategories() int { return len(g.catSize) }
+
+// Category returns the category of v (None if uncategorized or no partition).
+func (g *Graph) Category(v int32) int32 {
+	if g.cat == nil {
+		return None
+	}
+	return g.cat[v]
+}
+
+// CategoryName returns the name of category c.
+func (g *Graph) CategoryName(c int32) string { return g.catNames[c] }
+
+// CategoryNames returns the category name table (do not modify).
+func (g *Graph) CategoryNames() []string { return g.catNames }
+
+// CategorySize returns |A| for category c.
+func (g *Graph) CategorySize(c int32) int64 { return g.catSize[c] }
+
+// CategoryVolume returns vol(A) for category c.
+func (g *Graph) CategoryVolume(c int32) int64 { return g.catVol[c] }
+
+// CategorizedFraction returns the fraction of nodes that belong to some
+// category (the paper's 2009 regional networks cover 34% of Facebook, for
+// example).
+func (g *Graph) CategorizedFraction() float64 {
+	if g.cat == nil || g.N() == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range g.cat {
+		if c != None {
+			n++
+		}
+	}
+	return float64(n) / float64(g.N())
+}
+
+// CategoryMembers returns the nodes of category c in increasing order.
+func (g *Graph) CategoryMembers(c int32) []int32 {
+	out := make([]int32, 0, g.catSize[c])
+	for v, cv := range g.cat {
+		if cv == c {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// EdgeCut returns |E_{A,B}|, the number of edges between categories a and b
+// (a ≠ b), by a full scan of the edge set.
+func (g *Graph) EdgeCut(a, b int32) int64 {
+	var cut int64
+	g.ForEachEdge(func(u, v int32) {
+		cu, cv := g.cat[u], g.cat[v]
+		if (cu == a && cv == b) || (cu == b && cv == a) {
+			cut++
+		}
+	})
+	return cut
+}
+
+// CutMatrix returns the full matrix of edge-cut counts between category
+// pairs: cut[a][b] = |E_{A,B}| for a ≠ b, and cut[a][a] = |E_{A,A}| (edges
+// inside category a). Uncategorized endpoints are ignored. One pass over E.
+func (g *Graph) CutMatrix() [][]int64 {
+	k := g.NumCategories()
+	cut := make([][]int64, k)
+	for i := range cut {
+		cut[i] = make([]int64, k)
+	}
+	g.ForEachEdge(func(u, v int32) {
+		cu, cv := g.cat[u], g.cat[v]
+		if cu == None || cv == None {
+			return
+		}
+		cut[cu][cv]++
+		if cu != cv {
+			cut[cv][cu]++
+		}
+	})
+	return cut
+}
+
+// TrueWeight returns the exact category-graph edge weight
+// w(A,B) = |E_{A,B}| / (|A|·|B|) of Eq. (3), for a ≠ b.
+func (g *Graph) TrueWeight(a, b int32) float64 {
+	sa, sb := g.catSize[a], g.catSize[b]
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return float64(g.EdgeCut(a, b)) / (float64(sa) * float64(sb))
+}

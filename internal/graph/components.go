@@ -1,0 +1,102 @@
+package graph
+
+// ConnectedComponents labels every node with a component ID in [0, count)
+// and returns the labels and the component count. It runs an iterative BFS,
+// so it is safe on graphs with millions of nodes.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	n := g.N()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, 1024)
+	for s := int32(0); s < int32(n); s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if labels[v] == -1 {
+					labels[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (and at least one node).
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return false
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// LargestComponent returns the node set of the largest connected component,
+// in increasing node order.
+func (g *Graph) LargestComponent() []int32 {
+	labels, count := g.ConnectedComponents()
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int64, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := int32(0)
+	for i := 1; i < count; i++ {
+		if sizes[i] > sizes[best] {
+			best = int32(i)
+		}
+	}
+	out := make([]int32, 0, sizes[best])
+	for v, l := range labels {
+		if l == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced on nodes (which must be
+// sorted and duplicate-free) along with the mapping from new IDs to the
+// original ones. Categories are carried over.
+func (g *Graph) InducedSubgraph(nodes []int32) (*Graph, []int32, error) {
+	remap := make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		remap[v] = int32(i)
+	}
+	b := NewBuilder(len(nodes))
+	for i, v := range nodes {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := remap[w]; ok && int32(i) < j {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if g.HasCategories() {
+		cat := make([]int32, len(nodes))
+		for i, v := range nodes {
+			cat[i] = g.cat[v]
+		}
+		if err := sub.SetCategories(cat, g.NumCategories(), g.catNames); err != nil {
+			return nil, nil, err
+		}
+	}
+	orig := append([]int32(nil), nodes...)
+	return sub, orig, nil
+}

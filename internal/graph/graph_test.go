@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// buildPath returns the path graph 0-1-2-...-(n-1).
+func buildPath(t testing.TB, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// buildFig1 returns the 9-node, 3-category graph of the paper's Figure 1:
+// categories white {0,1,2}, gray {3,4,5}, black {6,7,8} with cuts chosen so
+// that w(white,black)=3/9, w(black,gray)=1/6... the exact figure counts are
+// asserted in TestFigure1 below.
+func buildFig1(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(9)
+	// white-black cut: 3 of the 9 possible edges.
+	b.AddEdge(0, 6)
+	b.AddEdge(1, 7)
+	b.AddEdge(2, 6)
+	// black-gray cut: w=1/6 with |black|=3,|gray|=2 → 1 edge.
+	b.AddEdge(6, 3)
+	// white-gray cut: w=4/6 with |white|=3,|gray|=2 → 4 edges.
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 3)
+	b.AddEdge(1, 4)
+	b.AddEdge(2, 4)
+	// intra-category edges (do not affect cut weights).
+	b.AddEdge(0, 1)
+	b.AddEdge(7, 8)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := []int32{0, 0, 0, 1, 1, None, 2, 2, 2} // node 5 uncategorized
+	// Use sizes white=3, gray=2 (node 5 has no category), black=3.
+	if err := g.SetCategories(cat, 3, []string{"white", "gray", "black"}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph: N=%d M=%d", g.N(), g.M())
+	}
+	if g.MeanDegree() != 0 {
+		t.Fatal("mean degree of empty graph should be 0")
+	}
+	if g.IsConnected() {
+		t.Fatal("empty graph is not connected by convention")
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("want error for out-of-range endpoint")
+	}
+	b2 := NewBuilder(3)
+	b2.AddEdge(-1, 0)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("want error for negative endpoint")
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self-loop
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 (dedup + self-loop drop)", g.M())
+	}
+	if g.Degree(2) != 1 {
+		t.Fatalf("deg(2) = %d, want 1", g.Degree(2))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} missing or asymmetric")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatal("self-loop survived")
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("phantom edge {0,3}")
+	}
+}
+
+func TestDegreeSumIsTwiceEdges(t *testing.T) {
+	f := func(seed uint64, rawN uint8, rawM uint16) bool {
+		n := int(rawN%50) + 2
+		m := int(rawM % 200)
+		r := rand.New(rand.NewPCG(seed, 1))
+		b := NewBuilder(n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(int32(r.IntN(n)), int32(r.IntN(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var degSum int64
+		for v := int32(0); v < int32(n); v++ {
+			degSum += int64(g.Degree(v))
+		}
+		return degSum == 2*g.M() && degSum == g.Volume()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSortedUnique(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		n := 30
+		b := NewBuilder(n)
+		for i := 0; i < 300; i++ {
+			b.AddEdge(int32(r.IntN(n)), int32(r.IntN(n)))
+		}
+		g, _ := b.Build()
+		for v := int32(0); v < int32(n); v++ {
+			nb := g.Neighbors(v)
+			for i := 1; i < len(nb); i++ {
+				if nb[i] <= nb[i-1] {
+					return false
+				}
+			}
+			for _, w := range nb {
+				if w == v {
+					return false
+				}
+				if !g.HasEdge(w, v) {
+					return false // symmetry
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachEdgeVisitsOnce(t *testing.T) {
+	g := buildFig1(t)
+	count := int64(0)
+	g.ForEachEdge(func(u, v int32) {
+		if u >= v {
+			t.Fatalf("ForEachEdge yielded u=%d >= v=%d", u, v)
+		}
+		count++
+	})
+	if count != g.M() {
+		t.Fatalf("visited %d edges, M=%d", count, g.M())
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	// The headline example of the paper: w(white,black) = 3/9,
+	// w(black,gray) = 1/6, w(white,gray) = 4/6 (gray has 2 members here
+	// because one gray node is uncategorized in our encoding).
+	g := buildFig1(t)
+	if got := g.TrueWeight(0, 2); got != 3.0/9.0 {
+		t.Errorf("w(white,black) = %v, want 3/9", got)
+	}
+	if got := g.TrueWeight(2, 1); got != 1.0/6.0 {
+		t.Errorf("w(black,gray) = %v, want 1/6", got)
+	}
+	if got := g.TrueWeight(0, 1); got != 4.0/6.0 {
+		t.Errorf("w(white,gray) = %v, want 4/6", got)
+	}
+	// Symmetry of Eq. (3).
+	if g.TrueWeight(0, 2) != g.TrueWeight(2, 0) {
+		t.Error("TrueWeight not symmetric")
+	}
+}
+
+func TestCategoriesBasics(t *testing.T) {
+	g := buildFig1(t)
+	if !g.HasCategories() || g.NumCategories() != 3 {
+		t.Fatal("categories not installed")
+	}
+	if g.CategorySize(0) != 3 || g.CategorySize(1) != 2 || g.CategorySize(2) != 3 {
+		t.Fatalf("sizes = %d,%d,%d", g.CategorySize(0), g.CategorySize(1), g.CategorySize(2))
+	}
+	if g.Category(5) != None {
+		t.Fatal("node 5 should be uncategorized")
+	}
+	if g.CategoryName(1) != "gray" {
+		t.Fatalf("name(1) = %q", g.CategoryName(1))
+	}
+	want := 8.0 / 9.0
+	if got := g.CategorizedFraction(); got != want {
+		t.Fatalf("categorized fraction %v, want %v", got, want)
+	}
+	members := g.CategoryMembers(1)
+	if len(members) != 2 || members[0] != 3 || members[1] != 4 {
+		t.Fatalf("gray members = %v", members)
+	}
+	// Volume bookkeeping.
+	var vol int64
+	for _, v := range members {
+		vol += int64(g.Degree(v))
+	}
+	if g.CategoryVolume(1) != vol {
+		t.Fatalf("CategoryVolume = %d, want %d", g.CategoryVolume(1), vol)
+	}
+}
+
+func TestSetCategoriesValidation(t *testing.T) {
+	g := buildPath(t, 4)
+	if err := g.SetCategories([]int32{0, 0, 1}, 2, nil); err == nil {
+		t.Error("want error for short category slice")
+	}
+	if err := g.SetCategories([]int32{0, 0, 1, 5}, 2, nil); err == nil {
+		t.Error("want error for category id out of range")
+	}
+	if err := g.SetCategories([]int32{0, 0, 1, 1}, 2, []string{"only-one"}); err == nil {
+		t.Error("want error for name/category count mismatch")
+	}
+	if err := g.SetCategories([]int32{0, None, 1, 1}, 2, nil); err != nil {
+		t.Errorf("None should be allowed: %v", err)
+	}
+}
+
+func TestCutMatrixMatchesEdgeCut(t *testing.T) {
+	g := buildFig1(t)
+	cm := g.CutMatrix()
+	for a := int32(0); a < 3; a++ {
+		for b := int32(0); b < 3; b++ {
+			if a == b {
+				continue
+			}
+			if cm[a][b] != g.EdgeCut(a, b) {
+				t.Errorf("cut[%d][%d] = %d, EdgeCut = %d", a, b, cm[a][b], g.EdgeCut(a, b))
+			}
+			if cm[a][b] != cm[b][a] {
+				t.Errorf("cut matrix asymmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+	// Intra-category edge count on the diagonal: white has edge {0,1}.
+	if cm[0][0] != 1 {
+		t.Errorf("cut[white][white] = %d, want 1", cm[0][0])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := g.ConnectedComponents()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] {
+		t.Error("component {3,4} split")
+	}
+	if labels[5] == labels[6] {
+		t.Error("isolated nodes merged")
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	lc := g.LargestComponent()
+	if len(lc) != 3 || lc[0] != 0 || lc[2] != 2 {
+		t.Fatalf("largest component = %v", lc)
+	}
+}
+
+func TestPathIsConnected(t *testing.T) {
+	if !buildPath(t, 100).IsConnected() {
+		t.Fatal("path graph must be connected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildFig1(t)
+	sub, orig, err := g.InducedSubgraph([]int32{0, 1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 {
+		t.Fatalf("sub.N = %d", sub.N())
+	}
+	if len(orig) != 4 || orig[2] != 3 {
+		t.Fatalf("orig = %v", orig)
+	}
+	// Edges among {0,1,3,6}: {0,1},{0,3},{1,3},{0,6},{3,6} → 5 edges.
+	if sub.M() != 5 {
+		t.Fatalf("sub.M = %d, want 5", sub.M())
+	}
+	if sub.Category(2) != 1 { // new id 2 is original node 3 (gray)
+		t.Fatalf("carried category = %d, want 1", sub.Category(2))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildFig1(t)
+	c := g.Clone()
+	if c.M() != g.M() || c.N() != g.N() || c.NumCategories() != 3 {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone's categories must not affect the original.
+	cat := make([]int32, c.N())
+	if err := c.SetCategories(cat, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCategories() != 3 {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestVolumeOf(t *testing.T) {
+	g := buildPath(t, 5) // degrees 1,2,2,2,1
+	if got := g.VolumeOf([]int32{0, 2, 4}); got != 4 {
+		t.Fatalf("VolumeOf = %d, want 4", got)
+	}
+	if g.MeanDegree() != 8.0/5.0 {
+		t.Fatalf("MeanDegree = %v", g.MeanDegree())
+	}
+}

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a plain-text edge list: a header line
+// "# nodes <N>" followed by one "u<TAB>v" line per undirected edge (u < v).
+// The format round-trips through ReadEdgeList and is the interchange format
+// of the cmd/topoest pipeline.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.N()); err != nil {
+		return err
+	}
+	var err error
+	g.ForEachEdge(func(u, v int32) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, "%d\t%d\n", u, v)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' other than the header are ignored, as are blank lines.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if n < 0 {
+				var cnt int
+				if _, err := fmt.Sscanf(text, "# nodes %d", &cnt); err == nil {
+					n = cnt
+					b = NewBuilder(n)
+				}
+			}
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("graph: line %d: edge before '# nodes N' header", line)
+		}
+		f := strings.Fields(text)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", line, text)
+		}
+		u, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		b.AddEdge(int32(u), int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing '# nodes N' header")
+	}
+	return b.Build()
+}
+
+// WriteCategories writes the node→category assignment as TSV: a header
+// "# categories <k>" line, one "name" line per category, then one
+// "v<TAB>c" line per categorized node.
+func (g *Graph) WriteCategories(w io.Writer) error {
+	if !g.HasCategories() {
+		return fmt.Errorf("graph: no categories to write")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	k := g.NumCategories()
+	if _, err := fmt.Fprintf(bw, "# categories %d\n", k); err != nil {
+		return err
+	}
+	for _, name := range g.catNames {
+		if _, err := fmt.Fprintf(bw, "! %s\n", name); err != nil {
+			return err
+		}
+	}
+	for v, c := range g.cat {
+		if c == None {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", v, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCategories parses the format written by WriteCategories and installs
+// the partition on g. Nodes not listed stay uncategorized (None).
+func (g *Graph) ReadCategories(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	k := -1
+	var names []string
+	cat := make([]int32, g.N())
+	for i := range cat {
+		cat[i] = None
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+		case strings.HasPrefix(text, "#"):
+			var cnt int
+			if _, err := fmt.Sscanf(text, "# categories %d", &cnt); err == nil {
+				k = cnt
+			}
+		case strings.HasPrefix(text, "!"):
+			names = append(names, strings.TrimSpace(text[1:]))
+		default:
+			f := strings.Fields(text)
+			if len(f) < 2 {
+				return fmt.Errorf("graph: line %d: want 'v c', got %q", line, text)
+			}
+			v, err := strconv.ParseInt(f[0], 10, 32)
+			if err != nil {
+				return fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			c, err := strconv.ParseInt(f[1], 10, 32)
+			if err != nil {
+				return fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			if v < 0 || v >= int64(g.N()) {
+				return fmt.Errorf("graph: line %d: node %d out of range", line, v)
+			}
+			cat[v] = int32(c)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if k < 0 {
+		return fmt.Errorf("graph: missing '# categories k' header")
+	}
+	if names != nil && len(names) != k {
+		return fmt.Errorf("graph: %d names for %d categories", len(names), k)
+	}
+	return g.SetCategories(cat, k, names)
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := buildFig1(t)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip: N=%d M=%d, want N=%d M=%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	g.ForEachEdge(func(u, v int32) {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge {%d,%d} lost in round trip", u, v)
+		}
+	})
+}
+
+func TestCategoriesRoundTrip(t *testing.T) {
+	g := buildFig1(t)
+	var buf bytes.Buffer
+	if err := g.WriteCategories(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := buildFig1(t)
+	// Overwrite with a fresh read to verify parsing.
+	if err := g2.ReadCategories(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g.Category(v) != g2.Category(v) {
+			t.Fatalf("node %d: category %d != %d", v, g.Category(v), g2.Category(v))
+		}
+	}
+	if g2.CategoryName(2) != "black" {
+		t.Fatalf("name lost: %q", g2.CategoryName(2))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no header", "0\t1\n"},
+		{"garbage endpoint", "# nodes 3\n0\tx\n"},
+		{"missing column", "# nodes 3\n0\n"},
+		{"out of range", "# nodes 2\n0\t5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestReadEdgeListIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "# nodes 3\n\n# a comment\n0\t1\n1\t2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}
+
+func TestReadCategoriesErrors(t *testing.T) {
+	g := buildPath(t, 3)
+	cases := []struct {
+		name, in string
+	}{
+		{"no header", "0\t1\n"},
+		{"bad node", "# categories 2\nx\t1\n"},
+		{"node out of range", "# categories 2\n9\t0\n"},
+		{"missing column", "# categories 2\n0\n"},
+	}
+	for _, c := range cases {
+		if err := g.ReadCategories(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestWriteCategoriesWithoutPartition(t *testing.T) {
+	g := buildPath(t, 3)
+	var buf bytes.Buffer
+	if err := g.WriteCategories(&buf); err == nil {
+		t.Fatal("want error when no categories installed")
+	}
+}

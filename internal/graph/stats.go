@@ -1,0 +1,84 @@
+package graph
+
+// Exact whole-graph statistics. These serve as ground truth for the
+// sample-based local-property estimators of internal/core (§1 of the paper
+// motivates category graphs as the global complement of these local
+// properties).
+
+// DegreeHistogram returns h with h[d] = number of nodes of degree d.
+func (g *Graph) DegreeHistogram() []int64 {
+	maxDeg := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	h := make([]int64, maxDeg+1)
+	for v := int32(0); v < int32(g.N()); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Assortativity returns the Pearson degree-degree correlation over edges
+// (Newman's assortativity coefficient r). It is 0 for degree-uncorrelated
+// graphs, positive when high-degree nodes attach to each other.
+func (g *Graph) Assortativity() float64 {
+	var m float64
+	var sumProd, sumSum, sumSq float64
+	g.ForEachEdge(func(u, v int32) {
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		sumProd += du * dv
+		sumSum += (du + dv) / 2
+		sumSq += (du*du + dv*dv) / 2
+		m++
+	})
+	if m == 0 {
+		return 0
+	}
+	num := sumProd/m - (sumSum/m)*(sumSum/m)
+	den := sumSq/m - (sumSum/m)*(sumSum/m)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// GlobalClustering returns the transitivity 3·triangles/wedges of g.
+// It counts triangles by intersecting sorted adjacency lists of edge
+// endpoints, O(Σ_e (deg(u)+deg(v))).
+func (g *Graph) GlobalClustering() float64 {
+	var triangles, wedges float64
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := float64(g.Degree(v))
+		wedges += d * (d - 1) / 2
+	}
+	g.ForEachEdge(func(u, v int32) {
+		triangles += float64(countCommon(g.Neighbors(u), g.Neighbors(v)))
+	})
+	// Each triangle has 3 edges, and the per-edge common-neighbor count
+	// counts it once per edge → triangles/3 distinct triangles; the
+	// transitivity is 3·(triangles/3)/wedges.
+	if wedges == 0 {
+		return 0
+	}
+	return triangles / wedges
+}
+
+// countCommon returns |a ∩ b| for two sorted slices.
+func countCommon(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

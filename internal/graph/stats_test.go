@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDegreeHistogram(t *testing.T) {
+	g := buildPath(t, 5) // degrees 1,2,2,2,1
+	h := g.DegreeHistogram()
+	if len(h) != 3 {
+		t.Fatalf("len = %d", len(h))
+	}
+	if h[0] != 0 || h[1] != 2 || h[2] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != int64(g.N()) {
+		t.Fatal("histogram must cover all nodes")
+	}
+}
+
+func TestAssortativityRegularIsDegenerate(t *testing.T) {
+	// On a cycle every node has degree 2: no variance → convention 0.
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(int32(i), int32((i+1)%5))
+	}
+	g, _ := b.Build()
+	if r := g.Assortativity(); r != 0 {
+		t.Fatalf("regular graph assortativity = %v, want 0", r)
+	}
+}
+
+func TestAssortativityStarIsNegative(t *testing.T) {
+	// A star is maximally disassortative: hubs only touch leaves.
+	b := NewBuilder(6)
+	for v := int32(1); v < 6; v++ {
+		b.AddEdge(0, v)
+	}
+	g, _ := b.Build()
+	if r := g.Assortativity(); r >= 0 {
+		t.Fatalf("star assortativity = %v, want < 0", r)
+	}
+}
+
+func TestAssortativityBounds(t *testing.T) {
+	g := buildFig1(t)
+	r := g.Assortativity()
+	if r < -1-1e-9 || r > 1+1e-9 {
+		t.Fatalf("assortativity %v outside [-1,1]", r)
+	}
+	empty, _ := NewBuilder(3).Build()
+	if empty.Assortativity() != 0 {
+		t.Fatal("edgeless graph must give 0")
+	}
+}
+
+func TestGlobalClusteringTriangle(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g, _ := b.Build()
+	if c := g.GlobalClustering(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+}
+
+func TestGlobalClusteringPathIsZero(t *testing.T) {
+	g := buildPath(t, 10)
+	if c := g.GlobalClustering(); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+}
+
+func TestGlobalClusteringK4(t *testing.T) {
+	// Complete graph: transitivity 1.
+	b := NewBuilder(4)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	g, _ := b.Build()
+	if c := g.GlobalClustering(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("K4 clustering = %v, want 1", c)
+	}
+}
+
+func TestGlobalClusteringTriangleWithTail(t *testing.T) {
+	// Triangle {0,1,2} plus edge 2-3: 1 triangle, wedges: deg 2,2,3,1 →
+	// 1+1+3+0 = 5; transitivity = 3·1/5.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g, _ := b.Build()
+	if c := g.GlobalClustering(); math.Abs(c-0.6) > 1e-12 {
+		t.Fatalf("clustering = %v, want 0.6", c)
+	}
+}

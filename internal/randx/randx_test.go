@@ -1,0 +1,222 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/64 identical draws", same)
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	r0, r1 := Derive(7, 0), Derive(7, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r0.Uint64() == r1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams overlap: %d/64 identical draws", same)
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	f := func(seed, i uint64) bool {
+		return Derive(seed, i).Uint64() == Derive(seed, i).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(3)
+	s := make([]int, 100)
+	for i := range s {
+		s[i] = i
+	}
+	Shuffle(r, s)
+	seen := make(map[int]bool)
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("lost elements: %d", len(seen))
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("want error for empty weights")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("want error for all-zero weights")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("want error for negative weight")
+	}
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("singleton table must always draw 0")
+		}
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 0, 10}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != len(weights) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(weights))
+	}
+	r := New(99)
+	const n = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Draw(r)]++
+	}
+	if counts[4] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[4])
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: empirical p=%.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasUniformSpecialCase(t *testing.T) {
+	// All-equal weights must behave like a uniform draw.
+	a, err := NewAlias([]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(5)
+	counts := make([]int, 4)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(r)]++
+	}
+	for i, c := range counts {
+		p := float64(c) / n
+		if math.Abs(p-0.25) > 0.01 {
+			t.Errorf("index %d: p=%.4f, want 0.25", i, p)
+		}
+	}
+}
+
+func TestAliasPropertyValidIndex(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			w[i] = float64(v)
+			sum += w[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		a, err := NewAlias(w)
+		if err != nil {
+			return false
+		}
+		r := New(11)
+		for i := 0; i < 50; i++ {
+			idx := a.Draw(r)
+			if idx < 0 || int(idx) >= len(w) || w[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAliasTable(b *testing.B) {
+	w := make([]float64, 100000)
+	r := New(1)
+	for i := range w {
+		w[i] = r.Float64() + 0.01
+	}
+	a, err := NewAlias(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink = a.Draw(r)
+	}
+	_ = sink
+}
+
+func BenchmarkLinearScanDraw(b *testing.B) {
+	// Baseline the alias table is compared against in DESIGN.md: linear
+	// cumulative scan, O(n) per draw.
+	w := make([]float64, 100000)
+	r := New(1)
+	var sum float64
+	for i := range w {
+		w[i] = r.Float64() + 0.01
+		sum += w[i]
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		x := r.Float64() * sum
+		acc := 0.0
+		for j, wj := range w {
+			acc += wj
+			if acc >= x {
+				sink = j
+				break
+			}
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,158 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+func TestFrontierStationaryDegreeProportional(t *testing.T) {
+	g := testGraph(t)
+	f := NewFrontier(5, 500)
+	sm, err := f.Sample(randx.New(21), g, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 6)
+	for i, v := range sm.Nodes {
+		if sm.Weights[i] != float64(g.Degree(v)) {
+			t.Fatal("frontier draw weight must be the node degree")
+		}
+		counts[v]++
+	}
+	vol := float64(g.Volume())
+	for v := int32(0); v < 6; v++ {
+		want := float64(g.Degree(v)) / vol
+		got := counts[v] / float64(sm.Len())
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("node %d: visit freq %.4f, want %.4f", v, got, want)
+		}
+	}
+}
+
+func TestFrontierCoversDisconnectedComponents(t *testing.T) {
+	// Two disconnected triangles: a single RW can never leave its start
+	// component, but frontier walkers start independently and (with high
+	// probability across 8 walkers) cover both.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFrontier(8, 0)
+	sm, err := f.Sample(randx.New(22), g, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left, right bool
+	for _, v := range sm.Nodes {
+		if v < 3 {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	if !left || !right {
+		t.Fatalf("frontier covered only one component (left=%v right=%v)", left, right)
+	}
+}
+
+func TestFrontierDefaultsAndErrors(t *testing.T) {
+	g := testGraph(t)
+	f := &Frontier{} // zero walkers → default 10
+	sm, err := f.Sample(randx.New(23), g, 100)
+	if err != nil || sm.Len() != 100 {
+		t.Fatalf("defaults broken: %v len=%d", err, sm.Len())
+	}
+	empty, _ := graph.NewBuilder(0).Build()
+	if _, err := f.Sample(randx.New(23), empty, 5); err == nil {
+		t.Fatal("empty graph must fail")
+	}
+}
+
+func TestBFSOrderAndTermination(t *testing.T) {
+	g := testGraph(t)
+	b := &BFS{Start: 0}
+	sm, err := b.Sample(randx.New(24), g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Len() != 6 {
+		t.Fatalf("len=%d", sm.Len())
+	}
+	if sm.Nodes[0] != 0 {
+		t.Fatal("BFS must start at the start node")
+	}
+	if sm.Weights != nil {
+		t.Fatal("BFS has no design weights")
+	}
+	seen := map[int32]bool{}
+	for _, v := range sm.Nodes {
+		if seen[v] {
+			t.Fatal("BFS visited a node twice")
+		}
+		seen[v] = true
+	}
+	// Request beyond N clamps.
+	sm2, err := NewBFS().Sample(randx.New(25), g, 100)
+	if err != nil || sm2.Len() != 6 {
+		t.Fatalf("clamp: %v len=%d", err, sm2.Len())
+	}
+}
+
+func TestBFSReseedsAcrossComponents(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g, _ := b.Build()
+	sm, err := NewBFS().Sample(randx.New(26), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Len() != 4 {
+		t.Fatalf("multi-seed BFS must reach all nodes, got %d", sm.Len())
+	}
+}
+
+func TestBFSInvalidStart(t *testing.T) {
+	g := testGraph(t)
+	if _, err := (&BFS{Start: 99}).Sample(randx.New(27), g, 3); err == nil {
+		t.Fatal("invalid start must fail")
+	}
+}
+
+func TestBFSBiasDemonstration(t *testing.T) {
+	// The §8 caution: on a heterogeneous graph, a small BFS sample treated
+	// as uniform over-represents high-degree regions relative to UIS.
+	r := randx.New(28)
+	g, err := gen.Social(r, gen.SocialConfig{
+		N: 5000, MeanDeg: 10, Dist: gen.PowerLaw, Shape: 2.3,
+		Comms: 10, Mixing: 0.3, Connect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := NewBFS().Sample(r, g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bfsMean float64
+	for _, v := range bfs.Nodes {
+		bfsMean += float64(g.Degree(v))
+	}
+	bfsMean /= float64(bfs.Len())
+	// A 10% BFS sample of a power-law graph should over-sample degree
+	// noticeably (it expands through hubs first).
+	if bfsMean < 1.2*g.MeanDegree() {
+		t.Fatalf("BFS mean degree %.2f vs graph %.2f — expected strong bias", bfsMean, g.MeanDegree())
+	}
+}

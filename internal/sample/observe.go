@@ -1,0 +1,169 @@
+package sample
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Observation is what a measurement scenario (§3.2) reveals about a sample.
+// It is the sole input of the estimators in internal/core: once built, the
+// estimators never touch the underlying graph, faithfully reproducing the
+// information constraints of the paper.
+//
+// Draws of the same node are aggregated per distinct node with a
+// multiplicity, which preserves the paper's multiset semantics ("when S
+// contains the same node multiple times, we count any corresponding sampled
+// edges multiple times as well", §4.2.1) while keeping estimation linear in
+// the observed data.
+type Observation struct {
+	// K is the number of categories in the partition.
+	K int
+	// Star reports which scenario produced the observation.
+	Star bool
+	// Draws is the total number of draws |S| (with multiplicity).
+	Draws int
+
+	// Per distinct sampled node:
+	Nodes  []int32   // node identity (needed e.g. for collision counting)
+	Mult   []float64 // number of times the node was drawn
+	Weight []float64 // sampling weight w(v) (1 under uniform designs)
+	Cat    []int32   // category, possibly graph.None
+
+	// Star scenario only: the degree of each sampled node and its
+	// neighbors' categories as a CSR of (category, count) pairs.
+	Deg    []float64
+	NbrOff []int32
+	NbrCat []int32
+	NbrCnt []float64
+
+	// Induced scenario only: the edges of G[S], as index pairs (i, j) into
+	// the distinct-node arrays with i < j.
+	Edges [][2]int32
+}
+
+// ObserveInduced performs induced subgraph sampling (§3.2.1): the categories
+// of the sampled nodes and the edges among them are observed; nothing else.
+func ObserveInduced(g *graph.Graph, s *Sample) (*Observation, error) {
+	o, idx, err := observeCommon(g, s)
+	if err != nil {
+		return nil, err
+	}
+	// Edges of G[S]: for each distinct node, scan its neighbors for other
+	// sampled nodes; emit each edge once (i < j).
+	for i, u := range o.Nodes {
+		for _, v := range g.Neighbors(u) {
+			if j, ok := idx[v]; ok && int32(i) < j {
+				o.Edges = append(o.Edges, [2]int32{int32(i), j})
+			}
+		}
+	}
+	return o, nil
+}
+
+// ObserveStar performs (labeled) star sampling (§3.2.2): sampling a node
+// additionally reveals its degree and the categories of all its neighbors —
+// but not the ties among the neighbors, nor their degrees.
+func ObserveStar(g *graph.Graph, s *Sample) (*Observation, error) {
+	o, _, err := observeCommon(g, s)
+	if err != nil {
+		return nil, err
+	}
+	o.Star = true
+	o.Deg = make([]float64, len(o.Nodes))
+	o.NbrOff = make([]int32, len(o.Nodes)+1)
+	counts := make(map[int32]float64)
+	for i, u := range o.Nodes {
+		o.Deg[i] = float64(g.Degree(u))
+		clear(counts)
+		for _, v := range g.Neighbors(u) {
+			if c := g.Category(v); c != graph.None {
+				counts[c]++
+			}
+		}
+		cats := make([]int32, 0, len(counts))
+		for c := range counts {
+			cats = append(cats, c)
+		}
+		sort.Slice(cats, func(a, b int) bool { return cats[a] < cats[b] })
+		for _, c := range cats {
+			o.NbrCat = append(o.NbrCat, c)
+			o.NbrCnt = append(o.NbrCnt, counts[c])
+		}
+		o.NbrOff[i+1] = int32(len(o.NbrCat))
+	}
+	return o, nil
+}
+
+// observeCommon aggregates the sample into distinct nodes with
+// multiplicities and records categories and weights.
+func observeCommon(g *graph.Graph, s *Sample) (*Observation, map[int32]int32, error) {
+	if !g.HasCategories() {
+		return nil, nil, fmt.Errorf("sample: observation requires a categorized graph")
+	}
+	o := &Observation{K: g.NumCategories(), Draws: s.Len()}
+	idx := make(map[int32]int32, s.Len())
+	for i, v := range s.Nodes {
+		j, ok := idx[v]
+		if !ok {
+			j = int32(len(o.Nodes))
+			idx[v] = j
+			o.Nodes = append(o.Nodes, v)
+			o.Mult = append(o.Mult, 0)
+			o.Weight = append(o.Weight, s.Weight(i))
+			o.Cat = append(o.Cat, g.Category(v))
+		}
+		o.Mult[j]++
+	}
+	return o, idx, nil
+}
+
+// NbrCount returns star draw i's neighbor count in category c (0 if none).
+func (o *Observation) NbrCount(i int, c int32) float64 {
+	lo, hi := o.NbrOff[i], o.NbrOff[i+1]
+	cats := o.NbrCat[lo:hi]
+	k := sort.Search(len(cats), func(j int) bool { return cats[j] >= c })
+	if k < len(cats) && cats[k] == c {
+		return o.NbrCnt[int(lo)+k]
+	}
+	return 0
+}
+
+// CategoryDrawCounts returns, per category, the number of draws |S_A| and
+// the re-weighted size w⁻¹(S_A) = Σ_{v∈S_A} mult(v)/w(v) used throughout
+// §4–§5. Uncategorized draws are excluded.
+func (o *Observation) CategoryDrawCounts() (draws, reweighted []float64) {
+	draws = make([]float64, o.K)
+	reweighted = make([]float64, o.K)
+	for i, c := range o.Cat {
+		if c == graph.None {
+			continue
+		}
+		draws[c] += o.Mult[i]
+		reweighted[c] += o.Mult[i] / o.Weight[i]
+	}
+	return draws, reweighted
+}
+
+// TotalReweighted returns w⁻¹(S) = Σ_{v∈S} mult(v)/w(v) over all draws,
+// including uncategorized ones (S is the full sample in Eq. (11)).
+func (o *Observation) TotalReweighted() float64 {
+	var t float64
+	for i := range o.Nodes {
+		t += o.Mult[i] / o.Weight[i]
+	}
+	return t
+}
+
+// Subsample builds the observation corresponding to the first n draws of the
+// original sample. It requires the observation to have been built from the
+// full sample by one of the Observe functions and the original sample.
+// (Convenience for sweeps; re-observing a prefix directly is equivalent.)
+func Subsample(g *graph.Graph, s *Sample, n int, star bool) (*Observation, error) {
+	p := s.Prefix(n)
+	if star {
+		return ObserveStar(g, p)
+	}
+	return ObserveInduced(g, p)
+}

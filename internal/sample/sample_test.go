@@ -1,0 +1,416 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+// testGraph returns a small connected categorized graph: two triangles
+// joined by a bridge, categories {0,1}.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3) // bridge
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetCategories([]int32{0, 0, 0, 1, 1, 1}, 2, []string{"L", "R"}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestUISUniform(t *testing.T) {
+	g := testGraph(t)
+	s, err := UIS{}.Sample(randx.New(1), g, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 60000 || s.Weights != nil {
+		t.Fatal("UIS must be unweighted with exact length")
+	}
+	counts := make([]float64, 6)
+	for _, v := range s.Nodes {
+		counts[v]++
+	}
+	for v, c := range counts {
+		p := c / 60000
+		if math.Abs(p-1.0/6) > 0.01 {
+			t.Errorf("node %d: p=%.4f, want 1/6", v, p)
+		}
+	}
+}
+
+func TestWISProportionalToWeights(t *testing.T) {
+	g := testGraph(t)
+	w := []float64{1, 1, 1, 1, 1, 5}
+	s, err := NewWIS(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := s.Sample(randx.New(2), g, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c5 float64
+	for i, v := range sm.Nodes {
+		if sm.Weights[i] != w[v] {
+			t.Fatal("draw weight must equal node weight")
+		}
+		if v == 5 {
+			c5++
+		}
+	}
+	if p := c5 / 50000; math.Abs(p-0.5) > 0.01 {
+		t.Errorf("p(node5) = %.4f, want 0.5", p)
+	}
+}
+
+func TestWISWrongGraph(t *testing.T) {
+	s, err := NewWIS([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(randx.New(1), testGraph(t), 5); err == nil {
+		t.Fatal("want error on weight/node count mismatch")
+	}
+}
+
+func TestDegreeWIS(t *testing.T) {
+	g := testGraph(t)
+	s, err := NewDegreeWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := s.Sample(randx.New(3), g, 80000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 6)
+	for _, v := range sm.Nodes {
+		counts[v]++
+	}
+	vol := float64(g.Volume())
+	for v := int32(0); v < 6; v++ {
+		want := float64(g.Degree(v)) / vol
+		got := counts[v] / 80000
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("node %d: p=%.4f, want %.4f", v, got, want)
+		}
+	}
+}
+
+func TestRWStationaryProportionalToDegree(t *testing.T) {
+	g := testGraph(t)
+	w := NewRW(200)
+	sm, err := w.Sample(randx.New(4), g, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 6)
+	for i, v := range sm.Nodes {
+		if sm.Weights[i] != float64(g.Degree(v)) {
+			t.Fatal("RW draw weight must be the node degree")
+		}
+		counts[v]++
+	}
+	vol := float64(g.Volume())
+	for v := int32(0); v < 6; v++ {
+		want := float64(g.Degree(v)) / vol
+		got := counts[v] / float64(sm.Len())
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("node %d: visit freq %.4f, want %.4f", v, got, want)
+		}
+	}
+}
+
+func TestMHRWApproximatelyUniform(t *testing.T) {
+	// Star-ish irregular graph where plain RW would be strongly biased.
+	b := graph.NewBuilder(8)
+	for v := int32(1); v < 8; v++ {
+		b.AddEdge(0, v)
+	}
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewMHRW(500)
+	sm, err := w.Sample(randx.New(5), g, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Weights != nil {
+		t.Fatal("MHRW targets the uniform distribution; weights must be nil")
+	}
+	counts := make([]float64, 8)
+	for _, v := range sm.Nodes {
+		counts[v]++
+	}
+	for v, c := range counts {
+		p := c / float64(sm.Len())
+		if math.Abs(p-0.125) > 0.015 {
+			t.Errorf("node %d: p=%.4f, want 0.125 ± 0.015", v, p)
+		}
+	}
+}
+
+func TestWRWUniformWeightsBehavesLikeRW(t *testing.T) {
+	g := testGraph(t)
+	nw := []float64{1, 1, 1, 1, 1, 1}
+	w := NewWRW(nw, 100)
+	sm, err := w.Sample(randx.New(6), g, 150000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 6)
+	for i, v := range sm.Nodes {
+		// strength = deg(v)·1 under unit node weights
+		if math.Abs(sm.Weights[i]-float64(g.Degree(v))) > 1e-12 {
+			t.Fatalf("strength %v != degree %d", sm.Weights[i], g.Degree(v))
+		}
+		counts[v]++
+	}
+	vol := float64(g.Volume())
+	for v := int32(0); v < 6; v++ {
+		want := float64(g.Degree(v)) / vol
+		got := counts[v] / float64(sm.Len())
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("node %d: %.4f want %.4f", v, got, want)
+		}
+	}
+}
+
+func TestSWRWEqualizesCategories(t *testing.T) {
+	// One small and one large category. Under RW the small category gets
+	// ~|vol(A)|/vol(V) of the samples; S-WRW should push that to ~1/2.
+	r := randx.New(7)
+	g, err := gen.Paper(r, gen.PaperConfig{Sizes: []int64{60, 1200}, K: 6, Alpha: 0, Connect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSWRW(g, SWRWConfig{BurnIn: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sw.Sample(r, g, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small float64
+	for _, v := range sm.Nodes {
+		if g.Category(v) == 0 {
+			small++
+		}
+	}
+	frac := small / float64(sm.Len())
+	// RW would give vol(A)/vol(V) ≈ 60/1260 ≈ 0.048. Require a strong pull
+	// toward 0.5 (walk correlation keeps it from the exact target).
+	if frac < 0.25 {
+		t.Fatalf("S-WRW small-category fraction %.3f, want > 0.25 (RW level ≈ 0.05)", frac)
+	}
+}
+
+func TestSWRWRequiresCategories(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g, _ := b.Build()
+	if _, err := NewSWRW(g, SWRWConfig{}); err == nil {
+		t.Fatal("want error on uncategorized graph")
+	}
+}
+
+func TestWalkErrorsOnEmptyAndInvalidStart(t *testing.T) {
+	g, _ := graph.NewBuilder(0).Build()
+	if _, err := NewRW(0).Sample(randx.New(1), g, 5); err == nil {
+		t.Error("empty graph must fail")
+	}
+	g2 := testGraph(t)
+	w := &RW{Start: 99}
+	if _, err := w.Sample(randx.New(1), g2, 5); err == nil {
+		t.Error("invalid start must fail")
+	}
+	m := &MHRW{Start: 99}
+	if _, err := m.Sample(randx.New(1), g2, 5); err == nil {
+		t.Error("invalid MHRW start must fail")
+	}
+}
+
+func TestThinPrefixMerge(t *testing.T) {
+	s := &Sample{Nodes: []int32{0, 1, 2, 3, 4, 5}, Weights: []float64{1, 2, 3, 4, 5, 6}}
+	th := s.Thin(2)
+	if th.Len() != 3 || th.Nodes[1] != 2 || th.Weights[2] != 5 {
+		t.Fatalf("thin: %+v", th)
+	}
+	if s.Thin(1).Len() != 6 {
+		t.Fatal("thin(1) must keep everything")
+	}
+	p := s.Prefix(2)
+	if p.Len() != 2 || p.Weight(1) != 2 {
+		t.Fatal("prefix broken")
+	}
+	if s.Prefix(100).Len() != 6 {
+		t.Fatal("oversized prefix must clamp")
+	}
+	uw := &Sample{Nodes: []int32{9}}
+	m := Merge(s, uw)
+	if m.Len() != 7 {
+		t.Fatalf("merge len %d", m.Len())
+	}
+	if m.Weight(6) != 1 {
+		t.Fatal("unweighted part must default to weight 1")
+	}
+	um := Merge(uw, uw)
+	if um.Weights != nil {
+		t.Fatal("merging unweighted samples must stay unweighted")
+	}
+}
+
+func TestWalksIndependent(t *testing.T) {
+	g := testGraph(t)
+	ws, err := Walks(randx.New(8), g, NewRW(10), 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("%d walks", len(ws))
+	}
+	for _, w := range ws {
+		if w.Len() != 25 {
+			t.Fatalf("walk length %d", w.Len())
+		}
+	}
+}
+
+func TestObserveInduced(t *testing.T) {
+	g := testGraph(t)
+	// Sample: nodes 0 (twice), 1, 3. Edges among {0,1,3}: {0,1} only.
+	s := &Sample{Nodes: []int32{0, 1, 0, 3}}
+	o, err := ObserveInduced(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Star {
+		t.Fatal("induced observation marked star")
+	}
+	if o.Draws != 4 || len(o.Nodes) != 3 {
+		t.Fatalf("draws=%d distinct=%d", o.Draws, len(o.Nodes))
+	}
+	if o.Mult[0] != 2 { // node 0 drawn twice
+		t.Fatalf("mult(0) = %v", o.Mult[0])
+	}
+	if len(o.Edges) != 1 {
+		t.Fatalf("induced edges = %v, want one", o.Edges)
+	}
+	e := o.Edges[0]
+	if o.Nodes[e[0]] != 0 || o.Nodes[e[1]] != 1 {
+		t.Fatalf("edge endpoints %d,%d", o.Nodes[e[0]], o.Nodes[e[1]])
+	}
+	draws, rew := o.CategoryDrawCounts()
+	if draws[0] != 3 || draws[1] != 1 {
+		t.Fatalf("draws per category = %v", draws)
+	}
+	if rew[0] != 3 || rew[1] != 1 { // uniform weights
+		t.Fatalf("reweighted = %v", rew)
+	}
+	if o.TotalReweighted() != 4 {
+		t.Fatalf("total reweighted = %v", o.TotalReweighted())
+	}
+}
+
+func TestObserveStar(t *testing.T) {
+	g := testGraph(t)
+	s := &Sample{Nodes: []int32{2, 3}, Weights: []float64{4, 4}}
+	o, err := ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Star {
+		t.Fatal("not marked star")
+	}
+	// Node 2 neighbors: 0,1 (cat 0), 3 (cat 1). Node 3: 2 (cat 0), 4,5 (cat 1).
+	if o.Deg[0] != 3 || o.Deg[1] != 3 {
+		t.Fatalf("degrees %v", o.Deg)
+	}
+	if got := o.NbrCount(0, 0); got != 2 {
+		t.Fatalf("node2 nbrs in cat0 = %v, want 2", got)
+	}
+	if got := o.NbrCount(0, 1); got != 1 {
+		t.Fatalf("node2 nbrs in cat1 = %v, want 1", got)
+	}
+	if got := o.NbrCount(1, 1); got != 2 {
+		t.Fatalf("node3 nbrs in cat1 = %v, want 2", got)
+	}
+	if got := o.NbrCount(1, 0); got != 1 {
+		t.Fatalf("node3 nbrs in cat0 = %v, want 1", got)
+	}
+	_, rew := o.CategoryDrawCounts()
+	if rew[0] != 0.25 || rew[1] != 0.25 {
+		t.Fatalf("reweighted = %v (weights 4)", rew)
+	}
+}
+
+func TestObserveRequiresCategories(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g, _ := b.Build()
+	s := &Sample{Nodes: []int32{0}}
+	if _, err := ObserveInduced(g, s); err == nil {
+		t.Error("induced: want error without categories")
+	}
+	if _, err := ObserveStar(g, s); err == nil {
+		t.Error("star: want error without categories")
+	}
+}
+
+func TestObserveUncategorizedNeighbors(t *testing.T) {
+	// Uncategorized neighbors must not contribute to star counts.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	g, _ := b.Build()
+	if err := g.SetCategories([]int32{0, graph.None, 0}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	o, err := ObserveStar(g, &Sample{Nodes: []int32{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.NbrCount(0, 0); got != 1 {
+		t.Fatalf("cat0 neighbor count = %v, want 1 (node 1 uncategorized)", got)
+	}
+	if o.Deg[0] != 2 {
+		t.Fatalf("degree must still count all neighbors, got %v", o.Deg[0])
+	}
+}
+
+func TestSubsamplePrefixEquivalence(t *testing.T) {
+	g := testGraph(t)
+	s, err := NewRW(50).Sample(randx.New(9), g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := Subsample(g, s, 40, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := ObserveStar(g, s.Prefix(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Draws != o2.Draws || len(o1.Nodes) != len(o2.Nodes) {
+		t.Fatal("Subsample differs from direct prefix observation")
+	}
+}

@@ -1,0 +1,298 @@
+package sample
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// randomStart picks a uniform random node with positive degree, preferring
+// nodes in large components by construction of the experiments (the
+// generators patch connectivity; on arbitrary graphs the walk explores the
+// start node's component only, as any crawl does).
+func randomStart(r *rand.Rand, g *graph.Graph) (int32, error) {
+	if g.N() == 0 {
+		return 0, fmt.Errorf("sample: empty graph")
+	}
+	for attempt := 0; attempt < 4*g.N()+100; attempt++ {
+		v := int32(r.IntN(g.N()))
+		if g.Degree(v) > 0 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("sample: no node with positive degree found")
+}
+
+// RW is the simple random walk of §3.1.2: the next node is a uniform random
+// neighbor of the current one. Its stationary distribution is proportional
+// to degree, so every draw is recorded with weight w(v) = deg(v).
+type RW struct {
+	// BurnIn discards this many initial steps before recording.
+	BurnIn int
+	// Thin records every Thin-th visited node (1 records every step).
+	Thin int
+	// Start is the starting node; negative means a random start.
+	Start int32
+}
+
+// NewRW returns a random walk with a random start and the given burn-in.
+func NewRW(burnIn int) *RW { return &RW{BurnIn: burnIn, Thin: 1, Start: -1} }
+
+// Name implements Sampler.
+func (w *RW) Name() string { return "RW" }
+
+// Sample implements Sampler.
+func (w *RW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+	cur, err := w.start(r, g)
+	if err != nil {
+		return nil, err
+	}
+	thin := max(w.Thin, 1)
+	for i := 0; i < w.BurnIn; i++ {
+		nb := g.Neighbors(cur)
+		cur = nb[r.IntN(len(nb))]
+	}
+	nodes := make([]int32, 0, n)
+	weights := make([]float64, 0, n)
+	for len(nodes) < n {
+		nodes = append(nodes, cur)
+		weights = append(weights, float64(g.Degree(cur)))
+		for t := 0; t < thin; t++ {
+			nb := g.Neighbors(cur)
+			cur = nb[r.IntN(len(nb))]
+		}
+	}
+	return &Sample{Nodes: nodes, Weights: weights}, nil
+}
+
+func (w *RW) start(r *rand.Rand, g *graph.Graph) (int32, error) {
+	if w.Start >= 0 {
+		if int(w.Start) >= g.N() || g.Degree(w.Start) == 0 {
+			return 0, fmt.Errorf("sample: invalid start node %d", w.Start)
+		}
+		return w.Start, nil
+	}
+	return randomStart(r, g)
+}
+
+// MHRW is the Metropolis–Hastings random walk of §3.1.2 targeting the
+// uniform distribution: a uniform random neighbor v of the current node u is
+// proposed and accepted with probability min(1, deg(u)/deg(v)); otherwise
+// the walk stays at u (and u is sampled again). Draw weights are uniform.
+type MHRW struct {
+	BurnIn int
+	Thin   int
+	Start  int32
+}
+
+// NewMHRW returns an MHRW sampler with a random start.
+func NewMHRW(burnIn int) *MHRW { return &MHRW{BurnIn: burnIn, Thin: 1, Start: -1} }
+
+// Name implements Sampler.
+func (w *MHRW) Name() string { return "MHRW" }
+
+// Sample implements Sampler.
+func (w *MHRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+	var cur int32
+	var err error
+	if w.Start >= 0 {
+		cur = w.Start
+		if int(cur) >= g.N() || g.Degree(cur) == 0 {
+			return nil, fmt.Errorf("sample: invalid start node %d", cur)
+		}
+	} else if cur, err = randomStart(r, g); err != nil {
+		return nil, err
+	}
+	step := func() {
+		nb := g.Neighbors(cur)
+		v := nb[r.IntN(len(nb))]
+		if du, dv := g.Degree(cur), g.Degree(v); dv <= du || r.Float64() < float64(du)/float64(dv) {
+			cur = v
+		}
+	}
+	thin := max(w.Thin, 1)
+	for i := 0; i < w.BurnIn; i++ {
+		step()
+	}
+	nodes := make([]int32, 0, n)
+	for len(nodes) < n {
+		nodes = append(nodes, cur)
+		for t := 0; t < thin; t++ {
+			step()
+		}
+	}
+	// Uniform target ⇒ nil weights (w ≡ 1).
+	return &Sample{Nodes: nodes}, nil
+}
+
+// WRW is a weighted random walk (§3.1.2): the walk moves along edge {u,v}
+// with probability proportional to a per-node weight sum; its stationary
+// distribution is proportional to node strength, which is recorded as the
+// draw weight. The edge weight of {u,v} is (NodeWeight[u]+NodeWeight[v])/2,
+// the stratified-walk construction of [35].
+type WRW struct {
+	BurnIn int
+	Thin   int
+	Start  int32
+	// NodeWeight[v] is the per-node stratification weight.
+	NodeWeight []float64
+	name       string
+}
+
+// NewWRW returns a weighted random walk with the given node weights.
+func NewWRW(nodeWeight []float64, burnIn int) *WRW {
+	return &WRW{BurnIn: burnIn, Thin: 1, Start: -1, NodeWeight: nodeWeight, name: "WRW"}
+}
+
+// Name implements Sampler.
+func (w *WRW) Name() string { return w.name }
+
+// edgeWeight is the stratified edge weight of [35].
+func (w *WRW) edgeWeight(u, v int32) float64 {
+	return (w.NodeWeight[u] + w.NodeWeight[v]) / 2
+}
+
+// strength returns Σ_u w({v,u}), the stationary weight of v.
+func (w *WRW) strength(g *graph.Graph, v int32) float64 {
+	var s float64
+	for _, u := range g.Neighbors(v) {
+		s += w.edgeWeight(v, u)
+	}
+	return s
+}
+
+// Sample implements Sampler.
+func (w *WRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+	if len(w.NodeWeight) != g.N() {
+		return nil, fmt.Errorf("sample: WRW has %d node weights for %d nodes", len(w.NodeWeight), g.N())
+	}
+	var cur int32
+	var err error
+	if w.Start >= 0 {
+		cur = w.Start
+		if int(cur) >= g.N() || g.Degree(cur) == 0 {
+			return nil, fmt.Errorf("sample: invalid start node %d", cur)
+		}
+	} else if cur, err = randomStart(r, g); err != nil {
+		return nil, err
+	}
+	step := func() {
+		nb := g.Neighbors(cur)
+		var total float64
+		for _, u := range nb {
+			total += w.edgeWeight(cur, u)
+		}
+		x := r.Float64() * total
+		acc := 0.0
+		next := nb[len(nb)-1]
+		for _, u := range nb {
+			acc += w.edgeWeight(cur, u)
+			if acc >= x {
+				next = u
+				break
+			}
+		}
+		cur = next
+	}
+	thin := max(w.Thin, 1)
+	for i := 0; i < w.BurnIn; i++ {
+		step()
+	}
+	nodes := make([]int32, 0, n)
+	weights := make([]float64, 0, n)
+	for len(nodes) < n {
+		nodes = append(nodes, cur)
+		weights = append(weights, w.strength(g, cur))
+		for t := 0; t < thin; t++ {
+			step()
+		}
+	}
+	return &Sample{Nodes: nodes, Weights: weights}, nil
+}
+
+// SWRWConfig parameterizes the stratified weighted random walk (S-WRW) of
+// Kurant et al. [35] as used in §6.3 and §7 of the paper.
+type SWRWConfig struct {
+	// CategoryWeight[c] is the importance weight of category c. The paper's
+	// simulations use equal weights for all categories. Nil means equal.
+	CategoryWeight []float64
+	// IrrelevantWeight is the relative weight given to uncategorized nodes
+	// (the paper's f̃⊖ = 0 setting means "as few samples there as
+	// possible"; the walk still needs positive weight to traverse them).
+	// It is expressed as a fraction of the smallest relevant node weight
+	// and defaults to 0.01.
+	IrrelevantWeight float64
+	BurnIn           int
+	Thin             int
+}
+
+// NewSWRW builds the S-WRW sampler for g: each node v in category C gets
+// stratification weight CategoryWeight[C]/vol(C), which makes the walk spend
+// (approximately) equal aggregate time in every category — i.e. it
+// oversamples small categories, by one order of magnitude and more in the
+// paper's college dataset (Fig. 5(b)). Uncategorized nodes get a small
+// positive weight so the walk can cross them.
+func NewSWRW(g *graph.Graph, cfg SWRWConfig) (*WRW, error) {
+	if !g.HasCategories() {
+		return nil, fmt.Errorf("sample: S-WRW needs a categorized graph")
+	}
+	k := g.NumCategories()
+	cw := cfg.CategoryWeight
+	if cw == nil {
+		cw = make([]float64, k)
+		for i := range cw {
+			cw[i] = 1
+		}
+	}
+	if len(cw) != k {
+		return nil, fmt.Errorf("sample: %d category weights for %d categories", len(cw), k)
+	}
+	irr := cfg.IrrelevantWeight
+	if irr <= 0 {
+		irr = 0.01
+	}
+	nw := make([]float64, g.N())
+	minRelevant := -1.0
+	for v := range nw {
+		c := g.Category(int32(v))
+		if c == graph.None {
+			continue
+		}
+		vol := float64(g.CategoryVolume(c))
+		if vol == 0 {
+			continue
+		}
+		nw[v] = cw[c] / vol
+		if minRelevant < 0 || nw[v] < minRelevant {
+			minRelevant = nw[v]
+		}
+	}
+	if minRelevant < 0 {
+		return nil, fmt.Errorf("sample: no categorized node with positive volume")
+	}
+	for v := range nw {
+		if nw[v] == 0 {
+			nw[v] = irr * minRelevant
+		}
+	}
+	w := NewWRW(nw, cfg.BurnIn)
+	w.Thin = max(cfg.Thin, 1)
+	w.name = "S-WRW"
+	return w, nil
+}
+
+// Walks draws `walks` independent samples of perWalk draws each using the
+// given sampler — the multi-crawl design of the paper's Facebook datasets
+// (Table 2: 28 and 25 independent walks).
+func Walks(r *rand.Rand, g *graph.Graph, s Sampler, walks, perWalk int) ([]*Sample, error) {
+	out := make([]*Sample, walks)
+	for i := range out {
+		var err error
+		out[i], err = s.Sample(r, g, perWalk)
+		if err != nil {
+			return nil, fmt.Errorf("sample: walk %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

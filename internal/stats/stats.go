@@ -1,0 +1,178 @@
+// Package stats provides the statistical machinery of the evaluation
+// sections of the paper: the Normalized Root Mean Square Error of Eq. (17),
+// streaming moments, percentiles, empirical CDFs, and bootstrap resampling
+// (the variance-estimation device recommended in §5.3.2).
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Moments accumulates a stream of observations with Welford's algorithm,
+// exposing count, mean and (population or sample) variance without storing
+// the observations.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Var returns the population variance Σ(x−x̄)²/n.
+func (m *Moments) Var() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// SampleVar returns the unbiased sample variance Σ(x−x̄)²/(n−1).
+func (m *Moments) SampleVar() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Var()) }
+
+// NRMSE implements Eq. (17): sqrt(E[(x̂−x)²])/x, estimated from a set of
+// replicated estimates. The accumulator is cheap enough to keep one per
+// (quantity, sample size) cell of a sweep.
+type NRMSE struct {
+	truth float64
+	n     int64
+	sqErr float64
+}
+
+// NewNRMSE returns an accumulator for a quantity with true value truth.
+func NewNRMSE(truth float64) *NRMSE { return &NRMSE{truth: truth} }
+
+// Add incorporates one replicated estimate x̂.
+func (e *NRMSE) Add(estimate float64) {
+	d := estimate - e.truth
+	e.sqErr += d * d
+	e.n++
+}
+
+// Value returns the NRMSE over the estimates added so far. It is NaN when
+// the true value is zero or no estimates were added.
+func (e *NRMSE) Value() float64 {
+	if e.n == 0 || e.truth == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(e.sqErr/float64(e.n)) / math.Abs(e.truth)
+}
+
+// N returns the number of estimates accumulated.
+func (e *NRMSE) N() int64 { return e.n }
+
+// Truth returns the true value the accumulator was built with.
+func (e *NRMSE) Truth() float64 { return e.truth }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+// It copies and sorts its input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MedianFinite returns the median of the finite entries of xs, ignoring
+// NaNs and infinities (quantities whose truth is zero yield NaN NRMSE and
+// are excluded from the paper's median curves).
+func MedianFinite(xs []float64) float64 {
+	fin := xs[:0:0]
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			fin = append(fin, x)
+		}
+	}
+	return Median(fin)
+}
+
+// CDF returns the empirical CDF of xs evaluated at its own sorted values:
+// pairs (x_i, (i+1)/n). NaNs are dropped. This is the representation behind
+// the paper's Fig. 3(d,h).
+func CDF(xs []float64) (x, p []float64) {
+	s := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
+	sort.Float64s(s)
+	p = make([]float64, len(s))
+	for i := range s {
+		p[i] = float64(i+1) / float64(len(s))
+	}
+	return s, p
+}
+
+// Bootstrap draws B resamples (with replacement) of the index set [0, n) and
+// reports the mean and standard deviation of statistic(resample), the
+// procedure of Efron & Tibshirani referenced in §5.3.2 for choosing between
+// the two size-estimator plug-ins of Eq. (16).
+func Bootstrap(r *rand.Rand, n, B int, statistic func(idx []int) float64) (mean, sd float64) {
+	if n == 0 || B == 0 {
+		return math.NaN(), math.NaN()
+	}
+	var m Moments
+	idx := make([]int, n)
+	for b := 0; b < B; b++ {
+		for i := range idx {
+			idx[i] = r.IntN(n)
+		}
+		m.Add(statistic(idx))
+	}
+	return m.Mean(), m.StdDev()
+}
+
+// RelErr returns |a−b| / max(|a|,|b|, tiny); a convenience for tests.
+func RelErr(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den < 1e-300 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

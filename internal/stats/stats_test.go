@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsAgainstDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if m.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", m.Mean())
+	}
+	if m.Var() != 4 {
+		t.Fatalf("var = %v, want 4", m.Var())
+	}
+	if m.StdDev() != 2 {
+		t.Fatalf("sd = %v, want 2", m.StdDev())
+	}
+	wantSample := 32.0 / 7.0
+	if math.Abs(m.SampleVar()-wantSample) > 1e-12 {
+		t.Fatalf("sample var = %v, want %v", m.SampleVar(), wantSample)
+	}
+}
+
+func TestMomentsEmptyAndSingle(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Var() != 0 || m.SampleVar() != 0 {
+		t.Fatal("empty moments should be zero")
+	}
+	m.Add(3)
+	if m.Mean() != 3 || m.Var() != 0 || m.SampleVar() != 0 {
+		t.Fatal("single observation: mean 3, variances 0")
+	}
+}
+
+func TestMomentsPropertyMatchesNaive(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var m Moments
+		var sum float64
+		for _, v := range raw {
+			m.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var sq float64
+		for _, v := range raw {
+			sq += (float64(v) - mean) * (float64(v) - mean)
+		}
+		return math.Abs(m.Mean()-mean) < 1e-9 && math.Abs(m.Var()-sq/float64(len(raw))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNRMSEExactValues(t *testing.T) {
+	e := NewNRMSE(10)
+	e.Add(12) // err 2
+	e.Add(8)  // err -2
+	// sqrt(mean(4,4))/10 = 2/10
+	if got := e.Value(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("NRMSE = %v, want 0.2", got)
+	}
+	if e.N() != 2 || e.Truth() != 10 {
+		t.Fatal("bookkeeping broken")
+	}
+}
+
+func TestNRMSEPerfectEstimatorIsZero(t *testing.T) {
+	e := NewNRMSE(7)
+	for i := 0; i < 5; i++ {
+		e.Add(7)
+	}
+	if e.Value() != 0 {
+		t.Fatalf("NRMSE of exact estimates = %v", e.Value())
+	}
+}
+
+func TestNRMSEDegenerate(t *testing.T) {
+	if !math.IsNaN(NewNRMSE(5).Value()) {
+		t.Error("no estimates → NaN")
+	}
+	z := NewNRMSE(0)
+	z.Add(1)
+	if !math.IsNaN(z.Value()) {
+		t.Error("zero truth → NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %v", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v, want 2", got)
+	}
+	// Interpolation: q=0.1 on sorted [1..5] → pos 0.4 → 1.4
+	if got := Quantile(xs, 0.1); math.Abs(got-1.4) > 1e-12 {
+		t.Fatalf("q10 = %v, want 1.4", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty input should give NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []int8, q1, q2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		a, b := float64(q1)/255, float64(q2)/255
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianFinite(t *testing.T) {
+	xs := []float64{math.NaN(), 1, math.Inf(1), 3, 2}
+	if got := MedianFinite(xs); got != 2 {
+		t.Fatalf("MedianFinite = %v, want 2", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	x, p := CDF([]float64{0.3, math.NaN(), 0.1, 0.2})
+	if len(x) != 3 {
+		t.Fatalf("len = %d, want 3 (NaN dropped)", len(x))
+	}
+	if x[0] != 0.1 || x[2] != 0.3 {
+		t.Fatalf("x = %v", x)
+	}
+	if p[2] != 1 {
+		t.Fatalf("last p = %v, want 1", p[2])
+	}
+	if math.Abs(p[0]-1.0/3.0) > 1e-12 {
+		t.Fatalf("first p = %v", p[0])
+	}
+}
+
+func TestBootstrapMeanRecovery(t *testing.T) {
+	// Bootstrapping the sample mean: bootstrap mean ≈ sample mean and the
+	// bootstrap sd ≈ sd/sqrt(n).
+	r := rand.New(rand.NewPCG(1, 2))
+	data := make([]float64, 400)
+	var m Moments
+	for i := range data {
+		data[i] = r.NormFloat64()*2 + 10
+		m.Add(data[i])
+	}
+	mean, sd := Bootstrap(r, len(data), 500, func(idx []int) float64 {
+		var s float64
+		for _, i := range idx {
+			s += data[i]
+		}
+		return s / float64(len(idx))
+	})
+	if math.Abs(mean-m.Mean()) > 0.05 {
+		t.Fatalf("bootstrap mean %v vs sample mean %v", mean, m.Mean())
+	}
+	wantSE := m.StdDev() / math.Sqrt(float64(len(data)))
+	if math.Abs(sd-wantSE)/wantSE > 0.25 {
+		t.Fatalf("bootstrap se %v vs analytic %v", sd, wantSE)
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	if m, _ := Bootstrap(r, 0, 10, func([]int) float64 { return 1 }); !math.IsNaN(m) {
+		t.Error("n=0 should give NaN")
+	}
+	if m, _ := Bootstrap(r, 10, 0, func([]int) float64 { return 1 }); !math.IsNaN(m) {
+		t.Error("B=0 should give NaN")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(0, 0) != 0 {
+		t.Error("RelErr(0,0) should be 0")
+	}
+	if got := RelErr(10, 11); math.Abs(got-1.0/11) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+}

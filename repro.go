@@ -1,0 +1,144 @@
+package repro
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/catgraph"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// Re-exported substrate types. See the internal packages for full method
+// documentation.
+type (
+	// Graph is an immutable undirected graph with an optional category
+	// partition (internal/graph).
+	Graph = graph.Graph
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// Sample is an ordered probability sample of nodes with draw weights.
+	Sample = sample.Sample
+	// Sampler draws probability samples from a graph (UIS, WIS, RW, MHRW,
+	// WRW, S-WRW).
+	Sampler = sample.Sampler
+	// Observation is what a measurement scenario reveals about a sample;
+	// it is the sole input of the estimators.
+	Observation = sample.Observation
+	// Options configures Estimate.
+	Options = core.Options
+	// Result is a complete category-graph estimate.
+	Result = core.Result
+	// PairWeights holds category-pair edge weights.
+	PairWeights = core.PairWeights
+	// CategoryGraph is an exportable, mergeable weighted category graph.
+	CategoryGraph = catgraph.Graph
+	// SWRWConfig parameterizes the stratified weighted random walk.
+	SWRWConfig = sample.SWRWConfig
+)
+
+// NoCategory marks nodes that belong to no category.
+const NoCategory = graph.None
+
+// NewRand returns a deterministic PCG generator for the given seed.
+func NewRand(seed uint64) *rand.Rand { return randx.New(seed) }
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// GeneratePaperGraph builds the synthetic model of the paper's §6.2.1 at
+// full scale: N = 88,850 nodes in ten categories (sizes 50…50,000), each a
+// k-regular random graph internally, plus N·k/10 random inter-category
+// edges; a fraction alpha of the category labels is then shuffled.
+func GeneratePaperGraph(r *rand.Rand, k int, alpha float64) (*Graph, error) {
+	return gen.Paper(r, gen.PaperConfig{K: k, Alpha: alpha, Connect: true})
+}
+
+// NewUIS returns the uniform independence sampler.
+func NewUIS() Sampler { return sample.UIS{} }
+
+// NewDegreeWIS returns the degree-proportional weighted independence
+// sampler for g (the design RW converges to).
+func NewDegreeWIS(g *Graph) (Sampler, error) { return sample.NewDegreeWIS(g) }
+
+// NewRW returns a simple random walk with the given burn-in.
+func NewRW(burnIn int) Sampler { return sample.NewRW(burnIn) }
+
+// NewMHRW returns a Metropolis–Hastings random walk targeting the uniform
+// distribution.
+func NewMHRW(burnIn int) Sampler { return sample.NewMHRW(burnIn) }
+
+// NewSWRW returns the stratified weighted random walk of [35] for g.
+func NewSWRW(g *Graph, cfg SWRWConfig) (Sampler, error) { return sample.NewSWRW(g, cfg) }
+
+// NewFrontier returns the multiple-dependent-walk frontier sampler of [52]:
+// m degree-weighted walkers whose union converges to the same
+// degree-proportional design as RW while decorrelating consecutive draws.
+func NewFrontier(m, burnIn int) Sampler { return sample.NewFrontier(m, burnIn) }
+
+// NewBFS returns breadth-first (snowball) sampling — NOT a probability
+// sample; provided as the §8 cautionary baseline whose degree bias the
+// design-based estimators cannot correct.
+func NewBFS() Sampler { return sample.NewBFS() }
+
+// ObserveInduced performs induced subgraph sampling (§3.2.1): only the
+// sampled nodes, their categories, and the edges among them are revealed.
+func ObserveInduced(g *Graph, s *Sample) (*Observation, error) {
+	return sample.ObserveInduced(g, s)
+}
+
+// ObserveStar performs labeled star sampling (§3.2.2): the categories of
+// all neighbors of each sampled node are revealed as well.
+func ObserveStar(g *Graph, s *Sample) (*Observation, error) {
+	return sample.ObserveStar(g, s)
+}
+
+// Estimate produces the full category-graph estimate (sizes + weights) from
+// one observation.
+func Estimate(o *Observation, opts Options) (*Result, error) { return core.Estimate(o, opts) }
+
+// SizeInduced estimates all category sizes with Eq. (4)/(11).
+func SizeInduced(o *Observation, n float64) []float64 { return core.SizeInduced(o, n) }
+
+// SizeStar estimates all category sizes with Eq. (5)/(12).
+func SizeStar(o *Observation, n float64) ([]float64, error) { return core.SizeStar(o, n) }
+
+// WeightsInduced estimates all category edge weights with Eq. (8)/(15).
+func WeightsInduced(o *Observation) (*PairWeights, error) { return core.WeightsInduced(o) }
+
+// WeightsStar estimates all category edge weights with Eq. (9)/(16),
+// plugging in the provided size estimates.
+func WeightsStar(o *Observation, sizes []float64) (*PairWeights, error) {
+	return core.WeightsStar(o, sizes)
+}
+
+// PopulationSize estimates N = |V| from sample collisions (§4.3, after
+// Katzir et al.). Thin walk samples first.
+func PopulationSize(s *Sample) float64 { return core.PopulationSize(s) }
+
+// DegreeDistribution estimates P(deg = d) from a star observation with
+// Hansen–Hurwitz correction (a §1 "local property" estimator).
+func DegreeDistribution(o *Observation) ([]float64, error) { return core.DegreeDistribution(o) }
+
+// WithinWeightsInduced estimates the internal density w(A,A) of every
+// category from an induced observation (blockmodel "block density"; an
+// extension beyond the paper's self-loop-free GC).
+func WithinWeightsInduced(o *Observation) ([]float64, error) { return core.WithinWeightsInduced(o) }
+
+// WithinWeightsStar is the star-scenario counterpart of
+// WithinWeightsInduced, with plugged-in size estimates.
+func WithinWeightsStar(o *Observation, sizes []float64) ([]float64, error) {
+	return core.WithinWeightsStar(o, sizes)
+}
+
+// TrueCategoryGraph computes the exact category graph of a fully known
+// categorized graph (the ground truth of the simulations).
+func TrueCategoryGraph(g *Graph) (*CategoryGraph, error) { return catgraph.FromGraph(g) }
+
+// CategoryGraphFromEstimate assembles an exportable category graph from
+// estimator output.
+func CategoryGraphFromEstimate(res *Result, names []string) (*CategoryGraph, error) {
+	return catgraph.FromEstimate(res, names)
+}

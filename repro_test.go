@@ -1,0 +1,171 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd runs the doc-comment quick-start flow on a reduced
+// paper graph and checks the estimate against ground truth.
+func TestFacadeEndToEnd(t *testing.T) {
+	// A small custom graph through the facade builder.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 0)
+	b.AddEdge(0, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetCategories([]int32{0, 0, 0, 1, 1, 1}, 2, []string{"L", "R"}); err != nil {
+		t.Fatal(err)
+	}
+	// Census star observation recovers the exact category graph.
+	nodes := make([]int32, g.N())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	o, err := ObserveStar(g, &Sample{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(o, Options{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := CategoryGraphFromEstimate(res, g.CategoryNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := TrueCategoryGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cg.Weight(0, 1)-truth.Weight(0, 1)) > 1e-9 {
+		t.Fatalf("census weight %v != truth %v", cg.Weight(0, 1), truth.Weight(0, 1))
+	}
+	var buf bytes.Buffer
+	if err := cg.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty TSV export")
+	}
+}
+
+func TestFacadeSamplersConstructible(t *testing.T) {
+	r := NewRand(5)
+	g, err := GeneratePaperGraph(r, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 88850 {
+		t.Fatalf("paper graph N = %d, want 88850", g.N())
+	}
+	samplers := []Sampler{NewUIS(), NewRW(10), NewMHRW(10)}
+	if s, err := NewDegreeWIS(g); err != nil {
+		t.Fatal(err)
+	} else {
+		samplers = append(samplers, s)
+	}
+	if s, err := NewSWRW(g, SWRWConfig{BurnIn: 10}); err != nil {
+		t.Fatal(err)
+	} else {
+		samplers = append(samplers, s)
+	}
+	for _, smp := range samplers {
+		s, err := smp.Sample(r, g, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", smp.Name(), err)
+		}
+		if s.Len() != 200 {
+			t.Fatalf("%s: %d draws", smp.Name(), s.Len())
+		}
+		oi, err := ObserveInduced(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := SizeInduced(oi, float64(g.N()))
+		if len(sizes) != 10 {
+			t.Fatalf("%s: %d sizes", smp.Name(), len(sizes))
+		}
+		os, err := ObserveStar(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := SizeStar(os, float64(g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WeightsStar(os, ss); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := WeightsInduced(oi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Population size from a thinned degree-WIS sample.
+	wis, _ := NewDegreeWIS(g)
+	s, err := wis.Sample(r, g, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := PopulationSize(s); math.IsInf(n, 0) || math.Abs(n-88850)/88850 > 0.5 {
+		t.Fatalf("N̂ = %v implausible", n)
+	}
+	if NoCategory != -1 {
+		t.Fatal("NoCategory sentinel changed")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	r := NewRand(31)
+	g, err := GeneratePaperGraph(r, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frontier sampler through the facade.
+	s, err := NewFrontier(8, 100).Sample(r, g, 500)
+	if err != nil || s.Len() != 500 {
+		t.Fatalf("frontier: %v len=%d", err, s.Len())
+	}
+	o, err := ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := DegreeDistribution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("degree distribution sums to %v", sum)
+	}
+	sizes, err := SizeStar(o, float64(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WithinWeightsStar(o, sizes); err != nil {
+		t.Fatal(err)
+	}
+	oi, err := ObserveInduced(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WithinWeightsInduced(oi); err != nil {
+		t.Fatal(err)
+	}
+	// BFS through the facade: unweighted, clamps at N.
+	bs, err := NewBFS().Sample(r, g, 200)
+	if err != nil || bs.Len() != 200 || bs.Weights != nil {
+		t.Fatalf("bfs: %v", err)
+	}
+}
