@@ -24,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/randx"
 	"repro/internal/sample"
+	"repro/internal/stream"
 )
 
 // benchParams are the reduced-scale parameters shared by the per-figure
@@ -400,6 +401,87 @@ func BenchmarkGraphBuild1MEdges(b *testing.B) {
 		if _, err := bld.Build(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- streaming subsystem benchmarks -------------------------------------
+
+// streamBenchRecords pre-builds a star record stream of n RW draws on the
+// cached paper graph, plus the equivalent batch sample.
+func streamBenchRecords(b *testing.B, n int) ([]sample.NodeObservation, *sample.Sample, *graph.Graph) {
+	b.Helper()
+	g := getPaperGraph(b)
+	s, err := sample.NewRW(500).Sample(randx.New(101), g, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]sample.NodeObservation, s.Len())
+	for i, v := range s.Nodes {
+		recs[i] = so.Observe(v, s.Weight(i))
+	}
+	return recs, s, g
+}
+
+// BenchmarkStreamIngest measures the cost of feeding a full record stream
+// into a fresh accumulator — the daemon's write path.
+func BenchmarkStreamIngest(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		recs, _, g := streamBenchRecords(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acc, err := stream.NewAccumulator(stream.Config{
+					K: g.NumCategories(), Star: true, N: float64(g.N()),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := acc.IngestBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamSnapshot compares the incremental read path (Snapshot on a
+// loaded accumulator, O(K² + pairs)) against recomputing the same estimate
+// from scratch (re-observe the sample, rebuild all sums) — the cost every
+// poll would pay without the streaming subsystem.
+func BenchmarkStreamSnapshot(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		recs, s, g := streamBenchRecords(b, n)
+		opts := core.Options{N: float64(g.N())}
+		acc, err := stream.NewAccumulator(stream.Config{
+			K: g.NumCategories(), Star: true, N: float64(g.N()),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := acc.IngestBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/incremental", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := acc.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/batch-recompute", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o, err := sample.ObserveStar(g, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Estimate(o, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,400 @@
+// Command topoestd is the serving daemon of the streaming-estimation
+// subsystem: it keeps an internal/stream accumulator behind an HTTP API so
+// that crawlers can push node observations as they are collected and
+// consumers can read the live category-graph estimate at any time.
+//
+// Usage:
+//
+//	topoestd -k 10 -star -addr :8723
+//	topoestd -names US,BR,DE,FR -star=false -N 88850
+//	topoestd -demo -demo-draws 20000       # self-feeding smoke/demo mode
+//
+// Flags:
+//
+//	-addr        listen address (default :8723)
+//	-k           number of categories (required unless -names or -demo)
+//	-names       comma-separated category names (sets -k)
+//	-star        measurement scenario: star (default) or induced (=false)
+//	-N           population size |V|; 0 = unknown → relative sizes, with the
+//	             §4.3 collision estimate of N reported alongside
+//	-size        size estimator: auto|induced|star|star-pooled
+//	-demo        generate the paper's §6.2.1 graph and trickle-feed a random
+//	             walk crawl of it into the accumulator
+//	-demo-draws  total draws the demo crawl ingests (default 20000)
+//	-demo-seed   demo crawl seed (default 1)
+//
+// Endpoints:
+//
+//	POST /ingest             body: one NodeObservation JSON object, or an
+//	                         array of them; returns {"ingested":…,"draws":…}
+//	GET  /estimate           live estimate: sizes, weights, within-category
+//	                         densities, population estimate, convergence
+//	GET  /categorygraph.tsv  the estimate as a category-graph TSV (the same
+//	                         format cmd/topoest emits)
+//	GET  /healthz            liveness: status, draws, distinct, uptime
+//
+// The observation wire format is sample.NodeObservation: under star
+// sampling {"node":7,"weight":3,"cat":1,"deg":5,"nbr_cat":[0,1],
+// "nbr_cnt":[2,3]}, under induced sampling {"node":7,"cat":1,
+// "peers":[3,4]} where peers lists previously ingested neighbors (each edge
+// of the growing induced subgraph reported exactly once). Weight 0 means 1;
+// cat -1 means uncategorized. Star neighbor data may ride on every record
+// of a node (concurrent crawlers) — the first to arrive wins.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catgraph"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8723", "listen address")
+		k         = flag.Int("k", 0, "number of categories")
+		names     = flag.String("names", "", "comma-separated category names (sets -k)")
+		star      = flag.Bool("star", true, "star scenario (false = induced subgraph)")
+		popN      = flag.Float64("N", 0, "population size |V| (0 = unknown, relative sizes)")
+		sizeFlag  = flag.String("size", "auto", "size estimator: auto|induced|star|star-pooled")
+		demo      = flag.Bool("demo", false, "self-feed a random-walk crawl of the §6.2.1 paper graph")
+		demoDraws = flag.Int("demo-draws", 20000, "demo: total draws to ingest")
+		demoSeed  = flag.Uint64("demo-seed", 1, "demo: crawl seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *k, *names, *star, *popN, *sizeFlag, *demo, *demoDraws, *demoSeed); err != nil {
+		fmt.Fprintln(os.Stderr, "topoestd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, k int, namesFlag string, star bool, popN float64, sizeFlag string, demo bool, demoDraws int, demoSeed uint64) error {
+	method, err := parseSizeMethod(sizeFlag)
+	if err != nil {
+		return err
+	}
+	var names []string
+	if namesFlag != "" {
+		names = strings.Split(namesFlag, ",")
+		k = len(names)
+	}
+	if demo {
+		return runDemo(addr, star, method, demoDraws, demoSeed)
+	}
+	if k < 1 {
+		return fmt.Errorf("need -k or -names (got %d categories)", k)
+	}
+	acc, err := stream.NewAccumulator(stream.Config{K: k, Star: star, N: popN, Size: method})
+	if err != nil {
+		return err
+	}
+	srv := newServer(acc, names)
+	log.Printf("topoestd: serving %d categories (%s scenario) on %s", k, scenarioName(star), addr)
+	return http.ListenAndServe(addr, srv)
+}
+
+// runDemo builds the paper's synthetic graph, starts a goroutine that
+// trickle-feeds a random-walk crawl through a StreamObserver, and serves the
+// live estimate — a one-command end-to-end demonstration of the subsystem.
+func runDemo(addr string, star bool, method core.SizeMethod, draws int, seed uint64) error {
+	r := randx.New(seed)
+	g, err := gen.Paper(r, gen.PaperConfig{
+		Sizes:   []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000},
+		K:       20,
+		Alpha:   0.5,
+		Connect: true,
+	})
+	if err != nil {
+		return err
+	}
+	acc, err := stream.NewAccumulator(stream.Config{
+		K: g.NumCategories(), Star: star, N: float64(g.N()), Size: method,
+	})
+	if err != nil {
+		return err
+	}
+	s, err := sample.NewRW(1000).Sample(r, g, draws)
+	if err != nil {
+		return err
+	}
+	so, err := sample.NewStreamObserver(g, star)
+	if err != nil {
+		return err
+	}
+	go func() {
+		const chunk = 200
+		for i, v := range s.Nodes {
+			if err := acc.Ingest(so.Observe(v, s.Weight(i))); err != nil {
+				log.Printf("topoestd: demo ingest: %v", err)
+				return
+			}
+			if (i+1)%chunk == 0 {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		log.Printf("topoestd: demo crawl complete (%d draws)", s.Len())
+	}()
+	srv := newServer(acc, g.CategoryNames())
+	log.Printf("topoestd: demo on %s — crawling N=%d graph (%s scenario, %d draws)",
+		addr, g.N(), scenarioName(star), draws)
+	return http.ListenAndServe(addr, srv)
+}
+
+func parseSizeMethod(s string) (core.SizeMethod, error) {
+	switch s {
+	case "auto":
+		return core.SizeMethodAuto, nil
+	case "induced":
+		return core.SizeMethodInduced, nil
+	case "star":
+		return core.SizeMethodStar, nil
+	case "star-pooled":
+		return core.SizeMethodStarPooled, nil
+	}
+	return 0, fmt.Errorf("unknown size method %q", s)
+}
+
+func scenarioName(star bool) string {
+	if star {
+		return "star"
+	}
+	return "induced"
+}
+
+// server is the HTTP facade over one accumulator. Snapshots are cached per
+// draw count so that read-heavy traffic between ingests costs one O(K²)
+// estimate, not one per request — and so the accumulator's convergence
+// baseline advances only when the stream does.
+type server struct {
+	mux   *http.ServeMux
+	acc   *stream.Accumulator
+	names []string
+	start time.Time
+
+	mu       sync.Mutex
+	cached   *stream.Snapshot
+	cachedCG *catgraph.Graph
+}
+
+func newServer(acc *stream.Accumulator, names []string) *server {
+	if names == nil {
+		names = make([]string, acc.Config().K)
+		for i := range names {
+			names[i] = fmt.Sprintf("C%d", i)
+		}
+	}
+	s := &server{mux: http.NewServeMux(), acc: acc, names: names, start: time.Now()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /categorygraph.tsv", s.handleTSV)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// snapshot returns the current estimate and its category-graph view,
+// reusing the cached pair while no new draws have arrived — so read-heavy
+// polling between ingests costs one O(K²) recompute total, not per request.
+func (s *server) snapshot() (*stream.Snapshot, *catgraph.Graph, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cached != nil && s.cached.Draws == s.acc.Draws() {
+		return s.cached, s.cachedCG, nil
+	}
+	snap, err := s.acc.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	cg, err := catgraph.FromEstimate(snap.Result, s.names)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.cached, s.cachedCG = snap, cg
+	return snap, cg, nil
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// wireRecord is the ingest wire form of sample.NodeObservation. Cat is a
+// pointer so an omitted "cat" key is caught at the API boundary instead of
+// silently decoding to category 0 and permanently skewing the estimate.
+type wireRecord struct {
+	Node   int32     `json:"node"`
+	Weight float64   `json:"weight"`
+	Cat    *int32    `json:"cat"`
+	Deg    float64   `json:"deg"`
+	NbrCat []int32   `json:"nbr_cat"`
+	NbrCnt []float64 `json:"nbr_cnt"`
+	Peers  []int32   `json:"peers"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	// Peek at the first non-space byte to accept either one record object
+	// or an array of them, with a single parse either way.
+	i := 0
+	for i < len(body) && (body[i] == ' ' || body[i] == '\t' || body[i] == '\n' || body[i] == '\r') {
+		i++
+	}
+	var wires []wireRecord
+	if i < len(body) && body[i] == '[' {
+		if err := json.Unmarshal(body, &wires); err != nil {
+			httpError(w, http.StatusBadRequest, "bad record array: %v", err)
+			return
+		}
+	} else {
+		var rec wireRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad record: %v", err)
+			return
+		}
+		wires = []wireRecord{rec}
+	}
+	recs := make([]sample.NodeObservation, len(wires))
+	for i, wr := range wires {
+		if wr.Cat == nil {
+			httpError(w, http.StatusUnprocessableEntity,
+				`ingested 0 of %d records: record %d (node %d) is missing "cat" (use -1 for uncategorized)`,
+				len(wires), i, wr.Node)
+			return
+		}
+		recs[i] = sample.NodeObservation{
+			Node: wr.Node, Weight: wr.Weight, Cat: *wr.Cat,
+			Deg: wr.Deg, NbrCat: wr.NbrCat, NbrCnt: wr.NbrCnt, Peers: wr.Peers,
+		}
+	}
+	n, err := s.acc.IngestBatch(recs)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "ingested %d of %d records: %v", n, len(recs), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"ingested": n, "draws": s.acc.Draws()})
+}
+
+// estimateDoc is the JSON shape of GET /estimate. NaN/Inf cannot travel in
+// JSON, so non-finite quantities are omitted (pointer fields stay null).
+type estimateDoc struct {
+	Seq         int64          `json:"seq"`
+	Draws       int            `json:"draws"`
+	Distinct    int            `json:"distinct"`
+	N           float64        `json:"n"`
+	PopEstimate *float64       `json:"pop_estimate,omitempty"`
+	SizeMethod  string         `json:"size_method"`
+	WeightKind  string         `json:"weight_kind"`
+	Sizes       []sizeEntry    `json:"sizes"`
+	Weights     []weightEntry  `json:"weights"`
+	Convergence convergenceDoc `json:"convergence"`
+}
+
+type sizeEntry struct {
+	Cat    int32    `json:"cat"`
+	Name   string   `json:"name"`
+	Size   float64  `json:"size"`
+	Within *float64 `json:"within,omitempty"`
+}
+
+type weightEntry struct {
+	A      int32   `json:"a"`
+	B      int32   `json:"b"`
+	Weight float64 `json:"w"`
+	Cut    float64 `json:"cut"`
+}
+
+type convergenceDoc struct {
+	DrawsSince  int      `json:"draws_since"`
+	SizeDelta   *float64 `json:"size_delta,omitempty"`
+	WeightDelta *float64 `json:"weight_delta,omitempty"`
+}
+
+func finitePtr(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	snap, cg, err := s.snapshot()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	doc := estimateDoc{
+		Seq:         snap.Seq,
+		Draws:       snap.Draws,
+		Distinct:    snap.Distinct,
+		N:           snap.Result.N,
+		PopEstimate: finitePtr(snap.PopEstimate),
+		SizeMethod:  snap.Result.SizeMethod.String(),
+		WeightKind:  snap.Result.WeightKind,
+		Convergence: convergenceDoc{
+			DrawsSince:  snap.Converge.DrawsSince,
+			SizeDelta:   finitePtr(snap.Converge.SizeDelta),
+			WeightDelta: finitePtr(snap.Converge.WeightDelta),
+		},
+	}
+	for c, size := range snap.Result.Sizes {
+		doc.Sizes = append(doc.Sizes, sizeEntry{
+			Cat: int32(c), Name: s.names[c], Size: size,
+			Within: finitePtr(snap.Within[c]),
+		})
+	}
+	for _, e := range cg.Edges() {
+		if math.IsNaN(e.Weight) { // unresolvable star denominator
+			continue
+		}
+		doc.Weights = append(doc.Weights, weightEntry{
+			A: e.A, B: e.B, Weight: e.Weight, Cut: cg.Cut(e.A, e.B),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+func (s *server) handleTSV(w http.ResponseWriter, r *http.Request) {
+	_, cg, err := s.snapshot()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	if err := cg.WriteTSV(w); err != nil {
+		log.Printf("topoestd: write tsv: %v", err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"scenario": scenarioName(s.acc.Config().Star),
+		"k":        s.acc.Config().K,
+		"draws":    s.acc.Draws(),
+		"distinct": s.acc.Distinct(),
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,360 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stream"
+)
+
+func testServer(t *testing.T, k int, star bool, n float64) (*server, *stream.Accumulator) {
+	t.Helper()
+	acc, err := stream.NewAccumulator(stream.Config{K: k, Star: star, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(acc, nil), acc
+}
+
+func post(t *testing.T, srv http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, srv http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+// TestIngestSingleAndArray exercises both accepted POST /ingest body shapes
+// and the error paths.
+func TestIngestSingleAndArray(t *testing.T) {
+	srv, acc := testServer(t, 3, true, 0)
+	w := post(t, srv, "/ingest", `{"node":1,"cat":0,"deg":2,"nbr_cat":[1],"nbr_cnt":[2]}`)
+	if w.Code != 200 {
+		t.Fatalf("single ingest: %d %s", w.Code, w.Body)
+	}
+	w = post(t, srv, "/ingest", `[{"node":2,"cat":1,"deg":3,"nbr_cat":[0],"nbr_cnt":[2]},
+		{"node":3,"cat":2,"deg":1,"nbr_cat":[0],"nbr_cnt":[1]}]`)
+	if w.Code != 200 {
+		t.Fatalf("array ingest: %d %s", w.Code, w.Body)
+	}
+	var resp map[string]int
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["ingested"] != 2 || resp["draws"] != 3 {
+		t.Fatalf("resp = %v", resp)
+	}
+	if acc.Draws() != 3 {
+		t.Fatalf("draws = %d", acc.Draws())
+	}
+	if w = post(t, srv, "/ingest", `{"node":`); w.Code != 400 {
+		t.Fatalf("bad JSON: %d", w.Code)
+	}
+	if w = post(t, srv, "/ingest", `{"node":9,"cat":7}`); w.Code != 422 {
+		t.Fatalf("invalid record: %d", w.Code)
+	}
+	w = post(t, srv, "/ingest", `{"node":9,"deg":2,"nbr_cat":[0],"nbr_cnt":[2]}`)
+	if w.Code != 422 || !strings.Contains(w.Body.String(), "missing") {
+		t.Fatalf("missing cat should be rejected, got %d %s", w.Code, w.Body)
+	}
+	if acc.Draws() != 3 {
+		t.Fatalf("rejected records were ingested: draws = %d", acc.Draws())
+	}
+	if w = get(t, srv, "/ingest"); w.Code != 405 {
+		t.Fatalf("GET /ingest: %d", w.Code)
+	}
+}
+
+// TestEstimateEndpointMatchesBatch pushes a full crawl through the HTTP
+// layer and checks the served estimate against the batch pipeline.
+func TestEstimateEndpointMatchesBatch(t *testing.T) {
+	g, err := gen.Social(randx.New(21), gen.SocialConfig{
+		N: 400, MeanDeg: 10, Dist: gen.PowerLaw, Shape: 2.5,
+		Comms: 6, CommZipf: 0.8, Mixing: 0.3, Connect: true, SetAsCats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := float64(g.N())
+	s, err := sample.NewRW(300).Sample(randx.New(22), g, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, star := range []bool{true, false} {
+		srv, _ := testServer(t, g.NumCategories(), star, N)
+		so, err := sample.NewStreamObserver(g, star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []sample.NodeObservation
+		for i, v := range s.Nodes {
+			recs = append(recs, so.Observe(v, s.Weight(i)))
+			if len(recs) == 256 || i == len(s.Nodes)-1 {
+				body, err := json.Marshal(recs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w := post(t, srv, "/ingest", string(body)); w.Code != 200 {
+					t.Fatalf("ingest: %d %s", w.Code, w.Body)
+				}
+				recs = recs[:0]
+			}
+		}
+		w := get(t, srv, "/estimate")
+		if w.Code != 200 {
+			t.Fatalf("estimate: %d %s", w.Code, w.Body)
+		}
+		var doc estimateDoc
+		if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Draws != s.Len() {
+			t.Fatalf("draws = %d, want %d", doc.Draws, s.Len())
+		}
+		var o *sample.Observation
+		if star {
+			o, err = sample.ObserveStar(g, s)
+		} else {
+			o, err = sample.ObserveInduced(g, s)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Estimate(o, core.Options{N: N})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.Sizes) != g.NumCategories() {
+			t.Fatalf("%d size entries", len(doc.Sizes))
+		}
+		for _, se := range doc.Sizes {
+			if d := math.Abs(se.Size - want.Sizes[se.Cat]); d > 1e-9 {
+				t.Fatalf("star=%v size[%d] = %g, want %g", star, se.Cat, se.Size, want.Sizes[se.Cat])
+			}
+		}
+		for _, we := range doc.Weights {
+			if d := math.Abs(we.Weight - want.Weights.Get(we.A, we.B)); d > 1e-9 {
+				t.Fatalf("star=%v w(%d,%d) = %g, want %g", star, we.A, we.B, we.Weight, want.Weights.Get(we.A, we.B))
+			}
+		}
+		// TSV export round-trips through the catgraph layer.
+		w = get(t, srv, "/categorygraph.tsv")
+		if w.Code != 200 || !bytes.Contains(w.Body.Bytes(), []byte("# category graph")) {
+			t.Fatalf("tsv: %d %.60s", w.Code, w.Body)
+		}
+		if got := strings.Count(w.Body.String(), "\nsize\t"); got != g.NumCategories() {
+			t.Fatalf("tsv has %d size rows, want %d", got, g.NumCategories())
+		}
+	}
+}
+
+// TestEstimateBeforeIngest checks the empty-accumulator path.
+func TestEstimateBeforeIngest(t *testing.T) {
+	srv, _ := testServer(t, 3, true, 0)
+	if w := get(t, srv, "/estimate"); w.Code != 503 {
+		t.Fatalf("empty estimate: %d", w.Code)
+	}
+	if w := get(t, srv, "/categorygraph.tsv"); w.Code != 503 {
+		t.Fatalf("empty tsv: %d", w.Code)
+	}
+	if w := get(t, srv, "/healthz"); w.Code != 200 {
+		t.Fatalf("healthz should not need data: %d", w.Code)
+	}
+}
+
+// TestHealthz checks the liveness document.
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t, 4, false, 0)
+	post(t, srv, "/ingest", `{"node":1,"cat":0}`)
+	w := get(t, srv, "/healthz")
+	if w.Code != 200 {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "ok" || doc["scenario"] != "induced" || doc["draws"] != float64(1) {
+		t.Fatalf("healthz doc = %v", doc)
+	}
+}
+
+// TestConcurrentHTTPTraffic is the serving-layer race test: concurrent
+// ingest POSTs against concurrent estimate/TSV/healthz GETs, then a final
+// consistency check. Run under -race.
+func TestConcurrentHTTPTraffic(t *testing.T) {
+	g := mustDemoGraph(t)
+	N := float64(g.N())
+	s, err := sample.UIS{}.Sample(randx.New(33), g, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-contained star records: safe to deliver in any order.
+	recs := make([]sample.NodeObservation, s.Len())
+	for i, v := range s.Nodes {
+		so, err := sample.NewStreamObserver(g, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = so.Observe(v, s.Weight(i))
+	}
+	srv, acc := testServer(t, g.NumCategories(), true, N)
+	const writers = 6
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < writers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			var chunk []sample.NodeObservation
+			for i := wkr; i < len(recs); i += writers {
+				chunk = append(chunk, recs[i])
+				if len(chunk) == 64 {
+					flushChunk(t, srv, chunk)
+					chunk = chunk[:0]
+				}
+			}
+			flushChunk(t, srv, chunk)
+		}(wkr)
+	}
+	stop := make(chan struct{})
+	var readWG sync.WaitGroup
+	for rdr := 0; rdr < 3; rdr++ {
+		readWG.Add(1)
+		go func(path string) {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest("GET", path, nil)
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				if w.Code != 200 && w.Code != 503 {
+					t.Errorf("GET %s: %d", path, w.Code)
+					return
+				}
+			}
+		}([]string{"/estimate", "/categorygraph.tsv", "/healthz"}[rdr])
+	}
+	wg.Wait()
+	close(stop)
+	readWG.Wait()
+	if t.Failed() {
+		return
+	}
+	if acc.Draws() != s.Len() {
+		t.Fatalf("draws = %d, want %d", acc.Draws(), s.Len())
+	}
+	o, err := sample.ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Estimate(o, core.Options{N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range want.Sizes {
+		if d := math.Abs(snap.Result.Sizes[c] - want.Sizes[c]); d > 1e-9 {
+			t.Fatalf("size[%d] = %g, want %g", c, snap.Result.Sizes[c], want.Sizes[c])
+		}
+	}
+}
+
+func flushChunk(t *testing.T, srv http.Handler, chunk []sample.NodeObservation) {
+	t.Helper()
+	if len(chunk) == 0 {
+		return
+	}
+	body, err := json.Marshal(chunk)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Errorf("ingest chunk: %d %s", w.Code, w.Body)
+	}
+}
+
+func mustDemoGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Social(randx.New(44), gen.SocialConfig{
+		N: 500, MeanDeg: 10, Dist: gen.PowerLaw, Shape: 2.5,
+		Comms: 7, CommZipf: 0.8, Mixing: 0.3, Connect: true, SetAsCats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestParseSizeMethod covers the flag parser.
+func TestParseSizeMethod(t *testing.T) {
+	for in, want := range map[string]core.SizeMethod{
+		"auto": core.SizeMethodAuto, "induced": core.SizeMethodInduced,
+		"star": core.SizeMethodStar, "star-pooled": core.SizeMethodStarPooled,
+	} {
+		got, err := parseSizeMethod(in)
+		if err != nil || got != want {
+			t.Fatalf("parseSizeMethod(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSizeMethod("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestSnapshotCaching checks that repeated GETs without new draws reuse one
+// snapshot (same seq) and that new draws refresh it.
+func TestSnapshotCaching(t *testing.T) {
+	srv, _ := testServer(t, 2, true, 0)
+	post(t, srv, "/ingest", `{"node":1,"cat":0,"deg":1,"nbr_cat":[1],"nbr_cnt":[1]}`)
+	var first, second, third estimateDoc
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &first)
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &second)
+	if first.Seq != second.Seq {
+		t.Fatalf("idle GETs advanced the snapshot: %d → %d", first.Seq, second.Seq)
+	}
+	post(t, srv, "/ingest", `{"node":2,"cat":1,"deg":1,"nbr_cat":[0],"nbr_cnt":[1]}`)
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &third)
+	if third.Seq == second.Seq || third.Draws != 2 {
+		t.Fatalf("new draws did not refresh snapshot: %+v", third)
+	}
+	if third.Convergence.DrawsSince != 1 {
+		t.Fatalf("DrawsSince = %d, want 1", third.Convergence.DrawsSince)
+	}
+}
+
+func mustDecode(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("decode %s: %v", b, err)
+	}
+}

@@ -34,10 +34,22 @@
 //	cg, _ := repro.CategoryGraphFromEstimate(res, g.CategoryNames())
 //	cg.WriteTSV(os.Stdout)
 //
+// # Streaming
+//
+// Because the estimators are design-based sums, estimation is naturally
+// incremental. NewAccumulator and NewStreamObserver expose the streaming
+// workflow: ingest nodes as a crawler visits them and snapshot the live
+// estimate in O(categories²) at any time (batch and streaming share one
+// code path and agree to within float reassociation error). The
+// cmd/topoestd daemon serves this over HTTP.
+//
 // The packages under internal/ hold the implementation: internal/core (the
-// estimators), internal/sample (samplers and observation models),
-// internal/graph, internal/gen, internal/community, internal/catgraph,
-// internal/stats, internal/eval, internal/fbsim and internal/exp (the
-// experiment definitions reproducing every table and figure of the paper —
-// see DESIGN.md and EXPERIMENTS.md).
+// estimators over shared sufficient statistics), internal/sample (samplers
+// and batch + incremental observation models), internal/stream (the online
+// accumulator), internal/graph, internal/gen, internal/community,
+// internal/catgraph, internal/stats, internal/eval, internal/fbsim and
+// internal/exp (the experiment definitions reproducing every table and
+// figure of the paper). README.md covers build/run/quickstart; DESIGN.md
+// records design decisions; EXPERIMENTS.md explains regenerating the
+// paper's results.
 package repro

@@ -29,9 +29,7 @@ package core
 
 import (
 	"fmt"
-	"math"
 
-	"repro/internal/graph"
 	"repro/internal/sample"
 )
 
@@ -44,16 +42,7 @@ import (
 // N is the population size |V| (pass 1 to estimate relative sizes, §4.3).
 // Categories with no sampled member estimate to 0.
 func SizeInduced(o *sample.Observation, N float64) []float64 {
-	_, rew := o.CategoryDrawCounts()
-	total := o.TotalReweighted()
-	out := make([]float64, o.K)
-	if total == 0 {
-		return out
-	}
-	for c := range out {
-		out[c] = N * rew[c] / total
-	}
-	return out
+	return SumsFromObservation(o).SizeInduced(N)
 }
 
 // MeanDegrees returns the estimated global mean degree k̂_V and per-category
@@ -63,55 +52,14 @@ func MeanDegrees(o *sample.Observation) (kV float64, kA []float64, err error) {
 	if !o.Star {
 		return 0, nil, fmt.Errorf("core: MeanDegrees requires a star observation")
 	}
-	var num float64
-	numA := make([]float64, o.K)
-	_, rew := o.CategoryDrawCounts()
-	for i := range o.Nodes {
-		t := o.Mult[i] * o.Deg[i] / o.Weight[i]
-		num += t
-		if c := o.Cat[i]; c != graph.None {
-			numA[c] += t
-		}
-	}
-	total := o.TotalReweighted()
-	if total == 0 {
-		return math.NaN(), nil, fmt.Errorf("core: empty observation")
-	}
-	kV = num / total
-	kA = make([]float64, o.K)
-	for c := range kA {
-		if rew[c] == 0 {
-			kA[c] = math.NaN()
-			continue
-		}
-		kA[c] = numA[c] / rew[c]
-	}
-	return kV, kA, nil
+	return SumsFromObservation(o).MeanDegrees()
 }
 
 // VolumeFractions returns the star-based estimates f̂vol_A of Eq. (7)
 // (uniform) / Eq. (13) (weighted): the share of neighbor-endpoints observed
 // in each category among all observed neighbor-endpoints.
 func VolumeFractions(o *sample.Observation) ([]float64, error) {
-	if !o.Star {
-		return nil, fmt.Errorf("core: VolumeFractions requires a star observation")
-	}
-	var den float64
-	num := make([]float64, o.K)
-	for i := range o.Nodes {
-		den += o.Mult[i] * o.Deg[i] / o.Weight[i]
-		for j := o.NbrOff[i]; j < o.NbrOff[i+1]; j++ {
-			num[o.NbrCat[j]] += o.Mult[i] / o.Weight[i] * o.NbrCnt[j]
-		}
-	}
-	out := make([]float64, o.K)
-	if den == 0 {
-		return out, nil
-	}
-	for c := range out {
-		out[c] = num[c] / den
-	}
-	return out, nil
+	return SumsFromObservation(o).VolumeFractions()
 }
 
 // SizeStar estimates every category size via star sampling, Eq. (5)/(12):
@@ -124,26 +72,7 @@ func VolumeFractions(o *sample.Observation) ([]float64, error) {
 // that category, which keeps the estimate finite at small sample sizes.
 // Categories with no observed mass at all estimate to 0.
 func SizeStar(o *sample.Observation, N float64) ([]float64, error) {
-	fvol, err := VolumeFractions(o)
-	if err != nil {
-		return nil, err
-	}
-	kV, kA, err := MeanDegrees(o)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, o.K)
-	for c := range out {
-		switch {
-		case fvol[c] == 0:
-			out[c] = 0
-		case math.IsNaN(kA[c]) || kA[c] == 0:
-			out[c] = N * fvol[c] // footnote-4 fallback: k̂_A := k̂_V
-		default:
-			out[c] = N * fvol[c] * kV / kA[c]
-		}
-	}
-	return out, nil
+	return SumsFromObservation(o).SizeStar(N)
 }
 
 // SizeStarPooledDegree is the fully model-based variant of footnote 4: it
@@ -153,13 +82,5 @@ func SizeStar(o *sample.Observation, N float64) ([]float64, error) {
 //
 // It remains usable even when no sampled vertex fell in A.
 func SizeStarPooledDegree(o *sample.Observation, N float64) ([]float64, error) {
-	fvol, err := VolumeFractions(o)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, o.K)
-	for c := range out {
-		out[c] = N * fvol[c]
-	}
-	return out, nil
+	return SumsFromObservation(o).SizeStarPooledDegree(N)
 }

@@ -21,10 +21,6 @@ import (
 // say anything about N. For walk-based samples, thin first (§5.4): raw
 // consecutive draws collide for trivial reasons and bias N̂ low.
 func PopulationSize(s *sample.Sample) float64 {
-	n := float64(s.Len())
-	if n < 2 {
-		return math.Inf(1)
-	}
 	var psi1, psiInv float64
 	mult := make(map[int32]float64, s.Len())
 	for i := 0; i < s.Len(); i++ {
@@ -37,7 +33,15 @@ func PopulationSize(s *sample.Sample) float64 {
 	for _, m := range mult {
 		collisions += m * (m - 1) / 2
 	}
-	if collisions == 0 {
+	return PopulationSizeFromSums(float64(s.Len()), psi1, psiInv, collisions)
+}
+
+// PopulationSizeFromSums evaluates the §4.3 collision estimator from running
+// sums — n draws, Ψ₁ = Σ_i w(x_i), Ψ₋₁ = Σ_i 1/w(x_i) and C colliding draw
+// pairs — so that streaming accumulators (internal/stream) share the exact
+// code path of PopulationSize. Returns +Inf when n < 2 or C = 0.
+func PopulationSizeFromSums(n, psi1, psiInv, collisions float64) float64 {
+	if n < 2 || collisions == 0 {
 		return math.Inf(1)
 	}
 	return (n - 1) / n * psi1 * psiInv / (2 * collisions)

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+// Sums holds the running Hansen–Hurwitz sufficient statistics from which
+// every estimator of this package is computed. Because the paper's
+// estimators are design-based sums over sampled nodes, these statistics are
+// naturally incremental: folding one more draw in is O(1 + neighbors), and
+// any estimate can be produced from the sums alone in O(K² + pairs) without
+// rescanning the observation history.
+//
+// Sums is the single code path shared by the batch estimators (which build
+// it from a complete sample.Observation via SumsFromObservation) and by the
+// streaming accumulator of internal/stream (which updates it draw by draw).
+// For any given Observation, SumsFromObservation performs the identical
+// floating-point operations in the identical order as the original
+// single-pass estimators, so batch results are bit-for-bit reproducible
+// from identical observations; the streaming path groups the same terms
+// differently and agrees to ~1e-15 relative error.
+//
+// Sums is not safe for concurrent use; internal/stream adds the locking.
+type Sums struct {
+	// K is the number of categories; Star records the scenario.
+	K    int
+	Star bool
+
+	// Draws is the number of draws folded in (|S|, with multiplicity).
+	Draws float64
+	// TotalRew is w⁻¹(S) = Σ_v m_v/w(v) over all draws, including
+	// uncategorized ones.
+	TotalRew float64
+
+	// Rew[A] is w⁻¹(S_A); DrawsA[A] is |S_A|; Rew2[A] is Σ_{v∈A} (m_v/w(v))²
+	// (the within-density denominator correction of WithinWeightsInduced).
+	Rew    []float64
+	DrawsA []float64
+	Rew2   []float64
+
+	// Star scenario: DegNum = Σ_v m_v·deg(v)/w(v) and its per-category
+	// restriction DegNumA (the Eq. (6)/(14) numerators), and NbrNum[B] =
+	// Σ_v m_v/w(v)·|E_{v,B}| (the Eq. (7)/(13) numerator).
+	DegNum  float64
+	DegNumA []float64
+	NbrNum  []float64
+
+	// PairNum holds the scenario-dependent numerator of the pair-weight
+	// estimators: Σ over observed edges of m_a·m_b/(w(a)·w(b)) for induced
+	// (Eq. (8)/(15)), Σ_{a∈S_A} m_a/w(a)·|E_{a,B}| for star (Eq. (9)/(16)).
+	// WithinNum is the A = B diagonal feeding the within-density estimators.
+	PairNum   *PairWeights
+	WithinNum []float64
+}
+
+// NewSums returns empty sums over k categories for the given scenario.
+func NewSums(k int, star bool) *Sums {
+	s := &Sums{
+		K:         k,
+		Star:      star,
+		Rew:       make([]float64, k),
+		DrawsA:    make([]float64, k),
+		Rew2:      make([]float64, k),
+		PairNum:   NewPairWeights(k),
+		WithinNum: make([]float64, k),
+	}
+	if star {
+		s.DegNumA = make([]float64, k)
+		s.NbrNum = make([]float64, k)
+	}
+	return s
+}
+
+// AddNode folds count fresh draws of one node with the given sampling weight
+// and category into the mass sums, where prev is the node's multiplicity
+// before this call (0 for a first observation). cat may be graph.None, in
+// which case only the totals advance.
+func (s *Sums) AddNode(cat int32, weight, count, prev float64) {
+	s.Draws += count
+	s.TotalRew += count / weight
+	if cat == graph.None {
+		return
+	}
+	s.DrawsA[cat] += count
+	s.Rew[cat] += count / weight
+	tNew := (prev + count) / weight
+	tOld := prev / weight
+	s.Rew2[cat] += tNew*tNew - tOld*tOld
+}
+
+// AddStar folds the star-scenario terms of count draws of one node: its
+// degree and its neighbor category counts (as produced by ObserveStar —
+// uncategorized neighbors excluded). Call alongside AddNode.
+func (s *Sums) AddStar(cat int32, weight, count, deg float64, nbrCat []int32, nbrCnt []float64) {
+	t := count * deg / weight
+	s.DegNum += t
+	if cat != graph.None {
+		s.DegNumA[cat] += t
+	}
+	for j, b := range nbrCat {
+		s.NbrNum[b] += count / weight * nbrCnt[j]
+		if cat == graph.None {
+			continue
+		}
+		if b == cat {
+			s.WithinNum[cat] += count / weight * nbrCnt[j]
+		} else {
+			s.PairNum.Add(cat, b, count/weight*nbrCnt[j])
+		}
+	}
+}
+
+// AddEdgeMass folds one induced-scenario edge-mass increment into the pair
+// numerators: mass must be the change in m_a·m_b/(w(a)·w(b)) for an edge
+// between a node of category catA and one of catB — the full product when
+// the edge is first observed, or the marginal term m_b/(w(a)·w(b)) when an
+// already-observed endpoint is drawn again.
+func (s *Sums) AddEdgeMass(catA, catB int32, mass float64) {
+	if catA == graph.None || catB == graph.None {
+		return
+	}
+	if catA == catB {
+		s.WithinNum[catA] += mass
+	} else {
+		s.PairNum.Add(catA, catB, mass)
+	}
+}
+
+// SumsFromObservation builds the sufficient statistics of a complete batch
+// observation. The accumulation order matches the original single-pass
+// estimators exactly, so the delegating batch API is numerically unchanged.
+func SumsFromObservation(o *sample.Observation) *Sums {
+	s := NewSums(o.K, o.Star)
+	for i := range o.Nodes {
+		s.AddNode(o.Cat[i], o.Weight[i], o.Mult[i], 0)
+		if o.Star {
+			lo, hi := o.NbrOff[i], o.NbrOff[i+1]
+			s.AddStar(o.Cat[i], o.Weight[i], o.Mult[i], o.Deg[i], o.NbrCat[lo:hi], o.NbrCnt[lo:hi])
+		}
+	}
+	for _, e := range o.Edges {
+		i, j := e[0], e[1]
+		s.AddEdgeMass(o.Cat[i], o.Cat[j], o.Mult[i]*o.Mult[j]/(o.Weight[i]*o.Weight[j]))
+	}
+	return s
+}
+
+// SizeInduced computes Eq. (4)/(11) from the sums (see the package-level
+// SizeInduced for semantics).
+func (s *Sums) SizeInduced(N float64) []float64 {
+	out := make([]float64, s.K)
+	if s.TotalRew == 0 {
+		return out
+	}
+	for c := range out {
+		out[c] = N * s.Rew[c] / s.TotalRew
+	}
+	return out
+}
+
+// MeanDegrees computes Eq. (6)/(14) from the sums.
+func (s *Sums) MeanDegrees() (kV float64, kA []float64, err error) {
+	if !s.Star {
+		return 0, nil, fmt.Errorf("core: MeanDegrees requires a star observation")
+	}
+	if s.TotalRew == 0 {
+		return math.NaN(), nil, fmt.Errorf("core: empty observation")
+	}
+	kV = s.DegNum / s.TotalRew
+	kA = make([]float64, s.K)
+	for c := range kA {
+		if s.Rew[c] == 0 {
+			kA[c] = math.NaN()
+			continue
+		}
+		kA[c] = s.DegNumA[c] / s.Rew[c]
+	}
+	return kV, kA, nil
+}
+
+// VolumeFractions computes Eq. (7)/(13) from the sums.
+func (s *Sums) VolumeFractions() ([]float64, error) {
+	if !s.Star {
+		return nil, fmt.Errorf("core: VolumeFractions requires a star observation")
+	}
+	out := make([]float64, s.K)
+	if s.DegNum == 0 {
+		return out, nil
+	}
+	for c := range out {
+		out[c] = s.NbrNum[c] / s.DegNum
+	}
+	return out, nil
+}
+
+// SizeStar computes Eq. (5)/(12) from the sums, with the footnote-4 fallback
+// of the package-level SizeStar.
+func (s *Sums) SizeStar(N float64) ([]float64, error) {
+	fvol, err := s.VolumeFractions()
+	if err != nil {
+		return nil, err
+	}
+	kV, kA, err := s.MeanDegrees()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, s.K)
+	for c := range out {
+		switch {
+		case fvol[c] == 0:
+			out[c] = 0
+		case math.IsNaN(kA[c]) || kA[c] == 0:
+			out[c] = N * fvol[c] // footnote-4 fallback: k̂_A := k̂_V
+		default:
+			out[c] = N * fvol[c] * kV / kA[c]
+		}
+	}
+	return out, nil
+}
+
+// SizeStarPooledDegree computes the fully model-based footnote-4 variant.
+func (s *Sums) SizeStarPooledDegree(N float64) ([]float64, error) {
+	fvol, err := s.VolumeFractions()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, s.K)
+	for c := range out {
+		out[c] = N * fvol[c]
+	}
+	return out, nil
+}
+
+// WeightsInduced computes Eq. (8)/(15) from the sums.
+func (s *Sums) WeightsInduced() (*PairWeights, error) {
+	if s.Star {
+		return nil, fmt.Errorf("core: WeightsInduced requires an induced observation (star observations do not record G[S])")
+	}
+	out := NewPairWeights(s.K)
+	s.PairNum.ForEach(func(a, b int32, n float64) {
+		den := s.Rew[a] * s.Rew[b]
+		if den > 0 {
+			out.Set(a, b, n/den)
+		}
+	})
+	return out, nil
+}
+
+// WeightsStar computes Eq. (9)/(16) from the sums with the supplied size
+// plug-ins (see the package-level WeightsStar for the NaN convention).
+func (s *Sums) WeightsStar(sizes []float64) (*PairWeights, error) {
+	if !s.Star {
+		return nil, fmt.Errorf("core: WeightsStar requires a star observation")
+	}
+	if len(sizes) != s.K {
+		return nil, fmt.Errorf("core: %d size estimates for %d categories", len(sizes), s.K)
+	}
+	out := NewPairWeights(s.K)
+	s.PairNum.ForEach(func(a, b int32, n float64) {
+		den := s.Rew[a]*sizes[b] + s.Rew[b]*sizes[a]
+		if den > 0 {
+			out.Set(a, b, n/den)
+		} else if n > 0 {
+			out.Set(a, b, math.NaN())
+		}
+	})
+	return out, nil
+}
+
+// WithinWeightsInduced computes the within-category densities w(A,A) from
+// induced-scenario sums.
+func (s *Sums) WithinWeightsInduced() ([]float64, error) {
+	if s.Star {
+		return nil, fmt.Errorf("core: WithinWeightsInduced requires an induced observation")
+	}
+	out := make([]float64, s.K)
+	for c := range out {
+		den := (s.Rew[c]*s.Rew[c] - s.Rew2[c]) / 2
+		if den > 0 {
+			out[c] = s.WithinNum[c] / den
+		}
+	}
+	return out, nil
+}
+
+// WithinWeightsStar computes w(A,A) from star-scenario sums with the
+// supplied size plug-ins.
+func (s *Sums) WithinWeightsStar(sizes []float64) ([]float64, error) {
+	if !s.Star {
+		return nil, fmt.Errorf("core: WithinWeightsStar requires a star observation")
+	}
+	if len(sizes) != s.K {
+		return nil, fmt.Errorf("core: %d size estimates for %d categories", len(sizes), s.K)
+	}
+	out := make([]float64, s.K)
+	for c := range out {
+		den := s.Rew[c] * (sizes[c] - 1)
+		if den > 0 {
+			out[c] = s.WithinNum[c] / den
+		}
+	}
+	return out, nil
+}
+
+// Estimate produces the full category-graph estimate from the sums, exactly
+// as the package-level Estimate does from an observation.
+func (s *Sums) Estimate(opts Options) (*Result, error) {
+	N := opts.N
+	if N <= 0 {
+		N = 1
+	}
+	method := opts.Size
+	if method == SizeMethodAuto {
+		if s.Star {
+			method = SizeMethodStar
+		} else {
+			method = SizeMethodInduced
+		}
+	}
+	var sizes []float64
+	var err error
+	switch method {
+	case SizeMethodInduced:
+		sizes = s.SizeInduced(N)
+	case SizeMethodStar:
+		sizes, err = s.SizeStar(N)
+	case SizeMethodStarPooled:
+		sizes, err = s.SizeStarPooledDegree(N)
+	default:
+		err = fmt.Errorf("core: unknown size method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{N: N, Sizes: sizes, SizeMethod: method}
+	if s.Star {
+		res.WeightKind = "star"
+		res.Weights, err = s.WeightsStar(sizes)
+	} else {
+		res.WeightKind = "induced"
+		res.Weights, err = s.WeightsInduced()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

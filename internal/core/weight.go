@@ -2,9 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math"
 
-	"repro/internal/graph"
 	"repro/internal/sample"
 )
 
@@ -56,27 +54,7 @@ func (p *PairWeights) ForEach(fn func(a, b int32, w float64)) {
 // Repeated draws count with multiplicity (§4.2.1). Pairs with nothing
 // observed estimate to 0.
 func WeightsInduced(o *sample.Observation) (*PairWeights, error) {
-	if o.Star {
-		return nil, fmt.Errorf("core: WeightsInduced requires an induced observation (star observations do not record G[S])")
-	}
-	_, rew := o.CategoryDrawCounts()
-	num := NewPairWeights(o.K)
-	for _, e := range o.Edges {
-		i, j := e[0], e[1]
-		a, b := o.Cat[i], o.Cat[j]
-		if a == graph.None || b == graph.None || a == b {
-			continue
-		}
-		num.Add(a, b, o.Mult[i]*o.Mult[j]/(o.Weight[i]*o.Weight[j]))
-	}
-	out := NewPairWeights(o.K)
-	num.ForEach(func(a, b int32, n float64) {
-		den := rew[a] * rew[b]
-		if den > 0 {
-			out.Set(a, b, n/den)
-		}
-	})
-	return out, nil
+	return SumsFromObservation(o).WeightsInduced()
 }
 
 // WeightInduced is the single-pair convenience form of WeightsInduced.
@@ -102,37 +80,7 @@ func WeightInduced(o *sample.Observation, a, b int32) (float64, error) {
 // evidence of a cut whose category sizes were estimated as zero — use the
 // star size estimator to avoid this at small sample sizes).
 func WeightsStar(o *sample.Observation, sizes []float64) (*PairWeights, error) {
-	if !o.Star {
-		return nil, fmt.Errorf("core: WeightsStar requires a star observation")
-	}
-	if len(sizes) != o.K {
-		return nil, fmt.Errorf("core: %d size estimates for %d categories", len(sizes), o.K)
-	}
-	_, rew := o.CategoryDrawCounts()
-	num := NewPairWeights(o.K)
-	for i := range o.Nodes {
-		a := o.Cat[i]
-		if a == graph.None {
-			continue
-		}
-		for j := o.NbrOff[i]; j < o.NbrOff[i+1]; j++ {
-			b := o.NbrCat[j]
-			if b == a {
-				continue
-			}
-			num.Add(a, b, o.Mult[i]/o.Weight[i]*o.NbrCnt[j])
-		}
-	}
-	out := NewPairWeights(o.K)
-	num.ForEach(func(a, b int32, n float64) {
-		den := rew[a]*sizes[b] + rew[b]*sizes[a]
-		if den > 0 {
-			out.Set(a, b, n/den)
-		} else if n > 0 {
-			out.Set(a, b, math.NaN())
-		}
-	})
-	return out, nil
+	return SumsFromObservation(o).WeightsStar(sizes)
 }
 
 // WeightStar is the single-pair convenience form of WeightsStar.
@@ -208,43 +156,5 @@ type Result struct {
 // matching the observation's scenario (Eq. 8/15 for induced, Eq. 9/16 for
 // star with the selected size plug-in).
 func Estimate(o *sample.Observation, opts Options) (*Result, error) {
-	N := opts.N
-	if N <= 0 {
-		N = 1
-	}
-	method := opts.Size
-	if method == SizeMethodAuto {
-		if o.Star {
-			method = SizeMethodStar
-		} else {
-			method = SizeMethodInduced
-		}
-	}
-	var sizes []float64
-	var err error
-	switch method {
-	case SizeMethodInduced:
-		sizes = SizeInduced(o, N)
-	case SizeMethodStar:
-		sizes, err = SizeStar(o, N)
-	case SizeMethodStarPooled:
-		sizes, err = SizeStarPooledDegree(o, N)
-	default:
-		err = fmt.Errorf("core: unknown size method %v", method)
-	}
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{N: N, Sizes: sizes, SizeMethod: method}
-	if o.Star {
-		res.WeightKind = "star"
-		res.Weights, err = WeightsStar(o, sizes)
-	} else {
-		res.WeightKind = "induced"
-		res.Weights, err = WeightsInduced(o)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return SumsFromObservation(o).Estimate(opts)
 }

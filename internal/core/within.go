@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/graph"
 	"repro/internal/sample"
 )
 
@@ -23,35 +20,7 @@ import (
 // never be edges): (w⁻¹(S_A)² − Σ_v (m_v/w(v))²)/2, summing over distinct
 // sampled nodes v ∈ A.
 func WithinWeightsInduced(o *sample.Observation) ([]float64, error) {
-	if o.Star {
-		return nil, fmt.Errorf("core: WithinWeightsInduced requires an induced observation")
-	}
-	num := make([]float64, o.K)
-	for _, e := range o.Edges {
-		i, j := e[0], e[1]
-		a := o.Cat[i]
-		if a == graph.None || a != o.Cat[j] {
-			continue
-		}
-		num[a] += o.Mult[i] * o.Mult[j] / (o.Weight[i] * o.Weight[j])
-	}
-	_, rew := o.CategoryDrawCounts()
-	rew2 := make([]float64, o.K)
-	for i, c := range o.Cat {
-		if c == graph.None {
-			continue
-		}
-		t := o.Mult[i] / o.Weight[i]
-		rew2[c] += t * t
-	}
-	out := make([]float64, o.K)
-	for c := range out {
-		den := (rew[c]*rew[c] - rew2[c]) / 2
-		if den > 0 {
-			out[c] = num[c] / den
-		}
-	}
-	return out, nil
+	return SumsFromObservation(o).WithinWeightsInduced()
 }
 
 // WithinWeightsStar estimates w(A,A) from a star observation: sampling
@@ -62,27 +31,5 @@ func WithinWeightsInduced(o *sample.Observation) ([]float64, error) {
 //
 // sizes supplies the plugged-in size estimates, as in WeightsStar.
 func WithinWeightsStar(o *sample.Observation, sizes []float64) ([]float64, error) {
-	if !o.Star {
-		return nil, fmt.Errorf("core: WithinWeightsStar requires a star observation")
-	}
-	if len(sizes) != o.K {
-		return nil, fmt.Errorf("core: %d size estimates for %d categories", len(sizes), o.K)
-	}
-	num := make([]float64, o.K)
-	for i := range o.Nodes {
-		a := o.Cat[i]
-		if a == graph.None {
-			continue
-		}
-		num[a] += o.Mult[i] / o.Weight[i] * o.NbrCount(i, a)
-	}
-	_, rew := o.CategoryDrawCounts()
-	out := make([]float64, o.K)
-	for c := range out {
-		den := rew[c] * (sizes[c] - 1)
-		if den > 0 {
-			out[c] = num[c] / den
-		}
-	}
-	return out, nil
+	return SumsFromObservation(o).WithinWeightsStar(sizes)
 }

@@ -1,7 +1,6 @@
 package sample
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/graph"
@@ -41,82 +40,41 @@ type Observation struct {
 	// Induced scenario only: the edges of G[S], as index pairs (i, j) into
 	// the distinct-node arrays with i < j.
 	Edges [][2]int32
+
+	// idx maps node id → distinct-node index; edges dedups reported
+	// induced edges. Both are maintained by Append.
+	idx   map[int32]int32
+	edges map[[2]int32]bool
 }
 
 // ObserveInduced performs induced subgraph sampling (§3.2.1): the categories
 // of the sampled nodes and the edges among them are observed; nothing else.
 func ObserveInduced(g *graph.Graph, s *Sample) (*Observation, error) {
-	o, idx, err := observeCommon(g, s)
-	if err != nil {
-		return nil, err
-	}
-	// Edges of G[S]: for each distinct node, scan its neighbors for other
-	// sampled nodes; emit each edge once (i < j).
-	for i, u := range o.Nodes {
-		for _, v := range g.Neighbors(u) {
-			if j, ok := idx[v]; ok && int32(i) < j {
-				o.Edges = append(o.Edges, [2]int32{int32(i), j})
-			}
-		}
-	}
-	return o, nil
+	return observeStream(g, s, false)
 }
 
 // ObserveStar performs (labeled) star sampling (§3.2.2): sampling a node
 // additionally reveals its degree and the categories of all its neighbors —
 // but not the ties among the neighbors, nor their degrees.
 func ObserveStar(g *graph.Graph, s *Sample) (*Observation, error) {
-	o, _, err := observeCommon(g, s)
+	return observeStream(g, s, true)
+}
+
+// observeStream builds the batch observation by replaying the sample through
+// the incremental API — the same code path a live crawler drives, so batch
+// and streaming estimation provably observe identical data.
+func observeStream(g *graph.Graph, s *Sample, star bool) (*Observation, error) {
+	so, err := NewStreamObserver(g, star)
 	if err != nil {
 		return nil, err
 	}
-	o.Star = true
-	o.Deg = make([]float64, len(o.Nodes))
-	o.NbrOff = make([]int32, len(o.Nodes)+1)
-	counts := make(map[int32]float64)
-	for i, u := range o.Nodes {
-		o.Deg[i] = float64(g.Degree(u))
-		clear(counts)
-		for _, v := range g.Neighbors(u) {
-			if c := g.Category(v); c != graph.None {
-				counts[c]++
-			}
+	o := so.NewObservation()
+	for i, v := range s.Nodes {
+		if err := o.Append(so.Observe(v, s.Weight(i))); err != nil {
+			return nil, err
 		}
-		cats := make([]int32, 0, len(counts))
-		for c := range counts {
-			cats = append(cats, c)
-		}
-		sort.Slice(cats, func(a, b int) bool { return cats[a] < cats[b] })
-		for _, c := range cats {
-			o.NbrCat = append(o.NbrCat, c)
-			o.NbrCnt = append(o.NbrCnt, counts[c])
-		}
-		o.NbrOff[i+1] = int32(len(o.NbrCat))
 	}
 	return o, nil
-}
-
-// observeCommon aggregates the sample into distinct nodes with
-// multiplicities and records categories and weights.
-func observeCommon(g *graph.Graph, s *Sample) (*Observation, map[int32]int32, error) {
-	if !g.HasCategories() {
-		return nil, nil, fmt.Errorf("sample: observation requires a categorized graph")
-	}
-	o := &Observation{K: g.NumCategories(), Draws: s.Len()}
-	idx := make(map[int32]int32, s.Len())
-	for i, v := range s.Nodes {
-		j, ok := idx[v]
-		if !ok {
-			j = int32(len(o.Nodes))
-			idx[v] = j
-			o.Nodes = append(o.Nodes, v)
-			o.Mult = append(o.Mult, 0)
-			o.Weight = append(o.Weight, s.Weight(i))
-			o.Cat = append(o.Cat, g.Category(v))
-		}
-		o.Mult[j]++
-	}
-	return o, idx, nil
 }
 
 // NbrCount returns star draw i's neighbor count in category c (0 if none).

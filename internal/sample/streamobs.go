@@ -1,0 +1,207 @@
+package sample
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NodeObservation is the unit of the incremental observation API: everything
+// one draw of one node reveals under a measurement scenario. A stream of
+// NodeObservations is what a real OSN crawler produces — nodes arrive one at
+// a time, and the estimate should advance with each of them.
+//
+// The zero Weight means 1 (a uniform design). Cat is graph.None (-1) for an
+// uncategorized node. Under star sampling the first observation of a node
+// carries its degree and neighbor-category counts (uncategorized neighbors
+// excluded, mirroring ObserveStar); later draws of the same node may omit
+// them — the consumer already knows the star. Under induced sampling, Peers
+// lists the previously observed nodes adjacent to this one, i.e. the edges
+// of G[S] that become visible with this draw; canonically each edge is
+// reported once, by the endpoint observed second (so re-draws carry no
+// Peers), but consumers fold duplicate reports of an edge into one.
+//
+// The JSON field names are the wire format of the cmd/topoestd daemon.
+type NodeObservation struct {
+	Node   int32     `json:"node"`
+	Weight float64   `json:"weight,omitempty"`
+	Cat    int32     `json:"cat"`
+	Deg    float64   `json:"deg,omitempty"`
+	NbrCat []int32   `json:"nbr_cat,omitempty"`
+	NbrCnt []float64 `json:"nbr_cnt,omitempty"`
+	Peers  []int32   `json:"peers,omitempty"`
+}
+
+// StreamObserver replays what a crawler obeying one measurement scenario
+// learns as each draw arrives, producing NodeObservation records against a
+// fully known graph. It is the streaming counterpart of ObserveInduced and
+// ObserveStar — and since those batch functions are implemented as
+// Observe+Append loops, the two paths agree by construction.
+type StreamObserver struct {
+	g    *graph.Graph
+	star bool
+	seen map[int32]bool
+
+	// Scratch for star records, reused across Observe calls so the batch
+	// path allocates one map total, not one per distinct node.
+	counts map[int32]float64
+	cats   []int32
+}
+
+// NewStreamObserver returns an observer for g under the given scenario
+// (star = true for star sampling, false for induced subgraph sampling).
+func NewStreamObserver(g *graph.Graph, star bool) (*StreamObserver, error) {
+	if !g.HasCategories() {
+		return nil, fmt.Errorf("sample: observation requires a categorized graph")
+	}
+	return &StreamObserver{g: g, star: star, seen: make(map[int32]bool)}, nil
+}
+
+// K returns the number of categories of the underlying partition.
+func (so *StreamObserver) K() int { return so.g.NumCategories() }
+
+// Star reports the observer's scenario.
+func (so *StreamObserver) Star() bool { return so.star }
+
+// NewObservation returns an empty batch observation matching the observer's
+// partition and scenario, ready for Append.
+func (so *StreamObserver) NewObservation() *Observation {
+	return &Observation{K: so.g.NumCategories(), Star: so.star}
+}
+
+// Observe reveals what drawing node v with sampling weight weight shows
+// under the observer's scenario. Star records carry degree and neighbor
+// categories on the node's first observation; induced records list the edges
+// to previously observed nodes (each edge exactly once).
+func (so *StreamObserver) Observe(v int32, weight float64) NodeObservation {
+	rec := NodeObservation{Node: v, Weight: weight, Cat: so.g.Category(v)}
+	first := !so.seen[v]
+	so.seen[v] = true
+	if !first {
+		return rec
+	}
+	if so.star {
+		rec.Deg = float64(so.g.Degree(v))
+		if so.counts == nil {
+			so.counts = make(map[int32]float64)
+		}
+		clear(so.counts)
+		for _, u := range so.g.Neighbors(v) {
+			if c := so.g.Category(u); c != graph.None {
+				so.counts[c]++
+			}
+		}
+		so.cats = so.cats[:0]
+		for c := range so.counts {
+			so.cats = append(so.cats, c)
+		}
+		sort.Slice(so.cats, func(a, b int) bool { return so.cats[a] < so.cats[b] })
+		for _, c := range so.cats {
+			rec.NbrCat = append(rec.NbrCat, c)
+			rec.NbrCnt = append(rec.NbrCnt, so.counts[c])
+		}
+	} else {
+		for _, u := range so.g.Neighbors(v) {
+			if u != v && so.seen[u] {
+				rec.Peers = append(rec.Peers, u)
+			}
+		}
+	}
+	return rec
+}
+
+// Append folds one more draw into the observation, maintaining the exact
+// invariants the batch Observe functions establish: draws of one node
+// aggregate into a multiplicity against the weight of its first draw, star
+// neighbor data is recorded once per distinct node, and induced edges are
+// stored as deduplicated distinct-node index pairs (i, j) with i < j. Peers
+// must already have been observed; an invalid record is rejected without
+// modifying the observation.
+func (o *Observation) Append(rec NodeObservation) error {
+	// Validate the whole record before mutating anything, so a rejected
+	// record leaves the observation exactly as it was.
+	if rec.Cat != graph.None && (rec.Cat < 0 || int(rec.Cat) >= o.K) {
+		return fmt.Errorf("sample: node %d has category %d outside [0,%d)", rec.Node, rec.Cat, o.K)
+	}
+	if len(rec.NbrCat) != len(rec.NbrCnt) {
+		return fmt.Errorf("sample: node %d has %d neighbor categories but %d counts", rec.Node, len(rec.NbrCat), len(rec.NbrCnt))
+	}
+	if o.Star {
+		if !(rec.Deg >= 0) {
+			return fmt.Errorf("sample: node %d has invalid degree %g", rec.Node, rec.Deg)
+		}
+		for j, c := range rec.NbrCat {
+			if c < 0 || int(c) >= o.K {
+				return fmt.Errorf("sample: node %d has neighbor category %d outside [0,%d)", rec.Node, c, o.K)
+			}
+			if !(rec.NbrCnt[j] >= 0) {
+				return fmt.Errorf("sample: node %d has invalid neighbor count %g for category %d", rec.Node, rec.NbrCnt[j], c)
+			}
+		}
+	}
+	if o.idx == nil {
+		o.idx = make(map[int32]int32, len(o.Nodes))
+		for i, v := range o.Nodes {
+			o.idx[v] = int32(i)
+		}
+	}
+	if !o.Star {
+		for _, p := range rec.Peers {
+			if _, ok := o.idx[p]; !ok && p != rec.Node {
+				return fmt.Errorf("sample: peer %d of node %d not yet observed", p, rec.Node)
+			}
+		}
+	}
+	w := rec.Weight
+	if w <= 0 {
+		w = 1
+	}
+	j, ok := o.idx[rec.Node]
+	if !ok {
+		j = int32(len(o.Nodes))
+		o.idx[rec.Node] = j
+		o.Nodes = append(o.Nodes, rec.Node)
+		o.Mult = append(o.Mult, 0)
+		o.Weight = append(o.Weight, w)
+		o.Cat = append(o.Cat, rec.Cat)
+		if o.Star {
+			if o.NbrOff == nil {
+				o.NbrOff = []int32{0}
+			}
+			o.Deg = append(o.Deg, rec.Deg)
+			o.NbrCat = append(o.NbrCat, rec.NbrCat...)
+			o.NbrCnt = append(o.NbrCnt, rec.NbrCnt...)
+			o.NbrOff = append(o.NbrOff, int32(len(o.NbrCat)))
+		}
+	}
+	o.Mult[j]++
+	o.Draws++
+	if !o.Star {
+		for _, p := range rec.Peers {
+			pi := o.idx[p]
+			if pi == j {
+				continue
+			}
+			a, b := pi, j
+			if a > b {
+				a, b = b, a
+			}
+			// Duplicate reports of one edge (both endpoints listing each
+			// other, or a repeated Peers entry) fold into a single edge,
+			// matching the streaming accumulator's semantics.
+			if o.edges == nil {
+				o.edges = make(map[[2]int32]bool, len(o.Edges))
+				for _, e := range o.Edges {
+					o.edges[e] = true
+				}
+			}
+			if o.edges[[2]int32{a, b}] {
+				continue
+			}
+			o.edges[[2]int32{a, b}] = true
+			o.Edges = append(o.Edges, [2]int32{a, b})
+		}
+	}
+	return nil
+}

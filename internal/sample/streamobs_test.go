@@ -1,0 +1,222 @@
+package sample
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+// streamTestGraph builds a small categorized graph: a 6-cycle with a chord,
+// categories {0,0,1,1,2,None}.
+func streamTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(int32(i), int32((i+1)%6))
+	}
+	b.AddEdge(0, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetCategories([]int32{0, 0, 1, 1, 2, graph.None}, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAppendAggregatesDraws checks the multiset invariants Append maintains:
+// repeated draws aggregate into multiplicities against the first weight, and
+// Draws counts every draw.
+func TestAppendAggregatesDraws(t *testing.T) {
+	g := streamTestGraph(t)
+	so, err := NewStreamObserver(g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := so.NewObservation()
+	for _, v := range []int32{2, 2, 0, 2, 5} {
+		if err := o.Append(so.Observe(v, float64(v)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Draws != 5 {
+		t.Fatalf("Draws = %d, want 5", o.Draws)
+	}
+	if len(o.Nodes) != 3 {
+		t.Fatalf("distinct nodes = %d, want 3", len(o.Nodes))
+	}
+	if o.Mult[0] != 3 || o.Weight[0] != 3 || o.Cat[0] != 1 {
+		t.Fatalf("node 2 state: mult=%g w=%g cat=%d", o.Mult[0], o.Weight[0], o.Cat[0])
+	}
+	if o.Cat[2] != graph.None {
+		t.Fatalf("node 5 should be uncategorized, got %d", o.Cat[2])
+	}
+}
+
+// TestStreamObserverInducedEdgesOnce checks that each edge of G[S] is
+// reported exactly once, by its second-observed endpoint, and that re-draws
+// carry no peers.
+func TestStreamObserverInducedEdgesOnce(t *testing.T) {
+	g := streamTestGraph(t)
+	so, err := NewStreamObserver(g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := so.NewObservation()
+	edges := 0
+	for _, v := range []int32{0, 1, 0, 3, 1} {
+		rec := so.Observe(v, 1)
+		edges += len(rec.Peers)
+		if err := o.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Observed subgraph on {0,1,3}: edges {0,1} and {0,3} (the chord).
+	if edges != 2 || len(o.Edges) != 2 {
+		t.Fatalf("reported %d peers, stored %d edges, want 2/2", edges, len(o.Edges))
+	}
+	for _, e := range o.Edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge indices not ordered: %v", e)
+		}
+	}
+}
+
+// TestObserveMatchesBatchOnRandomSample cross-checks the streaming path that
+// now backs ObserveInduced/ObserveStar against a straightforward independent
+// re-derivation of the observation on a random multiset sample.
+func TestObserveMatchesBatchOnRandomSample(t *testing.T) {
+	g := streamTestGraph(t)
+	r := randx.New(11)
+	s := &Sample{}
+	for i := 0; i < 40; i++ {
+		v := int32(r.IntN(g.N()))
+		s.Nodes = append(s.Nodes, v)
+		s.Weights = append(s.Weights, 1+float64(v))
+	}
+	o, err := ObserveInduced(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiplicities must sum to |S| and match direct counting.
+	var total float64
+	counts := map[int32]float64{}
+	for _, v := range s.Nodes {
+		counts[v]++
+	}
+	for i, v := range o.Nodes {
+		if o.Mult[i] != counts[v] {
+			t.Fatalf("node %d: mult %g want %g", v, o.Mult[i], counts[v])
+		}
+		total += o.Mult[i]
+	}
+	if int(total) != s.Len() || o.Draws != s.Len() {
+		t.Fatalf("mult total %g draws %d, want %d", total, o.Draws, s.Len())
+	}
+	// Every edge of G[S] appears exactly once.
+	want := map[[2]int32]int{}
+	for i, u := range o.Nodes {
+		for j, v := range o.Nodes {
+			if i < j && g.HasEdge(u, v) {
+				want[[2]int32{int32(i), int32(j)}]++
+			}
+		}
+	}
+	got := map[[2]int32]int{}
+	for _, e := range o.Edges {
+		got[e]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("edge sets differ: got %v want %v", got, want)
+	}
+	for e, n := range got {
+		if n != 1 || want[e] != 1 {
+			t.Fatalf("edge %v seen %d times", e, n)
+		}
+	}
+	// Star path: degrees and neighbor counts match the graph.
+	os, err := ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range os.Nodes {
+		if int(os.Deg[i]) != g.Degree(v) {
+			t.Fatalf("node %d: deg %g want %d", v, os.Deg[i], g.Degree(v))
+		}
+		for c := int32(0); c < int32(os.K); c++ {
+			wantC := 0.0
+			for _, u := range g.Neighbors(v) {
+				if g.Category(u) == c {
+					wantC++
+				}
+			}
+			if os.NbrCount(i, c) != wantC {
+				t.Fatalf("node %d cat %d: nbr count %g want %g", v, c, os.NbrCount(i, c), wantC)
+			}
+		}
+	}
+}
+
+// TestAppendRejectsBadRecords exercises the validation paths and checks
+// that a rejected record leaves the observation untouched.
+func TestAppendRejectsBadRecords(t *testing.T) {
+	o := &Observation{K: 3}
+	if err := o.Append(NodeObservation{Node: 1, Cat: 7}); err == nil {
+		t.Fatal("expected error for out-of-range category")
+	}
+	if err := o.Append(NodeObservation{Node: 1, Cat: 0, Peers: []int32{9}}); err == nil {
+		t.Fatal("expected error for unknown peer")
+	}
+	if o.Draws != 0 || len(o.Nodes) != 0 {
+		t.Fatalf("rejected records mutated state: draws=%d nodes=%d", o.Draws, len(o.Nodes))
+	}
+	star := &Observation{K: 3, Star: true}
+	if err := star.Append(NodeObservation{Node: 1, Cat: 0, NbrCat: []int32{0}, NbrCnt: nil}); err == nil {
+		t.Fatal("expected error for mismatched neighbor arrays")
+	}
+	if err := star.Append(NodeObservation{Node: 1, Cat: 0, NbrCat: []int32{5}, NbrCnt: []float64{1}}); err == nil {
+		t.Fatal("expected error for out-of-range neighbor category")
+	}
+	if star.Draws != 0 || len(star.Nodes) != 0 || len(star.Deg) != 0 {
+		t.Fatal("rejected star records mutated state")
+	}
+	// After rejections, valid appends still leave consistent parallel
+	// arrays (this used to corrupt the CSR when validation ran too late).
+	if err := star.Append(NodeObservation{Node: 1, Cat: 0, Deg: 2, NbrCat: []int32{1}, NbrCnt: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := star.Append(NodeObservation{Node: 2, Cat: 1, Deg: 1, NbrCat: []int32{0}, NbrCnt: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(star.NbrOff) != len(star.Nodes)+1 {
+		t.Fatalf("CSR misaligned: %d offsets for %d nodes", len(star.NbrOff), len(star.Nodes))
+	}
+	if got := star.NbrCount(1, 0); got != 1 {
+		t.Fatalf("NbrCount(1,0) = %g, want 1", got)
+	}
+}
+
+// TestAppendDedupsDuplicateEdgeReports checks that both-endpoint (or
+// repeated) edge reports fold into one stored edge, matching the streaming
+// accumulator's semantics.
+func TestAppendDedupsDuplicateEdgeReports(t *testing.T) {
+	o := &Observation{K: 2}
+	if err := o.Append(NodeObservation{Node: 1, Cat: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Append(NodeObservation{Node: 2, Cat: 1, Peers: []int32{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-draw of node 1 re-reporting the edge from its side.
+	if err := o.Append(NodeObservation{Node: 1, Cat: 0, Peers: []int32{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Edges) != 1 {
+		t.Fatalf("stored %d edges, want 1 (duplicates must fold)", len(o.Edges))
+	}
+	if o.Draws != 3 || o.Mult[0] != 2 {
+		t.Fatalf("draws=%d mult0=%g", o.Draws, o.Mult[0])
+	}
+}

@@ -1,0 +1,370 @@
+// Package stream provides online estimation of the category graph: an
+// Accumulator ingests observed nodes one at a time (or in batches) and
+// maintains the running Hansen–Hurwitz sums of internal/core so that
+// Snapshot produces category sizes, pair weights, within-category densities
+// and a population-size estimate in O(K² + pairs) — without ever rescanning
+// the ingestion history.
+//
+// This is the serving-side counterpart of the batch pipeline: the paper's
+// estimators are design-based sums over sampled nodes (§4–§5), which makes
+// them naturally incremental; a crawler of a live OSN produces exactly the
+// stream of sample.NodeObservation records the Accumulator consumes. Batch
+// and streaming estimation share one code path (core.Sums), so for identical
+// observations Accumulator.Snapshot and core.Estimate agree to within
+// floating-point reassociation error (≪ 1e-9 relative; see the package
+// tests).
+//
+// The Accumulator is safe for concurrent use: ingestion and snapshotting
+// may race freely across goroutines, and each Snapshot is an immutable
+// value once returned.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sample"
+)
+
+// Config parameterizes an Accumulator.
+type Config struct {
+	// K is the number of categories in the partition (required, ≥ 1).
+	K int
+	// Star selects the measurement scenario: star sampling when true,
+	// induced subgraph sampling when false.
+	Star bool
+	// N is the population size |V|; 0 means unknown, producing relative
+	// sizes with N := 1 (§4.3). Snapshots always carry the collision-based
+	// N̂ as well, so a long-running service can run with N = 0 and report
+	// absolute scale once the stream has accumulated collisions.
+	N float64
+	// Size selects the category-size estimator plugged into the weights.
+	Size core.SizeMethod
+}
+
+// nodeState is what the accumulator remembers about one distinct node: the
+// per-node constants the estimators re-weight on every draw, plus — per
+// scenario — the node's star record or its incident observed edges.
+type nodeState struct {
+	mult   float64
+	weight float64
+	cat    int32
+
+	// Star scenario: the node's degree and neighbor-category counts,
+	// recorded at first observation (as in the batch Observation).
+	deg    float64
+	nbrCat []int32
+	nbrCnt []float64
+
+	// Induced scenario: distinct observed peers, so a re-draw can replay
+	// its marginal mass over every incident edge of G[S].
+	peers []int32
+}
+
+// Accumulator ingests a stream of node observations and serves estimates.
+type Accumulator struct {
+	mu    sync.Mutex
+	cfg   Config
+	sums  *core.Sums
+	nodes map[int32]*nodeState
+
+	// Collision statistics for the §4.3 population-size estimator.
+	psi1, psiInv, collisions float64
+
+	// Convergence tracking: the previous snapshot's estimate.
+	lastSizes []float64
+	lastW     *core.PairWeights
+	lastDraws float64
+	seq       int64
+}
+
+// NewAccumulator returns an empty accumulator for the given configuration.
+func NewAccumulator(cfg Config) (*Accumulator, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("stream: config needs K ≥ 1 categories, got %d", cfg.K)
+	}
+	return &Accumulator{
+		cfg:   cfg,
+		sums:  core.NewSums(cfg.K, cfg.Star),
+		nodes: make(map[int32]*nodeState),
+	}, nil
+}
+
+// Config returns the accumulator's configuration.
+func (a *Accumulator) Config() Config { return a.cfg }
+
+// Draws returns the number of draws ingested so far.
+func (a *Accumulator) Draws() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.sums.Draws)
+}
+
+// Distinct returns the number of distinct nodes observed so far.
+func (a *Accumulator) Distinct() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.nodes)
+}
+
+// Ingest folds one node observation into the running sums in O(1 +
+// |record|) — where |record| is the number of neighbor categories (star) or
+// incident observed edges (induced re-draw). The record conventions are
+// those of sample.NodeObservation: weight 0 means 1, star neighbor data
+// rides on the first observation of a node, induced peers list each edge of
+// G[S] exactly once. Records that fail validation are rejected without
+// changing any state.
+func (a *Accumulator) Ingest(rec sample.NodeObservation) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ingestLocked(rec)
+}
+
+// IngestBatch folds a batch of observations in one critical section,
+// stopping at the first invalid record (previous records stay applied). It
+// returns the number of records applied.
+func (a *Accumulator) IngestBatch(recs []sample.NodeObservation) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, rec := range recs {
+		if err := a.ingestLocked(rec); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}
+
+func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
+	if rec.Cat != graph.None && (rec.Cat < 0 || int(rec.Cat) >= a.cfg.K) {
+		return fmt.Errorf("stream: node %d has category %d outside [0,%d)", rec.Node, rec.Cat, a.cfg.K)
+	}
+	// Records carrying fields of the other scenario signal a mismatched
+	// stream — reject loudly rather than silently ignore the data and
+	// serve garbage estimates.
+	if !a.cfg.Star && (len(rec.NbrCat) > 0 || rec.Deg > 0) {
+		return fmt.Errorf("stream: node %d carries star fields (deg/nbr_cat) but the accumulator runs the induced scenario", rec.Node)
+	}
+	if a.cfg.Star && len(rec.Peers) > 0 {
+		return fmt.Errorf("stream: node %d carries induced peers but the accumulator runs the star scenario", rec.Node)
+	}
+	ns, known := a.nodes[rec.Node]
+	if !known {
+		w := rec.Weight
+		if w <= 0 {
+			w = 1
+		}
+		ns = &nodeState{weight: w, cat: rec.Cat}
+	}
+	// Star info is recorded once per distinct node, from the first record
+	// that carries it. Well-formed streams send it with the node's first
+	// observation (StreamObserver does); when several crawlers feed one
+	// accumulator concurrently, sending it on every record is equally
+	// correct — whichever arrives first is kept, matching the batch
+	// Observation's once-per-node semantics on a static graph. Should the
+	// info only arrive on a later draw, the node's earlier draws — which
+	// contributed exactly zero star mass (deg 0, no neighbors) — are
+	// backfilled below, so the estimate matches the batch path regardless
+	// of delivery order.
+	if a.cfg.Star && ns.nbrCat == nil && (len(rec.NbrCat) > 0 || rec.Deg > 0) {
+		if len(rec.NbrCat) != len(rec.NbrCnt) {
+			return fmt.Errorf("stream: node %d has %d neighbor categories but %d counts", rec.Node, len(rec.NbrCat), len(rec.NbrCnt))
+		}
+		if !(rec.Deg >= 0) {
+			return fmt.Errorf("stream: node %d has invalid degree %g", rec.Node, rec.Deg)
+		}
+		var deg float64
+		for j, c := range rec.NbrCat {
+			if c < 0 || int(c) >= a.cfg.K {
+				return fmt.Errorf("stream: node %d has neighbor category %d outside [0,%d)", rec.Node, c, a.cfg.K)
+			}
+			if !(rec.NbrCnt[j] >= 0) {
+				return fmt.Errorf("stream: node %d has invalid neighbor count %g for category %d", rec.Node, rec.NbrCnt[j], c)
+			}
+			deg += rec.NbrCnt[j]
+		}
+		ns.deg = rec.Deg
+		if rec.Deg == 0 {
+			// Tolerate clients that only report neighbor counts;
+			// uncategorized neighbors are then invisible, as in a
+			// crawl of a partially labeled network.
+			ns.deg = deg
+		}
+		ns.nbrCat = append([]int32(nil), rec.NbrCat...)
+		ns.nbrCnt = append([]float64(nil), rec.NbrCnt...)
+		if ns.mult > 0 {
+			// Backfill the star mass of the node's earlier draws.
+			a.sums.AddStar(ns.cat, ns.weight, ns.mult, ns.deg, ns.nbrCat, ns.nbrCnt)
+		}
+	}
+	// Validate induced peers before mutating anything.
+	var newPeers []int32
+	if !a.cfg.Star && len(rec.Peers) > 0 {
+		for _, p := range rec.Peers {
+			if _, ok := a.nodes[p]; !ok && p != rec.Node {
+				return fmt.Errorf("stream: peer %d of node %d not yet observed", p, rec.Node)
+			}
+			// Skip self-loops, already-known edges, and duplicates within
+			// this record's own peer list.
+			if p == rec.Node || a.hasEdge(ns, p) || contains(newPeers, p) {
+				continue
+			}
+			newPeers = append(newPeers, p)
+		}
+	}
+
+	if !known {
+		a.nodes[rec.Node] = ns
+	}
+	prev := ns.mult
+	ns.mult++
+	a.sums.AddNode(ns.cat, ns.weight, 1, prev)
+	a.psi1 += ns.weight
+	a.psiInv += 1 / ns.weight
+	a.collisions += prev // the new draw collides with every earlier draw of this node
+
+	if a.cfg.Star {
+		a.sums.AddStar(ns.cat, ns.weight, 1, ns.deg, ns.nbrCat, ns.nbrCnt)
+		return nil
+	}
+	// Induced: a re-draw raises this node's multiplicity, which raises the
+	// mass of every incident observed edge by m_peer/(w·w_peer)…
+	if prev > 0 {
+		for _, p := range ns.peers {
+			ps := a.nodes[p]
+			a.sums.AddEdgeMass(ns.cat, ps.cat, ps.mult/(ns.weight*ps.weight))
+		}
+	}
+	// …and newly visible edges contribute their full product mass.
+	for _, p := range newPeers {
+		ps := a.nodes[p]
+		ns.peers = append(ns.peers, p)
+		ps.peers = append(ps.peers, rec.Node)
+		a.sums.AddEdgeMass(ns.cat, ps.cat, ns.mult*ps.mult/(ns.weight*ps.weight))
+	}
+	return nil
+}
+
+// hasEdge reports whether the edge {ns, p} is already recorded. Incident
+// lists are scanned linearly: category-graph workloads observe bounded
+// degrees within G[S], and the scan avoids a second hash structure.
+func (a *Accumulator) hasEdge(ns *nodeState, p int32) bool {
+	return contains(ns.peers, p)
+}
+
+func contains(xs []int32, x int32) bool {
+	for _, q := range xs {
+		if q == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Convergence quantifies how much the estimate moved between consecutive
+// snapshots — the stopping signal of a live crawl (§6's sample-size sweeps
+// ask exactly this question offline).
+type Convergence struct {
+	// DrawsSince is the number of draws ingested since the previous
+	// snapshot (equal to Draws on the first snapshot).
+	DrawsSince int
+	// SizeDelta is max_A |Δ|Â|| / N, the largest relative category-size
+	// movement; +Inf on the first snapshot.
+	SizeDelta float64
+	// WeightDelta is max_{A,B} |Δŵ(A,B)| over pairs finite in both
+	// snapshots; +Inf on the first snapshot.
+	WeightDelta float64
+}
+
+// Snapshot is a self-contained estimate of the category graph at one point
+// in the stream. It shares no mutable state with the accumulator.
+type Snapshot struct {
+	// Seq numbers the snapshots of one accumulator from 1.
+	Seq int64
+	// Draws and Distinct describe the sample consumed so far.
+	Draws    int
+	Distinct int
+	// Result is the full category-graph estimate (sizes, weights, method).
+	Result *core.Result
+	// Within holds the within-category density estimates ŵ(A,A).
+	Within []float64
+	// PopEstimate is the §4.3 collision estimate of |V| (+Inf until the
+	// stream has seen a collision).
+	PopEstimate float64
+	// Converge compares this snapshot with the previous one.
+	Converge Convergence
+}
+
+// Sizes returns the estimated category sizes (convenience accessor).
+func (s *Snapshot) Sizes() []float64 { return s.Result.Sizes }
+
+// Weights returns the estimated pair weights (convenience accessor).
+func (s *Snapshot) Weights() *core.PairWeights { return s.Result.Weights }
+
+// Snapshot computes the current estimate from the running sums in
+// O(K² + pairs) and advances the convergence baseline. It fails on an empty
+// accumulator and propagates estimator errors (e.g. a star size method on an
+// induced stream).
+func (a *Accumulator) Snapshot() (*Snapshot, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sums.Draws == 0 {
+		return nil, fmt.Errorf("stream: empty accumulator")
+	}
+	res, err := a.sums.Estimate(core.Options{N: a.cfg.N, Size: a.cfg.Size})
+	if err != nil {
+		return nil, err
+	}
+	var within []float64
+	if a.cfg.Star {
+		within, err = a.sums.WithinWeightsStar(res.Sizes)
+	} else {
+		within, err = a.sums.WithinWeightsInduced()
+	}
+	if err != nil {
+		return nil, err
+	}
+	a.seq++
+	snap := &Snapshot{
+		Seq:         a.seq,
+		Draws:       int(a.sums.Draws),
+		Distinct:    len(a.nodes),
+		Result:      res,
+		Within:      within,
+		PopEstimate: core.PopulationSizeFromSums(a.sums.Draws, a.psi1, a.psiInv, a.collisions),
+		Converge:    a.convergeLocked(res),
+	}
+	a.lastSizes = append([]float64(nil), res.Sizes...)
+	a.lastW = res.Weights
+	a.lastDraws = a.sums.Draws
+	return snap, nil
+}
+
+// convergeLocked measures the estimate movement since the last snapshot.
+func (a *Accumulator) convergeLocked(res *core.Result) Convergence {
+	c := Convergence{DrawsSince: int(a.sums.Draws - a.lastDraws)}
+	if a.lastSizes == nil {
+		c.SizeDelta = math.Inf(1)
+		c.WeightDelta = math.Inf(1)
+		return c
+	}
+	for i, s := range res.Sizes {
+		if d := math.Abs(s-a.lastSizes[i]) / res.N; d > c.SizeDelta {
+			c.SizeDelta = d
+		}
+	}
+	// The pair set only grows, so iterating the new weights covers the
+	// union; pairs NaN in either snapshot are skipped.
+	res.Weights.ForEach(func(x, y int32, w float64) {
+		old := a.lastW.Get(x, y)
+		if math.IsNaN(w) || math.IsNaN(old) {
+			return
+		}
+		if d := math.Abs(w - old); d > c.WeightDelta {
+			c.WeightDelta = d
+		}
+	})
+	return c
+}

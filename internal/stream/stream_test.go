@@ -1,0 +1,490 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// testGraph builds a small social graph with planted communities as
+// categories — small enough that long samples revisit nodes often, which
+// stresses the incremental multiplicity updates.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.Social(randx.New(42), gen.SocialConfig{
+		N: 600, MeanDeg: 12, Dist: gen.PowerLaw, Shape: 2.5,
+		Comms: 8, CommZipf: 0.8, Mixing: 0.35, Connect: true, SetAsCats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testSamplers(t testing.TB, g *graph.Graph) map[string]sample.Sampler {
+	t.Helper()
+	wis, err := sample.NewDegreeWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]sample.Sampler{
+		"UIS": sample.UIS{},
+		"WIS": wis,
+		"RW":  sample.NewRW(200),
+	}
+}
+
+// maxRelDiff returns max_i |a_i − b_i| / max(1, |b_i|).
+func maxRelDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if math.IsNaN(a[i]) && math.IsNaN(b[i]) {
+			continue
+		}
+		d := math.Abs(a[i]-b[i]) / math.Max(1, math.Abs(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// weightsMaxDiff returns the largest absolute difference over the union of
+// two pair-weight tables, skipping pairs that are NaN in both.
+func weightsMaxDiff(a, b *core.PairWeights) float64 {
+	var m float64
+	check := func(x, y int32, w, other float64) {
+		if math.IsNaN(w) && math.IsNaN(other) {
+			return
+		}
+		if d := math.Abs(w - other); d > m {
+			m = d
+		}
+	}
+	a.ForEach(func(x, y int32, w float64) { check(x, y, w, b.Get(x, y)) })
+	b.ForEach(func(x, y int32, w float64) { check(x, y, w, a.Get(x, y)) })
+	return m
+}
+
+// TestStreamBatchParity is the property test of the acceptance criteria:
+// for identical observations, Accumulator.Snapshot must match core.Estimate
+// to within 1e-9, across UIS/WIS/RW samplers and both scenarios — including
+// at intermediate prefixes of the stream, where the incremental re-draw
+// bookkeeping has to agree with a from-scratch batch recompute.
+func TestStreamBatchParity(t *testing.T) {
+	g := testGraph(t)
+	N := float64(g.N())
+	const draws = 4000
+	for name, smp := range testSamplers(t, g) {
+		for _, star := range []bool{false, true} {
+			scenario := "induced"
+			if star {
+				scenario = "star"
+			}
+			t.Run(name+"/"+scenario, func(t *testing.T) {
+				s, err := smp.Sample(randx.New(7), g, draws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				so, err := sample.NewStreamObserver(g, star)
+				if err != nil {
+					t.Fatal(err)
+				}
+				acc, err := NewAccumulator(Config{K: g.NumCategories(), Star: star, N: N})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkpoints := map[int]bool{100: true, 1000: true, draws: true}
+				var batch []sample.NodeObservation
+				flush := func() {
+					if len(batch) == 0 {
+						return
+					}
+					if _, err := acc.IngestBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					batch = batch[:0]
+				}
+				for i, v := range s.Nodes {
+					rec := so.Observe(v, s.Weight(i))
+					// Alternate single and batched ingestion, preserving
+					// stream order (records reference earlier records).
+					if i%37 == 0 {
+						flush()
+						if err := acc.Ingest(rec); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						batch = append(batch, rec)
+						if len(batch) == 16 {
+							flush()
+						}
+					}
+					n := i + 1
+					if !checkpoints[n] {
+						continue
+					}
+					flush()
+					snap, err := acc.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if snap.Draws != n {
+						t.Fatalf("at %d: snapshot draws %d", n, snap.Draws)
+					}
+					var o *sample.Observation
+					if star {
+						o, err = sample.ObserveStar(g, s.Prefix(n))
+					} else {
+						o, err = sample.ObserveInduced(g, s.Prefix(n))
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := core.Estimate(o, core.Options{N: N})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := maxRelDiff(snap.Result.Sizes, want.Sizes); d > 1e-9 {
+						t.Fatalf("at %d draws: size mismatch %g", n, d)
+					}
+					if d := weightsMaxDiff(snap.Result.Weights, want.Weights); d > 1e-9 {
+						t.Fatalf("at %d draws: weight mismatch %g", n, d)
+					}
+					var wantWithin []float64
+					if star {
+						wantWithin, err = core.WithinWeightsStar(o, want.Sizes)
+					} else {
+						wantWithin, err = core.WithinWeightsInduced(o)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := maxRelDiff(snap.Within, wantWithin); d > 1e-9 {
+						t.Fatalf("at %d draws: within mismatch %g", n, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPopulationEstimateParity checks that the accumulator's running
+// collision estimator matches core.PopulationSize on the same sample.
+func TestPopulationEstimateParity(t *testing.T) {
+	g := testGraph(t)
+	wis, err := sample.NewDegreeWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wis.Sample(randx.New(3), g, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(Config{K: g.NumCategories(), Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Nodes {
+		if err := acc.Ingest(so.Observe(v, s.Weight(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.PopulationSize(s)
+	if math.Abs(snap.PopEstimate-want)/want > 1e-9 {
+		t.Fatalf("pop estimate %g, want %g", snap.PopEstimate, want)
+	}
+	if snap.PopEstimate < float64(g.N())/3 || snap.PopEstimate > float64(g.N())*3 {
+		t.Fatalf("pop estimate %g wildly off true N=%d", snap.PopEstimate, g.N())
+	}
+}
+
+// TestConvergenceTracking checks that snapshot deltas start at +Inf, then
+// reflect the estimate movement between snapshots and shrink as the sample
+// grows.
+func TestConvergenceTracking(t *testing.T) {
+	g := testGraph(t)
+	s, err := sample.UIS{}.Sample(randx.New(5), g, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(Config{K: g.NumCategories(), Star: true, N: float64(g.N())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []float64
+	for i, v := range s.Nodes {
+		if err := acc.Ingest(so.Observe(v, s.Weight(i))); err != nil {
+			t.Fatal(err)
+		}
+		n := i + 1
+		if n == 100 || n == 1000 || n == 3000 || n == 10000 || n == 30000 {
+			snap, err := acc.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 100 {
+				if !math.IsInf(snap.Converge.SizeDelta, 1) || !math.IsInf(snap.Converge.WeightDelta, 1) {
+					t.Fatalf("first snapshot deltas not +Inf: %+v", snap.Converge)
+				}
+				if snap.Converge.DrawsSince != 100 {
+					t.Fatalf("first DrawsSince = %d", snap.Converge.DrawsSince)
+				}
+				continue
+			}
+			deltas = append(deltas, snap.Converge.SizeDelta)
+		}
+	}
+	// Doubling the sample repeatedly must eventually calm the estimate:
+	// the last delta should be well below the first measured one.
+	if len(deltas) < 3 || !(deltas[len(deltas)-1] < deltas[0]) {
+		t.Fatalf("size deltas did not shrink: %v", deltas)
+	}
+	if deltas[len(deltas)-1] <= 0 {
+		t.Fatalf("last delta should be positive, got %v", deltas)
+	}
+}
+
+// TestConcurrentIngestAndSnapshot is the acceptance-criteria race test: many
+// goroutines ingest shards of a star record stream (every record carrying
+// full neighbor info, as concurrent crawlers would send) while others
+// snapshot continuously; the final estimate must match the batch estimate of
+// the union sample.
+func TestConcurrentIngestAndSnapshot(t *testing.T) {
+	g := testGraph(t)
+	N := float64(g.N())
+	s, err := sample.UIS{}.Sample(randx.New(9), g, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build self-contained star records (neighbor info on every record).
+	recs := make([]sample.NodeObservation, s.Len())
+	for i, v := range s.Nodes {
+		so, err := sample.NewStreamObserver(g, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = so.Observe(v, s.Weight(i))
+	}
+	acc, err := NewAccumulator(Config{K: g.NumCategories(), Star: true, N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var batch []sample.NodeObservation
+			for i := w; i < len(recs); i += workers {
+				if i%5 == 0 {
+					if err := acc.Ingest(recs[i]); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				batch = append(batch, recs[i])
+				if len(batch) == 32 {
+					if _, err := acc.IngestBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if _, err := acc.IngestBatch(batch); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if snap, err := acc.Snapshot(); err == nil {
+					if snap.Draws > len(recs) {
+						t.Errorf("snapshot draws %d exceeds stream length", snap.Draws)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if t.Failed() {
+		return
+	}
+	snap, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Draws != s.Len() || snap.Distinct != distinctCount(s) {
+		t.Fatalf("draws=%d distinct=%d, want %d/%d", snap.Draws, snap.Distinct, s.Len(), distinctCount(s))
+	}
+	o, err := sample.ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Estimate(o, core.Options{N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(snap.Result.Sizes, want.Sizes); d > 1e-9 {
+		t.Fatalf("size mismatch after concurrent ingest: %g", d)
+	}
+	if d := weightsMaxDiff(snap.Result.Weights, want.Weights); d > 1e-9 {
+		t.Fatalf("weight mismatch after concurrent ingest: %g", d)
+	}
+}
+
+// TestLateStarInfoBackfill checks that star data arriving only on a later
+// draw of a node retroactively covers its earlier draws, so the estimate
+// matches a stream that carried the info from the start.
+func TestLateStarInfoBackfill(t *testing.T) {
+	late, err := NewAccumulator(Config{K: 2, Star: true, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := NewAccumulator(Config{K: 2, Star: true, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sample.NodeObservation{Node: 1, Cat: 0, Deg: 4, NbrCat: []int32{0, 1}, NbrCnt: []float64{1, 3}}
+	bare := sample.NodeObservation{Node: 1, Cat: 0}
+	other := sample.NodeObservation{Node: 2, Cat: 1, Deg: 2, NbrCat: []int32{0}, NbrCnt: []float64{2}}
+	for _, rec := range []sample.NodeObservation{bare, bare, info, other} {
+		if err := late.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rec := range []sample.NodeObservation{info, bare, bare, other} {
+		if err := early.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sl, err := late.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := early.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(sl.Result.Sizes, se.Result.Sizes); d > 1e-12 {
+		t.Fatalf("late star info biased sizes by %g: late %v early %v", d, sl.Result.Sizes, se.Result.Sizes)
+	}
+	if d := weightsMaxDiff(sl.Result.Weights, se.Result.Weights); d > 1e-12 {
+		t.Fatalf("late star info biased weights by %g", d)
+	}
+}
+
+// TestIngestRejectsNegativeCounts checks the public-endpoint hardening.
+func TestIngestRejectsNegativeCounts(t *testing.T) {
+	acc, err := NewAccumulator(Config{K: 2, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, NbrCat: []int32{1}, NbrCnt: []float64{-3}}); err == nil {
+		t.Fatal("expected error for negative neighbor count")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, Deg: math.NaN(), NbrCat: []int32{1}, NbrCnt: []float64{1}}); err == nil {
+		t.Fatal("expected error for NaN degree")
+	}
+	if acc.Draws() != 0 {
+		t.Fatalf("rejected records mutated state: %d draws", acc.Draws())
+	}
+}
+
+func distinctCount(s *sample.Sample) int {
+	seen := map[int32]bool{}
+	for _, v := range s.Nodes {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+// TestIngestValidation checks that invalid records are rejected without
+// corrupting accumulator state.
+func TestIngestValidation(t *testing.T) {
+	acc, err := NewAccumulator(Config{K: 3, Star: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccumulator(Config{K: 0}); err == nil {
+		t.Fatal("expected error for K = 0")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 5}); err == nil {
+		t.Fatal("expected error for out-of-range category")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, Peers: []int32{2}}); err == nil {
+		t.Fatal("expected error for unknown peer")
+	}
+	// Scenario mismatches are rejected loudly instead of silently serving
+	// garbage: star fields into an induced accumulator and vice versa.
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, Deg: 3, NbrCat: []int32{1}, NbrCnt: []float64{3}}); err == nil {
+		t.Fatal("expected error for star record in induced accumulator")
+	}
+	starAcc, err := NewAccumulator(Config{K: 3, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := starAcc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, Peers: []int32{2}}); err == nil {
+		t.Fatal("expected error for induced record in star accumulator")
+	}
+	if acc.Draws() != 0 || acc.Distinct() != 0 {
+		t.Fatalf("rejected records mutated state: draws=%d distinct=%d", acc.Draws(), acc.Distinct())
+	}
+	if _, err := acc.Snapshot(); err == nil {
+		t.Fatal("expected error snapshotting an empty accumulator")
+	}
+	// Duplicate edge reports — within one record's peer list, across
+	// records, and from the opposite endpoint — are ignored rather than
+	// double counted.
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 2, Cat: 1, Peers: []int32{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 2, Cat: 1, Peers: []int32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One edge between categories 0 and 1 with mult 1·2, rew 1 and 2.
+	if w := snap.Result.Weights.Get(0, 1); math.Abs(w-1) > 1e-12 {
+		t.Fatalf("duplicate edge report changed weight: %g", w)
+	}
+}

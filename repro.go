@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"repro/internal/catgraph"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/randx"
 	"repro/internal/sample"
+	"repro/internal/stream"
 )
 
 // Re-exported substrate types. See the internal packages for full method
@@ -37,6 +39,18 @@ type (
 	CategoryGraph = catgraph.Graph
 	// SWRWConfig parameterizes the stratified weighted random walk.
 	SWRWConfig = sample.SWRWConfig
+	// NodeObservation is the unit of the incremental observation API:
+	// what one draw of one node reveals under a measurement scenario.
+	NodeObservation = sample.NodeObservation
+	// StreamObserver replays a crawl as a stream of NodeObservations.
+	StreamObserver = sample.StreamObserver
+	// StreamConfig parameterizes a streaming Accumulator.
+	StreamConfig = stream.Config
+	// Accumulator ingests node observations and serves live estimates.
+	Accumulator = stream.Accumulator
+	// StreamSnapshot is a self-contained point-in-time estimate with
+	// convergence deltas.
+	StreamSnapshot = stream.Snapshot
 )
 
 // NoCategory marks nodes that belong to no category.
@@ -131,6 +145,36 @@ func WithinWeightsInduced(o *Observation) ([]float64, error) { return core.Withi
 // WithinWeightsInduced, with plugged-in size estimates.
 func WithinWeightsStar(o *Observation, sizes []float64) ([]float64, error) {
 	return core.WithinWeightsStar(o, sizes)
+}
+
+// NewAccumulator returns an empty streaming accumulator: ingest
+// NodeObservations as they are crawled and call Snapshot for the live
+// category-graph estimate in O(categories²), without rescanning history.
+// Batch and streaming estimation share one code path and agree to within
+// floating-point reassociation error.
+func NewAccumulator(cfg StreamConfig) (*Accumulator, error) { return stream.NewAccumulator(cfg) }
+
+// NewStreamObserver returns the streaming counterpart of ObserveInduced /
+// ObserveStar: it reveals each drawn node's observation record one draw at
+// a time, exactly as a live crawler would see it.
+func NewStreamObserver(g *Graph, star bool) (*StreamObserver, error) {
+	return sample.NewStreamObserver(g, star)
+}
+
+// StreamSample replays a batch sample through an observer into an
+// accumulator — convenience for turning any Sampler output into a stream.
+// The observer and accumulator must agree on the measurement scenario.
+func StreamSample(acc *Accumulator, so *StreamObserver, s *Sample) error {
+	if so.Star() != acc.Config().Star {
+		return fmt.Errorf("repro: observer scenario (star=%v) does not match accumulator (star=%v)",
+			so.Star(), acc.Config().Star)
+	}
+	for i, v := range s.Nodes {
+		if err := acc.Ingest(so.Observe(v, s.Weight(i))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TrueCategoryGraph computes the exact category graph of a fully known

@@ -123,6 +123,59 @@ func TestFacadeSamplersConstructible(t *testing.T) {
 	}
 }
 
+// TestFacadeStreaming runs the streaming workflow through the facade:
+// crawl → observe incrementally → accumulate → snapshot, and checks the
+// advertised batch/stream parity.
+func TestFacadeStreaming(t *testing.T) {
+	r := NewRand(47)
+	g, err := GeneratePaperGraph(r, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRW(500).Sample(r, g, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(StreamConfig{K: g.NumCategories(), Star: true, N: float64(g.N())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := StreamSample(acc, so, s); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Draws != s.Len() {
+		t.Fatalf("snapshot draws = %d, want %d", snap.Draws, s.Len())
+	}
+	o, err := ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(o, Options{N: float64(g.N())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range res.Sizes {
+		if math.Abs(snap.Sizes()[c]-res.Sizes[c]) > 1e-9 {
+			t.Fatalf("stream size[%d] = %g, batch %g", c, snap.Sizes()[c], res.Sizes[c])
+		}
+	}
+	cg, err := CategoryGraphFromEstimate(snap.Result, g.CategoryNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.K() != g.NumCategories() {
+		t.Fatalf("category graph has %d categories", cg.K())
+	}
+}
+
 func TestFacadeExtensions(t *testing.T) {
 	r := NewRand(31)
 	g, err := GeneratePaperGraph(r, 5, 0.5)
