@@ -13,6 +13,7 @@ package repro
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/community"
@@ -444,6 +445,106 @@ func BenchmarkStreamIngest(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkStreamIngestParallel measures concurrent ingest throughput: the
+// acceptance benchmark of the sharding work. G ingester goroutines
+// (b.RunParallel) feed one shared accumulator; the single-lock Accumulator
+// serializes them all on one mutex, while the ShardedAccumulator spreads
+// them across per-shard locks — at 4+ shards on a multi-core machine the
+// contention disappears and throughput scales near-linearly with cores
+// (run with -cpu 4,8 to see it; a 1-core runner can only show the reduced
+// lock hand-off cost). shards=0 denotes the single-lock baseline.
+func BenchmarkStreamIngestParallel(b *testing.B) {
+	recs, _, g := streamBenchRecords(b, 100_000)
+	cfg := stream.Config{K: g.NumCategories(), Star: true, N: float64(g.N())}
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{
+		{"single-lock", 0},
+		{"shards=1", 1},
+		{"shards=4", 4},
+		{"shards=8", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var acc stream.Ingester
+			var err error
+			if bc.shards == 0 {
+				acc, err = stream.NewAccumulator(cfg)
+			} else {
+				acc, err = stream.NewShardedAccumulator(cfg, bc.shards)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Each worker walks the record stream from its own offset, so
+			// the hot loop shares no state beyond the accumulator under
+			// test (a shared index counter would itself serialize cores).
+			var workers atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(workers.Add(1)) * 7919 // distinct prime offsets
+				for pb.Next() {
+					if err := acc.Ingest(recs[i%len(recs)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStreamIngestBatchSharded measures the serial batch path at
+// several shard counts — the fan-out cost a single writer pays for the
+// concurrent scalability above.
+func BenchmarkStreamIngestBatchSharded(b *testing.B) {
+	recs, _, g := streamBenchRecords(b, 100_000)
+	cfg := stream.Config{K: g.NumCategories(), Star: true, N: float64(g.N())}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acc, err := stream.NewShardedAccumulator(cfg, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := acc.IngestBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSumsMerge measures the snapshot-side merge primitive: pooling
+// P independently accumulated walk sums into one estimate, the O(P·K²+pairs)
+// cost every sharded snapshot pays.
+func BenchmarkSumsMerge(b *testing.B) {
+	recs, _, g := streamBenchRecords(b, 50_000)
+	const parts = 8
+	sums := make([]*core.Sums, parts)
+	for p := range sums {
+		o := &sample.Observation{K: g.NumCategories(), Star: true}
+		for i := p; i < len(recs); i += parts {
+			if err := o.Append(recs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sums[p] = core.SumsFromObservation(o)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := core.NewSums(g.NumCategories(), true)
+		for _, s := range sums {
+			if err := merged.Merge(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := merged.Estimate(core.Options{N: float64(g.N())}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

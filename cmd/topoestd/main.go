@@ -15,6 +15,9 @@
 //	-k           number of categories (required unless -names or -demo)
 //	-names       comma-separated category names (sets -k)
 //	-star        measurement scenario: star (default) or induced (=false)
+//	-shards      shard the accumulator across this many independent locks
+//	             (default 1 = the single-lock accumulator; > 1 enables
+//	             multi-core ingest, star scenario only)
 //	-N           population size |V|; 0 = unknown → relative sizes, with the
 //	             §4.3 collision estimate of N reported alongside
 //	-size        size estimator: auto|induced|star|star-pooled
@@ -31,15 +34,44 @@
 //	                         densities, population estimate, convergence
 //	GET  /categorygraph.tsv  the estimate as a category-graph TSV (the same
 //	                         format cmd/topoest emits)
-//	GET  /healthz            liveness: status, draws, distinct, uptime
+//	GET  /healthz            liveness: status, draws, distinct, shards, uptime
 //
 // The observation wire format is sample.NodeObservation: under star
 // sampling {"node":7,"weight":3,"cat":1,"deg":5,"nbr_cat":[0,1],
 // "nbr_cnt":[2,3]}, under induced sampling {"node":7,"cat":1,
 // "peers":[3,4]} where peers lists previously ingested neighbors (each edge
-// of the growing induced subgraph reported exactly once). Weight 0 means 1;
-// cat -1 means uncategorized. Star neighbor data may ride on every record
-// of a node (concurrent crawlers) — the first to arrive wins.
+// of the growing induced subgraph reported exactly once). Weight 0 or
+// absent means 1 on a node's first record and inherits the node's recorded
+// weight on re-draws (negative or NaN weights are rejected); cat -1 means
+// uncategorized. Star neighbor data may ride on every record of a node
+// (concurrent crawlers) — the first to arrive is recorded and identical
+// re-deliveries pass, but a record whose cat, explicit weight, or star
+// data contradicts the node's first observation is rejected. With
+// -shards > 1, POST /ingest fans each batch out across the per-shard locks
+// in record order.
+//
+// # Ingest error semantics and the retry-safe protocol
+//
+// Records of one POST body are applied strictly in order, and application
+// stops at the first invalid record — the valid prefix STAYS APPLIED. The
+// daemon reports how far it got: every record-level rejection (HTTP 422)
+// has the JSON body
+//
+//	{"error":"…", "ingested":N, "total":M, "index":I}
+//
+// where "ingested" is the number of leading records durably applied and
+// "index" is the position of the offending record. The two differ only for
+// pre-validation failures (a record missing "cat"), which are detected
+// before anything is applied: there "ingested" is 0 while "index" points
+// at the offender. Malformed JSON is rejected whole with HTTP 400 and body
+// {"error":"…"} — nothing was applied and no record indices exist.
+//
+// A retrying client MUST NOT resend the whole batch after a 422 — that
+// would double-ingest the applied prefix and silently skew the estimate.
+// The retry-safe protocol is: drop the first "ingested" records, fix or
+// discard the record at index "index", and resend the rest. Idempotent
+// replay is not provided by the server; exactly-once ingestion is the
+// client's contract to keep.
 package main
 
 import (
@@ -69,6 +101,7 @@ func main() {
 		k         = flag.Int("k", 0, "number of categories")
 		names     = flag.String("names", "", "comma-separated category names (sets -k)")
 		star      = flag.Bool("star", true, "star scenario (false = induced subgraph)")
+		shards    = flag.Int("shards", 1, "shard the accumulator across this many locks (star only; >1 enables multi-core ingest)")
 		popN      = flag.Float64("N", 0, "population size |V| (0 = unknown, relative sizes)")
 		sizeFlag  = flag.String("size", "auto", "size estimator: auto|induced|star|star-pooled")
 		demo      = flag.Bool("demo", false, "self-feed a random-walk crawl of the §6.2.1 paper graph")
@@ -76,13 +109,27 @@ func main() {
 		demoSeed  = flag.Uint64("demo-seed", 1, "demo: crawl seed")
 	)
 	flag.Parse()
-	if err := run(*addr, *k, *names, *star, *popN, *sizeFlag, *demo, *demoDraws, *demoSeed); err != nil {
+	if err := run(*addr, *k, *names, *star, *shards, *popN, *sizeFlag, *demo, *demoDraws, *demoSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "topoestd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, k int, namesFlag string, star bool, popN float64, sizeFlag string, demo bool, demoDraws int, demoSeed uint64) error {
+// newIngester builds the configured accumulator: the single-lock one at
+// exactly 1 shard, the hash-partitioned one above that. A shard count
+// below 1 is a misconfiguration and fails startup loudly rather than
+// silently degrading to the single lock.
+func newIngester(cfg stream.Config, shards int) (stream.Ingester, error) {
+	switch {
+	case shards < 1:
+		return nil, fmt.Errorf("need -shards ≥ 1, got %d", shards)
+	case shards == 1:
+		return stream.NewAccumulator(cfg)
+	}
+	return stream.NewShardedAccumulator(cfg, shards)
+}
+
+func run(addr string, k int, namesFlag string, star bool, shards int, popN float64, sizeFlag string, demo bool, demoDraws int, demoSeed uint64) error {
 	method, err := parseSizeMethod(sizeFlag)
 	if err != nil {
 		return err
@@ -93,24 +140,39 @@ func run(addr string, k int, namesFlag string, star bool, popN float64, sizeFlag
 		k = len(names)
 	}
 	if demo {
-		return runDemo(addr, star, method, demoDraws, demoSeed)
+		return runDemo(addr, star, shards, method, demoDraws, demoSeed)
 	}
 	if k < 1 {
 		return fmt.Errorf("need -k or -names (got %d categories)", k)
 	}
-	acc, err := stream.NewAccumulator(stream.Config{K: k, Star: star, N: popN, Size: method})
+	acc, err := newIngester(stream.Config{K: k, Star: star, N: popN, Size: method}, shards)
 	if err != nil {
 		return err
 	}
 	srv := newServer(acc, names)
-	log.Printf("topoestd: serving %d categories (%s scenario) on %s", k, scenarioName(star), addr)
-	return http.ListenAndServe(addr, srv)
+	log.Printf("topoestd: serving %d categories (%s scenario, %d shard(s)) on %s", k, scenarioName(star), shards, addr)
+	return listenAndServe(addr, srv)
+}
+
+// listenAndServe wraps the handler in an http.Server with read and write
+// timeouts, so a slow or stalled client cannot pin a connection (and its
+// goroutine) forever — the bare http.ListenAndServe has none.
+func listenAndServe(addr string, h http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute, // ingest bodies are ≤ 64 MiB
+		WriteTimeout:      time.Minute,     // responses are O(K²) small
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
 }
 
 // runDemo builds the paper's synthetic graph, starts a goroutine that
 // trickle-feeds a random-walk crawl through a StreamObserver, and serves the
 // live estimate — a one-command end-to-end demonstration of the subsystem.
-func runDemo(addr string, star bool, method core.SizeMethod, draws int, seed uint64) error {
+func runDemo(addr string, star bool, shards int, method core.SizeMethod, draws int, seed uint64) error {
 	r := randx.New(seed)
 	g, err := gen.Paper(r, gen.PaperConfig{
 		Sizes:   []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000},
@@ -121,9 +183,9 @@ func runDemo(addr string, star bool, method core.SizeMethod, draws int, seed uin
 	if err != nil {
 		return err
 	}
-	acc, err := stream.NewAccumulator(stream.Config{
+	acc, err := newIngester(stream.Config{
 		K: g.NumCategories(), Star: star, N: float64(g.N()), Size: method,
-	})
+	}, shards)
 	if err != nil {
 		return err
 	}
@@ -151,7 +213,7 @@ func runDemo(addr string, star bool, method core.SizeMethod, draws int, seed uin
 	srv := newServer(acc, g.CategoryNames())
 	log.Printf("topoestd: demo on %s — crawling N=%d graph (%s scenario, %d draws)",
 		addr, g.N(), scenarioName(star), draws)
-	return http.ListenAndServe(addr, srv)
+	return listenAndServe(addr, srv)
 }
 
 func parseSizeMethod(s string) (core.SizeMethod, error) {
@@ -181,7 +243,7 @@ func scenarioName(star bool) string {
 // baseline advances only when the stream does.
 type server struct {
 	mux   *http.ServeMux
-	acc   *stream.Accumulator
+	acc   stream.Ingester
 	names []string
 	start time.Time
 
@@ -190,7 +252,7 @@ type server struct {
 	cachedCG *catgraph.Graph
 }
 
-func newServer(acc *stream.Accumulator, names []string) *server {
+func newServer(acc stream.Ingester, names []string) *server {
 	if names == nil {
 		names = make([]string, acc.Config().K)
 		for i := range names {
@@ -276,9 +338,11 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	recs := make([]sample.NodeObservation, len(wires))
 	for i, wr := range wires {
 		if wr.Cat == nil {
-			httpError(w, http.StatusUnprocessableEntity,
-				`ingested 0 of %d records: record %d (node %d) is missing "cat" (use -1 for uncategorized)`,
-				len(wires), i, wr.Node)
+			// Pre-validation failure: nothing was applied, all-or-nothing,
+			// but the offender index must still be reported — it is not the
+			// applied count here.
+			ingestError(w, 0, len(wires), i,
+				`record %d (node %d) is missing "cat" (use -1 for uncategorized)`, i, wr.Node)
 			return
 		}
 		recs[i] = sample.NodeObservation{
@@ -288,11 +352,30 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.acc.IngestBatch(recs)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "ingested %d of %d records: %v", n, len(recs), err)
+		// The first n records stay applied and record n is the offender;
+		// the body carries both so a retrying client can resend only the
+		// remainder (see package doc).
+		ingestError(w, n, len(recs), n, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{"ingested": n, "draws": s.acc.Draws()})
+}
+
+// ingestError writes the structured /ingest error body: the human-readable
+// message plus the machine-readable fields that make retries safe —
+// "ingested" leading records are durable, the record at "index" is the
+// offender, and only the records from "ingested" onward (minus the fixed or
+// dropped offender) may be resent.
+func ingestError(w http.ResponseWriter, ingested, total, index int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":    fmt.Sprintf("ingested %d of %d records: %s", ingested, total, fmt.Sprintf(format, args...)),
+		"ingested": ingested,
+		"total":    total,
+		"index":    index,
+	})
 }
 
 // estimateDoc is the JSON shape of GET /estimate. NaN/Inf cannot travel in
@@ -388,11 +471,16 @@ func (s *server) handleTSV(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	shards := 1
+	if sa, ok := s.acc.(*stream.ShardedAccumulator); ok {
+		shards = sa.Shards()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":   "ok",
 		"scenario": scenarioName(s.acc.Config().Star),
 		"k":        s.acc.Config().K,
+		"shards":   shards,
 		"draws":    s.acc.Draws(),
 		"distinct": s.acc.Distinct(),
 		"uptime_s": time.Since(s.start).Seconds(),

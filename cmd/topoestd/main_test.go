@@ -167,6 +167,130 @@ func TestEstimateEndpointMatchesBatch(t *testing.T) {
 	}
 }
 
+// TestIngestErrorReportsAppliedCount checks the retry-safe protocol: when a
+// batch fails partway, the 422 body carries the number of durably applied
+// leading records so a client can resend only the remainder — resending the
+// whole batch would double-ingest the prefix.
+func TestIngestErrorReportsAppliedCount(t *testing.T) {
+	srv, acc := testServer(t, 3, true, 0)
+	w := post(t, srv, "/ingest", `[
+		{"node":1,"cat":0,"deg":1,"nbr_cat":[1],"nbr_cnt":[1]},
+		{"node":2,"cat":1,"deg":1,"nbr_cat":[0],"nbr_cnt":[1]},
+		{"node":3,"cat":9},
+		{"node":4,"cat":2}]`)
+	if w.Code != 422 {
+		t.Fatalf("partial batch: %d %s", w.Code, w.Body)
+	}
+	var doc struct {
+		Error    string `json:"error"`
+		Ingested int    `json:"ingested"`
+		Total    int    `json:"total"`
+		Index    int    `json:"index"`
+	}
+	mustDecode(t, w.Body.Bytes(), &doc)
+	if doc.Ingested != 2 || doc.Total != 4 || doc.Index != 2 || doc.Error == "" {
+		t.Fatalf("error body = %+v, want ingested=2 total=4 index=2", doc)
+	}
+	if acc.Draws() != 2 {
+		t.Fatalf("draws = %d, want the applied 2-record prefix", acc.Draws())
+	}
+	// The documented retry: drop the applied prefix, fix the offender,
+	// resend the remainder.
+	w = post(t, srv, "/ingest", `[{"node":3,"cat":2},{"node":4,"cat":2}]`)
+	if w.Code != 200 {
+		t.Fatalf("retry remainder: %d %s", w.Code, w.Body)
+	}
+	if acc.Draws() != 4 {
+		t.Fatalf("draws = %d after retry, want 4", acc.Draws())
+	}
+	// Pre-validation rejections (missing cat) apply nothing — ingested = 0
+	// while index still points at the offender, not at the applied count.
+	w = post(t, srv, "/ingest", `[{"node":8,"cat":0},{"node":9,"deg":1,"nbr_cat":[0],"nbr_cnt":[1]}]`)
+	if w.Code != 422 {
+		t.Fatalf("missing cat: %d", w.Code)
+	}
+	mustDecode(t, w.Body.Bytes(), &doc)
+	if doc.Ingested != 0 || doc.Total != 2 || doc.Index != 1 {
+		t.Fatalf("missing-cat body = %+v, want ingested=0 total=2 index=1", doc)
+	}
+	if acc.Draws() != 4 {
+		t.Fatalf("draws = %d, whole-body rejection must apply nothing", acc.Draws())
+	}
+}
+
+// TestShardedServer runs the HTTP surface over a ShardedAccumulator: the
+// -shards path fans /ingest batches out to shards and the estimate matches
+// the batch pipeline.
+func TestShardedServer(t *testing.T) {
+	g := mustDemoGraph(t)
+	N := float64(g.N())
+	acc, err := newIngester(stream.Config{K: g.NumCategories(), Star: true, N: N}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := acc.(*stream.ShardedAccumulator); !ok {
+		t.Fatalf("newIngester(4 shards) = %T, want *stream.ShardedAccumulator", acc)
+	}
+	srv := newServer(acc, g.CategoryNames())
+	s, err := sample.NewRW(200).Sample(randx.New(61), g, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []sample.NodeObservation
+	for i, v := range s.Nodes {
+		recs = append(recs, so.Observe(v, s.Weight(i)))
+		if len(recs) == 256 || i == len(s.Nodes)-1 {
+			body, err := json.Marshal(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w := post(t, srv, "/ingest", string(body)); w.Code != 200 {
+				t.Fatalf("sharded ingest: %d %s", w.Code, w.Body)
+			}
+			recs = recs[:0]
+		}
+	}
+	var doc estimateDoc
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &doc)
+	if doc.Draws != s.Len() {
+		t.Fatalf("draws = %d, want %d", doc.Draws, s.Len())
+	}
+	o, err := sample.ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Estimate(o, core.Options{N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, se := range doc.Sizes {
+		if d := math.Abs(se.Size - want.Sizes[se.Cat]); d > 1e-9 {
+			t.Fatalf("sharded size[%d] = %g, want %g", se.Cat, se.Size, want.Sizes[se.Cat])
+		}
+	}
+	var health map[string]any
+	mustDecode(t, get(t, srv, "/healthz").Body.Bytes(), &health)
+	if health["shards"] != float64(4) {
+		t.Fatalf("healthz shards = %v, want 4", health["shards"])
+	}
+	// Induced + shards is rejected at construction.
+	if _, err := newIngester(stream.Config{K: 3, Star: false}, 4); err == nil {
+		t.Fatal("expected error for induced sharded ingester")
+	}
+	if acc1, err := newIngester(stream.Config{K: 3, Star: false}, 1); err != nil || acc1 == nil {
+		t.Fatalf("single-shard induced ingester: %v", err)
+	}
+	// A shard count below 1 fails startup instead of silently degrading to
+	// the single lock.
+	if _, err := newIngester(stream.Config{K: 3, Star: true}, 0); err == nil {
+		t.Fatal("expected error for -shards 0")
+	}
+}
+
 // TestEstimateBeforeIngest checks the empty-accumulator path.
 func TestEstimateBeforeIngest(t *testing.T) {
 	srv, _ := testServer(t, 3, true, 0)

@@ -43,6 +43,13 @@
 // code path and agree to within float reassociation error). The
 // cmd/topoestd daemon serves this over HTTP.
 //
+// The sums are also mergeable, which is the paper's own multi-crawl
+// workflow (Table 2 pools 28 and 25 independent walks): estimate several
+// independent crawls as one pooled sample with MergeObservations (batch)
+// or StreamWalks (streaming), and scale ingest across cores with
+// NewShardedAccumulator, which hash-partitions records by node id across
+// independently locked shards (star scenario).
+//
 // The packages under internal/ hold the implementation: internal/core (the
 // estimators over shared sufficient statistics), internal/sample (samplers
 // and batch + incremental observation models), internal/stream (the online

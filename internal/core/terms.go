@@ -130,6 +130,63 @@ func (s *Sums) AddEdgeMass(catA, catB int32, mass float64) {
 	}
 }
 
+// Merge folds the sufficient statistics of o into s, so that estimates from
+// the merged sums describe the pooled sample — the paper's multi-crawl
+// workflow (Table 2 aggregates 28 and 25 independent walks into one
+// estimate) without replaying raw records. Both sums must cover the same
+// partition and scenario.
+//
+// Star estimates always compose exactly: every statistic the star
+// estimators consume is linear in the per-node draw multiplicities, so
+// Merge of independently accumulated walks reproduces the estimates of the
+// concatenated sample (up to float reassociation; see the package tests).
+// The one non-linear field, Rew2, is merged additively and therefore does
+// NOT equal the pooled sample's value when inputs share nodes — a node
+// drawn in several inputs contributes Σ(m_i/w)² instead of the pooled
+// (Σm_i/w)². Rew2 only feeds WithinWeightsInduced today, which is why star
+// merging stays exact; a future consumer of Rew2 on merged sums must keep
+// this in mind. For the induced scenario the caveat bites: besides Rew2,
+// edges of the pooled G[S] between nodes first seen in different inputs
+// were never observed by either, so induced sums compose exactly only when
+// the inputs observed disjoint node sets (e.g. a hash partition of the id
+// space) — merged induced estimates otherwise describe the concatenation
+// of separate crawls, not a re-observation of the union. Pool induced
+// samples with sample.Merge and re-observe instead.
+func (s *Sums) Merge(o *Sums) error {
+	if o == nil {
+		return nil
+	}
+	if s.K != o.K {
+		return fmt.Errorf("core: cannot merge sums over %d categories into %d", o.K, s.K)
+	}
+	if s.Star != o.Star {
+		return fmt.Errorf("core: cannot merge %s sums into %s sums", scenario(o.Star), scenario(s.Star))
+	}
+	s.Draws += o.Draws
+	s.TotalRew += o.TotalRew
+	s.DegNum += o.DegNum
+	for c := 0; c < s.K; c++ {
+		s.Rew[c] += o.Rew[c]
+		s.DrawsA[c] += o.DrawsA[c]
+		s.Rew2[c] += o.Rew2[c]
+		s.WithinNum[c] += o.WithinNum[c]
+	}
+	if s.Star {
+		for c := 0; c < s.K; c++ {
+			s.DegNumA[c] += o.DegNumA[c]
+			s.NbrNum[c] += o.NbrNum[c]
+		}
+	}
+	return s.PairNum.Merge(o.PairNum)
+}
+
+func scenario(star bool) string {
+	if star {
+		return "star"
+	}
+	return "induced"
+}
+
 // SumsFromObservation builds the sufficient statistics of a complete batch
 // observation. The accumulation order matches the original single-pass
 // estimators exactly, so the delegating batch API is numerically unchanged.

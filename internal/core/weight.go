@@ -37,6 +37,23 @@ func (p *PairWeights) Add(a, b int32, w float64) { p.m[pairKey(a, b)] += w }
 // Len returns the number of stored pairs.
 func (p *PairWeights) Len() int { return len(p.m) }
 
+// Merge adds every pair of o into p entrywise: p(a,b) += o(a,b). It is the
+// pair-table half of Sums.Merge — when both tables hold Hansen–Hurwitz pair
+// numerators of independent samples, the merged table holds the numerators
+// of the pooled sample. The tables must cover the same partition.
+func (p *PairWeights) Merge(o *PairWeights) error {
+	if o == nil {
+		return nil
+	}
+	if p.K != o.K {
+		return fmt.Errorf("core: cannot merge pair weights over %d categories into %d", o.K, p.K)
+	}
+	for k, w := range o.m {
+		p.m[k] += w
+	}
+	return nil
+}
+
 // ForEach visits every stored pair (a < b) with its weight.
 func (p *PairWeights) ForEach(fn func(a, b int32, w float64)) {
 	for k, w := range p.m {

@@ -1,6 +1,7 @@
 package sample
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
@@ -75,6 +76,85 @@ func observeStream(g *graph.Graph, s *Sample, star bool) (*Observation, error) {
 		}
 	}
 	return o, nil
+}
+
+// MergeObservations pools the star observations of independent crawls into
+// one observation equivalent to observing the concatenated sample — the
+// paper's Table 2 workflow, where 28 and 25 independent walks feed one
+// estimate. Distinct-node entries union; multiplicities of a node drawn in
+// several crawls add; and a node whose category, weight, degree, or
+// neighbor-category counts differ across inputs is rejected — on a static
+// graph those are per-node constants, so a mismatch means the inputs
+// describe different populations. Inputs are not modified.
+//
+// Induced observations cannot be pooled after the fact: separate crawls
+// never observe the edges of the pooled G[S] between nodes first seen in
+// different crawls, so merging their observations would systematically
+// undercount the cut. MergeObservations rejects them — pool the samples
+// with Merge and re-observe instead.
+func MergeObservations(obs ...*Observation) (*Observation, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("sample: no observations to merge")
+	}
+	first := -1
+	for i, o := range obs {
+		if o != nil {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return nil, fmt.Errorf("sample: no observations to merge")
+	}
+	out := &Observation{K: obs[first].K, Star: true, idx: make(map[int32]int32)}
+	out.NbrOff = []int32{0}
+	for wi, o := range obs {
+		if o == nil {
+			// Tolerate nil inputs as no-ops, matching Sums.Merge and
+			// PairWeights.Merge.
+			continue
+		}
+		if !o.Star {
+			return nil, fmt.Errorf("sample: observation %d is induced; induced crawls never see cross-crawl edges of the pooled G[S] — pool the samples with Merge and re-observe instead", wi)
+		}
+		if o.K != out.K {
+			return nil, fmt.Errorf("sample: observation %d has %d categories, want %d", wi, o.K, out.K)
+		}
+		for i, v := range o.Nodes {
+			j, ok := out.idx[v]
+			if !ok {
+				j = int32(len(out.Nodes))
+				out.idx[v] = j
+				out.Nodes = append(out.Nodes, v)
+				out.Mult = append(out.Mult, 0)
+				out.Weight = append(out.Weight, o.Weight[i])
+				out.Cat = append(out.Cat, o.Cat[i])
+				lo, hi := o.NbrOff[i], o.NbrOff[i+1]
+				out.Deg = append(out.Deg, o.Deg[i])
+				out.NbrCat = append(out.NbrCat, o.NbrCat[lo:hi]...)
+				out.NbrCnt = append(out.NbrCnt, o.NbrCnt[lo:hi]...)
+				out.NbrOff = append(out.NbrOff, int32(len(out.NbrCat)))
+			} else {
+				if out.Cat[j] != o.Cat[i] {
+					return nil, fmt.Errorf("sample: node %d has category %d in observation %d but %d earlier", v, o.Cat[i], wi, out.Cat[j])
+				}
+				if out.Weight[j] != o.Weight[i] {
+					return nil, fmt.Errorf("sample: node %d has weight %g in observation %d but %g earlier", v, o.Weight[i], wi, out.Weight[j])
+				}
+				// Partial observations of the node's star upgrade each
+				// other (late star data, late counts, explicit degree over
+				// a derived lower bound); contradictions are rejected.
+				// Stored data is already canonical on both sides.
+				lo, hi := o.NbrOff[i], o.NbrOff[i+1]
+				if err := out.reconcileStar(j, o.Deg[i], o.NbrCat[lo:hi], o.NbrCnt[lo:hi]); err != nil {
+					return nil, fmt.Errorf("sample: observation %d: %w", wi, err)
+				}
+			}
+			out.Mult[j] += o.Mult[i]
+		}
+		out.Draws += o.Draws
+	}
+	return out, nil
 }
 
 // NbrCount returns star draw i's neighbor count in category c (0 if none).

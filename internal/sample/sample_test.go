@@ -248,6 +248,47 @@ func TestWalkErrorsOnEmptyAndInvalidStart(t *testing.T) {
 	}
 }
 
+// TestRandomStartSparsePositiveDegree is the spurious-failure regression
+// test: on a graph where almost every node is isolated, bounded rejection
+// sampling used to give up with positive probability. The deterministic
+// fallback must always find a positive-degree node, and the draw must stay
+// confined to them.
+func TestRandomStartSparsePositiveDegree(t *testing.T) {
+	// 500 nodes, exactly one edge: only nodes 7 and 9 qualify.
+	b := graph.NewBuilder(500)
+	b.AddEdge(7, 9)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int32]int{}
+	for seed := uint64(0); seed < 300; seed++ {
+		v, err := randomStart(randx.New(seed), g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.Degree(v) == 0 {
+			t.Fatalf("seed %d: start %d has degree 0", seed, v)
+		}
+		counts[v]++
+	}
+	if counts[7] == 0 || counts[9] == 0 || counts[7]+counts[9] != 300 {
+		t.Fatalf("start counts %v, want both of {7,9} and nothing else", counts)
+	}
+	// A RW over the sparse graph must also start reliably.
+	if _, err := NewRW(0).Sample(randx.New(1), g, 10); err != nil {
+		t.Fatalf("RW on sparse graph: %v", err)
+	}
+	// All-isolated graphs still fail cleanly.
+	iso, err := graph.NewBuilder(50).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := randomStart(randx.New(1), iso); err == nil {
+		t.Fatal("expected error on a graph with no positive-degree node")
+	}
+}
+
 func TestThinPrefixMerge(t *testing.T) {
 	s := &Sample{Nodes: []int32{0, 1, 2, 3, 4, 5}, Weights: []float64{1, 2, 3, 4, 5, 6}}
 	th := s.Thin(2)

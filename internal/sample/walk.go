@@ -11,17 +11,46 @@ import (
 // nodes in large components by construction of the experiments (the
 // generators patch connectivity; on arbitrary graphs the walk explores the
 // start node's component only, as any crawl does).
+//
+// Rejection sampling alone is not enough: on a graph where only a handful
+// of nodes have positive degree, any bounded number of probes fails with
+// positive probability, turning a well-defined draw into a spurious error.
+// After a few fast-path probes the fallback scans the graph once and picks
+// uniformly among the qualifying nodes, which is exact and cannot fail
+// unless no such node exists.
 func randomStart(r *rand.Rand, g *graph.Graph) (int32, error) {
 	if g.N() == 0 {
 		return 0, fmt.Errorf("sample: empty graph")
 	}
-	for attempt := 0; attempt < 4*g.N()+100; attempt++ {
+	// Fast path: on the experiments' graphs nearly every node qualifies, so
+	// a few probes almost always hit without touching the whole graph.
+	for attempt := 0; attempt < 64; attempt++ {
 		v := int32(r.IntN(g.N()))
 		if g.Degree(v) > 0 {
 			return v, nil
 		}
 	}
-	return 0, fmt.Errorf("sample: no node with positive degree found")
+	// Deterministic fallback: count the qualifying nodes, then take the
+	// k-th one uniformly at random — still an exactly uniform draw.
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("sample: no node with positive degree")
+	}
+	k := r.IntN(count)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			if k == 0 {
+				return int32(v), nil
+			}
+			k--
+		}
+	}
+	return 0, fmt.Errorf("sample: unreachable") // count > 0 guarantees a hit above
 }
 
 // RW is the simple random walk of §3.1.2: the next node is a uniform random

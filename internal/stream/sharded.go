@@ -1,0 +1,178 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+)
+
+// ShardedAccumulator is the multi-core variant of Accumulator: records are
+// hash-partitioned by node id across P per-shard accumulators, each with its
+// own lock and node map, so concurrent crawlers ingest with no global lock
+// on the hot path. Snapshot briefly locks all shards, merges the
+// per-shard Hansen–Hurwitz sums (core.Sums.Merge) in O(P·K² + pairs), and
+// estimates from the pooled statistics — by the mergeability of the paper's
+// design-based sums, the result equals a single accumulator's estimate of
+// the same stream up to float reassociation (tested to 1e-9).
+//
+// Sharding requires the star scenario. Star records are per-node
+// self-contained (degree + neighbor-category counts), and every draw of a
+// node hashes to the same shard, so multiplicities and collision statistics
+// stay exact. Induced records are cross-referential — an edge's mass
+// m_a·m_b/(w_a·w_b) couples the live multiplicities of two nodes that would
+// generally live in different shards — so induced streams must use the
+// single-lock Accumulator.
+type ShardedAccumulator struct {
+	cfg    Config
+	shards []*Accumulator
+
+	// mu serializes snapshots and guards the convergence baseline; it is
+	// never taken on the ingest path.
+	mu        sync.Mutex
+	lastSizes []float64
+	lastW     *core.PairWeights
+	lastDraws float64
+	seq       int64
+}
+
+// NewShardedAccumulator returns an empty sharded accumulator with the given
+// number of shards (≥ 1). The configuration must select the star scenario —
+// induced streams are order- and cross-node-dependent and cannot be
+// partitioned by node id (see the type comment); use NewAccumulator for
+// them.
+func NewShardedAccumulator(cfg Config, shards int) (*ShardedAccumulator, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("stream: need ≥ 1 shard, got %d", shards)
+	}
+	if !cfg.Star {
+		return nil, fmt.Errorf("stream: sharding requires the star scenario (induced edge masses couple nodes across shards); use the single-lock Accumulator for induced streams")
+	}
+	sa := &ShardedAccumulator{cfg: cfg, shards: make([]*Accumulator, shards)}
+	for i := range sa.shards {
+		a, err := NewAccumulator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sa.shards[i] = a
+	}
+	return sa, nil
+}
+
+// Config returns the accumulator's configuration.
+func (sa *ShardedAccumulator) Config() Config { return sa.cfg }
+
+// Shards returns the number of shards.
+func (sa *ShardedAccumulator) Shards() int { return len(sa.shards) }
+
+// shard routes a node id to its shard with a full-avalanche integer hash
+// (the 32-bit "lowbias" mix), so adjacent crawler id ranges spread evenly.
+func (sa *ShardedAccumulator) shard(node int32) *Accumulator {
+	h := uint32(node)
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	return sa.shards[int(h%uint32(len(sa.shards)))]
+}
+
+// Draws returns the number of draws ingested so far, summed over shards.
+func (sa *ShardedAccumulator) Draws() int {
+	n := 0
+	for _, sh := range sa.shards {
+		n += sh.Draws()
+	}
+	return n
+}
+
+// Distinct returns the number of distinct nodes observed so far. Shards
+// partition the id space, so the per-shard counts are disjoint and sum
+// exactly.
+func (sa *ShardedAccumulator) Distinct() int {
+	n := 0
+	for _, sh := range sa.shards {
+		n += sh.Distinct()
+	}
+	return n
+}
+
+// Ingest folds one node observation into the owning shard; only that
+// shard's lock is taken. Validation and error semantics are those of
+// Accumulator.Ingest.
+func (sa *ShardedAccumulator) Ingest(rec sample.NodeObservation) error {
+	return sa.shard(rec.Node).Ingest(rec)
+}
+
+// IngestBatch folds a batch in stream order, routing each record to its
+// shard, and stops at the first invalid record. It returns the number of
+// leading records applied — the same prefix retry contract as
+// Accumulator.IngestBatch, which the routing preserves because records are
+// applied strictly in order.
+func (sa *ShardedAccumulator) IngestBatch(recs []sample.NodeObservation) (int, error) {
+	for i, rec := range recs {
+		if err := sa.shard(rec.Node).Ingest(rec); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}
+
+// Snapshot merges the per-shard sufficient statistics and estimates from
+// the pooled sums in O(P·K² + pairs). All shard locks are held together
+// only while the O(K²) per-shard sums are copied out, giving each snapshot
+// a consistent cut of the stream: every record ingested before the
+// snapshot began is included, and no record is split.
+func (sa *ShardedAccumulator) Snapshot() (*Snapshot, error) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sums := core.NewSums(sa.cfg.K, sa.cfg.Star)
+	var psi1, psiInv, collisions float64
+	distinct := 0
+	for _, sh := range sa.shards {
+		sh.mu.Lock()
+	}
+	var mergeErr error
+	for _, sh := range sa.shards {
+		if err := sums.Merge(sh.sums); err != nil {
+			mergeErr = err // impossible by construction: all shards share cfg
+			break
+		}
+		psi1 += sh.psi1
+		psiInv += sh.psiInv
+		collisions += sh.collisions
+		distinct += len(sh.nodes)
+	}
+	for _, sh := range sa.shards {
+		sh.mu.Unlock()
+	}
+	if mergeErr != nil {
+		return nil, mergeErr
+	}
+	if sums.Draws == 0 {
+		return nil, fmt.Errorf("stream: empty accumulator")
+	}
+	res, err := sums.Estimate(core.Options{N: sa.cfg.N, Size: sa.cfg.Size})
+	if err != nil {
+		return nil, err
+	}
+	within, err := sums.WithinWeightsStar(res.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	sa.seq++
+	snap := &Snapshot{
+		Seq:         sa.seq,
+		Draws:       int(sums.Draws),
+		Distinct:    distinct,
+		Result:      res,
+		Within:      within,
+		PopEstimate: core.PopulationSizeFromSums(sums.Draws, psi1, psiInv, collisions),
+		Converge:    convergeFrom(res, sa.lastSizes, sa.lastW, int(sums.Draws-sa.lastDraws)),
+	}
+	sa.lastSizes = append([]float64(nil), res.Sizes...)
+	sa.lastW = res.Weights
+	sa.lastDraws = sums.Draws
+	return snap, nil
+}

@@ -1,0 +1,271 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+// TestShardedRequiresStarAndShards checks the constructor guards.
+func TestShardedRequiresStarAndShards(t *testing.T) {
+	if _, err := NewShardedAccumulator(Config{K: 3, Star: false}, 4); err == nil {
+		t.Fatal("expected error for induced sharded accumulator")
+	}
+	if _, err := NewShardedAccumulator(Config{K: 3, Star: true}, 0); err == nil {
+		t.Fatal("expected error for 0 shards")
+	}
+	if _, err := NewShardedAccumulator(Config{K: 0, Star: true}, 2); err == nil {
+		t.Fatal("expected error for K = 0")
+	}
+	sa, err := NewShardedAccumulator(Config{K: 3, Star: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Shards() != 4 {
+		t.Fatalf("Shards() = %d", sa.Shards())
+	}
+	if _, err := sa.Snapshot(); err == nil {
+		t.Fatal("expected error snapshotting an empty sharded accumulator")
+	}
+}
+
+// TestShardedMatchesSingleConcurrent is the tentpole property test: many
+// goroutines ingest interleaved shards of a star stream into a
+// ShardedAccumulator (mixing Ingest and IngestBatch) while snapshotters
+// poll; the final estimate, draw/distinct counts, and population estimate
+// must match the single-lock accumulator fed the same records. Run under
+// -race.
+func TestShardedMatchesSingleConcurrent(t *testing.T) {
+	g := testGraph(t)
+	N := float64(g.N())
+	s, err := sample.UIS{}.Sample(randx.New(77), g, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]sample.NodeObservation, s.Len())
+	for i, v := range s.Nodes {
+		so, err := sample.NewStreamObserver(g, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = so.Observe(v, s.Weight(i))
+	}
+	single, err := NewAccumulator(Config{K: g.NumCategories(), Star: true, N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.IngestBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedAccumulator(Config{K: g.NumCategories(), Star: true, N: N}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var batch []sample.NodeObservation
+			for i := w; i < len(recs); i += workers {
+				if i%7 == 0 {
+					if err := sharded.Ingest(recs[i]); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				batch = append(batch, recs[i])
+				if len(batch) == 25 {
+					if _, err := sharded.IngestBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					batch = batch[:0]
+				}
+			}
+			if _, err := sharded.IngestBatch(batch); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if snap, err := sharded.Snapshot(); err == nil {
+				if snap.Draws > len(recs) {
+					t.Errorf("snapshot draws %d exceeds stream length", snap.Draws)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if t.Failed() {
+		return
+	}
+	if sharded.Draws() != single.Draws() || sharded.Distinct() != single.Distinct() {
+		t.Fatalf("sharded draws/distinct = %d/%d, single = %d/%d",
+			sharded.Draws(), sharded.Distinct(), single.Draws(), single.Distinct())
+	}
+	want, err := single.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(got.Result.Sizes, want.Result.Sizes); d > 1e-9 {
+		t.Fatalf("sharded size mismatch: %g", d)
+	}
+	if d := weightsMaxDiff(got.Result.Weights, want.Result.Weights); d > 1e-9 {
+		t.Fatalf("sharded weight mismatch: %g", d)
+	}
+	if d := maxRelDiff(got.Within, want.Within); d > 1e-9 {
+		t.Fatalf("sharded within mismatch: %g", d)
+	}
+	if d := math.Abs(got.PopEstimate-want.PopEstimate) / want.PopEstimate; d > 1e-9 {
+		t.Fatalf("sharded pop estimate %g, single %g", got.PopEstimate, want.PopEstimate)
+	}
+}
+
+// TestShardedBatchPrefixSemantics checks that the sharded IngestBatch keeps
+// the single-lock accumulator's retry contract: on error, exactly the
+// leading records before the offender are applied, whatever shard each
+// landed in.
+func TestShardedBatchPrefixSemantics(t *testing.T) {
+	sa, err := NewShardedAccumulator(Config{K: 2, Star: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []sample.NodeObservation{
+		{Node: 10, Cat: 0, Deg: 1, NbrCat: []int32{1}, NbrCnt: []float64{1}},
+		{Node: 11, Cat: 1, Deg: 1, NbrCat: []int32{0}, NbrCnt: []float64{1}},
+		{Node: 12, Cat: 9}, // invalid category
+		{Node: 13, Cat: 0},
+	}
+	n, err := sa.IngestBatch(recs)
+	if err == nil {
+		t.Fatal("expected error on invalid record")
+	}
+	if n != 2 {
+		t.Fatalf("applied %d records, want the 2-record prefix", n)
+	}
+	if sa.Draws() != 2 {
+		t.Fatalf("draws = %d after failed batch, want 2", sa.Draws())
+	}
+	// The documented retry: resend only the remainder with the offender
+	// fixed.
+	recs[2].Cat = 1
+	if _, err := sa.IngestBatch(recs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Draws() != 4 {
+		t.Fatalf("draws = %d after retry, want 4", sa.Draws())
+	}
+}
+
+// TestShardedConvergenceAndSeq checks that sharded snapshots number from 1,
+// start at +Inf deltas, and then report finite movement.
+func TestShardedConvergenceAndSeq(t *testing.T) {
+	g := testGraph(t)
+	s, err := sample.UIS{}.Sample(randx.New(5), g, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewShardedAccumulator(Config{K: g.NumCategories(), Star: true, N: float64(g.N())}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Nodes[:2000] {
+		if err := sa.Ingest(so.Observe(v, s.Weight(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := sa.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq != 1 || !math.IsInf(first.Converge.SizeDelta, 1) || first.Converge.DrawsSince != 2000 {
+		t.Fatalf("first sharded snapshot: %+v", first.Converge)
+	}
+	for i, v := range s.Nodes[2000:] {
+		if err := sa.Ingest(so.Observe(v, s.Weight(2000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, err := sa.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Seq != 2 || second.Converge.DrawsSince != 2000 {
+		t.Fatalf("second sharded snapshot: seq=%d %+v", second.Seq, second.Converge)
+	}
+	if math.IsInf(second.Converge.SizeDelta, 1) || second.Converge.SizeDelta < 0 {
+		t.Fatalf("second snapshot delta not finite: %+v", second.Converge)
+	}
+}
+
+// TestShardedSingleShardMatchesAccumulator pins the degenerate P = 1 case
+// to the single-lock accumulator exactly (identical routing, one shard).
+func TestShardedSingleShardMatchesAccumulator(t *testing.T) {
+	g := testGraph(t)
+	s, err := sample.NewRW(50).Sample(randx.New(8), g, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewShardedAccumulator(Config{K: g.NumCategories(), Star: true, N: float64(g.N())}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(Config{K: g.NumCategories(), Star: true, N: float64(g.N())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Nodes {
+		rec := so.Observe(v, s.Weight(i))
+		if err := sa.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sa.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(got.Result.Sizes, want.Result.Sizes); d > 1e-12 {
+		t.Fatalf("1-shard size mismatch: %g", d)
+	}
+	if d := weightsMaxDiff(got.Result.Weights, want.Result.Weights); d > 1e-12 {
+		t.Fatalf("1-shard weight mismatch: %g", d)
+	}
+}

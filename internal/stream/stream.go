@@ -16,7 +16,13 @@
 //
 // The Accumulator is safe for concurrent use: ingestion and snapshotting
 // may race freely across goroutines, and each Snapshot is an immutable
-// value once returned.
+// value once returned. Its throughput, however, is bounded by one mutex;
+// for multi-core ingest the ShardedAccumulator hash-partitions records by
+// node id across P independent single-lock accumulators and merges their
+// sufficient statistics (core.Sums.Merge) at snapshot time — no global lock
+// on the hot path, and O(P·K² + pairs) snapshots. Sharding is exact for the
+// star scenario, where records are per-node self-contained; see
+// NewShardedAccumulator for why induced streams cannot be sharded by node.
 package stream
 
 import (
@@ -55,13 +61,37 @@ type nodeState struct {
 
 	// Star scenario: the node's degree and neighbor-category counts,
 	// recorded at first observation (as in the batch Observation).
-	deg    float64
-	nbrCat []int32
-	nbrCnt []float64
+	// starSeen marks that a star-carrying record was recorded — nbrCat
+	// alone cannot (a node whose neighbors are all uncategorized records
+	// a positive degree with an empty count list).
+	starSeen bool
+	deg      float64
+	nbrCat   []int32
+	nbrCnt   []float64
 
 	// Induced scenario: distinct observed peers, so a re-draw can replay
 	// its marginal mass over every incident edge of G[S].
 	peers []int32
+}
+
+// Ingester is the surface shared by the single-lock Accumulator and the
+// ShardedAccumulator: everything a crawler (or the topoestd daemon) needs to
+// feed observations in and read live estimates out. Both implementations are
+// safe for concurrent use.
+type Ingester interface {
+	// Config returns the accumulator's configuration.
+	Config() Config
+	// Draws returns the number of draws ingested so far.
+	Draws() int
+	// Distinct returns the number of distinct nodes observed so far.
+	Distinct() int
+	// Ingest folds one node observation into the running sums.
+	Ingest(rec sample.NodeObservation) error
+	// IngestBatch folds a batch in order, stopping at the first invalid
+	// record; it returns how many leading records were applied.
+	IngestBatch(recs []sample.NodeObservation) (int, error)
+	// Snapshot computes the current estimate in O(K² + pairs).
+	Snapshot() (*Snapshot, error)
 }
 
 // Accumulator ingests a stream of node observations and serves estimates.
@@ -125,7 +155,11 @@ func (a *Accumulator) Ingest(rec sample.NodeObservation) error {
 
 // IngestBatch folds a batch of observations in one critical section,
 // stopping at the first invalid record (previous records stay applied). It
-// returns the number of records applied.
+// returns the number of records applied. The count is the retry contract:
+// on error exactly the first n records are durable, so a retrying client
+// must resend recs[n:] after fixing the offending record recs[n] (or
+// recs[n+1:] after discarding it) — resending the whole batch
+// double-ingests the prefix.
 func (a *Accumulator) IngestBatch(recs []sample.NodeObservation) (int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -141,22 +175,41 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 	if rec.Cat != graph.None && (rec.Cat < 0 || int(rec.Cat) >= a.cfg.K) {
 		return fmt.Errorf("stream: node %d has category %d outside [0,%d)", rec.Node, rec.Cat, a.cfg.K)
 	}
+	// Only weight 0 means "unspecified, i.e. 1"; a negative, NaN, or
+	// infinite weight is a broken crawler, and silently folding it in would
+	// corrupt every Hansen–Hurwitz sum the node touches.
+	if math.IsNaN(rec.Weight) || math.IsInf(rec.Weight, 0) || rec.Weight < 0 {
+		return fmt.Errorf("stream: node %d has invalid sampling weight %g (0 means 1; negative, NaN and infinite are rejected)", rec.Node, rec.Weight)
+	}
 	// Records carrying fields of the other scenario signal a mismatched
 	// stream — reject loudly rather than silently ignore the data and
 	// serve garbage estimates.
-	if !a.cfg.Star && (len(rec.NbrCat) > 0 || rec.Deg > 0) {
+	if !a.cfg.Star && (len(rec.NbrCat) > 0 || len(rec.NbrCnt) > 0 || rec.Deg != 0) {
 		return fmt.Errorf("stream: node %d carries star fields (deg/nbr_cat) but the accumulator runs the induced scenario", rec.Node)
 	}
 	if a.cfg.Star && len(rec.Peers) > 0 {
 		return fmt.Errorf("stream: node %d carries induced peers but the accumulator runs the star scenario", rec.Node)
 	}
+	w := rec.Weight
+	if w == 0 {
+		w = 1
+	}
 	ns, known := a.nodes[rec.Node]
 	if !known {
-		w := rec.Weight
-		if w <= 0 {
-			w = 1
-		}
 		ns = &nodeState{weight: w, cat: rec.Cat}
+	} else {
+		// A node's category and sampling weight are per-node constants of
+		// the design; a re-draw that contradicts the first observation is a
+		// buggy or misrouted crawler and would silently skew every estimate
+		// if we kept folding it in under the old metadata. An omitted weight
+		// (0) on a re-draw inherits the recorded one — crawlers may send the
+		// weight only on a node's first record.
+		if rec.Cat != ns.cat {
+			return fmt.Errorf("stream: node %d re-drawn with category %d, conflicting with its first observation (category %d)", rec.Node, rec.Cat, ns.cat)
+		}
+		if rec.Weight != 0 && w != ns.weight {
+			return fmt.Errorf("stream: node %d re-drawn with sampling weight %g, conflicting with its first observation (weight %g)", rec.Node, w, ns.weight)
+		}
 	}
 	// Star info is recorded once per distinct node, from the first record
 	// that carries it. Well-formed streams send it with the node's first
@@ -168,35 +221,38 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 	// contributed exactly zero star mass (deg 0, no neighbors) — are
 	// backfilled below, so the estimate matches the batch path regardless
 	// of delivery order.
-	if a.cfg.Star && ns.nbrCat == nil && (len(rec.NbrCat) > 0 || rec.Deg > 0) {
-		if len(rec.NbrCat) != len(rec.NbrCnt) {
-			return fmt.Errorf("stream: node %d has %d neighbor categories but %d counts", rec.Node, len(rec.NbrCat), len(rec.NbrCnt))
+	if a.cfg.Star && (len(rec.NbrCat) > 0 || len(rec.NbrCnt) > 0 || rec.Deg != 0) {
+		if err := sample.ValidateStarFields(a.cfg.K, rec); err != nil {
+			return fmt.Errorf("stream: %w", err)
 		}
-		if !(rec.Deg >= 0) {
-			return fmt.Errorf("stream: node %d has invalid degree %g", rec.Node, rec.Deg)
-		}
-		var deg float64
-		for j, c := range rec.NbrCat {
-			if c < 0 || int(c) >= a.cfg.K {
-				return fmt.Errorf("stream: node %d has neighbor category %d outside [0,%d)", rec.Node, c, a.cfg.K)
+		if ns.starSeen {
+			// Star info arriving again for a node whose star data is
+			// already recorded must reconcile with it: consistent
+			// re-deliveries pass (concurrent crawlers, in whatever category
+			// order and degree convention each one emits), partial ones
+			// upgrade the record, and a contradiction is a buggy crawler
+			// whose data must not be dropped silently.
+			cat, cnt := sample.CanonicalStarCounts(rec.NbrCat, rec.NbrCnt)
+			newDeg, newCat, newCnt, err := sample.ReconcileStarData(rec.Node, rec.Deg, cat, cnt, ns.deg, ns.nbrCat, ns.nbrCnt)
+			if err != nil {
+				return fmt.Errorf("stream: %w", err)
 			}
-			if !(rec.NbrCnt[j] >= 0) {
-				return fmt.Errorf("stream: node %d has invalid neighbor count %g for category %d", rec.Node, rec.NbrCnt[j], c)
+			if newDeg != ns.deg || len(newCat) != len(ns.nbrCat) {
+				// Retrofit the node's earlier draws with the upgraded
+				// information: the degree delta, plus the adopted counts
+				// when the stored list was empty.
+				var addCat []int32
+				var addCnt []float64
+				if len(newCat) != len(ns.nbrCat) {
+					addCat, addCnt = newCat, newCnt
+				}
+				a.sums.AddStar(ns.cat, ns.weight, ns.mult, newDeg-ns.deg, addCat, addCnt)
+				ns.deg = newDeg
+				ns.nbrCat = append([]int32(nil), newCat...)
+				ns.nbrCnt = append([]float64(nil), newCnt...)
 			}
-			deg += rec.NbrCnt[j]
-		}
-		ns.deg = rec.Deg
-		if rec.Deg == 0 {
-			// Tolerate clients that only report neighbor counts;
-			// uncategorized neighbors are then invisible, as in a
-			// crawl of a partially labeled network.
-			ns.deg = deg
-		}
-		ns.nbrCat = append([]int32(nil), rec.NbrCat...)
-		ns.nbrCnt = append([]float64(nil), rec.NbrCnt...)
-		if ns.mult > 0 {
-			// Backfill the star mass of the node's earlier draws.
-			a.sums.AddStar(ns.cat, ns.weight, ns.mult, ns.deg, ns.nbrCat, ns.nbrCnt)
+		} else {
+			a.recordStarLocked(rec, ns)
 		}
 	}
 	// Validate induced peers before mutating anything.
@@ -245,6 +301,23 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 		a.sums.AddEdgeMass(ns.cat, ps.cat, ns.mult*ps.mult/(ns.weight*ps.weight))
 	}
 	return nil
+}
+
+// recordStarLocked records a node's star data from the first record that
+// carries any (the caller has already validated the fields), backfilling
+// the star mass of the node's earlier draws — which contributed exactly
+// zero (deg 0, no neighbors) — so the estimate matches the batch path
+// regardless of delivery order.
+func (a *Accumulator) recordStarLocked(rec sample.NodeObservation, ns *nodeState) {
+	cat, cnt := sample.CanonicalStarCounts(rec.NbrCat, rec.NbrCnt)
+	ns.deg = sample.EffectiveStarDegree(rec.Deg, cnt)
+	ns.starSeen = true
+	ns.nbrCat = append([]int32(nil), cat...)
+	ns.nbrCnt = append([]float64(nil), cnt...)
+	if ns.mult > 0 {
+		// Backfill the star mass of the node's earlier draws.
+		a.sums.AddStar(ns.cat, ns.weight, ns.mult, ns.deg, ns.nbrCat, ns.nbrCnt)
+	}
 }
 
 // hasEdge reports whether the edge {ns, p} is already recorded. Incident
@@ -344,21 +417,28 @@ func (a *Accumulator) Snapshot() (*Snapshot, error) {
 
 // convergeLocked measures the estimate movement since the last snapshot.
 func (a *Accumulator) convergeLocked(res *core.Result) Convergence {
-	c := Convergence{DrawsSince: int(a.sums.Draws - a.lastDraws)}
-	if a.lastSizes == nil {
+	return convergeFrom(res, a.lastSizes, a.lastW, int(a.sums.Draws-a.lastDraws))
+}
+
+// convergeFrom compares an estimate against the previous snapshot's sizes
+// and weights (nil on the first snapshot). It is shared by the single-lock
+// and sharded accumulators.
+func convergeFrom(res *core.Result, lastSizes []float64, lastW *core.PairWeights, drawsSince int) Convergence {
+	c := Convergence{DrawsSince: drawsSince}
+	if lastSizes == nil {
 		c.SizeDelta = math.Inf(1)
 		c.WeightDelta = math.Inf(1)
 		return c
 	}
 	for i, s := range res.Sizes {
-		if d := math.Abs(s-a.lastSizes[i]) / res.N; d > c.SizeDelta {
+		if d := math.Abs(s-lastSizes[i]) / res.N; d > c.SizeDelta {
 			c.SizeDelta = d
 		}
 	}
 	// The pair set only grows, so iterating the new weights covers the
 	// union; pairs NaN in either snapshot are skipped.
 	res.Weights.ForEach(func(x, y int32, w float64) {
-		old := a.lastW.Get(x, y)
+		old := lastW.Get(x, y)
 		if math.IsNaN(w) || math.IsNaN(old) {
 			return
 		}

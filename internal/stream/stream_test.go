@@ -425,6 +425,263 @@ func TestIngestRejectsNegativeCounts(t *testing.T) {
 	}
 }
 
+// TestIngestRejectsConflictingRedraw is the silent-corruption regression
+// test: a re-draw record whose category or weight contradicts the node's
+// first observation used to be silently folded in under the old metadata;
+// it must now be rejected without changing any state.
+func TestIngestRejectsConflictingRedraw(t *testing.T) {
+	acc, err := NewAccumulator(Config{K: 3, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sample.NodeObservation{Node: 1, Weight: 2, Cat: 0, Deg: 1, NbrCat: []int32{1}, NbrCnt: []float64{1}}
+	if err := acc.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Weight: 2, Cat: 1}); err == nil {
+		t.Fatal("expected error for conflicting category on re-draw")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Weight: 5, Cat: 0}); err == nil {
+		t.Fatal("expected error for conflicting weight on re-draw")
+	}
+	if acc.Draws() != 1 {
+		t.Fatalf("rejected re-draws mutated state: %d draws", acc.Draws())
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Weight: 2, Cat: 0}); err != nil {
+		t.Fatalf("consistent re-draw rejected: %v", err)
+	}
+	// An omitted weight (0) on a re-draw inherits the recorded one, so
+	// crawlers may send the weight only on a node's first record.
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0}); err != nil {
+		t.Fatalf("weight-omitted re-draw rejected: %v", err)
+	}
+	if acc.Draws() != 3 {
+		t.Fatalf("draws = %d, want 3", acc.Draws())
+	}
+}
+
+// TestIngestRejectsInvalidWeight is the weight-coercion regression test:
+// negative and NaN weights used to be silently coerced to 1; only weight 0
+// means 1.
+func TestIngestRejectsInvalidWeight(t *testing.T) {
+	acc, err := NewAccumulator(Config{K: 2, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Weight: -3, Cat: 0}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Weight: math.NaN(), Cat: 0}); err == nil {
+		t.Fatal("expected error for NaN weight")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Weight: math.Inf(1), Cat: 0}); err == nil {
+		t.Fatal("expected error for +Inf weight (would poison the collision statistics)")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, Deg: math.Inf(1), NbrCat: []int32{1}, NbrCnt: []float64{1}}); err == nil {
+		t.Fatal("expected error for +Inf degree")
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, NbrCat: []int32{1}, NbrCnt: []float64{math.Inf(1)}}); err == nil {
+		t.Fatal("expected error for +Inf neighbor count")
+	}
+	if acc.Draws() != 0 {
+		t.Fatalf("rejected records mutated state: %d draws", acc.Draws())
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0}); err != nil {
+		t.Fatalf("weight 0 (meaning 1) rejected: %v", err)
+	}
+}
+
+// TestStarOnlyDegreeRedelivery is the regression test for the silent
+// double-count: a node whose neighbors are all uncategorized records a
+// positive degree with an empty count list, and an identical re-delivery
+// used to re-trigger the record+backfill branch (the nil-slice sentinel
+// never tripped), inflating the degree mass — and conflicting re-deliveries
+// slipped through the same hole.
+func TestStarOnlyDegreeRedelivery(t *testing.T) {
+	acc, err := NewAccumulator(Config{K: 2, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sample.NodeObservation{Node: 1, Cat: 0, Deg: 5}
+	if err := acc.Ingest(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(rec); err != nil {
+		t.Fatalf("identical star-only re-delivery rejected: %v", err)
+	}
+	if acc.sums.DegNum != 10 {
+		t.Fatalf("DegNum = %g after two deg-5 draws, want 10 (re-delivery double-counted)", acc.sums.DegNum)
+	}
+	if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 0, Deg: 9}); err == nil {
+		t.Fatal("expected error for conflicting degree re-delivery")
+	}
+	if acc.sums.DegNum != 10 || acc.Draws() != 2 {
+		t.Fatalf("rejected re-delivery mutated state: DegNum=%g draws=%d", acc.sums.DegNum, acc.Draws())
+	}
+}
+
+// TestIngestRejectsConflictingStarRedelivery checks that star data arriving
+// again for a node must match the recorded constants: identical
+// re-deliveries (concurrent crawlers) pass, contradictions are rejected
+// instead of silently dropped.
+func TestIngestRejectsConflictingStarRedelivery(t *testing.T) {
+	acc, err := NewAccumulator(Config{K: 3, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sample.NodeObservation{Node: 1, Cat: 0, Deg: 4, NbrCat: []int32{1, 2}, NbrCnt: []float64{2, 1}}
+	if err := acc.Ingest(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(info); err != nil {
+		t.Fatalf("identical star re-delivery rejected: %v", err)
+	}
+	// The same star data with the categories listed in a different order
+	// (e.g. a client building the list from map iteration) is identical
+	// data and must pass.
+	permuted := sample.NodeObservation{Node: 1, Cat: 0, Deg: 4, NbrCat: []int32{2, 1}, NbrCnt: []float64{1, 2}}
+	if err := acc.Ingest(permuted); err != nil {
+		t.Fatalf("order-permuted star re-delivery rejected: %v", err)
+	}
+	// A counts-only re-delivery (documented convention) cannot attest the
+	// full degree — the node has an uncategorized neighbor (deg 4, counts
+	// sum 3) — so only the counts are compared.
+	countsOnly := sample.NodeObservation{Node: 1, Cat: 0, NbrCat: []int32{1, 2}, NbrCnt: []float64{2, 1}}
+	if err := acc.Ingest(countsOnly); err != nil {
+		t.Fatalf("counts-only star re-delivery rejected: %v", err)
+	}
+	// A crawler that fills deg on every record but sends counts once is
+	// equally conventional: a deg-only re-draw attests no counts.
+	degOnly := sample.NodeObservation{Node: 1, Cat: 0, Deg: 4}
+	if err := acc.Ingest(degOnly); err != nil {
+		t.Fatalf("deg-only star re-delivery rejected: %v", err)
+	}
+	bad := info
+	bad.NbrCnt = []float64{3, 1}
+	if err := acc.Ingest(bad); err == nil {
+		t.Fatal("expected error for conflicting neighbor counts")
+	}
+	bad = info
+	bad.Deg = 9
+	if err := acc.Ingest(bad); err == nil {
+		t.Fatal("expected error for conflicting degree")
+	}
+	bad = info
+	bad.NbrCat = []int32{1}
+	bad.NbrCnt = []float64{2}
+	if err := acc.Ingest(bad); err == nil {
+		t.Fatal("expected error for conflicting neighbor-category set")
+	}
+	if acc.Draws() != 5 {
+		t.Fatalf("draws = %d, want 5 (conflicts must not ingest)", acc.Draws())
+	}
+}
+
+// TestDegFirstThenCountsAdoption covers the other mixed-convention order: a
+// deg-only record arrives first, the counts-carrying record later; the
+// counts are adopted (with the earlier draws' neighbor mass retrofitted),
+// so both delivery orders converge on the same sums.
+func TestDegFirstThenCountsAdoption(t *testing.T) {
+	degFirst, err := NewAccumulator(Config{K: 3, Star: true, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsFirst, err := NewAccumulator(Config{K: 3, Star: true, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degOnly := sample.NodeObservation{Node: 1, Cat: 0, Deg: 5}
+	full := sample.NodeObservation{Node: 1, Cat: 0, Deg: 5, NbrCat: []int32{1}, NbrCnt: []float64{3}}
+	other := sample.NodeObservation{Node: 2, Cat: 1, Deg: 2, NbrCat: []int32{0}, NbrCnt: []float64{2}}
+	for _, rec := range []sample.NodeObservation{degOnly, degOnly, full, other} {
+		if err := degFirst.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rec := range []sample.NodeObservation{full, degOnly, degOnly, other} {
+		if err := countsFirst.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if degFirst.sums.DegNum != countsFirst.sums.DegNum || degFirst.sums.NbrNum[1] != countsFirst.sums.NbrNum[1] {
+		t.Fatalf("delivery order changed sums: DegNum %g vs %g, NbrNum[1] %g vs %g",
+			degFirst.sums.DegNum, countsFirst.sums.DegNum, degFirst.sums.NbrNum[1], countsFirst.sums.NbrNum[1])
+	}
+	sa, err := degFirst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := countsFirst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(sa.Result.Sizes, sb.Result.Sizes); d > 1e-12 {
+		t.Fatalf("delivery order biased sizes by %g", d)
+	}
+	// Counts exceeding the recorded explicit degree are a contradiction.
+	if err := degFirst.Ingest(sample.NodeObservation{Node: 1, Cat: 0, NbrCat: []int32{1, 2}, NbrCnt: []float64{3, 4}}); err == nil {
+		t.Fatal("expected error for adopted counts exceeding the recorded degree")
+	}
+	// An impossible first record (explicit degree below its counts sum) is
+	// rejected outright.
+	if err := degFirst.Ingest(sample.NodeObservation{Node: 9, Cat: 0, Deg: 2, NbrCat: []int32{1}, NbrCnt: []float64{5}}); err == nil {
+		t.Fatal("expected error for degree below the counts sum on a first record")
+	}
+	// A negative degree is rejected, not silently treated as a bare draw.
+	if err := degFirst.Ingest(sample.NodeObservation{Node: 9, Cat: 0, Deg: -3}); err == nil {
+		t.Fatal("expected error for negative degree")
+	}
+}
+
+// TestCountsOnlyThenExplicitDegreeUpgrade covers the mixed-convention feed:
+// a counts-only crawler records a derived lower-bound degree (uncategorized
+// neighbors invisible), and a later record carrying the true explicit
+// degree upgrades it — including the degree mass of the earlier draws — so
+// the estimate converges on the full-information crawl instead of
+// rejecting a correct record.
+func TestCountsOnlyThenExplicitDegreeUpgrade(t *testing.T) {
+	mixed, err := NewAccumulator(Config{K: 3, Star: true, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewAccumulator(Config{K: 3, Star: true, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsOnly := sample.NodeObservation{Node: 1, Cat: 0, NbrCat: []int32{1}, NbrCnt: []float64{3}}
+	explicit := sample.NodeObservation{Node: 1, Cat: 0, Deg: 5, NbrCat: []int32{1}, NbrCnt: []float64{3}}
+	other := sample.NodeObservation{Node: 2, Cat: 1, Deg: 2, NbrCat: []int32{0}, NbrCnt: []float64{2}}
+	for _, rec := range []sample.NodeObservation{countsOnly, countsOnly, explicit, other} {
+		if err := mixed.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rec := range []sample.NodeObservation{explicit, explicit, explicit, other} {
+		if err := full.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mixed.sums.DegNum != full.sums.DegNum {
+		t.Fatalf("DegNum = %g after upgrade, want %g (retrofit missing)", mixed.sums.DegNum, full.sums.DegNum)
+	}
+	sm, err := mixed.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := full.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(sm.Result.Sizes, sf.Result.Sizes); d > 1e-12 {
+		t.Fatalf("upgrade left sizes biased by %g: %v vs %v", d, sm.Result.Sizes, sf.Result.Sizes)
+	}
+	// An explicit degree below the counts-derived bound is a genuine
+	// contradiction, not a convention difference.
+	if err := mixed.Ingest(sample.NodeObservation{Node: 1, Cat: 0, Deg: 2, NbrCat: []int32{1}, NbrCnt: []float64{3}}); err == nil {
+		t.Fatal("expected error for explicit degree below the counts sum")
+	}
+}
+
 func distinctCount(s *sample.Sample) int {
 	seen := map[int32]bool{}
 	for _, v := range s.Nodes {

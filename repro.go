@@ -48,6 +48,13 @@ type (
 	StreamConfig = stream.Config
 	// Accumulator ingests node observations and serves live estimates.
 	Accumulator = stream.Accumulator
+	// ShardedAccumulator is the multi-core accumulator: records are
+	// hash-partitioned by node id across per-shard locks, and snapshots
+	// merge the per-shard sums (star scenario only).
+	ShardedAccumulator = stream.ShardedAccumulator
+	// StreamIngester is the surface shared by Accumulator and
+	// ShardedAccumulator.
+	StreamIngester = stream.Ingester
 	// StreamSnapshot is a self-contained point-in-time estimate with
 	// convergence deltas.
 	StreamSnapshot = stream.Snapshot
@@ -154,6 +161,15 @@ func WithinWeightsStar(o *Observation, sizes []float64) ([]float64, error) {
 // floating-point reassociation error.
 func NewAccumulator(cfg StreamConfig) (*Accumulator, error) { return stream.NewAccumulator(cfg) }
 
+// NewShardedAccumulator returns an empty sharded accumulator: the multi-core
+// counterpart of NewAccumulator, with records hash-partitioned by node id
+// across the given number of independently locked shards and snapshots
+// produced by merging the per-shard Hansen–Hurwitz sums. Star scenario only
+// (induced edge masses couple nodes across shards).
+func NewShardedAccumulator(cfg StreamConfig, shards int) (*ShardedAccumulator, error) {
+	return stream.NewShardedAccumulator(cfg, shards)
+}
+
 // NewStreamObserver returns the streaming counterpart of ObserveInduced /
 // ObserveStar: it reveals each drawn node's observation record one draw at
 // a time, exactly as a live crawler would see it.
@@ -162,9 +178,10 @@ func NewStreamObserver(g *Graph, star bool) (*StreamObserver, error) {
 }
 
 // StreamSample replays a batch sample through an observer into an
-// accumulator — convenience for turning any Sampler output into a stream.
-// The observer and accumulator must agree on the measurement scenario.
-func StreamSample(acc *Accumulator, so *StreamObserver, s *Sample) error {
+// accumulator (single-lock or sharded) — convenience for turning any
+// Sampler output into a stream. The observer and accumulator must agree on
+// the measurement scenario.
+func StreamSample(acc StreamIngester, so *StreamObserver, s *Sample) error {
 	if so.Star() != acc.Config().Star {
 		return fmt.Errorf("repro: observer scenario (star=%v) does not match accumulator (star=%v)",
 			so.Star(), acc.Config().Star)
@@ -176,6 +193,39 @@ func StreamSample(acc *Accumulator, so *StreamObserver, s *Sample) error {
 	}
 	return nil
 }
+
+// StreamWalks replays several independent walks through one observer into
+// one accumulator, pooling them into a single estimate — the streaming side
+// of the paper's Table 2 workflow (28 and 25 independent walks per
+// estimate). The batch-side counterpart is MergeObservations.
+func StreamWalks(acc StreamIngester, so *StreamObserver, walks ...*Sample) error {
+	for i, s := range walks {
+		if err := StreamSample(acc, so, s); err != nil {
+			return fmt.Errorf("repro: walk %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MergeObservations pools the star observations of independent crawls into
+// one observation equivalent to observing the concatenated sample, so
+// sample.Walks output can be estimated as one pooled sample. Induced
+// observations are rejected — pool the samples and re-observe instead (see
+// internal/sample.MergeObservations).
+func MergeObservations(obs ...*Observation) (*Observation, error) {
+	return sample.MergeObservations(obs...)
+}
+
+// Walks draws independent samples with the given sampler — the multi-crawl
+// design of the paper's Facebook datasets. Estimate them as one pooled
+// sample via MergeObservations (batch) or StreamWalks (streaming).
+func Walks(r *rand.Rand, g *Graph, s Sampler, walks, perWalk int) ([]*Sample, error) {
+	return sample.Walks(r, g, s, walks, perWalk)
+}
+
+// Merge concatenates several samples (e.g. independent walks) into one; if
+// any input carries weights, the output does too.
+func Merge(samples ...*Sample) *Sample { return sample.Merge(samples...) }
 
 // TrueCategoryGraph computes the exact category graph of a fully known
 // categorized graph (the ground truth of the simulations).

@@ -176,6 +176,104 @@ func TestFacadeStreaming(t *testing.T) {
 	}
 }
 
+// TestFacadeMultiWalkPooling runs the paper's Table 2 workflow through the
+// facade: several independent walks, pooled three ways — batch
+// MergeObservations, streaming StreamWalks into a single-lock accumulator,
+// and StreamWalks into a sharded accumulator — must all agree with
+// estimating the concatenated sample directly.
+func TestFacadeMultiWalkPooling(t *testing.T) {
+	r := NewRand(53)
+	g, err := GeneratePaperGraph(r, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := float64(g.N())
+	walks, err := Walks(r, g, NewRW(300), 4, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: estimate the concatenated sample in one batch.
+	pooledSample := Merge(walks...)
+	op, err := ObserveStar(g, pooledSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Estimate(op, Options{N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch pooling: observe each walk independently, merge observations.
+	obs := make([]*Observation, len(walks))
+	for i, w := range walks {
+		if obs[i], err = ObserveStar(g, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeObservations(obs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Estimate(merged, Options{N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming pooling, single-lock and sharded.
+	single, err := NewAccumulator(StreamConfig{K: g.NumCategories(), Star: true, N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedAccumulator(StreamConfig{K: g.NumCategories(), Star: true, N: N}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, acc := range []StreamIngester{single, sharded} {
+		so, err := NewStreamObserver(g, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := StreamWalks(acc, so, walks...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapSingle, err := single.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapSharded, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapSharded.Draws != pooledSample.Len() || snapSharded.Distinct != snapSingle.Distinct {
+		t.Fatalf("sharded draws/distinct = %d/%d, want %d/%d",
+			snapSharded.Draws, snapSharded.Distinct, pooledSample.Len(), snapSingle.Distinct)
+	}
+	for c := range want.Sizes {
+		for name, got := range map[string]float64{
+			"merged-batch":   batch.Sizes[c],
+			"stream-single":  snapSingle.Sizes()[c],
+			"stream-sharded": snapSharded.Sizes()[c],
+		} {
+			if d := math.Abs(got-want.Sizes[c]) / math.Max(1, want.Sizes[c]); d > 1e-9 {
+				t.Fatalf("%s size[%d] = %g, pooled batch %g", name, c, got, want.Sizes[c])
+			}
+		}
+	}
+	want.Weights.ForEach(func(a, b int32, w float64) {
+		if math.IsNaN(w) {
+			return
+		}
+		for name, got := range map[string]float64{
+			"merged-batch":   batch.Weights.Get(a, b),
+			"stream-single":  snapSingle.Weights().Get(a, b),
+			"stream-sharded": snapSharded.Weights().Get(a, b),
+		} {
+			if d := math.Abs(got - w); d > 1e-9 {
+				t.Fatalf("%s w(%d,%d) = %g, pooled batch %g", name, a, b, got, w)
+			}
+		}
+	})
+}
+
 func TestFacadeExtensions(t *testing.T) {
 	r := NewRand(31)
 	g, err := GeneratePaperGraph(r, 5, 0.5)
