@@ -26,6 +26,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
+	"repro/internal/uncert"
 )
 
 // benchParams are the reduced-scale parameters shared by the per-figure
@@ -580,6 +581,60 @@ func BenchmarkStreamSnapshot(b *testing.B) {
 				}
 				if _, err := core.Estimate(o, opts); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamIngestBootstrap quantifies what the streaming bootstrap
+// costs on the write path: ingesting the same 10k-record star stream with
+// B replicate sums updated per draw (B=0 is the no-bootstrap baseline; 50
+// buys standard errors, 200 stable 95% percentile CIs).
+func BenchmarkStreamIngestBootstrap(b *testing.B) {
+	recs, _, g := streamBenchRecords(b, 10_000)
+	for _, B := range []int{0, 50, 200} {
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acc, err := stream.NewAccumulator(stream.Config{
+					K: g.NumCategories(), Star: true, N: float64(g.N()),
+					Replicates: uncert.Config{B: B, Seed: 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := acc.IngestBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamSnapshotBootstrap measures the read path with confidence
+// intervals: the O(B·K² + B·pairs) replicate estimation every CI-carrying
+// snapshot performs on a loaded accumulator.
+func BenchmarkStreamSnapshotBootstrap(b *testing.B) {
+	recs, _, g := streamBenchRecords(b, 10_000)
+	for _, B := range []int{0, 50, 200} {
+		acc, err := stream.NewAccumulator(stream.Config{
+			K: g.NumCategories(), Star: true, N: float64(g.N()),
+			Replicates: uncert.Config{B: B, Seed: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := acc.IngestBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				snap, err := acc.Snapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if B > 0 && snap.Boot == nil {
+					b.Fatal("snapshot lost its bootstrap")
 				}
 			}
 		})

@@ -21,6 +21,13 @@
 //	-N           population size |V|; 0 = unknown → relative sizes, with the
 //	             §4.3 collision estimate of N reported alongside
 //	-size        size estimator: auto|induced|star|star-pooled
+//	-bootstrap   maintain this many streaming-bootstrap replicates so that
+//	             /estimate can serve confidence intervals (0 = off; 50 for
+//	             standard errors, 200 for stable 95% CIs; ingest cost grows
+//	             by O(B) per record)
+//	-bootstrap-seed  seed of the deterministic per-(node, replicate)
+//	             Poisson weights (default 1); replicas of the daemon with
+//	             the same seed produce identical replicate estimates
 //	-demo        generate the paper's §6.2.1 graph and trickle-feed a random
 //	             walk crawl of it into the accumulator
 //	-demo-draws  total draws the demo crawl ingests (default 20000)
@@ -31,7 +38,12 @@
 //	POST /ingest             body: one NodeObservation JSON object, or an
 //	                         array of them; returns {"ingested":…,"draws":…}
 //	GET  /estimate           live estimate: sizes, weights, within-category
-//	                         densities, population estimate, convergence
+//	                         densities, population estimate, convergence;
+//	                         with -bootstrap, every entry also carries a
+//	                         percentile confidence interval ("ci":[lo,hi])
+//	                         at the level of the ?ci= query parameter
+//	                         (default 0.95) — ?ci= without -bootstrap is a
+//	                         400
 //	GET  /categorygraph.tsv  the estimate as a category-graph TSV (the same
 //	                         format cmd/topoest emits)
 //	GET  /healthz            liveness: status, draws, distinct, shards, uptime
@@ -83,6 +95,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -93,6 +106,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
+	"repro/internal/uncert"
 )
 
 func main() {
@@ -104,12 +118,15 @@ func main() {
 		shards    = flag.Int("shards", 1, "shard the accumulator across this many locks (star only; >1 enables multi-core ingest)")
 		popN      = flag.Float64("N", 0, "population size |V| (0 = unknown, relative sizes)")
 		sizeFlag  = flag.String("size", "auto", "size estimator: auto|induced|star|star-pooled")
+		boot      = flag.Int("bootstrap", 0, "streaming-bootstrap replicates for /estimate?ci= intervals (0 = off)")
+		bootSeed  = flag.Uint64("bootstrap-seed", 1, "seed of the deterministic bootstrap weights")
 		demo      = flag.Bool("demo", false, "self-feed a random-walk crawl of the §6.2.1 paper graph")
 		demoDraws = flag.Int("demo-draws", 20000, "demo: total draws to ingest")
 		demoSeed  = flag.Uint64("demo-seed", 1, "demo: crawl seed")
 	)
 	flag.Parse()
-	if err := run(*addr, *k, *names, *star, *shards, *popN, *sizeFlag, *demo, *demoDraws, *demoSeed); err != nil {
+	bc := uncert.Config{B: *boot, Seed: *bootSeed}
+	if err := run(*addr, *k, *names, *star, *shards, *popN, *sizeFlag, bc, *demo, *demoDraws, *demoSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "topoestd:", err)
 		os.Exit(1)
 	}
@@ -129,10 +146,13 @@ func newIngester(cfg stream.Config, shards int) (stream.Ingester, error) {
 	return stream.NewShardedAccumulator(cfg, shards)
 }
 
-func run(addr string, k int, namesFlag string, star bool, shards int, popN float64, sizeFlag string, demo bool, demoDraws int, demoSeed uint64) error {
+func run(addr string, k int, namesFlag string, star bool, shards int, popN float64, sizeFlag string, bc uncert.Config, demo bool, demoDraws int, demoSeed uint64) error {
 	method, err := parseSizeMethod(sizeFlag)
 	if err != nil {
 		return err
+	}
+	if bc.B < 0 {
+		return fmt.Errorf("need -bootstrap ≥ 0, got %d", bc.B)
 	}
 	var names []string
 	if namesFlag != "" {
@@ -140,17 +160,18 @@ func run(addr string, k int, namesFlag string, star bool, shards int, popN float
 		k = len(names)
 	}
 	if demo {
-		return runDemo(addr, star, shards, method, demoDraws, demoSeed)
+		return runDemo(addr, star, shards, method, bc, demoDraws, demoSeed)
 	}
 	if k < 1 {
 		return fmt.Errorf("need -k or -names (got %d categories)", k)
 	}
-	acc, err := newIngester(stream.Config{K: k, Star: star, N: popN, Size: method}, shards)
+	acc, err := newIngester(stream.Config{K: k, Star: star, N: popN, Size: method, Replicates: bc}, shards)
 	if err != nil {
 		return err
 	}
 	srv := newServer(acc, names)
-	log.Printf("topoestd: serving %d categories (%s scenario, %d shard(s)) on %s", k, scenarioName(star), shards, addr)
+	log.Printf("topoestd: serving %d categories (%s scenario, %d shard(s), %d bootstrap replicate(s)) on %s",
+		k, scenarioName(star), shards, bc.B, addr)
 	return listenAndServe(addr, srv)
 }
 
@@ -172,7 +193,7 @@ func listenAndServe(addr string, h http.Handler) error {
 // runDemo builds the paper's synthetic graph, starts a goroutine that
 // trickle-feeds a random-walk crawl through a StreamObserver, and serves the
 // live estimate — a one-command end-to-end demonstration of the subsystem.
-func runDemo(addr string, star bool, shards int, method core.SizeMethod, draws int, seed uint64) error {
+func runDemo(addr string, star bool, shards int, method core.SizeMethod, bc uncert.Config, draws int, seed uint64) error {
 	r := randx.New(seed)
 	g, err := gen.Paper(r, gen.PaperConfig{
 		Sizes:   []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000},
@@ -184,7 +205,7 @@ func runDemo(addr string, star bool, shards int, method core.SizeMethod, draws i
 		return err
 	}
 	acc, err := newIngester(stream.Config{
-		K: g.NumCategories(), Star: star, N: float64(g.N()), Size: method,
+		K: g.NumCategories(), Star: star, N: float64(g.N()), Size: method, Replicates: bc,
 	}, shards)
 	if err != nil {
 		return err
@@ -380,31 +401,41 @@ func ingestError(w http.ResponseWriter, ingested, total, index int, format strin
 
 // estimateDoc is the JSON shape of GET /estimate. NaN/Inf cannot travel in
 // JSON, so non-finite quantities are omitted (pointer fields stay null).
+// The ci fields appear only when the daemon runs with -bootstrap: every
+// interval is the [lo, hi] percentile CI of the streaming bootstrap at
+// ci_level (the ?ci= query parameter, default 0.95), computed over
+// bootstrap_b replicates.
 type estimateDoc struct {
 	Seq         int64          `json:"seq"`
 	Draws       int            `json:"draws"`
 	Distinct    int            `json:"distinct"`
 	N           float64        `json:"n"`
 	PopEstimate *float64       `json:"pop_estimate,omitempty"`
+	PopCI       *[2]float64    `json:"pop_ci,omitempty"`
 	SizeMethod  string         `json:"size_method"`
 	WeightKind  string         `json:"weight_kind"`
+	BootstrapB  int            `json:"bootstrap_b,omitempty"`
+	CILevel     *float64       `json:"ci_level,omitempty"`
 	Sizes       []sizeEntry    `json:"sizes"`
 	Weights     []weightEntry  `json:"weights"`
 	Convergence convergenceDoc `json:"convergence"`
 }
 
 type sizeEntry struct {
-	Cat    int32    `json:"cat"`
-	Name   string   `json:"name"`
-	Size   float64  `json:"size"`
-	Within *float64 `json:"within,omitempty"`
+	Cat      int32       `json:"cat"`
+	Name     string      `json:"name"`
+	Size     float64     `json:"size"`
+	CI       *[2]float64 `json:"ci,omitempty"`
+	Within   *float64    `json:"within,omitempty"`
+	WithinCI *[2]float64 `json:"within_ci,omitempty"`
 }
 
 type weightEntry struct {
-	A      int32   `json:"a"`
-	B      int32   `json:"b"`
-	Weight float64 `json:"w"`
-	Cut    float64 `json:"cut"`
+	A      int32       `json:"a"`
+	B      int32       `json:"b"`
+	Weight float64     `json:"w"`
+	CI     *[2]float64 `json:"ci,omitempty"`
+	Cut    float64     `json:"cut"`
 }
 
 type convergenceDoc struct {
@@ -420,7 +451,41 @@ func finitePtr(x float64) *float64 {
 	return &x
 }
 
+// finiteIv converts an uncert interval to its wire form, omitting intervals
+// with non-finite endpoints (NaN/Inf cannot travel in JSON).
+func finiteIv(iv uncert.Interval) *[2]float64 {
+	if !iv.Finite() {
+		return nil
+	}
+	return &[2]float64{iv.Lo, iv.Hi}
+}
+
+// ciLevel parses the ?ci= query parameter against the daemon's bootstrap
+// configuration: (0, false, nil) when intervals are off (no -bootstrap and
+// no ?ci=), the level and true when they are on, an error for ?ci= without
+// -bootstrap or a level outside (0, 1).
+func (s *server) ciLevel(r *http.Request) (float64, bool, error) {
+	raw := r.URL.Query().Get("ci")
+	bootOn := s.acc.Config().Replicates.Enabled()
+	if raw == "" {
+		return 0.95, bootOn, nil
+	}
+	if !bootOn {
+		return 0, false, fmt.Errorf("confidence intervals need the daemon started with -bootstrap B")
+	}
+	level, err := strconv.ParseFloat(raw, 64)
+	if err != nil || !(level > 0 && level < 1) {
+		return 0, false, fmt.Errorf("ci must be a confidence level in (0,1), got %q", raw)
+	}
+	return level, true, nil
+}
+
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	level, withCI, err := s.ciLevel(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	snap, cg, err := s.snapshot()
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
@@ -440,19 +505,31 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			WeightDelta: finitePtr(snap.Converge.WeightDelta),
 		},
 	}
+	if withCI && snap.Boot != nil {
+		doc.BootstrapB = snap.Boot.B
+		doc.CILevel = &level
+		doc.PopCI = finiteIv(snap.Boot.PopCI(level))
+	}
 	for c, size := range snap.Result.Sizes {
-		doc.Sizes = append(doc.Sizes, sizeEntry{
+		entry := sizeEntry{
 			Cat: int32(c), Name: s.names[c], Size: size,
 			Within: finitePtr(snap.Within[c]),
-		})
+		}
+		if withCI && snap.Boot != nil {
+			entry.CI = finiteIv(snap.Boot.SizeCI(c, level))
+			entry.WithinCI = finiteIv(snap.Boot.WithinCI(c, level))
+		}
+		doc.Sizes = append(doc.Sizes, entry)
 	}
 	for _, e := range cg.Edges() {
 		if math.IsNaN(e.Weight) { // unresolvable star denominator
 			continue
 		}
-		doc.Weights = append(doc.Weights, weightEntry{
-			A: e.A, B: e.B, Weight: e.Weight, Cut: cg.Cut(e.A, e.B),
-		})
+		entry := weightEntry{A: e.A, B: e.B, Weight: e.Weight, Cut: cg.Cut(e.A, e.B)}
+		if withCI && snap.Boot != nil {
+			entry.CI = finiteIv(snap.Boot.WeightCI(e.A, e.B, level))
+		}
+		doc.Weights = append(doc.Weights, entry)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(doc)
@@ -477,12 +554,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":   "ok",
-		"scenario": scenarioName(s.acc.Config().Star),
-		"k":        s.acc.Config().K,
-		"shards":   shards,
-		"draws":    s.acc.Draws(),
-		"distinct": s.acc.Distinct(),
-		"uptime_s": time.Since(s.start).Seconds(),
+		"status":      "ok",
+		"scenario":    scenarioName(s.acc.Config().Star),
+		"k":           s.acc.Config().K,
+		"shards":      shards,
+		"bootstrap_b": s.acc.Config().Replicates.B,
+		"draws":       s.acc.Draws(),
+		"distinct":    s.acc.Distinct(),
+		"uptime_s":    time.Since(s.start).Seconds(),
 	})
 }

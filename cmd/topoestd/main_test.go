@@ -16,6 +16,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
+	"repro/internal/uncert"
 )
 
 func testServer(t *testing.T, k int, star bool, n float64) (*server, *stream.Accumulator) {
@@ -480,5 +481,180 @@ func mustDecode(t *testing.T, b []byte, v any) {
 	t.Helper()
 	if err := json.Unmarshal(b, v); err != nil {
 		t.Fatalf("decode %s: %v", b, err)
+	}
+}
+
+// TestEstimateCIEndpoint exercises the bootstrap wire format: a daemon with
+// -bootstrap serves intervals (default level and ?ci=), the intervals match
+// the accumulator's own bootstrap snapshot, and ?ci= without -bootstrap is
+// rejected with a 400.
+func TestEstimateCIEndpoint(t *testing.T) {
+	g, err := gen.Social(randx.New(31), gen.SocialConfig{
+		N: 400, MeanDeg: 10, Dist: gen.PowerLaw, Shape: 2.5,
+		Comms: 6, CommZipf: 0.8, Mixing: 0.3, Connect: true, SetAsCats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := float64(g.N())
+	s, err := sample.UIS{}.Sample(randx.New(32), g, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := stream.NewAccumulator(stream.Config{
+		K: g.NumCategories(), Star: true, N: N,
+		Replicates: uncert.Config{B: 40, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(acc, g.CategoryNames())
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []sample.NodeObservation
+	for i, v := range s.Nodes {
+		recs = append(recs, so.Observe(v, s.Weight(i)))
+	}
+	body, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := post(t, srv, "/ingest", string(body)); w.Code != 200 {
+		t.Fatalf("ingest: %d %s", w.Code, w.Body)
+	}
+
+	// Default level is 0.95 when the bootstrap is on.
+	w := get(t, srv, "/estimate")
+	if w.Code != 200 {
+		t.Fatalf("estimate: %d %s", w.Code, w.Body)
+	}
+	var doc estimateDoc
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.BootstrapB != 40 || doc.CILevel == nil || *doc.CILevel != 0.95 {
+		t.Fatalf("bootstrap header: B=%d level=%v", doc.BootstrapB, doc.CILevel)
+	}
+	snap, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, se := range doc.Sizes {
+		if se.CI == nil {
+			t.Fatalf("size entry %d has no CI", se.Cat)
+		}
+		want := snap.Boot.SizeCI(int(se.Cat), 0.95)
+		if math.Abs(se.CI[0]-want.Lo) > 1e-9 || math.Abs(se.CI[1]-want.Hi) > 1e-9 {
+			t.Fatalf("size CI[%d] = %v, want %+v", se.Cat, *se.CI, want)
+		}
+		if !(se.CI[0] <= se.Size && se.Size <= se.CI[1]) {
+			t.Fatalf("size CI %v does not bracket the estimate %v", *se.CI, se.Size)
+		}
+	}
+	ciCount := 0
+	for _, we := range doc.Weights {
+		if we.CI != nil {
+			ciCount++
+			if !(we.CI[0] <= we.CI[1]) {
+				t.Fatalf("weight CI %v inverted", *we.CI)
+			}
+		}
+	}
+	if ciCount == 0 {
+		t.Fatal("no weight entry carries a CI")
+	}
+
+	// A custom level narrows/widens the intervals accordingly.
+	w = get(t, srv, "/estimate?ci=0.5")
+	if w.Code != 200 {
+		t.Fatalf("estimate?ci=0.5: %d %s", w.Code, w.Body)
+	}
+	var narrow estimateDoc
+	if err := json.Unmarshal(w.Body.Bytes(), &narrow); err != nil {
+		t.Fatal(err)
+	}
+	if *narrow.CILevel != 0.5 {
+		t.Fatalf("ci_level = %v", *narrow.CILevel)
+	}
+	for i := range narrow.Sizes {
+		if narrow.Sizes[i].CI == nil || doc.Sizes[i].CI == nil {
+			continue
+		}
+		w95 := doc.Sizes[i].CI[1] - doc.Sizes[i].CI[0]
+		w50 := narrow.Sizes[i].CI[1] - narrow.Sizes[i].CI[0]
+		if w50 > w95+1e-12 {
+			t.Fatalf("50%% CI wider than 95%% CI for category %d: %v vs %v", i, w50, w95)
+		}
+	}
+
+	// Bad levels are rejected.
+	for _, q := range []string{"0", "1", "1.5", "abc", "-0.3"} {
+		if w := get(t, srv, "/estimate?ci="+q); w.Code != http.StatusBadRequest {
+			t.Fatalf("ci=%s: code %d, want 400", q, w.Code)
+		}
+	}
+
+	// healthz reports the replicate count.
+	w = get(t, srv, "/healthz")
+	var hz map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["bootstrap_b"].(float64) != 40 {
+		t.Fatalf("healthz bootstrap_b = %v", hz["bootstrap_b"])
+	}
+
+	// Without -bootstrap, ?ci= is a 400 and plain /estimate has no CI keys.
+	plain, _ := testServer(t, 3, true, 0)
+	post(t, plain, "/ingest", `{"node":1,"cat":0,"deg":1,"nbr_cat":[1],"nbr_cnt":[1]}`)
+	if w := get(t, plain, "/estimate?ci=0.95"); w.Code != http.StatusBadRequest {
+		t.Fatalf("ci without -bootstrap: code %d, want 400", w.Code)
+	}
+	w = get(t, plain, "/estimate")
+	if w.Code != 200 || bytes.Contains(w.Body.Bytes(), []byte(`"ci_level"`)) {
+		t.Fatalf("plain estimate leaks CI fields: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestShardedServerCI checks that the CI path works identically behind the
+// sharded accumulator.
+func TestShardedServerCI(t *testing.T) {
+	acc, err := stream.NewShardedAccumulator(stream.Config{
+		K: 2, Star: true, N: 50, Replicates: uncert.Config{B: 16, Seed: 2},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(acc, nil)
+	var recs []sample.NodeObservation
+	for v := int32(0); v < 30; v++ {
+		recs = append(recs, sample.NodeObservation{
+			Node: v, Cat: v % 2, Deg: 2, NbrCat: []int32{(v + 1) % 2}, NbrCnt: []float64{2},
+		})
+	}
+	body, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := post(t, srv, "/ingest", string(body)); w.Code != 200 {
+		t.Fatalf("ingest: %d %s", w.Code, w.Body)
+	}
+	w := get(t, srv, "/estimate?ci=0.9")
+	if w.Code != 200 {
+		t.Fatalf("estimate: %d %s", w.Code, w.Body)
+	}
+	var doc estimateDoc
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.BootstrapB != 16 || doc.CILevel == nil || *doc.CILevel != 0.9 {
+		t.Fatalf("sharded CI header: %d %v", doc.BootstrapB, doc.CILevel)
+	}
+	for _, se := range doc.Sizes {
+		if se.CI == nil {
+			t.Fatalf("sharded size entry %d has no CI", se.Cat)
+		}
 	}
 }

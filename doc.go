@@ -50,10 +50,36 @@
 // NewShardedAccumulator, which hash-partitions records by node id across
 // independently locked shards (star scenario).
 //
+// # Uncertainty
+//
+// Deployments have no ground truth, so every estimand can carry a
+// confidence interval (internal/uncert). The bootstrap pair:
+//
+//	res, boot, _ := repro.EstimateWithCI(o, repro.Options{N: N},
+//	    repro.UncertConfig{B: 200, Seed: 1})
+//	iv := boot.SizeCI(3, 0.95)   // 95% percentile CI of |C₃|
+//	_ = boot.WeightCI(0, 1, 0.95)
+//
+// streams too — give any accumulator a Replicates config (B replicate sums
+// under deterministic per-(node, replicate) Poisson weights; snapshots then
+// carry Boot) or use the one-call form:
+//
+//	cfg := repro.StreamConfig{K: k, Star: true, N: N,
+//	    Replicates: repro.UncertConfig{B: 200, Seed: 1}}
+//	snap, _ := repro.StreamWithCI(cfg, so, walks...)
+//	_ = snap.Boot.SizeCI(3, 0.95)
+//
+// For pooled independent crawls, between-walk replication intervals
+// (ReplicationCI) capture within-walk correlation the bootstrap cannot
+// see, and DeltaSizeCI is the closed-form analytic cross-check. The
+// cmd/topoestd daemon serves all of this as GET /estimate?ci=0.95 when
+// started with -bootstrap.
+//
 // The packages under internal/ hold the implementation: internal/core (the
 // estimators over shared sufficient statistics), internal/sample (samplers
 // and batch + incremental observation models), internal/stream (the online
-// accumulator), internal/graph, internal/gen, internal/community,
+// accumulator), internal/uncert (bootstrap, replication and delta-method
+// variance), internal/graph, internal/gen, internal/community,
 // internal/catgraph, internal/stats, internal/eval, internal/fbsim and
 // internal/exp (the experiment definitions reproducing every table and
 // figure of the paper). README.md covers build/run/quickstart; DESIGN.md

@@ -42,6 +42,14 @@ type Sums struct {
 	DrawsA []float64
 	Rew2   []float64
 
+	// RewSq is the per-draw second moment Σ_i z_i² = Σ_v m_v/w(v)² over all
+	// draws (z_i = 1/w(x_i)), and RewSqA its per-category restriction — the
+	// Taylor-linearization inputs of the delta-method variance in
+	// internal/uncert. Unlike Rew2 (squares of per-node totals), both are
+	// linear in the multiplicities, so they merge exactly for any inputs.
+	RewSq  float64
+	RewSqA []float64
+
 	// Star scenario: DegNum = Σ_v m_v·deg(v)/w(v) and its per-category
 	// restriction DegNumA (the Eq. (6)/(14) numerators), and NbrNum[B] =
 	// Σ_v m_v/w(v)·|E_{v,B}| (the Eq. (7)/(13) numerator).
@@ -65,6 +73,7 @@ func NewSums(k int, star bool) *Sums {
 		Rew:       make([]float64, k),
 		DrawsA:    make([]float64, k),
 		Rew2:      make([]float64, k),
+		RewSqA:    make([]float64, k),
 		PairNum:   NewPairWeights(k),
 		WithinNum: make([]float64, k),
 	}
@@ -82,11 +91,13 @@ func NewSums(k int, star bool) *Sums {
 func (s *Sums) AddNode(cat int32, weight, count, prev float64) {
 	s.Draws += count
 	s.TotalRew += count / weight
+	s.RewSq += count / (weight * weight)
 	if cat == graph.None {
 		return
 	}
 	s.DrawsA[cat] += count
 	s.Rew[cat] += count / weight
+	s.RewSqA[cat] += count / (weight * weight)
 	tNew := (prev + count) / weight
 	tOld := prev / weight
 	s.Rew2[cat] += tNew*tNew - tOld*tOld
@@ -164,11 +175,13 @@ func (s *Sums) Merge(o *Sums) error {
 	}
 	s.Draws += o.Draws
 	s.TotalRew += o.TotalRew
+	s.RewSq += o.RewSq
 	s.DegNum += o.DegNum
 	for c := 0; c < s.K; c++ {
 		s.Rew[c] += o.Rew[c]
 		s.DrawsA[c] += o.DrawsA[c]
 		s.Rew2[c] += o.Rew2[c]
+		s.RewSqA[c] += o.RewSqA[c]
 		s.WithinNum[c] += o.WithinNum[c]
 	}
 	if s.Star {

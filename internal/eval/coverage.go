@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/uncert"
+)
+
+// CoverageConfig controls a confidence-interval coverage experiment: the
+// empirical validation that a nominal level-L interval actually covers the
+// true value ≈ L of the time. This is the ground-truth-in-the-loop
+// counterpart of the NRMSE sweeps — the check that makes the uncertainty
+// subsystem of internal/uncert trustworthy before it is deployed where no
+// truth exists.
+type CoverageConfig struct {
+	// Seed is the experiment's master seed; every (spec, replication) pair
+	// derives an independent stream from it.
+	Seed uint64
+	// Reps is the number of replications per spec.
+	Reps int
+	// Level is the nominal confidence level of the intervals under test.
+	Level float64
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+}
+
+// CoverageSpec is one cell of a coverage grid — typically one (sampler,
+// scenario) combination.
+type CoverageSpec struct {
+	// Name labels the cell in the results.
+	Name string
+	// Size is the number of draws per replication.
+	Size int
+	// Draw produces one sample of the given size.
+	Draw Draw
+	// Intervals turns a sample into level-L intervals keyed like truth
+	// (e.g. "size/3"). repSeed is an independent sub-seed for the cell's
+	// replication — pass it to the bootstrap so replicate weights vary
+	// across replications.
+	Intervals func(s *sample.Sample, repSeed uint64, level float64) (map[string]uncert.Interval, error)
+}
+
+// CoverageCell is the outcome of one spec: how many (replication, estimand)
+// trials produced a finite interval, and how many of those covered truth.
+type CoverageCell struct {
+	Name string
+	// Trials counts finite intervals checked; Covered those containing the
+	// true value; Skipped the non-finite intervals (estimand unobserved in
+	// too many replicates to bound).
+	Trials, Covered, Skipped int
+	// MeanWidth is the average width of the finite intervals — the
+	// precision the coverage was bought at.
+	MeanWidth float64
+}
+
+// Rate returns the empirical coverage Covered/Trials (NaN-free: 0 for an
+// empty cell).
+func (c CoverageCell) Rate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Covered) / float64(c.Trials)
+}
+
+// Coverage runs every spec for cfg.Reps replications in parallel: draw a
+// sample, build intervals, and score each keyed interval against the true
+// value. Keys missing from truth are errors (a typo would silently drop an
+// estimand); truth keys missing from a replication's intervals are errors
+// too, mirroring Sweep's strictness. The per-cell counts are deterministic
+// for a fixed configuration regardless of scheduling.
+func Coverage(cfg CoverageConfig, truth map[string]float64, specs []CoverageSpec) ([]CoverageCell, error) {
+	if cfg.Reps <= 0 || len(specs) == 0 {
+		return nil, fmt.Errorf("eval: coverage needs ≥ 1 replication and ≥ 1 spec")
+	}
+	if !(cfg.Level > 0 && cfg.Level < 1) {
+		return nil, fmt.Errorf("eval: coverage level must lie in (0,1), got %g", cfg.Level)
+	}
+	for i, sp := range specs {
+		if sp.Size <= 0 || sp.Draw == nil || sp.Intervals == nil {
+			return nil, fmt.Errorf("eval: coverage spec %d (%q) incomplete", i, sp.Name)
+		}
+	}
+	type job struct{ spec, rep int }
+	type out struct {
+		spec                     int
+		trials, covered, skipped int
+		widthSum                 float64
+		err                      error
+	}
+	jobs := make(chan job)
+	outs := make(chan out)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workersCoverage(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sp := specs[j.spec]
+				// Derive an independent stream per (spec, rep) pair.
+				sub := uint64(j.spec)*1_000_003 + uint64(j.rep)
+				r := randx.Derive(cfg.Seed, sub)
+				s, err := sp.Draw(r, sp.Size)
+				if err != nil {
+					outs <- out{spec: j.spec, err: err}
+					continue
+				}
+				ivs, err := sp.Intervals(s, cfg.Seed^(sub+1), cfg.Level)
+				if err != nil {
+					outs <- out{spec: j.spec, err: err}
+					continue
+				}
+				o := out{spec: j.spec}
+				for key := range truth {
+					if _, ok := ivs[key]; !ok {
+						o.err = fmt.Errorf("eval: spec %q replication missing quantity %q", sp.Name, key)
+						break
+					}
+				}
+				for key, iv := range ivs {
+					tv, ok := truth[key]
+					if !ok {
+						o.err = fmt.Errorf("eval: spec %q produced interval for unknown quantity %q", sp.Name, key)
+						break
+					}
+					if !iv.Finite() {
+						o.skipped++
+						continue
+					}
+					o.trials++
+					o.widthSum += iv.Width()
+					if iv.Contains(tv) {
+						o.covered++
+					}
+				}
+				outs <- o
+			}
+		}()
+	}
+	go func() {
+		for si := range specs {
+			for rep := 0; rep < cfg.Reps; rep++ {
+				jobs <- job{spec: si, rep: rep}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(outs)
+	}()
+	cells := make([]CoverageCell, len(specs))
+	for i, sp := range specs {
+		cells[i].Name = sp.Name
+	}
+	var firstErr error
+	for o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		c := &cells[o.spec]
+		c.Trials += o.trials
+		c.Covered += o.covered
+		c.Skipped += o.skipped
+		c.MeanWidth += o.widthSum
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range cells {
+		if cells[i].Trials > 0 {
+			cells[i].MeanWidth /= float64(cells[i].Trials)
+		}
+	}
+	return cells, nil
+}
+
+func (c CoverageConfig) workersCoverage() int {
+	return Config{Workers: c.Workers}.workers()
+}

@@ -1,0 +1,235 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stream"
+	"repro/internal/uncert"
+)
+
+// TestCoverageGrid is the acceptance experiment of the uncertainty
+// subsystem: across the paper's sampler grid (UIS, WIS, RW) × measurement
+// scenarios (induced, star), the nominal 95% streaming-bootstrap CIs for
+// the category sizes must cover the true sizes at an empirical rate inside
+// [90%, 99%] — close to nominal, with the usual small-sample percentile
+// shortfall tolerated and nothing pathologically over-covering.
+func TestCoverageGrid(t *testing.T) {
+	g, err := gen.Paper(randx.New(55), gen.PaperConfig{
+		Sizes:   []int64{300, 600, 1200, 2400},
+		K:       12,
+		Alpha:   0.4,
+		Connect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := g.NumCategories()
+	N := float64(g.N())
+	truth := map[string]float64{}
+	for c := 0; c < K; c++ {
+		truth[fmt.Sprintf("size/%d", c)] = float64(g.CategorySize(int32(c)))
+	}
+	wis, err := sample.NewDegreeWIS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const B = 120
+
+	// intervals builds the streaming-bootstrap size CIs for one sample —
+	// the exact pipeline a live deployment runs, minus the HTTP layer. The
+	// induced-form size estimator is used in both scenarios (the unbiased
+	// Hansen–Hurwitz ratio, the one whose CIs should be honest).
+	intervals := func(star bool) func(s *sample.Sample, repSeed uint64, level float64) (map[string]uncert.Interval, error) {
+		return func(s *sample.Sample, repSeed uint64, level float64) (map[string]uncert.Interval, error) {
+			acc, err := stream.NewAccumulator(stream.Config{
+				K: K, Star: star, N: N, Size: core.SizeMethodInduced,
+				Replicates: uncert.Config{B: B, Seed: repSeed},
+			})
+			if err != nil {
+				return nil, err
+			}
+			so, err := sample.NewStreamObserver(g, star)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range s.Nodes {
+				if err := acc.Ingest(so.Observe(v, s.Weight(i))); err != nil {
+					return nil, err
+				}
+			}
+			snap, err := acc.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			out := make(map[string]uncert.Interval, K)
+			for c := 0; c < K; c++ {
+				out[fmt.Sprintf("size/%d", c)] = snap.Boot.SizeCI(c, level)
+			}
+			return out, nil
+		}
+	}
+	drawUIS := func(r *rand.Rand, n int) (*sample.Sample, error) { return sample.UIS{}.Sample(r, g, n) }
+	drawWIS := func(r *rand.Rand, n int) (*sample.Sample, error) { return wis.Sample(r, g, n) }
+	// The bootstrap assumes exchangeable draws; a walk's serial correlation
+	// is removed by thinning (§5.4) before the CIs are built, which is how
+	// a walk crawl should feed the uncertainty engine.
+	drawRW := func(r *rand.Rand, n int) (*sample.Sample, error) {
+		s, err := sample.NewRW(500).Sample(r, g, n*8)
+		if err != nil {
+			return nil, err
+		}
+		return s.Thin(8), nil
+	}
+
+	var specs []CoverageSpec
+	for _, sc := range []struct {
+		name string
+		star bool
+	}{{"induced", false}, {"star", true}} {
+		specs = append(specs,
+			CoverageSpec{Name: "UIS/" + sc.name, Size: 1000, Draw: drawUIS, Intervals: intervals(sc.star)},
+			CoverageSpec{Name: "WIS/" + sc.name, Size: 1000, Draw: drawWIS, Intervals: intervals(sc.star)},
+			CoverageSpec{Name: "RW/" + sc.name, Size: 1000, Draw: drawRW, Intervals: intervals(sc.star)},
+		)
+	}
+	cells, err := Coverage(CoverageConfig{Seed: 99, Reps: 40, Level: 0.95}, truth, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, covered := 0, 0
+	for _, c := range cells {
+		t.Logf("%-14s coverage %5.1f%% (%d/%d trials, %d skipped, mean width %.0f)",
+			c.Name, 100*c.Rate(), c.Covered, c.Trials, c.Skipped, c.MeanWidth)
+		if c.Trials < 4*30 {
+			t.Errorf("%s: only %d finite trials", c.Name, c.Trials)
+		}
+		// Per-cell rates carry Monte-Carlo noise of a few percent; the
+		// hard [90%, 99%] acceptance band applies to the pooled grid.
+		if r := c.Rate(); r < 0.85 || r > 1.0 {
+			t.Errorf("%s: per-cell coverage %.1f%% outside [85%%, 100%%]", c.Name, 100*r)
+		}
+		trials += c.Trials
+		covered += c.Covered
+	}
+	pooled := float64(covered) / float64(trials)
+	t.Logf("pooled coverage %.1f%% (%d/%d)", 100*pooled, covered, trials)
+	if pooled < 0.90 || pooled > 0.99 {
+		t.Errorf("pooled empirical coverage %.1f%% outside the [90%%, 99%%] acceptance band", 100*pooled)
+	}
+}
+
+// TestCoverageValidation exercises the harness's error paths and the exact
+// accounting with a synthetic interval builder.
+func TestCoverageValidation(t *testing.T) {
+	draw := func(r *rand.Rand, n int) (*sample.Sample, error) {
+		return &sample.Sample{Nodes: make([]int32, n)}, nil
+	}
+	mkIv := func(lo, hi float64) func(*sample.Sample, uint64, float64) (map[string]uncert.Interval, error) {
+		return func(*sample.Sample, uint64, float64) (map[string]uncert.Interval, error) {
+			return map[string]uncert.Interval{"x": {Lo: lo, Hi: hi}}, nil
+		}
+	}
+	truth := map[string]float64{"x": 5}
+	cells, err := Coverage(CoverageConfig{Seed: 1, Reps: 7, Level: 0.9}, truth,
+		[]CoverageSpec{
+			{Name: "hit", Size: 1, Draw: draw, Intervals: mkIv(4, 6)},
+			{Name: "miss", Size: 1, Draw: draw, Intervals: mkIv(6, 7)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Trials != 7 || cells[0].Covered != 7 || cells[0].Rate() != 1 {
+		t.Fatalf("hit cell %+v", cells[0])
+	}
+	if cells[1].Trials != 7 || cells[1].Covered != 0 || cells[1].MeanWidth != 1 {
+		t.Fatalf("miss cell %+v", cells[1])
+	}
+	// Non-finite intervals are skipped, not scored.
+	nan := func(*sample.Sample, uint64, float64) (map[string]uncert.Interval, error) {
+		return map[string]uncert.Interval{"x": {Lo: math.NaN(), Hi: math.NaN()}}, nil
+	}
+	cells, err = Coverage(CoverageConfig{Seed: 1, Reps: 3, Level: 0.9}, truth,
+		[]CoverageSpec{{Name: "nan", Size: 1, Draw: draw, Intervals: nan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Trials != 0 || cells[0].Skipped != 3 {
+		t.Fatalf("nan cell %+v", cells[0])
+	}
+	// Unknown keys, missing keys, bad configs and failing draws error out.
+	bad := func(*sample.Sample, uint64, float64) (map[string]uncert.Interval, error) {
+		return map[string]uncert.Interval{"typo": {Lo: 0, Hi: 1}}, nil
+	}
+	if _, err := Coverage(CoverageConfig{Seed: 1, Reps: 2, Level: 0.9}, truth,
+		[]CoverageSpec{{Name: "bad", Size: 1, Draw: draw, Intervals: bad}}); err == nil {
+		t.Error("unknown quantity must fail")
+	}
+	empty := func(*sample.Sample, uint64, float64) (map[string]uncert.Interval, error) {
+		return map[string]uncert.Interval{}, nil
+	}
+	if _, err := Coverage(CoverageConfig{Seed: 1, Reps: 2, Level: 0.9}, truth,
+		[]CoverageSpec{{Name: "empty", Size: 1, Draw: draw, Intervals: empty}}); err == nil {
+		t.Error("a replication missing a truth quantity must fail, not silently shrink the trial count")
+	}
+	if _, err := Coverage(CoverageConfig{Reps: 0, Level: 0.9}, truth, nil); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := Coverage(CoverageConfig{Reps: 1, Level: 1.5}, truth,
+		[]CoverageSpec{{Name: "x", Size: 1, Draw: draw, Intervals: mkIv(0, 1)}}); err == nil {
+		t.Error("bad level must fail")
+	}
+	if _, err := Coverage(CoverageConfig{Reps: 1, Level: 0.9}, truth,
+		[]CoverageSpec{{Name: "incomplete"}}); err == nil {
+		t.Error("incomplete spec must fail")
+	}
+	failDraw := func(r *rand.Rand, n int) (*sample.Sample, error) { return nil, fmt.Errorf("boom") }
+	if _, err := Coverage(CoverageConfig{Reps: 1, Level: 0.9}, truth,
+		[]CoverageSpec{{Name: "fd", Size: 1, Draw: failDraw, Intervals: mkIv(0, 1)}}); err == nil {
+		t.Error("draw error must propagate")
+	}
+}
+
+// TestCoverageDeterministic pins scheduling-independence of the counts.
+func TestCoverageDeterministic(t *testing.T) {
+	g, err := gen.Paper(randx.New(2), gen.PaperConfig{
+		Sizes: []int64{100, 300}, K: 8, Alpha: 0.5, Connect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string]float64{"size/1": float64(g.CategorySize(1))}
+	spec := CoverageSpec{
+		Name: "uis", Size: 200,
+		Draw: func(r *rand.Rand, n int) (*sample.Sample, error) { return sample.UIS{}.Sample(r, g, n) },
+		Intervals: func(s *sample.Sample, repSeed uint64, level float64) (map[string]uncert.Interval, error) {
+			o, err := sample.ObserveStar(g, s)
+			if err != nil {
+				return nil, err
+			}
+			reps, err := uncert.ReplicatesFromObservation(o, uncert.Config{B: 40, Seed: repSeed})
+			if err != nil {
+				return nil, err
+			}
+			boot := reps.Snapshot(core.Options{N: float64(g.N())})
+			return map[string]uncert.Interval{"size/1": boot.SizeCI(1, level)}, nil
+		},
+	}
+	run := func(workers int) CoverageCell {
+		cells, err := Coverage(CoverageConfig{Seed: 4, Reps: 12, Level: 0.95, Workers: workers}, truth, []CoverageSpec{spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells[0]
+	}
+	a, b := run(1), run(4)
+	if a != b {
+		t.Fatalf("coverage not deterministic: %+v vs %+v", a, b)
+	}
+}

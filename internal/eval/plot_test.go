@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPlotEmptySeries pins the renderer on inputs with nothing to draw: no
+// series at all, series with empty point lists, and series whose points are
+// all filtered out.
+func TestPlotEmptySeries(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []Series
+		opt    PlotOptions
+	}{
+		{"no series", nil, PlotOptions{}},
+		{"empty point lists", []Series{{Name: "a"}, {Name: "b"}}, PlotOptions{}},
+		{"all NaN", []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{math.NaN(), math.NaN()}}}, PlotOptions{}},
+		{"all infinite", []Series{{Name: "a", X: []float64{1}, Y: []float64{math.Inf(1)}}}, PlotOptions{}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := Plot(&buf, c.name, c.series, c.opt); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, c.name) || !strings.Contains(out, "no finite data") {
+			t.Errorf("%s: degenerate plot must carry the title and say so:\n%s", c.name, out)
+		}
+	}
+}
+
+// TestPlotSkipsNaNPoints checks that non-finite points inside an otherwise
+// healthy series are dropped without distorting the axes: the range labels
+// must come from the finite points only.
+func TestPlotSkipsNaNPoints(t *testing.T) {
+	s := []Series{{
+		Name: "mixed",
+		X:    []float64{1, 2, 3, 4, 5},
+		Y:    []float64{10, math.NaN(), 20, math.Inf(-1), 30},
+	}}
+	var buf bytes.Buffer
+	if err := Plot(&buf, "mixed", s, PlotOptions{Height: 6, Width: 20}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Axis labels reflect the finite Y range [10, 30], not NaN/-Inf.
+	if !strings.Contains(out, "30") || !strings.Contains(out, "10") {
+		t.Fatalf("axis labels missing finite range:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("non-finite values leaked into the plot:\n%s", out)
+	}
+	if got := countMarkers(out, 'o'); got != 3 {
+		t.Fatalf("want exactly the 3 finite points plotted, got %d:\n%s", got, out)
+	}
+}
+
+// countMarkers counts marker occurrences inside the plot area (rows between
+// '|' borders), excluding the legend.
+func countMarkers(out string, m rune) int {
+	n := 0
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 && strings.HasSuffix(line, "|") {
+			n += strings.Count(line[i:], string(m))
+		}
+	}
+	return n
+}
+
+// TestPlotLogScaleNonPositive checks the log-axis filters: zero and negative
+// coordinates cannot be log-scaled and must be skipped (or, when every point
+// is non-positive, degrade to the empty-plot message) without panicking.
+func TestPlotLogScaleNonPositive(t *testing.T) {
+	// Mixed: only the positive points survive on a log-log plot.
+	s := []Series{{
+		Name: "mixed",
+		X:    []float64{0, -1, 10, 100},
+		Y:    []float64{5, 5, 0.5, -2},
+	}}
+	var buf bytes.Buffer
+	if err := Plot(&buf, "loglog", s, PlotOptions{LogX: true, LogY: true, Height: 5, Width: 16}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "no finite data") {
+		t.Fatalf("positive points must survive the log filter:\n%s", out)
+	}
+	// x=10,y=0.5 is the only point positive in both coordinates.
+	if got := countMarkers(out, 'o'); got != 1 {
+		t.Fatalf("want exactly 1 point on the log-log plot, got %d:\n%s", got, out)
+	}
+
+	// All non-positive on the log axis: an empty plot, not a panic.
+	buf.Reset()
+	s = []Series{{Name: "neg", X: []float64{1, 2}, Y: []float64{0, -3}}}
+	if err := Plot(&buf, "logy", s, PlotOptions{LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no finite data") {
+		t.Fatalf("all-non-positive log plot must degrade gracefully:\n%s", buf.String())
+	}
+
+	// LogY axis labels are de-logged back to data units.
+	buf.Reset()
+	s = []Series{{Name: "p", X: []float64{1, 2}, Y: []float64{0.01, 100}}}
+	if err := Plot(&buf, "labels", s, PlotOptions{LogY: true, Height: 4, Width: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "1e+02") && !strings.Contains(out, "100") {
+		t.Fatalf("log axis labels must be in data units:\n%s", out)
+	}
+	if !strings.Contains(out, "0.01") {
+		t.Fatalf("log axis labels must be in data units:\n%s", out)
+	}
+}
+
+// TestPlotMarkerCollision checks that distinct series landing on one cell
+// render as '?' and that each series keeps its legend marker.
+func TestPlotMarkerCollision(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1, 9}, Y: []float64{1, 9}},
+		{Name: "b", X: []float64{1, 9}, Y: []float64{1, 5}},
+	}
+	var buf bytes.Buffer
+	if err := Plot(&buf, "collide", s, PlotOptions{Height: 4, Width: 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "?") {
+		t.Fatalf("colliding points must render as '?':\n%s", out)
+	}
+	if !strings.Contains(out, "o = a") || !strings.Contains(out, "* = b") {
+		t.Fatalf("legend lost a series:\n%s", out)
+	}
+	// Same-series overlap keeps the marker (no '?').
+	buf.Reset()
+	one := []Series{{Name: "a", X: []float64{1, 1}, Y: []float64{2, 2}}}
+	if err := Plot(&buf, "same", one, PlotOptions{Height: 3, Width: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "?") {
+		t.Fatalf("same-marker overlap must not render '?':\n%s", buf.String())
+	}
+}
+
+// TestSeriesTSVSkipsNothing pins SeriesTSV's row order and NaN passthrough
+// (TSV is the archival format — filtering happens at plot time, not here).
+func TestSeriesTSVSkipsNothing(t *testing.T) {
+	h, rows := SeriesTSV([]Series{
+		{Name: "a", X: []float64{1}, Y: []float64{math.NaN()}},
+		{Name: "b", X: []float64{2, 3}, Y: []float64{4, 5}},
+	})
+	if len(h) != 3 || len(rows) != 3 {
+		t.Fatalf("header %v rows %v", h, rows)
+	}
+	if rows[0][0] != "a" || rows[0][2] != "NaN" {
+		t.Fatalf("NaN row mangled: %v", rows[0])
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, h, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Fatalf("TSV has %d lines, want 4", got)
+	}
+}

@@ -210,3 +210,134 @@ func TestRelErr(t *testing.T) {
 		t.Errorf("RelErr = %v", got)
 	}
 }
+
+func TestBootstrapCIPercentiles(t *testing.T) {
+	// Bootstrapping the mean of a normal sample: the percentile interval must
+	// bracket the sample mean and have width ≈ 2·z_{0.975}·sd/sqrt(n).
+	r := rand.New(rand.NewPCG(5, 6))
+	data := make([]float64, 400)
+	var m Moments
+	for i := range data {
+		data[i] = r.NormFloat64()*3 + 4
+		m.Add(data[i])
+	}
+	mean, sd, lo, hi := BootstrapCI(r, len(data), 600, 0.95, func(idx []int) float64 {
+		var s float64
+		for _, i := range idx {
+			s += data[i]
+		}
+		return s / float64(len(idx))
+	})
+	if !(lo < mean && mean < hi) {
+		t.Fatalf("interval [%v, %v] does not bracket mean %v", lo, hi, mean)
+	}
+	if !(lo < m.Mean() && m.Mean() < hi) {
+		t.Fatalf("interval [%v, %v] does not bracket sample mean %v", lo, hi, m.Mean())
+	}
+	wantWidth := 2 * 1.96 * m.StdDev() / math.Sqrt(float64(len(data)))
+	if got := hi - lo; math.Abs(got-wantWidth)/wantWidth > 0.25 {
+		t.Fatalf("width %v vs analytic %v", got, wantWidth)
+	}
+	if sd <= 0 {
+		t.Fatalf("sd = %v", sd)
+	}
+}
+
+func TestBootstrapCISmallN(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	// n = 1: every resample is the same single draw — zero-width interval.
+	mean, sd, lo, hi := BootstrapCI(r, 1, 50, 0.95, func(idx []int) float64 { return 42 })
+	if mean != 42 || sd != 0 || lo != 42 || hi != 42 {
+		t.Fatalf("n=1: got mean=%v sd=%v [%v,%v], want all 42 / sd 0", mean, sd, lo, hi)
+	}
+	// B = 1: one replicate — the interval collapses onto it.
+	calls := 0
+	mean, sd, lo, hi = BootstrapCI(r, 10, 1, 0.95, func(idx []int) float64 { calls++; return 7 })
+	if calls != 1 || mean != 7 || sd != 0 || lo != 7 || hi != 7 {
+		t.Fatalf("B=1: got mean=%v sd=%v [%v,%v] after %d calls", mean, sd, lo, hi, calls)
+	}
+	// All-equal statistics: lo = hi = mean, sd = 0.
+	mean, sd, lo, hi = BootstrapCI(r, 10, 30, 0.9, func(idx []int) float64 { return -1.5 })
+	if mean != -1.5 || sd != 0 || lo != -1.5 || hi != -1.5 {
+		t.Fatalf("constant statistic: got mean=%v sd=%v [%v,%v]", mean, sd, lo, hi)
+	}
+	// Degenerate inputs and all-NaN statistics are NaN across the board.
+	if _, _, lo, hi = BootstrapCI(r, 0, 10, 0.95, func([]int) float64 { return 1 }); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("n=0 must give NaN interval")
+	}
+	if _, _, lo, hi = BootstrapCI(r, 10, 0, 0.95, func([]int) float64 { return 1 }); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("B=0 must give NaN interval")
+	}
+	if m, _, lo, _ := BootstrapCI(r, 10, 5, 0.95, func([]int) float64 { return math.NaN() }); !math.IsNaN(m) || !math.IsNaN(lo) {
+		t.Error("all-NaN statistics must give NaN outputs")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.841344746068543, 1}, // Φ(1)
+		{0.999, 3.090232306167813},
+		{1e-6, -4.753424308822899},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles must be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("NaN in, NaN out")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	// Reference values from standard t tables (two-sided 95% → p = 0.975);
+	// the Newton polish against the exact integer-df CDF makes the table
+	// resolution (4–5 significant digits) the binding tolerance, including
+	// the far tails at small df where the bare expansion was ~1% off.
+	cases := []struct {
+		df   int
+		p    float64
+		want float64
+		tol  float64
+	}{
+		{1, 0.975, 12.7062, 1e-4},
+		{2, 0.975, 4.30265, 1e-4},
+		{3, 0.975, 3.18245, 1e-4},
+		{3, 0.995, 5.84091, 1e-4},
+		{3, 0.99, 4.54070, 1e-4},
+		{4, 0.995, 4.60409, 1e-4},
+		{5, 0.975, 2.57058, 1e-4},
+		{10, 0.975, 2.22814, 1e-4},
+		{24, 0.975, 2.06390, 1e-4},
+		{27, 0.975, 2.05183, 1e-4},
+		{100, 0.975, 1.98397, 1e-4},
+		{10, 0.95, 1.81246, 1e-4},
+		{3, 0.999, 10.2145, 1e-3},
+		{3, 0.9995, 12.9240, 1e-3},
+	}
+	for _, c := range cases {
+		if got := TQuantile(c.p, c.df); math.Abs(got-c.want) > c.tol*c.want {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+	// Symmetry and degenerate arguments.
+	if got := TQuantile(0.025, 10); math.Abs(got+TQuantile(0.975, 10)) > 1e-12 {
+		t.Errorf("t quantiles must be symmetric, got %v", got)
+	}
+	if TQuantile(0.5, 7) != 0 {
+		t.Error("median must be 0")
+	}
+	if !math.IsNaN(TQuantile(0.9, 0)) {
+		t.Error("df=0 must be NaN")
+	}
+	if !math.IsInf(TQuantile(1, 5), 1) {
+		t.Error("p=1 must be +Inf")
+	}
+}

@@ -1,0 +1,256 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/uncert"
+)
+
+// bootMaxDiff returns the largest relative difference between two replicate
+// grids (per estimand, per replicate), treating NaN = NaN as equal.
+func bootMaxDiff(a, b [][]float64) float64 {
+	var m float64
+	for c := range a {
+		if d := maxRelDiff(a[c], b[c]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestStreamingBootstrapMatchesOffline pins the streaming replicate path to
+// the offline one: ingesting a star stream record by record must produce,
+// replicate for replicate, the same estimates as rebuilding the replicate
+// sums from the equivalent batch observation (identical Poisson weights,
+// different accumulation order → ≤ 1e-9 relative difference).
+func TestStreamingBootstrapMatchesOffline(t *testing.T) {
+	for _, star := range []bool{true, false} {
+		g := testGraph(t)
+		s, err := sample.NewRW(100).Sample(randx.New(61), g, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, err := sample.NewStreamObserver(g, star)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc := uncert.Config{B: 25, Seed: 5}
+		acc, err := NewAccumulator(Config{
+			K: g.NumCategories(), Star: star, N: float64(g.N()), Replicates: bc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := so.NewObservation()
+		for i, v := range s.Nodes {
+			rec := so.Observe(v, s.Weight(i))
+			if err := acc.Ingest(rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := obs.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := acc.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Boot == nil || snap.Boot.B != bc.B {
+			t.Fatalf("star=%v: snapshot carries no bootstrap (%+v)", star, snap.Boot)
+		}
+		offReps, err := uncert.ReplicatesFromObservation(obs, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := offReps.Snapshot(core.Options{N: float64(g.N())})
+		if d := bootMaxDiff(snap.Boot.Sizes, off.Sizes); d > 1e-9 {
+			t.Fatalf("star=%v: replicate sizes differ by %g", star, d)
+		}
+		if d := bootMaxDiff(snap.Boot.Within, off.Within); d > 1e-9 {
+			t.Fatalf("star=%v: replicate within differ by %g", star, d)
+		}
+		if d := maxRelDiff(snap.Boot.Pop, off.Pop); d > 1e-9 {
+			t.Fatalf("star=%v: replicate pop estimates differ by %g", star, d)
+		}
+		for c := 0; c < g.NumCategories(); c++ {
+			a, b := snap.Boot.SizeCI(c, 0.95), off.SizeCI(c, 0.95)
+			if math.Abs(a.Lo-b.Lo) > 1e-6 || math.Abs(a.Hi-b.Hi) > 1e-6 {
+				t.Fatalf("star=%v: CI mismatch for category %d: %+v vs %+v", star, c, a, b)
+			}
+		}
+	}
+}
+
+// TestShardedBootstrapMatchesSingle is the acceptance test of the sharded
+// replicate path: concurrent ingestion into a 4-shard accumulator must
+// produce replicate snapshots identical (≤ 1e-9) to the single-lock
+// accumulator fed the same records. Run under -race.
+func TestShardedBootstrapMatchesSingle(t *testing.T) {
+	g := testGraph(t)
+	N := float64(g.N())
+	s, err := sample.UIS{}.Sample(randx.New(91), g, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]sample.NodeObservation, s.Len())
+	for i, v := range s.Nodes {
+		recs[i] = so.Observe(v, s.Weight(i))
+	}
+	cfg := Config{
+		K: g.NumCategories(), Star: true, N: N,
+		Replicates: uncert.Config{B: 20, Seed: 3},
+	}
+	single, err := NewAccumulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.IngestBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedAccumulator(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(recs); i += workers {
+				if err := sharded.Ingest(recs[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Snapshot concurrently with ingestion — replicate snapshots must stay
+	// internally consistent cuts (this is the -race exercise).
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if snap, err := sharded.Snapshot(); err == nil && snap.Boot == nil {
+				t.Error("mid-stream snapshot lost its bootstrap")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if t.Failed() {
+		return
+	}
+	want, err := single.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bootMaxDiff(got.Boot.Sizes, want.Boot.Sizes); d > 1e-9 {
+		t.Fatalf("sharded replicate sizes differ by %g", d)
+	}
+	if d := bootMaxDiff(got.Boot.Within, want.Boot.Within); d > 1e-9 {
+		t.Fatalf("sharded replicate within differ by %g", d)
+	}
+	if d := maxRelDiff(got.Boot.Pop, want.Boot.Pop); d > 1e-9 {
+		t.Fatalf("sharded replicate pop estimates differ by %g", d)
+	}
+	for c := 0; c < g.NumCategories(); c++ {
+		a, b := got.Boot.SizeCI(c, 0.9), want.Boot.SizeCI(c, 0.9)
+		if math.Abs(a.Lo-b.Lo) > 1e-6 || math.Abs(a.Hi-b.Hi) > 1e-6 {
+			t.Fatalf("category %d: sharded CI %+v vs single %+v", c, a, b)
+		}
+	}
+}
+
+// TestBootstrapOffByDefault checks that accumulators without a Replicates
+// config behave exactly as before: no Boot on snapshots, no extra work.
+func TestBootstrapOffByDefault(t *testing.T) {
+	g := testGraph(t)
+	acc, err := NewAccumulator(Config{K: g.NumCategories(), Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Ingest(so.Observe(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Boot != nil {
+		t.Fatal("bootstrap must be off by default")
+	}
+	if _, err := NewAccumulator(Config{K: 2, Star: true, Replicates: uncert.Config{B: -1}}); err == nil {
+		t.Fatal("negative replicate count must be rejected")
+	}
+}
+
+// TestBootstrapLateStarBackfill checks that star data arriving only on a
+// later draw of a node is backfilled into the replicate sums exactly as into
+// the primary sums: the final replicate estimates must match a stream that
+// carried the star data upfront.
+func TestBootstrapLateStarBackfill(t *testing.T) {
+	cfg := Config{K: 2, Star: true, N: 10, Replicates: uncert.Config{B: 16, Seed: 9}}
+	early, err := NewAccumulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := NewAccumulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := sample.NodeObservation{Node: 4, Cat: 0, Deg: 3, NbrCat: []int32{0, 1}, NbrCnt: []float64{1, 2}}
+	bare := sample.NodeObservation{Node: 4, Cat: 0}
+	other := sample.NodeObservation{Node: 9, Cat: 1, Deg: 1, NbrCat: []int32{0}, NbrCnt: []float64{1}}
+	// Early: star data on the first draw. Late: two bare draws first.
+	for _, rec := range []sample.NodeObservation{full, bare, bare, other} {
+		if err := early.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rec := range []sample.NodeObservation{bare, bare, full, other} {
+		if err := late.Ingest(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := early.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := late.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bootMaxDiff(a.Boot.Sizes, b.Boot.Sizes); d > 1e-12 {
+		t.Fatalf("late star backfill: replicate sizes differ by %g", d)
+	}
+	if d := bootMaxDiff(a.Boot.Within, b.Boot.Within); d > 1e-12 {
+		t.Fatalf("late star backfill: replicate within differ by %g", d)
+	}
+}

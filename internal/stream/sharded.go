@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sample"
+	"repro/internal/uncert"
 )
 
 // ShardedAccumulator is the multi-core variant of Accumulator: records are
@@ -120,31 +121,55 @@ func (sa *ShardedAccumulator) IngestBatch(recs []sample.NodeObservation) (int, e
 }
 
 // Snapshot merges the per-shard sufficient statistics and estimates from
-// the pooled sums in O(P·K² + pairs). All shard locks are held together
-// only while the O(K²) per-shard sums are copied out, giving each snapshot
-// a consistent cut of the stream: every record ingested before the
-// snapshot began is included, and no record is split.
+// the pooled sums in O(P·K² + pairs) — times B when bootstrap replicates
+// are configured. All shard locks are taken together to fix a consistent
+// cut of the stream (every record ingested before the snapshot began is
+// included, and no record is split), then each is released as soon as its
+// shard's sums are merged out, so ingestion never waits on another shard's
+// merge.
 func (sa *ShardedAccumulator) Snapshot() (*Snapshot, error) {
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
 	sums := core.NewSums(sa.cfg.K, sa.cfg.Star)
+	var reps *uncert.Replicates
+	if sa.cfg.Replicates.Enabled() {
+		r, err := uncert.NewReplicates(sa.cfg.K, sa.cfg.Star, sa.cfg.Replicates)
+		if err != nil {
+			return nil, err
+		}
+		reps = r
+	}
 	var psi1, psiInv, collisions float64
 	distinct := 0
+	// Taking every shard lock at once defines the snapshot's consistent
+	// cut: every record ingested before this instant is included and none
+	// is split. Each shard's lock is then released as soon as its
+	// statistics are merged out — a record arriving at a released shard
+	// postdates the cut and cannot affect it — so with bootstrap
+	// replicates enabled (an O(B·K²) merge per shard) ingestion stalls
+	// only for the owning shard's merge, not for the whole pass.
 	for _, sh := range sa.shards {
 		sh.mu.Lock()
 	}
 	var mergeErr error
 	for _, sh := range sa.shards {
-		if err := sums.Merge(sh.sums); err != nil {
-			mergeErr = err // impossible by construction: all shards share cfg
-			break
+		if mergeErr == nil {
+			// Merge errors are impossible by construction (all shards share
+			// cfg), but keep draining the locks if one ever occurs.
+			mergeErr = sums.Merge(sh.sums)
 		}
-		psi1 += sh.psi1
-		psiInv += sh.psiInv
-		collisions += sh.collisions
-		distinct += len(sh.nodes)
-	}
-	for _, sh := range sa.shards {
+		if mergeErr == nil && reps != nil {
+			// Per-(node, replicate) weights make the per-shard replicate
+			// sums merge exactly like the primary sums: nodes partition
+			// across shards, and a node's weights travel with it.
+			mergeErr = reps.Merge(sh.reps)
+		}
+		if mergeErr == nil {
+			psi1 += sh.psi1
+			psiInv += sh.psiInv
+			collisions += sh.collisions
+			distinct += len(sh.nodes)
+		}
 		sh.mu.Unlock()
 	}
 	if mergeErr != nil {
@@ -170,6 +195,9 @@ func (sa *ShardedAccumulator) Snapshot() (*Snapshot, error) {
 		Within:      within,
 		PopEstimate: core.PopulationSizeFromSums(sums.Draws, psi1, psiInv, collisions),
 		Converge:    convergeFrom(res, sa.lastSizes, sa.lastW, int(sums.Draws-sa.lastDraws)),
+	}
+	if reps != nil {
+		snap.Boot = reps.Snapshot(core.Options{N: sa.cfg.N, Size: sa.cfg.Size})
 	}
 	sa.lastSizes = append([]float64(nil), res.Sizes...)
 	sa.lastW = res.Weights

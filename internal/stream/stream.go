@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/sample"
+	"repro/internal/uncert"
 )
 
 // Config parameterizes an Accumulator.
@@ -49,6 +50,16 @@ type Config struct {
 	N float64
 	// Size selects the category-size estimator plugged into the weights.
 	Size core.SizeMethod
+	// Replicates turns on the streaming bootstrap (internal/uncert): with
+	// B > 0 replicates, every ingest also advances B replicate copies of
+	// the sufficient statistics under deterministic per-(node, replicate)
+	// Poisson(1) weights, and snapshots carry percentile confidence
+	// intervals for every estimand (Snapshot.Boot). Ingest cost grows by
+	// O(B · record size); snapshots by O(B·K² + B·pairs). The replicate
+	// weights depend only on (Seed, node, replicate), so sharded
+	// accumulators with the same configuration produce identical replicate
+	// snapshots to the single-lock accumulator.
+	Replicates uncert.Config
 }
 
 // nodeState is what the accumulator remembers about one distinct node: the
@@ -101,6 +112,10 @@ type Accumulator struct {
 	sums  *core.Sums
 	nodes map[int32]*nodeState
 
+	// reps holds the bootstrap replicate sums (nil when Config.Replicates
+	// is off); every mutation of sums has a mirrored call on reps.
+	reps *uncert.Replicates
+
 	// Collision statistics for the §4.3 population-size estimator.
 	psi1, psiInv, collisions float64
 
@@ -116,11 +131,22 @@ func NewAccumulator(cfg Config) (*Accumulator, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("stream: config needs K ≥ 1 categories, got %d", cfg.K)
 	}
-	return &Accumulator{
+	if cfg.Replicates.B < 0 {
+		return nil, fmt.Errorf("stream: config needs ≥ 0 bootstrap replicates, got %d", cfg.Replicates.B)
+	}
+	a := &Accumulator{
 		cfg:   cfg,
 		sums:  core.NewSums(cfg.K, cfg.Star),
 		nodes: make(map[int32]*nodeState),
-	}, nil
+	}
+	if cfg.Replicates.Enabled() {
+		reps, err := uncert.NewReplicates(cfg.K, cfg.Star, cfg.Replicates)
+		if err != nil {
+			return nil, err
+		}
+		a.reps = reps
+	}
+	return a, nil
 }
 
 // Config returns the accumulator's configuration.
@@ -247,6 +273,9 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 					addCat, addCnt = newCat, newCnt
 				}
 				a.sums.AddStar(ns.cat, ns.weight, ns.mult, newDeg-ns.deg, addCat, addCnt)
+				if a.reps != nil {
+					a.reps.AddStar(rec.Node, ns.cat, ns.weight, ns.mult, newDeg-ns.deg, addCat, addCnt)
+				}
 				ns.deg = newDeg
 				ns.nbrCat = append([]int32(nil), newCat...)
 				ns.nbrCnt = append([]float64(nil), newCnt...)
@@ -280,9 +309,15 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 	a.psi1 += ns.weight
 	a.psiInv += 1 / ns.weight
 	a.collisions += prev // the new draw collides with every earlier draw of this node
+	if a.reps != nil {
+		a.reps.AddDraw(rec.Node, ns.cat, ns.weight, prev)
+	}
 
 	if a.cfg.Star {
 		a.sums.AddStar(ns.cat, ns.weight, 1, ns.deg, ns.nbrCat, ns.nbrCnt)
+		if a.reps != nil {
+			a.reps.AddStar(rec.Node, ns.cat, ns.weight, 1, ns.deg, ns.nbrCat, ns.nbrCnt)
+		}
 		return nil
 	}
 	// Induced: a re-draw raises this node's multiplicity, which raises the
@@ -290,7 +325,11 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 	if prev > 0 {
 		for _, p := range ns.peers {
 			ps := a.nodes[p]
-			a.sums.AddEdgeMass(ns.cat, ps.cat, ps.mult/(ns.weight*ps.weight))
+			mass := ps.mult / (ns.weight * ps.weight)
+			a.sums.AddEdgeMass(ns.cat, ps.cat, mass)
+			if a.reps != nil {
+				a.reps.AddEdgeMass(rec.Node, p, ns.cat, ps.cat, mass)
+			}
 		}
 	}
 	// …and newly visible edges contribute their full product mass.
@@ -298,7 +337,11 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 		ps := a.nodes[p]
 		ns.peers = append(ns.peers, p)
 		ps.peers = append(ps.peers, rec.Node)
-		a.sums.AddEdgeMass(ns.cat, ps.cat, ns.mult*ps.mult/(ns.weight*ps.weight))
+		mass := ns.mult * ps.mult / (ns.weight * ps.weight)
+		a.sums.AddEdgeMass(ns.cat, ps.cat, mass)
+		if a.reps != nil {
+			a.reps.AddEdgeMass(rec.Node, p, ns.cat, ps.cat, mass)
+		}
 	}
 	return nil
 }
@@ -317,6 +360,9 @@ func (a *Accumulator) recordStarLocked(rec sample.NodeObservation, ns *nodeState
 	if ns.mult > 0 {
 		// Backfill the star mass of the node's earlier draws.
 		a.sums.AddStar(ns.cat, ns.weight, ns.mult, ns.deg, ns.nbrCat, ns.nbrCnt)
+		if a.reps != nil {
+			a.reps.AddStar(rec.Node, ns.cat, ns.weight, ns.mult, ns.deg, ns.nbrCat, ns.nbrCnt)
+		}
 	}
 }
 
@@ -368,6 +414,10 @@ type Snapshot struct {
 	PopEstimate float64
 	// Converge compares this snapshot with the previous one.
 	Converge Convergence
+	// Boot holds the bootstrap replicate estimates of every estimand — the
+	// raw material of percentile confidence intervals at any level (e.g.
+	// Boot.SizeCI(c, 0.95)). Nil unless Config.Replicates is on.
+	Boot *uncert.BootSnapshot
 }
 
 // Sizes returns the estimated category sizes (convenience accessor).
@@ -408,6 +458,9 @@ func (a *Accumulator) Snapshot() (*Snapshot, error) {
 		Within:      within,
 		PopEstimate: core.PopulationSizeFromSums(a.sums.Draws, a.psi1, a.psiInv, a.collisions),
 		Converge:    a.convergeLocked(res),
+	}
+	if a.reps != nil {
+		snap.Boot = a.reps.Snapshot(core.Options{N: a.cfg.N, Size: a.cfg.Size})
 	}
 	a.lastSizes = append([]float64(nil), res.Sizes...)
 	a.lastW = res.Weights

@@ -1,0 +1,70 @@
+package uncert
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// DeltaSizes holds the Taylor-linearization (delta-method) variance of the
+// Hansen–Hurwitz ratio size estimators, one entry per category.
+type DeltaSizes struct {
+	Level float64
+	// Sizes[c] is the Eq. (4)/(11) point estimate N·w⁻¹(S_A)/w⁻¹(S),
+	// SE[c] its linearized standard error, CI[c] the normal-theory interval.
+	Sizes []float64
+	SE    []float64
+	CI    []Interval
+}
+
+// DeltaSizeCI computes the delta-method variance of the category-size ratio
+// estimators |Â| = N·w⁻¹(S_A)/w⁻¹(S) of Eq. (4)/(11) in closed form from the
+// sufficient statistics — the cheap analytic cross-check of the bootstrap.
+//
+// Writing z_i = 1/w(x_i) and a_i for draw i's membership indicator, the
+// first-order expansion of the ratio p̂ = Σz_i a_i / Σz_i gives
+//
+//	V̂(|Â|) = N²/(w⁻¹(S))² · n/(n−1) · Σ_i z_i²(a_i − p̂)²,
+//
+// with Σ_i z_i²(a_i − p̂)² = (1−2p̂)·RewSqA[c] + p̂²·RewSq — entirely a
+// function of the per-draw second moments the sums carry. Intervals are
+// normal-theory (percentile-free), at the given level.
+//
+// The linearization assumes independent draws, so it is exact for UIS/WIS
+// designs and only indicative for walks, whose serial correlation it cannot
+// see; between-walk replication (ReplicationCI) or the bootstrap with
+// thinned input are the walk-safe engines. It applies to both scenarios —
+// the ratio form is maintained on star streams too (SizeMethodInduced).
+func DeltaSizeCI(s *core.Sums, N float64, level float64) (*DeltaSizes, error) {
+	if !(level > 0 && level < 1) {
+		return nil, fmt.Errorf("uncert: confidence level must lie in (0,1), got %g", level)
+	}
+	if N <= 0 {
+		N = 1
+	}
+	n := s.Draws
+	if n < 2 || s.TotalRew == 0 {
+		return nil, fmt.Errorf("uncert: delta-method variance needs ≥ 2 draws, got %g", n)
+	}
+	z := stats.NormalQuantile(1 - (1-level)/2)
+	out := &DeltaSizes{
+		Level: level,
+		Sizes: s.SizeInduced(N),
+		SE:    make([]float64, s.K),
+		CI:    make([]Interval, s.K),
+	}
+	fpc := n / (n - 1)
+	for c := 0; c < s.K; c++ {
+		p := s.Rew[c] / s.TotalRew
+		ssq := (1-2*p)*s.RewSqA[c] + p*p*s.RewSq
+		if ssq < 0 {
+			ssq = 0 // float cancellation near p ≈ 1
+		}
+		v := N * N / (s.TotalRew * s.TotalRew) * fpc * ssq
+		out.SE[c] = math.Sqrt(v)
+		out.CI[c] = Interval{out.Sizes[c] - z*out.SE[c], out.Sizes[c] + z*out.SE[c]}
+	}
+	return out, nil
+}

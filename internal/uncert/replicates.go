@@ -1,0 +1,297 @@
+package uncert
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+)
+
+// Replicates maintains B bootstrap replicate copies of the core.Sums
+// sufficient statistics (plus the §4.3 collision statistics) for one stream.
+// Every primary-sums mutation has a counterpart here that folds the same
+// event into each replicate, scaled by the replicate's deterministic
+// per-(node, replicate) Poisson(1) weight — the streaming analogue of
+// resampling the distinct nodes of the sample with replacement. Because the
+// weight is a pure function of (Seed, node, replicate), the replicate sums
+// are order-independent exactly where the primary sums are, hash-partition
+// by node id, and Merge exactly like the primary sums.
+//
+// Replicates is not safe for concurrent use; internal/stream drives it under
+// the accumulator lock.
+type Replicates struct {
+	cfg  Config
+	k    int
+	star bool
+	sums []*core.Sums
+
+	// Per-replicate collision statistics (Ψ₁, Ψ₋₁, colliding pairs) for the
+	// population-size estimator.
+	psi1, psiInv, coll []float64
+
+	// One-record weight cache: ingest touches the same node several times
+	// per record (draw + star terms, or both endpoints of an edge), and the
+	// B hash evaluations dominate the replicate update cost.
+	wNode  int32
+	wValid bool
+	wBuf   []float64
+	wBuf2  []float64 // second endpoint of an induced edge
+}
+
+// NewReplicates returns empty replicate sums over k categories for the
+// given scenario. cfg.B must be ≥ 1.
+func NewReplicates(k int, star bool, cfg Config) (*Replicates, error) {
+	if cfg.B < 1 {
+		return nil, fmt.Errorf("uncert: need B ≥ 1 bootstrap replicates, got %d", cfg.B)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("uncert: need K ≥ 1 categories, got %d", k)
+	}
+	rs := &Replicates{
+		cfg:    cfg,
+		k:      k,
+		star:   star,
+		sums:   make([]*core.Sums, cfg.B),
+		psi1:   make([]float64, cfg.B),
+		psiInv: make([]float64, cfg.B),
+		coll:   make([]float64, cfg.B),
+		wBuf:   make([]float64, cfg.B),
+		wBuf2:  make([]float64, cfg.B),
+	}
+	for b := range rs.sums {
+		rs.sums[b] = core.NewSums(k, star)
+	}
+	return rs, nil
+}
+
+// Config returns the bootstrap configuration.
+func (rs *Replicates) Config() Config { return rs.cfg }
+
+// B returns the number of replicates.
+func (rs *Replicates) B() int { return rs.cfg.B }
+
+// weights returns the B Poisson weights of node, cached for the duration of
+// one record (consecutive calls with the same node are free).
+func (rs *Replicates) weights(node int32) []float64 {
+	if rs.wValid && rs.wNode == node {
+		return rs.wBuf
+	}
+	for b := range rs.wBuf {
+		rs.wBuf[b] = PoissonWeight(rs.cfg.Seed, node, b)
+	}
+	rs.wNode, rs.wValid = node, true
+	return rs.wBuf
+}
+
+// AddDraw mirrors Sums.AddNode plus the collision-statistic updates for one
+// fresh draw of node: replicate b folds the draw in with multiplicity
+// c = PoissonWeight(node, b). prev is the node's primary multiplicity before
+// the draw, so the replicate multiplicity advances prev·c → (prev+1)·c.
+func (rs *Replicates) AddDraw(node, cat int32, weight, prev float64) {
+	for b, c := range rs.weights(node) {
+		if c == 0 {
+			continue
+		}
+		rs.sums[b].AddNode(cat, weight, c, prev*c)
+		rs.psi1[b] += c * weight
+		rs.psiInv[b] += c / weight
+		// The replicate multiplicity jumps by c, adding
+		// [(prev+1)c·((prev+1)c−1) − prev·c·(prev·c−1)]/2 colliding pairs.
+		rs.coll[b] += c * (c*(2*prev+1) - 1) / 2
+	}
+}
+
+// AddStar mirrors Sums.AddStar: count primary draws' worth of star terms for
+// node scale to count·c in replicate b. Like its core counterpart it is
+// linear in count and deg, so the accumulator's late-star backfill and
+// degree-retrofit calls replay here unchanged.
+func (rs *Replicates) AddStar(node, cat int32, weight, count, deg float64, nbrCat []int32, nbrCnt []float64) {
+	for b, c := range rs.weights(node) {
+		if c == 0 {
+			continue
+		}
+		rs.sums[b].AddStar(cat, weight, count*c, deg, nbrCat, nbrCnt)
+	}
+}
+
+// AddEdgeMass mirrors Sums.AddEdgeMass for an induced-scenario edge-mass
+// increment between nodes a and b: every primary increment is a product of
+// the two endpoint multiplicities' changes, so replicate r scales it by
+// c_a(r)·c_b(r).
+func (rs *Replicates) AddEdgeMass(nodeA, nodeB, catA, catB int32, mass float64) {
+	// The one-entry node cache cannot hold both endpoints; fill the second
+	// buffer directly (an edge's endpoints are distinct by construction).
+	wa := rs.weights(nodeA)
+	wb := rs.wBuf2
+	for b := range wb {
+		wb[b] = PoissonWeight(rs.cfg.Seed, nodeB, b)
+	}
+	for b := range wa {
+		if m := mass * wa[b] * wb[b]; m != 0 {
+			rs.sums[b].AddEdgeMass(catA, catB, m)
+		}
+	}
+}
+
+// Merge folds the replicate statistics of o into rs, replicate by
+// replicate. Both sides must agree on B, seed, scenario and partition —
+// then, because the Poisson weights are pure functions of (Seed, node,
+// replicate), merged replicate sums equal the replicate sums of the
+// concatenated stream wherever the primary sums do (hash-partitioned
+// shards, independent star crawls).
+func (rs *Replicates) Merge(o *Replicates) error {
+	if o == nil {
+		return nil
+	}
+	if rs.cfg != o.cfg {
+		return fmt.Errorf("uncert: cannot merge replicates with config %+v into %+v", o.cfg, rs.cfg)
+	}
+	for b := range rs.sums {
+		if err := rs.sums[b].Merge(o.sums[b]); err != nil {
+			return err
+		}
+		rs.psi1[b] += o.psi1[b]
+		rs.psiInv[b] += o.psiInv[b]
+		rs.coll[b] += o.coll[b]
+	}
+	return nil
+}
+
+// ReplicatesFromObservation builds the replicate sums of a complete batch
+// observation — the offline counterpart of streaming ingestion. Replicate b
+// scales every node's multiplicity by its Poisson weight and rebuilds the
+// sums through the identical core.SumsFromObservation path, so for the same
+// Seed the result matches the streaming replicates up to float
+// reassociation (the package tests pin this to 1e-9).
+func ReplicatesFromObservation(o *sample.Observation, cfg Config) (*Replicates, error) {
+	rs, err := NewReplicates(o.K, o.Star, cfg)
+	if err != nil {
+		return nil, err
+	}
+	clone := *o
+	mult := make([]float64, len(o.Mult))
+	for b := 0; b < cfg.B; b++ {
+		for i, v := range o.Nodes {
+			c := PoissonWeight(cfg.Seed, v, b)
+			m := o.Mult[i] * c
+			mult[i] = m
+			rs.psi1[b] += m * o.Weight[i]
+			rs.psiInv[b] += m / o.Weight[i]
+			rs.coll[b] += m * (m - 1) / 2
+		}
+		clone.Mult = mult
+		rs.sums[b] = core.SumsFromObservation(&clone)
+	}
+	return rs, nil
+}
+
+// BootSnapshot holds the B replicate estimates of every estimand at one
+// point in the stream: the raw material of any percentile CI. It is built
+// once per snapshot in O(B·K² + B·pairs) and shares no mutable state with
+// the accumulator; CIs at any level are then computed on demand without
+// touching the stream again (the daemon serves /estimate?ci=<level> this
+// way). Replicates whose total weight degenerated to zero — possible on very
+// small samples — carry NaN and are excluded from intervals.
+type BootSnapshot struct {
+	// B is the number of replicates, K the number of categories.
+	B, K int
+	// Sizes[c] and Within[c] hold the B replicate estimates of category c's
+	// size and within-density; Pop the replicate population-size estimates.
+	Sizes  [][]float64
+	Within [][]float64
+	Pop    []float64
+
+	pairs map[[2]int32][]float64
+}
+
+// Snapshot estimates every replicate's category graph and transposes the
+// results into per-estimand replicate vectors. opts are the same estimation
+// options the primary snapshot uses.
+func (rs *Replicates) Snapshot(opts core.Options) *BootSnapshot {
+	ev := newEstimandVectors(rs.k, rs.cfg.B)
+	pop := make([]float64, rs.cfg.B)
+	for b, s := range rs.sums {
+		res, within, err := estimateSums(s, rs.star, opts)
+		if err != nil {
+			ev.fail(b)
+			pop[b] = math.NaN()
+			continue
+		}
+		ev.record(b, res, within)
+		pop[b] = core.PopulationSizeFromSums(s.Draws, rs.psi1[b], rs.psiInv[b], rs.coll[b])
+	}
+	ev.patchFailed()
+	return &BootSnapshot{
+		B:      rs.cfg.B,
+		K:      rs.k,
+		Sizes:  ev.sizes,
+		Within: ev.within,
+		Pop:    pop,
+		pairs:  ev.pairs,
+	}
+}
+
+// estimateSums produces the full estimate plus within-densities from one
+// sums instance — the same sequence the stream snapshot runs on the primary
+// sums. An empty (zero-weight) replicate errors and is recorded as NaN.
+func estimateSums(s *core.Sums, star bool, opts core.Options) (*core.Result, []float64, error) {
+	if s.Draws == 0 || s.TotalRew == 0 {
+		return nil, nil, fmt.Errorf("uncert: degenerate replicate")
+	}
+	res, err := s.Estimate(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var within []float64
+	if star {
+		within, err = s.WithinWeightsStar(res.Sizes)
+	} else {
+		within, err = s.WithinWeightsInduced()
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, within, nil
+}
+
+// SizeCI returns the percentile CI of category c's size at the given level.
+func (bs *BootSnapshot) SizeCI(c int, level float64) Interval {
+	return percentile(bs.Sizes[c], level)
+}
+
+// SizeSD returns the bootstrap standard error of category c's size.
+func (bs *BootSnapshot) SizeSD(c int) float64 { return sdFinite(bs.Sizes[c]) }
+
+// WithinCI returns the percentile CI of category c's within-density.
+func (bs *BootSnapshot) WithinCI(c int, level float64) Interval {
+	return percentile(bs.Within[c], level)
+}
+
+// WeightCI returns the percentile CI of the pair weight ŵ(a,b). Pairs never
+// observed in any replicate yield the degenerate [0, 0].
+func (bs *BootSnapshot) WeightCI(a, b int32, level float64) Interval {
+	if v, ok := bs.pairs[pairCanon(a, b)]; ok {
+		return percentile(v, level)
+	}
+	return Interval{0, 0}
+}
+
+// WeightSD returns the bootstrap standard error of the pair weight ŵ(a,b).
+func (bs *BootSnapshot) WeightSD(a, b int32) float64 {
+	if v, ok := bs.pairs[pairCanon(a, b)]; ok {
+		return sdFinite(v)
+	}
+	return 0
+}
+
+// WeightReplicates returns the replicate vector of pair {a,b} (nil when the
+// pair was never observed). The slice is owned by the snapshot.
+func (bs *BootSnapshot) WeightReplicates(a, b int32) []float64 {
+	return bs.pairs[pairCanon(a, b)]
+}
+
+// PopCI returns the percentile CI of the population-size estimate N̂.
+// Replicates without collisions estimate +Inf and are excluded; if no
+// replicate saw a collision the interval is NaN.
+func (bs *BootSnapshot) PopCI(level float64) Interval { return percentile(bs.Pop, level) }

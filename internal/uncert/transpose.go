@@ -1,0 +1,94 @@
+package uncert
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// estimandVectors transposes per-source category-graph estimates (one
+// source = one bootstrap replicate or one walk) into per-estimand vectors:
+// sizes[c][i] and within[c][i] over K categories, plus lazily allocated
+// pair-weight vectors keyed by canonical pair. Unobserved pairs keep the
+// PairWeights convention of weighing 0 in a source; sources whose estimate
+// failed outright are recorded as NaN across every estimand, including pair
+// vectors allocated after the failure. Both uncertainty engines that need
+// the "spread of estimates per estimand" view — the bootstrap snapshot and
+// between-walk replication — share this one implementation.
+type estimandVectors struct {
+	k, n   int
+	sizes  [][]float64
+	within [][]float64
+	pairs  map[[2]int32][]float64
+	failed []int
+}
+
+func newEstimandVectors(k, n int) *estimandVectors {
+	return &estimandVectors{
+		k:      k,
+		n:      n,
+		sizes:  makeGrid(k, n),
+		within: makeGrid(k, n),
+		pairs:  make(map[[2]int32][]float64),
+	}
+}
+
+func makeGrid(k, n int) [][]float64 {
+	g := make([][]float64, k)
+	for c := range g {
+		g[c] = make([]float64, n)
+	}
+	return g
+}
+
+// pairVals returns the vector of pair {a,b}, allocating it zero-filled on
+// first use.
+func (ev *estimandVectors) pairVals(a, b int32) []float64 {
+	key := pairCanon(a, b)
+	v, ok := ev.pairs[key]
+	if !ok {
+		v = make([]float64, ev.n)
+		ev.pairs[key] = v
+	}
+	return v
+}
+
+// record fills source i's column from a successful estimate.
+func (ev *estimandVectors) record(i int, res *core.Result, within []float64) {
+	for c := 0; c < ev.k; c++ {
+		ev.sizes[c][i] = res.Sizes[c]
+		ev.within[c][i] = within[c]
+	}
+	res.Weights.ForEach(func(a, b int32, w float64) {
+		ev.pairVals(a, b)[i] = w
+	})
+}
+
+// fail marks source i degenerate: NaN across sizes and within now, and
+// across every pair vector at patchFailed time (pair vectors may not all
+// exist yet).
+func (ev *estimandVectors) fail(i int) {
+	for c := 0; c < ev.k; c++ {
+		ev.sizes[c][i] = math.NaN()
+		ev.within[c][i] = math.NaN()
+	}
+	ev.failed = append(ev.failed, i)
+}
+
+// patchFailed back-fills NaN into the failed sources' slots of every pair
+// vector, including vectors allocated after the failure was recorded. Call
+// once, after every source is recorded.
+func (ev *estimandVectors) patchFailed() {
+	for _, i := range ev.failed {
+		for _, v := range ev.pairs {
+			v[i] = math.NaN()
+		}
+	}
+}
+
+func pairCanon(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}

@@ -1,0 +1,155 @@
+// Package uncert quantifies the uncertainty of every estimand in the
+// system, turning the point estimates of internal/core into (estimate,
+// confidence interval) pairs. The paper validates its estimators with NRMSE
+// against ground truth (§5–§6); a production deployment has no ground truth,
+// so error bars must come from the sample itself. Three complementary
+// engines are provided:
+//
+//   - Streaming online bootstrap (Replicates, BootSnapshot): B replicate
+//     copies of the core.Sums sufficient statistics, each updated per draw
+//     with a deterministic per-(node, replicate) Poisson(1) weight — the
+//     online counterpart of the Efron–Tibshirani resampling the paper
+//     recommends in §5.3.2 for Eq. (16). Weights are hash-seeded on
+//     (seed, node, replicate), so re-deliveries of a node's records fold in
+//     consistently and hash-partitioned shards reproduce the single-lock
+//     replicates exactly. Snapshots yield percentile CIs for all K×K
+//     category-graph entries, the within-category densities, and the §4.3
+//     population-size estimate at O(B·K²) cost. This is the general-purpose
+//     engine: it applies to any estimand that is a function of the sums, and
+//     it is the only one available on a single live stream.
+//
+//   - Replication (between-walk) variance (ReplicationCI): when an estimate
+//     pools m independent crawls (the paper's Table 2 workflow), the spread
+//     of the per-walk estimates is a direct, assumption-light variance
+//     estimate — the design exploited by Klusowski & Wu's sample-size
+//     analysis for subgraph counting. The pooled center comes from the
+//     merged sums that core.Sums.Merge already composes; intervals use
+//     Student's t with m−1 degrees of freedom. Prefer it whenever ≥ 2
+//     independent walks exist: it is the only engine that captures
+//     within-walk correlation.
+//
+//   - Delta-method analytic variance (DeltaSizeCI): the Taylor-linearization
+//     variance of the Hansen–Hurwitz ratio estimators |Â| = N·w⁻¹(S_A)/w⁻¹(S)
+//     of Eq. (4)/(11), computed in closed form from the per-draw second
+//     moments (Sums.RewSq/RewSqA) in O(K). It assumes independent draws, so
+//     it is exact for UIS/WIS and only indicative for walks — use it as a
+//     cheap cross-check of the bootstrap, not as a replacement.
+//
+// All three engines consume sufficient statistics only — no raw sample is
+// ever rescanned — so they stream, shard and merge exactly like the
+// estimators they wrap.
+package uncert
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config parameterizes the bootstrap engines.
+type Config struct {
+	// B is the number of bootstrap replicates (0 disables the bootstrap).
+	// 50 gives usable standard errors, 200 stable 95% percentile CIs.
+	B int
+	// Seed seeds the deterministic per-(node, replicate) Poisson weights.
+	// Two accumulators with the same Seed assign every node the same
+	// replicate weights, which is what makes sharded replicate sums merge
+	// exactly into the single-lock ones.
+	Seed uint64
+}
+
+// Enabled reports whether the configuration turns the bootstrap on.
+func (c Config) Enabled() bool { return c.B > 0 }
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies in the interval (inclusive).
+func (iv Interval) Contains(x float64) bool { return iv.Lo <= x && x <= iv.Hi }
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Finite reports whether both endpoints are finite.
+func (iv Interval) Finite() bool {
+	return !math.IsNaN(iv.Lo) && !math.IsInf(iv.Lo, 0) && !math.IsNaN(iv.Hi) && !math.IsInf(iv.Hi, 0)
+}
+
+// nanInterval marks an estimand with no usable replicate information.
+func nanInterval() Interval { return Interval{math.NaN(), math.NaN()} }
+
+// poissonCum[k] is P(Poisson(1) ≤ k); beyond the last entry the tail mass is
+// below 1e-18, under double-precision resolution of the uniform variate.
+var poissonCum = func() [20]float64 {
+	var cum [20]float64
+	p := math.Exp(-1)
+	c := p
+	cum[0] = c
+	for k := 1; k < len(cum); k++ {
+		p /= float64(k)
+		c += p
+		cum[k] = c
+	}
+	return cum
+}()
+
+// mix64 is the SplitMix64 finalizer — a full-avalanche 64-bit mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PoissonWeight returns the deterministic Poisson(1) bootstrap weight of
+// node in replicate rep under seed. The weight is a pure function of its
+// arguments: every draw of a node carries the same per-replicate weight, so
+// replicate sums accumulated in any order, across any shard partition of the
+// node id space, agree exactly.
+func PoissonWeight(seed uint64, node int32, rep int) float64 {
+	h := mix64(mix64((seed^0x5851f42d4c957f2d)+uint64(uint32(node))) + uint64(rep))
+	u := float64(h>>11) / (1 << 53)
+	for k, cum := range poissonCum {
+		if u < cum {
+			return float64(k)
+		}
+	}
+	return float64(len(poissonCum))
+}
+
+// percentile returns the Efron percentile interval of the replicate values
+// at the given level, ignoring non-finite replicates (degenerate resamples
+// and unresolvable estimands). With no finite replicate the interval is
+// NaN. The filtered vector is sorted once and both endpoints read from it —
+// this runs per estimand per /estimate request on the daemon's read path.
+func percentile(vals []float64, level float64) Interval {
+	fin := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			fin = append(fin, v)
+		}
+	}
+	if len(fin) == 0 {
+		return nanInterval()
+	}
+	sort.Float64s(fin)
+	alpha := (1 - level) / 2
+	return Interval{stats.QuantileSorted(fin, alpha), stats.QuantileSorted(fin, 1-alpha)}
+}
+
+// sdFinite returns the standard deviation of the finite replicate values
+// (NaN when none) — the bootstrap standard error of the estimand.
+func sdFinite(vals []float64) float64 {
+	var m stats.Moments
+	for _, v := range vals {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			m.Add(v)
+		}
+	}
+	if m.N() == 0 {
+		return math.NaN()
+	}
+	return m.StdDev()
+}

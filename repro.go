@@ -11,6 +11,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
+	"repro/internal/uncert"
 )
 
 // Re-exported substrate types. See the internal packages for full method
@@ -58,10 +59,36 @@ type (
 	// StreamSnapshot is a self-contained point-in-time estimate with
 	// convergence deltas.
 	StreamSnapshot = stream.Snapshot
+	// UncertConfig parameterizes the bootstrap engines of internal/uncert:
+	// B replicates under deterministic hash-seeded Poisson weights.
+	UncertConfig = uncert.Config
+	// Interval is a two-sided confidence interval.
+	Interval = uncert.Interval
+	// BootstrapSnapshot holds per-replicate estimates of every estimand and
+	// serves percentile CIs at any level (SizeCI, WeightCI, WithinCI, PopCI).
+	BootstrapSnapshot = uncert.BootSnapshot
+	// ReplicationSummary is the between-walk variance summary of a pooled
+	// multi-walk estimate (t intervals around the merged-sums center).
+	ReplicationSummary = uncert.Replication
+	// DeltaSizes is the delta-method variance of the category-size ratio
+	// estimators — the cheap analytic cross-check of the bootstrap.
+	DeltaSizes = uncert.DeltaSizes
 )
 
 // NoCategory marks nodes that belong to no category.
 const NoCategory = graph.None
+
+// SizeMethod selects the category-size estimator plugged into Estimate,
+// StreamConfig and the uncertainty engines.
+type SizeMethod = core.SizeMethod
+
+// The category-size estimator choices of Options.Size / StreamConfig.Size.
+const (
+	SizeMethodAuto       = core.SizeMethodAuto
+	SizeMethodInduced    = core.SizeMethodInduced
+	SizeMethodStar       = core.SizeMethodStar
+	SizeMethodStarPooled = core.SizeMethodStarPooled
+)
 
 // NewRand returns a deterministic PCG generator for the given seed.
 func NewRand(seed uint64) *rand.Rand { return randx.New(seed) }
@@ -226,6 +253,69 @@ func Walks(r *rand.Rand, g *Graph, s Sampler, walks, perWalk int) ([]*Sample, er
 // Merge concatenates several samples (e.g. independent walks) into one; if
 // any input carries weights, the output does too.
 func Merge(samples ...*Sample) *Sample { return sample.Merge(samples...) }
+
+// EstimateWithCI produces the full category-graph estimate together with a
+// bootstrap snapshot carrying percentile confidence intervals for every
+// estimand — the (estimate, CI) pair that makes a ground-truth-free
+// deployment consumable. The snapshot is built by resampling the
+// observation's distinct nodes B times under deterministic Poisson(1)
+// weights (internal/uncert); query it at any level, e.g.
+// boot.SizeCI(c, 0.95). Matches the streaming path: an Accumulator with the
+// same UncertConfig produces the same replicate estimates for the same
+// stream.
+func EstimateWithCI(o *Observation, opts Options, bc UncertConfig) (*Result, *BootstrapSnapshot, error) {
+	res, err := core.Estimate(o, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	reps, err := uncert.ReplicatesFromObservation(o, bc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, reps.Snapshot(opts), nil
+}
+
+// StreamWithCI replays one or more walks through an observer into a fresh
+// accumulator with the streaming bootstrap enabled and returns the final
+// snapshot, whose Boot field serves percentile CIs for every estimand — the
+// one-call streaming counterpart of EstimateWithCI. A zero cfg.Replicates.B
+// defaults to 200 replicates. The observer and configuration must agree on
+// the measurement scenario.
+func StreamWithCI(cfg StreamConfig, so *StreamObserver, walks ...*Sample) (*StreamSnapshot, error) {
+	if cfg.Replicates.B == 0 {
+		cfg.Replicates.B = 200
+	}
+	acc, err := stream.NewAccumulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := StreamWalks(acc, so, walks...); err != nil {
+		return nil, err
+	}
+	return acc.Snapshot()
+}
+
+// ReplicationCI computes between-walk variance intervals for the pooled
+// estimate of m ≥ 2 independent crawls (the paper's Table 2 workflow): the
+// pooled center comes from the merged sufficient statistics, the spread of
+// the per-walk estimates gives t-distribution intervals. This is the only
+// engine that captures within-walk correlation, so prefer it whenever
+// independent walks exist.
+func ReplicationCI(opts Options, level float64, obs ...*Observation) (*ReplicationSummary, error) {
+	sums := make([]*core.Sums, len(obs))
+	for i, o := range obs {
+		sums[i] = core.SumsFromObservation(o)
+	}
+	return uncert.ReplicationCI(sums, opts, level)
+}
+
+// DeltaSizeCI computes the closed-form delta-method variance of the
+// category-size ratio estimators |Â| = N·w⁻¹(S_A)/w⁻¹(S) from one
+// observation — exact for independence designs (UIS/WIS), indicative for
+// walks. Use it as a cheap cross-check of the bootstrap.
+func DeltaSizeCI(o *Observation, n float64, level float64) (*DeltaSizes, error) {
+	return uncert.DeltaSizeCI(core.SumsFromObservation(o), n, level)
+}
 
 // TrueCategoryGraph computes the exact category graph of a fully known
 // categorized graph (the ground truth of the simulations).

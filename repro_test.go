@@ -320,3 +320,88 @@ func TestFacadeExtensions(t *testing.T) {
 		t.Fatalf("bfs: %v", err)
 	}
 }
+
+// TestFacadeUncertainty exercises the uncertainty-quantification exports:
+// batch bootstrap CIs, the streaming one-call path, between-walk replication
+// intervals, and the delta-method cross-check — all on one small graph.
+func TestFacadeUncertainty(t *testing.T) {
+	g, err := GeneratePaperGraph(NewRand(3), 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := float64(g.N())
+	s, err := NewUIS().Sample(NewRand(9), g, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := ObserveStar(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch: (estimate, CI) pair from one observation. The induced-form
+	// size estimator is the one the delta method covers, so the whole test
+	// runs on it (the unbiased Hansen–Hurwitz ratio).
+	opts := Options{N: N, Size: SizeMethodInduced}
+	res, boot, err := EstimateWithCI(o, opts, UncertConfig{B: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := g.NumCategories() - 1 // the 50k category is well sampled
+	iv := boot.SizeCI(big, 0.95)
+	if !iv.Finite() || !iv.Contains(res.Sizes[big]) {
+		t.Fatalf("size CI %+v does not bracket the estimate %v", iv, res.Sizes[big])
+	}
+	if truth := float64(g.CategorySize(int32(big))); !iv.Contains(truth) {
+		t.Errorf("size CI %+v misses truth %v", iv, truth)
+	}
+
+	// Streaming: same sample through the one-call path; the deterministic
+	// weights make the replicate estimates match the batch path.
+	so, err := NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := StreamWithCI(StreamConfig{
+		K: g.NumCategories(), Star: true, N: N, Size: SizeMethodInduced,
+		Replicates: UncertConfig{B: 120, Seed: 1},
+	}, so, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Boot == nil {
+		t.Fatal("StreamWithCI snapshot carries no bootstrap")
+	}
+	siv := snap.Boot.SizeCI(big, 0.95)
+	if math.Abs(siv.Lo-iv.Lo) > 1e-6*N || math.Abs(siv.Hi-iv.Hi) > 1e-6*N {
+		t.Fatalf("streaming CI %+v != batch CI %+v", siv, iv)
+	}
+
+	// Replication: pooled multi-walk intervals.
+	walks, err := Walks(NewRand(5), g, NewRW(500), 6, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]*Observation, len(walks))
+	for i, w := range walks {
+		if obs[i], err = ObserveStar(g, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := ReplicationCI(opts, 0.95, obs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Walks != 6 || !rep.Sizes[big].Contains(rep.Pooled.Sizes[big]) {
+		t.Fatalf("replication summary %+v", rep.Sizes[big])
+	}
+
+	// Delta method: cross-check against the bootstrap SE on a UIS sample.
+	d, err := DeltaSizeCI(o, N, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bse := boot.SizeSD(big); math.Abs(d.SE[big]-bse)/bse > 0.5 {
+		t.Errorf("delta SE %v far from bootstrap SE %v", d.SE[big], bse)
+	}
+}
