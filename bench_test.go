@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/community"
 	"repro/internal/core"
+	"repro/internal/crawl"
 	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/fbsim"
@@ -648,6 +649,72 @@ func BenchmarkSamplerStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.SamplerStudy(p); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrawlWalkers measures the adaptive crawl controller end to end:
+// W concurrent walkers stream a fixed 20k-draw budget (no CI target, so
+// every configuration does identical estimation work) into an accumulator
+// with S shards, checkpointing every 5000 draws. The 1-walker/1-shard row
+// is the serialized baseline; the 4/4 and 8/8 rows show how far walker
+// parallelism carries once per-shard locks remove ingest contention (run
+// with -cpu 4,8 on a multi-core machine).
+func BenchmarkCrawlWalkers(b *testing.B) {
+	g := getPaperGraph(b)
+	for _, ws := range []struct{ walkers, shards int }{{1, 1}, {4, 4}, {8, 8}} {
+		b.Run(fmt.Sprintf("walkers=%d/shards=%d", ws.walkers, ws.shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := crawl.Start(g, nil, crawl.Config{
+					Walkers: ws.walkers, Shards: ws.shards,
+					Star: true, N: float64(g.N()),
+					Seed: uint64(i + 1), BurnIn: 100,
+					MaxDraws: 20_000, CheckEvery: 5000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Draws != 20_000 {
+					b.Fatalf("draws = %d", res.Draws)
+				}
+			}
+			b.ReportMetric(20_000*float64(b.N)/b.Elapsed().Seconds(), "draws/s")
+		})
+	}
+}
+
+// BenchmarkCrawlCheckpoint isolates the stopping-rule evaluation: the cost
+// of one bootstrap-engine checkpoint (snapshot + B·K² replicate estimates +
+// half-width extraction) at B=100 on the paper graph — the recurring price
+// of adaptivity, paid once per CheckEvery draws.
+func BenchmarkCrawlCheckpoint(b *testing.B) {
+	g := getPaperGraph(b)
+	c, err := crawl.Start(g, nil, crawl.Config{
+		Walkers: 2, Star: true, N: float64(g.N()), Seed: 5,
+		Bootstrap:  uncert.Config{B: 100, Seed: 5},
+		SizeTarget: 1e-12, // unreachable: the crawl always runs to budget
+		MaxDraws:   5000, CheckEvery: 5000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	acc := c.Accumulator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := acc.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for cat := 0; cat < g.NumCategories(); cat++ {
+			_ = snap.Boot.SizeCI(cat, 0.95)
+			_ = snap.Boot.WithinCI(cat, 0.95)
 		}
 	}
 }

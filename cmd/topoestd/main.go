@@ -8,6 +8,7 @@
 //	topoestd -k 10 -star -addr :8723
 //	topoestd -names US,BR,DE,FR -star=false -N 88850
 //	topoestd -demo -demo-draws 20000       # self-feeding smoke/demo mode
+//	topoestd -crawl -crawl-walkers 8 -crawl-target 500   # adaptive crawl mode
 //
 // Flags:
 //
@@ -28,10 +29,26 @@
 //	-bootstrap-seed  seed of the deterministic per-(node, replicate)
 //	             Poisson weights (default 1); replicas of the daemon with
 //	             the same seed produce identical replicate estimates
-//	-demo        generate the paper's §6.2.1 graph and trickle-feed a random
-//	             walk crawl of it into the accumulator
+//	-demo        generate the paper's §6.2.1 graph and run a fixed-budget
+//	             one-walker crawl of it through the adaptive controller
+//	             (throttled rounds, so the live estimate is watchable)
 //	-demo-draws  total draws the demo crawl ingests (default 20000)
-//	-demo-seed   demo crawl seed (default 1)
+//	-demo-seed   demo graph and crawl seed (default 1)
+//	-crawl       adaptive crawl mode: generate the paper graph and crawl it
+//	             with internal/crawl until the CI targets are met (or the
+//	             budget runs out); further jobs start via POST /crawl
+//	-crawl-walkers       concurrent walkers (default 4)
+//	-crawl-sampler       RW | MHRW | S-WRW (default RW)
+//	-crawl-engine        stopping CI engine: bootstrap | replication
+//	-crawl-target        category-size CI half-width stop threshold (0=off)
+//	-crawl-within-target within-weight CI half-width threshold (0=off)
+//	-crawl-cats          category indices the targets apply to (empty=all)
+//	-crawl-level         stopping CI confidence level (default 0.95)
+//	-crawl-max-draws     hard draw budget (default 200000)
+//	-crawl-min-draws     no target-stop before this many draws
+//	-crawl-check         checkpoint cadence in draws (default 2000)
+//	-crawl-burnin        per-walker burn-in steps (default 1000)
+//	-crawl-seed          master walker seed (default 1)
 //
 // Endpoints:
 //
@@ -47,6 +64,25 @@
 //	GET  /categorygraph.tsv  the estimate as a category-graph TSV (the same
 //	                         format cmd/topoest emits)
 //	GET  /healthz            liveness: status, draws, distinct, shards, uptime
+//	POST /crawl              start an adaptive crawl job against the
+//	                         generated graph (crawl/demo mode only; one job
+//	                         at a time, 409 while one runs). The JSON body
+//	                         optionally overrides the flag defaults:
+//	                         {"walkers":8,"sampler":"RW","engine":"bootstrap",
+//	                         "size_target":500,"size_cats":[0,1],
+//	                         "within_target":0.05,"within_cats":[2],
+//	                         "level":0.95,"max_draws":200000,
+//	                         "min_draws":0,"check_every":2000,
+//	                         "burn_in":1000,"thin":1,"seed":7}
+//	GET  /crawl/status       live job state: {"state":"none|running|done|
+//	                         failed","draws":…,"max_draws":…,
+//	                         "walkers":[{"walker":0,"draws":…,"node":…}],
+//	                         "checkpoint":{"seq":…,"draws":…,
+//	                         "size_hw":[…],"within_hw":[…],
+//	                         "targets_met":…},"result":{"stopped":
+//	                         "target|budget","draws":…,"checkpoints":…}}
+//	                         — half-width entries are null until the engine
+//	                         resolves the estimand
 //
 // The observation wire format is sample.NodeObservation: under star
 // sampling {"node":7,"weight":3,"cat":1,"deg":5,"nbr_cat":[0,1],
@@ -87,6 +123,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -102,31 +139,75 @@ import (
 
 	"repro/internal/catgraph"
 	"repro/internal/core"
+	"repro/internal/crawl"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
 	"repro/internal/uncert"
 )
 
+// cli holds the parsed command line.
+type cli struct {
+	addr     string
+	k        int
+	names    string
+	star     bool
+	shards   int
+	popN     float64
+	size     string
+	boot     int
+	bootSeed uint64
+
+	demo      bool
+	demoDraws int
+	demoSeed  uint64
+
+	crawlMode    bool
+	crawlWalkers int
+	crawlSampler string
+	crawlEngine  string
+	crawlTarget  float64
+	crawlWithin  float64
+	crawlCats    string
+	crawlLevel   float64
+	crawlMax     int
+	crawlMin     int
+	crawlCheck   int
+	crawlBurnIn  int
+	crawlSeed    uint64
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8723", "listen address")
-		k         = flag.Int("k", 0, "number of categories")
-		names     = flag.String("names", "", "comma-separated category names (sets -k)")
-		star      = flag.Bool("star", true, "star scenario (false = induced subgraph)")
-		shards    = flag.Int("shards", 1, "shard the accumulator across this many locks (star only; >1 enables multi-core ingest)")
-		popN      = flag.Float64("N", 0, "population size |V| (0 = unknown, relative sizes)")
-		sizeFlag  = flag.String("size", "auto", "size estimator: auto|induced|star|star-pooled")
-		boot      = flag.Int("bootstrap", 0, "streaming-bootstrap replicates for /estimate?ci= intervals (0 = off)")
-		bootSeed  = flag.Uint64("bootstrap-seed", 1, "seed of the deterministic bootstrap weights")
-		demo      = flag.Bool("demo", false, "self-feed a random-walk crawl of the §6.2.1 paper graph")
-		demoDraws = flag.Int("demo-draws", 20000, "demo: total draws to ingest")
-		demoSeed  = flag.Uint64("demo-seed", 1, "demo: crawl seed")
-	)
+	var c cli
+	flag.StringVar(&c.addr, "addr", ":8723", "listen address")
+	flag.IntVar(&c.k, "k", 0, "number of categories")
+	flag.StringVar(&c.names, "names", "", "comma-separated category names (sets -k)")
+	flag.BoolVar(&c.star, "star", true, "star scenario (false = induced subgraph)")
+	flag.IntVar(&c.shards, "shards", 1, "shard the accumulator across this many locks (star only; >1 enables multi-core ingest)")
+	flag.Float64Var(&c.popN, "N", 0, "population size |V| (0 = unknown, relative sizes)")
+	flag.StringVar(&c.size, "size", "auto", "size estimator: auto|induced|star|star-pooled")
+	flag.IntVar(&c.boot, "bootstrap", 0, "streaming-bootstrap replicates for /estimate?ci= intervals (0 = off)")
+	flag.Uint64Var(&c.bootSeed, "bootstrap-seed", 1, "seed of the deterministic bootstrap weights")
+	flag.BoolVar(&c.demo, "demo", false, "self-feed a fixed-budget random-walk crawl of the §6.2.1 paper graph")
+	flag.IntVar(&c.demoDraws, "demo-draws", 20000, "demo: total draws to ingest")
+	flag.Uint64Var(&c.demoSeed, "demo-seed", 1, "demo: graph and crawl seed")
+	flag.BoolVar(&c.crawlMode, "crawl", false, "adaptive crawl mode: generate the paper graph and crawl it until the CI targets are met")
+	flag.IntVar(&c.crawlWalkers, "crawl-walkers", 4, "crawl: concurrent walkers")
+	flag.StringVar(&c.crawlSampler, "crawl-sampler", "RW", "crawl: sampler kernel (RW|MHRW|S-WRW)")
+	flag.StringVar(&c.crawlEngine, "crawl-engine", "bootstrap", "crawl: stopping CI engine (bootstrap|replication)")
+	flag.Float64Var(&c.crawlTarget, "crawl-target", 0, "crawl: stop when every targeted category-size CI half-width ≤ this (0 = untargeted)")
+	flag.Float64Var(&c.crawlWithin, "crawl-within-target", 0, "crawl: within-weight CI half-width target (0 = untargeted)")
+	flag.StringVar(&c.crawlCats, "crawl-cats", "", "crawl: comma-separated category indices the targets apply to (empty = all)")
+	flag.Float64Var(&c.crawlLevel, "crawl-level", 0.95, "crawl: confidence level of the stopping CIs")
+	flag.IntVar(&c.crawlMax, "crawl-max-draws", 200000, "crawl: hard draw budget")
+	flag.IntVar(&c.crawlMin, "crawl-min-draws", 0, "crawl: never target-stop before this many draws")
+	flag.IntVar(&c.crawlCheck, "crawl-check", 2000, "crawl: checkpoint cadence in draws")
+	flag.IntVar(&c.crawlBurnIn, "crawl-burnin", 1000, "crawl: per-walker burn-in steps")
+	flag.Uint64Var(&c.crawlSeed, "crawl-seed", 1, "crawl: master walker seed")
 	flag.Parse()
-	bc := uncert.Config{B: *boot, Seed: *bootSeed}
-	if err := run(*addr, *k, *names, *star, *shards, *popN, *sizeFlag, bc, *demo, *demoDraws, *demoSeed); err != nil {
+	if err := c.run(); err != nil {
 		fmt.Fprintln(os.Stderr, "topoestd:", err)
 		os.Exit(1)
 	}
@@ -146,33 +227,35 @@ func newIngester(cfg stream.Config, shards int) (stream.Ingester, error) {
 	return stream.NewShardedAccumulator(cfg, shards)
 }
 
-func run(addr string, k int, namesFlag string, star bool, shards int, popN float64, sizeFlag string, bc uncert.Config, demo bool, demoDraws int, demoSeed uint64) error {
-	method, err := parseSizeMethod(sizeFlag)
+func (c *cli) run() error {
+	method, err := parseSizeMethod(c.size)
 	if err != nil {
 		return err
 	}
+	bc := uncert.Config{B: c.boot, Seed: c.bootSeed}
 	if bc.B < 0 {
 		return fmt.Errorf("need -bootstrap ≥ 0, got %d", bc.B)
 	}
-	var names []string
-	if namesFlag != "" {
-		names = strings.Split(namesFlag, ",")
-		k = len(names)
+	if c.demo || c.crawlMode {
+		return c.runCrawlMode(method, bc)
 	}
-	if demo {
-		return runDemo(addr, star, shards, method, bc, demoDraws, demoSeed)
+	k := c.k
+	var names []string
+	if c.names != "" {
+		names = strings.Split(c.names, ",")
+		k = len(names)
 	}
 	if k < 1 {
 		return fmt.Errorf("need -k or -names (got %d categories)", k)
 	}
-	acc, err := newIngester(stream.Config{K: k, Star: star, N: popN, Size: method, Replicates: bc}, shards)
+	acc, err := newIngester(stream.Config{K: k, Star: c.star, N: c.popN, Size: method, Replicates: bc}, c.shards)
 	if err != nil {
 		return err
 	}
 	srv := newServer(acc, names)
 	log.Printf("topoestd: serving %d categories (%s scenario, %d shard(s), %d bootstrap replicate(s)) on %s",
-		k, scenarioName(star), shards, bc.B, addr)
-	return listenAndServe(addr, srv)
+		k, scenarioName(c.star), c.shards, bc.B, c.addr)
+	return listenAndServe(c.addr, srv)
 }
 
 // listenAndServe wraps the handler in an http.Server with read and write
@@ -190,12 +273,15 @@ func listenAndServe(addr string, h http.Handler) error {
 	return srv.ListenAndServe()
 }
 
-// runDemo builds the paper's synthetic graph, starts a goroutine that
-// trickle-feeds a random-walk crawl through a StreamObserver, and serves the
-// live estimate — a one-command end-to-end demonstration of the subsystem.
-func runDemo(addr string, star bool, shards int, method core.SizeMethod, bc uncert.Config, draws int, seed uint64) error {
-	r := randx.New(seed)
-	g, err := gen.Paper(r, gen.PaperConfig{
+// runCrawlMode builds the paper's synthetic graph and drives the adaptive
+// crawl controller against it — the end-to-end demonstration of the
+// subsystem. With -crawl the job stops itself on the configured CI-width
+// targets; with plain -demo it degrades to the fixed-budget special case
+// (one walker, -demo-draws total, throttled rounds for a watchable live
+// estimate), replacing the former ad-hoc fixed-draw ingest loop. Subsequent
+// jobs can be launched over HTTP via POST /crawl.
+func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
+	g, err := gen.Paper(randx.New(c.demoSeed), gen.PaperConfig{
 		Sizes:   []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000},
 		K:       20,
 		Alpha:   0.5,
@@ -204,37 +290,111 @@ func runDemo(addr string, star bool, shards int, method core.SizeMethod, bc unce
 	if err != nil {
 		return err
 	}
+	// The adaptive flag-derived config doubles as the defaults of POST
+	// /crawl jobs — even under plain -demo, where the auto-started job
+	// itself uses the throttled fixed-budget demo config (an HTTP-started
+	// job must not inherit the demo pacing). Both carry the daemon's N and
+	// size method: the stopping engines evaluate CI widths against them,
+	// and a scale mismatch with the accumulator is rejected by crawl.Start.
+	adaptive, err := c.adaptiveCrawlConfig()
+	if err != nil {
+		return err
+	}
+	adaptive.N, adaptive.Size = float64(g.N()), method
+	jobCfg := adaptive
+	if !c.crawlMode {
+		jobCfg = c.demoCrawlConfig()
+		jobCfg.N, jobCfg.Size = float64(g.N()), method
+	}
+	targeted := jobCfg.SizeTarget > 0 || jobCfg.WithinTarget > 0
+	if targeted && jobCfg.Engine == crawl.EngineBootstrap && bc.B == 0 {
+		// The bootstrap stopping engine reads CI widths off the daemon's
+		// accumulator; a targeted crawl without -bootstrap defaults to 100
+		// replicates rather than failing startup.
+		bc.B = 100
+		log.Printf("topoestd: crawl targets set without -bootstrap; defaulting to %d replicates", bc.B)
+	}
 	acc, err := newIngester(stream.Config{
-		K: g.NumCategories(), Star: star, N: float64(g.N()), Size: method, Replicates: bc,
-	}, shards)
+		K: g.NumCategories(), Star: c.star, N: float64(g.N()), Size: method, Replicates: bc,
+	}, c.shards)
 	if err != nil {
 		return err
 	}
-	s, err := sample.NewRW(1000).Sample(r, g, draws)
-	if err != nil {
-		return err
-	}
-	so, err := sample.NewStreamObserver(g, star)
-	if err != nil {
-		return err
-	}
-	go func() {
-		const chunk = 200
-		for i, v := range s.Nodes {
-			if err := acc.Ingest(so.Observe(v, s.Weight(i))); err != nil {
-				log.Printf("topoestd: demo ingest: %v", err)
-				return
-			}
-			if (i+1)%chunk == 0 {
-				time.Sleep(50 * time.Millisecond)
-			}
-		}
-		log.Printf("topoestd: demo crawl complete (%d draws)", s.Len())
-	}()
 	srv := newServer(acc, g.CategoryNames())
-	log.Printf("topoestd: demo on %s — crawling N=%d graph (%s scenario, %d draws)",
-		addr, g.N(), scenarioName(star), draws)
-	return listenAndServe(addr, srv)
+	srv.crawlGraph = g
+	srv.crawlDefaults = adaptive
+	job, err := crawl.Start(g, acc, jobCfg)
+	if err != nil {
+		return err
+	}
+	srv.job = job
+	go func() {
+		res, err := job.Wait()
+		if err != nil {
+			log.Printf("topoestd: crawl failed: %v", err)
+			return
+		}
+		log.Printf("topoestd: crawl finished on %s after %d draws (%d checkpoints)",
+			res.Stopped, res.Draws, res.Checkpoints)
+	}()
+	log.Printf("topoestd: crawl mode on %s — N=%d paper graph, %s scenario, %d walker(s), %s sampler, max %d draws",
+		c.addr, g.N(), scenarioName(c.star), max(jobCfg.Walkers, 1), jobCfg.Sampler, jobCfg.MaxDraws)
+	return listenAndServe(c.addr, srv)
+}
+
+// demoCrawlConfig is the plain -demo job: the fixed-budget special case,
+// throttled so the live estimate is watchable while it converges.
+func (c *cli) demoCrawlConfig() crawl.Config {
+	return crawl.Config{
+		Walkers:    1,
+		Sampler:    crawl.SamplerRW,
+		BurnIn:     1000,
+		Seed:       c.demoSeed,
+		Star:       c.star,
+		MaxDraws:   c.demoDraws,
+		CheckEvery: 200,
+		RoundDelay: 50 * time.Millisecond,
+	}
+}
+
+// adaptiveCrawlConfig translates the -crawl flags into a controller config.
+func (c *cli) adaptiveCrawlConfig() (crawl.Config, error) {
+	cats, err := parseCats(c.crawlCats)
+	if err != nil {
+		return crawl.Config{}, err
+	}
+	return crawl.Config{
+		Walkers:      c.crawlWalkers,
+		Sampler:      c.crawlSampler,
+		BurnIn:       c.crawlBurnIn,
+		Seed:         c.crawlSeed,
+		Star:         c.star,
+		Engine:       crawl.Engine(c.crawlEngine),
+		Level:        c.crawlLevel,
+		SizeTarget:   c.crawlTarget,
+		SizeCats:     cats,
+		WithinTarget: c.crawlWithin,
+		WithinCats:   cats,
+		MaxDraws:     c.crawlMax,
+		MinDraws:     c.crawlMin,
+		CheckEvery:   c.crawlCheck,
+	}, nil
+}
+
+// parseCats parses the -crawl-cats list ("" = nil = all categories).
+func parseCats(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var cats []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -crawl-cats entry %q: %v", f, err)
+		}
+		cats = append(cats, n)
+	}
+	return cats, nil
 }
 
 func parseSizeMethod(s string) (core.SizeMethod, error) {
@@ -258,19 +418,29 @@ func scenarioName(star bool) string {
 	return "induced"
 }
 
-// server is the HTTP facade over one accumulator. Snapshots are cached per
-// draw count so that read-heavy traffic between ingests costs one O(K²)
-// estimate, not one per request — and so the accumulator's convergence
-// baseline advances only when the stream does.
+// server is the HTTP facade over one accumulator. Snapshots are cached so
+// that read-heavy traffic between ingests costs one O(K²) estimate, not one
+// per request — and so the accumulator's convergence baseline advances only
+// when the stream does.
 type server struct {
 	mux   *http.ServeMux
 	acc   stream.Ingester
 	names []string
 	start time.Time
 
-	mu       sync.Mutex
-	cached   *stream.Snapshot
-	cachedCG *catgraph.Graph
+	// crawlGraph is the generated graph of crawl/demo mode (nil when the
+	// daemon only serves externally pushed records); crawlDefaults seeds
+	// the configuration of POST /crawl jobs.
+	crawlGraph    *graph.Graph
+	crawlDefaults crawl.Config
+
+	mu        sync.Mutex
+	cached    *stream.Snapshot
+	cachedCG  *catgraph.Graph
+	cachedGen uint64
+
+	crawlMu sync.Mutex
+	job     *crawl.Crawl
 }
 
 func newServer(acc stream.Ingester, names []string) *server {
@@ -285,18 +455,34 @@ func newServer(acc stream.Ingester, names []string) *server {
 	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /categorygraph.tsv", s.handleTSV)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /crawl", s.handleCrawlStart)
+	s.mux.HandleFunc("GET /crawl/status", s.handleCrawlStatus)
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // snapshot returns the current estimate and its category-graph view,
-// reusing the cached pair while no new draws have arrived — so read-heavy
-// polling between ingests costs one O(K²) recompute total, not per request.
+// reusing the cached pair while no new records have been applied — so
+// read-heavy polling between ingests costs one O(K²) recompute total, not
+// per request.
+//
+// Freshness is keyed on the accumulator's monotone ingest generation
+// (Ingester.Gen), NOT on Draws: the sharded accumulator's draw count used
+// to be a sum of per-shard counters taken one lock at a time, and under
+// concurrent ingest that sum can tear — increments landing on shards
+// already scanned are missed, so the torn total can equal the count the
+// cache was keyed on and a stale snapshot (and category graph) would be
+// served as fresh. Gen is a single atomic counter advanced after each
+// applied record, so reading the same value twice guarantees no record
+// completed in between; reading it BEFORE taking the snapshot makes the
+// key conservative (a record racing the snapshot is re-estimated on the
+// next request rather than ever being missed).
 func (s *server) snapshot() (*stream.Snapshot, *catgraph.Graph, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cached != nil && s.cached.Draws == s.acc.Draws() {
+	gen := s.acc.Gen()
+	if s.cached != nil && s.cachedGen == gen {
 		return s.cached, s.cachedCG, nil
 	}
 	snap, err := s.acc.Snapshot()
@@ -307,7 +493,7 @@ func (s *server) snapshot() (*stream.Snapshot, *catgraph.Graph, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	s.cached, s.cachedCG = snap, cg
+	s.cached, s.cachedCG, s.cachedGen = snap, cg, gen
 	return snap, cg, nil
 }
 
@@ -545,6 +731,210 @@ func (s *server) handleTSV(w http.ResponseWriter, r *http.Request) {
 	if err := cg.WriteTSV(w); err != nil {
 		log.Printf("topoestd: write tsv: %v", err)
 	}
+}
+
+// crawlReq is the wire form of POST /crawl: every field is optional and
+// overrides the daemon's flag-derived defaults. The scenario, shard count
+// and estimator configuration are fixed at daemon startup — a crawl job
+// streams into the daemon's own accumulator.
+type crawlReq struct {
+	Walkers      *int     `json:"walkers"`
+	Sampler      *string  `json:"sampler"`
+	BurnIn       *int     `json:"burn_in"`
+	Thin         *int     `json:"thin"`
+	Seed         *uint64  `json:"seed"`
+	Engine       *string  `json:"engine"`
+	Level        *float64 `json:"level"`
+	SizeTarget   *float64 `json:"size_target"`
+	SizeCats     []int    `json:"size_cats"`
+	WithinTarget *float64 `json:"within_target"`
+	WithinCats   []int    `json:"within_cats"`
+	MaxDraws     *int     `json:"max_draws"`
+	MinDraws     *int     `json:"min_draws"`
+	CheckEvery   *int     `json:"check_every"`
+}
+
+// apply folds the request's overrides into a copy of the daemon defaults.
+func (req *crawlReq) apply(cfg crawl.Config) crawl.Config {
+	setInt := func(dst *int, src *int) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setFloat := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setInt(&cfg.Walkers, req.Walkers)
+	setInt(&cfg.BurnIn, req.BurnIn)
+	setInt(&cfg.Thin, req.Thin)
+	setInt(&cfg.MaxDraws, req.MaxDraws)
+	setInt(&cfg.MinDraws, req.MinDraws)
+	setInt(&cfg.CheckEvery, req.CheckEvery)
+	setFloat(&cfg.Level, req.Level)
+	setFloat(&cfg.SizeTarget, req.SizeTarget)
+	setFloat(&cfg.WithinTarget, req.WithinTarget)
+	if req.Sampler != nil {
+		cfg.Sampler = *req.Sampler
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if req.Engine != nil {
+		cfg.Engine = crawl.Engine(*req.Engine)
+	}
+	if req.SizeCats != nil {
+		cfg.SizeCats = req.SizeCats
+	}
+	if req.WithinCats != nil {
+		cfg.WithinCats = req.WithinCats
+	}
+	return cfg
+}
+
+// handleCrawlStart launches an adaptive crawl job against the daemon's
+// generated graph, streaming into the daemon's accumulator. One job runs at
+// a time: starting while one is active is a 409; finished jobs may be
+// superseded (the accumulator keeps pooling draws across jobs).
+func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request) {
+	if s.crawlGraph == nil {
+		httpError(w, http.StatusNotFound, "no crawl backend: start the daemon with -crawl or -demo")
+		return
+	}
+	var req crawlReq
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad crawl config: %v", err)
+			return
+		}
+	}
+	cfg := req.apply(s.crawlDefaults)
+	s.crawlMu.Lock()
+	defer s.crawlMu.Unlock()
+	if s.job != nil {
+		select {
+		case <-s.job.Done():
+		default:
+			httpError(w, http.StatusConflict, "a crawl job is already running; poll GET /crawl/status")
+			return
+		}
+	}
+	job, err := crawl.Start(s.crawlGraph, s.acc, cfg)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.job = job
+	log.Printf("topoestd: crawl started (%d walker(s), sampler %s, engine %s, size target %g, max %d draws)",
+		max(cfg.Walkers, 1), orDefault(cfg.Sampler, crawl.SamplerRW), orDefault(string(cfg.Engine), string(crawl.EngineBootstrap)),
+		cfg.SizeTarget, cfg.MaxDraws)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":    "started",
+		"walkers":   max(cfg.Walkers, 1),
+		"max_draws": cfg.MaxDraws,
+	})
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// crawlStatusDoc is the JSON shape of GET /crawl/status. Half-width arrays
+// use pointers so unresolved estimands (NaN) travel as null.
+type crawlStatusDoc struct {
+	State      string          `json:"state"` // none | running | done | failed
+	Draws      int             `json:"draws,omitempty"`
+	MaxDraws   int             `json:"max_draws,omitempty"`
+	Walkers    []walkerDoc     `json:"walkers,omitempty"`
+	Checkpoint *checkpointDoc  `json:"checkpoint,omitempty"`
+	Result     *crawlResultDoc `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+type walkerDoc struct {
+	Walker int   `json:"walker"`
+	Draws  int   `json:"draws"`
+	Node   int32 `json:"node"`
+}
+
+type checkpointDoc struct {
+	Seq        int        `json:"seq"`
+	Draws      int        `json:"draws"`
+	SizeHW     []*float64 `json:"size_hw"`
+	WithinHW   []*float64 `json:"within_hw"`
+	TargetsMet bool       `json:"targets_met"`
+}
+
+type crawlResultDoc struct {
+	Stopped     string `json:"stopped"`
+	Draws       int    `json:"draws"`
+	Checkpoints int    `json:"checkpoints"`
+}
+
+func finiteSlice(xs []float64) []*float64 {
+	out := make([]*float64, len(xs))
+	for i, x := range xs {
+		out[i] = finitePtr(x)
+	}
+	return out
+}
+
+func checkpointToDoc(cp *crawl.Checkpoint) *checkpointDoc {
+	if cp == nil {
+		return nil
+	}
+	return &checkpointDoc{
+		Seq:        cp.Seq,
+		Draws:      cp.Draws,
+		SizeHW:     finiteSlice(cp.SizeHW),
+		WithinHW:   finiteSlice(cp.WithinHW),
+		TargetsMet: cp.TargetsMet,
+	}
+}
+
+// handleCrawlStatus reports the live state of the crawl job: per-walker
+// progress, the most recent stopping-rule checkpoint with its CI
+// half-widths, and — once finished — the stop reason.
+func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
+	s.crawlMu.Lock()
+	job := s.job
+	s.crawlMu.Unlock()
+	doc := crawlStatusDoc{State: "none"}
+	if job != nil {
+		st := job.Status()
+		doc.Draws = st.Draws
+		doc.MaxDraws = st.MaxDraws
+		for _, ws := range st.Walkers {
+			doc.Walkers = append(doc.Walkers, walkerDoc{Walker: ws.Walker, Draws: ws.Draws, Node: ws.Node})
+		}
+		doc.Checkpoint = checkpointToDoc(st.Last)
+		if st.Running {
+			doc.State = "running"
+		} else if res, err := job.Wait(); err != nil {
+			doc.State = "failed"
+			doc.Error = err.Error()
+		} else {
+			doc.State = "done"
+			doc.Result = &crawlResultDoc{
+				Stopped:     string(res.Stopped),
+				Draws:       res.Draws,
+				Checkpoints: res.Checkpoints,
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -3,14 +3,17 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/crawl"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/randx"
@@ -656,5 +659,233 @@ func TestShardedServerCI(t *testing.T) {
 		if se.CI == nil {
 			t.Fatalf("sharded size entry %d has no CI", se.Cat)
 		}
+	}
+}
+
+// TestSnapshotFreshAfterAckedIngest is the stale-snapshot regression test
+// (run under -race): the snapshot cache used to be keyed on acc.Draws(),
+// which for the sharded accumulator summed per-shard counters one lock at a
+// time — under concurrent ingest the torn sum could equal the cached count
+// and a stale snapshot would be served as fresh. The fixed cache keys on the
+// monotone ingest generation, giving the externally visible guarantee this
+// test hammers: every /estimate whose request starts after an /ingest
+// response was received reflects at least those acknowledged draws.
+func TestSnapshotFreshAfterAckedIngest(t *testing.T) {
+	acc, err := stream.NewShardedAccumulator(stream.Config{K: 2, Star: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(acc, nil)
+	var acked atomic.Int64
+	const writers = 6
+	const perWriter = 120
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int32(wr*perWriter + i)
+				body := fmt.Sprintf(`{"node":%d,"cat":%d,"deg":1,"nbr_cat":[0],"nbr_cnt":[1]}`, v, v%2)
+				w := post(t, srv, "/ingest", body)
+				if w.Code != 200 {
+					t.Errorf("ingest: %d %s", w.Code, w.Body)
+					return
+				}
+				acked.Add(1)
+			}
+		}(wr)
+	}
+	var readers sync.WaitGroup
+	for rd := 0; rd < 3; rd++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Read the acknowledged floor BEFORE issuing the GET: any
+				// estimate served afterwards must cover at least this many
+				// draws.
+				floor := acked.Load()
+				if floor == 0 {
+					continue
+				}
+				w := get(t, srv, "/estimate")
+				if w.Code != 200 {
+					t.Errorf("estimate: %d %s", w.Code, w.Body)
+					return
+				}
+				var doc estimateDoc
+				if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+					t.Error(err)
+					return
+				}
+				if int64(doc.Draws) < floor {
+					t.Errorf("stale snapshot served: estimate covers %d draws, %d were already acknowledged", doc.Draws, floor)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+	// And at quiescence the cache must refresh to the final count once.
+	var doc estimateDoc
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &doc)
+	if doc.Draws != writers*perWriter {
+		t.Fatalf("final estimate covers %d draws, want %d", doc.Draws, writers*perWriter)
+	}
+	// Idle GETs keep serving the same snapshot (the cache still caches).
+	var again estimateDoc
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &again)
+	if again.Seq != doc.Seq {
+		t.Fatalf("idle GET advanced the snapshot: %d → %d", doc.Seq, again.Seq)
+	}
+}
+
+// TestCrawlEndpoints drives the crawl-mode HTTP surface end to end: a job
+// started via POST /crawl runs against the server's graph, streams into the
+// server's accumulator, reports live CI widths on GET /crawl/status, stops
+// on its size target, and rejects a second concurrent start with 409.
+func TestCrawlEndpoints(t *testing.T) {
+	g := mustDemoGraph(t)
+	N := float64(g.N())
+	acc, err := stream.NewAccumulator(stream.Config{
+		K: g.NumCategories(), Star: true, N: N,
+		Replicates: uncert.Config{B: 60, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(acc, g.CategoryNames())
+	srv.crawlGraph = g
+	srv.crawlDefaults = crawl.Config{
+		Walkers: 2, Sampler: crawl.SamplerRW, Star: true, N: N,
+		Bootstrap: uncert.Config{B: 60, Seed: 3},
+		MaxDraws:  40000, CheckEvery: 1000, BurnIn: 100, Seed: 3,
+	}
+
+	// No job yet.
+	var st crawlStatusDoc
+	mustDecode(t, get(t, srv, "/crawl/status").Body.Bytes(), &st)
+	if st.State != "none" {
+		t.Fatalf("state = %q before any job", st.State)
+	}
+
+	// Start a job with a reachable target on the largest category.
+	big := 0
+	for c := 1; c < g.NumCategories(); c++ {
+		if g.CategorySize(int32(c)) > g.CategorySize(int32(big)) {
+			big = c
+		}
+	}
+	body := fmt.Sprintf(`{"size_target":60,"size_cats":[%d],"walkers":3}`, big)
+	w := post(t, srv, "/crawl", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /crawl: %d %s", w.Code, w.Body)
+	}
+	// A second start while the job runs is a 409 — or the job already
+	// finished, in which case a restart is legitimate; only assert the 409
+	// when the job reports running.
+	mustDecode(t, get(t, srv, "/crawl/status").Body.Bytes(), &st)
+	if st.State == "running" {
+		if w := post(t, srv, "/crawl", "{}"); w.Code != http.StatusConflict {
+			t.Fatalf("concurrent POST /crawl: %d, want 409", w.Code)
+		}
+	}
+	// Wait for completion via the job handle (the HTTP surface is polled).
+	srv.crawlMu.Lock()
+	job := srv.job
+	srv.crawlMu.Unlock()
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != crawl.ReasonTarget {
+		t.Fatalf("stopped = %q after %d draws, want target", res.Stopped, res.Draws)
+	}
+	mustDecode(t, get(t, srv, "/crawl/status").Body.Bytes(), &st)
+	if st.State != "done" || st.Result == nil || st.Result.Stopped != "target" {
+		t.Fatalf("final status = %+v", st)
+	}
+	if st.Checkpoint == nil || len(st.Checkpoint.SizeHW) != g.NumCategories() {
+		t.Fatalf("final checkpoint = %+v", st.Checkpoint)
+	}
+	if hw := st.Checkpoint.SizeHW[big]; hw == nil || *hw > 60 {
+		t.Fatalf("size_hw[%d] = %v, want ≤ 60", big, hw)
+	}
+	if len(st.Walkers) != 3 {
+		t.Fatalf("status reports %d walkers, want 3", len(st.Walkers))
+	}
+	// The job's draws landed in the server's accumulator, and /estimate
+	// serves them.
+	if acc.Draws() != res.Draws {
+		t.Fatalf("accumulator has %d draws, job ingested %d", acc.Draws(), res.Draws)
+	}
+	var doc estimateDoc
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &doc)
+	if doc.Draws != res.Draws {
+		t.Fatalf("estimate covers %d draws, want %d", doc.Draws, res.Draws)
+	}
+	// A finished job may be superseded; the new job pools into the same
+	// accumulator.
+	if w := post(t, srv, "/crawl", `{"max_draws":500,"size_target":0,"check_every":250}`); w.Code != http.StatusAccepted {
+		t.Fatalf("restart: %d %s", w.Code, w.Body)
+	}
+	srv.crawlMu.Lock()
+	job2 := srv.job
+	srv.crawlMu.Unlock()
+	res2, err := job2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stopped != crawl.ReasonBudget || res2.Draws != 500 {
+		t.Fatalf("second job: (%q, %d), want (budget, 500)", res2.Stopped, res2.Draws)
+	}
+	if acc.Draws() != res.Draws+500 {
+		t.Fatalf("accumulator has %d draws, want pooled %d", acc.Draws(), res.Draws+500)
+	}
+
+	// Without a crawl backend, POST /crawl is a 404.
+	plain, _ := testServer(t, 2, true, 0)
+	if w := post(t, plain, "/crawl", "{}"); w.Code != http.StatusNotFound {
+		t.Fatalf("POST /crawl without backend: %d, want 404", w.Code)
+	}
+	mustDecode(t, get(t, plain, "/crawl/status").Body.Bytes(), &st)
+	if st.State != "none" {
+		t.Fatalf("plain daemon crawl state = %q", st.State)
+	}
+	// A bad override is a 422 with an explanatory error.
+	srv2 := newServer(acc, g.CategoryNames())
+	srv2.crawlGraph = g
+	srv2.crawlDefaults = crawl.Config{Star: true, MaxDraws: 100}
+	if w := post(t, srv2, "/crawl", `{"engine":"magic"}`); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad engine: %d %s", w.Code, w.Body)
+	}
+	if w := post(t, srv2, "/crawl", `not json`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", w.Code)
+	}
+}
+
+// TestParseCats covers the -crawl-cats parser.
+func TestParseCats(t *testing.T) {
+	if cats, err := parseCats(""); err != nil || cats != nil {
+		t.Fatalf("empty: %v %v", cats, err)
+	}
+	cats, err := parseCats("0, 3,7")
+	if err != nil || len(cats) != 3 || cats[1] != 3 {
+		t.Fatalf("parseCats: %v %v", cats, err)
+	}
+	if _, err := parseCats("1,x"); err == nil {
+		t.Fatal("want error on non-numeric entry")
 	}
 }

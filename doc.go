@@ -75,14 +75,36 @@
 // cmd/topoestd daemon serves all of this as GET /estimate?ci=0.95 when
 // started with -bootstrap.
 //
+// # Adaptive crawling
+//
+// Crawl closes the loop: instead of fixing a draw budget and hoping it
+// suffices, the crawl controller (internal/crawl) runs M concurrent
+// walkers, streams their observations into one accumulator, and stops
+// itself as soon as the CI half-width of every targeted category size (and
+// within-category weight) falls below its threshold — or a hard budget
+// runs out:
+//
+//	res, _ := repro.Crawl(g, repro.CrawlConfig{
+//	    Walkers: 8, Sampler: "RW", Star: true, N: N,
+//	    SizeTarget: 500, SizeCats: []int{0, 1}, // ±500 nodes at 95%
+//	    MaxDraws: 200000, CheckEvery: 2000,
+//	})
+//	// res.Stopped == repro.CrawlStoppedOnTarget, res.Draws = budget used
+//
+// Stopping can read either CI engine (CrawlEngineBootstrap, or
+// CrawlEngineReplication for between-walk intervals from per-walker
+// statistics); StartCrawl launches asynchronously with live per-walker
+// progress, which cmd/topoestd exposes as POST /crawl + GET /crawl/status.
+// For a fixed seed, draws and per-walker counts are exactly reproducible.
+//
 // The packages under internal/ hold the implementation: internal/core (the
 // estimators over shared sufficient statistics), internal/sample (samplers
 // and batch + incremental observation models), internal/stream (the online
 // accumulator), internal/uncert (bootstrap, replication and delta-method
-// variance), internal/graph, internal/gen, internal/community,
-// internal/catgraph, internal/stats, internal/eval, internal/fbsim and
-// internal/exp (the experiment definitions reproducing every table and
-// figure of the paper). README.md covers build/run/quickstart; DESIGN.md
-// records design decisions; EXPERIMENTS.md explains regenerating the
-// paper's results.
+// variance), internal/crawl (the adaptive crawl controller),
+// internal/graph, internal/gen, internal/community, internal/catgraph,
+// internal/stats, internal/eval, internal/fbsim and internal/exp (the
+// experiment definitions reproducing every table and figure of the paper).
+// README.md covers build/run/quickstart; DESIGN.md records design
+// decisions; EXPERIMENTS.md explains regenerating the paper's results.
 package repro

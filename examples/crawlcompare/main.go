@@ -4,8 +4,10 @@
 // version of Figures 3, 4 and 6 — then pools independent walks per sampler
 // and prints 95% between-walk confidence intervals next to each pooled
 // estimate (so the comparison shows which differences are real and which
-// are within sampling noise), and finishes with a §4.3 population-size
-// estimate from walk collisions.
+// are within sampling noise), inverts the question with the adaptive crawl
+// controller (fix the precision, compare the budget each sampler needs to
+// reach it), and finishes with a §4.3 population-size estimate from walk
+// collisions.
 //
 //	go run ./examples/crawlcompare
 package main
@@ -129,6 +131,40 @@ func main() {
 		fmt.Printf("%-8s %10.0f [%6.0f, %6.0f] %12.3g [%8.3g, %8.3g]\n",
 			smp.name, rep.Pooled.Sizes[target], sizeIv.Lo, sizeIv.Hi,
 			rep.Pooled.Weights.Get(pairHigh.A, pairHigh.B), wIv.Lo, wIv.Hi)
+	}
+
+	// Budget-to-target-width comparison (internal/crawl): the adaptive
+	// controller inverts the sweep above — instead of fixing |S| and
+	// reporting the error, fix the desired CI half-width and report how
+	// many draws each sampler needs before its own bootstrap CI certifies
+	// that precision. Four concurrent walkers per sampler, stopping as
+	// soon as the targeted category-size half-width drops below ±150 on
+	// the 10k-node category (or the budget runs out).
+	const (
+		hwTarget  = 150.0
+		targetCat = 7 // |C7| = 10000
+		maxBudget = 120000
+	)
+	fmt.Printf("\nadaptive crawls to a ±%.0f size-CI half-width on |C%d| = %.0f (4 walkers, 95%% bootstrap CIs):\n",
+		hwTarget, targetCat, truth.Sizes[targetCat])
+	fmt.Printf("%-8s %10s %10s %12s %14s\n", "sampler", "draws", "stopped", "half-width", "estimate")
+	for _, smp := range []struct {
+		name    string
+		sampler string
+	}{
+		{"RW", "RW"}, {"MHRW", "MHRW"}, {"S-WRW", "S-WRW"},
+	} {
+		res, err := repro.Crawl(g, repro.CrawlConfig{
+			Walkers: 4, Sampler: smp.sampler, Star: true, N: N,
+			Seed: 1234, BurnIn: 1000,
+			SizeTarget: hwTarget, SizeCats: []int{targetCat},
+			MaxDraws: maxBudget, CheckEvery: 4000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %10d %10s %12.0f %14.0f\n",
+			smp.name, res.Draws, res.Stopped, res.SizeHW[targetCat], res.Snapshot.Result.Sizes[targetCat])
 	}
 
 	// Population-size estimation from collisions (§4.3), with thinning.

@@ -238,13 +238,56 @@ func TestWalkErrorsOnEmptyAndInvalidStart(t *testing.T) {
 		t.Error("empty graph must fail")
 	}
 	g2 := testGraph(t)
-	w := &RW{Start: 99}
+	w := &RW{Thin: 1, Start: 99}
 	if _, err := w.Sample(randx.New(1), g2, 5); err == nil {
 		t.Error("invalid start must fail")
 	}
-	m := &MHRW{Start: 99}
+	m := &MHRW{Thin: 1, Start: 99}
 	if _, err := m.Sample(randx.New(1), g2, 5); err == nil {
 		t.Error("invalid MHRW start must fail")
+	}
+}
+
+// TestZeroValueWalkStructsRejected is the regression test for the
+// sampler-validation bug: a hand-built RW{}/MHRW{}/WRW{} carries Thin 0
+// (bypassing the constructors' Thin-1 default) and used to be silently
+// clamped; it must now be rejected with a clear error, as must a negative
+// BurnIn. The constructors always produce valid parameters.
+func TestZeroValueWalkStructsRejected(t *testing.T) {
+	g := testGraph(t)
+	r := randx.New(3)
+	nw := make([]float64, g.N())
+	for i := range nw {
+		nw[i] = 1
+	}
+	for _, tc := range []struct {
+		name string
+		s    Sampler
+	}{
+		{"RW zero thin", &RW{Start: -1}},
+		{"MHRW zero thin", &MHRW{Start: -1}},
+		{"WRW zero thin", &WRW{Start: -1, NodeWeight: nw}},
+		{"RW negative thin", &RW{Thin: -2, Start: -1}},
+		{"RW negative burn-in", &RW{BurnIn: -1, Thin: 1, Start: -1}},
+		{"MHRW negative burn-in", &MHRW{BurnIn: -5, Thin: 1, Start: -1}},
+		{"WRW negative burn-in", &WRW{BurnIn: -1, Thin: 1, Start: -1, NodeWeight: nw}},
+	} {
+		if _, err := tc.s.Sample(r, g, 5); err == nil {
+			t.Errorf("%s: want validation error, got none", tc.name)
+		}
+	}
+	// The constructors remain valid, including after a burn-in override.
+	for _, s := range []Sampler{NewRW(10), NewMHRW(10), NewWRW(nw, 10)} {
+		if _, err := s.Sample(r, g, 5); err != nil {
+			t.Errorf("%s constructor path: %v", s.Name(), err)
+		}
+	}
+	swrw, err := NewSWRW(g, SWRWConfig{BurnIn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := swrw.Sample(r, g, 5); err != nil {
+		t.Errorf("S-WRW constructor path: %v", err)
 	}
 }
 

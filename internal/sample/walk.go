@@ -53,6 +53,119 @@ func randomStart(r *rand.Rand, g *graph.Graph) (int32, error) {
 	return 0, fmt.Errorf("sample: unreachable") // count > 0 guarantees a hit above
 }
 
+// RandomStart picks a uniform random node with positive degree — the
+// default starting point of every walk sampler, exported for walk drivers
+// (e.g. internal/crawl) that step walks incrementally instead of calling
+// Sample.
+func RandomStart(r *rand.Rand, g *graph.Graph) (int32, error) {
+	return randomStart(r, g)
+}
+
+// validateWalkParams rejects walk parameters that a zero-value sampler
+// struct carries: a literal RW{}/MHRW{}/WRW{} has Thin 0, bypassing the
+// constructors' Thin-1 default, and silently clamping it (or a negative
+// BurnIn) would hide a misconfigured caller. The constructors always set
+// valid values, so this only fires on hand-built structs.
+func validateWalkParams(name string, burnIn, thin int) error {
+	if thin < 1 {
+		return fmt.Errorf("sample: %s needs Thin ≥ 1, got %d (construct with New%s, or set Thin explicitly on a struct literal)", name, thin, name)
+	}
+	if burnIn < 0 {
+		return fmt.Errorf("sample: %s needs BurnIn ≥ 0, got %d", name, burnIn)
+	}
+	return nil
+}
+
+// Stepper is the incremental form of a crawling design: one transition of
+// the walk at a time, plus the stationary draw weight w(v) ∝ π(v) the
+// Hansen–Hurwitz estimators divide by. The batch Sample methods of
+// RW/MHRW/WRW drive these same kernels, and so does the adaptive crawl
+// controller (internal/crawl) — one definition per kernel, shared by both.
+type Stepper interface {
+	// Step moves from cur to the next node of the walk.
+	Step(r *rand.Rand, cur int32) int32
+	// Weight returns the stationary draw weight of v.
+	Weight(v int32) float64
+}
+
+// rwStepper: uniform random neighbor; stationary distribution ∝ degree.
+type rwStepper struct{ g *graph.Graph }
+
+func (s rwStepper) Step(r *rand.Rand, cur int32) int32 {
+	nb := s.g.Neighbors(cur)
+	return nb[r.IntN(len(nb))]
+}
+
+func (s rwStepper) Weight(v int32) float64 { return float64(s.g.Degree(v)) }
+
+// NewRWStepper returns the simple-random-walk kernel for g.
+func NewRWStepper(g *graph.Graph) Stepper { return rwStepper{g} }
+
+// mhrwStepper: propose a uniform neighbor v of u, accept with
+// min(1, deg(u)/deg(v)); the stationary distribution is uniform.
+type mhrwStepper struct{ g *graph.Graph }
+
+func (s mhrwStepper) Step(r *rand.Rand, cur int32) int32 {
+	nb := s.g.Neighbors(cur)
+	v := nb[r.IntN(len(nb))]
+	if du, dv := s.g.Degree(cur), s.g.Degree(v); dv <= du || r.Float64() < float64(du)/float64(dv) {
+		return v
+	}
+	return cur
+}
+
+func (s mhrwStepper) Weight(int32) float64 { return 1 }
+
+// NewMHRWStepper returns the Metropolis–Hastings kernel for g.
+func NewMHRWStepper(g *graph.Graph) Stepper { return mhrwStepper{g} }
+
+// wrwStepper: move along edge {u,v} with probability proportional to the
+// stratified edge weight (nw[u]+nw[v])/2 of [35]; the stationary
+// distribution is proportional to node strength.
+type wrwStepper struct {
+	g  *graph.Graph
+	nw []float64
+}
+
+func (s wrwStepper) edgeWeight(u, v int32) float64 { return (s.nw[u] + s.nw[v]) / 2 }
+
+func (s wrwStepper) Step(r *rand.Rand, cur int32) int32 {
+	nb := s.g.Neighbors(cur)
+	var total float64
+	for _, u := range nb {
+		total += s.edgeWeight(cur, u)
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	next := nb[len(nb)-1]
+	for _, u := range nb {
+		acc += s.edgeWeight(cur, u)
+		if acc >= x {
+			next = u
+			break
+		}
+	}
+	return next
+}
+
+func (s wrwStepper) Weight(v int32) float64 {
+	var w float64
+	for _, u := range s.g.Neighbors(v) {
+		w += s.edgeWeight(v, u)
+	}
+	return w
+}
+
+// NewWRWStepper returns the weighted-random-walk kernel for g under the
+// given per-node stratification weights (S-WRW is this kernel with the
+// weights NewSWRW computes).
+func NewWRWStepper(g *graph.Graph, nodeWeight []float64) (Stepper, error) {
+	if len(nodeWeight) != g.N() {
+		return nil, fmt.Errorf("sample: WRW has %d node weights for %d nodes", len(nodeWeight), g.N())
+	}
+	return wrwStepper{g: g, nw: nodeWeight}, nil
+}
+
 // RW is the simple random walk of §3.1.2: the next node is a uniform random
 // neighbor of the current one. Its stationary distribution is proportional
 // to degree, so every draw is recorded with weight w(v) = deg(v).
@@ -73,26 +186,38 @@ func (w *RW) Name() string { return "RW" }
 
 // Sample implements Sampler.
 func (w *RW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+	if err := validateWalkParams("RW", w.BurnIn, w.Thin); err != nil {
+		return nil, err
+	}
 	cur, err := w.start(r, g)
 	if err != nil {
 		return nil, err
 	}
-	thin := max(w.Thin, 1)
-	for i := 0; i < w.BurnIn; i++ {
-		nb := g.Neighbors(cur)
-		cur = nb[r.IntN(len(nb))]
+	return stepSample(r, NewRWStepper(g), cur, n, w.BurnIn, w.Thin, true), nil
+}
+
+// stepSample drives a kernel through the burn-in/record/thin cycle shared
+// by every walk sampler. weighted selects whether the design's stationary
+// weights are recorded (MHRW targets the uniform distribution, so its
+// samples carry nil weights by convention).
+func stepSample(r *rand.Rand, st Stepper, cur int32, n, burnIn, thin int, weighted bool) *Sample {
+	for i := 0; i < burnIn; i++ {
+		cur = st.Step(r, cur)
 	}
-	nodes := make([]int32, 0, n)
-	weights := make([]float64, 0, n)
-	for len(nodes) < n {
-		nodes = append(nodes, cur)
-		weights = append(weights, float64(g.Degree(cur)))
+	s := &Sample{Nodes: make([]int32, 0, n)}
+	if weighted {
+		s.Weights = make([]float64, 0, n)
+	}
+	for len(s.Nodes) < n {
+		s.Nodes = append(s.Nodes, cur)
+		if weighted {
+			s.Weights = append(s.Weights, st.Weight(cur))
+		}
 		for t := 0; t < thin; t++ {
-			nb := g.Neighbors(cur)
-			cur = nb[r.IntN(len(nb))]
+			cur = st.Step(r, cur)
 		}
 	}
-	return &Sample{Nodes: nodes, Weights: weights}, nil
+	return s
 }
 
 func (w *RW) start(r *rand.Rand, g *graph.Graph) (int32, error) {
@@ -123,6 +248,9 @@ func (w *MHRW) Name() string { return "MHRW" }
 
 // Sample implements Sampler.
 func (w *MHRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+	if err := validateWalkParams("MHRW", w.BurnIn, w.Thin); err != nil {
+		return nil, err
+	}
 	var cur int32
 	var err error
 	if w.Start >= 0 {
@@ -133,26 +261,8 @@ func (w *MHRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
 	} else if cur, err = randomStart(r, g); err != nil {
 		return nil, err
 	}
-	step := func() {
-		nb := g.Neighbors(cur)
-		v := nb[r.IntN(len(nb))]
-		if du, dv := g.Degree(cur), g.Degree(v); dv <= du || r.Float64() < float64(du)/float64(dv) {
-			cur = v
-		}
-	}
-	thin := max(w.Thin, 1)
-	for i := 0; i < w.BurnIn; i++ {
-		step()
-	}
-	nodes := make([]int32, 0, n)
-	for len(nodes) < n {
-		nodes = append(nodes, cur)
-		for t := 0; t < thin; t++ {
-			step()
-		}
-	}
 	// Uniform target ⇒ nil weights (w ≡ 1).
-	return &Sample{Nodes: nodes}, nil
+	return stepSample(r, NewMHRWStepper(g), cur, n, w.BurnIn, w.Thin, false), nil
 }
 
 // WRW is a weighted random walk (§3.1.2): the walk moves along edge {u,v}
@@ -177,27 +287,16 @@ func NewWRW(nodeWeight []float64, burnIn int) *WRW {
 // Name implements Sampler.
 func (w *WRW) Name() string { return w.name }
 
-// edgeWeight is the stratified edge weight of [35].
-func (w *WRW) edgeWeight(u, v int32) float64 {
-	return (w.NodeWeight[u] + w.NodeWeight[v]) / 2
-}
-
-// strength returns Σ_u w({v,u}), the stationary weight of v.
-func (w *WRW) strength(g *graph.Graph, v int32) float64 {
-	var s float64
-	for _, u := range g.Neighbors(v) {
-		s += w.edgeWeight(v, u)
-	}
-	return s
-}
-
 // Sample implements Sampler.
 func (w *WRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
-	if len(w.NodeWeight) != g.N() {
-		return nil, fmt.Errorf("sample: WRW has %d node weights for %d nodes", len(w.NodeWeight), g.N())
+	if err := validateWalkParams("WRW", w.BurnIn, w.Thin); err != nil {
+		return nil, err
+	}
+	st, err := NewWRWStepper(g, w.NodeWeight)
+	if err != nil {
+		return nil, err
 	}
 	var cur int32
-	var err error
 	if w.Start >= 0 {
 		cur = w.Start
 		if int(cur) >= g.N() || g.Degree(cur) == 0 {
@@ -206,38 +305,7 @@ func (w *WRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
 	} else if cur, err = randomStart(r, g); err != nil {
 		return nil, err
 	}
-	step := func() {
-		nb := g.Neighbors(cur)
-		var total float64
-		for _, u := range nb {
-			total += w.edgeWeight(cur, u)
-		}
-		x := r.Float64() * total
-		acc := 0.0
-		next := nb[len(nb)-1]
-		for _, u := range nb {
-			acc += w.edgeWeight(cur, u)
-			if acc >= x {
-				next = u
-				break
-			}
-		}
-		cur = next
-	}
-	thin := max(w.Thin, 1)
-	for i := 0; i < w.BurnIn; i++ {
-		step()
-	}
-	nodes := make([]int32, 0, n)
-	weights := make([]float64, 0, n)
-	for len(nodes) < n {
-		nodes = append(nodes, cur)
-		weights = append(weights, w.strength(g, cur))
-		for t := 0; t < thin; t++ {
-			step()
-		}
-	}
-	return &Sample{Nodes: nodes, Weights: weights}, nil
+	return stepSample(r, st, cur, n, w.BurnIn, w.Thin, true), nil
 }
 
 // SWRWConfig parameterizes the stratified weighted random walk (S-WRW) of

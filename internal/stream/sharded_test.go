@@ -269,3 +269,142 @@ func TestShardedSingleShardMatchesAccumulator(t *testing.T) {
 		t.Fatalf("1-shard weight mismatch: %g", d)
 	}
 }
+
+// TestShardedBatchCountExactUnderConcurrency pins the documented concurrent
+// IngestBatch guarantee: the count each caller gets back is exact for its
+// own batch — on success all its records are durable, on error exactly the
+// returned prefix is — so the total draw count equals the sum of the
+// returned counts even when batches race and conflict. Run under -race.
+func TestShardedBatchCountExactUnderConcurrency(t *testing.T) {
+	sa, err := NewShardedAccumulator(Config{K: 2, Star: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every batch re-draws a shared node set, and half the batches carry a
+	// conflicting re-delivery of node 7: whichever record lands a node
+	// first fixes its weight, so conflicting batches fail mid-way with a
+	// prefix count. (Weight 1 always wins the race for node 7: every
+	// batch's weight-1 record of node 7 precedes any weight-3 record in
+	// batch order, so each conflicting batch deterministically stops at
+	// its conflicting index.)
+	const callers = 8
+	batches := make([][]sample.NodeObservation, callers)
+	for c := range batches {
+		w := 1.0
+		for v := int32(0); v < 40; v++ {
+			rec := sample.NodeObservation{
+				Node: v, Weight: w, Cat: v % 2,
+				Deg: 2, NbrCat: []int32{(v + 1) % 2}, NbrCnt: []float64{2},
+			}
+			batches[c] = append(batches[c], rec)
+		}
+		if c%2 == 1 {
+			// Conflicting callers re-deliver node 7 with weight 3 at a
+			// fixed position; first-writer-wins makes at most one weight
+			// stick for node 7 across all batches.
+			batches[c][20] = sample.NodeObservation{
+				Node: 7, Weight: 3, Cat: 1,
+				Deg: 2, NbrCat: []int32{0}, NbrCnt: []float64{2},
+			}
+		}
+	}
+	counts := make([]int, callers)
+	var wg sync.WaitGroup
+	for c := range batches {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n, _ := sa.IngestBatch(batches[c])
+			counts[c] = n
+		}(c)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if sa.Draws() != total {
+		t.Fatalf("Draws() = %d, want the sum of returned batch counts %d", sa.Draws(), total)
+	}
+	if uint64(total) != sa.Gen() {
+		t.Fatalf("Gen() = %d, want %d", sa.Gen(), total)
+	}
+	// Every conflicting batch must have stopped at its offender.
+	if total == callers*40 {
+		t.Fatal("no batch reported a conflict; the test graph is miswired")
+	}
+	// The accumulator still snapshots cleanly from the applied records.
+	if _, err := sa.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenMonotoneNonTorn checks the Gen/Draws contract on both
+// accumulators: the generation advances once per applied record, rejected
+// records leave it unchanged, and concurrent readers only ever observe
+// non-decreasing values (an atomic counter cannot tear the way a per-shard
+// sum can). Run under -race.
+func TestGenMonotoneNonTorn(t *testing.T) {
+	single, err := NewAccumulator(Config{K: 2, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedAccumulator(Config{K: 2, Star: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, acc := range map[string]Ingester{"single": single, "sharded": sharded} {
+		if acc.Gen() != 0 {
+			t.Fatalf("%s: fresh Gen() = %d", name, acc.Gen())
+		}
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				var last uint64
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					g := acc.Gen()
+					if g < last {
+						t.Errorf("%s: Gen went backwards: %d after %d", name, g, last)
+						return
+					}
+					last = g
+				}
+			}()
+		}
+		var writers sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			writers.Add(1)
+			go func(w int) {
+				defer writers.Done()
+				for v := int32(w * 100); v < int32(w*100+50); v++ {
+					rec := sample.NodeObservation{Node: v, Cat: v % 2, Deg: 1, NbrCat: []int32{0}, NbrCnt: []float64{1}}
+					if err := acc.Ingest(rec); err != nil {
+						t.Errorf("%s: ingest: %v", name, err)
+						return
+					}
+				}
+			}(w)
+		}
+		writers.Wait()
+		close(stop)
+		readers.Wait()
+		if acc.Gen() != 200 || acc.Draws() != 200 {
+			t.Fatalf("%s: Gen=%d Draws=%d, want 200 each", name, acc.Gen(), acc.Draws())
+		}
+		// A rejected record must not advance the generation.
+		if err := acc.Ingest(sample.NodeObservation{Node: 1, Cat: 9}); err == nil {
+			t.Fatalf("%s: invalid record accepted", name)
+		}
+		if acc.Gen() != 200 {
+			t.Fatalf("%s: rejected record advanced Gen to %d", name, acc.Gen())
+		}
+	}
+}

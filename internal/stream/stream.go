@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -96,10 +97,21 @@ type Ingester interface {
 	Draws() int
 	// Distinct returns the number of distinct nodes observed so far.
 	Distinct() int
+	// Gen returns the monotone ingest generation: a single atomic counter
+	// that advances once per successfully applied record and can never
+	// tear (unlike a sum of per-shard counters). It is the cache key of
+	// choice for snapshot consumers: if a record's Ingest call returned
+	// before Gen was read, and a later Gen read returns the same value,
+	// then a Snapshot taken between the two reads includes that record.
+	Gen() uint64
 	// Ingest folds one node observation into the running sums.
 	Ingest(rec sample.NodeObservation) error
 	// IngestBatch folds a batch in order, stopping at the first invalid
-	// record; it returns how many leading records were applied.
+	// record; it returns how many leading records were applied. The count
+	// is exact for this batch under any concurrency, but only the
+	// single-lock Accumulator applies a batch as one isolated critical
+	// section — see ShardedAccumulator.IngestBatch for what interleaving
+	// does (and does not) change.
 	IngestBatch(recs []sample.NodeObservation) (int, error)
 	// Snapshot computes the current estimate in O(K² + pairs).
 	Snapshot() (*Snapshot, error)
@@ -124,6 +136,11 @@ type Accumulator struct {
 	lastW     *core.PairWeights
 	lastDraws float64
 	seq       int64
+
+	// gen advances once per successfully applied record, inside the
+	// critical section, so an Ingest call that returned has published its
+	// increment (see Ingester.Gen).
+	gen atomic.Uint64
 }
 
 // NewAccumulator returns an empty accumulator for the given configuration.
@@ -164,6 +181,25 @@ func (a *Accumulator) Distinct() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.nodes)
+}
+
+// Gen implements Ingester: the monotone ingest generation, readable without
+// the accumulator lock.
+func (a *Accumulator) Gen() uint64 { return a.gen.Load() }
+
+// SumsClone returns a deep copy of the primary sufficient statistics at a
+// consistent cut — the raw material of cross-accumulator engines such as
+// the between-walk replication variance of internal/uncert, which pools
+// one accumulator per walk.
+func (a *Accumulator) SumsClone() *core.Sums {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := core.NewSums(a.cfg.K, a.cfg.Star)
+	// Merging into a fresh sums of the same K and scenario cannot fail.
+	if err := s.Merge(a.sums); err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Ingest folds one node observation into the running sums in O(1 +
@@ -318,6 +354,7 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 		if a.reps != nil {
 			a.reps.AddStar(rec.Node, ns.cat, ns.weight, 1, ns.deg, ns.nbrCat, ns.nbrCnt)
 		}
+		a.gen.Add(1)
 		return nil
 	}
 	// Induced: a re-draw raises this node's multiplicity, which raises the
@@ -343,6 +380,7 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 			a.reps.AddEdgeMass(rec.Node, p, ns.cat, ps.cat, mass)
 		}
 	}
+	a.gen.Add(1)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catgraph"
 	"repro/internal/core"
+	"repro/internal/crawl"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/randx"
@@ -73,6 +74,20 @@ type (
 	// DeltaSizes is the delta-method variance of the category-size ratio
 	// estimators — the cheap analytic cross-check of the bootstrap.
 	DeltaSizes = uncert.DeltaSizes
+	// CrawlConfig parameterizes an adaptive crawl: concurrent walkers,
+	// sampler kernel, CI-width stopping targets and draw budget.
+	CrawlConfig = crawl.Config
+	// CrawlResult summarizes a finished crawl: stop reason, draws, the
+	// final pooled snapshot and the final CI half-widths.
+	CrawlResult = crawl.Result
+	// CrawlStatus is a live view of a running crawl (per-walker progress
+	// and the most recent stopping-rule checkpoint).
+	CrawlStatus = crawl.Status
+	// CrawlJob is a running adaptive crawl: Status() for live progress,
+	// Wait() for the result.
+	CrawlJob = crawl.Crawl
+	// CrawlEngine selects the stopping-rule CI engine.
+	CrawlEngine = crawl.Engine
 )
 
 // NoCategory marks nodes that belong to no category.
@@ -315,6 +330,41 @@ func ReplicationCI(opts Options, level float64, obs ...*Observation) (*Replicati
 // walks. Use it as a cheap cross-check of the bootstrap.
 func DeltaSizeCI(o *Observation, n float64, level float64) (*DeltaSizes, error) {
 	return uncert.DeltaSizeCI(core.SumsFromObservation(o), n, level)
+}
+
+// The stopping-rule engines of CrawlConfig.Engine and the stop reasons of
+// CrawlResult.Stopped.
+const (
+	CrawlEngineBootstrap   = crawl.EngineBootstrap
+	CrawlEngineReplication = crawl.EngineReplication
+	CrawlStoppedOnTarget   = crawl.ReasonTarget
+	CrawlStoppedOnBudget   = crawl.ReasonBudget
+)
+
+// Crawl runs an adaptive crawl of g to completion: CrawlConfig.Walkers
+// concurrent walkers (RW/MHRW/WRW/S-WRW, deterministic per-walker seeds)
+// stream observations into a shared accumulator, and the crawl stops
+// itself as soon as every targeted confidence-interval half-width falls
+// below its threshold — or the MaxDraws budget runs out. This is the
+// paper's "how much crawling is enough" question answered in-process: the
+// uncertainty machinery that PR'd every estimand into an (estimate, CI)
+// pair here drives the sampling effort instead of merely reporting.
+func Crawl(g *Graph, cfg CrawlConfig) (*CrawlResult, error) {
+	c, err := crawl.Start(g, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait()
+}
+
+// StartCrawl launches an adaptive crawl asynchronously and returns the
+// running job (Status for live per-walker progress and CI widths, Wait for
+// the result). A non-nil acc streams into a caller-owned accumulator — the
+// topoestd wiring, where the daemon keeps serving /estimate from the same
+// statistics the crawl feeds; its scenario and category count must match
+// the configuration.
+func StartCrawl(g *Graph, acc StreamIngester, cfg CrawlConfig) (*CrawlJob, error) {
+	return crawl.Start(g, acc, cfg)
 }
 
 // TrueCategoryGraph computes the exact category graph of a fully known
