@@ -11,6 +11,7 @@ package repro
 // real reproduction.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand/v2"
 	"sync/atomic"
@@ -716,5 +717,100 @@ func BenchmarkCrawlCheckpoint(b *testing.B) {
 			_ = snap.Boot.SizeCI(cat, 0.95)
 			_ = snap.Boot.WithinCI(cat, 0.95)
 		}
+	}
+}
+
+// benchPacked serializes the paper graph once and reopens it with the given
+// cache configuration.
+var benchPackBytes []byte
+
+func getPackedGraph(b *testing.B, opt graph.PackOptions) *graph.Packed {
+	b.Helper()
+	if benchPackBytes == nil {
+		var buf bytes.Buffer
+		if err := graph.WritePack(&buf, getPaperGraph(b)); err != nil {
+			b.Fatal(err)
+		}
+		benchPackBytes = buf.Bytes()
+	}
+	p, err := graph.OpenPack(bytes.NewReader(benchPackBytes), int64(len(benchPackBytes)), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkCSRStep prices one random-walk transition (Neighbors + draw +
+// Weight, the walk layer's hot path) across the graph backends: the
+// in-memory CSR, the packed out-of-core CSR through its LRU block cache,
+// and the packed CSR with caching disabled (every access pays a ReaderAt
+// call) — the three points that bound what out-of-core crawling costs.
+func BenchmarkCSRStep(b *testing.B) {
+	backends := []struct {
+		name string
+		src  func(b *testing.B) graph.Source
+	}{
+		{"memory", func(b *testing.B) graph.Source { return getPaperGraph(b) }},
+		{"packed-cached", func(b *testing.B) graph.Source {
+			return getPackedGraph(b, graph.PackOptions{})
+		}},
+		{"packed-uncached", func(b *testing.B) graph.Source {
+			return getPackedGraph(b, graph.PackOptions{CacheBlocks: -1})
+		}},
+	}
+	for _, be := range backends {
+		b.Run(be.name, func(b *testing.B) {
+			src := be.src(b)
+			st := sample.NewRWStepper(src)
+			r := randx.New(7)
+			cur, err := sample.RandomStart(r, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur = st.Step(r, cur)
+				_ = st.Weight(cur)
+			}
+		})
+	}
+}
+
+// BenchmarkCrawlCSR runs the full adaptive crawl controller (4 walkers,
+// fixed 20k-draw budget, star scenario) over the in-memory and the packed
+// backend — the end-to-end price of out-of-core crawling, block-cache
+// contention included.
+func BenchmarkCrawlCSR(b *testing.B) {
+	backends := []struct {
+		name string
+		src  func(b *testing.B) graph.Source
+	}{
+		{"memory", func(b *testing.B) graph.Source { return getPaperGraph(b) }},
+		{"packed", func(b *testing.B) graph.Source {
+			return getPackedGraph(b, graph.PackOptions{})
+		}},
+	}
+	for _, be := range backends {
+		b.Run(be.name, func(b *testing.B) {
+			src := be.src(b)
+			for i := 0; i < b.N; i++ {
+				c, err := crawl.Start(src, nil, crawl.Config{
+					Walkers: 4, Star: true, N: float64(src.NumNodes()),
+					Seed: uint64(i + 1), BurnIn: 100,
+					MaxDraws: 20_000, CheckEvery: 5000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Draws != 20_000 {
+					b.Fatalf("draws = %d", res.Draws)
+				}
+			}
+			b.ReportMetric(20_000*float64(b.N)/b.Elapsed().Seconds(), "draws/s")
+		})
 	}
 }

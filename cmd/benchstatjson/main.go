@@ -1,0 +1,209 @@
+// Command benchstatjson turns `go test -bench` output into a committed JSON
+// snapshot and gates regressions against it — the benchmark-regression CI
+// step. Four PRs of performance claims (20µs snapshots, shard scaling,
+// bootstrap overhead, out-of-core stepping) previously had no tripwire: CI
+// compiled the benchmarks but never compared their numbers.
+//
+// Usage:
+//
+//	go test -bench . -count 5 | benchstatjson -o BENCH_5.json
+//	go test -bench . -count 5 | benchstatjson -baseline BENCH_5.json -max-regress 0.25
+//	benchstatjson -o BENCH_5.json bench.txt        # read a file, not stdin
+//
+// Each benchmark's statistic is the MINIMUM ns/op across its -count runs —
+// the standard noise-robust choice: scheduling hiccups only ever make a run
+// slower, so the minimum is the cleanest observation of the code's actual
+// cost. The gate fails when any baseline benchmark is missing from the
+// current run (a silently dropped benchmark is rot, not progress) or when
+// its minimum regressed by more than -max-regress (default 0.25 = +25%).
+// New benchmarks absent from the baseline pass with a note — commit a
+// refreshed baseline to start gating them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the JSON file layout.
+type Snapshot struct {
+	Note       string           `json:"note"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's aggregated statistic.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"` // minimum across runs
+	Runs    int     `json:"runs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchstatjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchstatjson", flag.ContinueOnError)
+	out := fs.String("o", "", "write the parsed snapshot as JSON to this path")
+	baseline := fs.String("baseline", "", "compare against this committed snapshot and fail on regression")
+	maxRegress := fs.Float64("max-regress", 0.25, "allowed fractional ns/op regression against the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" && *baseline == "" {
+		return fmt.Errorf("nothing to do: need -o and/or -baseline")
+	}
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if fs.NArg() > 1 {
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+	cur, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(cur.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+	if *baseline != "" {
+		base, err := readSnapshot(*baseline)
+		if err != nil {
+			return err
+		}
+		if err := compare(stdout, base, cur, *maxRegress); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseBench extracts ns/op per benchmark from `go test -bench` output,
+// keeping the minimum across repeated runs of one benchmark and stripping
+// the -GOMAXPROCS suffix from names.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		Note:       "minimum ns/op per benchmark across -count runs; regenerate with: go test -run '^$' -bench <pattern> -benchtime=500ms -count=5 | go run ./cmd/benchstatjson -o BENCH_5.json",
+		Benchmarks: map[string]Entry{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// BenchmarkName-8  iterations  value ns/op [more metrics...]
+		if len(f) < 4 {
+			continue
+		}
+		nsIdx := -1
+		for i, tok := range f {
+			if tok == "ns/op" {
+				nsIdx = i
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[nsIdx-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op value on line %q: %v", line, err)
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // -GOMAXPROCS suffix
+			}
+		}
+		e, ok := snap.Benchmarks[name]
+		if !ok || ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		e.Runs++
+		snap.Benchmarks[name] = e
+	}
+	return snap, sc.Err()
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &snap, nil
+}
+
+// compare prints a per-benchmark verdict table and errors if any baseline
+// benchmark is missing or regressed beyond the allowance.
+func compare(w io.Writer, base, cur *Snapshot, maxRegress float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var missing, regressed []string
+	fmt.Fprintf(w, "%-50s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			missing = append(missing, name)
+			fmt.Fprintf(w, "%-50s %14.1f %14s %8s\n", name, b.NsPerOp, "MISSING", "")
+			continue
+		}
+		delta := c.NsPerOp/b.NsPerOp - 1
+		verdict := ""
+		if delta > maxRegress {
+			regressed = append(regressed, name)
+			verdict = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	var fresh []string
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	if len(fresh) > 0 {
+		sort.Strings(fresh)
+		fmt.Fprintf(w, "not in baseline (ungated): %s\n", strings.Join(fresh, ", "))
+	}
+	if len(missing) > 0 || len(regressed) > 0 {
+		return fmt.Errorf("gate failed: %d missing %v, %d regressed >%g%% %v",
+			len(missing), missing, len(regressed), maxRegress*100, regressed)
+	}
+	fmt.Fprintf(w, "gate passed: %d benchmarks within +%g%%\n", len(names), maxRegress*100)
+	return nil
+}

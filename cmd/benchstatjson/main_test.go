@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCSRStep/memory-8         	  752018	      1566 ns/op
+BenchmarkCSRStep/memory-8         	  800000	      1500 ns/op
+BenchmarkCSRStep/memory-8         	  700000	      1600 ns/op
+BenchmarkStreamIngest/star-8      	 5000000	       210.5 ns/op	      48 B/op	       2 allocs/op
+BenchmarkCrawlCSR/packed-8        	      24	  48446708 ns/op	    412872 draws/s
+PASS
+ok  	repro	0.143s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	mem := snap.Benchmarks["CSRStep/memory"]
+	if mem.NsPerOp != 1500 || mem.Runs != 3 {
+		t.Fatalf("CSRStep/memory = %+v, want min 1500 over 3 runs", mem)
+	}
+	if got := snap.Benchmarks["StreamIngest/star"].NsPerOp; got != 210.5 {
+		t.Fatalf("StreamIngest/star = %g, want 210.5", got)
+	}
+	if got := snap.Benchmarks["CrawlCSR/packed"].NsPerOp; got != 48446708 {
+		t.Fatalf("CrawlCSR/packed = %g", got)
+	}
+}
+
+// writeBaseline runs the tool in -o mode and returns the path.
+func writeBaseline(t *testing.T, input string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := run([]string{"-o", path}, strings.NewReader(input), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassAndRegress(t *testing.T) {
+	base := writeBaseline(t, sampleOutput)
+
+	// Identical numbers pass.
+	if err := run([]string{"-baseline", base}, strings.NewReader(sampleOutput), os.Stdout); err != nil {
+		t.Fatalf("identical run failed the gate: %v", err)
+	}
+	// 10% slower (every run, so the min moves) passes at the default 25%
+	// allowance.
+	slower := sampleOutput
+	for old, repl := range map[string]string{"1566 ns/op": "1722 ns/op", "1500 ns/op": "1650 ns/op", "1600 ns/op": "1760 ns/op"} {
+		slower = strings.ReplaceAll(slower, old, repl)
+	}
+	if err := run([]string{"-baseline", base}, strings.NewReader(slower), os.Stdout); err != nil {
+		t.Fatalf("10%% regression failed the default gate: %v", err)
+	}
+	// 2x slower fails. (All three memory runs must slow down — the gate
+	// reads the min.)
+	bad := sampleOutput
+	for _, old := range []string{"1566 ns/op", "1500 ns/op", "1600 ns/op"} {
+		bad = strings.ReplaceAll(bad, old, "3200 ns/op")
+	}
+	err := run([]string{"-baseline", base}, strings.NewReader(bad), os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("2x regression passed the gate: %v", err)
+	}
+	// Tighter allowance catches the 10% case.
+	err = run([]string{"-baseline", base, "-max-regress", "0.05"}, strings.NewReader(slower), os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("10%% regression passed a 5%% gate: %v", err)
+	}
+}
+
+func TestGateMissingBenchmark(t *testing.T) {
+	base := writeBaseline(t, sampleOutput)
+	var kept []string
+	for _, line := range strings.Split(sampleOutput, "\n") {
+		if !strings.HasPrefix(line, "BenchmarkCrawlCSR") {
+			kept = append(kept, line)
+		}
+	}
+	err := run([]string{"-baseline", base}, strings.NewReader(strings.Join(kept, "\n")), os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("dropped benchmark passed the gate: %v", err)
+	}
+}
+
+// TestNewBenchmarkUngated pins that benchmarks absent from the baseline do
+// not fail the gate (they are reported, and gated once the baseline is
+// refreshed).
+func TestNewBenchmarkUngated(t *testing.T) {
+	base := writeBaseline(t, sampleOutput)
+	withNew := sampleOutput + "BenchmarkShiny/new-8  100  999 ns/op\n"
+	if err := run([]string{"-baseline", base}, strings.NewReader(withNew), os.Stdout); err != nil {
+		t.Fatalf("a new benchmark failed the gate: %v", err)
+	}
+}
+
+func TestSnapshotFile(t *testing.T) {
+	path := writeBaseline(t, sampleOutput)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Benchmarks["CSRStep/memory"].NsPerOp != 1500 {
+		t.Fatalf("snapshot content: %+v", snap.Benchmarks)
+	}
+	// Reading input from a file path instead of stdin.
+	inPath := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(inPath, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-baseline", path, inPath}, strings.NewReader(""), os.Stdout); err != nil {
+		t.Fatalf("file input: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, strings.NewReader(sampleOutput), os.Stdout); err == nil {
+		t.Fatal("run with no mode succeeded")
+	}
+	if err := run([]string{"-o", filepath.Join(t.TempDir(), "x.json")}, strings.NewReader("no benchmarks here"), os.Stdout); err == nil {
+		t.Fatal("empty input succeeded")
+	}
+}

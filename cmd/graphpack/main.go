@@ -1,0 +1,179 @@
+// Command graphpack builds .pack files — the out-of-core CSR format of
+// internal/graph — from SNAP-style edge-list + category text files, or from
+// the repository's graph generators. A .pack file is what cmd/topoestd
+// crawls with -graph-file: the daemon pages only the bytes the walk
+// touches, so the graph can be far larger than RAM.
+//
+// Usage:
+//
+//	graphpack -edges graph.tsv -cats cats.tsv -o graph.pack
+//	graphpack -gen ba -gen-n 1000000 -gen-deg 10 -gen-cats 20 -o ba1m.pack
+//	graphpack -gen paper -paper-k 10 -paper-alpha 0.5 -o paper.pack
+//	graphpack -info graph.pack
+//
+// Flags:
+//
+//	-edges      input edge list ("# nodes N" header, one "u<TAB>v" per edge —
+//	            the format of cmd/topoest and graph.WriteEdgeList)
+//	-cats       optional category file ("# categories k" header, "! name"
+//	            lines, one "v<TAB>c" per categorized node)
+//	-gen        generate instead of reading: "ba" (Barabási–Albert with
+//	            balanced modular categories) or "paper" (the §6.2.1 model)
+//	-gen-n      ba: node count (default 100000)
+//	-gen-deg    ba: edges attached per new node (default 10)
+//	-gen-cats   ba: number of categories, assigned v mod k (0 = none)
+//	-paper-k    paper: intra-category degree (default 10)
+//	-paper-alpha paper: label-shuffle fraction α (default 0.5)
+//	-seed       generator seed (default 1)
+//	-o          output .pack path (required unless -info)
+//	-info       print the header summary of an existing .pack and exit
+//
+// The packer builds the graph in memory before serializing — pack once on a
+// machine that fits the graph, then crawl the .pack anywhere. The pack
+// stores the per-category sizes and volumes, so stratified walks (S-WRW)
+// need no full scan at crawl time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphpack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("graphpack", flag.ContinueOnError)
+	edges := fs.String("edges", "", "input edge-list file")
+	cats := fs.String("cats", "", "input category file (optional)")
+	genKind := fs.String("gen", "", `generate a graph instead of reading one: "ba" or "paper"`)
+	genN := fs.Int("gen-n", 100000, "ba: node count")
+	genDeg := fs.Int("gen-deg", 10, "ba: edges attached per new node")
+	genCats := fs.Int("gen-cats", 0, "ba: number of categories (v mod k assignment; 0 = none)")
+	paperK := fs.Int("paper-k", 10, "paper: intra-category degree")
+	paperAlpha := fs.Float64("paper-alpha", 0.5, "paper: label-shuffle fraction")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	outPath := fs.String("o", "", "output .pack path")
+	info := fs.String("info", "", "print the summary of an existing .pack and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *info != "" {
+		return printInfo(*info, out)
+	}
+	if *outPath == "" {
+		return fmt.Errorf("need -o output path (or -info)")
+	}
+	g, err := loadGraph(*edges, *cats, *genKind, *genN, *genDeg, *genCats, *paperK, *paperAlpha, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := graph.WritePack(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "packed %s: %d nodes, %d edges, %d categories, %d bytes\n",
+		*outPath, g.N(), g.M(), g.NumCategories(), st.Size())
+	return nil
+}
+
+// loadGraph resolves the input selection: generated families or the
+// edge-list + categories file pair.
+func loadGraph(edges, cats, genKind string, genN, genDeg, genCats, paperK int, paperAlpha float64, seed uint64) (*graph.Graph, error) {
+	switch genKind {
+	case "":
+		if edges == "" {
+			return nil, fmt.Errorf("need -edges (or -gen)")
+		}
+		return readGraph(edges, cats)
+	case "ba":
+		if edges != "" || cats != "" {
+			return nil, fmt.Errorf("-gen and -edges/-cats are mutually exclusive")
+		}
+		return genBA(randx.New(seed), genN, genDeg, genCats)
+	case "paper":
+		if edges != "" || cats != "" {
+			return nil, fmt.Errorf("-gen and -edges/-cats are mutually exclusive")
+		}
+		return gen.Paper(randx.New(seed), gen.PaperConfig{K: paperK, Alpha: paperAlpha, Connect: true})
+	}
+	return nil, fmt.Errorf(`unknown -gen kind %q (want "ba" or "paper")`, genKind)
+}
+
+func readGraph(edgePath, catPath string) (*graph.Graph, error) {
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	g, err := graph.ReadEdgeList(ef)
+	if err != nil {
+		return nil, err
+	}
+	if catPath != "" {
+		cf, err := os.Open(catPath)
+		if err != nil {
+			return nil, err
+		}
+		defer cf.Close()
+		if err := g.ReadCategories(cf); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// genBA generates a Barabási–Albert graph with an optional balanced modular
+// category assignment (category of v is v mod k — arbitrary but
+// reproducible, the demo labeling for out-of-core crawl experiments).
+func genBA(r *rand.Rand, n, deg, k int) (*graph.Graph, error) {
+	g, err := gen.BarabasiAlbert(r, n, deg)
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 {
+		cat := make([]int32, g.N())
+		for v := range cat {
+			cat[v] = int32(v % k)
+		}
+		if err := g.SetCategories(cat, k, nil); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func printInfo(path string, out *os.File) error {
+	p, err := graph.OpenPackFile(path, graph.PackOptions{})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Fprintf(out, "%s: %d nodes, %d edges, mean degree %.2f, %d categories\n",
+		path, p.N(), p.M(), p.MeanDegree(), p.NumCategories())
+	for c := int32(0); c < int32(p.NumCategories()); c++ {
+		fmt.Fprintf(out, "  %-12s size %10d  volume %12d\n", p.CategoryName(c), p.CategorySize(c), p.CategoryVolume(c))
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+// TestPackFromEdgeList drives the full CLI path: write a graph as edge-list
+// + categories text, pack it, reopen the pack, and check it matches.
+func TestPackFromEdgeList(t *testing.T) {
+	g, err := gen.BarabasiAlbert(randx.New(3), 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := make([]int32, g.N())
+	for v := range cat {
+		cat[v] = int32(v % 4)
+	}
+	if err := g.SetCategories(cat, 4, []string{"w", "x", "y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "g.tsv")
+	catPath := filepath.Join(dir, "c.tsv")
+	packPath := filepath.Join(dir, "g.pack")
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edgePath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := g.WriteCategories(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(catPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-edges", edgePath, "-cats", catPath, "-o", packPath}, os.Stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p, err := graph.OpenPackFile(packPath, graph.PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.N() != g.N() || p.M() != g.M() || p.NumCategories() != 4 {
+		t.Fatalf("packed N=%d M=%d k=%d, want N=%d M=%d k=4", p.N(), p.M(), p.NumCategories(), g.N(), g.M())
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if p.Category(v) != g.Category(v) {
+			t.Fatalf("Category(%d): packed %d, want %d", v, p.Category(v), g.Category(v))
+		}
+	}
+	if got := p.CategoryName(2); got != "y" {
+		t.Fatalf("CategoryName(2) = %q, want y", got)
+	}
+}
+
+// TestPackGenerated covers the -gen families end to end.
+func TestPackGenerated(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+		k    int
+	}{
+		{"ba", []string{"-gen", "ba", "-gen-n", "500", "-gen-deg", "3", "-gen-cats", "5", "-seed", "2"}, 5},
+		{"paper", []string{"-gen", "paper", "-paper-k", "6", "-paper-alpha", "0.3"}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			packPath := filepath.Join(dir, tc.name+".pack")
+			if err := run(append(tc.args, "-o", packPath), os.Stdout); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			p, err := graph.OpenPackFile(packPath, graph.PackOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			if p.N() == 0 || p.M() == 0 {
+				t.Fatalf("generated pack is empty: N=%d M=%d", p.N(), p.M())
+			}
+			if tc.k > 0 && p.NumCategories() != tc.k {
+				t.Fatalf("NumCategories = %d, want %d", p.NumCategories(), tc.k)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no input", []string{"-o", "x.pack"}, "need -edges"},
+		{"no output", []string{"-gen", "ba"}, "need -o"},
+		{"unknown gen", []string{"-gen", "grid", "-o", "x.pack"}, "unknown -gen"},
+		{"gen and edges", []string{"-gen", "ba", "-edges", "e.tsv", "-o", "x.pack"}, "mutually exclusive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, os.Stdout)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

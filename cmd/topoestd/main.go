@@ -9,6 +9,8 @@
 //	topoestd -names US,BR,DE,FR -star=false -N 88850
 //	topoestd -demo -demo-draws 20000       # self-feeding smoke/demo mode
 //	topoestd -crawl -crawl-walkers 8 -crawl-target 500   # adaptive crawl mode
+//	topoestd -graph-file ba1m.pack -crawl -qps 2000 -query-cost 2ms
+//	                                       # out-of-core + API-crawl simulation
 //
 // Flags:
 //
@@ -37,6 +39,13 @@
 //	-crawl       adaptive crawl mode: generate the paper graph and crawl it
 //	             with internal/crawl until the CI targets are met (or the
 //	             budget runs out); further jobs start via POST /crawl
+//	-graph-file  crawl a packed out-of-core graph (.pack built by
+//	             cmd/graphpack) instead of generating the paper graph; the
+//	             daemon pages it through an LRU block cache, so the graph
+//	             may be far larger than RAM (crawl/demo modes)
+//	-qps         wrap the crawl backend in a rate-limited API simulation:
+//	             global neighbor-query budget in queries/second (0 = off)
+//	-query-cost  per-neighbor-query latency of the simulation (e.g. 5ms)
 //	-crawl-walkers       concurrent walkers (default 4)
 //	-crawl-sampler       RW | MHRW | S-WRW (default RW)
 //	-crawl-engine        stopping CI engine: bootstrap | replication
@@ -76,6 +85,8 @@
 //	                         "burn_in":1000,"thin":1,"seed":7}
 //	GET  /crawl/status       live job state: {"state":"none|running|done|
 //	                         failed","draws":…,"max_draws":…,
+//	                         "queries":… (present when -qps/-query-cost
+//	                         meter the backend; also echoed in "result"),
 //	                         "walkers":[{"walker":0,"draws":…,"node":…}],
 //	                         "checkpoint":{"seq":…,"draws":…,
 //	                         "size_hw":[…],"within_hw":[…],
@@ -125,6 +136,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -164,6 +176,10 @@ type cli struct {
 	demoDraws int
 	demoSeed  uint64
 
+	graphFile string
+	qps       float64
+	queryCost time.Duration
+
 	crawlMode    bool
 	crawlWalkers int
 	crawlSampler string
@@ -193,6 +209,9 @@ func main() {
 	flag.BoolVar(&c.demo, "demo", false, "self-feed a fixed-budget random-walk crawl of the §6.2.1 paper graph")
 	flag.IntVar(&c.demoDraws, "demo-draws", 20000, "demo: total draws to ingest")
 	flag.Uint64Var(&c.demoSeed, "demo-seed", 1, "demo: graph and crawl seed")
+	flag.StringVar(&c.graphFile, "graph-file", "", "crawl a packed out-of-core graph (.pack from cmd/graphpack) instead of generating the paper graph")
+	flag.Float64Var(&c.qps, "qps", 0, "simulate a remote API: global neighbor-query budget in queries/second (0 = unlimited)")
+	flag.DurationVar(&c.queryCost, "query-cost", 0, "simulate a remote API: per-neighbor-query latency (e.g. 5ms; 0 = none)")
 	flag.BoolVar(&c.crawlMode, "crawl", false, "adaptive crawl mode: generate the paper graph and crawl it until the CI targets are met")
 	flag.IntVar(&c.crawlWalkers, "crawl-walkers", 4, "crawl: concurrent walkers")
 	flag.StringVar(&c.crawlSampler, "crawl-sampler", "RW", "crawl: sampler kernel (RW|MHRW|S-WRW)")
@@ -236,8 +255,17 @@ func (c *cli) run() error {
 	if bc.B < 0 {
 		return fmt.Errorf("need -bootstrap ≥ 0, got %d", bc.B)
 	}
+	if c.qps < 0 {
+		return fmt.Errorf("need -qps ≥ 0, got %g", c.qps)
+	}
+	if c.queryCost < 0 {
+		return fmt.Errorf("need -query-cost ≥ 0, got %v", c.queryCost)
+	}
 	if c.demo || c.crawlMode {
 		return c.runCrawlMode(method, bc)
+	}
+	if c.graphFile != "" || c.qps > 0 || c.queryCost > 0 {
+		return fmt.Errorf("-graph-file, -qps and -query-cost configure the crawl backend; combine them with -crawl or -demo")
 	}
 	k := c.k
 	var names []string
@@ -281,12 +309,7 @@ func listenAndServe(addr string, h http.Handler) error {
 // estimate), replacing the former ad-hoc fixed-draw ingest loop. Subsequent
 // jobs can be launched over HTTP via POST /crawl.
 func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
-	g, err := gen.Paper(randx.New(c.demoSeed), gen.PaperConfig{
-		Sizes:   []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000},
-		K:       20,
-		Alpha:   0.5,
-		Connect: true,
-	})
+	src, names, err := c.crawlBackend()
 	if err != nil {
 		return err
 	}
@@ -300,11 +323,11 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 	if err != nil {
 		return err
 	}
-	adaptive.N, adaptive.Size = float64(g.N()), method
+	adaptive.N, adaptive.Size = float64(src.NumNodes()), method
 	jobCfg := adaptive
 	if !c.crawlMode {
 		jobCfg = c.demoCrawlConfig()
-		jobCfg.N, jobCfg.Size = float64(g.N()), method
+		jobCfg.N, jobCfg.Size = float64(src.NumNodes()), method
 	}
 	targeted := jobCfg.SizeTarget > 0 || jobCfg.WithinTarget > 0
 	if targeted && jobCfg.Engine == crawl.EngineBootstrap && bc.B == 0 {
@@ -315,16 +338,19 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 		log.Printf("topoestd: crawl targets set without -bootstrap; defaulting to %d replicates", bc.B)
 	}
 	acc, err := newIngester(stream.Config{
-		K: g.NumCategories(), Star: c.star, N: float64(g.N()), Size: method, Replicates: bc,
+		K: src.NumCategories(), Star: c.star, N: float64(src.NumNodes()), Size: method, Replicates: bc,
 	}, c.shards)
 	if err != nil {
 		return err
 	}
-	srv := newServer(acc, g.CategoryNames())
-	srv.crawlGraph = g
+	srv := newServer(acc, names)
+	srv.crawlSource = src
 	srv.crawlDefaults = adaptive
-	job, err := crawl.Start(g, acc, jobCfg)
+	job, err := crawl.Start(src, acc, jobCfg)
 	if err != nil {
+		if errors.Is(err, sample.ErrNoEdges) {
+			return fmt.Errorf("crawl backend is not walkable (every reachable start is edgeless): %w", err)
+		}
 		return err
 	}
 	srv.job = job
@@ -337,9 +363,57 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 		log.Printf("topoestd: crawl finished on %s after %d draws (%d checkpoints)",
 			res.Stopped, res.Draws, res.Checkpoints)
 	}()
-	log.Printf("topoestd: crawl mode on %s — N=%d paper graph, %s scenario, %d walker(s), %s sampler, max %d draws",
-		c.addr, g.N(), scenarioName(c.star), max(jobCfg.Walkers, 1), jobCfg.Sampler, jobCfg.MaxDraws)
+	log.Printf("topoestd: crawl mode on %s — N=%d %s, %s scenario, %d walker(s), %s sampler, max %d draws",
+		c.addr, src.NumNodes(), c.backendName(), scenarioName(c.star), max(jobCfg.Walkers, 1), jobCfg.Sampler, jobCfg.MaxDraws)
 	return listenAndServe(c.addr, srv)
+}
+
+// crawlBackend resolves the graph the crawl walks: the packed out-of-core
+// file of -graph-file, or the generated paper graph — optionally wrapped in
+// the rate-limited API-crawl simulation of -qps / -query-cost.
+func (c *cli) crawlBackend() (graph.Source, []string, error) {
+	var src graph.Source
+	if c.graphFile != "" {
+		p, err := graph.OpenPackFile(c.graphFile, graph.PackOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if p.NumCategories() == 0 {
+			return nil, nil, fmt.Errorf("%s carries no categories; crawling needs a categorized graph (pack with -cats or -gen-cats)", c.graphFile)
+		}
+		src = p
+	} else {
+		g, err := gen.Paper(randx.New(c.demoSeed), gen.PaperConfig{
+			Sizes:   []int64{60, 80, 100, 200, 500, 800, 1000, 2000, 3000, 5000},
+			K:       20,
+			Alpha:   0.5,
+			Connect: true,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		src = g
+	}
+	var names []string
+	if st, ok := graph.StatsOf(src); ok {
+		names = st.CategoryNames()
+	}
+	if c.qps > 0 || c.queryCost > 0 {
+		src = graph.NewRateLimited(src, graph.RateLimit{QPS: c.qps, PerQuery: c.queryCost})
+	}
+	return src, names, nil
+}
+
+// backendName describes the crawl backend for the startup log line.
+func (c *cli) backendName() string {
+	name := "paper graph"
+	if c.graphFile != "" {
+		name = "packed graph " + c.graphFile
+	}
+	if c.qps > 0 || c.queryCost > 0 {
+		name += " (rate-limited)"
+	}
+	return name
 }
 
 // demoCrawlConfig is the plain -demo job: the fixed-budget special case,
@@ -428,10 +502,11 @@ type server struct {
 	names []string
 	start time.Time
 
-	// crawlGraph is the generated graph of crawl/demo mode (nil when the
-	// daemon only serves externally pushed records); crawlDefaults seeds
-	// the configuration of POST /crawl jobs.
-	crawlGraph    *graph.Graph
+	// crawlSource is the graph backend of crawl/demo mode — generated,
+	// packed out-of-core, or rate-limited (nil when the daemon only serves
+	// externally pushed records); crawlDefaults seeds the configuration of
+	// POST /crawl jobs.
+	crawlSource   graph.Source
 	crawlDefaults crawl.Config
 
 	mu        sync.Mutex
@@ -798,7 +873,7 @@ func (req *crawlReq) apply(cfg crawl.Config) crawl.Config {
 // a time: starting while one is active is a 409; finished jobs may be
 // superseded (the accumulator keeps pooling draws across jobs).
 func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request) {
-	if s.crawlGraph == nil {
+	if s.crawlSource == nil {
 		httpError(w, http.StatusNotFound, "no crawl backend: start the daemon with -crawl or -demo")
 		return
 	}
@@ -825,9 +900,13 @@ func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, err := crawl.Start(s.crawlGraph, s.acc, cfg)
+	job, err := crawl.Start(s.crawlSource, s.acc, cfg)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		if errors.Is(err, sample.ErrNoEdges) {
+			httpError(w, http.StatusUnprocessableEntity, "crawl backend is not walkable: %v", err)
+		} else {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
 		return
 	}
 	s.job = job
@@ -853,10 +932,13 @@ func orDefault(s, def string) string {
 // crawlStatusDoc is the JSON shape of GET /crawl/status. Half-width arrays
 // use pointers so unresolved estimands (NaN) travel as null.
 type crawlStatusDoc struct {
-	State      string          `json:"state"` // none | running | done | failed
-	Draws      int             `json:"draws,omitempty"`
-	MaxDraws   int             `json:"max_draws,omitempty"`
-	Walkers    []walkerDoc     `json:"walkers,omitempty"`
+	State    string      `json:"state"` // none | running | done | failed
+	Draws    int         `json:"draws,omitempty"`
+	MaxDraws int         `json:"max_draws,omitempty"`
+	Walkers  []walkerDoc `json:"walkers,omitempty"`
+	// Queries is the number of chargeable neighbor-queries spent so far;
+	// present only when the backend meters access (-qps / -query-cost).
+	Queries    *int64          `json:"queries,omitempty"`
 	Checkpoint *checkpointDoc  `json:"checkpoint,omitempty"`
 	Result     *crawlResultDoc `json:"result,omitempty"`
 	Error      string          `json:"error,omitempty"`
@@ -880,6 +962,7 @@ type crawlResultDoc struct {
 	Stopped     string `json:"stopped"`
 	Draws       int    `json:"draws"`
 	Checkpoints int    `json:"checkpoints"`
+	Queries     *int64 `json:"queries,omitempty"`
 }
 
 func finiteSlice(xs []float64) []*float64 {
@@ -918,6 +1001,9 @@ func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
 		for _, ws := range st.Walkers {
 			doc.Walkers = append(doc.Walkers, walkerDoc{Walker: ws.Walker, Draws: ws.Draws, Node: ws.Node})
 		}
+		if st.Metered {
+			doc.Queries = &st.Queries
+		}
 		doc.Checkpoint = checkpointToDoc(st.Last)
 		if st.Running {
 			doc.State = "running"
@@ -930,6 +1016,9 @@ func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
 				Stopped:     string(res.Stopped),
 				Draws:       res.Draws,
 				Checkpoints: res.Checkpoints,
+			}
+			if res.Metered {
+				doc.Result.Queries = &res.Queries
 			}
 		}
 	}

@@ -7,10 +7,13 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crawl"
@@ -767,7 +770,7 @@ func TestCrawlEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := newServer(acc, g.CategoryNames())
-	srv.crawlGraph = g
+	srv.crawlSource = g
 	srv.crawlDefaults = crawl.Config{
 		Walkers: 2, Sampler: crawl.SamplerRW, Star: true, N: N,
 		Bootstrap: uncert.Config{B: 60, Seed: 3},
@@ -866,7 +869,7 @@ func TestCrawlEndpoints(t *testing.T) {
 	}
 	// A bad override is a 422 with an explanatory error.
 	srv2 := newServer(acc, g.CategoryNames())
-	srv2.crawlGraph = g
+	srv2.crawlSource = g
 	srv2.crawlDefaults = crawl.Config{Star: true, MaxDraws: 100}
 	if w := post(t, srv2, "/crawl", `{"engine":"magic"}`); w.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("bad engine: %d %s", w.Code, w.Body)
@@ -887,5 +890,102 @@ func TestParseCats(t *testing.T) {
 	}
 	if _, err := parseCats("1,x"); err == nil {
 		t.Fatal("want error on non-numeric entry")
+	}
+}
+
+// TestCrawlPackedRateLimited drives the out-of-core API-crawl wiring end to
+// end: the demo graph is packed to disk, reopened through cli.crawlBackend
+// with a query-cost model, crawled over HTTP, and the status/result docs
+// must report the queries spent alongside the draws.
+func TestCrawlPackedRateLimited(t *testing.T) {
+	g := mustDemoGraph(t)
+	packPath := filepath.Join(t.TempDir(), "demo.pack")
+	f, err := os.Create(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WritePack(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := &cli{graphFile: packPath, qps: 0, queryCost: time.Microsecond}
+	src, names, err := c.crawlBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != g.NumCategories() {
+		t.Fatalf("backend carries %d names, want %d", len(names), g.NumCategories())
+	}
+	if _, ok := graph.QueriesOf(src); !ok {
+		t.Fatal("crawl backend is not metered despite -query-cost")
+	}
+
+	N := float64(g.N())
+	acc, err := stream.NewAccumulator(stream.Config{K: g.NumCategories(), Star: true, N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(acc, names)
+	srv.crawlSource = src
+	srv.crawlDefaults = crawl.Config{
+		Walkers: 2, Sampler: crawl.SamplerRW, Star: true, N: N,
+		MaxDraws: 2000, CheckEvery: 500, BurnIn: 50, Seed: 5,
+	}
+	if w := post(t, srv, "/crawl", "{}"); w.Code != http.StatusAccepted {
+		t.Fatalf("POST /crawl: %d %s", w.Code, w.Body)
+	}
+	srv.crawlMu.Lock()
+	job := srv.job
+	srv.crawlMu.Unlock()
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var st crawlStatusDoc
+	mustDecode(t, get(t, srv, "/crawl/status").Body.Bytes(), &st)
+	if st.State != "done" {
+		t.Fatalf("state = %q, want done", st.State)
+	}
+	if st.Queries == nil || *st.Queries == 0 {
+		t.Fatalf("metered crawl reported no queries: %+v", st)
+	}
+	// The wrapper's node cache makes re-fetches free, so on this small
+	// graph queries ≪ draws; they still must be positive and consistent.
+	if st.Result == nil || st.Result.Queries == nil || *st.Result.Queries != *st.Queries {
+		t.Fatalf("result queries = %v, status queries = %v; want equal and present", st.Result.Queries, st.Queries)
+	}
+}
+
+// TestCrawlBackendErrors pins the -graph-file failure modes: a missing
+// file, and a pack without categories.
+func TestCrawlBackendErrors(t *testing.T) {
+	c := &cli{graphFile: filepath.Join(t.TempDir(), "nope.pack")}
+	if _, _, err := c.crawlBackend(); err == nil {
+		t.Fatal("crawlBackend accepted a missing pack file")
+	}
+
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "uncat.pack")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WritePack(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c = &cli{graphFile: path}
+	if _, _, err := c.crawlBackend(); err == nil || !strings.Contains(err.Error(), "no categories") {
+		t.Fatalf("uncategorized pack: err = %v, want 'no categories'", err)
 	}
 }

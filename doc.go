@@ -97,6 +97,17 @@
 // progress, which cmd/topoestd exposes as POST /crawl + GET /crawl/status.
 // For a fixed seed, draws and per-walker counts are exactly reproducible.
 //
+// # Graph backends
+//
+// Samplers, observers and the crawl controller consume the Source access
+// model rather than a concrete graph: *Graph (in-memory CSR), PackedGraph
+// (out-of-core CSR — a .pack file from cmd/graphpack paged through an LRU
+// block cache, for graphs larger than RAM) and RateLimitedSource (an
+// API-crawl simulation with per-query latency, a global QPS budget and a
+// query counter that CrawlResult reports beside the draw count). One seed
+// replays the identical walk on every backend; unwalkable graphs surface
+// the typed ErrNoEdges sentinel.
+//
 // The packages under internal/ hold the implementation: internal/core (the
 // estimators over shared sufficient statistics), internal/sample (samplers
 // and batch + incremental observation models), internal/stream (the online

@@ -27,6 +27,7 @@ package crawl
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sync"
 	"time"
 
@@ -171,6 +172,13 @@ type Status struct {
 	Draws    int
 	MaxDraws int
 	Walkers  []WalkerStats
+	// Metered reports whether the graph backend meters access
+	// (graph.QuerySource); Queries is then the number of chargeable
+	// neighbor-queries this crawl has spent so far (delta since Start) —
+	// the crawl's real cost against an API-crawl budget, as opposed to
+	// its draw count.
+	Metered bool
+	Queries int64
 	// Last is the most recent checkpoint (nil before the first).
 	Last *Checkpoint
 }
@@ -194,14 +202,27 @@ type Result struct {
 	Replication *uncert.Replication
 	// Walkers is the per-walker draw breakdown.
 	Walkers []WalkerStats
+	// Metered and Queries report the neighbor-queries this crawl spent
+	// (counter delta since Start, so successive jobs over one shared
+	// source account separately) when the backend meters access (a
+	// RateLimited source): the paper's API-crawl scenario, where queries —
+	// not draws — are the scarce resource. Queries is 0 and Metered false
+	// on unmetered backends.
+	Metered bool
+	Queries int64
 }
 
 // Crawl is a running adaptive crawl. Start it with Start, watch it with
 // Status, and collect the result with Wait.
 type Crawl struct {
 	cfg Config
-	g   *graph.Graph
+	src graph.Source
 	acc stream.Ingester
+
+	// startQueries is the metered source's counter at Start: sources are
+	// shared across jobs (topoestd runs successive crawls over one
+	// backend), so per-job query counts are deltas, not the global total.
+	startQueries int64
 
 	sizeCats   []int
 	withinCats []int
@@ -229,16 +250,16 @@ type Crawl struct {
 // same statistics the crawl feeds — its scenario and category count must
 // match, and with EngineBootstrap and CI targets it must have bootstrap
 // replicates enabled.
-func Start(g *graph.Graph, acc stream.Ingester, cfg Config) (*Crawl, error) {
-	if g == nil || !g.HasCategories() {
+func Start(src graph.Source, acc stream.Ingester, cfg Config) (*Crawl, error) {
+	if isNilSource(src) || src.NumCategories() == 0 {
 		return nil, fmt.Errorf("crawl: need a categorized graph")
 	}
-	if err := normalize(&cfg, g.NumCategories()); err != nil {
+	if err := normalize(&cfg, src.NumCategories()); err != nil {
 		return nil, err
 	}
 	targeted := cfg.SizeTarget > 0 || cfg.WithinTarget > 0
 	if acc == nil {
-		scfg := stream.Config{K: g.NumCategories(), Star: cfg.Star, N: cfg.N, Size: cfg.Size}
+		scfg := stream.Config{K: src.NumCategories(), Star: cfg.Star, N: cfg.N, Size: cfg.Size}
 		if cfg.Engine == EngineBootstrap && targeted {
 			scfg.Replicates = cfg.Bootstrap
 		}
@@ -256,8 +277,8 @@ func Start(g *graph.Graph, acc stream.Ingester, cfg Config) (*Crawl, error) {
 		if ac.Star != cfg.Star {
 			return nil, fmt.Errorf("crawl: accumulator scenario (star=%v) does not match config (star=%v)", ac.Star, cfg.Star)
 		}
-		if ac.K != g.NumCategories() {
-			return nil, fmt.Errorf("crawl: accumulator has %d categories, graph has %d", ac.K, g.NumCategories())
+		if ac.K != src.NumCategories() {
+			return nil, fmt.Errorf("crawl: accumulator has %d categories, graph has %d", ac.K, src.NumCategories())
 		}
 		// N and Size must agree too: the replication engine evaluates CI
 		// widths on per-walker accumulators built from cfg, and a config
@@ -277,37 +298,38 @@ func Start(g *graph.Graph, acc stream.Ingester, cfg Config) (*Crawl, error) {
 	}
 	c := &Crawl{
 		cfg:        cfg,
-		g:          g,
+		src:        src,
 		acc:        acc,
-		sizeCats:   catSet(cfg.SizeCats, g.NumCategories()),
-		withinCats: catSet(cfg.WithinCats, g.NumCategories()),
+		sizeCats:   catSet(cfg.SizeCats, src.NumCategories()),
+		withinCats: catSet(cfg.WithinCats, src.NumCategories()),
 		done:       make(chan struct{}),
 	}
+	c.startQueries, _ = graph.QueriesOf(src)
 	if !cfg.Star {
-		so, err := sample.NewStreamObserver(g, false)
+		so, err := sample.NewStreamObserver(src, false)
 		if err != nil {
 			return nil, err
 		}
 		c.sharedObs = so
 	}
-	step, err := newStepper(g, &cfg)
+	step, err := newStepper(src, &cfg)
 	if err != nil {
 		return nil, err
 	}
 	c.walkers = make([]*walker, cfg.Walkers)
 	for i := range c.walkers {
 		w := &walker{id: i, r: randx.Derive(cfg.Seed, uint64(i)), step: step}
-		if w.cur, err = sample.RandomStart(w.r, g); err != nil {
+		if w.cur, err = sample.RandomStart(w.r, src); err != nil {
 			return nil, fmt.Errorf("crawl: walker %d: %w", i, err)
 		}
 		if cfg.Star {
-			if w.obs, err = sample.NewStreamObserver(g, true); err != nil {
+			if w.obs, err = sample.NewStreamObserver(src, true); err != nil {
 				return nil, err
 			}
 		}
 		if cfg.Engine == EngineReplication {
 			if w.priv, err = stream.NewAccumulator(stream.Config{
-				K: g.NumCategories(), Star: cfg.Star, N: cfg.N, Size: cfg.Size,
+				K: src.NumCategories(), Star: cfg.Star, N: cfg.N, Size: cfg.Size,
 			}); err != nil {
 				return nil, err
 			}
@@ -315,7 +337,7 @@ func Start(g *graph.Graph, acc stream.Ingester, cfg Config) (*Crawl, error) {
 				// Induced: the private stream needs its own observer (the
 				// shared one cites peers of other walkers). Star records
 				// are self-contained and reused as-is.
-				if w.privObs, err = sample.NewStreamObserver(g, false); err != nil {
+				if w.privObs, err = sample.NewStreamObserver(src, false); err != nil {
 					return nil, err
 				}
 			}
@@ -400,6 +422,22 @@ func normalize(cfg *Config, k int) error {
 	return nil
 }
 
+// isNilSource reports whether src is nil, including a typed nil pointer
+// wrapped in the interface — `Start((*graph.Graph)(nil), …)` must return
+// the clean "need a categorized graph" error the concrete-pointer
+// signature used to give, not panic inside NumCategories.
+func isNilSource(src graph.Source) bool {
+	if src == nil {
+		return true
+	}
+	v := reflect.ValueOf(src)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface, reflect.Map, reflect.Slice, reflect.Func, reflect.Chan:
+		return v.IsNil()
+	}
+	return false
+}
+
 // catSet resolves a target category list (nil = all k categories).
 func catSet(cats []int, k int) []int {
 	if cats != nil {
@@ -439,6 +477,8 @@ func (c *Crawl) Status() Status {
 		st.Walkers = append(st.Walkers, WalkerStats{Walker: w.id, Draws: d, Node: w.node.Load()})
 		st.Draws += d
 	}
+	st.Queries, st.Metered = graph.QueriesOf(c.src)
+	st.Queries -= c.startQueries
 	c.mu.Lock()
 	st.Last = c.last
 	c.mu.Unlock()
@@ -545,6 +585,8 @@ func (c *Crawl) crawl() (*Result, error) {
 	for _, w := range c.walkers {
 		res.Walkers = append(res.Walkers, WalkerStats{Walker: w.id, Draws: int(w.draws.Load()), Node: w.node.Load()})
 	}
+	res.Queries, res.Metered = graph.QueriesOf(c.src)
+	res.Queries -= c.startQueries
 	return res, nil
 }
 
@@ -552,7 +594,7 @@ func (c *Crawl) crawl() (*Result, error) {
 // CI half-width of every category size and within-weight under the
 // configured engine.
 func (c *Crawl) checkpoint(seq, draws int) (*Checkpoint, error) {
-	k := c.g.NumCategories()
+	k := c.src.NumCategories()
 	cp := &Checkpoint{Seq: seq, Draws: draws, SizeHW: nanSlice(k), WithinHW: nanSlice(k)}
 	switch c.cfg.Engine {
 	case EngineReplication:

@@ -15,14 +15,14 @@ import (
 // New*Stepper constructors): the batch Sample methods and the crawl
 // controller drive the identical single definition, so the two paths
 // cannot drift apart.
-func newStepper(g *graph.Graph, cfg *Config) (sample.Stepper, error) {
+func newStepper(src graph.Source, cfg *Config) (sample.Stepper, error) {
 	switch cfg.Sampler {
 	case "", SamplerRW:
-		return sample.NewRWStepper(g), nil
+		return sample.NewRWStepper(src), nil
 	case SamplerMHRW:
-		return sample.NewMHRWStepper(g), nil
+		return sample.NewMHRWStepper(src), nil
 	case SamplerWRW:
-		st, err := sample.NewWRWStepper(g, cfg.NodeWeight)
+		st, err := sample.NewWRWStepper(src, cfg.NodeWeight)
 		if err != nil {
 			return nil, fmt.Errorf("crawl: %w", err)
 		}
@@ -30,11 +30,11 @@ func newStepper(g *graph.Graph, cfg *Config) (sample.Stepper, error) {
 	case SamplerSWRW:
 		// sample.NewSWRW computes the per-category stratification weights;
 		// the returned WRW's NodeWeight field carries them.
-		w, err := sample.NewSWRW(g, cfg.SWRW)
+		w, err := sample.NewSWRW(src, cfg.SWRW)
 		if err != nil {
 			return nil, fmt.Errorf("crawl: %w", err)
 		}
-		st, err := sample.NewWRWStepper(g, w.NodeWeight)
+		st, err := sample.NewWRWStepper(src, w.NodeWeight)
 		if err != nil {
 			return nil, fmt.Errorf("crawl: %w", err)
 		}

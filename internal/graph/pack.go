@@ -1,0 +1,578 @@
+package graph
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"sync"
+)
+
+// The .pack format is the out-of-core twin of the in-memory CSR: the same
+// three arrays (degree offsets, concatenated sorted neighbor lists, per-node
+// categories), laid out verbatim in a versioned little-endian binary file so
+// that a reader can page exactly the bytes a walk touches instead of loading
+// the graph. The per-category aggregates (sizes, volumes, names) ride in the
+// header sections — they are O(k) and make stratified walks (S-WRW) and
+// serving front ends work without a full scan.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size        field
+//	0       8           magic "TOPOPAK1"
+//	8       4           version (currently 1)
+//	12      4           flags (bit 0: categories present)
+//	16      8           n  — number of nodes
+//	24      8           m  — length of the neighbor array (= 2|E|)
+//	32      4           k  — number of categories (0 without flag bit 0)
+//	36      4           reserved (zero)
+//	40      8           namesLen — byte length of the names blob
+//	48      16          reserved (zero)
+//	64      (n+1)·8     off — CSR degree offsets, off[0] = 0, off[n] = m
+//	…       m·4         adj — neighbor lists, sorted ascending per node
+//	…       n·4         cat — category per node, None = -1   (flag bit 0)
+//	…       k·8         catSize — |A| per category            (flag bit 0)
+//	…       k·8         catVol — vol(A) per category          (flag bit 0)
+//	…       namesLen    names — category names, '\n'-separated
+//
+// The expected file size is fully determined by the header, so truncation is
+// detected at open time, before any walk starts.
+const (
+	packMagic      = "TOPOPAK1"
+	packVersion    = 1
+	packHeaderSize = 64
+	packFlagCats   = 1 << 0
+)
+
+// readFull reads len(p) bytes at off, honoring the io.ReaderAt contract
+// that a read ending exactly at end-of-input may return err == io.EOF
+// alongside a full count.
+func readFull(r io.ReaderAt, p []byte, off int64) error {
+	n, err := r.ReadAt(p, off)
+	if n == len(p) {
+		return nil
+	}
+	if err == nil || err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// packLayout holds the header fields and the derived section offsets.
+type packLayout struct {
+	n        int64
+	m        int64
+	k        int32
+	flags    uint32
+	namesLen int64
+
+	offOff, adjOff, catOff, sizeOff, volOff, namesOff int64
+	fileSize                                          int64
+}
+
+func layoutFor(n, m int64, k int32, flags uint32, namesLen int64) packLayout {
+	l := packLayout{n: n, m: m, k: k, flags: flags, namesLen: namesLen}
+	l.offOff = packHeaderSize
+	l.adjOff = l.offOff + (n+1)*8
+	l.catOff = l.adjOff + m*4
+	l.sizeOff = l.catOff
+	if flags&packFlagCats != 0 {
+		l.sizeOff = l.catOff + n*4
+	}
+	l.volOff = l.sizeOff + int64(k)*8
+	l.namesOff = l.volOff + int64(k)*8
+	l.fileSize = l.namesOff + namesLen
+	return l
+}
+
+// WritePack serializes g into the .pack out-of-core CSR format. The writer
+// receives the exact byte layout documented above; pair it with OpenPack (or
+// OpenPackFile) to walk the graph without loading it.
+func WritePack(w io.Writer, g *Graph) error {
+	var namesBlob string
+	flags := uint32(0)
+	k := int32(0)
+	if g.HasCategories() {
+		flags |= packFlagCats
+		k = int32(g.NumCategories())
+		for _, name := range g.catNames {
+			if strings.ContainsRune(name, '\n') {
+				return fmt.Errorf("graph: category name %q contains a newline", name)
+			}
+		}
+		namesBlob = strings.Join(g.catNames, "\n")
+	}
+	n := int64(g.N())
+	m := int64(len(g.adj))
+	hdr := make([]byte, packHeaderSize)
+	copy(hdr, packMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], packVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(m))
+	binary.LittleEndian.PutUint32(hdr[32:], uint32(k))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(len(namesBlob)))
+	bw := newPackWriter(w)
+	bw.bytes(hdr)
+	for _, o := range g.off {
+		bw.u64(uint64(o))
+	}
+	for _, v := range g.adj {
+		bw.u32(uint32(v))
+	}
+	if flags&packFlagCats != 0 {
+		for _, c := range g.cat {
+			bw.u32(uint32(c))
+		}
+		for _, s := range g.catSize {
+			bw.u64(uint64(s))
+		}
+		for _, v := range g.catVol {
+			bw.u64(uint64(v))
+		}
+		bw.bytes([]byte(namesBlob))
+	}
+	return bw.flush()
+}
+
+// packWriter is a small buffered little-endian writer that latches the first
+// error so the hot loops above stay branch-free.
+type packWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func newPackWriter(w io.Writer) *packWriter {
+	return &packWriter{w: w, buf: make([]byte, 0, 1<<20)}
+}
+
+func (p *packWriter) flushIfFull() {
+	if len(p.buf) >= (1<<20)-8 {
+		p.err = p.flush()
+	}
+}
+
+func (p *packWriter) u64(x uint64) {
+	if p.err != nil {
+		return
+	}
+	p.buf = binary.LittleEndian.AppendUint64(p.buf, x)
+	p.flushIfFull()
+}
+
+func (p *packWriter) u32(x uint32) {
+	if p.err != nil {
+		return
+	}
+	p.buf = binary.LittleEndian.AppendUint32(p.buf, x)
+	p.flushIfFull()
+}
+
+func (p *packWriter) bytes(b []byte) {
+	if p.err != nil {
+		return
+	}
+	p.buf = append(p.buf, b...)
+	p.flushIfFull()
+}
+
+func (p *packWriter) flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.buf) > 0 {
+		if _, err := p.w.Write(p.buf); err != nil {
+			p.err = err
+			return err
+		}
+		p.buf = p.buf[:0]
+	}
+	return nil
+}
+
+// PackOptions tunes the paging of an opened pack.
+type PackOptions struct {
+	// BlockSize is the page size in bytes (default 64 KiB). Every read of
+	// offsets, neighbors, or categories goes through blocks of this size.
+	BlockSize int
+	// CacheBlocks is the capacity of the LRU block cache (default 256
+	// blocks — 16 MiB at the default block size). Set to -1 to disable
+	// caching entirely: every access then reads the backing ReaderAt
+	// directly, the worst case the benchmarks quantify.
+	CacheBlocks int
+}
+
+func (o PackOptions) withDefaults() PackOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 1 << 16
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 256
+	}
+	return o
+}
+
+// Packed is the out-of-core CSR graph backend: a graph.Source over a .pack
+// file read through an io.ReaderAt with an LRU block cache, so walks touch
+// only the pages their trajectory visits. It serves graphs far larger than
+// RAM — the cache holds CacheBlocks pages regardless of graph size.
+//
+// Packed is safe for concurrent use. Neighbor lists are decoded into fresh
+// allocations (the Source contract), and the block cache is guarded by one
+// mutex — a deliberate simplicity trade the CSRStep benchmarks price against
+// the in-memory backend.
+//
+// A Source method that hits a failing ReaderAt panics with the underlying
+// error: a walk in progress cannot continue past an unreadable page, and the
+// Source access model carries no per-query error channel (a real crawler
+// retries at the transport layer instead).
+type Packed struct {
+	r      io.ReaderAt
+	closer io.Closer
+	lay    packLayout
+
+	catSize []int64
+	catVol  []int64
+	names   []string
+
+	cache *blockCache
+}
+
+// OpenPack opens a .pack image held by an io.ReaderAt of the given total
+// size. It validates the header (magic, version, field consistency) and the
+// file size before returning — a corrupt or truncated pack fails here, not
+// mid-walk. The O(k) category aggregates are loaded eagerly; everything
+// O(n) or O(m) is paged on demand.
+func OpenPack(r io.ReaderAt, size int64, opt PackOptions) (*Packed, error) {
+	opt = opt.withDefaults()
+	if size < packHeaderSize {
+		return nil, fmt.Errorf("graph: pack truncated: %d bytes, want at least the %d-byte header", size, packHeaderSize)
+	}
+	hdr := make([]byte, packHeaderSize)
+	if err := readFull(r, hdr, 0); err != nil {
+		return nil, fmt.Errorf("graph: pack header: %w", err)
+	}
+	if string(hdr[:8]) != packMagic {
+		return nil, fmt.Errorf("graph: not a pack file (bad magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != packVersion {
+		return nil, fmt.Errorf("graph: pack version %d, this reader understands %d", v, packVersion)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[12:])
+	n := int64(binary.LittleEndian.Uint64(hdr[16:]))
+	m := int64(binary.LittleEndian.Uint64(hdr[24:]))
+	k := int32(binary.LittleEndian.Uint32(hdr[32:]))
+	namesLen := int64(binary.LittleEndian.Uint64(hdr[40:]))
+	switch {
+	case n < 0 || m < 0 || k < 0 || namesLen < 0:
+		return nil, fmt.Errorf("graph: pack header has negative sizes (n=%d m=%d k=%d namesLen=%d)", n, m, k, namesLen)
+	// Bound every field by what the file could possibly hold BEFORE the
+	// layout arithmetic: a crafted header with n ≈ 2^61 would overflow
+	// (n+1)*8 so that the computed file size wraps back into range, defeat
+	// the open-time size check, and turn "corruption fails at open" into a
+	// panic on the first walk access. Node ids are int32, offsets 8 bytes
+	// and neighbors 4, so each bound is also a format invariant.
+	case n > int64(math.MaxInt32):
+		return nil, fmt.Errorf("graph: pack header declares %d nodes; node ids are int32", n)
+	case (size-packHeaderSize)/8 < n+1 || m > size/4 || namesLen > size || int64(k) > size/16:
+		// k may legitimately exceed n (empty categories), but each category
+		// still needs 16 bytes of aggregate sections in the file.
+		return nil, fmt.Errorf("graph: pack truncated or padded: %d bytes cannot hold n=%d m=%d k=%d namesLen=%d", size, n, m, k, namesLen)
+	case flags&^uint32(packFlagCats) != 0:
+		return nil, fmt.Errorf("graph: pack header has unknown flags %#x", flags)
+	case flags&packFlagCats == 0 && (k != 0 || namesLen != 0):
+		return nil, fmt.Errorf("graph: pack header declares %d categories without the category flag", k)
+	}
+	lay := layoutFor(n, m, k, flags, namesLen)
+	if size != lay.fileSize {
+		return nil, fmt.Errorf("graph: pack truncated or padded: %d bytes, header implies %d", size, lay.fileSize)
+	}
+	p := &Packed{r: r, lay: lay}
+	if opt.CacheBlocks > 0 {
+		p.cache = newBlockCache(r, opt.BlockSize, opt.CacheBlocks)
+	}
+	// CSR endpoints pin down the offsets array against header corruption.
+	first, err := p.readOff(0)
+	if err != nil {
+		return nil, err
+	}
+	last, err := p.readOff(n)
+	if err != nil {
+		return nil, err
+	}
+	if first != 0 || last != m {
+		return nil, fmt.Errorf("graph: pack offsets corrupt: off[0]=%d, off[n]=%d, want 0 and %d", first, last, m)
+	}
+	if flags&packFlagCats != 0 {
+		p.catSize = make([]int64, k)
+		p.catVol = make([]int64, k)
+		buf := make([]byte, k*8)
+		if err := readFull(r, buf, lay.sizeOff); err != nil {
+			return nil, fmt.Errorf("graph: pack category sizes: %w", err)
+		}
+		for i := range p.catSize {
+			p.catSize[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		if err := readFull(r, buf, lay.volOff); err != nil {
+			return nil, fmt.Errorf("graph: pack category volumes: %w", err)
+		}
+		for i := range p.catVol {
+			p.catVol[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		nb := make([]byte, namesLen)
+		if err := readFull(r, nb, lay.namesOff); err != nil {
+			return nil, fmt.Errorf("graph: pack category names: %w", err)
+		}
+		p.names = strings.Split(string(nb), "\n")
+		if len(p.names) != int(k) {
+			return nil, fmt.Errorf("graph: pack has %d category names for %d categories", len(p.names), k)
+		}
+	}
+	return p, nil
+}
+
+// OpenPackFile opens a .pack file from disk; Close releases it.
+func OpenPackFile(path string, opt PackOptions) (*Packed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p, err := OpenPack(f, st.Size(), opt)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	p.closer = f
+	return p, nil
+}
+
+// Close releases the backing file of OpenPackFile (a no-op otherwise).
+func (p *Packed) Close() error {
+	if p.closer == nil {
+		return nil
+	}
+	return p.closer.Close()
+}
+
+// read returns n bytes at off, through the block cache when enabled. The
+// returned slice is read-only and may alias a cache block.
+func (p *Packed) read(off int64, n int) ([]byte, error) {
+	if p.cache != nil {
+		return p.cache.read(off, n)
+	}
+	buf := make([]byte, n)
+	if err := readFull(p.r, buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (p *Packed) readOff(v int64) (int64, error) {
+	b, err := p.read(p.lay.offOff+v*8, 8)
+	if err != nil {
+		return 0, fmt.Errorf("graph: pack offsets: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// offPair returns off[v] and off[v+1] with one contiguous read.
+func (p *Packed) offPair(v int32) (int64, int64) {
+	b, err := p.read(p.lay.offOff+int64(v)*8, 16)
+	if err != nil {
+		panic(fmt.Errorf("graph: pack offsets of node %d: %w", v, err))
+	}
+	return int64(binary.LittleEndian.Uint64(b)), int64(binary.LittleEndian.Uint64(b[8:]))
+}
+
+// N returns the number of nodes.
+func (p *Packed) N() int { return int(p.lay.n) }
+
+// NumNodes implements graph.Source.
+func (p *Packed) NumNodes() int { return int(p.lay.n) }
+
+// M returns the number of undirected edges.
+func (p *Packed) M() int64 { return p.lay.m / 2 }
+
+// Volume returns vol(V) = 2|E|.
+func (p *Packed) Volume() int64 { return p.lay.m }
+
+// MeanDegree returns the average node degree.
+func (p *Packed) MeanDegree() float64 {
+	if p.lay.n == 0 {
+		return 0
+	}
+	return float64(p.lay.m) / float64(p.lay.n)
+}
+
+// Degree implements graph.Source.
+func (p *Packed) Degree(v int32) int {
+	lo, hi := p.offPair(v)
+	return int(hi - lo)
+}
+
+// Neighbors implements graph.Source: the sorted neighbor list of v, decoded
+// from the paged neighbor array into a fresh slice.
+func (p *Packed) Neighbors(v int32) []int32 {
+	lo, hi := p.offPair(v)
+	deg := int(hi - lo)
+	if deg == 0 {
+		return nil
+	}
+	b, err := p.read(p.lay.adjOff+lo*4, deg*4)
+	if err != nil {
+		panic(fmt.Errorf("graph: pack neighbors of node %d: %w", v, err))
+	}
+	nb := make([]int32, deg)
+	for i := range nb {
+		nb[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return nb
+}
+
+// NumCategories implements graph.Source.
+func (p *Packed) NumCategories() int { return int(p.lay.k) }
+
+// HasCategories reports whether the pack carries a partition.
+func (p *Packed) HasCategories() bool { return p.lay.k > 0 }
+
+// Category implements graph.Source.
+func (p *Packed) Category(v int32) int32 {
+	if p.lay.k == 0 {
+		return None
+	}
+	b, err := p.read(p.lay.catOff+int64(v)*4, 4)
+	if err != nil {
+		panic(fmt.Errorf("graph: pack category of node %d: %w", v, err))
+	}
+	return int32(binary.LittleEndian.Uint32(b))
+}
+
+// NodeWeight implements graph.Source with unit weights.
+func (p *Packed) NodeWeight(v int32) float64 { return 1 }
+
+// CategorySize implements graph.StatsSource.
+func (p *Packed) CategorySize(c int32) int64 { return p.catSize[c] }
+
+// CategoryVolume implements graph.StatsSource.
+func (p *Packed) CategoryVolume(c int32) int64 { return p.catVol[c] }
+
+// CategoryNames implements graph.StatsSource (do not modify).
+func (p *Packed) CategoryNames() []string { return p.names }
+
+// CategoryName returns the name of category c.
+func (p *Packed) CategoryName(c int32) string { return p.names[c] }
+
+// CacheStats reports block-cache hits and misses so far (zeros when the
+// cache is disabled).
+func (p *Packed) CacheStats() (hits, misses int64) {
+	if p.cache == nil {
+		return 0, 0
+	}
+	return p.cache.stats()
+}
+
+// blockCache pages a ReaderAt in fixed-size blocks with LRU eviction.
+// Blocks are immutable once loaded, so readers may hold sub-slices across
+// eviction — eviction only drops the cache's own reference.
+type blockCache struct {
+	r         io.ReaderAt
+	blockSize int
+	cap       int
+
+	mu     sync.Mutex
+	blocks map[int64]*list.Element
+	lru    *list.List // front = most recently used
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	idx  int64
+	data []byte
+}
+
+func newBlockCache(r io.ReaderAt, blockSize, capBlocks int) *blockCache {
+	return &blockCache{
+		r:         r,
+		blockSize: blockSize,
+		cap:       capBlocks,
+		blocks:    make(map[int64]*list.Element, capBlocks),
+		lru:       list.New(),
+	}
+}
+
+// block returns the cached block idx, loading (and possibly evicting) under
+// the cache lock. Loading under the lock serializes concurrent misses of the
+// same block into one read — the common case for walkers clustered on the
+// same region of the graph.
+func (c *blockCache) block(idx int64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.blocks[idx]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).data, nil
+	}
+	c.misses++
+	buf := make([]byte, c.blockSize)
+	n, err := c.r.ReadAt(buf, idx*int64(c.blockSize))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf = buf[:n]
+	c.blocks[idx] = c.lru.PushFront(&cacheEntry{idx: idx, data: buf})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.blocks, oldest.Value.(*cacheEntry).idx)
+	}
+	return buf, nil
+}
+
+// read returns n bytes at off. A read inside one block aliases the cached
+// block (zero copy); a read spanning blocks assembles a fresh buffer.
+func (c *blockCache) read(off int64, n int) ([]byte, error) {
+	idx := off / int64(c.blockSize)
+	o := int(off - idx*int64(c.blockSize))
+	b, err := c.block(idx)
+	if err != nil {
+		return nil, err
+	}
+	if o+n <= len(b) {
+		return b[o : o+n : o+n], nil
+	}
+	if o > len(b) {
+		return nil, io.ErrUnexpectedEOF // short (final) block, read starts past it
+	}
+	out := make([]byte, 0, n)
+	out = append(out, b[o:]...)
+	for len(out) < n {
+		idx++
+		if b, err = c.block(idx); err != nil {
+			return nil, err
+		}
+		out = append(out, b[:min(n-len(out), len(b))]...)
+		if len(out) < n && len(b) < c.blockSize {
+			return nil, io.ErrUnexpectedEOF // short (final) block but more bytes needed
+		}
+	}
+	return out, nil
+}
+
+func (c *blockCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,305 @@
+package graph_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+// packOf serializes g and reopens it with the given options.
+func packOf(t *testing.T, g *graph.Graph, opt graph.PackOptions) *graph.Packed {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WritePack(&buf, g); err != nil {
+		t.Fatalf("WritePack: %v", err)
+	}
+	p, err := graph.OpenPack(bytes.NewReader(buf.Bytes()), int64(buf.Len()), opt)
+	if err != nil {
+		t.Fatalf("OpenPack: %v", err)
+	}
+	return p
+}
+
+// assertSameSource checks that two Sources describe the identical graph:
+// same node count, categories, degrees, neighbor lists (in order), category
+// labels, and per-category aggregates.
+func assertSameSource(t *testing.T, g *graph.Graph, p *graph.Packed) {
+	t.Helper()
+	if p.N() != g.N() || p.M() != g.M() || p.Volume() != g.Volume() {
+		t.Fatalf("shape mismatch: packed N=%d M=%d vol=%d, in-memory N=%d M=%d vol=%d",
+			p.N(), p.M(), p.Volume(), g.N(), g.M(), g.Volume())
+	}
+	if p.MeanDegree() != g.MeanDegree() {
+		t.Fatalf("MeanDegree: packed %g, in-memory %g", p.MeanDegree(), g.MeanDegree())
+	}
+	if p.NumCategories() != g.NumCategories() {
+		t.Fatalf("NumCategories: packed %d, in-memory %d", p.NumCategories(), g.NumCategories())
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if p.Degree(v) != g.Degree(v) {
+			t.Fatalf("Degree(%d): packed %d, in-memory %d", v, p.Degree(v), g.Degree(v))
+		}
+		pn, gn := p.Neighbors(v), g.Neighbors(v)
+		if len(pn) != len(gn) {
+			t.Fatalf("Neighbors(%d): packed %d entries, in-memory %d", v, len(pn), len(gn))
+		}
+		for i := range pn {
+			if pn[i] != gn[i] {
+				t.Fatalf("Neighbors(%d)[%d]: packed %d, in-memory %d", v, i, pn[i], gn[i])
+			}
+		}
+		if p.Category(v) != g.Category(v) {
+			t.Fatalf("Category(%d): packed %d, in-memory %d", v, p.Category(v), g.Category(v))
+		}
+		if p.NodeWeight(v) != 1 {
+			t.Fatalf("NodeWeight(%d) = %g, want 1", v, p.NodeWeight(v))
+		}
+	}
+	for c := int32(0); c < int32(g.NumCategories()); c++ {
+		if p.CategorySize(c) != g.CategorySize(c) {
+			t.Fatalf("CategorySize(%d): packed %d, in-memory %d", c, p.CategorySize(c), g.CategorySize(c))
+		}
+		if p.CategoryVolume(c) != g.CategoryVolume(c) {
+			t.Fatalf("CategoryVolume(%d): packed %d, in-memory %d", c, p.CategoryVolume(c), g.CategoryVolume(c))
+		}
+		if p.CategoryName(c) != g.CategoryName(c) {
+			t.Fatalf("CategoryName(%d): packed %q, in-memory %q", c, p.CategoryName(c), g.CategoryName(c))
+		}
+	}
+}
+
+// testGraphs builds the generated families the round-trip must cover: BA,
+// regular, and the paper's synthetic model, with and without categories.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	r := randx.New(7)
+	ba, err := gen.BarabasiAlbert(r, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := make([]int32, ba.N())
+	for v := range cat {
+		cat[v] = int32(v % 5)
+	}
+	if err := ba.SetCategories(cat, 5, []string{"a", "b", "c", "d", "e"}); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := gen.Regular(r, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := gen.Paper(r, gen.PaperConfig{
+		Sizes: []int64{20, 30, 50, 100}, K: 6, Alpha: 0.3, Connect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{"ba": ba, "regular-uncat": reg, "paper": paper}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, opt := range []struct {
+			name string
+			opt  graph.PackOptions
+		}{
+			{"default", graph.PackOptions{}},
+			{"tiny-blocks", graph.PackOptions{BlockSize: 32, CacheBlocks: 4}},
+			{"uncached", graph.PackOptions{CacheBlocks: -1}},
+		} {
+			t.Run(name+"/"+opt.name, func(t *testing.T) {
+				assertSameSource(t, g, packOf(t, g, opt.opt))
+			})
+		}
+	}
+}
+
+// TestPackRoundTripFromEdgeList covers the full cmd/graphpack pipeline in
+// library form: edge-list + categories text → in-memory graph → pack →
+// Packed source equal to the original.
+func TestPackRoundTripFromEdgeList(t *testing.T) {
+	g := testGraphs(t)["ba"]
+	var edges, cats bytes.Buffer
+	if err := g.WriteEdgeList(&edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteCategories(&cats); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.ReadEdgeList(&edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.ReadCategories(&cats); err != nil {
+		t.Fatal(err)
+	}
+	assertSameSource(t, g2, packOf(t, g, graph.PackOptions{BlockSize: 64, CacheBlocks: 8}))
+}
+
+func TestOpenPackFile(t *testing.T) {
+	g := testGraphs(t)["paper"]
+	path := filepath.Join(t.TempDir(), "g.pack")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WritePack(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := graph.OpenPackFile(path, graph.PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	assertSameSource(t, g, p)
+	hits, misses := p.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cache stats hits=%d misses=%d, want both nonzero after a full scan", hits, misses)
+	}
+}
+
+// packBytes serializes the categorized BA test graph.
+func packBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WritePack(&buf, testGraphs(t)["ba"]); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestOpenPackCorruptHeader(t *testing.T) {
+	good := packBytes(t)
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"bad magic", corrupt(func(b []byte) { copy(b, "NOTAPACK") }), "bad magic"},
+		{"future version", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 99) }), "version 99"},
+		{"unknown flags", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 0xff) }), "unknown flags"},
+		{"negative n", corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], ^uint64(0)) }), "negative"},
+		{"k without flag", corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 0) }), "without the category flag"},
+		{"corrupt offsets", corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[64:], 5) }), "offsets corrupt"},
+		{"size mismatch via m", corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 1) }), "truncated or padded"},
+		// n ≈ 2^61 would overflow (n+1)*8 in the layout arithmetic so the
+		// computed size wraps back into range; the bounds check must reject
+		// it before any arithmetic (otherwise the first access panics).
+		{"overflowing n", corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<61) }), "node ids are int32"},
+		{"oversized n", corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<30) }), "cannot hold"},
+		{"oversized m", corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 1<<60) }), "cannot hold"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := graph.OpenPack(bytes.NewReader(tc.data), int64(len(tc.data)), graph.PackOptions{})
+			if err == nil {
+				t.Fatalf("OpenPack accepted a pack with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOpenPackTruncated(t *testing.T) {
+	good := packBytes(t)
+	for _, n := range []int{0, 8, len(good) / 3, len(good) - 1} {
+		t.Run(fmt.Sprintf("%d-bytes", n), func(t *testing.T) {
+			_, err := graph.OpenPack(bytes.NewReader(good[:n]), int64(n), graph.PackOptions{})
+			if err == nil {
+				t.Fatalf("OpenPack accepted a %d-byte truncation of a %d-byte pack", n, len(good))
+			}
+			if !strings.Contains(err.Error(), "truncated") {
+				t.Fatalf("error %q does not mention truncation", err)
+			}
+		})
+	}
+}
+
+// eofReaderAt wraps a bytes.Reader but returns (n == len(p), io.EOF) for
+// reads ending exactly at end-of-input — behavior the io.ReaderAt contract
+// explicitly permits and which os.File never exhibits, so it must be
+// covered directly.
+type eofReaderAt struct {
+	data []byte
+}
+
+func (r eofReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(r.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[off:])
+	if off+int64(n) == int64(len(r.data)) {
+		return n, io.EOF
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// TestOpenPackEOFReader pins the io.ReaderAt contract: a reader that
+// reports io.EOF alongside a full read at end-of-input must work both at
+// open time (the names blob is the last section) and for uncached access
+// to the final bytes.
+func TestOpenPackEOFReader(t *testing.T) {
+	g := testGraphs(t)["ba"]
+	var buf bytes.Buffer
+	if err := graph.WritePack(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []graph.PackOptions{{}, {CacheBlocks: -1}} {
+		p, err := graph.OpenPack(eofReaderAt{buf.Bytes()}, int64(buf.Len()), opt)
+		if err != nil {
+			t.Fatalf("OpenPack over an EOF-reporting reader (opt %+v): %v", opt, err)
+		}
+		last := int32(g.N() - 1)
+		if p.Category(last) != g.Category(last) || p.Degree(last) != g.Degree(last) {
+			t.Fatalf("last node differs over the EOF-reporting reader")
+		}
+	}
+}
+
+// TestPackWalkEquivalence pins the determinism contract of graph.Source:
+// the same seeded walk over the in-memory and the packed backend visits the
+// identical node sequence.
+func TestPackWalkEquivalence(t *testing.T) {
+	g := testGraphs(t)["ba"]
+	p := packOf(t, g, graph.PackOptions{BlockSize: 128, CacheBlocks: 16})
+	walk := func(src graph.Source) []int32 {
+		r := rand.New(rand.NewPCG(11, 0))
+		cur := int32(0)
+		out := make([]int32, 0, 500)
+		for i := 0; i < 500; i++ {
+			nb := src.Neighbors(cur)
+			cur = nb[r.IntN(len(nb))]
+			out = append(out, cur)
+		}
+		return out
+	}
+	mem, packed := walk(g), walk(p)
+	for i := range mem {
+		if mem[i] != packed[i] {
+			t.Fatalf("walk diverged at step %d: in-memory %d, packed %d", i, mem[i], packed[i])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RateLimit parameterizes an API-crawl simulation: what one neighbor query
+// costs against a remote service. The zero value charges nothing and waits
+// for nothing (but still counts queries).
+type RateLimit struct {
+	// QPS caps chargeable queries per second across all walkers (the
+	// service's global rate limit). 0 means unlimited.
+	QPS float64
+	// PerQuery is the fixed latency of each chargeable query (network
+	// round-trip). Queries from concurrent walkers overlap their latency,
+	// as concurrent HTTP requests do; the QPS budget, by contrast, is
+	// global. 0 means none.
+	PerQuery time.Duration
+	// CacheNodes is the capacity of the simulated crawler's local result
+	// cache: Degree/Neighbors access to a recently fetched node is free,
+	// the way a real crawler reuses the profile page it just parsed
+	// (MHRW probes the current node's degree on every proposal — charging
+	// it each time would model a crawler nobody would write). Default
+	// 1024 nodes; -1 disables the cache, charging every access.
+	CacheNodes int
+}
+
+// RateLimited wraps any Source into a rate-limited remote-API simulation:
+// each fetch of a node not in the local cache counts one query, sleeps the
+// configured per-query latency, and respects the global QPS budget. Values
+// pass through untouched, so walk trajectories are identical to the
+// unwrapped backend — only time and the query counter move, which is
+// exactly what turns a draw budget into the paper's API-call budget.
+//
+// RateLimited is safe for concurrent use and implements QuerySource.
+type RateLimited struct {
+	src     Source
+	cfg     RateLimit
+	queries atomic.Int64
+
+	paceMu sync.Mutex
+	next   time.Time // start slot of the next query under the QPS budget
+
+	cacheMu sync.Mutex
+	cached  map[int32]*list.Element
+	lru     *list.List // of int32 node ids; front = most recent
+}
+
+// NewRateLimited wraps src under the given cost model.
+func NewRateLimited(src Source, cfg RateLimit) *RateLimited {
+	if cfg.CacheNodes == 0 {
+		cfg.CacheNodes = 1024
+	}
+	rl := &RateLimited{src: src, cfg: cfg}
+	if cfg.CacheNodes > 0 {
+		rl.cached = make(map[int32]*list.Element, cfg.CacheNodes)
+		rl.lru = list.New()
+	}
+	return rl
+}
+
+// Queries implements QuerySource: chargeable queries issued so far.
+func (rl *RateLimited) Queries() int64 { return rl.queries.Load() }
+
+// Unwrap exposes the backend underneath (graph.Unwrapper).
+func (rl *RateLimited) Unwrap() Source { return rl.src }
+
+// charge books one query against node v unless the local cache holds it:
+// count it, take the next QPS slot, and sleep the slot delay plus the
+// per-query latency.
+func (rl *RateLimited) charge(v int32) {
+	if rl.cached != nil {
+		rl.cacheMu.Lock()
+		if el, ok := rl.cached[v]; ok {
+			rl.lru.MoveToFront(el)
+			rl.cacheMu.Unlock()
+			return
+		}
+		rl.cached[v] = rl.lru.PushFront(v)
+		for rl.lru.Len() > rl.cfg.CacheNodes {
+			oldest := rl.lru.Back()
+			rl.lru.Remove(oldest)
+			delete(rl.cached, oldest.Value.(int32))
+		}
+		rl.cacheMu.Unlock()
+	}
+	rl.queries.Add(1)
+	wait := rl.cfg.PerQuery
+	if rl.cfg.QPS > 0 {
+		interval := time.Duration(float64(time.Second) / rl.cfg.QPS)
+		rl.paceMu.Lock()
+		now := time.Now()
+		if rl.next.Before(now) {
+			rl.next = now
+		}
+		wait += rl.next.Sub(now)
+		rl.next = rl.next.Add(interval)
+		rl.paceMu.Unlock()
+	}
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// NumNodes implements Source (free — the population size is crawl metadata,
+// not a per-node query).
+func (rl *RateLimited) NumNodes() int { return rl.src.NumNodes() }
+
+// NumCategories implements Source (free).
+func (rl *RateLimited) NumCategories() int { return rl.src.NumCategories() }
+
+// Degree implements Source; it charges one query for an uncached node (the
+// degree comes with the fetched neighbor list, so a later Neighbors of the
+// same node is free while cached).
+func (rl *RateLimited) Degree(v int32) int {
+	rl.charge(v)
+	return rl.src.Degree(v)
+}
+
+// Neighbors implements Source; it charges one query for an uncached node.
+func (rl *RateLimited) Neighbors(v int32) []int32 {
+	rl.charge(v)
+	return rl.src.Neighbors(v)
+}
+
+// Category implements Source (free — labels ride on fetched records).
+func (rl *RateLimited) Category(v int32) int32 { return rl.src.Category(v) }
+
+// NodeWeight implements Source (free — design weights are crawler-side).
+func (rl *RateLimited) NodeWeight(v int32) float64 { return rl.src.NodeWeight(v) }

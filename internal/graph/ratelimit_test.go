@@ -1,0 +1,131 @@
+package graph_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// chain builds the path graph 0-1-2-…-(n-1).
+func chain(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRateLimitedCountsAndCaches(t *testing.T) {
+	g := chain(t, 10)
+	rl := graph.NewRateLimited(g, graph.RateLimit{})
+	if rl.Queries() != 0 {
+		t.Fatalf("fresh source has %d queries", rl.Queries())
+	}
+	rl.Neighbors(3)
+	rl.Degree(3) // cached: the fetch of node 3 covered its degree
+	rl.Neighbors(3)
+	if got := rl.Queries(); got != 1 {
+		t.Fatalf("3 accesses of one node cost %d queries, want 1", got)
+	}
+	rl.Degree(4)
+	rl.Neighbors(4)
+	if got := rl.Queries(); got != 2 {
+		t.Fatalf("adding a second node costs %d total queries, want 2", got)
+	}
+	// Metadata accesses are free.
+	rl.NumNodes()
+	rl.Category(7)
+	rl.NodeWeight(7)
+	rl.NumCategories()
+	if got := rl.Queries(); got != 2 {
+		t.Fatalf("metadata accesses changed the query count to %d", got)
+	}
+}
+
+func TestRateLimitedCacheEviction(t *testing.T) {
+	g := chain(t, 10)
+	rl := graph.NewRateLimited(g, graph.RateLimit{CacheNodes: 2})
+	rl.Neighbors(0)
+	rl.Neighbors(1)
+	rl.Neighbors(2) // evicts 0
+	rl.Neighbors(0) // re-fetch
+	if got := rl.Queries(); got != 4 {
+		t.Fatalf("eviction sequence cost %d queries, want 4", got)
+	}
+
+	uncached := graph.NewRateLimited(g, graph.RateLimit{CacheNodes: -1})
+	uncached.Neighbors(5)
+	uncached.Degree(5)
+	if got := uncached.Queries(); got != 2 {
+		t.Fatalf("with the cache disabled, 2 accesses cost %d queries, want 2", got)
+	}
+}
+
+// TestRateLimitedTransparent pins that wrapping changes no values: the walk
+// layer must produce identical trajectories over the wrapped backend.
+func TestRateLimitedTransparent(t *testing.T) {
+	g := chain(t, 16)
+	cat := make([]int32, g.N())
+	for v := range cat {
+		cat[v] = int32(v % 3)
+	}
+	if err := g.SetCategories(cat, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	rl := graph.NewRateLimited(g, graph.RateLimit{})
+	if rl.NumNodes() != g.N() || rl.NumCategories() != g.NumCategories() {
+		t.Fatal("size metadata differs through the wrapper")
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if rl.Degree(v) != g.Degree(v) || rl.Category(v) != g.Category(v) || rl.NodeWeight(v) != 1 {
+			t.Fatalf("node %d differs through the wrapper", v)
+		}
+		nb, want := rl.Neighbors(v), g.Neighbors(v)
+		if len(nb) != len(want) {
+			t.Fatalf("node %d has %d neighbors through the wrapper, want %d", v, len(nb), len(want))
+		}
+		for i := range nb {
+			if nb[i] != want[i] {
+				t.Fatalf("neighbor order differs at node %d", v)
+			}
+		}
+	}
+	if _, ok := graph.QueriesOf(rl); !ok {
+		t.Fatal("QueriesOf does not see the RateLimited wrapper")
+	}
+	if st, ok := graph.StatsOf(rl); !ok || st.CategorySize(0) != g.CategorySize(0) {
+		t.Fatal("StatsOf does not unwrap to the backend's category stats")
+	}
+}
+
+func TestRateLimitedPacing(t *testing.T) {
+	g := chain(t, 64)
+	// 5 uncached queries at 500 QPS: the 4 gaps cost 2ms each.
+	rl := graph.NewRateLimited(g, graph.RateLimit{QPS: 500, CacheNodes: -1})
+	start := time.Now()
+	for v := int32(0); v < 5; v++ {
+		rl.Neighbors(v)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("5 queries at 500 QPS took %v, want ≥ 8ms", elapsed)
+	}
+
+	// Per-query latency is charged even without a QPS budget.
+	lat := graph.NewRateLimited(g, graph.RateLimit{PerQuery: 3 * time.Millisecond, CacheNodes: -1})
+	start = time.Now()
+	for v := int32(0); v < 3; v++ {
+		lat.Neighbors(v)
+	}
+	if elapsed := time.Since(start); elapsed < 9*time.Millisecond {
+		t.Fatalf("3 queries at 3ms latency took %v, want ≥ 9ms", elapsed)
+	}
+	if lat.Queries() != 3 {
+		t.Fatalf("latency-only source counted %d queries, want 3", lat.Queries())
+	}
+}

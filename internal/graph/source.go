@@ -1,0 +1,126 @@
+package graph
+
+import "fmt"
+
+// Source is the access model of the walk layer: everything a crawling
+// sampler, observer, or adaptive crawl controller may ask of a graph. It is
+// the paper's premise made explicit — the graphs of interest (OSNs with
+// millions of users) are too large or too restricted to download, so
+// estimation code must be written against *queries*, not against a concrete
+// in-memory store. *Graph is one implementation; the out-of-core packed CSR
+// backend (Packed) and the RateLimited API-crawl simulator are others.
+//
+// Node IDs are dense integers in [0, NumNodes). Implementations must be safe
+// for concurrent use by multiple walkers.
+type Source interface {
+	// NumNodes returns N = |V|.
+	NumNodes() int
+	// NumCategories returns the number k of categories in the node
+	// partition (0 when the source carries no partition).
+	NumCategories() int
+	// Degree returns deg(v).
+	Degree(v int32) int
+	// Neighbors returns the neighbor list of v in a deterministic order
+	// (sorted ascending for every backend in this repository — walk
+	// trajectories must replay identically across backends for one seed).
+	// The returned slice must not be modified and stays valid
+	// indefinitely: implementations either alias immutable storage
+	// (*Graph) or return a fresh allocation (Packed).
+	Neighbors(v int32) []int32
+	// Category returns the category of v, or None.
+	Category(v int32) int32
+	// NodeWeight returns the per-node stratification weight of v used by
+	// weighted walks (1 for unweighted backends; see WithNodeWeights).
+	NodeWeight(v int32) float64
+}
+
+// StatsSource is the optional Source extension carrying the per-category
+// aggregates that weight computation (S-WRW) and serving front ends need.
+// *Graph implements it from its partition; Packed stores the aggregates in
+// the pack header sections, so stratified walks work out-of-core without a
+// full scan.
+type StatsSource interface {
+	Source
+	// CategorySize returns |A| for category c.
+	CategorySize(c int32) int64
+	// CategoryVolume returns vol(A) for category c.
+	CategoryVolume(c int32) int64
+	// CategoryNames returns the category name table (do not modify).
+	CategoryNames() []string
+}
+
+// QuerySource is implemented by sources that meter access (RateLimited): a
+// crawl controller reports Queries alongside draws, turning draw budgets
+// into API-call budgets.
+type QuerySource interface {
+	Source
+	// Queries returns the number of chargeable neighbor-queries issued so
+	// far.
+	Queries() int64
+}
+
+// Unwrapper is implemented by wrapping sources (RateLimited,
+// WithNodeWeights) to expose the backend underneath.
+type Unwrapper interface {
+	Unwrap() Source
+}
+
+// StatsOf resolves the StatsSource behind src, unwrapping decorators. The
+// second return is false when no backend in the chain carries category
+// aggregates.
+func StatsOf(src Source) (StatsSource, bool) {
+	for src != nil {
+		if st, ok := src.(StatsSource); ok {
+			return st, true
+		}
+		u, ok := src.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		src = u.Unwrap()
+	}
+	return nil, false
+}
+
+// QueriesOf returns the query count of the metered source behind src (0,
+// false when none meters).
+func QueriesOf(src Source) (int64, bool) {
+	for src != nil {
+		if q, ok := src.(QuerySource); ok {
+			return q.Queries(), true
+		}
+		u, ok := src.(Unwrapper)
+		if !ok {
+			return 0, false
+		}
+		src = u.Unwrap()
+	}
+	return 0, false
+}
+
+// NumNodes returns the number of nodes (Source form of N).
+func (g *Graph) NumNodes() int { return g.N() }
+
+// NodeWeight implements Source with unit weights; weighted designs override
+// via WithNodeWeights or carry their own weight table.
+func (g *Graph) NodeWeight(v int32) float64 { return 1 }
+
+// weightedSource overlays a dense per-node weight table on a Source.
+type weightedSource struct {
+	Source
+	nw []float64
+}
+
+func (w *weightedSource) NodeWeight(v int32) float64 { return w.nw[v] }
+
+func (w *weightedSource) Unwrap() Source { return w.Source }
+
+// WithNodeWeights returns a view of src whose NodeWeight is the given dense
+// table (length NumNodes) — how a weighted walk overlays its stratification
+// design on any backend, in-memory or out-of-core.
+func WithNodeWeights(src Source, nodeWeight []float64) (Source, error) {
+	if len(nodeWeight) != src.NumNodes() {
+		return nil, fmt.Errorf("graph: %d node weights for %d nodes", len(nodeWeight), src.NumNodes())
+	}
+	return &weightedSource{Source: src, nw: nodeWeight}, nil
+}

@@ -1,0 +1,93 @@
+package sample
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/randx"
+)
+
+// edgeless builds a graph of n isolated nodes.
+func edgeless(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.NewBuilder(n).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// withIsland builds a graph where only nodes 0 and 1 share an edge; node 2+
+// are isolated.
+func withIsland(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestErrNoEdgesSentinel pins the typed-error contract: every "this graph
+// cannot be walked" failure — empty graph, edgeless graph, isolated
+// explicit start — matches ErrNoEdges via errors.Is, so callers can
+// distinguish a bad graph from a bad configuration.
+func TestErrNoEdgesSentinel(t *testing.T) {
+	r := randx.New(1)
+
+	if _, err := RandomStart(r, edgeless(t, 0)); !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("RandomStart on the empty graph: %v, want ErrNoEdges", err)
+	}
+	if _, err := RandomStart(r, edgeless(t, 50)); !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("RandomStart on an edgeless graph: %v, want ErrNoEdges", err)
+	}
+
+	samplers := map[string]Sampler{
+		"RW":   NewRW(0),
+		"MHRW": NewMHRW(0),
+		"WRW":  NewWRW(make([]float64, 50), 0),
+	}
+	for name, s := range samplers {
+		if _, err := s.Sample(r, edgeless(t, 50), 10); !errors.Is(err, ErrNoEdges) {
+			t.Errorf("%s on an edgeless graph: %v, want ErrNoEdges", name, err)
+		}
+	}
+
+	// An explicit start that is isolated is a graph problem (ErrNoEdges); an
+	// out-of-range start is a configuration problem (not ErrNoEdges).
+	g := withIsland(t, 8)
+	isolated := NewRW(0)
+	isolated.Start = 5
+	if _, err := isolated.Sample(r, g, 4); !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("isolated explicit start: %v, want ErrNoEdges", err)
+	}
+	outOfRange := NewRW(0)
+	outOfRange.Start = 99
+	if _, err := outOfRange.Sample(r, g, 4); err == nil || errors.Is(err, ErrNoEdges) {
+		t.Fatalf("out-of-range start: %v, want a non-ErrNoEdges error", err)
+	}
+
+	mh := NewMHRW(0)
+	mh.Start = 5
+	if _, err := mh.Sample(r, g, 4); !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("MHRW isolated explicit start: %v, want ErrNoEdges", err)
+	}
+	wr := NewWRW(make([]float64, g.N()), 0)
+	wr.Start = 5
+	if _, err := wr.Sample(r, g, 4); !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("WRW isolated explicit start: %v, want ErrNoEdges", err)
+	}
+
+	// A walkable graph with only a few positive-degree nodes still starts
+	// (the deterministic fallback), and Frontier surfaces the sentinel on
+	// the all-isolated case through its randomStart calls.
+	if v, err := RandomStart(r, g); err != nil || (v != 0 && v != 1) {
+		t.Fatalf("RandomStart on a sparse graph: v=%d err=%v", v, err)
+	}
+	if _, err := NewFrontier(3, 0).Sample(r, edgeless(t, 20), 5); !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("Frontier on an edgeless graph: %v, want ErrNoEdges", err)
+	}
+}

@@ -31,24 +31,24 @@ func NewFrontier(m, burnIn int) *Frontier { return &Frontier{Walkers: m, BurnIn:
 func (f *Frontier) Name() string { return "Frontier" }
 
 // Sample implements Sampler.
-func (f *Frontier) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+func (f *Frontier) Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error) {
 	m := f.Walkers
 	if m <= 0 {
 		m = 10
 	}
-	if g.N() == 0 {
-		return nil, fmt.Errorf("sample: empty graph")
+	if src.NumNodes() == 0 {
+		return nil, fmt.Errorf("sample: empty graph: %w", ErrNoEdges)
 	}
 	pos := make([]int32, m)
 	degs := make([]float64, m)
 	var total float64
 	for i := range pos {
-		v, err := randomStart(r, g)
+		v, err := randomStart(r, src)
 		if err != nil {
 			return nil, err
 		}
 		pos[i] = v
-		degs[i] = float64(g.Degree(v))
+		degs[i] = float64(src.Degree(v))
 		total += degs[i]
 	}
 	// step advances one degree-weighted walker and returns its new node.
@@ -63,11 +63,11 @@ func (f *Frontier) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) 
 				break
 			}
 		}
-		nb := g.Neighbors(pos[w])
+		nb := src.Neighbors(pos[w])
 		next := nb[r.IntN(len(nb))]
-		total += float64(g.Degree(next)) - degs[w]
+		total += float64(src.Degree(next)) - degs[w]
 		pos[w] = next
-		degs[w] = float64(g.Degree(next))
+		degs[w] = float64(src.Degree(next))
 		return next
 	}
 	for i := 0; i < f.BurnIn; i++ {
@@ -78,7 +78,7 @@ func (f *Frontier) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) 
 	for len(nodes) < n {
 		v := step()
 		nodes = append(nodes, v)
-		weights = append(weights, float64(g.Degree(v)))
+		weights = append(weights, float64(src.Degree(v)))
 	}
 	return &Sample{Nodes: nodes, Weights: weights}, nil
 }
@@ -104,14 +104,14 @@ func (b *BFS) Name() string { return "BFS" }
 // Sample implements Sampler. If the start component is exhausted before n
 // nodes are visited, a new random unvisited start continues the traversal
 // (multi-seed snowball).
-func (b *BFS) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
-	if g.N() == 0 {
-		return nil, fmt.Errorf("sample: empty graph")
+func (b *BFS) Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error) {
+	if src.NumNodes() == 0 {
+		return nil, fmt.Errorf("sample: empty graph: %w", ErrNoEdges)
 	}
-	if n > g.N() {
-		n = g.N()
+	if n > src.NumNodes() {
+		n = src.NumNodes()
 	}
-	visited := make([]bool, g.N())
+	visited := make([]bool, src.NumNodes())
 	nodes := make([]int32, 0, n)
 	queue := make([]int32, 0, 1024)
 	enqueue := func(v int32) {
@@ -120,24 +120,24 @@ func (b *BFS) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
 	}
 	start := b.Start
 	if start < 0 {
-		start = int32(r.IntN(g.N()))
-	} else if int(start) >= g.N() {
+		start = int32(r.IntN(src.NumNodes()))
+	} else if int(start) >= src.NumNodes() {
 		return nil, fmt.Errorf("sample: invalid start node %d", start)
 	}
 	enqueue(start)
 	for len(nodes) < n {
 		if len(queue) == 0 {
 			// Component exhausted: reseed among unvisited nodes.
-			v := int32(r.IntN(g.N()))
+			v := int32(r.IntN(src.NumNodes()))
 			for visited[v] {
-				v = int32(r.IntN(g.N()))
+				v = int32(r.IntN(src.NumNodes()))
 			}
 			enqueue(v)
 		}
 		v := queue[0]
 		queue = queue[1:]
 		nodes = append(nodes, v)
-		for _, u := range g.Neighbors(v) {
+		for _, u := range src.Neighbors(v) {
 			if !visited[u] {
 				enqueue(u)
 			}

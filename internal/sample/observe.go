@@ -50,22 +50,22 @@ type Observation struct {
 
 // ObserveInduced performs induced subgraph sampling (§3.2.1): the categories
 // of the sampled nodes and the edges among them are observed; nothing else.
-func ObserveInduced(g *graph.Graph, s *Sample) (*Observation, error) {
-	return observeStream(g, s, false)
+func ObserveInduced(src graph.Source, s *Sample) (*Observation, error) {
+	return observeStream(src, s, false)
 }
 
 // ObserveStar performs (labeled) star sampling (§3.2.2): sampling a node
 // additionally reveals its degree and the categories of all its neighbors —
 // but not the ties among the neighbors, nor their degrees.
-func ObserveStar(g *graph.Graph, s *Sample) (*Observation, error) {
-	return observeStream(g, s, true)
+func ObserveStar(src graph.Source, s *Sample) (*Observation, error) {
+	return observeStream(src, s, true)
 }
 
 // observeStream builds the batch observation by replaying the sample through
 // the incremental API — the same code path a live crawler drives, so batch
 // and streaming estimation provably observe identical data.
-func observeStream(g *graph.Graph, s *Sample, star bool) (*Observation, error) {
-	so, err := NewStreamObserver(g, star)
+func observeStream(src graph.Source, s *Sample, star bool) (*Observation, error) {
+	so, err := NewStreamObserver(src, star)
 	if err != nil {
 		return nil, err
 	}
@@ -198,10 +198,10 @@ func (o *Observation) TotalReweighted() float64 {
 // original sample. It requires the observation to have been built from the
 // full sample by one of the Observe functions and the original sample.
 // (Convenience for sweeps; re-observing a prefix directly is equivalent.)
-func Subsample(g *graph.Graph, s *Sample, n int, star bool) (*Observation, error) {
+func Subsample(src graph.Source, s *Sample, n int, star bool) (*Observation, error) {
 	p := s.Prefix(n)
 	if star {
-		return ObserveStar(g, p)
+		return ObserveStar(src, p)
 	}
-	return ObserveInduced(g, p)
+	return ObserveInduced(src, p)
 }

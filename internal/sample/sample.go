@@ -99,12 +99,15 @@ func cloneFloats(xs []float64) []float64 {
 	return append([]float64(nil), xs...)
 }
 
-// Sampler produces probability samples of nodes from a graph.
+// Sampler produces probability samples of nodes from a graph backend. The
+// source parameter is the access model of the walk layer (graph.Source) —
+// *graph.Graph satisfies it, as do the out-of-core packed backend and the
+// rate-limited remote simulation, so every sampler runs over any of them.
 type Sampler interface {
 	// Name identifies the sampler in tables and plots ("UIS", "RW", ...).
 	Name() string
-	// Sample draws n nodes from g using r.
-	Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error)
+	// Sample draws n nodes from src using r.
+	Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error)
 }
 
 // UIS is Uniform Independence Sampling (§3.1.1): nodes drawn independently
@@ -115,13 +118,13 @@ type UIS struct{}
 func (UIS) Name() string { return "UIS" }
 
 // Sample implements Sampler.
-func (UIS) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
-	if g.N() == 0 {
-		return nil, fmt.Errorf("sample: empty graph")
+func (UIS) Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error) {
+	if src.NumNodes() == 0 {
+		return nil, fmt.Errorf("sample: empty graph: %w", ErrNoEdges)
 	}
 	nodes := make([]int32, n)
 	for i := range nodes {
-		nodes[i] = int32(r.IntN(g.N()))
+		nodes[i] = int32(r.IntN(src.NumNodes()))
 	}
 	return &Sample{Nodes: nodes}, nil
 }
@@ -144,12 +147,12 @@ func NewWIS(weights []float64) (*WIS, error) {
 	return &WIS{name: "WIS", weights: append([]float64(nil), weights...), alias: a}, nil
 }
 
-// NewDegreeWIS builds the degree-proportional WIS sampler for g — the
+// NewDegreeWIS builds the degree-proportional WIS sampler for src — the
 // independence design that RW converges to (§3.1.2).
-func NewDegreeWIS(g *graph.Graph) (*WIS, error) {
-	w := make([]float64, g.N())
+func NewDegreeWIS(src graph.Source) (*WIS, error) {
+	w := make([]float64, src.NumNodes())
 	for v := range w {
-		w[v] = float64(g.Degree(int32(v)))
+		w[v] = float64(src.Degree(int32(v)))
 	}
 	s, err := NewWIS(w)
 	if err != nil {
@@ -163,9 +166,9 @@ func NewDegreeWIS(g *graph.Graph) (*WIS, error) {
 func (s *WIS) Name() string { return s.name }
 
 // Sample implements Sampler.
-func (s *WIS) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
-	if len(s.weights) != g.N() {
-		return nil, fmt.Errorf("sample: WIS has %d weights for %d nodes", len(s.weights), g.N())
+func (s *WIS) Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error) {
+	if len(s.weights) != src.NumNodes() {
+		return nil, fmt.Errorf("sample: WIS has %d weights for %d nodes", len(s.weights), src.NumNodes())
 	}
 	nodes := make([]int32, n)
 	weights := make([]float64, n)

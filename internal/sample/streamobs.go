@@ -188,7 +188,7 @@ func ReconcileStarData(node int32, recDeg float64, recCat []int32, recCnt []floa
 // ObserveStar — and since those batch functions are implemented as
 // Observe+Append loops, the two paths agree by construction.
 type StreamObserver struct {
-	g    *graph.Graph
+	src  graph.Source
 	star bool
 	seen map[int32]bool
 
@@ -198,17 +198,20 @@ type StreamObserver struct {
 	cats   []int32
 }
 
-// NewStreamObserver returns an observer for g under the given scenario
-// (star = true for star sampling, false for induced subgraph sampling).
-func NewStreamObserver(g *graph.Graph, star bool) (*StreamObserver, error) {
-	if !g.HasCategories() {
+// NewStreamObserver returns an observer for a graph backend under the given
+// scenario (star = true for star sampling, false for induced subgraph
+// sampling). Any graph.Source works — the observer is the piece of the
+// pipeline that pays neighbor queries, so over a RateLimited source it is
+// metered exactly like a real crawler.
+func NewStreamObserver(src graph.Source, star bool) (*StreamObserver, error) {
+	if src.NumCategories() == 0 {
 		return nil, fmt.Errorf("sample: observation requires a categorized graph")
 	}
-	return &StreamObserver{g: g, star: star, seen: make(map[int32]bool)}, nil
+	return &StreamObserver{src: src, star: star, seen: make(map[int32]bool)}, nil
 }
 
 // K returns the number of categories of the underlying partition.
-func (so *StreamObserver) K() int { return so.g.NumCategories() }
+func (so *StreamObserver) K() int { return so.src.NumCategories() }
 
 // Star reports the observer's scenario.
 func (so *StreamObserver) Star() bool { return so.star }
@@ -216,7 +219,7 @@ func (so *StreamObserver) Star() bool { return so.star }
 // NewObservation returns an empty batch observation matching the observer's
 // partition and scenario, ready for Append.
 func (so *StreamObserver) NewObservation() *Observation {
-	return &Observation{K: so.g.NumCategories(), Star: so.star}
+	return &Observation{K: so.src.NumCategories(), Star: so.star}
 }
 
 // Observe reveals what drawing node v with sampling weight weight shows
@@ -224,20 +227,20 @@ func (so *StreamObserver) NewObservation() *Observation {
 // categories on the node's first observation; induced records list the edges
 // to previously observed nodes (each edge exactly once).
 func (so *StreamObserver) Observe(v int32, weight float64) NodeObservation {
-	rec := NodeObservation{Node: v, Weight: weight, Cat: so.g.Category(v)}
+	rec := NodeObservation{Node: v, Weight: weight, Cat: so.src.Category(v)}
 	first := !so.seen[v]
 	so.seen[v] = true
 	if !first {
 		return rec
 	}
 	if so.star {
-		rec.Deg = float64(so.g.Degree(v))
+		rec.Deg = float64(so.src.Degree(v))
 		if so.counts == nil {
 			so.counts = make(map[int32]float64)
 		}
 		clear(so.counts)
-		for _, u := range so.g.Neighbors(v) {
-			if c := so.g.Category(u); c != graph.None {
+		for _, u := range so.src.Neighbors(v) {
+			if c := so.src.Category(u); c != graph.None {
 				so.counts[c]++
 			}
 		}
@@ -251,7 +254,7 @@ func (so *StreamObserver) Observe(v int32, weight float64) NodeObservation {
 			rec.NbrCnt = append(rec.NbrCnt, so.counts[c])
 		}
 	} else {
-		for _, u := range so.g.Neighbors(v) {
+		for _, u := range so.src.Neighbors(v) {
 			if u != v && so.seen[u] {
 				rec.Peers = append(rec.Peers, u)
 			}

@@ -1,11 +1,19 @@
 package sample
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
 	"repro/internal/graph"
 )
+
+// ErrNoEdges is the typed sentinel behind every "this graph cannot be
+// walked" failure: an empty graph, a graph whose every node is isolated, or
+// an explicitly configured start node with no edges. Callers (the crawl
+// controller, topoestd) match it with errors.Is to distinguish a bad graph
+// from a bad configuration — the two need different operator responses.
+var ErrNoEdges = errors.New("no node with positive degree to start a walk from")
 
 // randomStart picks a uniform random node with positive degree, preferring
 // nodes in large components by construction of the experiments (the
@@ -18,32 +26,33 @@ import (
 // After a few fast-path probes the fallback scans the graph once and picks
 // uniformly among the qualifying nodes, which is exact and cannot fail
 // unless no such node exists.
-func randomStart(r *rand.Rand, g *graph.Graph) (int32, error) {
-	if g.N() == 0 {
-		return 0, fmt.Errorf("sample: empty graph")
+func randomStart(r *rand.Rand, src graph.Source) (int32, error) {
+	n := src.NumNodes()
+	if n == 0 {
+		return 0, fmt.Errorf("sample: empty graph: %w", ErrNoEdges)
 	}
 	// Fast path: on the experiments' graphs nearly every node qualifies, so
 	// a few probes almost always hit without touching the whole graph.
 	for attempt := 0; attempt < 64; attempt++ {
-		v := int32(r.IntN(g.N()))
-		if g.Degree(v) > 0 {
+		v := int32(r.IntN(n))
+		if src.Degree(v) > 0 {
 			return v, nil
 		}
 	}
 	// Deterministic fallback: count the qualifying nodes, then take the
 	// k-th one uniformly at random — still an exactly uniform draw.
 	count := 0
-	for v := 0; v < g.N(); v++ {
-		if g.Degree(int32(v)) > 0 {
+	for v := 0; v < n; v++ {
+		if src.Degree(int32(v)) > 0 {
 			count++
 		}
 	}
 	if count == 0 {
-		return 0, fmt.Errorf("sample: no node with positive degree")
+		return 0, fmt.Errorf("sample: %w", ErrNoEdges)
 	}
 	k := r.IntN(count)
-	for v := 0; v < g.N(); v++ {
-		if g.Degree(int32(v)) > 0 {
+	for v := 0; v < n; v++ {
+		if src.Degree(int32(v)) > 0 {
 			if k == 0 {
 				return int32(v), nil
 			}
@@ -56,9 +65,26 @@ func randomStart(r *rand.Rand, g *graph.Graph) (int32, error) {
 // RandomStart picks a uniform random node with positive degree — the
 // default starting point of every walk sampler, exported for walk drivers
 // (e.g. internal/crawl) that step walks incrementally instead of calling
-// Sample.
-func RandomStart(r *rand.Rand, g *graph.Graph) (int32, error) {
-	return randomStart(r, g)
+// Sample. An unwalkable graph yields an error wrapping ErrNoEdges.
+func RandomStart(r *rand.Rand, src graph.Source) (int32, error) {
+	return randomStart(r, src)
+}
+
+// startNode resolves a sampler's Start field: a negative start draws
+// uniformly among positive-degree nodes, a non-negative one is validated —
+// out of range is a configuration error, in range but isolated wraps
+// ErrNoEdges (the walk has nowhere to go, a property of the graph).
+func startNode(r *rand.Rand, src graph.Source, start int32) (int32, error) {
+	if start < 0 {
+		return randomStart(r, src)
+	}
+	if int(start) >= src.NumNodes() {
+		return 0, fmt.Errorf("sample: start node %d outside [0,%d)", start, src.NumNodes())
+	}
+	if src.Degree(start) == 0 {
+		return 0, fmt.Errorf("sample: start node %d is isolated: %w", start, ErrNoEdges)
+	}
+	return start, nil
 }
 
 // validateWalkParams rejects walk parameters that a zero-value sampler
@@ -81,6 +107,9 @@ func validateWalkParams(name string, burnIn, thin int) error {
 // Hansen–Hurwitz estimators divide by. The batch Sample methods of
 // RW/MHRW/WRW drive these same kernels, and so does the adaptive crawl
 // controller (internal/crawl) — one definition per kernel, shared by both.
+// The kernels are written against graph.Source, so the same walk runs over
+// the in-memory CSR, the out-of-core packed backend, or a rate-limited
+// remote simulation without change.
 type Stepper interface {
 	// Step moves from cur to the next node of the walk.
 	Step(r *rand.Rand, cur int32) int32
@@ -89,26 +118,26 @@ type Stepper interface {
 }
 
 // rwStepper: uniform random neighbor; stationary distribution ∝ degree.
-type rwStepper struct{ g *graph.Graph }
+type rwStepper struct{ src graph.Source }
 
 func (s rwStepper) Step(r *rand.Rand, cur int32) int32 {
-	nb := s.g.Neighbors(cur)
+	nb := s.src.Neighbors(cur)
 	return nb[r.IntN(len(nb))]
 }
 
-func (s rwStepper) Weight(v int32) float64 { return float64(s.g.Degree(v)) }
+func (s rwStepper) Weight(v int32) float64 { return float64(s.src.Degree(v)) }
 
-// NewRWStepper returns the simple-random-walk kernel for g.
-func NewRWStepper(g *graph.Graph) Stepper { return rwStepper{g} }
+// NewRWStepper returns the simple-random-walk kernel for src.
+func NewRWStepper(src graph.Source) Stepper { return rwStepper{src} }
 
 // mhrwStepper: propose a uniform neighbor v of u, accept with
 // min(1, deg(u)/deg(v)); the stationary distribution is uniform.
-type mhrwStepper struct{ g *graph.Graph }
+type mhrwStepper struct{ src graph.Source }
 
 func (s mhrwStepper) Step(r *rand.Rand, cur int32) int32 {
-	nb := s.g.Neighbors(cur)
+	nb := s.src.Neighbors(cur)
 	v := nb[r.IntN(len(nb))]
-	if du, dv := s.g.Degree(cur), s.g.Degree(v); dv <= du || r.Float64() < float64(du)/float64(dv) {
+	if du, dv := s.src.Degree(cur), s.src.Degree(v); dv <= du || r.Float64() < float64(du)/float64(dv) {
 		return v
 	}
 	return cur
@@ -116,21 +145,21 @@ func (s mhrwStepper) Step(r *rand.Rand, cur int32) int32 {
 
 func (s mhrwStepper) Weight(int32) float64 { return 1 }
 
-// NewMHRWStepper returns the Metropolis–Hastings kernel for g.
-func NewMHRWStepper(g *graph.Graph) Stepper { return mhrwStepper{g} }
+// NewMHRWStepper returns the Metropolis–Hastings kernel for src.
+func NewMHRWStepper(src graph.Source) Stepper { return mhrwStepper{src} }
 
 // wrwStepper: move along edge {u,v} with probability proportional to the
 // stratified edge weight (nw[u]+nw[v])/2 of [35]; the stationary
-// distribution is proportional to node strength.
-type wrwStepper struct {
-	g  *graph.Graph
-	nw []float64
+// distribution is proportional to node strength. Node weights come from the
+// source (see graph.WithNodeWeights for overlaying a dense table).
+type wrwStepper struct{ src graph.Source }
+
+func (s wrwStepper) edgeWeight(u, v int32) float64 {
+	return (s.src.NodeWeight(u) + s.src.NodeWeight(v)) / 2
 }
 
-func (s wrwStepper) edgeWeight(u, v int32) float64 { return (s.nw[u] + s.nw[v]) / 2 }
-
 func (s wrwStepper) Step(r *rand.Rand, cur int32) int32 {
-	nb := s.g.Neighbors(cur)
+	nb := s.src.Neighbors(cur)
 	var total float64
 	for _, u := range nb {
 		total += s.edgeWeight(cur, u)
@@ -150,20 +179,22 @@ func (s wrwStepper) Step(r *rand.Rand, cur int32) int32 {
 
 func (s wrwStepper) Weight(v int32) float64 {
 	var w float64
-	for _, u := range s.g.Neighbors(v) {
+	for _, u := range s.src.Neighbors(v) {
 		w += s.edgeWeight(v, u)
 	}
 	return w
 }
 
-// NewWRWStepper returns the weighted-random-walk kernel for g under the
+// NewWRWStepper returns the weighted-random-walk kernel for src under the
 // given per-node stratification weights (S-WRW is this kernel with the
-// weights NewSWRW computes).
-func NewWRWStepper(g *graph.Graph, nodeWeight []float64) (Stepper, error) {
-	if len(nodeWeight) != g.N() {
-		return nil, fmt.Errorf("sample: WRW has %d node weights for %d nodes", len(nodeWeight), g.N())
+// weights NewSWRW computes). The weights are required — a nil table is a
+// misconfigured caller, not a request for unit weights (that walk is RW).
+func NewWRWStepper(src graph.Source, nodeWeight []float64) (Stepper, error) {
+	w, err := graph.WithNodeWeights(src, nodeWeight)
+	if err != nil {
+		return nil, fmt.Errorf("sample: WRW has %d node weights for %d nodes", len(nodeWeight), src.NumNodes())
 	}
-	return wrwStepper{g: g, nw: nodeWeight}, nil
+	return wrwStepper{w}, nil
 }
 
 // RW is the simple random walk of §3.1.2: the next node is a uniform random
@@ -185,15 +216,15 @@ func NewRW(burnIn int) *RW { return &RW{BurnIn: burnIn, Thin: 1, Start: -1} }
 func (w *RW) Name() string { return "RW" }
 
 // Sample implements Sampler.
-func (w *RW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+func (w *RW) Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error) {
 	if err := validateWalkParams("RW", w.BurnIn, w.Thin); err != nil {
 		return nil, err
 	}
-	cur, err := w.start(r, g)
+	cur, err := startNode(r, src, w.Start)
 	if err != nil {
 		return nil, err
 	}
-	return stepSample(r, NewRWStepper(g), cur, n, w.BurnIn, w.Thin, true), nil
+	return stepSample(r, NewRWStepper(src), cur, n, w.BurnIn, w.Thin, true), nil
 }
 
 // stepSample drives a kernel through the burn-in/record/thin cycle shared
@@ -220,16 +251,6 @@ func stepSample(r *rand.Rand, st Stepper, cur int32, n, burnIn, thin int, weight
 	return s
 }
 
-func (w *RW) start(r *rand.Rand, g *graph.Graph) (int32, error) {
-	if w.Start >= 0 {
-		if int(w.Start) >= g.N() || g.Degree(w.Start) == 0 {
-			return 0, fmt.Errorf("sample: invalid start node %d", w.Start)
-		}
-		return w.Start, nil
-	}
-	return randomStart(r, g)
-}
-
 // MHRW is the Metropolis–Hastings random walk of §3.1.2 targeting the
 // uniform distribution: a uniform random neighbor v of the current node u is
 // proposed and accepted with probability min(1, deg(u)/deg(v)); otherwise
@@ -247,22 +268,16 @@ func NewMHRW(burnIn int) *MHRW { return &MHRW{BurnIn: burnIn, Thin: 1, Start: -1
 func (w *MHRW) Name() string { return "MHRW" }
 
 // Sample implements Sampler.
-func (w *MHRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+func (w *MHRW) Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error) {
 	if err := validateWalkParams("MHRW", w.BurnIn, w.Thin); err != nil {
 		return nil, err
 	}
-	var cur int32
-	var err error
-	if w.Start >= 0 {
-		cur = w.Start
-		if int(cur) >= g.N() || g.Degree(cur) == 0 {
-			return nil, fmt.Errorf("sample: invalid start node %d", cur)
-		}
-	} else if cur, err = randomStart(r, g); err != nil {
+	cur, err := startNode(r, src, w.Start)
+	if err != nil {
 		return nil, err
 	}
 	// Uniform target ⇒ nil weights (w ≡ 1).
-	return stepSample(r, NewMHRWStepper(g), cur, n, w.BurnIn, w.Thin, false), nil
+	return stepSample(r, NewMHRWStepper(src), cur, n, w.BurnIn, w.Thin, false), nil
 }
 
 // WRW is a weighted random walk (§3.1.2): the walk moves along edge {u,v}
@@ -288,21 +303,16 @@ func NewWRW(nodeWeight []float64, burnIn int) *WRW {
 func (w *WRW) Name() string { return w.name }
 
 // Sample implements Sampler.
-func (w *WRW) Sample(r *rand.Rand, g *graph.Graph, n int) (*Sample, error) {
+func (w *WRW) Sample(r *rand.Rand, src graph.Source, n int) (*Sample, error) {
 	if err := validateWalkParams("WRW", w.BurnIn, w.Thin); err != nil {
 		return nil, err
 	}
-	st, err := NewWRWStepper(g, w.NodeWeight)
+	st, err := NewWRWStepper(src, w.NodeWeight)
 	if err != nil {
 		return nil, err
 	}
-	var cur int32
-	if w.Start >= 0 {
-		cur = w.Start
-		if int(cur) >= g.N() || g.Degree(cur) == 0 {
-			return nil, fmt.Errorf("sample: invalid start node %d", cur)
-		}
-	} else if cur, err = randomStart(r, g); err != nil {
+	cur, err := startNode(r, src, w.Start)
+	if err != nil {
 		return nil, err
 	}
 	return stepSample(r, st, cur, n, w.BurnIn, w.Thin, true), nil
@@ -324,17 +334,20 @@ type SWRWConfig struct {
 	Thin             int
 }
 
-// NewSWRW builds the S-WRW sampler for g: each node v in category C gets
+// NewSWRW builds the S-WRW sampler for src: each node v in category C gets
 // stratification weight CategoryWeight[C]/vol(C), which makes the walk spend
 // (approximately) equal aggregate time in every category — i.e. it
 // oversamples small categories, by one order of magnitude and more in the
 // paper's college dataset (Fig. 5(b)). Uncategorized nodes get a small
-// positive weight so the walk can cross them.
-func NewSWRW(g *graph.Graph, cfg SWRWConfig) (*WRW, error) {
-	if !g.HasCategories() {
-		return nil, fmt.Errorf("sample: S-WRW needs a categorized graph")
+// positive weight so the walk can cross them. The per-category volumes come
+// from the source's StatsSource extension (the packed backend stores them in
+// its header sections, so stratified walks work out-of-core).
+func NewSWRW(src graph.Source, cfg SWRWConfig) (*WRW, error) {
+	st, ok := graph.StatsOf(src)
+	if !ok || src.NumCategories() == 0 {
+		return nil, fmt.Errorf("sample: S-WRW needs a categorized graph with category volumes")
 	}
-	k := g.NumCategories()
+	k := src.NumCategories()
 	cw := cfg.CategoryWeight
 	if cw == nil {
 		cw = make([]float64, k)
@@ -349,14 +362,14 @@ func NewSWRW(g *graph.Graph, cfg SWRWConfig) (*WRW, error) {
 	if irr <= 0 {
 		irr = 0.01
 	}
-	nw := make([]float64, g.N())
+	nw := make([]float64, src.NumNodes())
 	minRelevant := -1.0
 	for v := range nw {
-		c := g.Category(int32(v))
+		c := src.Category(int32(v))
 		if c == graph.None {
 			continue
 		}
-		vol := float64(g.CategoryVolume(c))
+		vol := float64(st.CategoryVolume(c))
 		if vol == 0 {
 			continue
 		}
@@ -382,11 +395,11 @@ func NewSWRW(g *graph.Graph, cfg SWRWConfig) (*WRW, error) {
 // Walks draws `walks` independent samples of perWalk draws each using the
 // given sampler — the multi-crawl design of the paper's Facebook datasets
 // (Table 2: 28 and 25 independent walks).
-func Walks(r *rand.Rand, g *graph.Graph, s Sampler, walks, perWalk int) ([]*Sample, error) {
+func Walks(r *rand.Rand, src graph.Source, s Sampler, walks, perWalk int) ([]*Sample, error) {
 	out := make([]*Sample, walks)
 	for i := range out {
 		var err error
-		out[i], err = s.Sample(r, g, perWalk)
+		out[i], err = s.Sample(r, src, perWalk)
 		if err != nil {
 			return nil, fmt.Errorf("sample: walk %d: %w", i, err)
 		}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"math/rand/v2"
 
 	"repro/internal/catgraph"
@@ -21,6 +22,25 @@ type (
 	// Graph is an immutable undirected graph with an optional category
 	// partition (internal/graph).
 	Graph = graph.Graph
+	// Source is the access model of the walk layer: what a sampler or
+	// crawler may ask of a graph backend. *Graph implements it, as do
+	// PackedGraph (out-of-core CSR) and RateLimitedSource (API-crawl
+	// simulation) — every sampler and the crawl controller run over any
+	// of them.
+	Source = graph.Source
+	// PackedGraph is the out-of-core CSR backend: a .pack file read
+	// through an LRU block cache, serving graphs far larger than RAM.
+	PackedGraph = graph.Packed
+	// PackOptions tunes the paging of an opened pack (block size, cache
+	// capacity).
+	PackOptions = graph.PackOptions
+	// RateLimit parameterizes the remote-API crawl simulation (per-query
+	// latency, global QPS budget, local result cache).
+	RateLimit = graph.RateLimit
+	// RateLimitedSource wraps any Source into a metered, rate-limited
+	// remote-API simulation; the crawl controller reports its queries
+	// spent alongside draws.
+	RateLimitedSource = graph.RateLimited
 	// Builder accumulates edges and produces a Graph.
 	Builder = graph.Builder
 	// Sample is an ordered probability sample of nodes with draw weights.
@@ -93,6 +113,11 @@ type (
 // NoCategory marks nodes that belong to no category.
 const NoCategory = graph.None
 
+// ErrNoEdges is the typed sentinel for unwalkable graphs (empty, edgeless,
+// or an isolated explicit start): match with errors.Is to distinguish a bad
+// graph from a bad configuration.
+var ErrNoEdges = sample.ErrNoEdges
+
 // SizeMethod selects the category-size estimator plugged into Estimate,
 // StreamConfig and the uncertainty engines.
 type SizeMethod = core.SizeMethod
@@ -123,8 +148,8 @@ func GeneratePaperGraph(r *rand.Rand, k int, alpha float64) (*Graph, error) {
 func NewUIS() Sampler { return sample.UIS{} }
 
 // NewDegreeWIS returns the degree-proportional weighted independence
-// sampler for g (the design RW converges to).
-func NewDegreeWIS(g *Graph) (Sampler, error) { return sample.NewDegreeWIS(g) }
+// sampler for src (the design RW converges to).
+func NewDegreeWIS(src Source) (Sampler, error) { return sample.NewDegreeWIS(src) }
 
 // NewRW returns a simple random walk with the given burn-in.
 func NewRW(burnIn int) Sampler { return sample.NewRW(burnIn) }
@@ -133,8 +158,10 @@ func NewRW(burnIn int) Sampler { return sample.NewRW(burnIn) }
 // distribution.
 func NewMHRW(burnIn int) Sampler { return sample.NewMHRW(burnIn) }
 
-// NewSWRW returns the stratified weighted random walk of [35] for g.
-func NewSWRW(g *Graph, cfg SWRWConfig) (Sampler, error) { return sample.NewSWRW(g, cfg) }
+// NewSWRW returns the stratified weighted random walk of [35] for src (any
+// backend whose category volumes are available — *Graph and PackedGraph
+// both qualify).
+func NewSWRW(src Source, cfg SWRWConfig) (Sampler, error) { return sample.NewSWRW(src, cfg) }
 
 // NewFrontier returns the multiple-dependent-walk frontier sampler of [52]:
 // m degree-weighted walkers whose union converges to the same
@@ -148,14 +175,14 @@ func NewBFS() Sampler { return sample.NewBFS() }
 
 // ObserveInduced performs induced subgraph sampling (§3.2.1): only the
 // sampled nodes, their categories, and the edges among them are revealed.
-func ObserveInduced(g *Graph, s *Sample) (*Observation, error) {
-	return sample.ObserveInduced(g, s)
+func ObserveInduced(src Source, s *Sample) (*Observation, error) {
+	return sample.ObserveInduced(src, s)
 }
 
 // ObserveStar performs labeled star sampling (§3.2.2): the categories of
 // all neighbors of each sampled node are revealed as well.
-func ObserveStar(g *Graph, s *Sample) (*Observation, error) {
-	return sample.ObserveStar(g, s)
+func ObserveStar(src Source, s *Sample) (*Observation, error) {
+	return sample.ObserveStar(src, s)
 }
 
 // Estimate produces the full category-graph estimate (sizes + weights) from
@@ -214,9 +241,10 @@ func NewShardedAccumulator(cfg StreamConfig, shards int) (*ShardedAccumulator, e
 
 // NewStreamObserver returns the streaming counterpart of ObserveInduced /
 // ObserveStar: it reveals each drawn node's observation record one draw at
-// a time, exactly as a live crawler would see it.
-func NewStreamObserver(g *Graph, star bool) (*StreamObserver, error) {
-	return sample.NewStreamObserver(g, star)
+// a time, exactly as a live crawler would see it — over any Source, so the
+// observation layer pays the same per-query costs a real crawler would.
+func NewStreamObserver(src Source, star bool) (*StreamObserver, error) {
+	return sample.NewStreamObserver(src, star)
 }
 
 // StreamSample replays a batch sample through an observer into an
@@ -261,8 +289,8 @@ func MergeObservations(obs ...*Observation) (*Observation, error) {
 // Walks draws independent samples with the given sampler — the multi-crawl
 // design of the paper's Facebook datasets. Estimate them as one pooled
 // sample via MergeObservations (batch) or StreamWalks (streaming).
-func Walks(r *rand.Rand, g *Graph, s Sampler, walks, perWalk int) ([]*Sample, error) {
-	return sample.Walks(r, g, s, walks, perWalk)
+func Walks(r *rand.Rand, src Source, s Sampler, walks, perWalk int) ([]*Sample, error) {
+	return sample.Walks(r, src, s, walks, perWalk)
 }
 
 // Merge concatenates several samples (e.g. independent walks) into one; if
@@ -349,8 +377,8 @@ const (
 // paper's "how much crawling is enough" question answered in-process: the
 // uncertainty machinery that PR'd every estimand into an (estimate, CI)
 // pair here drives the sampling effort instead of merely reporting.
-func Crawl(g *Graph, cfg CrawlConfig) (*CrawlResult, error) {
-	c, err := crawl.Start(g, nil, cfg)
+func Crawl(src Source, cfg CrawlConfig) (*CrawlResult, error) {
+	c, err := crawl.Start(src, nil, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -363,8 +391,25 @@ func Crawl(g *Graph, cfg CrawlConfig) (*CrawlResult, error) {
 // topoestd wiring, where the daemon keeps serving /estimate from the same
 // statistics the crawl feeds; its scenario and category count must match
 // the configuration.
-func StartCrawl(g *Graph, acc StreamIngester, cfg CrawlConfig) (*CrawlJob, error) {
-	return crawl.Start(g, acc, cfg)
+func StartCrawl(src Source, acc StreamIngester, cfg CrawlConfig) (*CrawlJob, error) {
+	return crawl.Start(src, acc, cfg)
+}
+
+// WritePack serializes g into the .pack out-of-core CSR format (see
+// cmd/graphpack for the command-line packer).
+func WritePack(w io.Writer, g *Graph) error { return graph.WritePack(w, g) }
+
+// OpenPackFile opens a .pack file as a PackedGraph Source; Close releases
+// it. The zero PackOptions give a 64 KiB block size and a 16 MiB LRU cache.
+func OpenPackFile(path string, opt PackOptions) (*PackedGraph, error) {
+	return graph.OpenPackFile(path, opt)
+}
+
+// NewRateLimited wraps any Source into a rate-limited remote-API simulation
+// counting (and pacing) neighbor queries — the paper's real deployment
+// scenario, where API calls, not CPU, bound the crawl.
+func NewRateLimited(src Source, cfg RateLimit) *RateLimitedSource {
+	return graph.NewRateLimited(src, cfg)
 }
 
 // TrueCategoryGraph computes the exact category graph of a fully known

@@ -2,7 +2,10 @@ package repro
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -403,5 +406,70 @@ func TestFacadeUncertainty(t *testing.T) {
 	}
 	if bse := boot.SizeSD(big); math.Abs(d.SE[big]-bse)/bse > 0.5 {
 		t.Errorf("delta SE %v far from bootstrap SE %v", d.SE[big], bse)
+	}
+}
+
+// TestFacadeBackends exercises the pluggable-backend surface end to end
+// through the facade alone: generate, pack to disk, reopen as a Source,
+// wrap it rate-limited, crawl it, and compare against the in-memory crawl.
+func TestFacadeBackends(t *testing.T) {
+	r := NewRand(5)
+	g, err := GeneratePaperGraph(r, 6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.pack")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePack(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPackFile(path, PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	cfg := CrawlConfig{
+		Walkers: 2, Star: true, N: float64(g.N()), Seed: 12,
+		BurnIn: 100, MaxDraws: 3000, CheckEvery: 1000,
+	}
+	mem, err := Crawl(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited := NewRateLimited(p, RateLimit{})
+	packed, err := Crawl(limited, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range mem.Snapshot.Result.Sizes {
+		a, b := mem.Snapshot.Result.Sizes[c], packed.Snapshot.Result.Sizes[c]
+		if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+			t.Fatalf("size[%d]: in-memory %g, packed %g", c, a, b)
+		}
+	}
+	if !packed.Metered || packed.Queries == 0 {
+		t.Fatalf("rate-limited facade crawl: Metered=%v Queries=%d", packed.Metered, packed.Queries)
+	}
+	if mem.Metered {
+		t.Fatal("in-memory crawl claims to be metered")
+	}
+
+	// A sampler over the packed source, and the typed sentinel.
+	if _, err := NewRW(100).Sample(r, p, 500); err != nil {
+		t.Fatalf("RW over the packed source: %v", err)
+	}
+	empty, err := NewBuilder(10).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRW(0).Sample(r, empty, 5); !errors.Is(err, ErrNoEdges) {
+		t.Fatalf("edgeless graph: %v, want ErrNoEdges", err)
 	}
 }
