@@ -175,5 +175,8 @@ func printInfo(path string, out *os.File) error {
 	for c := int32(0); c < int32(p.NumCategories()); c++ {
 		fmt.Fprintf(out, "  %-12s size %10d  volume %12d\n", p.CategoryName(c), p.CategorySize(c), p.CategoryVolume(c))
 	}
+	st := p.CacheStats()
+	fmt.Fprintf(out, "  block cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d bytes read\n",
+		st.Hits, st.Misses, 100*st.HitRate(), st.Evictions, st.BytesRead)
 	return nil
 }

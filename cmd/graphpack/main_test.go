@@ -116,3 +116,30 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestInfoPrintsCacheStats checks that -info surfaces the block cache's
+// hit/miss/eviction accounting after its metadata scan.
+func TestInfoPrintsCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	packPath := filepath.Join(dir, "info.pack")
+	if err := run([]string{"-gen", "ba", "-gen-n", "500", "-gen-deg", "3", "-gen-cats", "4", "-o", packPath}, os.Stdout); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	out, err := os.Create(filepath.Join(dir, "info.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-info", packPath}, out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "block cache:") {
+		t.Fatalf("-info output missing block cache stats:\n%s", text)
+	}
+}

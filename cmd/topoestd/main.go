@@ -58,6 +58,9 @@
 //	-crawl-check         checkpoint cadence in draws (default 2000)
 //	-crawl-burnin        per-walker burn-in steps (default 1000)
 //	-crawl-seed          master walker seed (default 1)
+//	-pprof       expose net/http/pprof under /debug/pprof/ (opt-in)
+//	-log-format  structured log format: text (default) or json
+//	-log-level   minimum log level: debug|info|warn|error (default info)
 //
 // Endpoints:
 //
@@ -72,7 +75,13 @@
 //	                         400
 //	GET  /categorygraph.tsv  the estimate as a category-graph TSV (the same
 //	                         format cmd/topoest emits)
-//	GET  /healthz            liveness: status, draws, distinct, shards, uptime
+//	GET  /healthz            liveness plus build/workload context: status,
+//	                         draws, distinct, shards, uptime, Go version,
+//	                         goroutine count, build info, and the cumulative
+//	                         ingest/crawl counters
+//	GET  /metrics            Prometheus text exposition of every metric in
+//	                         the process: ingest, snapshot, crawl, backend
+//	                         cache and HTTP-surface instrumentation
 //	POST /crawl              start an adaptive crawl job against the
 //	                         generated graph (crawl/demo mode only; one job
 //	                         at a time, 409 while one runs). The JSON body
@@ -140,10 +149,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -154,6 +165,7 @@ import (
 	"repro/internal/crawl"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
@@ -193,6 +205,10 @@ type cli struct {
 	crawlCheck   int
 	crawlBurnIn  int
 	crawlSeed    uint64
+
+	pprofOn   bool
+	logFormat string
+	logLevel  string
 }
 
 func main() {
@@ -225,6 +241,9 @@ func main() {
 	flag.IntVar(&c.crawlCheck, "crawl-check", 2000, "crawl: checkpoint cadence in draws")
 	flag.IntVar(&c.crawlBurnIn, "crawl-burnin", 1000, "crawl: per-walker burn-in steps")
 	flag.Uint64Var(&c.crawlSeed, "crawl-seed", 1, "crawl: master walker seed")
+	flag.BoolVar(&c.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling reveals internals)")
+	flag.StringVar(&c.logFormat, "log-format", "text", "structured log format: text or json")
+	flag.StringVar(&c.logLevel, "log-level", "info", "minimum log level: debug|info|warn|error")
 	flag.Parse()
 	if err := c.run(); err != nil {
 		fmt.Fprintln(os.Stderr, "topoestd:", err)
@@ -247,6 +266,11 @@ func newIngester(cfg stream.Config, shards int) (stream.Ingester, error) {
 }
 
 func (c *cli) run() error {
+	logger, err := newLogger(c.logFormat, c.logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	method, err := parseSizeMethod(c.size)
 	if err != nil {
 		return err
@@ -281,8 +305,12 @@ func (c *cli) run() error {
 		return err
 	}
 	srv := newServer(acc, names)
-	log.Printf("topoestd: serving %d categories (%s scenario, %d shard(s), %d bootstrap replicate(s)) on %s",
-		k, scenarioName(c.star), c.shards, bc.B, c.addr)
+	if c.pprofOn {
+		registerPprof(srv.mux)
+	}
+	slog.Info("topoestd serving",
+		"addr", c.addr, "k", k, "scenario", scenarioName(c.star),
+		"shards", c.shards, "bootstrap_b", bc.B)
 	return listenAndServe(c.addr, srv)
 }
 
@@ -324,10 +352,12 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 		return err
 	}
 	adaptive.N, adaptive.Size = float64(src.NumNodes()), method
+	adaptive.Logger = slog.Default()
 	jobCfg := adaptive
 	if !c.crawlMode {
 		jobCfg = c.demoCrawlConfig()
 		jobCfg.N, jobCfg.Size = float64(src.NumNodes()), method
+		jobCfg.Logger = slog.Default()
 	}
 	targeted := jobCfg.SizeTarget > 0 || jobCfg.WithinTarget > 0
 	if targeted && jobCfg.Engine == crawl.EngineBootstrap && bc.B == 0 {
@@ -335,7 +365,7 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 		// accumulator; a targeted crawl without -bootstrap defaults to 100
 		// replicates rather than failing startup.
 		bc.B = 100
-		log.Printf("topoestd: crawl targets set without -bootstrap; defaulting to %d replicates", bc.B)
+		slog.Info("crawl targets set without -bootstrap; defaulting replicates", "bootstrap_b", bc.B)
 	}
 	acc, err := newIngester(stream.Config{
 		K: src.NumCategories(), Star: c.star, N: float64(src.NumNodes()), Size: method, Replicates: bc,
@@ -354,17 +384,18 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 		return err
 	}
 	srv.job = job
+	if c.pprofOn {
+		registerPprof(srv.mux)
+	}
 	go func() {
-		res, err := job.Wait()
-		if err != nil {
-			log.Printf("topoestd: crawl failed: %v", err)
-			return
+		if _, err := job.Wait(); err != nil {
+			slog.Error("crawl failed", "err", err)
 		}
-		log.Printf("topoestd: crawl finished on %s after %d draws (%d checkpoints)",
-			res.Stopped, res.Draws, res.Checkpoints)
 	}()
-	log.Printf("topoestd: crawl mode on %s — N=%d %s, %s scenario, %d walker(s), %s sampler, max %d draws",
-		c.addr, src.NumNodes(), c.backendName(), scenarioName(c.star), max(jobCfg.Walkers, 1), jobCfg.Sampler, jobCfg.MaxDraws)
+	slog.Info("topoestd crawl mode",
+		"addr", c.addr, "n", src.NumNodes(), "backend", c.backendName(),
+		"scenario", scenarioName(c.star), "walkers", max(jobCfg.Walkers, 1),
+		"sampler", jobCfg.Sampler, "max_draws", jobCfg.MaxDraws)
 	return listenAndServe(c.addr, srv)
 }
 
@@ -526,12 +557,13 @@ func newServer(acc stream.Ingester, names []string) *server {
 		}
 	}
 	s := &server{mux: http.NewServeMux(), acc: acc, names: names, start: time.Now()}
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
-	s.mux.HandleFunc("GET /categorygraph.tsv", s.handleTSV)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /crawl", s.handleCrawlStart)
-	s.mux.HandleFunc("GET /crawl/status", s.handleCrawlStatus)
+	s.mux.HandleFunc("POST /ingest", instrument("/ingest", s.handleIngest))
+	s.mux.HandleFunc("GET /estimate", instrument("/estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /categorygraph.tsv", instrument("/categorygraph.tsv", s.handleTSV))
+	s.mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("POST /crawl", instrument("/crawl", s.handleCrawlStart))
+	s.mux.HandleFunc("GET /crawl/status", instrument("/crawl/status", s.handleCrawlStatus))
+	s.mux.Handle("GET /metrics", obs.Handler(obs.Default))
 	return s
 }
 
@@ -804,7 +836,7 @@ func (s *server) handleTSV(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
 	if err := cg.WriteTSV(w); err != nil {
-		log.Printf("topoestd: write tsv: %v", err)
+		slog.Warn("write categorygraph.tsv", "err", err)
 	}
 }
 
@@ -910,9 +942,10 @@ func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.job = job
-	log.Printf("topoestd: crawl started (%d walker(s), sampler %s, engine %s, size target %g, max %d draws)",
-		max(cfg.Walkers, 1), orDefault(cfg.Sampler, crawl.SamplerRW), orDefault(string(cfg.Engine), string(crawl.EngineBootstrap)),
-		cfg.SizeTarget, cfg.MaxDraws)
+	slog.Info("crawl started",
+		"walkers", max(cfg.Walkers, 1), "sampler", orDefault(cfg.Sampler, crawl.SamplerRW),
+		"engine", orDefault(string(cfg.Engine), string(crawl.EngineBootstrap)),
+		"size_target", cfg.SizeTarget, "max_draws", cfg.MaxDraws)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]any{
@@ -1026,6 +1059,11 @@ func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(doc)
 }
 
+// handleHealthz reports liveness plus enough build and workload context to
+// identify what is running: accumulator configuration and stream position,
+// process pulse (uptime, goroutines), the build the binary was compiled
+// from, and the process-wide cumulative ingest and crawl counters (the same
+// totals /metrics exports, in JSON for humans and probes).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	shards := 1
 	if sa, ok := s.acc.(*stream.ShardedAccumulator); ok {
@@ -1041,5 +1079,38 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"draws":       s.acc.Draws(),
 		"distinct":    s.acc.Distinct(),
 		"uptime_s":    time.Since(s.start).Seconds(),
+		"go_version":  runtime.Version(),
+		"goroutines":  runtime.NumGoroutine(),
+		"build":       buildDoc(),
+		"ingest": map[string]int64{
+			"records":  stream.IngestedTotal(),
+			"rejected": stream.RejectedTotal(),
+		},
+		"crawl": map[string]int64{
+			"draws":       crawl.DrawsTotal(),
+			"checkpoints": crawl.CheckpointsTotal(),
+		},
 	})
+}
+
+// buildDoc summarizes runtime/debug.ReadBuildInfo: the main module path and
+// version, plus the VCS revision and dirty flag when the build carries them
+// (test binaries and plain `go run` may not).
+func buildDoc() map[string]string {
+	doc := map[string]string{"path": "", "version": ""}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return doc
+	}
+	doc["path"] = bi.Main.Path
+	doc["version"] = bi.Main.Version
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			doc["revision"] = kv.Value
+		case "vcs.modified":
+			doc["modified"] = kv.Value
+		}
+	}
+	return doc
 }

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -312,7 +313,9 @@ func TestEstimateBeforeIngest(t *testing.T) {
 	}
 }
 
-// TestHealthz checks the liveness document.
+// TestHealthz pins the liveness document's shape: configuration and stream
+// position, process pulse, build info, and the cumulative ingest/crawl
+// counter groups.
 func TestHealthz(t *testing.T) {
 	srv, _ := testServer(t, 4, false, 0)
 	post(t, srv, "/ingest", `{"node":1,"cat":0}`)
@@ -326,6 +329,47 @@ func TestHealthz(t *testing.T) {
 	}
 	if doc["status"] != "ok" || doc["scenario"] != "induced" || doc["draws"] != float64(1) {
 		t.Fatalf("healthz doc = %v", doc)
+	}
+	for _, key := range []string{"k", "shards", "bootstrap_b", "distinct", "uptime_s", "go_version", "goroutines", "build", "ingest", "crawl"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("healthz doc missing %q: %v", key, doc)
+		}
+	}
+	if gv, _ := doc["go_version"].(string); !strings.HasPrefix(gv, "go") {
+		t.Errorf("go_version = %v", doc["go_version"])
+	}
+	if n, _ := doc["goroutines"].(float64); n < 1 {
+		t.Errorf("goroutines = %v", doc["goroutines"])
+	}
+	build, ok := doc["build"].(map[string]any)
+	if !ok {
+		t.Fatalf("build = %T %v, want object", doc["build"], doc["build"])
+	}
+	for _, key := range []string{"path", "version"} {
+		if _, ok := build[key]; !ok {
+			t.Errorf("build info missing %q: %v", key, build)
+		}
+	}
+	ingest, ok := doc["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("ingest = %T, want object", doc["ingest"])
+	}
+	// The counters are process-wide (other tests ingest too), so assert
+	// at-least rather than equality.
+	if n, _ := ingest["records"].(float64); n < 1 {
+		t.Errorf("ingest.records = %v, want ≥ 1", ingest["records"])
+	}
+	if _, ok := ingest["rejected"]; !ok {
+		t.Errorf("ingest doc missing rejected: %v", ingest)
+	}
+	crawlDoc, ok := doc["crawl"].(map[string]any)
+	if !ok {
+		t.Fatalf("crawl = %T, want object", doc["crawl"])
+	}
+	for _, key := range []string{"draws", "checkpoints"} {
+		if _, ok := crawlDoc[key]; !ok {
+			t.Errorf("crawl doc missing %q: %v", key, crawlDoc)
+		}
 	}
 }
 
@@ -987,5 +1031,141 @@ func TestCrawlBackendErrors(t *testing.T) {
 	c = &cli{graphFile: path}
 	if _, _, err := c.crawlBackend(); err == nil || !strings.Contains(err.Error(), "no categories") {
 		t.Fatalf("uncategorized pack: err = %v, want 'no categories'", err)
+	}
+}
+
+// scrapeMetrics GETs /metrics off the server and parses the Prometheus text
+// exposition into sample-name → value (labels included in the name), failing
+// on any unparseable line.
+func scrapeMetrics(t *testing.T, srv http.Handler) map[string]float64 {
+	t.Helper()
+	w := get(t, srv, "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("GET /metrics: %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("GET /metrics content type = %q", ct)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(w.Body.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("exposition line %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples
+}
+
+// TestMetricsEndToEndPackedCrawl is the observability integration test: an
+// adaptive crawl over a packed, metered backend must visibly move the
+// process metrics served at GET /metrics — block-cache hits and misses,
+// API queries spent, per-walker draw gauges — and the size-CI half-width
+// gauge must shrink as a second, larger crawl accumulates more draws into
+// the same accumulator.
+func TestMetricsEndToEndPackedCrawl(t *testing.T) {
+	g := mustDemoGraph(t)
+	packPath := filepath.Join(t.TempDir(), "obs.pack")
+	f, err := os.Create(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WritePack(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := &cli{graphFile: packPath, queryCost: time.Microsecond}
+	src, names, err := c.crawlBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	N := float64(g.N())
+	acc, err := stream.NewAccumulator(stream.Config{
+		K: g.NumCategories(), Star: true, N: N,
+		Replicates: uncert.Config{B: 50, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(acc, names)
+	srv.crawlSource = src
+	srv.crawlDefaults = crawl.Config{
+		Walkers: 2, Sampler: crawl.SamplerRW, Star: true, N: N,
+		Bootstrap: uncert.Config{B: 50, Seed: 7},
+		MaxDraws:  500, CheckEvery: 500, BurnIn: 50, Seed: 5,
+	}
+
+	runJob := func(body string) {
+		t.Helper()
+		if w := post(t, srv, "/crawl", body); w.Code != http.StatusAccepted {
+			t.Fatalf("POST /crawl: %d %s", w.Code, w.Body)
+		}
+		srv.crawlMu.Lock()
+		job := srv.job
+		srv.crawlMu.Unlock()
+		if _, err := job.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Job 1: one checkpoint at 500 draws — the baseline CI half-width.
+	runJob("{}")
+	first := scrapeMetrics(t, srv)
+	hw1, ok := first[`crawl_size_ci_halfwidth{cat="0"}`]
+	if !ok || math.IsNaN(hw1) || hw1 <= 0 {
+		t.Fatalf("size-CI half-width gauge after job 1 = %g (present %v), want finite > 0", hw1, ok)
+	}
+	for _, name := range []string{
+		"graph_pack_cache_hits_total",
+		"graph_pack_cache_misses_total",
+		"graph_pack_read_bytes_total",
+		"graph_api_queries_total",
+		"stream_ingest_records_total",
+		"crawl_draws_total",
+		"crawl_checkpoints_total",
+		`crawl_walker_draws{walker="0"}`,
+		`crawl_walker_draws{walker="1"}`,
+	} {
+		if v := first[name]; !(v > 0) {
+			t.Errorf("after job 1: %s = %g, want > 0", name, v)
+		}
+	}
+	// The two walkers split the 500-draw round evenly.
+	if d0, d1 := first[`crawl_walker_draws{walker="0"}`], first[`crawl_walker_draws{walker="1"}`]; d0 != 250 || d1 != 250 {
+		t.Errorf("walker draw gauges = %g, %g, want 250 each", d0, d1)
+	}
+	if v := first[`http_requests_total{code="202",endpoint="/crawl"}`] + first[`http_requests_total{endpoint="/crawl",code="202"}`]; !(v > 0) {
+		t.Errorf("instrumented HTTP surface did not count POST /crawl: %v", first)
+	}
+
+	// Job 2: 16× the draws into the same accumulator — the half-width
+	// gauge must shrink (1/√draws scaling leaves a wide margin).
+	runJob(`{"max_draws":8000,"check_every":2000,"seed":6}`)
+	second := scrapeMetrics(t, srv)
+	hw2 := second[`crawl_size_ci_halfwidth{cat="0"}`]
+	if math.IsNaN(hw2) || hw2 <= 0 {
+		t.Fatalf("size-CI half-width gauge after job 2 = %g, want finite > 0", hw2)
+	}
+	if hw2 >= hw1 {
+		t.Errorf("size-CI half-width did not shrink: %g (500 draws) -> %g (8500 draws)", hw1, hw2)
+	}
+	if second["crawl_draws_total"] < first["crawl_draws_total"]+8000 {
+		t.Errorf("crawl_draws_total = %g after job 2, want ≥ %g", second["crawl_draws_total"], first["crawl_draws_total"]+8000)
+	}
+	if second["graph_api_queries_total"] <= first["graph_api_queries_total"] {
+		t.Errorf("metered queries did not advance: %g -> %g", first["graph_api_queries_total"], second["graph_api_queries_total"])
+	}
+	if second["graph_pack_cache_hits_total"] <= first["graph_pack_cache_hits_total"] {
+		t.Errorf("pack cache hits did not advance: %g -> %g", first["graph_pack_cache_hits_total"], second["graph_pack_cache_hits_total"])
 	}
 }

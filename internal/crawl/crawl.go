@@ -26,6 +26,7 @@ package crawl
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"reflect"
 	"sync"
@@ -141,6 +142,11 @@ type Config struct {
 	CheckEvery int
 	// RoundDelay pauses between rounds (demo pacing; 0 = none).
 	RoundDelay time.Duration
+
+	// Logger, when non-nil, receives one structured record per checkpoint
+	// (sequence, draws, targets-met) and one when the crawl stops. The
+	// controller never logs on the per-draw path.
+	Logger *slog.Logger
 }
 
 // WalkerStats is one walker's progress.
@@ -486,6 +492,8 @@ func (c *Crawl) Status() Status {
 }
 
 func (c *Crawl) run() {
+	activeJobs.Add(1)
+	defer activeJobs.Add(-1)
 	res, err := c.crawl()
 	c.mu.Lock()
 	c.res, c.err = res, err
@@ -558,6 +566,12 @@ func (c *Crawl) crawl() (*Result, error) {
 		c.mu.Lock()
 		c.last = cp
 		c.mu.Unlock()
+		c.publishCheckpoint(cp)
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Info("crawl checkpoint",
+				"seq", cp.Seq, "draws", cp.Draws, "max_draws", c.cfg.MaxDraws,
+				"targets_met", cp.TargetsMet)
+		}
 		if cp.TargetsMet && draws >= c.cfg.MinDraws {
 			stopped = ReasonTarget
 			break
@@ -587,6 +601,11 @@ func (c *Crawl) crawl() (*Result, error) {
 	}
 	res.Queries, res.Metered = graph.QueriesOf(c.src)
 	res.Queries -= c.startQueries
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("crawl finished",
+			"stopped", string(res.Stopped), "draws", res.Draws,
+			"checkpoints", res.Checkpoints, "queries", res.Queries)
+	}
 	return res, nil
 }
 
@@ -594,6 +613,8 @@ func (c *Crawl) crawl() (*Result, error) {
 // CI half-width of every category size and within-weight under the
 // configured engine.
 func (c *Crawl) checkpoint(seq, draws int) (*Checkpoint, error) {
+	defer mCheckpointSec.ObserveSince(time.Now())
+	mCheckpoints.Inc()
 	k := c.src.NumCategories()
 	cp := &Checkpoint{Seq: seq, Draws: draws, SizeHW: nanSlice(k), WithinHW: nanSlice(k)}
 	switch c.cfg.Engine {

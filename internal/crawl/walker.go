@@ -112,6 +112,7 @@ func (w *walker) runRound(c *Crawl, n int) error {
 		}
 		w.draws.Add(1)
 		w.node.Store(v)
+		mDraws.Inc()
 		for t := 0; t < c.cfg.Thin; t++ {
 			w.cur = w.step.Step(w.r, w.cur)
 		}

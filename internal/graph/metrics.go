@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// CacheStats summarizes a backend-local cache: the .pack block cache of a
+// Packed source, or the fetched-node cache of a RateLimited source. All
+// fields are cumulative since the owning backend was opened.
+type CacheStats struct {
+	// Hits and Misses count lookups served from / past the cache.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by the LRU policy.
+	Evictions int64
+	// BytesRead is the total payload loaded past the cache (0 for caches
+	// that count entries, not bytes — the RateLimited node cache).
+	BytesRead int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or NaN before the first lookup.
+func (s CacheStats) HitRate() float64 {
+	lookups := s.Hits + s.Misses
+	if lookups == 0 {
+		return math.NaN()
+	}
+	return float64(s.Hits) / float64(lookups)
+}
+
+// Process-wide backend instrumentation (obs.Default), aggregated over every
+// Packed / RateLimited instance in the process. The per-lookup cost is one
+// striped atomic add next to a path that already holds the cache mutex; the
+// wait-seconds float counter only moves when the simulation actually
+// sleeps.
+var (
+	mPackHits = obs.NewCounter("graph_pack_cache_hits_total",
+		"Block-cache lookups served from memory across all packed backends.")
+	mPackMisses = obs.NewCounter("graph_pack_cache_misses_total",
+		"Block-cache lookups that went to the pack file.")
+	mPackEvictions = obs.NewCounter("graph_pack_cache_evictions_total",
+		"Blocks dropped by the block-cache LRU policy.")
+	mPackReadBytes = obs.NewCounter("graph_pack_read_bytes_total",
+		"Bytes read from pack files on block-cache misses.")
+
+	mAPIQueries = obs.NewCounter("graph_api_queries_total",
+		"Chargeable neighbor-queries issued through rate-limited sources.")
+	mAPIWaitSec = obs.NewFloatCounter("graph_api_wait_seconds_total",
+		"Total time rate-limited sources spent sleeping for QPS pacing and per-query latency.")
+	mAPICacheHits = obs.NewCounter("graph_api_cache_hits_total",
+		"Node accesses served from the rate-limited source's local fetched-node cache.")
+	mAPICacheMisses = obs.NewCounter("graph_api_cache_misses_total",
+		"Node accesses that had to issue a chargeable query.")
+	mAPICacheEvictions = obs.NewCounter("graph_api_cache_evictions_total",
+		"Nodes dropped by the fetched-node cache's LRU policy.")
+)

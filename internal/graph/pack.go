@@ -471,11 +471,11 @@ func (p *Packed) CategoryNames() []string { return p.names }
 // CategoryName returns the name of category c.
 func (p *Packed) CategoryName(c int32) string { return p.names[c] }
 
-// CacheStats reports block-cache hits and misses so far (zeros when the
-// cache is disabled).
-func (p *Packed) CacheStats() (hits, misses int64) {
+// CacheStats reports the block cache's cumulative hit/miss/eviction and
+// bytes-read counts (all zero when the cache is disabled).
+func (p *Packed) CacheStats() CacheStats {
 	if p.cache == nil {
-		return 0, 0
+		return CacheStats{}
 	}
 	return p.cache.stats()
 }
@@ -491,8 +491,7 @@ type blockCache struct {
 	mu     sync.Mutex
 	blocks map[int64]*list.Element
 	lru    *list.List // front = most recently used
-	hits   int64
-	misses int64
+	st     CacheStats
 }
 
 type cacheEntry struct {
@@ -518,11 +517,13 @@ func (c *blockCache) block(idx int64) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.blocks[idx]; ok {
-		c.hits++
+		c.st.Hits++
+		mPackHits.Inc()
 		c.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).data, nil
 	}
-	c.misses++
+	c.st.Misses++
+	mPackMisses.Inc()
 	buf := make([]byte, c.blockSize)
 	n, err := c.r.ReadAt(buf, idx*int64(c.blockSize))
 	if err != nil && err != io.EOF {
@@ -532,11 +533,15 @@ func (c *blockCache) block(idx int64) ([]byte, error) {
 		return nil, io.ErrUnexpectedEOF
 	}
 	buf = buf[:n]
+	c.st.BytesRead += int64(n)
+	mPackReadBytes.Add(int64(n))
 	c.blocks[idx] = c.lru.PushFront(&cacheEntry{idx: idx, data: buf})
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.blocks, oldest.Value.(*cacheEntry).idx)
+		c.st.Evictions++
+		mPackEvictions.Inc()
 	}
 	return buf, nil
 }
@@ -571,8 +576,8 @@ func (c *blockCache) read(off int64, n int) ([]byte, error) {
 	return out, nil
 }
 
-func (c *blockCache) stats() (hits, misses int64) {
+func (c *blockCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.st
 }

@@ -165,9 +165,15 @@ func TestOpenPackFile(t *testing.T) {
 	}
 	defer p.Close()
 	assertSameSource(t, g, p)
-	hits, misses := p.CacheStats()
-	if hits == 0 || misses == 0 {
-		t.Fatalf("cache stats hits=%d misses=%d, want both nonzero after a full scan", hits, misses)
+	st := p.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache stats %+v, want nonzero hits and misses after a full scan", st)
+	}
+	if st.BytesRead == 0 {
+		t.Fatalf("cache stats %+v, want nonzero bytes read after misses", st)
+	}
+	if hr := st.HitRate(); !(hr > 0 && hr < 1) {
+		t.Fatalf("hit rate = %g, want in (0,1)", hr)
 	}
 }
 

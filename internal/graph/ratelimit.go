@@ -47,6 +47,7 @@ type RateLimited struct {
 	cacheMu sync.Mutex
 	cached  map[int32]*list.Element
 	lru     *list.List // of int32 node ids; front = most recent
+	st      CacheStats
 }
 
 // NewRateLimited wraps src under the given cost model.
@@ -68,6 +69,18 @@ func (rl *RateLimited) Queries() int64 { return rl.queries.Load() }
 // Unwrap exposes the backend underneath (graph.Unwrapper).
 func (rl *RateLimited) Unwrap() Source { return rl.src }
 
+// CacheStats reports the fetched-node cache's cumulative hit/miss/eviction
+// counts (all zero when the cache is disabled; BytesRead is always 0 — the
+// cache counts nodes, not bytes).
+func (rl *RateLimited) CacheStats() CacheStats {
+	if rl.cached == nil {
+		return CacheStats{}
+	}
+	rl.cacheMu.Lock()
+	defer rl.cacheMu.Unlock()
+	return rl.st
+}
+
 // charge books one query against node v unless the local cache holds it:
 // count it, take the next QPS slot, and sleep the slot delay plus the
 // per-query latency.
@@ -75,19 +88,26 @@ func (rl *RateLimited) charge(v int32) {
 	if rl.cached != nil {
 		rl.cacheMu.Lock()
 		if el, ok := rl.cached[v]; ok {
+			rl.st.Hits++
+			mAPICacheHits.Inc()
 			rl.lru.MoveToFront(el)
 			rl.cacheMu.Unlock()
 			return
 		}
+		rl.st.Misses++
+		mAPICacheMisses.Inc()
 		rl.cached[v] = rl.lru.PushFront(v)
 		for rl.lru.Len() > rl.cfg.CacheNodes {
 			oldest := rl.lru.Back()
 			rl.lru.Remove(oldest)
 			delete(rl.cached, oldest.Value.(int32))
+			rl.st.Evictions++
+			mAPICacheEvictions.Inc()
 		}
 		rl.cacheMu.Unlock()
 	}
 	rl.queries.Add(1)
+	mAPIQueries.Inc()
 	wait := rl.cfg.PerQuery
 	if rl.cfg.QPS > 0 {
 		interval := time.Duration(float64(time.Second) / rl.cfg.QPS)
@@ -101,6 +121,7 @@ func (rl *RateLimited) charge(v int32) {
 		rl.paceMu.Unlock()
 	}
 	if wait > 0 {
+		mAPIWaitSec.Add(wait.Seconds())
 		time.Sleep(wait)
 	}
 }

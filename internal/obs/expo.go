@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func liveGoroutines() float64 { return float64(runtime.NumGoroutine()) }
+
+// WritePrometheus serializes every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by label
+// values, histograms expanded into cumulative le-buckets plus _sum and
+// _count. Values read while writers race are each individually consistent
+// (every read is one atomic load or a stripe fold); the exposition as a
+// whole is not a consistent cut, which is the normal Prometheus contract.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(bw *bufio.Writer) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	bw.WriteString(escapeHelp(f.help))
+	bw.WriteString("\n# TYPE ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	bw.WriteString(f.kind.String())
+	bw.WriteByte('\n')
+
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].vals, "\x00") < strings.Join(children[j].vals, "\x00")
+	})
+	for _, c := range children {
+		f.writeChild(bw, c)
+	}
+}
+
+func (f *family) writeChild(bw *bufio.Writer, c *child) {
+	switch m := c.m.(type) {
+	case *Counter:
+		f.sample(bw, "", c.vals, "", strconv.FormatInt(m.Value(), 10))
+	case *FloatCounter:
+		f.sample(bw, "", c.vals, "", formatValue(m.Value()))
+	case *Gauge:
+		f.sample(bw, "", c.vals, "", formatValue(m.Value()))
+	case func() float64:
+		f.sample(bw, "", c.vals, "", formatValue(m()))
+	case *Histogram:
+		cum := int64(0)
+		for i, bound := range m.bounds {
+			cum += m.counts[i].Load()
+			f.sample(bw, "_bucket", c.vals, formatValue(bound), strconv.FormatInt(cum, 10))
+		}
+		cum += m.counts[len(m.bounds)].Load()
+		f.sample(bw, "_bucket", c.vals, "+Inf", strconv.FormatInt(cum, 10))
+		f.sample(bw, "_sum", c.vals, "", formatValue(m.Sum()))
+		f.sample(bw, "_count", c.vals, "", strconv.FormatInt(m.Count(), 10))
+	}
+}
+
+// sample writes one exposition line: name[suffix]{labels[,le="le"]} value.
+func (f *family) sample(bw *bufio.Writer, suffix string, vals []string, le, value string) {
+	bw.WriteString(f.name)
+	bw.WriteString(suffix)
+	if len(vals) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range f.labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(vals[i]))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(vals) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(escapeLabel(le))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in the Prometheus text format — mount it at
+// GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The write goes to a net/http buffered ResponseWriter; an error
+		// here is a dropped client connection, which has no useful handler.
+		_ = r.WritePrometheus(w)
+	})
+}

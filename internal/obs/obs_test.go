@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdates hammers one counter, one labeled counter, one gauge
+// and one histogram from many goroutines and checks the folded totals are
+// exact once the writers join. Run under -race: this is the test that pins
+// the lock-free hot paths.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	vec := r.NewCounterVec("v_total", "", "who")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h_seconds", "", []float64{0.25, 0.5, 0.75})
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := vec.With(strconv.Itoa(w % 2))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				mine.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := vec.Total(); got != workers*per {
+		t.Errorf("vec total = %d, want %d", got, workers*per)
+	}
+	if got := vec.With("0").Value() + vec.With("1").Value(); got != workers*per {
+		t.Errorf("vec children sum = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	// Every worker observes the same value sequence, so the sum is exact
+	// up to float reassociation.
+	wantSum := 0.0
+	for i := 0; i < per; i++ {
+		wantSum += float64(i%100) / 100
+	}
+	wantSum *= workers
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+	if got := g.Value(); got != per-1 {
+		t.Errorf("gauge = %g, want %d (last value set by every worker)", got, per-1)
+	}
+}
+
+// TestExpositionEscaping pins the text-format escaping rules: backslash and
+// newline in HELP, backslash, quote and newline in label values.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("esc_total", "help with \\ backslash\nand newline")
+	vec := r.NewGaugeVec("esc_gauge", "", "path")
+	vec.With(`C:\dir "quoted"` + "\nnext").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantHelp := `# HELP esc_total help with \\ backslash\nand newline` + "\n"
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("exposition missing escaped help %q in:\n%s", wantHelp, out)
+	}
+	wantLabel := `esc_gauge{path="C:\\dir \"quoted\"\nnext"} 1` + "\n"
+	if !strings.Contains(out, wantLabel) {
+		t.Errorf("exposition missing escaped label line %q in:\n%s", wantLabel, out)
+	}
+	if strings.Contains(out, "quoted\"\n 1") {
+		t.Errorf("raw newline leaked into a label value:\n%s", out)
+	}
+}
+
+// TestExpositionFormat pins one rendered sample of every kind, including the
+// cumulative histogram expansion and non-finite value spellings.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "counts a").Add(3)
+	r.NewGauge("b_level", "").Set(2.5)
+	r.NewGaugeFunc("c_func", "", func() float64 { return 7 })
+	r.NewGauge("d_inf", "").Set(math.Inf(1))
+	r.NewFloatCounter("e_seconds_total", "").Add(0.125)
+	h := r.NewHistogram("f_seconds", "", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 3\n",
+		"# TYPE b_level gauge\nb_level 2.5\n",
+		"c_func 7\n",
+		"d_inf +Inf\n",
+		"e_seconds_total 0.125\n",
+		"# TYPE f_seconds histogram\n",
+		`f_seconds_bucket{le="0.001"} 1` + "\n",
+		`f_seconds_bucket{le="0.01"} 2` + "\n",
+		`f_seconds_bucket{le="+Inf"} 3` + "\n",
+		"f_seconds_sum 5.0055\n",
+		"f_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must come out sorted by name.
+	idx := make([]int, 0, 6)
+	for _, name := range []string{"a_total", "b_level", "c_func", "d_inf", "e_seconds_total", "f_seconds"} {
+		idx = append(idx, strings.Index(out, "# HELP "+name))
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i-1] < 0 || idx[i] < idx[i-1] {
+			t.Fatalf("families not sorted by name: indices %v in:\n%s", idx, out)
+		}
+	}
+}
+
+// TestScrapeParsesAndCoversCatalog serves a registry over httptest and
+// checks (a) the content type, (b) that every registered family appears in
+// the scrape, and (c) that every non-comment line parses as
+// `name[{labels}] value` with a float-parseable value — the contract a real
+// Prometheus scraper needs.
+func TestScrapeParsesAndCoversCatalog(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("scrape_a_total", "a")
+	r.NewGauge("scrape_b", "b").Set(math.NaN())
+	r.NewHistogram("scrape_c_seconds", "c", LatencyBuckets()).Observe(0.01)
+	r.NewCounterVec("scrape_d_total", "d", "reason").With("bad weight").Add(2)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	samples := parseExposition(t, resp.Body)
+	for _, name := range r.Names() {
+		found := false
+		for sample := range samples {
+			if sample == name || strings.HasPrefix(sample, name+"{") ||
+				strings.HasPrefix(sample, name+"_bucket") || strings.HasPrefix(sample, name+"_sum") || strings.HasPrefix(sample, name+"_count") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("cataloged metric %s missing from scrape (samples: %v)", name, samples)
+		}
+	}
+	if v := samples[`scrape_d_total{reason="bad weight"}`]; v != 2 {
+		t.Errorf("labeled counter = %g, want 2", v)
+	}
+	if v, ok := samples["scrape_b"]; !ok || !math.IsNaN(v) {
+		t.Errorf("NaN gauge = %g (present %v), want NaN", v, ok)
+	}
+}
+
+// TestRegistrationPanics pins the programmer-error surface: invalid names,
+// duplicates, label-arity mismatches and bad buckets all panic at
+// registration or first use.
+func TestRegistrationPanics(t *testing.T) {
+	cases := map[string]func(){
+		"invalid name":      func() { NewRegistry().NewCounter("9bad", "") },
+		"invalid label":     func() { NewRegistry().NewCounterVec("ok_total", "", "bad-label") },
+		"duplicate":         func() { r := NewRegistry(); r.NewCounter("dup", ""); r.NewGauge("dup", "") },
+		"label arity":       func() { NewRegistry().NewCounterVec("v_total", "", "a", "b").With("only-one") },
+		"empty buckets":     func() { NewRegistry().NewHistogram("h", "", nil) },
+		"unsorted buckets":  func() { NewRegistry().NewHistogram("h", "", []float64{2, 1}) },
+		"reserved le label": func() { NewRegistry().NewHistogramVec("h", "", []float64{1}, "le") },
+		"zero-label vec":    func() { NewRegistry().NewGaugeVec("g", "") },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestDefaultRegistryCarriesRuntimeMetrics checks the process-pulse metrics
+// every /metrics exposition ships with.
+func TestDefaultRegistryCarriesRuntimeMetrics(t *testing.T) {
+	var b strings.Builder
+	if err := Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines ", "process_uptime_seconds "} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Default exposition missing %q", want)
+		}
+	}
+}
+
+func TestHistogramNaNObservation(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("nan_seconds", "", []float64{1})
+	h.Observe(math.NaN())
+	h.Observe(0.5)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2 (NaN still lands in +Inf bucket)", h.Count())
+	}
+	if got := h.Sum(); got != 0.5 {
+		t.Errorf("sum = %g, want 0.5 (NaN excluded from the sum)", got)
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition parses a Prometheus text-format stream into
+// sample-name → value, failing the test on any line that does not parse —
+// the minimal scraper the format contract promises will work.
+func parseExposition(t *testing.T, r io.Reader) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		name, raw := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Fatalf("exposition line %q: bad value %q: %v", line, raw, err)
+		}
+		if name == "" || (!isNameStart(name[0]) && name[0] != '_') {
+			t.Fatalf("exposition line %q: bad sample name %q", line, name)
+		}
+		samples[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Process-wide ingest instrumentation (obs.Default). The counters aggregate
+// over every accumulator in the process — the serving daemon owns one (or
+// one per shard, which all count through the same single-lock ingest path),
+// so the totals are exactly what GET /metrics and /healthz want to report.
+//
+// Hot-path budget: a successfully applied record costs ONE striped atomic
+// add (mIngested); batches pay it once per batch (Add(n)). The latency
+// histograms are only touched on paths that are already micro- to
+// millisecond-scale — snapshots, and per-record ingest when the O(B)
+// bootstrap replicate update dominates the record anyway.
+var (
+	mIngested = obs.NewCounter("stream_ingest_records_total",
+		"Node observations successfully folded into any accumulator.")
+	mRejected = obs.NewCounterVec("stream_ingest_rejected_total",
+		"Node observations rejected at ingest validation, by reason.", "reason")
+	mSnapshotSec = obs.NewHistogram("stream_snapshot_seconds",
+		"Latency of accumulator snapshots (single-lock and sharded, including bootstrap CI extraction).",
+		obs.LatencyBuckets())
+	mBootIngestSec = obs.NewHistogram("stream_bootstrap_ingest_seconds",
+		"Per-record ingest latency when bootstrap replicates are enabled (includes the O(B) replicate update).",
+		obs.LatencyBuckets())
+)
+
+// IngestedTotal reports the process-wide count of successfully ingested
+// records — surfaced by the daemon's /healthz.
+func IngestedTotal() int64 { return mIngested.Value() }
+
+// RejectedTotal reports the process-wide count of rejected records across
+// all reasons.
+func RejectedTotal() int64 { return mRejected.Total() }
+
+// reject counts a validation failure under its reason label and returns the
+// formatted error. The reject path is cold by definition — a label lookup
+// per event is fine here, unlike on the applied-record path.
+func reject(reason, format string, args ...any) error {
+	mRejected.With(reason).Inc()
+	return fmt.Errorf(format, args...)
+}

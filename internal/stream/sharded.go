@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sample"
@@ -160,6 +161,7 @@ func (sa *ShardedAccumulator) IngestBatch(recs []sample.NodeObservation) (int, e
 // shard's sums are merged out, so ingestion never waits on another shard's
 // merge.
 func (sa *ShardedAccumulator) Snapshot() (*Snapshot, error) {
+	defer mSnapshotSec.ObserveSince(time.Now())
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
 	sums := core.NewSums(sa.cfg.K, sa.cfg.Star)

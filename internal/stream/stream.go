@@ -30,6 +30,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -210,9 +211,25 @@ func (a *Accumulator) SumsClone() *core.Sums {
 // G[S] exactly once. Records that fail validation are rejected without
 // changing any state.
 func (a *Accumulator) Ingest(rec sample.NodeObservation) error {
+	// Instrumentation cost on the hot path: one striped atomic add for an
+	// applied record. The latency histogram is only taken when bootstrap
+	// replicates are enabled, where the O(B) replicate update already puts
+	// the record in microsecond territory and two clock reads are noise.
+	var t0 time.Time
+	if a.reps != nil {
+		t0 = time.Now()
+	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ingestLocked(rec)
+	err := a.ingestLocked(rec)
+	a.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	mIngested.Inc()
+	if a.reps != nil {
+		mBootIngestSec.ObserveSince(t0)
+	}
+	return nil
 }
 
 // IngestBatch folds a batch of observations in one critical section,
@@ -227,30 +244,32 @@ func (a *Accumulator) IngestBatch(recs []sample.NodeObservation) (int, error) {
 	defer a.mu.Unlock()
 	for i, rec := range recs {
 		if err := a.ingestLocked(rec); err != nil {
+			mIngested.Add(int64(i))
 			return i, err
 		}
 	}
+	mIngested.Add(int64(len(recs)))
 	return len(recs), nil
 }
 
 func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 	if rec.Cat != graph.None && (rec.Cat < 0 || int(rec.Cat) >= a.cfg.K) {
-		return fmt.Errorf("stream: node %d has category %d outside [0,%d)", rec.Node, rec.Cat, a.cfg.K)
+		return reject("bad_category", "stream: node %d has category %d outside [0,%d)", rec.Node, rec.Cat, a.cfg.K)
 	}
 	// Only weight 0 means "unspecified, i.e. 1"; a negative, NaN, or
 	// infinite weight is a broken crawler, and silently folding it in would
 	// corrupt every Hansen–Hurwitz sum the node touches.
 	if math.IsNaN(rec.Weight) || math.IsInf(rec.Weight, 0) || rec.Weight < 0 {
-		return fmt.Errorf("stream: node %d has invalid sampling weight %g (0 means 1; negative, NaN and infinite are rejected)", rec.Node, rec.Weight)
+		return reject("bad_weight", "stream: node %d has invalid sampling weight %g (0 means 1; negative, NaN and infinite are rejected)", rec.Node, rec.Weight)
 	}
 	// Records carrying fields of the other scenario signal a mismatched
 	// stream — reject loudly rather than silently ignore the data and
 	// serve garbage estimates.
 	if !a.cfg.Star && (len(rec.NbrCat) > 0 || len(rec.NbrCnt) > 0 || rec.Deg != 0) {
-		return fmt.Errorf("stream: node %d carries star fields (deg/nbr_cat) but the accumulator runs the induced scenario", rec.Node)
+		return reject("scenario_mismatch", "stream: node %d carries star fields (deg/nbr_cat) but the accumulator runs the induced scenario", rec.Node)
 	}
 	if a.cfg.Star && len(rec.Peers) > 0 {
-		return fmt.Errorf("stream: node %d carries induced peers but the accumulator runs the star scenario", rec.Node)
+		return reject("scenario_mismatch", "stream: node %d carries induced peers but the accumulator runs the star scenario", rec.Node)
 	}
 	w := rec.Weight
 	if w == 0 {
@@ -267,10 +286,10 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 		// (0) on a re-draw inherits the recorded one — crawlers may send the
 		// weight only on a node's first record.
 		if rec.Cat != ns.cat {
-			return fmt.Errorf("stream: node %d re-drawn with category %d, conflicting with its first observation (category %d)", rec.Node, rec.Cat, ns.cat)
+			return reject("redraw_conflict", "stream: node %d re-drawn with category %d, conflicting with its first observation (category %d)", rec.Node, rec.Cat, ns.cat)
 		}
 		if rec.Weight != 0 && w != ns.weight {
-			return fmt.Errorf("stream: node %d re-drawn with sampling weight %g, conflicting with its first observation (weight %g)", rec.Node, w, ns.weight)
+			return reject("redraw_conflict", "stream: node %d re-drawn with sampling weight %g, conflicting with its first observation (weight %g)", rec.Node, w, ns.weight)
 		}
 	}
 	// Star info is recorded once per distinct node, from the first record
@@ -285,7 +304,7 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 	// of delivery order.
 	if a.cfg.Star && (len(rec.NbrCat) > 0 || len(rec.NbrCnt) > 0 || rec.Deg != 0) {
 		if err := sample.ValidateStarFields(a.cfg.K, rec); err != nil {
-			return fmt.Errorf("stream: %w", err)
+			return reject("bad_star", "stream: %w", err)
 		}
 		if ns.starSeen {
 			// Star info arriving again for a node whose star data is
@@ -297,7 +316,7 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 			cat, cnt := sample.CanonicalStarCounts(rec.NbrCat, rec.NbrCnt)
 			newDeg, newCat, newCnt, err := sample.ReconcileStarData(rec.Node, rec.Deg, cat, cnt, ns.deg, ns.nbrCat, ns.nbrCnt)
 			if err != nil {
-				return fmt.Errorf("stream: %w", err)
+				return reject("star_conflict", "stream: %w", err)
 			}
 			if newDeg != ns.deg || len(newCat) != len(ns.nbrCat) {
 				// Retrofit the node's earlier draws with the upgraded
@@ -325,7 +344,7 @@ func (a *Accumulator) ingestLocked(rec sample.NodeObservation) error {
 	if !a.cfg.Star && len(rec.Peers) > 0 {
 		for _, p := range rec.Peers {
 			if _, ok := a.nodes[p]; !ok && p != rec.Node {
-				return fmt.Errorf("stream: peer %d of node %d not yet observed", p, rec.Node)
+				return reject("unknown_peer", "stream: peer %d of node %d not yet observed", p, rec.Node)
 			}
 			// Skip self-loops, already-known edges, and duplicates within
 			// this record's own peer list.
@@ -469,6 +488,7 @@ func (s *Snapshot) Weights() *core.PairWeights { return s.Result.Weights }
 // accumulator and propagates estimator errors (e.g. a star size method on an
 // induced stream).
 func (a *Accumulator) Snapshot() (*Snapshot, error) {
+	defer mSnapshotSec.ObserveSince(time.Now())
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.sums.Draws == 0 {

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net/http"
 
 	"repro/internal/catgraph"
 	"repro/internal/core"
 	"repro/internal/crawl"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
@@ -41,6 +43,10 @@ type (
 	// remote-API simulation; the crawl controller reports its queries
 	// spent alongside draws.
 	RateLimitedSource = graph.RateLimited
+	// CacheStats summarizes a backend-local cache (the pack block cache,
+	// or the rate-limited source's fetched-node cache): cumulative hits,
+	// misses, evictions and bytes read.
+	CacheStats = graph.CacheStats
 	// Builder accumulates edges and produces a Graph.
 	Builder = graph.Builder
 	// Sample is an ordered probability sample of nodes with draw weights.
@@ -411,6 +417,12 @@ func OpenPackFile(path string, opt PackOptions) (*PackedGraph, error) {
 func NewRateLimited(src Source, cfg RateLimit) *RateLimitedSource {
 	return graph.NewRateLimited(src, cfg)
 }
+
+// MetricsHandler returns an http.Handler serving the process-wide metric
+// registry in Prometheus text format — everything the instrumented layers
+// (stream ingest, crawl controller, graph backends) record, ready to mount
+// on any mux. The topoestd daemon serves it at GET /metrics.
+func MetricsHandler() http.Handler { return obs.Handler(obs.Default) }
 
 // TrueCategoryGraph computes the exact category graph of a fully known
 // categorized graph (the ground truth of the simulations).
