@@ -14,7 +14,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand/v2"
-	"sync/atomic"
+	"sync"
 	"testing"
 
 	"repro/internal/community"
@@ -451,69 +451,103 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
-// BenchmarkStreamIngestParallel measures concurrent ingest throughput: the
-// acceptance benchmark of the sharding work. G ingester goroutines
-// (b.RunParallel) feed one shared accumulator; the single-lock Accumulator
-// serializes them all on one mutex, while the ShardedAccumulator spreads
-// them across per-shard locks — at 4+ shards on a multi-core machine the
-// contention disappears and throughput scales near-linearly with cores
-// (run with -cpu 4,8 to see it; a 1-core runner can only show the reduced
-// lock hand-off cost). shards=0 denotes the single-lock baseline.
-func BenchmarkStreamIngestParallel(b *testing.B) {
+// BenchmarkStreamIngestLocal measures concurrent ingest throughput: the
+// acceptance benchmark of the epoch-merge work. W writer goroutines split
+// the record stream; under "single-lock" they all contend on the
+// Accumulator's one mutex, under "epoch" each owns a stream.Local whose
+// per-record path touches no shared state and publishes at the default
+// auto-flush cadence. On a multi-core machine epoch throughput scales
+// near-linearly 1 -> 8 -> 32 writers while the single lock flatlines (a
+// 1-core runner can only show the removed lock hand-off and the batched
+// flush math; CI runs the scaling gate).
+func BenchmarkStreamIngestLocal(b *testing.B) {
 	recs, _, g := streamBenchRecords(b, 100_000)
 	cfg := stream.Config{K: g.NumCategories(), Star: true, N: float64(g.N())}
-	for _, bc := range []struct {
-		name   string
-		shards int
-	}{
-		{"single-lock", 0},
-		{"shards=1", 1},
-		{"shards=4", 4},
-		{"shards=8", 8},
-	} {
-		b.Run(bc.name, func(b *testing.B) {
-			var acc stream.Ingester
-			var err error
-			if bc.shards == 0 {
-				acc, err = stream.NewAccumulator(cfg)
-			} else {
-				acc, err = stream.NewShardedAccumulator(cfg, bc.shards)
-			}
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Each worker walks the record stream from its own offset, so
-			// the hot loop shares no state beyond the accumulator under
-			// test (a shared index counter would itself serialize cores).
-			var workers atomic.Int64
-			b.RunParallel(func(pb *testing.PB) {
-				i := int(workers.Add(1)) * 7919 // distinct prime offsets
-				for pb.Next() {
-					if err := acc.Ingest(recs[i%len(recs)]); err != nil {
-						b.Error(err)
-						return
-					}
-					i++
+	for _, impl := range []string{"single-lock", "epoch"} {
+		for _, writers := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("%s/writers=%d", impl, writers), func(b *testing.B) {
+				var acc stream.Ingester
+				var ea *stream.EpochAccumulator
+				var err error
+				if impl == "epoch" {
+					ea, err = stream.NewEpochAccumulator(cfg, 0)
+					acc = ea
+				} else {
+					acc, err = stream.NewAccumulator(cfg)
 				}
-			})
-		})
-	}
-}
-
-// BenchmarkStreamIngestBatchSharded measures the serial batch path at
-// several shard counts — the fan-out cost a single writer pays for the
-// concurrent scalability above.
-func BenchmarkStreamIngestBatchSharded(b *testing.B) {
-	recs, _, g := streamBenchRecords(b, 100_000)
-	cfg := stream.Config{K: g.NumCategories(), Star: true, N: float64(g.N())}
-	for _, shards := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				acc, err := stream.NewShardedAccumulator(cfg, shards)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := acc.IngestBatch(recs); err != nil {
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					n := b.N / writers
+					if w < b.N%writers {
+						n++
+					}
+					if n == 0 {
+						continue
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						// Each writer walks the record stream from its own
+						// prime offset, so the hot loop shares no state
+						// beyond the accumulator under test.
+						i := w * 7919
+						if ea != nil {
+							l := ea.NewLocal()
+							defer l.Close()
+							for ; n > 0; n-- {
+								if err := l.Ingest(recs[i%len(recs)]); err != nil {
+									b.Error(err)
+									return
+								}
+								i++
+							}
+							return
+						}
+						for ; n > 0; n-- {
+							if err := acc.Ingest(recs[i%len(recs)]); err != nil {
+								b.Error(err)
+								return
+							}
+							i++
+						}
+					}(w, n)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkStreamIngestBootstrapSparse measures the bootstrap overhead of
+// the write path: one writer-local epoch over an accumulator with B
+// replicate sums. The epoch design batches each node's replicate update
+// (one pass per distinct node per flush instead of one dense B-loop per
+// record) and the sparse Poisson weights skip the ~37% zero replicates, so
+// B=200 costs a small multiple of B=0 rather than the ~50x of the
+// per-record design. ns/op is per ingested record, flushes included.
+func BenchmarkStreamIngestBootstrapSparse(b *testing.B) {
+	recs, _, g := streamBenchRecords(b, 100_000)
+	for _, B := range []int{0, 50, 200} {
+		b.Run(fmt.Sprintf("B=%d", B), func(b *testing.B) {
+			cfg := stream.Config{
+				K: g.NumCategories(), Star: true, N: float64(g.N()),
+				Replicates: uncert.Config{B: B, Seed: 11},
+			}
+			ea, err := stream.NewEpochAccumulator(cfg, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l := ea.NewLocal()
+			defer l.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Ingest(recs[i%len(recs)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -521,9 +555,9 @@ func BenchmarkStreamIngestBatchSharded(b *testing.B) {
 	}
 }
 
-// BenchmarkSumsMerge measures the snapshot-side merge primitive: pooling
-// P independently accumulated walk sums into one estimate, the O(P·K²+pairs)
-// cost every sharded snapshot pays.
+// BenchmarkSumsMerge measures the merge primitive behind epoch flushes and
+// multi-walk pooling: folding P independently accumulated walk sums into
+// one estimate, O(P·K² + pairs).
 func BenchmarkSumsMerge(b *testing.B) {
 	recs, _, g := streamBenchRecords(b, 50_000)
 	const parts = 8

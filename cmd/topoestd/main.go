@@ -18,9 +18,20 @@
 //	-k           number of categories (required unless -names or -demo)
 //	-names       comma-separated category names (sets -k)
 //	-star        measurement scenario: star (default) or induced (=false)
-//	-shards      shard the accumulator across this many independent locks
-//	             (default 1 = the single-lock accumulator; > 1 enables
-//	             multi-core ingest, star scenario only)
+//	-shards      ingest concurrency mode (the flag name survives from the
+//	             retired lock-sharded design): 1 = the single-lock
+//	             accumulator (default); > 1 builds the epoch-merged
+//	             accumulator, whose writers fill private local epochs and
+//	             fold them into the published view exactly at flush
+//	             (multi-core ingest, star scenario only)
+//	-flush-interval  with -shards > 1, defer publishing ingested records
+//	             to a background flusher with this period (e.g. 200ms).
+//	             The default 0 flushes before every /ingest response, so
+//	             an acknowledged record is visible to the next /estimate;
+//	             > 0 trades that read-your-writes visibility for zero
+//	             flush work on the request path — acknowledged records
+//	             are durable in the daemon but appear in /estimate only
+//	             after the next background flush
 //	-N           population size |V|; 0 = unknown → relative sizes, with the
 //	             §4.3 collision estimate of N reported alongside
 //	-size        size estimator: auto|induced|star|star-pooled
@@ -76,9 +87,9 @@
 //	GET  /categorygraph.tsv  the estimate as a category-graph TSV (the same
 //	                         format cmd/topoest emits)
 //	GET  /healthz            liveness plus build/workload context: status,
-//	                         draws, distinct, shards, uptime, Go version,
-//	                         goroutine count, build info, and the cumulative
-//	                         ingest/crawl counters
+//	                         draws, distinct, accumulator mode, uptime, Go
+//	                         version, goroutine count, build info, and the
+//	                         cumulative ingest/crawl counters
 //	GET  /metrics            Prometheus text exposition of every metric in
 //	                         the process: ingest, snapshot, crawl, backend
 //	                         cache and HTTP-surface instrumentation
@@ -115,8 +126,10 @@
 // (concurrent crawlers) — the first to arrive is recorded and identical
 // re-deliveries pass, but a record whose cat, explicit weight, or star
 // data contradicts the node's first observation is rejected. With
-// -shards > 1, POST /ingest fans each batch out across the per-shard locks
-// in record order.
+// -shards > 1, POST /ingest validates and accumulates each batch in a
+// writer-private local epoch in record order and — unless -flush-interval
+// defers it — flushes the epoch into the published estimate before
+// responding.
 //
 // # Ingest error semantics and the retry-safe protocol
 //
@@ -139,7 +152,10 @@
 // The retry-safe protocol is: drop the first "ingested" records, fix or
 // discard the record at index "index", and resend the rest. Idempotent
 // replay is not provided by the server; exactly-once ingestion is the
-// client's contract to keep.
+// client's contract to keep. Under -flush-interval > 0 "applied" means
+// durable in the daemon's local epoch: the prefix is validated, counted
+// and cannot be lost, but it reaches /estimate only at the next
+// background flush.
 package main
 
 import (
@@ -174,15 +190,16 @@ import (
 
 // cli holds the parsed command line.
 type cli struct {
-	addr     string
-	k        int
-	names    string
-	star     bool
-	shards   int
-	popN     float64
-	size     string
-	boot     int
-	bootSeed uint64
+	addr       string
+	k          int
+	names      string
+	star       bool
+	shards     int
+	flushEvery time.Duration
+	popN       float64
+	size       string
+	boot       int
+	bootSeed   uint64
 
 	demo      bool
 	demoDraws int
@@ -217,7 +234,8 @@ func main() {
 	flag.IntVar(&c.k, "k", 0, "number of categories")
 	flag.StringVar(&c.names, "names", "", "comma-separated category names (sets -k)")
 	flag.BoolVar(&c.star, "star", true, "star scenario (false = induced subgraph)")
-	flag.IntVar(&c.shards, "shards", 1, "shard the accumulator across this many locks (star only; >1 enables multi-core ingest)")
+	flag.IntVar(&c.shards, "shards", 1, "ingest concurrency: 1 = single-lock accumulator, >1 = epoch-merged multi-core ingest (star only)")
+	flag.DurationVar(&c.flushEvery, "flush-interval", 0, "with -shards > 1: defer publishing ingested records to a background flusher with this period (0 = flush before every /ingest response)")
 	flag.Float64Var(&c.popN, "N", 0, "population size |V| (0 = unknown, relative sizes)")
 	flag.StringVar(&c.size, "size", "auto", "size estimator: auto|induced|star|star-pooled")
 	flag.IntVar(&c.boot, "bootstrap", 0, "streaming-bootstrap replicates for /estimate?ci= intervals (0 = off)")
@@ -252,9 +270,11 @@ func main() {
 }
 
 // newIngester builds the configured accumulator: the single-lock one at
-// exactly 1 shard, the hash-partitioned one above that. A shard count
-// below 1 is a misconfiguration and fails startup loudly rather than
-// silently degrading to the single lock.
+// exactly 1 shard, the epoch-merged one above that (writers accumulate in
+// private local epochs folded into the published view exactly at flush —
+// the exact shard count is irrelevant there, only the mode switch
+// matters). A shard count below 1 is a misconfiguration and fails startup
+// loudly rather than silently degrading to the single lock.
 func newIngester(cfg stream.Config, shards int) (stream.Ingester, error) {
 	switch {
 	case shards < 1:
@@ -262,7 +282,7 @@ func newIngester(cfg stream.Config, shards int) (stream.Ingester, error) {
 	case shards == 1:
 		return stream.NewAccumulator(cfg)
 	}
-	return stream.NewShardedAccumulator(cfg, shards)
+	return stream.NewEpochAccumulator(cfg, 0)
 }
 
 func (c *cli) run() error {
@@ -285,6 +305,12 @@ func (c *cli) run() error {
 	if c.queryCost < 0 {
 		return fmt.Errorf("need -query-cost ≥ 0, got %v", c.queryCost)
 	}
+	if c.flushEvery < 0 {
+		return fmt.Errorf("need -flush-interval ≥ 0, got %v", c.flushEvery)
+	}
+	if c.flushEvery > 0 && c.shards <= 1 {
+		return fmt.Errorf("-flush-interval needs the epoch-merged accumulator; combine it with -shards > 1")
+	}
 	if c.demo || c.crawlMode {
 		return c.runCrawlMode(method, bc)
 	}
@@ -305,12 +331,15 @@ func (c *cli) run() error {
 		return err
 	}
 	srv := newServer(acc, names)
+	if c.flushEvery > 0 {
+		srv.startDeferredFlush(c.flushEvery)
+	}
 	if c.pprofOn {
 		registerPprof(srv.mux)
 	}
 	slog.Info("topoestd serving",
 		"addr", c.addr, "k", k, "scenario", scenarioName(c.star),
-		"shards", c.shards, "bootstrap_b", bc.B)
+		"ingest", ingestMode(acc), "flush_interval", c.flushEvery, "bootstrap_b", bc.B)
 	return listenAndServe(c.addr, srv)
 }
 
@@ -376,6 +405,9 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 	srv := newServer(acc, names)
 	srv.crawlSource = src
 	srv.crawlDefaults = adaptive
+	if c.flushEvery > 0 {
+		srv.startDeferredFlush(c.flushEvery)
+	}
 	job, err := crawl.Start(src, acc, jobCfg)
 	if err != nil {
 		if errors.Is(err, sample.ErrNoEdges) {
@@ -533,6 +565,20 @@ type server struct {
 	names []string
 	start time.Time
 
+	// epoch is acc's epoch-merged form when it has one (nil behind the
+	// single-lock accumulator). The deferred-flush ingest path of
+	// -flush-interval parks writer-private locals on idleLocals between
+	// requests; the background flusher folds the idle ones into the
+	// published view every flushEvery and a request in flight simply keeps
+	// its local out of the list until it returns it, so no Local is ever
+	// touched by two goroutines.
+	epoch      *stream.EpochAccumulator
+	flushEvery time.Duration
+	flushStop  chan struct{}
+	flushDone  chan struct{}
+	localMu    sync.Mutex
+	idleLocals []*stream.Local
+
 	// crawlSource is the graph backend of crawl/demo mode — generated,
 	// packed out-of-core, or rate-limited (nil when the daemon only serves
 	// externally pushed records); crawlDefaults seeds the configuration of
@@ -557,6 +603,7 @@ func newServer(acc stream.Ingester, names []string) *server {
 		}
 	}
 	s := &server{mux: http.NewServeMux(), acc: acc, names: names, start: time.Now()}
+	s.epoch, _ = acc.(*stream.EpochAccumulator)
 	s.mux.HandleFunc("POST /ingest", instrument("/ingest", s.handleIngest))
 	s.mux.HandleFunc("GET /estimate", instrument("/estimate", s.handleEstimate))
 	s.mux.HandleFunc("GET /categorygraph.tsv", instrument("/categorygraph.tsv", s.handleTSV))
@@ -575,16 +622,18 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // per request.
 //
 // Freshness is keyed on the accumulator's monotone ingest generation
-// (Ingester.Gen), NOT on Draws: the sharded accumulator's draw count used
-// to be a sum of per-shard counters taken one lock at a time, and under
-// concurrent ingest that sum can tear — increments landing on shards
-// already scanned are missed, so the torn total can equal the count the
-// cache was keyed on and a stale snapshot (and category graph) would be
-// served as fresh. Gen is a single atomic counter advanced after each
-// applied record, so reading the same value twice guarantees no record
-// completed in between; reading it BEFORE taking the snapshot makes the
-// key conservative (a record racing the snapshot is re-estimated on the
-// next request rather than ever being missed).
+// (Ingester.Gen), NOT on Draws: Gen is a single atomic counter that
+// advances exactly when applied records become visible — per record for
+// the single-lock accumulator, at epoch flush for the epoch-merged one —
+// so reading the same value twice guarantees nothing new was published in
+// between. (The retired lock-sharded accumulator motivated this key: its
+// draw count summed per-shard counters one lock at a time, and that sum
+// could tear under concurrent ingest, letting a stale snapshot be served
+// as fresh.) Reading Gen BEFORE taking the snapshot makes the key
+// conservative — a record racing the snapshot is re-estimated on the next
+// request rather than ever being missed — and records parked in unflushed
+// locals leave Gen unchanged, so deferred-flush ingest never invalidates
+// the cache before its records are actually visible.
 func (s *server) snapshot() (*stream.Snapshot, *catgraph.Graph, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -602,6 +651,103 @@ func (s *server) snapshot() (*stream.Snapshot, *catgraph.Graph, error) {
 	}
 	s.cached, s.cachedCG, s.cachedGen = snap, cg, gen
 	return snap, cg, nil
+}
+
+// ingestMode names the accumulator's concurrency design for logs and
+// /healthz.
+func ingestMode(acc stream.Ingester) string {
+	if _, ok := acc.(*stream.EpochAccumulator); ok {
+		return "epoch-merged"
+	}
+	return "single-lock"
+}
+
+// startDeferredFlush switches POST /ingest from flush-per-request to the
+// deferred path: each request borrows a pooled writer-private local,
+// validates and accumulates its records there, and returns it unflushed;
+// a background ticker folds the idle locals into the published view every
+// d. Call before the server starts serving — the switch is not
+// synchronized with in-flight requests.
+func (s *server) startDeferredFlush(d time.Duration) {
+	if s.epoch == nil || d <= 0 {
+		return
+	}
+	s.flushEvery = d
+	s.flushStop = make(chan struct{})
+	s.flushDone = make(chan struct{})
+	go func() {
+		defer close(s.flushDone)
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.flushStop:
+				s.flushIdleLocals() // final flush: nothing acknowledged is lost
+				return
+			case <-t.C:
+				s.flushIdleLocals()
+			}
+		}
+	}()
+}
+
+// stopDeferredFlush terminates the background flusher and waits for its
+// final flush of every idle local, so nothing acknowledged is lost (tests
+// use it; the daemon itself runs until the process exits). Subsequent
+// ingests take the flush-per-request path.
+func (s *server) stopDeferredFlush() {
+	if s.flushStop != nil {
+		close(s.flushStop)
+		<-s.flushDone
+		s.flushStop = nil
+	}
+}
+
+// takeLocal borrows an idle writer-private local, growing the pool on
+// demand. The caller must return it with putLocal.
+func (s *server) takeLocal() *stream.Local {
+	s.localMu.Lock()
+	defer s.localMu.Unlock()
+	if n := len(s.idleLocals); n > 0 {
+		l := s.idleLocals[n-1]
+		s.idleLocals = s.idleLocals[:n-1]
+		return l
+	}
+	return s.epoch.NewLocal()
+}
+
+func (s *server) putLocal(l *stream.Local) {
+	s.localMu.Lock()
+	s.idleLocals = append(s.idleLocals, l)
+	s.localMu.Unlock()
+}
+
+// flushIdleLocals publishes every idle local's epoch. The locals are
+// detached from the pool first so ingest requests keep borrowing and
+// returning while the (possibly slow) flushes run without the pool lock.
+// Records dropped by a flush (per-node constants that lost a first-touch
+// race to a contradicting writer) are already counted by the
+// stream_ingest_rejected_total{reason="flush_conflict"} metric; they are
+// logged here because for an HTTP client they are the deferred analogue
+// of a 422 the request path could no longer report.
+func (s *server) flushIdleLocals() (applied, dropped int) {
+	s.localMu.Lock()
+	locals := s.idleLocals
+	s.idleLocals = nil
+	s.localMu.Unlock()
+	for _, l := range locals {
+		a, d := l.Flush()
+		applied += a
+		dropped += d
+	}
+	if dropped > 0 {
+		slog.Warn("deferred flush dropped records with conflicting per-node constants",
+			"dropped", dropped, "applied", applied)
+	}
+	s.localMu.Lock()
+	s.idleLocals = append(s.idleLocals, locals...)
+	s.localMu.Unlock()
+	return applied, dropped
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -664,7 +810,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Deg: wr.Deg, NbrCat: wr.NbrCat, NbrCnt: wr.NbrCnt, Peers: wr.Peers,
 		}
 	}
-	n, err := s.acc.IngestBatch(recs)
+	n, err := s.ingestRecords(recs)
 	if err != nil {
 		// The first n records stay applied and record n is the offender;
 		// the body carries both so a retrying client can resend only the
@@ -674,6 +820,28 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{"ingested": n, "draws": s.acc.Draws()})
+}
+
+// ingestRecords applies one request's batch. Normally it goes straight to
+// the accumulator (the epoch-merged one flushes internally before
+// returning, so the HTTP ack implies /estimate visibility, exactly like
+// the single-lock path). In deferred-flush mode the records accumulate in
+// a borrowed writer-private local instead and the background ticker
+// publishes them later; the valid-prefix contract is unchanged — on error
+// the first n records are durably recorded in the local's epoch — but
+// "draws" in the response and /estimate lag until the next flush.
+func (s *server) ingestRecords(recs []sample.NodeObservation) (int, error) {
+	if s.flushStop == nil {
+		return s.acc.IngestBatch(recs)
+	}
+	l := s.takeLocal()
+	defer s.putLocal(l)
+	for i, rec := range recs {
+		if err := l.Ingest(rec); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
 }
 
 // ingestError writes the structured /ingest error body: the human-readable
@@ -1065,23 +1233,20 @@ func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
 // from, and the process-wide cumulative ingest and crawl counters (the same
 // totals /metrics exports, in JSON for humans and probes).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	shards := 1
-	if sa, ok := s.acc.(*stream.ShardedAccumulator); ok {
-		shards = sa.Shards()
-	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":      "ok",
-		"scenario":    scenarioName(s.acc.Config().Star),
-		"k":           s.acc.Config().K,
-		"shards":      shards,
-		"bootstrap_b": s.acc.Config().Replicates.B,
-		"draws":       s.acc.Draws(),
-		"distinct":    s.acc.Distinct(),
-		"uptime_s":    time.Since(s.start).Seconds(),
-		"go_version":  runtime.Version(),
-		"goroutines":  runtime.NumGoroutine(),
-		"build":       buildDoc(),
+		"status":           "ok",
+		"scenario":         scenarioName(s.acc.Config().Star),
+		"k":                s.acc.Config().K,
+		"accumulator":      ingestMode(s.acc),
+		"flush_interval_s": s.flushEvery.Seconds(),
+		"bootstrap_b":      s.acc.Config().Replicates.B,
+		"draws":            s.acc.Draws(),
+		"distinct":         s.acc.Distinct(),
+		"uptime_s":         time.Since(s.start).Seconds(),
+		"go_version":       runtime.Version(),
+		"goroutines":       runtime.NumGoroutine(),
+		"build":            buildDoc(),
 		"ingest": map[string]int64{
 			"records":  stream.IngestedTotal(),
 			"rejected": stream.RejectedTotal(),

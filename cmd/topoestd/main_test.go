@@ -226,18 +226,19 @@ func TestIngestErrorReportsAppliedCount(t *testing.T) {
 	}
 }
 
-// TestShardedServer runs the HTTP surface over a ShardedAccumulator: the
-// -shards path fans /ingest batches out to shards and the estimate matches
-// the batch pipeline.
-func TestShardedServer(t *testing.T) {
+// TestEpochServer runs the HTTP surface over an EpochAccumulator: the
+// -shards > 1 path accumulates /ingest batches in writer-private epochs,
+// flushes them before responding, and the estimate matches the batch
+// pipeline.
+func TestEpochServer(t *testing.T) {
 	g := mustDemoGraph(t)
 	N := float64(g.N())
 	acc, err := newIngester(stream.Config{K: g.NumCategories(), Star: true, N: N}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := acc.(*stream.ShardedAccumulator); !ok {
-		t.Fatalf("newIngester(4 shards) = %T, want *stream.ShardedAccumulator", acc)
+	if _, ok := acc.(*stream.EpochAccumulator); !ok {
+		t.Fatalf("newIngester(4 shards) = %T, want *stream.EpochAccumulator", acc)
 	}
 	srv := newServer(acc, g.CategoryNames())
 	s, err := sample.NewRW(200).Sample(randx.New(61), g, 3000)
@@ -257,7 +258,7 @@ func TestShardedServer(t *testing.T) {
 				t.Fatal(err)
 			}
 			if w := post(t, srv, "/ingest", string(body)); w.Code != 200 {
-				t.Fatalf("sharded ingest: %d %s", w.Code, w.Body)
+				t.Fatalf("epoch ingest: %d %s", w.Code, w.Body)
 			}
 			recs = recs[:0]
 		}
@@ -277,17 +278,17 @@ func TestShardedServer(t *testing.T) {
 	}
 	for _, se := range doc.Sizes {
 		if d := math.Abs(se.Size - want.Sizes[se.Cat]); d > 1e-9 {
-			t.Fatalf("sharded size[%d] = %g, want %g", se.Cat, se.Size, want.Sizes[se.Cat])
+			t.Fatalf("epoch size[%d] = %g, want %g", se.Cat, se.Size, want.Sizes[se.Cat])
 		}
 	}
 	var health map[string]any
 	mustDecode(t, get(t, srv, "/healthz").Body.Bytes(), &health)
-	if health["shards"] != float64(4) {
-		t.Fatalf("healthz shards = %v, want 4", health["shards"])
+	if health["accumulator"] != "epoch-merged" {
+		t.Fatalf("healthz accumulator = %v, want epoch-merged", health["accumulator"])
 	}
-	// Induced + shards is rejected at construction.
+	// Induced + epoch ingest is rejected at construction.
 	if _, err := newIngester(stream.Config{K: 3, Star: false}, 4); err == nil {
-		t.Fatal("expected error for induced sharded ingester")
+		t.Fatal("expected error for induced epoch ingester")
 	}
 	if acc1, err := newIngester(stream.Config{K: 3, Star: false}, 1); err != nil || acc1 == nil {
 		t.Fatalf("single-shard induced ingester: %v", err)
@@ -330,7 +331,7 @@ func TestHealthz(t *testing.T) {
 	if doc["status"] != "ok" || doc["scenario"] != "induced" || doc["draws"] != float64(1) {
 		t.Fatalf("healthz doc = %v", doc)
 	}
-	for _, key := range []string{"k", "shards", "bootstrap_b", "distinct", "uptime_s", "go_version", "goroutines", "build", "ingest", "crawl"} {
+	for _, key := range []string{"k", "accumulator", "flush_interval_s", "bootstrap_b", "distinct", "uptime_s", "go_version", "goroutines", "build", "ingest", "crawl"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("healthz doc missing %q: %v", key, doc)
 		}
@@ -668,12 +669,12 @@ func TestEstimateCIEndpoint(t *testing.T) {
 	}
 }
 
-// TestShardedServerCI checks that the CI path works identically behind the
-// sharded accumulator.
-func TestShardedServerCI(t *testing.T) {
-	acc, err := stream.NewShardedAccumulator(stream.Config{
+// TestEpochServerCI checks that the CI path works identically behind the
+// epoch-merged accumulator.
+func TestEpochServerCI(t *testing.T) {
+	acc, err := stream.NewEpochAccumulator(stream.Config{
 		K: 2, Star: true, N: 50, Replicates: uncert.Config{B: 16, Seed: 2},
-	}, 4)
+	}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -700,25 +701,88 @@ func TestShardedServerCI(t *testing.T) {
 		t.Fatal(err)
 	}
 	if doc.BootstrapB != 16 || doc.CILevel == nil || *doc.CILevel != 0.9 {
-		t.Fatalf("sharded CI header: %d %v", doc.BootstrapB, doc.CILevel)
+		t.Fatalf("epoch CI header: %d %v", doc.BootstrapB, doc.CILevel)
 	}
 	for _, se := range doc.Sizes {
 		if se.CI == nil {
-			t.Fatalf("sharded size entry %d has no CI", se.Cat)
+			t.Fatalf("epoch size entry %d has no CI", se.Cat)
 		}
+	}
+}
+
+// TestDeferredFlushIngest exercises the -flush-interval path: acknowledged
+// records park in pooled writer-private locals — durable but invisible to
+// Draws and /estimate — until a flush publishes them; the valid-prefix 422
+// contract survives deferral; and stopDeferredFlush performs a final flush
+// so nothing acknowledged is ever lost.
+func TestDeferredFlushIngest(t *testing.T) {
+	acc, err := stream.NewEpochAccumulator(stream.Config{K: 3, Star: true, N: 50}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(acc, nil)
+	srv.startDeferredFlush(time.Hour) // the tick never fires; the test flushes by hand
+	if w := post(t, srv, "/ingest",
+		`[{"node":1,"cat":0,"deg":1,"nbr_cat":[1],"nbr_cnt":[1]},
+		  {"node":2,"cat":1,"deg":1,"nbr_cat":[0],"nbr_cnt":[1]}]`); w.Code != 200 {
+		t.Fatalf("deferred ingest: %d %s", w.Code, w.Body)
+	}
+	if acc.Draws() != 0 {
+		t.Fatalf("draws = %d before any flush, want 0 (records parked in the local)", acc.Draws())
+	}
+	if w := get(t, srv, "/estimate"); w.Code != 503 {
+		t.Fatalf("estimate before flush: %d, want 503 (nothing published yet)", w.Code)
+	}
+	// A mid-batch rejection still applies the valid prefix durably — into
+	// the local epoch rather than the published view.
+	w := post(t, srv, "/ingest", `[{"node":3,"cat":2},{"node":9,"cat":7}]`)
+	if w.Code != 422 {
+		t.Fatalf("bad batch: %d %s", w.Code, w.Body)
+	}
+	var errDoc struct {
+		Ingested int `json:"ingested"`
+		Total    int `json:"total"`
+		Index    int `json:"index"`
+	}
+	mustDecode(t, w.Body.Bytes(), &errDoc)
+	if errDoc.Ingested != 1 || errDoc.Total != 2 || errDoc.Index != 1 {
+		t.Fatalf("deferred error body = %+v, want ingested=1 total=2 index=1", errDoc)
+	}
+	if applied, dropped := srv.flushIdleLocals(); applied != 3 || dropped != 0 {
+		t.Fatalf("flush applied %d, dropped %d, want 3 applied (2 good + the 422 prefix)", applied, dropped)
+	}
+	if acc.Draws() != 3 {
+		t.Fatalf("draws = %d after flush, want 3", acc.Draws())
+	}
+	var est estimateDoc
+	mustDecode(t, get(t, srv, "/estimate").Body.Bytes(), &est)
+	if est.Draws != 3 {
+		t.Fatalf("estimate covers %d draws after flush, want 3", est.Draws)
+	}
+	// Records acknowledged after the last tick are published by the final
+	// flush of stopDeferredFlush.
+	if w := post(t, srv, "/ingest", `{"node":4,"cat":2}`); w.Code != 200 {
+		t.Fatalf("ingest before stop: %d %s", w.Code, w.Body)
+	}
+	srv.stopDeferredFlush()
+	if acc.Draws() != 4 {
+		t.Fatalf("draws = %d after stop, want 4 (final flush publishes the tail)", acc.Draws())
 	}
 }
 
 // TestSnapshotFreshAfterAckedIngest is the stale-snapshot regression test
 // (run under -race): the snapshot cache used to be keyed on acc.Draws(),
-// which for the sharded accumulator summed per-shard counters one lock at a
-// time — under concurrent ingest the torn sum could equal the cached count
-// and a stale snapshot would be served as fresh. The fixed cache keys on the
-// monotone ingest generation, giving the externally visible guarantee this
-// test hammers: every /estimate whose request starts after an /ingest
-// response was received reflects at least those acknowledged draws.
+// which for the retired sharded accumulator summed per-shard counters one
+// lock at a time — under concurrent ingest the torn sum could equal the
+// cached count and a stale snapshot would be served as fresh. The fixed
+// cache keys on the monotone ingest generation, which the epoch-merged
+// accumulator advances at flush (its Ingest flushes before returning, so
+// the ack implies visibility), giving the externally visible guarantee
+// this test hammers: every /estimate whose request starts after an
+// /ingest response was received reflects at least those acknowledged
+// draws.
 func TestSnapshotFreshAfterAckedIngest(t *testing.T) {
-	acc, err := stream.NewShardedAccumulator(stream.Config{K: 2, Star: true}, 8)
+	acc, err := stream.NewEpochAccumulator(stream.Config{K: 2, Star: true}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,8 +47,11 @@
 // workflow (Table 2 pools 28 and 25 independent walks): estimate several
 // independent crawls as one pooled sample with MergeObservations (batch)
 // or StreamWalks (streaming), and scale ingest across cores with
-// NewShardedAccumulator, which hash-partitions records by node id across
-// independently locked shards (star scenario).
+// NewEpochAccumulator: each writer accumulates draws in a private
+// LocalAccumulator — no shared state per record — and a periodic Flush
+// merges the epoch's sufficient statistics into the published view
+// exactly, so concurrent ingest matches the single-lock estimate to
+// ≤ 1e-9 (star scenario).
 //
 // # Uncertainty
 //

@@ -193,6 +193,35 @@ func (s *Sums) Merge(o *Sums) error {
 	return s.PairNum.Merge(o.PairNum)
 }
 
+// MergeInto folds s into dst — Merge with the argument roles swapped, so an
+// epoch-local accumulator can hand its statistics to the published sums in
+// the direction the call site reads naturally (local.MergeInto(shared)). It
+// allocates nothing beyond the pair-table entries dst has not seen yet.
+func (s *Sums) MergeInto(dst *Sums) error { return dst.Merge(s) }
+
+// Reset zeroes the sums in place for reuse, keeping every allocation (the
+// per-category slices and the pair table's map storage). Epoch-local
+// accumulators call this once per flush; without it each epoch would
+// re-allocate 6–8 K-length slices and a map, and the flush path would churn
+// the very garbage the thread-local refactor exists to avoid.
+func (s *Sums) Reset() {
+	s.Draws, s.TotalRew, s.RewSq, s.DegNum = 0, 0, 0, 0
+	zero(s.Rew)
+	zero(s.DrawsA)
+	zero(s.Rew2)
+	zero(s.RewSqA)
+	zero(s.WithinNum)
+	zero(s.DegNumA)
+	zero(s.NbrNum)
+	s.PairNum.Reset()
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
 func scenario(star bool) string {
 	if star {
 		return "star"

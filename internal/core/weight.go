@@ -37,6 +37,10 @@ func (p *PairWeights) Add(a, b int32, w float64) { p.m[pairKey(a, b)] += w }
 // Len returns the number of stored pairs.
 func (p *PairWeights) Len() int { return len(p.m) }
 
+// Reset removes every stored pair, keeping the map's storage for reuse
+// (the pair-table half of Sums.Reset).
+func (p *PairWeights) Reset() { clear(p.m) }
+
 // Merge adds every pair of o into p entrywise: p(a,b) += o(a,b). It is the
 // pair-table half of Sums.Merge — when both tables hold Hansen–Hurwitz pair
 // numerators of independent samples, the merged table holds the numerators

@@ -1,9 +1,9 @@
 // Package crawl closes the paper's "how much crawling is enough" loop: it
 // runs M concurrent walkers against a graph backend, streams their
-// observations into a single-lock or sharded stream accumulator, and stops
-// adaptively when the confidence intervals of the targeted estimands are
-// tight enough — instead of the fixed budgets of §6's offline sweeps, the
-// crawl's own uncertainty (internal/uncert) is the stopping signal.
+// observations into a single-lock or epoch-merged stream accumulator, and
+// stops adaptively when the confidence intervals of the targeted estimands
+// are tight enough — instead of the fixed budgets of §6's offline sweeps,
+// the crawl's own uncertainty (internal/uncert) is the stopping signal.
 //
 // The controller advances in checkpointed rounds: every CheckEvery draws
 // (split deterministically across the walkers) it takes a snapshot,
@@ -13,7 +13,14 @@
 // variance of the per-walker sufficient statistics — and stops as soon as
 // every target is met (ReasonTarget) or the MaxDraws budget is exhausted
 // (ReasonBudget). Between checkpoints the walkers run with no coordination
-// beyond the accumulator's own locks.
+// at all when the accumulator is epoch-merged — each walker ingests into a
+// writer-private stream.Local and flushes it at the round barrier, so the
+// checkpoint snapshot always sees every draw of every finished round — and
+// with no coordination beyond the accumulator's own lock otherwise. Both
+// stopping engines thus share one structure: per-walker private state,
+// folded at checkpoint boundaries (the bootstrap engine merges local
+// epochs into the shared accumulator; the replication engine pools
+// per-walker sufficient statistics into the between-walk variance).
 //
 // Determinism: walker i steps with randx.Derive(Seed, i), rounds allocate
 // draws to walkers by a fixed rule, and stopping decisions are evaluated at
@@ -98,11 +105,16 @@ type Config struct {
 
 	// Star selects the measurement scenario. Under induced sampling the
 	// walkers share one observer (and the accumulator must be single-lock);
-	// under star sampling each walker observes independently and records
-	// may fan out across shards.
+	// under star sampling each walker observes independently and ingests
+	// through its own writer-local epoch.
 	Star bool
-	// Shards > 1 ingests into a sharded accumulator (star only). Ignored
-	// when an existing accumulator is passed to Start.
+	// Shards > 1 builds an epoch-merged accumulator (star only): each
+	// walker then owns a stream.Local and the per-draw path touches no
+	// shared state. The exact value beyond 1 is irrelevant — the epoch
+	// design has no shard count — the field name survives from the retired
+	// hash-partitioned design. Ignored when an existing accumulator is
+	// passed to Start (pass an *stream.EpochAccumulator to get local
+	// ingest).
 	Shards int
 	// N is the population size |V| (0 = unknown, relative sizes).
 	N float64
@@ -251,7 +263,8 @@ type Crawl struct {
 
 // Start validates the configuration and launches the crawl. acc is the
 // accumulator the walkers stream into; nil builds one from the
-// configuration (single-lock, or sharded when cfg.Shards > 1). Passing an
+// configuration (single-lock, or epoch-merged when cfg.Shards > 1, with
+// one stream.Local per walker flushed at round barriers). Passing an
 // existing accumulator lets a server keep serving live estimates from the
 // same statistics the crawl feeds — its scenario and category count must
 // match, and with EngineBootstrap and CI targets it must have bootstrap
@@ -271,7 +284,7 @@ func Start(src graph.Source, acc stream.Ingester, cfg Config) (*Crawl, error) {
 		}
 		var err error
 		if cfg.Shards > 1 {
-			acc, err = stream.NewShardedAccumulator(scfg, cfg.Shards)
+			acc, err = stream.NewEpochAccumulator(scfg, 0)
 		} else {
 			acc, err = stream.NewAccumulator(scfg)
 		}
@@ -350,6 +363,15 @@ func Start(src graph.Source, acc stream.Ingester, cfg Config) (*Crawl, error) {
 		}
 		c.walkers[i] = w
 	}
+	// Epoch-merged accumulator: each walker ingests through its own
+	// writer-local epoch — no shared state on the per-draw path — flushed
+	// at round barriers (walker.runRound), so every checkpoint snapshot
+	// sees all draws of finished rounds.
+	if ea, ok := acc.(*stream.EpochAccumulator); ok {
+		for _, w := range c.walkers {
+			w.local = ea.NewLocal()
+		}
+	}
 	go c.run()
 	return c, nil
 }
@@ -401,7 +423,7 @@ func normalize(cfg *Config, k int) error {
 		cfg.Shards = 1
 	}
 	if cfg.Shards > 1 && !cfg.Star {
-		return fmt.Errorf("crawl: sharded ingestion requires the star scenario")
+		return fmt.Errorf("crawl: epoch-merged (multi-writer) ingestion requires the star scenario")
 	}
 	if cfg.Engine == "" {
 		cfg.Engine = EngineBootstrap
@@ -501,7 +523,21 @@ func (c *Crawl) run() {
 	close(c.done)
 }
 
+// closeLocals flushes and unregisters every walker's epoch local. Rounds
+// already flush at their barrier, so at normal completion this publishes
+// nothing — it only detaches the locals from the pending-records gauge; on
+// an error path it also publishes whatever the aborted round ingested.
+func (c *Crawl) closeLocals() {
+	for _, w := range c.walkers {
+		if w.local != nil {
+			w.local.Close()
+			w.local = nil
+		}
+	}
+}
+
 func (c *Crawl) crawl() (*Result, error) {
+	defer c.closeLocals()
 	// Burn-in: every walker advances BurnIn transitions concurrently
 	// before the first recorded draw (burn-in steps do not count against
 	// the draw budget).

@@ -59,6 +59,13 @@ type walker struct {
 	// crawl-wide shared observer is used instead.
 	obs *sample.StreamObserver
 
+	// local is the walker's writer-private epoch when the shared
+	// accumulator is epoch-merged: draws accumulate here with no shared
+	// state touched, and runRound flushes at the round barrier so the
+	// checkpoint snapshot sees the whole round. Nil when the shared
+	// accumulator is single-lock.
+	local *stream.Local
+
 	// priv is the walker's private accumulator under EngineReplication
 	// (per-walk sufficient statistics for the between-walk variance), with
 	// privObs its private observer; both nil under EngineBootstrap.
@@ -99,9 +106,14 @@ func (w *walker) runRound(c *Crawl, n int) error {
 		} else {
 			// Star scenario: records are per-node self-contained, so the
 			// walker's own record serves the shared and the private
-			// accumulator alike.
+			// accumulator alike. With an epoch-merged shared accumulator
+			// the draw goes to the walker's Local — private memory only.
 			rec := w.obs.Observe(v, weight)
-			if err := c.acc.Ingest(rec); err != nil {
+			if w.local != nil {
+				if err := w.local.Ingest(rec); err != nil {
+					return fmt.Errorf("crawl: walker %d: %w", w.id, err)
+				}
+			} else if err := c.acc.Ingest(rec); err != nil {
 				return fmt.Errorf("crawl: walker %d: %w", w.id, err)
 			}
 			if w.priv != nil {
@@ -115,6 +127,15 @@ func (w *walker) runRound(c *Crawl, n int) error {
 		mDraws.Inc()
 		for t := 0; t < c.cfg.Thin; t++ {
 			w.cur = w.step.Step(w.r, w.cur)
+		}
+	}
+	// Round barrier: publish the walker's epoch so the checkpoint snapshot
+	// sees every draw of this round. All walkers observe the same graph,
+	// so per-node constants can never genuinely conflict — a dropped
+	// record indicates corrupted observations and aborts the crawl.
+	if w.local != nil {
+		if _, dropped := w.local.Flush(); dropped > 0 {
+			return fmt.Errorf("crawl: walker %d: epoch flush dropped %d records (conflicting per-node constants across walkers)", w.id, dropped)
 		}
 	}
 	return nil

@@ -86,11 +86,15 @@ func TestStreamingBootstrapMatchesOffline(t *testing.T) {
 	}
 }
 
-// TestShardedBootstrapMatchesSingle is the acceptance test of the sharded
-// replicate path: concurrent ingestion into a 4-shard accumulator must
-// produce replicate snapshots identical (≤ 1e-9) to the single-lock
-// accumulator fed the same records. Run under -race.
-func TestShardedBootstrapMatchesSingle(t *testing.T) {
+// TestEpochBootstrapMatchesSingle is the acceptance test of the epoch
+// replicate path: concurrent ingestion through writer-local epochs (mixed
+// with the compatibility Ingest path) must produce replicate snapshots
+// identical (≤ 1e-9) to the single-lock accumulator fed the same records.
+// The replicate weights depend only on (Seed, node, replicate), and the
+// epoch merge batches each node's replicate update from its reserved
+// multiplicity interval, so the telescoped sums match the per-record path
+// exactly. Run under -race.
+func TestEpochBootstrapMatchesSingle(t *testing.T) {
 	g := testGraph(t)
 	N := float64(g.N())
 	s, err := sample.UIS{}.Sample(randx.New(91), g, 6000)
@@ -116,7 +120,7 @@ func TestShardedBootstrapMatchesSingle(t *testing.T) {
 	if _, err := single.IngestBatch(recs); err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := NewShardedAccumulator(cfg, 4)
+	epoch, err := NewEpochAccumulator(cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,8 +130,27 @@ func TestShardedBootstrapMatchesSingle(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if w%2 == 0 {
+				// Writer-local epochs with small flushes: replicate grids
+				// merge while other locals ingest.
+				l := epoch.NewLocal()
+				defer l.Close()
+				for i := w; i < len(recs); i += workers {
+					if err := l.Ingest(recs[i]); err != nil {
+						t.Error(err)
+						return
+					}
+					if l.Pending() >= 50 {
+						if _, dropped := l.Flush(); dropped > 0 {
+							t.Errorf("flush dropped %d records of a conflict-free stream", dropped)
+							return
+						}
+					}
+				}
+				return
+			}
 			for i := w; i < len(recs); i += workers {
-				if err := sharded.Ingest(recs[i]); err != nil {
+				if err := epoch.Ingest(recs[i]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -147,7 +170,7 @@ func TestShardedBootstrapMatchesSingle(t *testing.T) {
 				return
 			default:
 			}
-			if snap, err := sharded.Snapshot(); err == nil && snap.Boot == nil {
+			if snap, err := epoch.Snapshot(); err == nil && snap.Boot == nil {
 				t.Error("mid-stream snapshot lost its bootstrap")
 				return
 			}
@@ -163,23 +186,23 @@ func TestShardedBootstrapMatchesSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := sharded.Snapshot()
+	got, err := epoch.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d := bootMaxDiff(got.Boot.Sizes, want.Boot.Sizes); d > 1e-9 {
-		t.Fatalf("sharded replicate sizes differ by %g", d)
+		t.Fatalf("epoch replicate sizes differ by %g", d)
 	}
 	if d := bootMaxDiff(got.Boot.Within, want.Boot.Within); d > 1e-9 {
-		t.Fatalf("sharded replicate within differ by %g", d)
+		t.Fatalf("epoch replicate within differ by %g", d)
 	}
 	if d := maxRelDiff(got.Boot.Pop, want.Boot.Pop); d > 1e-9 {
-		t.Fatalf("sharded replicate pop estimates differ by %g", d)
+		t.Fatalf("epoch replicate pop estimates differ by %g", d)
 	}
 	for c := 0; c < g.NumCategories(); c++ {
 		a, b := got.Boot.SizeCI(c, 0.9), want.Boot.SizeCI(c, 0.9)
 		if math.Abs(a.Lo-b.Lo) > 1e-6 || math.Abs(a.Hi-b.Hi) > 1e-6 {
-			t.Fatalf("category %d: sharded CI %+v vs single %+v", c, a, b)
+			t.Fatalf("category %d: epoch CI %+v vs single %+v", c, a, b)
 		}
 	}
 }

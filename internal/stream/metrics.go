@@ -7,25 +7,31 @@ import (
 )
 
 // Process-wide ingest instrumentation (obs.Default). The counters aggregate
-// over every accumulator in the process — the serving daemon owns one (or
-// one per shard, which all count through the same single-lock ingest path),
-// so the totals are exactly what GET /metrics and /healthz want to report.
+// over every accumulator in the process — the serving daemon owns one, and
+// every writer-local epoch publishes through the same flush path — so the
+// totals are exactly what GET /metrics and /healthz want to report.
 //
-// Hot-path budget: a successfully applied record costs ONE striped atomic
-// add (mIngested); batches pay it once per batch (Add(n)). The latency
-// histograms are only touched on paths that are already micro- to
-// millisecond-scale — snapshots, and per-record ingest when the O(B)
-// bootstrap replicate update dominates the record anyway.
+// Hot-path budget: the epoch-local ingest path costs ZERO shared atomics per
+// record; applied records are counted once per flush (mIngested.Add(n)), and
+// the single-lock Accumulator still pays one striped atomic add per record.
+// The latency histograms are only touched on paths that are already micro-
+// to millisecond-scale — snapshots, epoch flushes, and per-record ingest
+// when the bootstrap replicate update dominates the record anyway.
 var (
 	mIngested = obs.NewCounter("stream_ingest_records_total",
 		"Node observations successfully folded into any accumulator.")
 	mRejected = obs.NewCounterVec("stream_ingest_rejected_total",
 		"Node observations rejected at ingest validation, by reason.", "reason")
 	mSnapshotSec = obs.NewHistogram("stream_snapshot_seconds",
-		"Latency of accumulator snapshots (single-lock and sharded, including bootstrap CI extraction).",
+		"Latency of accumulator snapshots (single-lock and epoch-merged, including bootstrap CI extraction).",
 		obs.LatencyBuckets())
 	mBootIngestSec = obs.NewHistogram("stream_bootstrap_ingest_seconds",
 		"Per-record ingest latency when bootstrap replicates are enabled (includes the O(B) replicate update).",
+		obs.LatencyBuckets())
+	mFlushes = obs.NewCounter("stream_epoch_flushes_total",
+		"Epoch flushes published by writer-local accumulators (including the internal per-call epochs behind EpochAccumulator.Ingest/IngestBatch).")
+	mFlushSec = obs.NewHistogram("stream_epoch_flush_seconds",
+		"Latency of publishing one epoch (reserve + batched statistics + merge).",
 		obs.LatencyBuckets())
 )
 

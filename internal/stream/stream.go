@@ -17,12 +17,16 @@
 // The Accumulator is safe for concurrent use: ingestion and snapshotting
 // may race freely across goroutines, and each Snapshot is an immutable
 // value once returned. Its throughput, however, is bounded by one mutex;
-// for multi-core ingest the ShardedAccumulator hash-partitions records by
-// node id across P independent single-lock accumulators and merges their
-// sufficient statistics (core.Sums.Merge) at snapshot time — no global lock
-// on the hot path, and O(P·K² + pairs) snapshots. Sharding is exact for the
-// star scenario, where records are per-node self-contained; see
-// NewShardedAccumulator for why induced streams cannot be sharded by node.
+// for multi-core ingest the EpochAccumulator gives each writer a private
+// Local that touches no shared state per record and publishes whole epochs
+// of records through a short two-phase merge (core.Sums.Merge /
+// uncert.Replicates.Merge) — no locks on the hot path at all, amortized
+// O(1) shared work per record, and snapshots identical to the single-lock
+// path to ≤ 1e-9. The epoch design is exact for the star scenario, where
+// records are per-node self-contained; see NewEpochAccumulator for why
+// induced streams stay on the single-lock Accumulator. The architecture
+// comment in epoch.go derives the merge's exactness and the
+// flush-visibility contract.
 package stream
 
 import (
@@ -88,7 +92,7 @@ type nodeState struct {
 }
 
 // Ingester is the surface shared by the single-lock Accumulator and the
-// ShardedAccumulator: everything a crawler (or the topoestd daemon) needs to
+// EpochAccumulator: everything a crawler (or the topoestd daemon) needs to
 // feed observations in and read live estimates out. Both implementations are
 // safe for concurrent use.
 type Ingester interface {
@@ -99,20 +103,22 @@ type Ingester interface {
 	// Distinct returns the number of distinct nodes observed so far.
 	Distinct() int
 	// Gen returns the monotone ingest generation: a single atomic counter
-	// that advances once per successfully applied record and can never
-	// tear (unlike a sum of per-shard counters). It is the cache key of
-	// choice for snapshot consumers: if a record's Ingest call returned
-	// before Gen was read, and a later Gen read returns the same value,
-	// then a Snapshot taken between the two reads includes that record.
+	// that advances once per successfully applied record (at record apply
+	// for the Accumulator, at epoch flush for the EpochAccumulator, whose
+	// own Ingest/IngestBatch flush before returning) and can never tear.
+	// It is the cache key of choice for snapshot consumers: if a record's
+	// Ingest call returned before Gen was read, and a later Gen read
+	// returns the same value, then a Snapshot taken between the two reads
+	// includes that record.
 	Gen() uint64
 	// Ingest folds one node observation into the running sums.
 	Ingest(rec sample.NodeObservation) error
 	// IngestBatch folds a batch in order, stopping at the first invalid
-	// record; it returns how many leading records were applied. The count
-	// is exact for this batch under any concurrency, but only the
-	// single-lock Accumulator applies a batch as one isolated critical
-	// section — see ShardedAccumulator.IngestBatch for what interleaving
-	// does (and does not) change.
+	// record; it returns how many leading records were applied — the retry
+	// index for the caller. Only the single-lock Accumulator applies a
+	// batch as one isolated critical section; see
+	// EpochAccumulator.IngestBatch for what concurrent interleaving does
+	// (and does not) change.
 	IngestBatch(recs []sample.NodeObservation) (int, error)
 	// Snapshot computes the current estimate in O(K² + pairs).
 	Snapshot() (*Snapshot, error)

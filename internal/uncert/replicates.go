@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/sample"
 )
 
@@ -15,28 +16,61 @@ import (
 // per-(node, replicate) Poisson(1) weight — the streaming analogue of
 // resampling the distinct nodes of the sample with replacement. Because the
 // weight is a pure function of (Seed, node, replicate), the replicate sums
-// are order-independent exactly where the primary sums are, hash-partition
-// by node id, and Merge exactly like the primary sums.
+// are order-independent exactly where the primary sums are, partition by
+// node id, and Merge exactly like the primary sums.
+//
+// Layout and sparsity: the replicates are stored structure-of-arrays — one
+// B-length vector per scalar statistic and one K×B grid per per-category
+// statistic — instead of B independent core.Sums objects. A replicate update
+// for one field then walks a contiguous vector rather than hopping across B
+// heap objects, which is what used to make B=200 ingest ~50× the base path.
+// On top of the layout, updates are sparse in the replicates themselves:
+// Poisson(1) weights are 0 with probability e⁻¹ ≈ 36.8% and 1 with the same
+// probability, so each node caches its nonzero replicate indices split into
+// a weight==1 list (walked with constants hoisted out of the loop — no
+// per-iteration multiply) and a weight≥2 remainder; zero-weight replicates
+// are never touched.
 //
 // Replicates is not safe for concurrent use; internal/stream drives it under
-// the accumulator lock.
+// the accumulator lock (or inside a writer-private epoch local).
 type Replicates struct {
 	cfg  Config
 	k    int
 	star bool
-	sums []*core.Sums
 
+	// Per-replicate scalar statistics, index [b].
+	draws, totalRew, rewSq []float64
+	degNum                 []float64 // star only
 	// Per-replicate collision statistics (Ψ₁, Ψ₋₁, colliding pairs) for the
 	// population-size estimator.
 	psi1, psiInv, coll []float64
 
-	// One-record weight cache: ingest touches the same node several times
-	// per record (draw + star terms, or both endpoints of an edge), and the
-	// B hash evaluations dominate the replicate update cost.
+	// Per-category grids, category c's replicate row at [c*B : (c+1)*B].
+	rew, drawsA, rew2, rewSqA, withinNum []float64
+	degNumA, nbrNum                      []float64 // star only
+
+	// pairNum maps a canonical category pair to its B replicate numerators
+	// (the SoA counterpart of Sums.PairNum). Vectors are kept across Reset —
+	// a zero vector and an absent pair estimate identically.
+	pairNum map[[2]int32][]float64
+
+	// dirty marks categories whose grid rows may hold nonzero values, so
+	// Merge and Reset walk only the touched rows — an epoch local that saw a
+	// handful of categories merges O(touched·B), not O(K·B).
+	dirty     []bool
+	dirtyCats []int32
+
+	// One-node sparse weight cache: ingest touches the same node several
+	// times per record (draw + star terms, or both endpoints of an edge),
+	// and the B hash evaluations dominate the replicate update cost. ones
+	// holds the replicate indices with weight exactly 1, big/bigVal the
+	// indices and values of weights ≥ 2.
 	wNode  int32
 	wValid bool
-	wBuf   []float64
-	wBuf2  []float64 // second endpoint of an induced edge
+	ones   []int32
+	big    []int32
+	bigVal []float64
+	wBuf2  []float64 // dense weights of an induced edge's second endpoint
 }
 
 // NewReplicates returns empty replicate sums over k categories for the
@@ -48,19 +82,33 @@ func NewReplicates(k int, star bool, cfg Config) (*Replicates, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("uncert: need K ≥ 1 categories, got %d", k)
 	}
+	B := cfg.B
 	rs := &Replicates{
-		cfg:    cfg,
-		k:      k,
-		star:   star,
-		sums:   make([]*core.Sums, cfg.B),
-		psi1:   make([]float64, cfg.B),
-		psiInv: make([]float64, cfg.B),
-		coll:   make([]float64, cfg.B),
-		wBuf:   make([]float64, cfg.B),
-		wBuf2:  make([]float64, cfg.B),
+		cfg:       cfg,
+		k:         k,
+		star:      star,
+		draws:     make([]float64, B),
+		totalRew:  make([]float64, B),
+		rewSq:     make([]float64, B),
+		psi1:      make([]float64, B),
+		psiInv:    make([]float64, B),
+		coll:      make([]float64, B),
+		rew:       make([]float64, k*B),
+		drawsA:    make([]float64, k*B),
+		rew2:      make([]float64, k*B),
+		rewSqA:    make([]float64, k*B),
+		withinNum: make([]float64, k*B),
+		pairNum:   make(map[[2]int32][]float64),
+		dirty:     make([]bool, k),
+		ones:      make([]int32, 0, B),
+		big:       make([]int32, 0, B),
+		bigVal:    make([]float64, 0, B),
+		wBuf2:     make([]float64, B),
 	}
-	for b := range rs.sums {
-		rs.sums[b] = core.NewSums(k, star)
+	if star {
+		rs.degNum = make([]float64, B)
+		rs.degNumA = make([]float64, k*B)
+		rs.nbrNum = make([]float64, k*B)
 	}
 	return rs, nil
 }
@@ -71,17 +119,57 @@ func (rs *Replicates) Config() Config { return rs.cfg }
 // B returns the number of replicates.
 func (rs *Replicates) B() int { return rs.cfg.B }
 
-// weights returns the B Poisson weights of node, cached for the duration of
-// one record (consecutive calls with the same node are free).
-func (rs *Replicates) weights(node int32) []float64 {
-	if rs.wValid && rs.wNode == node {
-		return rs.wBuf
+// mark records category c as touched (for sparse Merge/Reset).
+func (rs *Replicates) mark(c int32) {
+	if !rs.dirty[c] {
+		rs.dirty[c] = true
+		rs.dirtyCats = append(rs.dirtyCats, c)
 	}
-	for b := range rs.wBuf {
-		rs.wBuf[b] = PoissonWeight(rs.cfg.Seed, node, b)
+}
+
+// markAll dirties every category (bulk loads).
+func (rs *Replicates) markAll() {
+	for c := range rs.dirty {
+		if !rs.dirty[c] {
+			rs.dirty[c] = true
+			rs.dirtyCats = append(rs.dirtyCats, int32(c))
+		}
+	}
+}
+
+// sparseWeights fills the one-node cache with node's nonzero replicate
+// weights, split into the weight==1 fast path and the ≥2 remainder.
+// Consecutive calls with the same node are free.
+func (rs *Replicates) sparseWeights(node int32) {
+	if rs.wValid && rs.wNode == node {
+		return
+	}
+	rs.ones = rs.ones[:0]
+	rs.big = rs.big[:0]
+	rs.bigVal = rs.bigVal[:0]
+	for b := 0; b < rs.cfg.B; b++ {
+		switch c := PoissonWeight(rs.cfg.Seed, node, b); {
+		case c == 0:
+		case c == 1:
+			rs.ones = append(rs.ones, int32(b))
+		default:
+			rs.big = append(rs.big, int32(b))
+			rs.bigVal = append(rs.bigVal, c)
+		}
 	}
 	rs.wNode, rs.wValid = node, true
-	return rs.wBuf
+}
+
+// pairVec returns the replicate vector of the pair {a, b}, allocating it
+// zero-filled on first use.
+func (rs *Replicates) pairVec(a, b int32) []float64 {
+	key := pairCanon(a, b)
+	v, ok := rs.pairNum[key]
+	if !ok {
+		v = make([]float64, rs.cfg.B)
+		rs.pairNum[key] = v
+	}
+	return v
 }
 
 // AddDraw mirrors Sums.AddNode plus the collision-statistic updates for one
@@ -89,48 +177,162 @@ func (rs *Replicates) weights(node int32) []float64 {
 // c = PoissonWeight(node, b). prev is the node's primary multiplicity before
 // the draw, so the replicate multiplicity advances prev·c → (prev+1)·c.
 func (rs *Replicates) AddDraw(node, cat int32, weight, prev float64) {
-	for b, c := range rs.weights(node) {
-		if c == 0 {
-			continue
-		}
-		rs.sums[b].AddNode(cat, weight, c, prev*c)
-		rs.psi1[b] += c * weight
-		rs.psiInv[b] += c / weight
-		// The replicate multiplicity jumps by c, adding
-		// [(prev+1)c·((prev+1)c−1) − prev·c·(prev·c−1)]/2 colliding pairs.
-		rs.coll[b] += c * (c*(2*prev+1) - 1) / 2
+	rs.AddDraws(node, cat, weight, 1, prev)
+}
+
+// AddDraws folds count fresh draws of node in one pass: replicate b's
+// multiplicity advances prev·c → (prev+count)·c for c = PoissonWeight(node,
+// b). It is the batched form epoch flushes use — one replicate pass per
+// distinct node per epoch instead of one per draw — and, because the
+// nonlinear statistics (collisions, Rew2) advance by their exact telescoped
+// increments, merging the result into replicates holding the node at
+// multiplicity prev reproduces the pooled stream's replicates exactly.
+//
+// Exactness of the two nonlinear terms, per replicate with weight c: the
+// colliding-pair count of multiplicity m is f(m) = m(m−1)/2, so the jump
+// prev·c → (prev+count)·c adds f((prev+count)c) − f(prev·c) =
+// count·c·((2·prev+count)·c − 1)/2 (the cancellation-free factored form);
+// Rew2's per-node square (m/w)² likewise adds the factored difference
+// (count·c/w)·((2·prev+count)·c/w).
+func (rs *Replicates) AddDraws(node, cat int32, weight, count, prev float64) {
+	rs.sparseWeights(node)
+	B := rs.cfg.B
+	// Weight==1 constants, hoisted: every c==1 replicate adds the same
+	// values.
+	dm := count
+	dmw := count / weight
+	dmw2 := count / (weight * weight)
+	dpsi1 := count * weight
+	dcoll1 := count * (2*prev + count - 1) / 2
+	drew21 := (count / weight) * ((2*prev + count) / weight)
+	for _, b := range rs.ones {
+		rs.draws[b] += dm
+		rs.totalRew[b] += dmw
+		rs.rewSq[b] += dmw2
+		rs.psi1[b] += dpsi1
+		rs.psiInv[b] += dmw
+		rs.coll[b] += dcoll1
+	}
+	for j, b := range rs.big {
+		c := rs.bigVal[j]
+		m := count * c
+		rs.draws[b] += m
+		rs.totalRew[b] += m / weight
+		rs.rewSq[b] += m / (weight * weight)
+		rs.psi1[b] += m * weight
+		rs.psiInv[b] += m / weight
+		rs.coll[b] += m * ((2*prev+count)*c - 1) / 2
+	}
+	if cat == graph.None {
+		return
+	}
+	rs.mark(cat)
+	off := int(cat) * B
+	drawsA := rs.drawsA[off : off+B]
+	rew := rs.rew[off : off+B]
+	rewSqA := rs.rewSqA[off : off+B]
+	rew2 := rs.rew2[off : off+B]
+	for _, b := range rs.ones {
+		drawsA[b] += dm
+		rew[b] += dmw
+		rewSqA[b] += dmw2
+		rew2[b] += drew21
+	}
+	for j, b := range rs.big {
+		c := rs.bigVal[j]
+		m := count * c
+		drawsA[b] += m
+		rew[b] += m / weight
+		rewSqA[b] += m / (weight * weight)
+		rew2[b] += (m / weight) * ((2*prev + count) * c / weight)
 	}
 }
 
 // AddStar mirrors Sums.AddStar: count primary draws' worth of star terms for
 // node scale to count·c in replicate b. Like its core counterpart it is
 // linear in count and deg, so the accumulator's late-star backfill and
-// degree-retrofit calls replay here unchanged.
+// degree-retrofit calls replay here unchanged. Loops run neighbor-outer,
+// replicate-inner, so each neighbor's update walks one contiguous grid row.
 func (rs *Replicates) AddStar(node, cat int32, weight, count, deg float64, nbrCat []int32, nbrCnt []float64) {
-	for b, c := range rs.weights(node) {
-		if c == 0 {
+	rs.sparseWeights(node)
+	B := rs.cfg.B
+	t := count * deg / weight
+	for _, b := range rs.ones {
+		rs.degNum[b] += t
+	}
+	for j, b := range rs.big {
+		rs.degNum[b] += t * rs.bigVal[j]
+	}
+	var degNumA []float64
+	if cat != graph.None {
+		rs.mark(cat)
+		off := int(cat) * B
+		degNumA = rs.degNumA[off : off+B]
+		for _, b := range rs.ones {
+			degNumA[b] += t
+		}
+		for j, b := range rs.big {
+			degNumA[b] += t * rs.bigVal[j]
+		}
+	}
+	for j, nb := range nbrCat {
+		v := count / weight * nbrCnt[j]
+		rs.mark(nb)
+		noff := int(nb) * B
+		nbrNum := rs.nbrNum[noff : noff+B]
+		for _, b := range rs.ones {
+			nbrNum[b] += v
+		}
+		for jj, b := range rs.big {
+			nbrNum[b] += v * rs.bigVal[jj]
+		}
+		if cat == graph.None {
 			continue
 		}
-		rs.sums[b].AddStar(cat, weight, count*c, deg, nbrCat, nbrCnt)
+		var tgt []float64
+		if nb == cat {
+			off := int(cat) * B
+			tgt = rs.withinNum[off : off+B]
+		} else {
+			tgt = rs.pairVec(cat, nb)
+		}
+		for _, b := range rs.ones {
+			tgt[b] += v
+		}
+		for jj, b := range rs.big {
+			tgt[b] += v * rs.bigVal[jj]
+		}
 	}
 }
 
 // AddEdgeMass mirrors Sums.AddEdgeMass for an induced-scenario edge-mass
 // increment between nodes a and b: every primary increment is a product of
 // the two endpoint multiplicities' changes, so replicate r scales it by
-// c_a(r)·c_b(r).
+// c_a(r)·c_b(r) — nonzero only where BOTH endpoints resampled, so the sparse
+// iteration runs over endpoint a's nonzero replicates.
 func (rs *Replicates) AddEdgeMass(nodeA, nodeB, catA, catB int32, mass float64) {
-	// The one-entry node cache cannot hold both endpoints; fill the second
-	// buffer directly (an edge's endpoints are distinct by construction).
-	wa := rs.weights(nodeA)
-	wb := rs.wBuf2
-	for b := range wb {
-		wb[b] = PoissonWeight(rs.cfg.Seed, nodeB, b)
+	if catA == graph.None || catB == graph.None {
+		return
 	}
-	for b := range wa {
-		if m := mass * wa[b] * wb[b]; m != 0 {
-			rs.sums[b].AddEdgeMass(catA, catB, m)
-		}
+	rs.sparseWeights(nodeA)
+	// The one-node cache cannot hold both endpoints; fill the dense second
+	// buffer directly (an edge's endpoints are distinct by construction).
+	for b := range rs.wBuf2 {
+		rs.wBuf2[b] = PoissonWeight(rs.cfg.Seed, nodeB, b)
+	}
+	var tgt []float64
+	if catA == catB {
+		rs.mark(catA)
+		off := int(catA) * rs.cfg.B
+		tgt = rs.withinNum[off : off+rs.cfg.B]
+	} else {
+		tgt = rs.pairVec(catA, catB)
+	}
+	for _, b := range rs.ones {
+		tgt[b] += mass * rs.wBuf2[b]
+	}
+	for j, b := range rs.big {
+		tgt[b] += mass * rs.bigVal[j] * rs.wBuf2[b]
 	}
 }
 
@@ -138,8 +340,10 @@ func (rs *Replicates) AddEdgeMass(nodeA, nodeB, catA, catB int32, mass float64) 
 // replicate. Both sides must agree on B, seed, scenario and partition —
 // then, because the Poisson weights are pure functions of (Seed, node,
 // replicate), merged replicate sums equal the replicate sums of the
-// concatenated stream wherever the primary sums do (hash-partitioned
-// shards, independent star crawls).
+// concatenated stream wherever the primary sums do (independent star
+// crawls, epoch locals whose draws were batched against the shared
+// multiplicity). Only o's dirty category rows are walked, so merging a
+// small epoch costs O(touched·B + pairs), not O(K·B).
 func (rs *Replicates) Merge(o *Replicates) error {
 	if o == nil {
 		return nil
@@ -147,15 +351,147 @@ func (rs *Replicates) Merge(o *Replicates) error {
 	if rs.cfg != o.cfg {
 		return fmt.Errorf("uncert: cannot merge replicates with config %+v into %+v", o.cfg, rs.cfg)
 	}
-	for b := range rs.sums {
-		if err := rs.sums[b].Merge(o.sums[b]); err != nil {
-			return err
+	if rs.k != o.k || rs.star != o.star {
+		return fmt.Errorf("uncert: cannot merge replicates over %d categories (star=%v) into %d (star=%v)", o.k, o.star, rs.k, rs.star)
+	}
+	vecAdd(rs.draws, o.draws)
+	vecAdd(rs.totalRew, o.totalRew)
+	vecAdd(rs.rewSq, o.rewSq)
+	vecAdd(rs.psi1, o.psi1)
+	vecAdd(rs.psiInv, o.psiInv)
+	vecAdd(rs.coll, o.coll)
+	if rs.star {
+		vecAdd(rs.degNum, o.degNum)
+	}
+	B := rs.cfg.B
+	for _, c := range o.dirtyCats {
+		rs.mark(c)
+		lo, hi := int(c)*B, int(c+1)*B
+		vecAdd(rs.rew[lo:hi], o.rew[lo:hi])
+		vecAdd(rs.drawsA[lo:hi], o.drawsA[lo:hi])
+		vecAdd(rs.rew2[lo:hi], o.rew2[lo:hi])
+		vecAdd(rs.rewSqA[lo:hi], o.rewSqA[lo:hi])
+		vecAdd(rs.withinNum[lo:hi], o.withinNum[lo:hi])
+		if rs.star {
+			vecAdd(rs.degNumA[lo:hi], o.degNumA[lo:hi])
+			vecAdd(rs.nbrNum[lo:hi], o.nbrNum[lo:hi])
 		}
-		rs.psi1[b] += o.psi1[b]
-		rs.psiInv[b] += o.psiInv[b]
-		rs.coll[b] += o.coll[b]
+	}
+	for key, ov := range o.pairNum {
+		v, ok := rs.pairNum[key]
+		if !ok {
+			v = make([]float64, B)
+			rs.pairNum[key] = v
+		}
+		vecAdd(v, ov)
 	}
 	return nil
+}
+
+// Reset zeroes the replicate statistics in place for reuse, keeping every
+// allocation (grids, pair vectors, the weight cache). Like Merge it walks
+// only the dirty category rows. The weight cache survives: Poisson weights
+// are pure functions of (Seed, node, replicate), so a cached node stays
+// valid across epochs.
+func (rs *Replicates) Reset() {
+	zero(rs.draws)
+	zero(rs.totalRew)
+	zero(rs.rewSq)
+	zero(rs.psi1)
+	zero(rs.psiInv)
+	zero(rs.coll)
+	zero(rs.degNum)
+	B := rs.cfg.B
+	for _, c := range rs.dirtyCats {
+		lo, hi := int(c)*B, int(c+1)*B
+		zero(rs.rew[lo:hi])
+		zero(rs.drawsA[lo:hi])
+		zero(rs.rew2[lo:hi])
+		zero(rs.rewSqA[lo:hi])
+		zero(rs.withinNum[lo:hi])
+		if rs.star {
+			zero(rs.degNumA[lo:hi])
+			zero(rs.nbrNum[lo:hi])
+		}
+		rs.dirty[c] = false
+	}
+	rs.dirtyCats = rs.dirtyCats[:0]
+	for _, v := range rs.pairNum {
+		zero(v)
+	}
+}
+
+func vecAdd(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// fillSums materializes replicate b's core.Sums into scratch (reset first),
+// the bridge from the SoA layout to the shared estimator path.
+func (rs *Replicates) fillSums(b int, scratch *core.Sums) {
+	scratch.Reset()
+	B := rs.cfg.B
+	scratch.Draws = rs.draws[b]
+	scratch.TotalRew = rs.totalRew[b]
+	scratch.RewSq = rs.rewSq[b]
+	if rs.star {
+		scratch.DegNum = rs.degNum[b]
+	}
+	for c := 0; c < rs.k; c++ {
+		off := c * B
+		scratch.Rew[c] = rs.rew[off+b]
+		scratch.DrawsA[c] = rs.drawsA[off+b]
+		scratch.Rew2[c] = rs.rew2[off+b]
+		scratch.RewSqA[c] = rs.rewSqA[off+b]
+		scratch.WithinNum[c] = rs.withinNum[off+b]
+		if rs.star {
+			scratch.DegNumA[c] = rs.degNumA[off+b]
+			scratch.NbrNum[c] = rs.nbrNum[off+b]
+		}
+	}
+	for key, v := range rs.pairNum {
+		if v[b] != 0 {
+			scratch.PairNum.Set(key[0], key[1], v[b])
+		}
+	}
+}
+
+// loadColumn stores a fully built core.Sums (plus collision statistics) as
+// replicate b — the offline ReplicatesFromObservation path.
+func (rs *Replicates) loadColumn(b int, s *core.Sums, psi1, psiInv, coll float64) {
+	B := rs.cfg.B
+	rs.draws[b] = s.Draws
+	rs.totalRew[b] = s.TotalRew
+	rs.rewSq[b] = s.RewSq
+	rs.psi1[b] = psi1
+	rs.psiInv[b] = psiInv
+	rs.coll[b] = coll
+	if rs.star {
+		rs.degNum[b] = s.DegNum
+	}
+	for c := 0; c < rs.k; c++ {
+		off := c * B
+		rs.rew[off+b] = s.Rew[c]
+		rs.drawsA[off+b] = s.DrawsA[c]
+		rs.rew2[off+b] = s.Rew2[c]
+		rs.rewSqA[off+b] = s.RewSqA[c]
+		rs.withinNum[off+b] = s.WithinNum[c]
+		if rs.star {
+			rs.degNumA[off+b] = s.DegNumA[c]
+			rs.nbrNum[off+b] = s.NbrNum[c]
+		}
+	}
+	s.PairNum.ForEach(func(x, y int32, w float64) {
+		rs.pairVec(x, y)[b] = w
+	})
+	rs.markAll()
 }
 
 // ReplicatesFromObservation builds the replicate sums of a complete batch
@@ -172,16 +508,17 @@ func ReplicatesFromObservation(o *sample.Observation, cfg Config) (*Replicates, 
 	clone := *o
 	mult := make([]float64, len(o.Mult))
 	for b := 0; b < cfg.B; b++ {
+		var psi1, psiInv, coll float64
 		for i, v := range o.Nodes {
 			c := PoissonWeight(cfg.Seed, v, b)
 			m := o.Mult[i] * c
 			mult[i] = m
-			rs.psi1[b] += m * o.Weight[i]
-			rs.psiInv[b] += m / o.Weight[i]
-			rs.coll[b] += m * (m - 1) / 2
+			psi1 += m * o.Weight[i]
+			psiInv += m / o.Weight[i]
+			coll += m * (m - 1) / 2
 		}
 		clone.Mult = mult
-		rs.sums[b] = core.SumsFromObservation(&clone)
+		rs.loadColumn(b, core.SumsFromObservation(&clone), psi1, psiInv, coll)
 	}
 	return rs, nil
 }
@@ -207,19 +544,23 @@ type BootSnapshot struct {
 
 // Snapshot estimates every replicate's category graph and transposes the
 // results into per-estimand replicate vectors. opts are the same estimation
-// options the primary snapshot uses.
+// options the primary snapshot uses. One scratch core.Sums is reused across
+// all B replicates (Sums.Reset), so the snapshot allocates per estimand, not
+// per replicate.
 func (rs *Replicates) Snapshot(opts core.Options) *BootSnapshot {
 	ev := newEstimandVectors(rs.k, rs.cfg.B)
 	pop := make([]float64, rs.cfg.B)
-	for b, s := range rs.sums {
-		res, within, err := estimateSums(s, rs.star, opts)
+	scratch := core.NewSums(rs.k, rs.star)
+	for b := 0; b < rs.cfg.B; b++ {
+		rs.fillSums(b, scratch)
+		res, within, err := estimateSums(scratch, rs.star, opts)
 		if err != nil {
 			ev.fail(b)
 			pop[b] = math.NaN()
 			continue
 		}
 		ev.record(b, res, within)
-		pop[b] = core.PopulationSizeFromSums(s.Draws, rs.psi1[b], rs.psiInv[b], rs.coll[b])
+		pop[b] = core.PopulationSizeFromSums(scratch.Draws, rs.psi1[b], rs.psiInv[b], rs.coll[b])
 	}
 	ev.patchFailed()
 	return &BootSnapshot{

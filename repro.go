@@ -76,12 +76,17 @@ type (
 	StreamConfig = stream.Config
 	// Accumulator ingests node observations and serves live estimates.
 	Accumulator = stream.Accumulator
-	// ShardedAccumulator is the multi-core accumulator: records are
-	// hash-partitioned by node id across per-shard locks, and snapshots
-	// merge the per-shard sums (star scenario only).
-	ShardedAccumulator = stream.ShardedAccumulator
+	// EpochAccumulator is the multi-core accumulator: each writer ingests
+	// into a private LocalAccumulator and publishes whole epochs of
+	// records through a short exact merge — no shared state on the
+	// per-record path (star scenario only).
+	EpochAccumulator = stream.EpochAccumulator
+	// LocalAccumulator is one writer's private epoch over an
+	// EpochAccumulator: Ingest touches only writer-owned memory, Flush
+	// publishes the epoch.
+	LocalAccumulator = stream.Local
 	// StreamIngester is the surface shared by Accumulator and
-	// ShardedAccumulator.
+	// EpochAccumulator.
 	StreamIngester = stream.Ingester
 	// StreamSnapshot is a self-contained point-in-time estimate with
 	// convergence deltas.
@@ -236,13 +241,15 @@ func WithinWeightsStar(o *Observation, sizes []float64) ([]float64, error) {
 // floating-point reassociation error.
 func NewAccumulator(cfg StreamConfig) (*Accumulator, error) { return stream.NewAccumulator(cfg) }
 
-// NewShardedAccumulator returns an empty sharded accumulator: the multi-core
-// counterpart of NewAccumulator, with records hash-partitioned by node id
-// across the given number of independently locked shards and snapshots
-// produced by merging the per-shard Hansen–Hurwitz sums. Star scenario only
-// (induced edge masses couple nodes across shards).
-func NewShardedAccumulator(cfg StreamConfig, shards int) (*ShardedAccumulator, error) {
-	return stream.NewShardedAccumulator(cfg, shards)
+// NewEpochAccumulator returns an empty epoch-merged accumulator: the
+// multi-core counterpart of NewAccumulator. Each writer obtains a private
+// LocalAccumulator (NewLocal) whose per-record path touches no shared
+// state; a Flush — every flushEvery records (0 means 1024), or explicit —
+// folds the epoch's Hansen–Hurwitz sums and bootstrap replicates into the
+// published view exactly. Star scenario only (induced edge masses couple
+// nodes across epochs).
+func NewEpochAccumulator(cfg StreamConfig, flushEvery int) (*EpochAccumulator, error) {
+	return stream.NewEpochAccumulator(cfg, flushEvery)
 }
 
 // NewStreamObserver returns the streaming counterpart of ObserveInduced /

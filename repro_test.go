@@ -220,16 +220,16 @@ func TestFacadeMultiWalkPooling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Streaming pooling, single-lock and sharded.
+	// Streaming pooling, single-lock and epoch-merged.
 	single, err := NewAccumulator(StreamConfig{K: g.NumCategories(), Star: true, N: N})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := NewShardedAccumulator(StreamConfig{K: g.NumCategories(), Star: true, N: N}, 4)
+	epoch, err := NewEpochAccumulator(StreamConfig{K: g.NumCategories(), Star: true, N: N}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, acc := range []StreamIngester{single, sharded} {
+	for _, acc := range []StreamIngester{single, epoch} {
 		so, err := NewStreamObserver(g, true)
 		if err != nil {
 			t.Fatal(err)
@@ -242,19 +242,19 @@ func TestFacadeMultiWalkPooling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snapSharded, err := sharded.Snapshot()
+	snapEpoch, err := epoch.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snapSharded.Draws != pooledSample.Len() || snapSharded.Distinct != snapSingle.Distinct {
-		t.Fatalf("sharded draws/distinct = %d/%d, want %d/%d",
-			snapSharded.Draws, snapSharded.Distinct, pooledSample.Len(), snapSingle.Distinct)
+	if snapEpoch.Draws != pooledSample.Len() || snapEpoch.Distinct != snapSingle.Distinct {
+		t.Fatalf("epoch draws/distinct = %d/%d, want %d/%d",
+			snapEpoch.Draws, snapEpoch.Distinct, pooledSample.Len(), snapSingle.Distinct)
 	}
 	for c := range want.Sizes {
 		for name, got := range map[string]float64{
-			"merged-batch":   batch.Sizes[c],
-			"stream-single":  snapSingle.Sizes()[c],
-			"stream-sharded": snapSharded.Sizes()[c],
+			"merged-batch":  batch.Sizes[c],
+			"stream-single": snapSingle.Sizes()[c],
+			"stream-epoch":  snapEpoch.Sizes()[c],
 		} {
 			if d := math.Abs(got-want.Sizes[c]) / math.Max(1, want.Sizes[c]); d > 1e-9 {
 				t.Fatalf("%s size[%d] = %g, pooled batch %g", name, c, got, want.Sizes[c])
@@ -266,9 +266,9 @@ func TestFacadeMultiWalkPooling(t *testing.T) {
 			return
 		}
 		for name, got := range map[string]float64{
-			"merged-batch":   batch.Weights.Get(a, b),
-			"stream-single":  snapSingle.Weights().Get(a, b),
-			"stream-sharded": snapSharded.Weights().Get(a, b),
+			"merged-batch":  batch.Weights.Get(a, b),
+			"stream-single": snapSingle.Weights().Get(a, b),
+			"stream-epoch":  snapEpoch.Weights().Get(a, b),
 		} {
 			if d := math.Abs(got - w); d > 1e-9 {
 				t.Fatalf("%s w(%d,%d) = %g, pooled batch %g", name, a, b, got, w)
