@@ -29,6 +29,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/stream"
 	"repro/internal/uncert"
+	"repro/internal/wire"
 )
 
 // benchParams are the reduced-scale parameters shared by the per-figure
@@ -580,6 +581,65 @@ func BenchmarkSumsMerge(b *testing.B) {
 			}
 		}
 		if _, err := merged.Estimate(core.Options{N: float64(g.N())}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// wireBenchState builds the state a loaded worker would export: ~5k star
+// draws with a 200-replicate bootstrap — the payload shape the distributed
+// tier ships on every coordinator poll.
+func wireBenchState(b *testing.B) *stream.State {
+	b.Helper()
+	recs, _, g := streamBenchRecords(b, 5_000)
+	acc, err := stream.NewAccumulator(stream.Config{
+		K: g.NumCategories(), Star: true, N: float64(g.N()),
+		Replicates: uncert.Config{B: 200, Seed: 7},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := acc.IngestBatch(recs); err != nil {
+		b.Fatal(err)
+	}
+	st, err := acc.Export()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkSumsEncode measures serializing a worker's sufficient statistics
+// (sums + bootstrap replicates) into the wire format — the per-poll cost a
+// worker pays to answer GET /sums.
+func BenchmarkSumsEncode(b *testing.B) {
+	st := wireBenchState(b)
+	buf, err := wire.Encode(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Encode(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSumsDecode measures parsing and validating the same payload —
+// the per-worker, per-round cost a coordinator pays.
+func BenchmarkSumsDecode(b *testing.B) {
+	buf, err := wire.Encode(wireBenchState(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(buf); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -160,6 +160,8 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -169,11 +171,13 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/catgraph"
@@ -186,6 +190,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/stream"
 	"repro/internal/uncert"
+	"repro/internal/wire"
 )
 
 // cli holds the parsed command line.
@@ -223,6 +228,11 @@ type cli struct {
 	crawlBurnIn  int
 	crawlSeed    uint64
 
+	mergeFrom     string
+	mergeInterval time.Duration
+	mergeTimeout  time.Duration
+	mergeMaxStale time.Duration
+
 	pprofOn   bool
 	logFormat string
 	logLevel  string
@@ -259,6 +269,10 @@ func main() {
 	flag.IntVar(&c.crawlCheck, "crawl-check", 2000, "crawl: checkpoint cadence in draws")
 	flag.IntVar(&c.crawlBurnIn, "crawl-burnin", 1000, "crawl: per-walker burn-in steps")
 	flag.Uint64Var(&c.crawlSeed, "crawl-seed", 1, "crawl: master walker seed")
+	flag.StringVar(&c.mergeFrom, "merge-from", "", "coordinator mode: comma-separated worker base URLs to poll for /sums and merge (read-only daemon)")
+	flag.DurationVar(&c.mergeInterval, "merge-interval", 2*time.Second, "coordinator: poll period")
+	flag.DurationVar(&c.mergeTimeout, "merge-timeout", 2*time.Second, "coordinator: per-worker pull timeout")
+	flag.DurationVar(&c.mergeMaxStale, "merge-max-stale", time.Minute, "coordinator: drop a dead worker's last-good state from the pool after this age")
 	flag.BoolVar(&c.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling reveals internals)")
 	flag.StringVar(&c.logFormat, "log-format", "text", "structured log format: text or json")
 	flag.StringVar(&c.logLevel, "log-level", "info", "minimum log level: debug|info|warn|error")
@@ -311,20 +325,27 @@ func (c *cli) run() error {
 	if c.flushEvery > 0 && c.shards <= 1 {
 		return fmt.Errorf("-flush-interval needs the epoch-merged accumulator; combine it with -shards > 1")
 	}
+	if c.mergeFrom != "" {
+		if c.demo || c.crawlMode {
+			return fmt.Errorf("-merge-from is a read-only coordinator; it cannot be combined with -demo or -crawl")
+		}
+		if c.boot != 0 {
+			return fmt.Errorf("-bootstrap has no effect on a coordinator: it adopts the workers' bootstrap configuration (drop the flag)")
+		}
+		if c.shards > 1 || c.flushEvery > 0 {
+			return fmt.Errorf("-shards and -flush-interval configure the ingest path; a coordinator does not ingest")
+		}
+		return c.runMergeMode(method)
+	}
 	if c.demo || c.crawlMode {
 		return c.runCrawlMode(method, bc)
 	}
 	if c.graphFile != "" || c.qps > 0 || c.queryCost > 0 {
 		return fmt.Errorf("-graph-file, -qps and -query-cost configure the crawl backend; combine them with -crawl or -demo")
 	}
-	k := c.k
-	var names []string
-	if c.names != "" {
-		names = strings.Split(c.names, ",")
-		k = len(names)
-	}
-	if k < 1 {
-		return fmt.Errorf("need -k or -names (got %d categories)", k)
+	k, names, err := c.categories()
+	if err != nil {
+		return err
 	}
 	acc, err := newIngester(stream.Config{K: k, Star: c.star, N: c.popN, Size: method, Replicates: bc}, c.shards)
 	if err != nil {
@@ -340,13 +361,70 @@ func (c *cli) run() error {
 	slog.Info("topoestd serving",
 		"addr", c.addr, "k", k, "scenario", scenarioName(c.star),
 		"ingest", ingestMode(acc), "flush_interval", c.flushEvery, "bootstrap_b", bc.B)
-	return listenAndServe(c.addr, srv)
+	return listenAndServe(c.addr, srv, srv.shutdown)
+}
+
+// categories resolves -k / -names into the partition the daemon serves.
+func (c *cli) categories() (int, []string, error) {
+	k := c.k
+	var names []string
+	if c.names != "" {
+		names = strings.Split(c.names, ",")
+		k = len(names)
+	}
+	if k < 1 {
+		return 0, nil, fmt.Errorf("need -k or -names (got %d categories)", k)
+	}
+	return k, names, nil
+}
+
+// runMergeMode starts the coordinator of the distributed tier: a read-only
+// daemon whose accumulator is a stream.Pool rebuilt from the /sums exports
+// of the -merge-from workers. Every serving endpoint (/estimate with exact
+// merged-bootstrap CIs, /categorygraph.tsv, /healthz, /metrics, /sums for a
+// higher coordinator tier) works unchanged over the pool; /ingest answers
+// 403.
+func (c *cli) runMergeMode(method core.SizeMethod) error {
+	k, names, err := c.categories()
+	if err != nil {
+		return err
+	}
+	if c.mergeInterval <= 0 || c.mergeTimeout <= 0 || c.mergeMaxStale <= 0 {
+		return fmt.Errorf("need -merge-interval, -merge-timeout and -merge-max-stale > 0")
+	}
+	pool, err := stream.NewPool(stream.Config{K: k, Star: c.star, N: c.popN, Size: method})
+	if err != nil {
+		return err
+	}
+	m, err := newMerger(pool, strings.Split(c.mergeFrom, ","), c.mergeInterval, c.mergeTimeout, c.mergeMaxStale)
+	if err != nil {
+		return err
+	}
+	srv := newServer(pool, names)
+	srv.merger = m
+	if c.pprofOn {
+		registerPprof(srv.mux)
+	}
+	go m.run()
+	urls := make([]string, len(m.workers))
+	for i, w := range m.workers {
+		urls[i] = w.url
+	}
+	slog.Info("topoestd merge coordinator",
+		"addr", c.addr, "k", k, "scenario", scenarioName(c.star), "workers", urls,
+		"interval", c.mergeInterval, "timeout", c.mergeTimeout, "max_stale", c.mergeMaxStale)
+	return listenAndServe(c.addr, srv, srv.shutdown)
 }
 
 // listenAndServe wraps the handler in an http.Server with read and write
 // timeouts, so a slow or stalled client cannot pin a connection (and its
-// goroutine) forever — the bare http.ListenAndServe has none.
-func listenAndServe(addr string, h http.Handler) error {
+// goroutine) forever — the bare http.ListenAndServe has none. On SIGTERM or
+// SIGINT it shuts down gracefully: the listener closes (no new ingest), every
+// in-flight request finishes (bounded by 10s), and then onShutdown runs —
+// which is where the server publishes anything still buffered (the deferred
+// flusher's pooled locals) before the process exits, so no acknowledged
+// record dies with the process.
+func listenAndServe(addr string, h http.Handler, onShutdown func()) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           h,
@@ -355,7 +433,25 @@ func listenAndServe(addr string, h http.Handler) error {
 		WriteTimeout:      time.Minute,     // responses are O(K²) small
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.ListenAndServe()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of re-queuing
+		slog.Info("signal received; draining connections")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		if onShutdown != nil {
+			onShutdown()
+		}
+		slog.Info("shutdown complete")
+		return err
+	}
 }
 
 // runCrawlMode builds the paper's synthetic graph and drives the adaptive
@@ -428,7 +524,7 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 		"addr", c.addr, "n", src.NumNodes(), "backend", c.backendName(),
 		"scenario", scenarioName(c.star), "walkers", max(jobCfg.Walkers, 1),
 		"sampler", jobCfg.Sampler, "max_draws", jobCfg.MaxDraws)
-	return listenAndServe(c.addr, srv)
+	return listenAndServe(c.addr, srv, srv.shutdown)
 }
 
 // crawlBackend resolves the graph the crawl walks: the packed out-of-core
@@ -591,6 +687,10 @@ type server struct {
 	cachedCG  *catgraph.Graph
 	cachedGen uint64
 
+	// merger is non-nil on a -merge-from coordinator; /healthz then carries
+	// its per-worker status and shutdown stops its poll loop.
+	merger *merger
+
 	crawlMu sync.Mutex
 	job     *crawl.Crawl
 }
@@ -607,6 +707,7 @@ func newServer(acc stream.Ingester, names []string) *server {
 	s.mux.HandleFunc("POST /ingest", instrument("/ingest", s.handleIngest))
 	s.mux.HandleFunc("GET /estimate", instrument("/estimate", s.handleEstimate))
 	s.mux.HandleFunc("GET /categorygraph.tsv", instrument("/categorygraph.tsv", s.handleTSV))
+	s.mux.HandleFunc("GET /sums", instrument("/sums", s.handleSums))
 	s.mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("POST /crawl", instrument("/crawl", s.handleCrawlStart))
 	s.mux.HandleFunc("GET /crawl/status", instrument("/crawl/status", s.handleCrawlStatus))
@@ -656,8 +757,11 @@ func (s *server) snapshot() (*stream.Snapshot, *catgraph.Graph, error) {
 // ingestMode names the accumulator's concurrency design for logs and
 // /healthz.
 func ingestMode(acc stream.Ingester) string {
-	if _, ok := acc.(*stream.EpochAccumulator); ok {
+	switch acc.(type) {
+	case *stream.EpochAccumulator:
 		return "epoch-merged"
+	case *stream.Pool:
+		return "merge-pool"
 	}
 	return "single-lock"
 }
@@ -692,15 +796,55 @@ func (s *server) startDeferredFlush(d time.Duration) {
 }
 
 // stopDeferredFlush terminates the background flusher and waits for its
-// final flush of every idle local, so nothing acknowledged is lost (tests
-// use it; the daemon itself runs until the process exits). Subsequent
-// ingests take the flush-per-request path.
+// final flush of every idle local, so nothing acknowledged is lost.
+// Subsequent ingests take the flush-per-request path.
 func (s *server) stopDeferredFlush() {
 	if s.flushStop != nil {
 		close(s.flushStop)
 		<-s.flushDone
 		s.flushStop = nil
 	}
+}
+
+// shutdown runs after the HTTP server has stopped accepting requests and
+// drained the in-flight ones: publish every record still buffered in the
+// deferred flusher's pooled locals, and stop the merge poll loop if this
+// daemon is a coordinator.
+func (s *server) shutdown() {
+	s.stopDeferredFlush()
+	if s.merger != nil {
+		s.merger.stopWait()
+	}
+}
+
+// handleSums streams the accumulator's encoded sufficient statistics — the
+// worker half of the distributed tier. The response is the internal/wire
+// binary format (gzip-compressed when the client accepts it); the codec
+// version header lets a coordinator reject a newer format before parsing.
+// It works over any Ingester, so a coordinator also serves /sums and tiers
+// stack.
+func (s *server) handleSums(w http.ResponseWriter, r *http.Request) {
+	st, err := s.acc.Export()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	enc, err := wire.Encode(st)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode state: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set(wire.VersionHeader, strconv.Itoa(wire.Version))
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		gz.Write(enc)
+		gz.Close()
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Write(enc)
 }
 
 // takeLocal borrows an idle writer-private local, growing the pool on
@@ -811,6 +955,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	n, err := s.ingestRecords(recs)
+	if errors.Is(err, stream.ErrReadOnly) {
+		httpError(w, http.StatusForbidden, "this daemon is a merge coordinator; ingest on the workers it polls")
+		return
+	}
 	if err != nil {
 		// The first n records stay applied and record n is the offender;
 		// the body carries both so a retrying client can resend only the
@@ -1234,7 +1382,7 @@ func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
 // totals /metrics exports, in JSON for humans and probes).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	doc := map[string]any{
 		"status":           "ok",
 		"scenario":         scenarioName(s.acc.Config().Star),
 		"k":                s.acc.Config().K,
@@ -1255,7 +1403,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"draws":       crawl.DrawsTotal(),
 			"checkpoints": crawl.CheckpointsTotal(),
 		},
-	})
+	}
+	if s.merger != nil {
+		doc["merge"] = s.merger.status()
+	}
+	json.NewEncoder(w).Encode(doc)
 }
 
 // buildDoc summarizes runtime/debug.ReadBuildInfo: the main module path and

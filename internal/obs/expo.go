@@ -44,10 +44,14 @@ func (f *family) write(bw *bufio.Writer) {
 	bw.WriteString(f.kind.String())
 	bw.WriteByte('\n')
 
+	// Copy each child by value: vals are immutable, and snapshotting m under
+	// the lock keeps a racing GaugeFuncVec.Register (which swaps m) from
+	// being read unsynchronized below.
 	f.mu.RLock()
 	children := make([]*child, 0, len(f.children))
 	for _, c := range f.children {
-		children = append(children, c)
+		cp := *c
+		children = append(children, &cp)
 	}
 	f.mu.RUnlock()
 	sort.Slice(children, func(i, j int) bool {

@@ -435,6 +435,29 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.f.get(values).m.(*Histogram)
 }
 
+// GaugeFuncVec is a family of scrape-time gauges partitioned by label
+// values — per-entity callbacks rather than stored values (e.g. the merge
+// coordinator exports one staleness gauge per worker URL).
+type GaugeFuncVec struct{ f *family }
+
+// NewGaugeFuncVec registers a labeled scrape-time gauge family.
+func (r *Registry) NewGaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: vec metric %s needs at least one label", name))
+	}
+	return &GaugeFuncVec{f: r.register(name, help, KindGauge, labels, nil)}
+}
+
+// Register installs the callback for the given label values, replacing any
+// previous one — re-registering is what lets a rebuilt component (a new
+// merge coordinator in tests, a reloaded worker set) take over its series.
+func (v *GaugeFuncVec) Register(fn func() float64, values ...string) {
+	c := v.f.get(values)
+	v.f.mu.Lock()
+	c.m = fn
+	v.f.mu.Unlock()
+}
+
 // Names returns the registered family names, sorted — the registry's own
 // metric catalog (the scrape tests assert against it).
 func (r *Registry) Names() []string {
@@ -476,6 +499,12 @@ func NewCounterVec(name, help string, labels ...string) *CounterVec {
 // NewGaugeVec registers a labeled gauge family on the Default registry.
 func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
 	return Default.NewGaugeVec(name, help, labels...)
+}
+
+// NewGaugeFuncVec registers a labeled scrape-time gauge family on the
+// Default registry.
+func NewGaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	return Default.NewGaugeFuncVec(name, help, labels...)
 }
 
 // NewHistogramVec registers a labeled histogram family on the Default

@@ -229,3 +229,72 @@ func TestHistogramNaNObservation(t *testing.T) {
 		t.Errorf("sum = %g, want 0.5 (NaN excluded from the sum)", got)
 	}
 }
+
+// TestGaugeFuncVec exercises the labeled scrape-time gauge family: per-label
+// callbacks render with their labels, re-registering a label set replaces
+// its callback, and Register racing a scrape is safe.
+func TestGaugeFuncVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeFuncVec("worker_lag_seconds", "per-worker lag", "worker")
+	v.Register(func() float64 { return 1.5 }, "a")
+	v.Register(func() float64 { return 4 }, "b")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE worker_lag_seconds gauge\n",
+		`worker_lag_seconds{worker="a"} 1.5` + "\n",
+		`worker_lag_seconds{worker="b"} 4` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Re-registration replaces the callback for that label set only.
+	v.Register(func() float64 { return 9 }, "a")
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	if !strings.Contains(out, `worker_lag_seconds{worker="a"} 9`+"\n") {
+		t.Errorf("re-registered callback not used in:\n%s", out)
+	}
+	if !strings.Contains(out, `worker_lag_seconds{worker="b"} 4`+"\n") {
+		t.Errorf("untouched label set changed in:\n%s", out)
+	}
+
+	// Scrapes racing registrations must be clean under -race.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Register(func() float64 { return float64(j) }, "a")
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGaugeFuncVec with no labels must panic")
+		}
+	}()
+	r.NewGaugeFuncVec("worker_bad", "no labels")
+}

@@ -1,0 +1,249 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+	"repro/internal/uncert"
+)
+
+// ErrReadOnly is returned by the ingest methods of a Pool: a merge
+// coordinator estimates from worker exports and never accepts its own
+// records. Match with errors.Is to turn the sentinel into a protocol-level
+// redirect ("ingest on the workers").
+var ErrReadOnly = errors.New("stream: pool is read-only (it merges worker exports; ingest on the workers)")
+
+// Pool is the coordinator-side accumulator of the distributed estimation
+// tier: a read-only Ingester whose state is rebuilt from worker State
+// exports instead of ingested record by record. Each Rebuild re-merges the
+// supplied states from scratch — the merge algebra is the same
+// core.Sums.Merge / uncert.Replicates.Merge the in-process paths use, so the
+// pooled estimate (and, with replicates, every bootstrap CI) equals a single
+// accumulator that ingested all worker streams, to the exactness conditions
+// documented on core.Sums.Merge. Rebuilding from scratch rather than
+// applying deltas is what makes worker failure tolerance trivial: a worker
+// excluded from one Rebuild (dead, stale) simply costs its contribution and
+// can rejoin later without any compensation bookkeeping. The O(K·B + pairs·B)
+// rebuild runs once per coordinator poll interval, not per request.
+//
+// Pool is safe for concurrent use: Rebuild swaps the published view under a
+// mutex, and snapshots are cached by the server layer off the generation,
+// which advances once per Rebuild.
+type Pool struct {
+	cfg Config
+
+	// gen advances once per Rebuild — the snapshot cache key, exactly like
+	// the per-record generation of the live accumulators.
+	gen atomic.Uint64
+
+	mu         sync.Mutex
+	sums       *core.Sums
+	reps       *uncert.Replicates
+	repCfg     uncert.Config
+	psi1       float64
+	psiInv     float64
+	collisions float64
+	distinct   int64
+	lastSizes  []float64
+	lastW      *core.PairWeights
+	lastDraws  float64
+	seq        int64
+}
+
+// NewPool returns an empty coordinator pool. cfg fixes the partition,
+// scenario, population size and size method the coordinator estimates with;
+// cfg.Replicates is ignored — the bootstrap configuration is adopted from
+// the worker states at Rebuild (workers decide B and the seed, and all must
+// agree for replicates to merge).
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("stream: config needs K ≥ 1 categories, got %d", cfg.K)
+	}
+	cfg.Replicates = uncert.Config{}
+	return &Pool{
+		cfg:  cfg,
+		sums: core.NewSums(cfg.K, cfg.Star),
+	}, nil
+}
+
+// Rebuild replaces the pool's state with the merge of the given worker
+// states. Every state must match the pool's partition and scenario; a
+// mismatch fails the whole rebuild (identified by input index) and leaves
+// the previous view serving. Replicates are all-or-nothing: the merged view
+// carries bootstrap replicates only when EVERY input has them under one
+// identical configuration — a partial bootstrap would silently misweight the
+// missing workers' nodes in every replicate, so it is dropped instead (the
+// primary estimate is unaffected). Rebuilding from zero states publishes an
+// empty pool (snapshots fail until data arrives).
+func (p *Pool) Rebuild(states []*State) error {
+	sums := core.NewSums(p.cfg.K, p.cfg.Star)
+	var psi1, psiInv, collisions float64
+	var distinct int64
+	withReps := len(states) > 0
+	var repCfg uncert.Config
+	for i, st := range states {
+		if st == nil {
+			return fmt.Errorf("stream: pool rebuild: state %d is nil", i)
+		}
+		if st.K != p.cfg.K {
+			return fmt.Errorf("stream: pool rebuild: state %d covers %d categories, pool has %d", i, st.K, p.cfg.K)
+		}
+		if st.Star != p.cfg.Star {
+			return fmt.Errorf("stream: pool rebuild: state %d has star=%v, pool has star=%v", i, st.Star, p.cfg.Star)
+		}
+		if err := sums.Merge(st.Sums); err != nil {
+			return fmt.Errorf("stream: pool rebuild: state %d: %w", i, err)
+		}
+		psi1 += st.Psi1
+		psiInv += st.PsiInv
+		collisions += st.Collisions
+		distinct += st.Distinct
+		switch {
+		case st.Reps == nil:
+			withReps = false
+		case i == 0 || !withReps:
+			repCfg = st.Reps.Config()
+		case st.Reps.Config() != repCfg:
+			// Conflicting bootstrap configurations cannot merge; keep the
+			// primary estimate and drop the CIs rather than fail the pool.
+			withReps = false
+		}
+	}
+	var reps *uncert.Replicates
+	if withReps {
+		var err error
+		reps, err = uncert.NewReplicates(p.cfg.K, p.cfg.Star, repCfg)
+		if err != nil {
+			return fmt.Errorf("stream: pool rebuild: %w", err)
+		}
+		for i, st := range states {
+			if err := reps.Merge(st.Reps); err != nil {
+				return fmt.Errorf("stream: pool rebuild: state %d replicates: %w", i, err)
+			}
+		}
+	}
+	p.mu.Lock()
+	p.sums = sums
+	p.reps = reps
+	if reps != nil {
+		p.repCfg = repCfg
+	} else {
+		p.repCfg = uncert.Config{}
+	}
+	p.psi1, p.psiInv, p.collisions = psi1, psiInv, collisions
+	p.distinct = distinct
+	p.mu.Unlock()
+	p.gen.Add(1)
+	return nil
+}
+
+// Config implements Ingester. Replicates reflects the bootstrap
+// configuration adopted from the workers at the last Rebuild (zero until a
+// rebuild carried replicates), so the serving layer's "are CIs available"
+// probe works unchanged against a pool.
+func (p *Pool) Config() Config {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cfg := p.cfg
+	cfg.Replicates = p.repCfg
+	return cfg
+}
+
+// Draws returns the number of draws in the merged view.
+func (p *Pool) Draws() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.sums.Draws)
+}
+
+// Distinct returns the sum of the workers' distinct-node counts. Workers
+// observe disjoint node sets under the partitioned deployment, where this is
+// exact; overlapping crawls count shared nodes once per worker.
+func (p *Pool) Distinct() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.distinct)
+}
+
+// Gen implements Ingester: it advances once per Rebuild, so snapshot caches
+// keyed on it refresh exactly when the merged view changes.
+func (p *Pool) Gen() uint64 { return p.gen.Load() }
+
+// Ingest implements Ingester; a pool never accepts records.
+func (p *Pool) Ingest(rec sample.NodeObservation) error { return ErrReadOnly }
+
+// IngestBatch implements Ingester; a pool never accepts records.
+func (p *Pool) IngestBatch(recs []sample.NodeObservation) (int, error) { return 0, ErrReadOnly }
+
+// Snapshot computes the pooled estimate from the merged view — the same
+// sequence the live accumulators run, including the bootstrap snapshot when
+// the last Rebuild carried replicates, so /estimate?ci= on a coordinator
+// serves exact merged-replicate CIs.
+func (p *Pool) Snapshot() (*Snapshot, error) {
+	defer mSnapshotSec.ObserveSince(time.Now())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sums.Draws == 0 {
+		return nil, fmt.Errorf("stream: empty pool (no worker state merged yet)")
+	}
+	res, err := p.sums.Estimate(core.Options{N: p.cfg.N, Size: p.cfg.Size})
+	if err != nil {
+		return nil, err
+	}
+	var within []float64
+	if p.cfg.Star {
+		within, err = p.sums.WithinWeightsStar(res.Sizes)
+	} else {
+		within, err = p.sums.WithinWeightsInduced()
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.seq++
+	snap := &Snapshot{
+		Seq:         p.seq,
+		Draws:       int(p.sums.Draws),
+		Distinct:    int(p.distinct),
+		Result:      res,
+		Within:      within,
+		PopEstimate: core.PopulationSizeFromSums(p.sums.Draws, p.psi1, p.psiInv, p.collisions),
+		Converge:    convergeFrom(res, p.lastSizes, p.lastW, int(p.sums.Draws-p.lastDraws)),
+	}
+	if p.reps != nil {
+		snap.Boot = p.reps.Snapshot(core.Options{N: p.cfg.N, Size: p.cfg.Size})
+	}
+	p.lastSizes = append([]float64(nil), res.Sizes...)
+	p.lastW = res.Weights
+	p.lastDraws = p.sums.Draws
+	return snap, nil
+}
+
+// Export implements Ingester: the merged view as a State of its own, which
+// is what lets coordinators stack — a higher tier can pull /sums from a
+// coordinator exactly as the coordinator pulls from its workers.
+func (p *Pool) Export() (*State, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := &State{
+		K:          p.cfg.K,
+		Star:       p.cfg.Star,
+		Gen:        p.gen.Load(),
+		Distinct:   p.distinct,
+		Psi1:       p.psi1,
+		PsiInv:     p.psiInv,
+		Collisions: p.collisions,
+		Sums:       core.NewSums(p.cfg.K, p.cfg.Star),
+	}
+	if err := st.Sums.Merge(p.sums); err != nil {
+		panic(err)
+	}
+	if p.reps != nil {
+		st.Reps = p.reps.Clone()
+	}
+	return st, nil
+}

@@ -122,6 +122,13 @@ type Ingester interface {
 	IngestBatch(recs []sample.NodeObservation) (int, error)
 	// Snapshot computes the current estimate in O(K² + pairs).
 	Snapshot() (*Snapshot, error)
+	// Export returns a consistent cut of the accumulator's sufficient
+	// statistics — primary sums, collision scalars, bootstrap replicates
+	// and the generation identifying the cut — sharing no mutable memory
+	// with the accumulator. It is the worker half of the distributed
+	// estimation tier: internal/wire serializes a State and a coordinator
+	// Pool re-merges states from many processes.
+	Export() (*State, error)
 }
 
 // Accumulator ingests a stream of node observations and serves estimates.

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/uncert"
+)
+
+// FuzzDecode drives arbitrary bytes through Decode. The invariants: Decode
+// never panics or reads out of bounds, and any input it accepts is in the
+// image of Encode — re-encoding the decoded state reproduces the input
+// byte for byte (the codec is a bijection between states and canonical
+// encodings, which is what makes corruption detectable at all).
+func FuzzDecode(f *testing.F) {
+	seed := func(star bool, boot uncert.Config) []byte {
+		const k = 4
+		acc, err := stream.NewAccumulator(stream.Config{K: k, Star: star, Replicates: boot})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			var rec = starRecord(int32(i%12), k)
+			if !star {
+				rec = inducedRecord(int32(i%12), k)
+			}
+			if err := acc.Ingest(rec); err != nil {
+				f.Fatal(err)
+			}
+		}
+		st, err := acc.Export()
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc, err := Encode(st)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return enc
+	}
+
+	starBoot := seed(true, uncert.Config{B: 6, Seed: 9})
+	f.Add(starBoot)
+	f.Add(seed(true, uncert.Config{}))
+	f.Add(seed(false, uncert.Config{B: 4, Seed: 1}))
+	f.Add(starBoot[:headerSize])
+	f.Add(starBoot[:len(starBoot)/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	mut := append([]byte(nil), starBoot...)
+	binary.LittleEndian.PutUint32(mut[8:], 2) // future version
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(st)
+		if err != nil {
+			t.Fatalf("Decode accepted input Encode rejects: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted %d-byte input re-encodes to different %d bytes", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,473 @@
+// Package wire is the codec of the distributed estimation tier: a compact,
+// versioned, little-endian binary encoding of a stream.State — the
+// Hansen–Hurwitz sufficient statistics (core.Sums), the §4.3 population-size
+// scalars, and the online-bootstrap replicate sums (uncert.Replicates) — for
+// shipping between topoestd processes. Workers serve the encoding on
+// GET /sums; a merge coordinator decodes and re-merges it into the pooled
+// estimate.
+//
+// The format follows the graph/pack.go discipline: fixed magic, explicit
+// version, a header that fully determines the payload layout so truncation
+// and corruption are detected at decode (never by reading past a buffer),
+// and length-checked section reads. Floats travel as raw IEEE-754 bits, so
+// Decode∘Encode is the identity on values and Encode∘Decode is the identity
+// on accepted byte strings (the fuzz invariant): pair tables are emitted in
+// canonical sorted order and decoders reject non-canonical input.
+//
+// Layout (all integers little-endian, all floats IEEE-754 binary64 bits):
+//
+//	offset  size  field
+//	     0     8  magic "TOPOSUM1"
+//	     8     4  version (currently 1)
+//	    12     4  flags: bit0 = star scenario, bit1 = replicates present
+//	    16     4  k (number of categories, 1 … 1<<24)
+//	    20     4  B (bootstrap replicates; 0 unless bit1 set)
+//	    24     8  gen (ingest generation of the cut)
+//	    32     8  bootstrap seed (0 unless bit1 set)
+//	    40     4  sumsPairs (entries in the primary pair table)
+//	    44     4  repPairs (entries in the replicate pair table)
+//	    48     8  distinct (int64, distinct nodes at the cut)
+//	    56     8  reserved (zero)
+//	    64     …  section A: 8 float64 — draws, totalRew, rewSq, degNum,
+//	              psi1, psiInv, collisions, reserved(0)
+//	           …  section B: per-category float64[k] arrays — Rew, DrawsA,
+//	              Rew2, RewSqA, WithinNum, then DegNumA, NbrNum when star
+//	           …  section C: sumsPairs × (a uint32, b uint32, w float64),
+//	              canonical 0 ≤ a < b < k, strictly increasing by (a, b)
+//	           …  section D (bit1 only): replicate scalar float64[B] vectors
+//	              draws, totalRew, rewSq, psi1, psiInv, coll, then degNum
+//	              when star; replicate float64[k·B] grids rew, drawsA, rew2,
+//	              rewSqA, withinNum, then degNumA, nbrNum when star;
+//	              repPairs × (a uint32, b uint32, float64[B]), canonical and
+//	              strictly increasing by (a, b)
+//
+// The total size is a function of (flags, k, B, sumsPairs, repPairs) alone;
+// Decode computes it up front and requires exact equality.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/uncert"
+)
+
+const (
+	// Version is the codec version this build writes and the newest it
+	// decodes. Workers advertise it in the VersionHeader HTTP header so a
+	// coordinator can reject a payload before buffering it.
+	Version = 1
+
+	// ContentType is the MIME type of an encoded state on the wire.
+	ContentType = "application/x-topoest-sums"
+	// VersionHeader carries the codec version on /sums responses.
+	VersionHeader = "X-Topoest-Sums-Version"
+
+	magic      = "TOPOSUM1"
+	headerSize = 64
+
+	flagStar       = 1 << 0
+	flagReplicates = 1 << 1
+	flagsKnown     = flagStar | flagReplicates
+
+	// maxK and maxB bound the header-declared dimensions so a corrupt or
+	// hostile header cannot drive the size arithmetic anywhere interesting:
+	// k, B ≤ 1<<24 keeps every product in this file well under 1<<63.
+	maxK = 1 << 24
+	maxB = 1 << 24
+)
+
+type pairEntry struct {
+	a, b int32
+	w    float64
+}
+
+// Encode serializes a state. The state must be well-formed: Sums present and
+// matching the declared K/scenario, and replicates (when present) matching
+// too — Export produces exactly such states.
+func Encode(st *stream.State) ([]byte, error) {
+	if st == nil || st.Sums == nil {
+		return nil, fmt.Errorf("wire: cannot encode a nil state")
+	}
+	if st.K < 1 || st.K > maxK {
+		return nil, fmt.Errorf("wire: state has %d categories, encodable range is 1…%d", st.K, maxK)
+	}
+	if st.Sums.K != st.K || st.Sums.Star != st.Star {
+		return nil, fmt.Errorf("wire: state sums (k=%d star=%v) disagree with state header (k=%d star=%v)",
+			st.Sums.K, st.Sums.Star, st.K, st.Star)
+	}
+
+	// Primary pair table, canonical order.
+	sumsPairs := make([]pairEntry, 0, st.Sums.PairNum.Len())
+	st.Sums.PairNum.ForEach(func(a, b int32, w float64) {
+		sumsPairs = append(sumsPairs, pairEntry{a, b, w})
+	})
+	sortPairs(sumsPairs)
+
+	var (
+		flags uint32
+		bB    int
+		seed  uint64
+		raw   *uncert.RawReplicates
+	)
+	if st.Star {
+		flags |= flagStar
+	}
+	var repPairs [][2]int32
+	if st.Reps != nil {
+		cfg := st.Reps.Config()
+		if cfg.B < 1 || cfg.B > maxB {
+			return nil, fmt.Errorf("wire: state has %d bootstrap replicates, encodable range is 1…%d", cfg.B, maxB)
+		}
+		flags |= flagReplicates
+		bB = cfg.B
+		seed = cfg.Seed
+		raw = st.Reps.Raw()
+		if raw.K != st.K || raw.Star != st.Star {
+			return nil, fmt.Errorf("wire: state replicates (k=%d star=%v) disagree with state header (k=%d star=%v)",
+				raw.K, raw.Star, st.K, st.Star)
+		}
+		repPairs = make([][2]int32, 0, len(raw.Pairs))
+		for key := range raw.Pairs {
+			repPairs = append(repPairs, key)
+		}
+		sort.Slice(repPairs, func(i, j int) bool {
+			if repPairs[i][0] != repPairs[j][0] {
+				return repPairs[i][0] < repPairs[j][0]
+			}
+			return repPairs[i][1] < repPairs[j][1]
+		})
+	}
+
+	size := totalSize(flags, st.K, bB, len(sumsPairs), len(repPairs))
+	buf := make([]byte, size)
+	h := buf[:headerSize]
+	copy(h[0:8], magic)
+	binary.LittleEndian.PutUint32(h[8:12], Version)
+	binary.LittleEndian.PutUint32(h[12:16], flags)
+	binary.LittleEndian.PutUint32(h[16:20], uint32(st.K))
+	binary.LittleEndian.PutUint32(h[20:24], uint32(bB))
+	binary.LittleEndian.PutUint64(h[24:32], st.Gen)
+	binary.LittleEndian.PutUint64(h[32:40], seed)
+	binary.LittleEndian.PutUint32(h[40:44], uint32(len(sumsPairs)))
+	binary.LittleEndian.PutUint32(h[44:48], uint32(len(repPairs)))
+	binary.LittleEndian.PutUint64(h[48:56], uint64(st.Distinct))
+
+	w := writer{buf: buf, off: headerSize}
+
+	// Section A.
+	s := st.Sums
+	w.f64(s.Draws)
+	w.f64(s.TotalRew)
+	w.f64(s.RewSq)
+	w.f64(s.DegNum)
+	w.f64(st.Psi1)
+	w.f64(st.PsiInv)
+	w.f64(st.Collisions)
+	w.f64(0)
+
+	// Section B.
+	for _, arr := range [][]float64{s.Rew, s.DrawsA, s.Rew2, s.RewSqA, s.WithinNum} {
+		w.f64s(st.K, arr)
+	}
+	if st.Star {
+		w.f64s(st.K, s.DegNumA)
+		w.f64s(st.K, s.NbrNum)
+	}
+
+	// Section C.
+	for _, p := range sumsPairs {
+		w.u32(uint32(p.a))
+		w.u32(uint32(p.b))
+		w.f64(p.w)
+	}
+
+	// Section D.
+	if raw != nil {
+		scalars := [][]float64{raw.Draws, raw.TotalRew, raw.RewSq, raw.Psi1, raw.PsiInv, raw.Coll}
+		if st.Star {
+			scalars = append(scalars, raw.DegNum)
+		}
+		for _, v := range scalars {
+			w.f64s(bB, v)
+		}
+		grids := [][]float64{raw.Rew, raw.DrawsA, raw.Rew2, raw.RewSqA, raw.WithinNum}
+		if st.Star {
+			grids = append(grids, raw.DegNumA, raw.NbrNum)
+		}
+		for _, g := range grids {
+			w.f64s(st.K*bB, g)
+		}
+		for _, key := range repPairs {
+			w.u32(uint32(key[0]))
+			w.u32(uint32(key[1]))
+			w.f64s(bB, raw.Pairs[key])
+		}
+	}
+
+	if w.off != len(buf) {
+		// Layout arithmetic and emission disagree — a codec bug, not input.
+		panic(fmt.Sprintf("wire: encoded %d bytes into a %d-byte layout", w.off, len(buf)))
+	}
+	return buf, nil
+}
+
+// Decode parses an encoded state, validating the header, the exact payload
+// length, and the canonical form of both pair tables before touching any
+// section. Corrupt, truncated, or future-version input fails with a
+// descriptive error; accepted input re-encodes byte-identically.
+func Decode(data []byte) (*stream.State, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("wire: truncated payload: %d bytes, need at least the %d-byte header", len(data), headerSize)
+	}
+	h := data[:headerSize]
+	if string(h[0:8]) != magic {
+		return nil, fmt.Errorf("wire: bad magic %q: not a sums payload", h[0:8])
+	}
+	version := binary.LittleEndian.Uint32(h[8:12])
+	if version == 0 || version > Version {
+		return nil, fmt.Errorf("wire: sums payload has codec version %d; this build decodes versions 1…%d (upgrade this process or downgrade the sender)", version, Version)
+	}
+	flags := binary.LittleEndian.Uint32(h[12:16])
+	if flags&^uint32(flagsKnown) != 0 {
+		return nil, fmt.Errorf("wire: unknown flag bits %#x (corrupt payload or newer writer)", flags&^uint32(flagsKnown))
+	}
+	star := flags&flagStar != 0
+	withReps := flags&flagReplicates != 0
+	k := binary.LittleEndian.Uint32(h[16:20])
+	bB := binary.LittleEndian.Uint32(h[20:24])
+	gen := binary.LittleEndian.Uint64(h[24:32])
+	seed := binary.LittleEndian.Uint64(h[32:40])
+	sumsPairs := binary.LittleEndian.Uint32(h[40:44])
+	repPairs := binary.LittleEndian.Uint32(h[44:48])
+	distinct := int64(binary.LittleEndian.Uint64(h[48:56]))
+	// Reserved space must be zero: a writer that populated it is newer than
+	// this build, and tolerating it would break the one-encoding-per-state
+	// property the corruption tests rely on.
+	if binary.LittleEndian.Uint64(h[56:64]) != 0 {
+		return nil, fmt.Errorf("wire: reserved header bytes are not zero (corrupt payload or newer writer)")
+	}
+	if !withReps && seed != 0 {
+		return nil, fmt.Errorf("wire: header declares a bootstrap seed without the replicates flag")
+	}
+
+	if k < 1 || k > maxK {
+		return nil, fmt.Errorf("wire: header declares %d categories, valid range is 1…%d", k, maxK)
+	}
+	if withReps {
+		if bB < 1 || bB > maxB {
+			return nil, fmt.Errorf("wire: header declares %d bootstrap replicates, valid range is 1…%d", bB, maxB)
+		}
+	} else if bB != 0 || repPairs != 0 {
+		return nil, fmt.Errorf("wire: header declares B=%d and %d replicate pairs without the replicates flag", bB, repPairs)
+	}
+	// Both pair tables are over unordered category pairs, so k·(k−1)/2 is a
+	// hard cap (k ≤ 1<<24 keeps the product far from overflow).
+	maxPairs := uint64(k) * uint64(k-1) / 2
+	if uint64(sumsPairs) > maxPairs {
+		return nil, fmt.Errorf("wire: header declares %d pair entries, at most %d exist over %d categories", sumsPairs, maxPairs, k)
+	}
+	if uint64(repPairs) > maxPairs {
+		return nil, fmt.Errorf("wire: header declares %d replicate pair entries, at most %d exist over %d categories", repPairs, maxPairs, k)
+	}
+	want := totalSize(flags, int(k), int(bB), int(sumsPairs), int(repPairs))
+	if len(data) != want {
+		return nil, fmt.Errorf("wire: payload is %d bytes, header-described layout is %d", len(data), want)
+	}
+
+	st := &stream.State{
+		K:        int(k),
+		Star:     star,
+		Gen:      gen,
+		Distinct: distinct,
+		Sums:     core.NewSums(int(k), star),
+	}
+	r := reader{buf: data, off: headerSize}
+
+	// Section A.
+	s := st.Sums
+	s.Draws = r.f64()
+	s.TotalRew = r.f64()
+	s.RewSq = r.f64()
+	s.DegNum = r.f64()
+	st.Psi1 = r.f64()
+	st.PsiInv = r.f64()
+	st.Collisions = r.f64()
+	if math.Float64bits(r.f64()) != 0 {
+		return nil, fmt.Errorf("wire: reserved scalar slot is not zero (corrupt payload or newer writer)")
+	}
+
+	// Section B.
+	for _, arr := range [][]float64{s.Rew, s.DrawsA, s.Rew2, s.RewSqA, s.WithinNum} {
+		r.f64s(arr)
+	}
+	if star {
+		r.f64s(s.DegNumA)
+		r.f64s(s.NbrNum)
+	}
+
+	// Section C.
+	prevA, prevB := int32(-1), int32(-1)
+	for i := 0; i < int(sumsPairs); i++ {
+		a, b := int32(r.u32()), int32(r.u32())
+		if err := checkPair(a, b, prevA, prevB, int32(k), "pair"); err != nil {
+			return nil, err
+		}
+		s.PairNum.Set(a, b, r.f64())
+		prevA, prevB = a, b
+	}
+
+	// Section D.
+	if withReps {
+		raw := &uncert.RawReplicates{
+			K:    int(k),
+			Star: star,
+			Cfg:  uncert.Config{B: int(bB), Seed: seed},
+		}
+		scalars := []*[]float64{&raw.Draws, &raw.TotalRew, &raw.RewSq, &raw.Psi1, &raw.PsiInv, &raw.Coll}
+		if star {
+			scalars = append(scalars, &raw.DegNum)
+		}
+		for _, v := range scalars {
+			*v = make([]float64, bB)
+			r.f64s(*v)
+		}
+		grids := []*[]float64{&raw.Rew, &raw.DrawsA, &raw.Rew2, &raw.RewSqA, &raw.WithinNum}
+		if star {
+			grids = append(grids, &raw.DegNumA, &raw.NbrNum)
+		}
+		for _, g := range grids {
+			*g = make([]float64, int(k)*int(bB))
+			r.f64s(*g)
+		}
+		raw.Pairs = make(map[[2]int32][]float64, repPairs)
+		prevA, prevB = -1, -1
+		for i := 0; i < int(repPairs); i++ {
+			a, b := int32(r.u32()), int32(r.u32())
+			if err := checkPair(a, b, prevA, prevB, int32(k), "replicate pair"); err != nil {
+				return nil, err
+			}
+			v := make([]float64, bB)
+			r.f64s(v)
+			raw.Pairs[[2]int32{a, b}] = v
+			prevA, prevB = a, b
+		}
+		reps, err := uncert.NewReplicatesFromRaw(raw)
+		if err != nil {
+			return nil, fmt.Errorf("wire: %w", err)
+		}
+		st.Reps = reps
+	}
+
+	if r.off != len(data) {
+		panic(fmt.Sprintf("wire: decoded %d of %d bytes", r.off, len(data)))
+	}
+	return st, nil
+}
+
+// totalSize computes the exact encoded size from the header-declared
+// dimensions. All callers have bounded k ≤ 1<<24, b ≤ 1<<24, and pair counts
+// ≤ k²/2, so every term fits comfortably in an int64 even on the maximum
+// header; the result only ever meets in-memory buffers.
+func totalSize(flags uint32, k, b, sumsPairs, repPairs int) int {
+	catArrays := 5
+	repScalars := 6
+	repGrids := 5
+	if flags&flagStar != 0 {
+		catArrays = 7
+		repScalars = 7
+		repGrids = 7
+	}
+	size := headerSize +
+		8*8 + // section A
+		catArrays*k*8 + // section B
+		sumsPairs*(4+4+8) // section C
+	if flags&flagReplicates != 0 {
+		size += repScalars*b*8 + repGrids*k*b*8 + repPairs*(4+4+b*8)
+	}
+	return size
+}
+
+// checkPair enforces the canonical pair-table form: 0 ≤ a < b < k, entries
+// strictly increasing by (a, b). Canonical form is what makes the encoding
+// of a given state unique (and therefore fuzz-checkable as a bijection).
+func checkPair(a, b, prevA, prevB, k int32, what string) error {
+	if a < 0 || b <= a || b >= k {
+		return fmt.Errorf("wire: %s table entry {%d,%d} is not canonical for %d categories", what, a, b, k)
+	}
+	if a < prevA || (a == prevA && b <= prevB) {
+		return fmt.Errorf("wire: %s table entry {%d,%d} out of order after {%d,%d}", what, a, b, prevA, prevB)
+	}
+	return nil
+}
+
+func sortPairs(ps []pairEntry) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].a != ps[j].a {
+			return ps[i].a < ps[j].a
+		}
+		return ps[i].b < ps[j].b
+	})
+}
+
+// writer appends fixed-width values into a pre-sized buffer. Layout
+// arithmetic (totalSize) guarantees capacity; an overrun is a codec bug and
+// panics in Encode's final length check.
+type writer struct {
+	buf []byte
+	off int
+}
+
+func (w *writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[w.off:], v)
+	w.off += 4
+}
+
+func (w *writer) f64(v float64) {
+	binary.LittleEndian.PutUint64(w.buf[w.off:], math.Float64bits(v))
+	w.off += 8
+}
+
+// f64s writes exactly n floats; a nil src (legal for an all-zero section,
+// e.g. star arrays of a fresh accumulator) writes n zeros.
+func (w *writer) f64s(n int, src []float64) {
+	if src != nil && len(src) != n {
+		panic(fmt.Sprintf("wire: section of %d floats, want %d", len(src), n))
+	}
+	for i := 0; i < n; i++ {
+		var v float64
+		if src != nil {
+			v = src[i]
+		}
+		w.f64(v)
+	}
+}
+
+// reader consumes fixed-width values from a buffer whose exact length was
+// validated against totalSize, so reads cannot run past the end.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u32() uint32 {
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) f64() float64 {
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64s(dst []float64) {
+	for i := range dst {
+		dst[i] = r.f64()
+	}
+}

@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/stream"
+	"repro/internal/uncert"
+)
+
+// starRecord synthesizes a deterministic star observation for a node: the
+// category, weight and neighborhood are pure functions of the node id, so
+// re-draws of the same node are always consistent with its first record.
+func starRecord(node int32, k int) sample.NodeObservation {
+	rec := sample.NodeObservation{
+		Node:   node,
+		Weight: 1 + float64(node%7),
+		Cat:    node % int32(k),
+	}
+	if node%11 == 0 {
+		rec.Cat = graph.None
+	}
+	var deg float64
+	for c := int32(0); c < int32(k); c++ {
+		if (node+c)%3 == 0 {
+			cnt := float64(1 + (node+2*c)%4)
+			rec.NbrCat = append(rec.NbrCat, c)
+			rec.NbrCnt = append(rec.NbrCnt, cnt)
+			deg += cnt
+		}
+	}
+	rec.Deg = deg + float64(node%2) // the odd nodes have an uncategorized neighbor
+	return rec
+}
+
+// inducedRecord synthesizes an induced observation; peers reference only
+// lower node ids, so a stream that introduces nodes in increasing order
+// always names already-observed peers.
+func inducedRecord(node int32, k int) sample.NodeObservation {
+	rec := sample.NodeObservation{
+		Node:   node,
+		Weight: 1 + float64(node%5),
+		Cat:    node % int32(k),
+	}
+	if node%13 == 0 {
+		rec.Cat = graph.None
+	}
+	for p := int32(0); p < node; p++ {
+		if (node*31+p)%4 == 0 {
+			rec.Peers = append(rec.Peers, p)
+		}
+	}
+	return rec
+}
+
+// fillAccumulator ingests a deterministic stream with repeated draws
+// (collisions) into a fresh accumulator and returns its export.
+func fillAccumulator(t *testing.T, star bool, boot uncert.Config) *stream.State {
+	t.Helper()
+	const k = 5
+	acc, err := stream.NewAccumulator(stream.Config{K: k, Star: star, N: 500, Replicates: boot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		node := int32(i % 60) // nodes enter in increasing order, then repeat
+		var rec sample.NodeObservation
+		if star {
+			rec = starRecord(node, k)
+		} else {
+			rec = inducedRecord(node, k)
+		}
+		if err := acc.Ingest(rec); err != nil {
+			t.Fatalf("ingest record %d: %v", i, err)
+		}
+	}
+	st, err := acc.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// checkRoundTrip encodes a state, decodes it, and verifies the bijection
+// both ways: the decoded state re-encodes byte-identically, and its decoded
+// sufficient statistics are bit-for-bit the originals.
+func checkRoundTrip(t *testing.T, st *stream.State) []byte {
+	t.Helper()
+	enc, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Encode(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatalf("re-encode of decoded state differs from original encoding (%d vs %d bytes)", len(re), len(enc))
+	}
+	if dec.K != st.K || dec.Star != st.Star || dec.Gen != st.Gen || dec.Distinct != st.Distinct {
+		t.Fatalf("decoded header (k=%d star=%v gen=%d distinct=%d) != original (k=%d star=%v gen=%d distinct=%d)",
+			dec.K, dec.Star, dec.Gen, dec.Distinct, st.K, st.Star, st.Gen, st.Distinct)
+	}
+	if dec.Psi1 != st.Psi1 || dec.PsiInv != st.PsiInv || dec.Collisions != st.Collisions {
+		t.Fatal("decoded collision scalars differ from original")
+	}
+	if dec.Sums.Draws != st.Sums.Draws || dec.Sums.TotalRew != st.Sums.TotalRew ||
+		dec.Sums.RewSq != st.Sums.RewSq || dec.Sums.DegNum != st.Sums.DegNum {
+		t.Fatal("decoded scalar sums differ from original")
+	}
+	for c := 0; c < st.K; c++ {
+		if dec.Sums.Rew[c] != st.Sums.Rew[c] || dec.Sums.DrawsA[c] != st.Sums.DrawsA[c] ||
+			dec.Sums.Rew2[c] != st.Sums.Rew2[c] || dec.Sums.RewSqA[c] != st.Sums.RewSqA[c] ||
+			dec.Sums.WithinNum[c] != st.Sums.WithinNum[c] {
+			t.Fatalf("decoded per-category sums differ at category %d", c)
+		}
+	}
+	if dec.Sums.PairNum.Len() != st.Sums.PairNum.Len() {
+		t.Fatalf("decoded pair table has %d entries, original %d", dec.Sums.PairNum.Len(), st.Sums.PairNum.Len())
+	}
+	st.Sums.PairNum.ForEach(func(a, b int32, w float64) {
+		if got := dec.Sums.PairNum.Get(a, b); got != w {
+			t.Fatalf("pair {%d,%d}: decoded %v, want %v", a, b, got, w)
+		}
+	})
+	if (dec.Reps == nil) != (st.Reps == nil) {
+		t.Fatalf("decoded replicates presence %v, original %v", dec.Reps != nil, st.Reps != nil)
+	}
+	if st.Reps != nil {
+		or, dr := st.Reps.Raw(), dec.Reps.Raw()
+		if dr.Cfg != or.Cfg {
+			t.Fatalf("decoded replicate config %+v, original %+v", dr.Cfg, or.Cfg)
+		}
+		for name, pair := range map[string][2][]float64{
+			"draws": {or.Draws, dr.Draws}, "total_rew": {or.TotalRew, dr.TotalRew},
+			"rew_sq": {or.RewSq, dr.RewSq}, "psi1": {or.Psi1, dr.Psi1},
+			"psi_inv": {or.PsiInv, dr.PsiInv}, "coll": {or.Coll, dr.Coll},
+			"deg_num": {or.DegNum, dr.DegNum}, "rew": {or.Rew, dr.Rew},
+			"draws_a": {or.DrawsA, dr.DrawsA}, "rew2": {or.Rew2, dr.Rew2},
+			"rew_sq_a": {or.RewSqA, dr.RewSqA}, "within_num": {or.WithinNum, dr.WithinNum},
+			"deg_num_a": {or.DegNumA, dr.DegNumA}, "nbr_num": {or.NbrNum, dr.NbrNum},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("replicate vector %s: decoded length %d, original %d", name, len(pair[1]), len(pair[0]))
+			}
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("replicate vector %s differs at %d", name, i)
+				}
+			}
+		}
+		if len(or.Pairs) != len(dr.Pairs) {
+			t.Fatalf("replicate pair table: decoded %d entries, original %d", len(dr.Pairs), len(or.Pairs))
+		}
+		for key, ov := range or.Pairs {
+			dv, ok := dr.Pairs[key]
+			if !ok {
+				t.Fatalf("replicate pair {%d,%d} missing after decode", key[0], key[1])
+			}
+			for i := range ov {
+				if ov[i] != dv[i] {
+					t.Fatalf("replicate pair {%d,%d} differs at replicate %d", key[0], key[1], i)
+				}
+			}
+		}
+	}
+	return enc
+}
+
+func TestRoundTripStarBootstrap(t *testing.T) {
+	st := fillAccumulator(t, true, uncert.Config{B: 30, Seed: 7})
+	if st.Reps == nil {
+		t.Fatal("expected replicates on the exported state")
+	}
+	checkRoundTrip(t, st)
+}
+
+func TestRoundTripStarNoBootstrap(t *testing.T) {
+	st := fillAccumulator(t, true, uncert.Config{})
+	if st.Reps != nil {
+		t.Fatal("unexpected replicates on the exported state")
+	}
+	checkRoundTrip(t, st)
+}
+
+func TestRoundTripInducedBootstrap(t *testing.T) {
+	st := fillAccumulator(t, false, uncert.Config{B: 20, Seed: 3})
+	checkRoundTrip(t, st)
+}
+
+func TestRoundTripEmptyAccumulator(t *testing.T) {
+	acc, err := stream.NewAccumulator(stream.Config{K: 3, Star: true, Replicates: uncert.Config{B: 10, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := acc.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, st)
+}
+
+// TestDecodedStateMergesExactly is the semantic half of the round trip: a
+// coordinator pool rebuilt from the decoded state must serve bit-identical
+// estimates and CIs to the worker that exported it.
+func TestDecodedStateMergesExactly(t *testing.T) {
+	const k = 5
+	acc, err := stream.NewAccumulator(stream.Config{K: k, Star: true, N: 500, Replicates: uncert.Config{B: 30, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := acc.Ingest(starRecord(int32(i%60), k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := acc.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := stream.NewPool(stream.Config{K: k, Star: true, N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Rebuild([]*stream.State{dec}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < k; c++ {
+		if got.Result.Sizes[c] != want.Result.Sizes[c] || got.Within[c] != want.Within[c] {
+			t.Fatalf("category %d: pool (size %v, within %v) != worker (size %v, within %v)",
+				c, got.Result.Sizes[c], got.Within[c], want.Result.Sizes[c], want.Within[c])
+		}
+	}
+	if got.PopEstimate != want.PopEstimate && !(math.IsNaN(got.PopEstimate) && math.IsNaN(want.PopEstimate)) {
+		t.Fatalf("pool pop estimate %v != worker %v", got.PopEstimate, want.PopEstimate)
+	}
+	if got.Boot == nil || want.Boot == nil {
+		t.Fatal("expected bootstrap snapshots on both sides")
+	}
+	for c := 0; c < k; c++ {
+		gs, ws := got.Boot.SizeCI(c, 0.95), want.Boot.SizeCI(c, 0.95)
+		gw, ww := got.Boot.WithinCI(c, 0.95), want.Boot.WithinCI(c, 0.95)
+		if gs != ws || gw != ww {
+			t.Fatalf("category %d: pool CI %+v/%+v != worker %+v/%+v", c, gs, gw, ws, ww)
+		}
+	}
+	if got.Boot.PopCI(0.95) != want.Boot.PopCI(0.95) {
+		t.Fatalf("pool pop CI %+v != worker %+v", got.Boot.PopCI(0.95), want.Boot.PopCI(0.95))
+	}
+}
+
+// corrupt returns a copy of enc with fn applied.
+func corrupt(enc []byte, fn func([]byte) []byte) []byte {
+	cp := append([]byte(nil), enc...)
+	return fn(cp)
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	withBoot := checkRoundTrip(t, fillAccumulator(t, true, uncert.Config{B: 8, Seed: 2}))
+	noBoot := checkRoundTrip(t, fillAccumulator(t, true, uncert.Config{}))
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string // substring the error must contain ("" = any error)
+	}{
+		{"empty", nil, "truncated"},
+		{"header_truncated", withBoot[:10], "truncated"},
+		{"header_almost", withBoot[:63], "truncated"},
+		{"body_truncated", withBoot[:len(withBoot)-1], "bytes"},
+		{"header_only", withBoot[:64], "bytes"},
+		{"trailing_garbage", append(append([]byte(nil), withBoot...), 0xAA), "bytes"},
+		{"wrong_magic", corrupt(withBoot, func(b []byte) []byte { b[0] = 'X'; return b }), "magic"},
+		{"version_zero", corrupt(withBoot, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 0)
+			return b
+		}), "version 0"},
+		{"future_version", corrupt(withBoot, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 99)
+			return b
+		}), "version 99"},
+		{"unknown_flag", corrupt(withBoot, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], binary.LittleEndian.Uint32(b[12:])|0x80)
+			return b
+		}), "flag"},
+		{"zero_k", corrupt(withBoot, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 0)
+			return b
+		}), "categories"},
+		{"replicates_flag_without_b", corrupt(noBoot, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], binary.LittleEndian.Uint32(b[12:])|2)
+			return b
+		}), "replicates"},
+		{"b_without_replicates_flag", corrupt(noBoot, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:], 77)
+			return b
+		}), "replicates flag"},
+		{"absurd_pair_count", corrupt(withBoot, func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[40:], 1<<30)
+			return b
+		}), "pair"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.data)
+			if err == nil {
+				t.Fatal("Decode accepted corrupt input")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsNonCanonicalPairs flips the order of the first two
+// primary pair entries and degrades one to a diagonal — both must fail, or
+// the bijection (and with it byte-level idempotence) is broken.
+func TestDecodeRejectsNonCanonicalPairs(t *testing.T) {
+	enc := checkRoundTrip(t, fillAccumulator(t, true, uncert.Config{}))
+	sumsPairs := binary.LittleEndian.Uint32(enc[40:44])
+	if sumsPairs < 2 {
+		t.Fatalf("need ≥ 2 pair entries for this test, have %d", sumsPairs)
+	}
+	k := int(binary.LittleEndian.Uint32(enc[16:20]))
+	pairOff := 64 + 8*8 + 7*k*8 // star layout: 7 per-category arrays
+
+	swapped := corrupt(enc, func(b []byte) []byte {
+		e0 := append([]byte(nil), b[pairOff:pairOff+16]...)
+		copy(b[pairOff:], b[pairOff+16:pairOff+32])
+		copy(b[pairOff+16:], e0)
+		return b
+	})
+	if _, err := Decode(swapped); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("swapped pair entries: got %v, want out-of-order error", err)
+	}
+
+	diagonal := corrupt(enc, func(b []byte) []byte {
+		a := binary.LittleEndian.Uint32(b[pairOff:])
+		binary.LittleEndian.PutUint32(b[pairOff+4:], a)
+		return b
+	})
+	if _, err := Decode(diagonal); err == nil || !strings.Contains(err.Error(), "canonical") {
+		t.Fatalf("diagonal pair entry: got %v, want canonical-form error", err)
+	}
+}

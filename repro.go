@@ -16,6 +16,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/stream"
 	"repro/internal/uncert"
+	"repro/internal/wire"
 )
 
 // Re-exported substrate types. See the internal packages for full method
@@ -91,6 +92,14 @@ type (
 	// StreamSnapshot is a self-contained point-in-time estimate with
 	// convergence deltas.
 	StreamSnapshot = stream.Snapshot
+	// AccumulatorState is an exported snapshot of an ingester's sufficient
+	// statistics (sums plus optional bootstrap replicates) — the unit the
+	// distributed tier ships between processes.
+	AccumulatorState = stream.State
+	// StatePool is the read-only merge coordinator ingester: Rebuild it from
+	// worker AccumulatorStates and it serves pooled estimates exactly as if
+	// one process had ingested everything (node-disjoint workers).
+	StatePool = stream.Pool
 	// UncertConfig parameterizes the bootstrap engines of internal/uncert:
 	// B replicates under deterministic hash-seeded Poisson weights.
 	UncertConfig = uncert.Config
@@ -251,6 +260,26 @@ func NewAccumulator(cfg StreamConfig) (*Accumulator, error) { return stream.NewA
 func NewEpochAccumulator(cfg StreamConfig, flushEvery int) (*EpochAccumulator, error) {
 	return stream.NewEpochAccumulator(cfg, flushEvery)
 }
+
+// NewStatePool returns an empty merge-coordinator pool for the given
+// partition and scenario (cfg.Replicates is ignored: a pool adopts the
+// workers' bootstrap configuration when their exports agree on one). Feed it
+// with Rebuild(states) — typically AccumulatorStates decoded from worker
+// /sums payloads — and read it through the same Snapshot/estimate surface
+// as any other ingester. Merging is exact when workers observe
+// node-disjoint partitions of the population.
+func NewStatePool(cfg StreamConfig) (*StatePool, error) { return stream.NewPool(cfg) }
+
+// EncodeState serializes an exported accumulator state into the compact
+// versioned wire format served on /sums and consumed by a merge
+// coordinator. EncodeState and DecodeState are exact inverses: every
+// accepted payload re-encodes byte-identically.
+func EncodeState(st *AccumulatorState) ([]byte, error) { return wire.Encode(st) }
+
+// DecodeState parses a wire payload produced by EncodeState (any codec
+// version up to the current one), validating structure and canonical layout
+// so corrupted or truncated payloads are rejected rather than merged.
+func DecodeState(data []byte) (*AccumulatorState, error) { return wire.Decode(data) }
 
 // NewStreamObserver returns the streaming counterpart of ObserveInduced /
 // ObserveStar: it reveals each drawn node's observation record one draw at
