@@ -1,0 +1,270 @@
+// Command loadgen drives a target rate of synthetic observation records at
+// a live topoestd daemon's ingest endpoint and reports what the daemon
+// sustained: accepted throughput plus p50/p99 request latency. The last
+// output line is a benchstatjson-compatible benchmark result, so load
+// numbers recorded against a real network stack can join the same
+// trajectory file as the in-process benchmarks:
+//
+//	loadgen -url http://localhost:8080 -rate 20000 -duration 30s \
+//	  | go run ./cmd/benchstatjson -o BENCH_load.json
+//
+// Records are generated deterministically from -seed over a -nodes node
+// space with -k categories (star-scenario neighbor summaries unless -star
+// is off), in the JSON shape POST /ingest accepts; -job targets a named
+// job's scoped endpoint instead of the default stream. The body format is
+// an internal seam (bodyEncoder) so a future binary wire format can plug
+// in without touching the pacing or reporting.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/randx"
+	"repro/internal/sample"
+)
+
+type cli struct {
+	url      string
+	job      string
+	rate     float64
+	duration time.Duration
+	batch    int
+	conns    int
+	k        int
+	star     bool
+	nodes    int
+	seed     uint64
+	name     string
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	c, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	rep, err := c.drive()
+	if err != nil {
+		return err
+	}
+	rep.write(stdout, c)
+	return nil
+}
+
+func parseArgs(args []string) (*cli, error) {
+	c := &cli{}
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.StringVar(&c.url, "url", "http://localhost:8080", "base URL of the daemon")
+	fs.StringVar(&c.job, "job", "", "target job name ('' drives the default job's legacy /ingest)")
+	fs.Float64Var(&c.rate, "rate", 5000, "target records per second")
+	fs.DurationVar(&c.duration, "duration", 10*time.Second, "how long to drive load")
+	fs.IntVar(&c.batch, "batch", 256, "records per request")
+	fs.IntVar(&c.conns, "conns", 4, "concurrent request senders")
+	fs.IntVar(&c.k, "k", 4, "categories in the synthetic records")
+	fs.BoolVar(&c.star, "star", true, "attach star-scenario neighbor summaries")
+	fs.IntVar(&c.nodes, "nodes", 10000, "distinct node id space")
+	fs.Uint64Var(&c.seed, "seed", 1, "record stream seed")
+	fs.StringVar(&c.name, "bench-name", "LoadgenIngest", "benchmark name for the benchstatjson line")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if c.rate <= 0 || c.duration <= 0 || c.batch <= 0 || c.conns <= 0 {
+		return nil, fmt.Errorf("-rate, -duration, -batch and -conns must be positive")
+	}
+	if c.k < 1 || c.nodes < 1 {
+		return nil, fmt.Errorf("-k and -nodes must be at least 1")
+	}
+	return c, nil
+}
+
+// ingestURL is the endpoint the generated load lands on.
+func (c *cli) ingestURL() string {
+	base := strings.TrimRight(c.url, "/")
+	if c.job == "" {
+		return base + "/ingest"
+	}
+	return base + "/jobs/" + c.job + "/ingest"
+}
+
+// record synthesizes observation i of the deterministic stream.
+func (c *cli) record(rng *rand.Rand, i int) sample.NodeObservation {
+	node := int32(rng.IntN(c.nodes))
+	cat := node % int32(c.k)
+	obs := sample.NodeObservation{Node: node, Cat: cat, Weight: 1 + float64(node%7)/6}
+	if c.star && i%4 != 0 {
+		obs.Deg = float64(3 + node%9)
+		obs.NbrCat = []int32{(cat + 1) % int32(c.k), (cat + 2) % int32(c.k)}
+		obs.NbrCnt = []float64{2, 1}
+	}
+	return obs
+}
+
+// bodyEncoder turns a batch of records into a request body. JSON is the
+// only encoding today; the seam is where a binary wire format would slot
+// in.
+type bodyEncoder func(recs []sample.NodeObservation) ([]byte, string, error)
+
+func jsonBody(recs []sample.NodeObservation) ([]byte, string, error) {
+	b, err := json.Marshal(recs)
+	return b, "application/json", err
+}
+
+// report aggregates what the run observed.
+type report struct {
+	elapsed   time.Duration
+	requests  int
+	accepted  int64 // records the daemon acknowledged
+	failed    int64 // records in requests that errored
+	latencies []time.Duration
+}
+
+func (r *report) percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.latencies)-1))
+	return r.latencies[i]
+}
+
+// write renders the human summary and, last, the benchstatjson line. The
+// benchmark value is mean request latency per accepted record (ns/op), and
+// the extra metrics ride along as named unit pairs the way go test -bench
+// emits them.
+func (r *report) write(w io.Writer, c *cli) {
+	rate := float64(r.accepted) / r.elapsed.Seconds()
+	fmt.Fprintf(w, "target %s at %.0f records/s for %s (batch %d, %d conns)\n",
+		c.ingestURL(), c.rate, c.duration, c.batch, c.conns)
+	fmt.Fprintf(w, "sustained %.1f records/s: %d accepted in %d requests, %d failed\n",
+		rate, r.accepted, r.requests, r.failed)
+	fmt.Fprintf(w, "request latency p50 %s  p99 %s\n", r.percentile(0.50), r.percentile(0.99))
+	var nsPerRec float64
+	if r.accepted > 0 {
+		var sum time.Duration
+		for _, d := range r.latencies {
+			sum += d
+		}
+		nsPerRec = float64(sum.Nanoseconds()) / float64(r.accepted)
+	}
+	fmt.Fprintf(w, "Benchmark%s \t%8d\t%.1f ns/op\t%.1f records/s\t%d p50-ns\t%d p99-ns\n",
+		c.name, r.accepted, nsPerRec, rate,
+		r.percentile(0.50).Nanoseconds(), r.percentile(0.99).Nanoseconds())
+}
+
+// drive paces batches at the target rate across the sender pool and
+// collects the report. Pacing is open-loop: batch i is released at its
+// scheduled instant whether or not earlier requests came back, so a slow
+// daemon shows up as rising latency and a sustained rate below target
+// rather than as a silently stretched test.
+func (c *cli) drive() (*report, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	interval := time.Duration(float64(c.batch) / c.rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	rep := &report{}
+	var mu sync.Mutex // guards rep.latencies and rep.requests
+	var accepted, failed atomic.Int64
+	var firstErr atomic.Value
+
+	work := make(chan []byte, c.conns)
+	var wg sync.WaitGroup
+	for w := 0; w < c.conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range work {
+				t0 := time.Now()
+				n, err := postBatch(client, c.ingestURL(), "application/json", body, c.batch)
+				d := time.Since(t0)
+				accepted.Add(int64(n))
+				if err != nil {
+					failed.Add(int64(c.batch - n))
+					firstErr.CompareAndSwap(nil, err)
+				}
+				mu.Lock()
+				rep.requests++
+				rep.latencies = append(rep.latencies, d)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	rng := randx.New(c.seed)
+	recs := make([]sample.NodeObservation, c.batch)
+	start := time.Now()
+	deadline := start.Add(c.duration)
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if due.After(deadline) {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		for r := range recs {
+			recs[r] = c.record(rng, i*c.batch+r)
+		}
+		body, _, err := jsonBody(recs)
+		if err != nil {
+			close(work)
+			return nil, err
+		}
+		work <- body
+	}
+	close(work)
+	wg.Wait()
+	rep.elapsed = time.Since(start)
+	rep.accepted = accepted.Load()
+	rep.failed = failed.Load()
+	sort.Slice(rep.latencies, func(i, j int) bool { return rep.latencies[i] < rep.latencies[j] })
+
+	if rep.accepted == 0 {
+		if err, _ := firstErr.Load().(error); err != nil {
+			return nil, fmt.Errorf("no records accepted: %w", err)
+		}
+		return nil, fmt.Errorf("no records accepted")
+	}
+	return rep, nil
+}
+
+// postBatch sends one batch and returns how many of its records the daemon
+// durably applied: all of them on 200, the acknowledged prefix count from
+// the structured 422 error body, zero otherwise.
+func postBatch(client *http.Client, url, contentType string, body []byte, batch int) (int, error) {
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode == http.StatusOK {
+		return batch, nil
+	}
+	var doc struct {
+		Error    string `json:"error"`
+		Ingested int    `json:"ingested"`
+	}
+	if json.Unmarshal(payload, &doc) == nil && doc.Error != "" {
+		return doc.Ingested, fmt.Errorf("HTTP %d: %s", resp.StatusCode, doc.Error)
+	}
+	return 0, fmt.Errorf("HTTP %d: %.120s", resp.StatusCode, payload)
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sample"
+)
+
+// stubDaemon mimics topoestd's ingest surface: it validates the JSON body
+// shape, counts records per endpoint, and can be told to reject a batch
+// partway with the structured 422 the real daemon sends.
+type stubDaemon struct {
+	mux      *http.ServeMux
+	def, job atomic.Int64
+	rejectAt atomic.Int64 // when > 0: 422 with this many records acknowledged
+}
+
+func newStubDaemon() *stubDaemon {
+	s := &stubDaemon{mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ingest", s.handle(&s.def))
+	s.mux.HandleFunc("POST /jobs/{job}/ingest", s.handle(&s.job))
+	return s
+}
+
+func (s *stubDaemon) handle(counter *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var recs []sample.NodeObservation
+		if err := json.NewDecoder(r.Body).Decode(&recs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, rec := range recs {
+			if rec.Cat < 0 {
+				http.Error(w, "bad record", http.StatusUnprocessableEntity)
+				return
+			}
+		}
+		if at := s.rejectAt.Load(); at > 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			fmt.Fprintf(w, `{"error":"injected failure","ingested":%d,"total":%d}`, at, len(recs))
+			counter.Add(at)
+			return
+		}
+		counter.Add(int64(len(recs)))
+		fmt.Fprintf(w, `{"ingested":%d,"draws":%d}`, len(recs), counter.Load())
+	}
+}
+
+// benchLine extracts and field-splits the benchstatjson line of a run's
+// output.
+func benchLine(t *testing.T, out string) []string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Benchmark") {
+			return strings.Fields(line)
+		}
+	}
+	t.Fatalf("no Benchmark line in output:\n%s", out)
+	return nil
+}
+
+func TestRunDrivesTargetRate(t *testing.T) {
+	stub := newStubDaemon()
+	ts := httptest.NewServer(stub.mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-url", ts.URL, "-rate", "4000", "-duration", "500ms",
+		"-batch", "40", "-conns", "2", "-k", "3", "-nodes", "100", "-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4000 rec/s in 40-record batches for 500ms = 51 scheduled batches
+	// (instants 0..500ms inclusive at 10ms spacing) = 2040 records; allow
+	// slack for scheduler jitter near the deadline but demand most of it.
+	got := stub.def.Load()
+	if got < 1600 || got > 2080 {
+		t.Fatalf("stub saw %d records, want ~2040", got)
+	}
+	if stub.job.Load() != 0 {
+		t.Fatalf("records leaked to the job endpoint: %d", stub.job.Load())
+	}
+
+	f := benchLine(t, out.String())
+	// BenchmarkLoadgenIngest <accepted> <ns> ns/op <rate> records/s <p50> p50-ns <p99> p99-ns
+	if f[0] != "BenchmarkLoadgenIngest" {
+		t.Fatalf("bench name = %q", f[0])
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || n != got {
+		t.Fatalf("bench iteration count = %q, want %d", f[1], got)
+	}
+	nsIdx := -1
+	for i, tok := range f {
+		if tok == "ns/op" {
+			nsIdx = i
+		}
+	}
+	if nsIdx < 2 {
+		t.Fatalf("no ns/op metric in %v", f)
+	}
+	if v, err := strconv.ParseFloat(f[nsIdx-1], 64); err != nil || v < 0 {
+		t.Fatalf("ns/op value = %q (%v)", f[nsIdx-1], err)
+	}
+	// benchstatjson's scanner accepts the line end to end.
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	found := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "Benchmark") && len(strings.Fields(sc.Text())) >= 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("output has no line benchstatjson would parse")
+	}
+	for _, want := range []string{"sustained", "p50", "p99", "records/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunTargetsNamedJob(t *testing.T) {
+	stub := newStubDaemon()
+	ts := httptest.NewServer(stub.mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-url", ts.URL, "-job", "alpha", "-rate", "2000", "-duration", "100ms",
+		"-batch", "50", "-conns", "1", "-bench-name", "NamedJob",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.job.Load() == 0 || stub.def.Load() != 0 {
+		t.Fatalf("records (def=%d, job=%d), want all on the job endpoint",
+			stub.def.Load(), stub.job.Load())
+	}
+	if f := benchLine(t, out.String()); f[0] != "BenchmarkNamedJob" {
+		t.Fatalf("bench name = %q", f[0])
+	}
+}
+
+func TestRunCountsPartialBatches(t *testing.T) {
+	stub := newStubDaemon()
+	stub.rejectAt.Store(10)
+	ts := httptest.NewServer(stub.mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-url", ts.URL, "-rate", "1000", "-duration", "50ms", "-batch", "25", "-conns", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every batch is cut at 10 acknowledged records; the report must count
+	// the acknowledged prefixes, not the full batches.
+	if got := stub.def.Load(); got%10 != 0 || got == 0 {
+		t.Fatalf("stub acknowledged %d records, want a positive multiple of 10", got)
+	}
+	f := benchLine(t, out.String())
+	n, _ := strconv.ParseInt(f[1], 10, 64)
+	if n != stub.def.Load() {
+		t.Fatalf("report counted %d accepted, stub acknowledged %d", n, stub.def.Load())
+	}
+	if !strings.Contains(out.String(), "failed") {
+		t.Fatalf("summary lacks the failure count:\n%s", out.String())
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rate", "0"},
+		{"-duration", "0s"},
+		{"-batch", "0"},
+		{"-conns", "-1"},
+		{"-k", "0"},
+		{"-nodes", "0"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+	if err := run([]string{"-url", "http://127.0.0.1:1", "-duration", "30ms", "-rate", "100", "-batch", "10"}, &strings.Builder{}); err == nil {
+		t.Error("unreachable daemon produced no error")
+	}
+}

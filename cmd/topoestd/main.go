@@ -69,11 +69,44 @@
 //	-crawl-check         checkpoint cadence in draws (default 2000)
 //	-crawl-burnin        per-walker burn-in steps (default 1000)
 //	-crawl-seed          master walker seed (default 1)
+//	-checkpoint-dir      append durable checkpoints of every job's resumable
+//	             state to <dir>/<job>.ckpt and, on restart with the same
+//	             directory, resume each job exactly where its last intact
+//	             frame left it — generation, estimates and bootstrap
+//	             replicates match an uninterrupted run to ≤ 1e-9. A frame
+//	             torn by a crash mid-append is detected by checksum and
+//	             discarded; the file is truncated back to its valid prefix
+//	-checkpoint-interval periodic checkpoint cadence (default 30s; frames
+//	             are skipped while a job's state has not advanced). A final
+//	             checkpoint is always written on graceful shutdown
 //	-pprof       expose net/http/pprof under /debug/pprof/ (opt-in)
 //	-log-format  structured log format: text (default) or json
 //	-log-level   minimum log level: debug|info|warn|error (default info)
 //
 // Endpoints:
+//
+// The daemon is multi-tenant: every estimation stream is a named job with
+// its own accumulator, crawl slot and checkpoint file. The un-prefixed
+// routes below alias the "default" job (created at startup from the flags),
+// so a single-tenant deployment uses the daemon exactly as before. Further
+// jobs are managed over HTTP:
+//
+//	POST   /jobs             create a job. Body: {"name":"eu-crawl"} plus
+//	                         optional overrides of the daemon's flag
+//	                         defaults — "k", "names", "star", "n", "size",
+//	                         "shards", "bootstrap", "bootstrap_seed". With
+//	                         -checkpoint-dir, a job whose checkpoint file
+//	                         already exists resumes from it (the persisted
+//	                         identity — k, star, bootstrap — must match:
+//	                         mismatch is a 409). 201 on success, 409 when
+//	                         the name is taken
+//	GET    /jobs             list jobs with stream position and crawl state
+//	DELETE /jobs/{job}       delete a job and its checkpoint file — the
+//	                         stream is discarded durably. 400 for "default",
+//	                         409 while the job's crawl is running
+//	     * /jobs/{job}/...   every per-stream route below, scoped to the
+//	                         job: ingest, estimate, categorygraph.tsv, sums,
+//	                         crawl, crawl/status
 //
 //	POST /ingest             body: one NodeObservation JSON object, or an
 //	                         array of them; returns {"ingested":…,"draws":…}
@@ -88,14 +121,19 @@
 //	                         format cmd/topoest emits)
 //	GET  /healthz            liveness plus build/workload context: status,
 //	                         draws, distinct, accumulator mode, uptime, Go
-//	                         version, goroutine count, build info, and the
-//	                         cumulative ingest/crawl counters
+//	                         version, goroutine count, build info, the
+//	                         cumulative ingest/crawl counters, and a "jobs"
+//	                         section with each job's stream position, crawl
+//	                         state and last checkpoint
 //	GET  /metrics            Prometheus text exposition of every metric in
 //	                         the process: ingest, snapshot, crawl, backend
 //	                         cache and HTTP-surface instrumentation
-//	POST /crawl              start an adaptive crawl job against the
-//	                         generated graph (crawl/demo mode only; one job
-//	                         at a time, 409 while one runs). The JSON body
+//	POST /crawl              start an adaptive crawl against the generated
+//	                         graph, streaming into the job's accumulator
+//	                         (crawl/demo mode only). One crawl runs at a
+//	                         time per job — starting a second in the same
+//	                         job is a 409 — while crawls in different jobs
+//	                         run concurrently. The JSON body
 //	                         optionally overrides the flag defaults:
 //	                         {"walkers":8,"sampler":"RW","engine":"bootstrap",
 //	                         "size_target":500,"size_cats":[0,1],
@@ -176,15 +214,14 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
-	"repro/internal/catgraph"
 	"repro/internal/core"
 	"repro/internal/crawl"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/job"
 	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/sample"
@@ -233,6 +270,9 @@ type cli struct {
 	mergeTimeout  time.Duration
 	mergeMaxStale time.Duration
 
+	checkpointDir      string
+	checkpointInterval time.Duration
+
 	pprofOn   bool
 	logFormat string
 	logLevel  string
@@ -273,6 +313,8 @@ func main() {
 	flag.DurationVar(&c.mergeInterval, "merge-interval", 2*time.Second, "coordinator: poll period")
 	flag.DurationVar(&c.mergeTimeout, "merge-timeout", 2*time.Second, "coordinator: per-worker pull timeout")
 	flag.DurationVar(&c.mergeMaxStale, "merge-max-stale", time.Minute, "coordinator: drop a dead worker's last-good state from the pool after this age")
+	flag.StringVar(&c.checkpointDir, "checkpoint-dir", "", "append durable per-job checkpoints to <dir>/<job>.ckpt and resume from them on restart (empty = off)")
+	flag.DurationVar(&c.checkpointInterval, "checkpoint-interval", 30*time.Second, "periodic checkpoint cadence (a final checkpoint is always written on graceful shutdown)")
 	flag.BoolVar(&c.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling reveals internals)")
 	flag.StringVar(&c.logFormat, "log-format", "text", "structured log format: text or json")
 	flag.StringVar(&c.logLevel, "log-level", "info", "minimum log level: debug|info|warn|error")
@@ -325,6 +367,9 @@ func (c *cli) run() error {
 	if c.flushEvery > 0 && c.shards <= 1 {
 		return fmt.Errorf("-flush-interval needs the epoch-merged accumulator; combine it with -shards > 1")
 	}
+	if c.checkpointInterval <= 0 {
+		return fmt.Errorf("need -checkpoint-interval > 0, got %v", c.checkpointInterval)
+	}
 	if c.mergeFrom != "" {
 		if c.demo || c.crawlMode {
 			return fmt.Errorf("-merge-from is a read-only coordinator; it cannot be combined with -demo or -crawl")
@@ -334,6 +379,9 @@ func (c *cli) run() error {
 		}
 		if c.shards > 1 || c.flushEvery > 0 {
 			return fmt.Errorf("-shards and -flush-interval configure the ingest path; a coordinator does not ingest")
+		}
+		if c.checkpointDir != "" {
+			return fmt.Errorf("-checkpoint-dir has no effect on a coordinator: its durable state lives on the workers it polls")
 		}
 		return c.runMergeMode(method)
 	}
@@ -347,20 +395,29 @@ func (c *cli) run() error {
 	if err != nil {
 		return err
 	}
-	acc, err := newIngester(stream.Config{K: k, Star: c.star, N: c.popN, Size: method, Replicates: bc}, c.shards)
+	reg, err := job.NewRegistry(c.checkpointDir, c.checkpointInterval, slog.Default())
 	if err != nil {
 		return err
 	}
-	srv := newServer(acc, names)
+	def, err := reg.Create(job.Spec{
+		Name: job.DefaultName, K: k, Names: names, Star: c.star, N: c.popN,
+		Size: c.size, Shards: c.shards, Bootstrap: bc.B, BootstrapSeed: bc.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	srv := newServerWithJobs(reg, def)
 	if c.flushEvery > 0 {
 		srv.startDeferredFlush(c.flushEvery)
 	}
+	reg.Start()
 	if c.pprofOn {
 		registerPprof(srv.mux)
 	}
 	slog.Info("topoestd serving",
 		"addr", c.addr, "k", k, "scenario", scenarioName(c.star),
-		"ingest", ingestMode(acc), "flush_interval", c.flushEvery, "bootstrap_b", bc.B)
+		"ingest", ingestMode(def.Acc()), "flush_interval", c.flushEvery, "bootstrap_b", bc.B,
+		"checkpoint_dir", c.checkpointDir, "gen", def.Acc().Gen())
 	return listenAndServe(c.addr, srv, srv.shutdown)
 }
 
@@ -492,31 +549,38 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 		bc.B = 100
 		slog.Info("crawl targets set without -bootstrap; defaulting replicates", "bootstrap_b", bc.B)
 	}
-	acc, err := newIngester(stream.Config{
-		K: src.NumCategories(), Star: c.star, N: float64(src.NumNodes()), Size: method, Replicates: bc,
-	}, c.shards)
+	reg, err := job.NewRegistry(c.checkpointDir, c.checkpointInterval, slog.Default())
 	if err != nil {
 		return err
 	}
-	srv := newServer(acc, names)
+	def, err := reg.Create(job.Spec{
+		Name: job.DefaultName, K: src.NumCategories(), Names: names, Star: c.star,
+		N: float64(src.NumNodes()), Size: c.size, Shards: c.shards,
+		Bootstrap: bc.B, BootstrapSeed: bc.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	srv := newServerWithJobs(reg, def)
 	srv.crawlSource = src
 	srv.crawlDefaults = adaptive
 	if c.flushEvery > 0 {
 		srv.startDeferredFlush(c.flushEvery)
 	}
-	job, err := crawl.Start(src, acc, jobCfg)
+	cj, err := crawl.Start(src, def.Acc(), jobCfg)
 	if err != nil {
 		if errors.Is(err, sample.ErrNoEdges) {
 			return fmt.Errorf("crawl backend is not walkable (every reachable start is edgeless): %w", err)
 		}
 		return err
 	}
-	srv.job = job
+	def.AdoptCrawl(cj)
+	reg.Start()
 	if c.pprofOn {
 		registerPprof(srv.mux)
 	}
 	go func() {
-		if _, err := job.Wait(); err != nil {
+		if _, err := cj.Wait(); err != nil {
 			slog.Error("crawl failed", "err", err)
 		}
 	}()
@@ -630,19 +694,7 @@ func parseCats(s string) ([]int, error) {
 	return cats, nil
 }
 
-func parseSizeMethod(s string) (core.SizeMethod, error) {
-	switch s {
-	case "auto":
-		return core.SizeMethodAuto, nil
-	case "induced":
-		return core.SizeMethodInduced, nil
-	case "star":
-		return core.SizeMethodStar, nil
-	case "star-pooled":
-		return core.SizeMethodStarPooled, nil
-	}
-	return 0, fmt.Errorf("unknown size method %q", s)
-}
+func parseSizeMethod(s string) (core.SizeMethod, error) { return job.ParseSizeMethod(s) }
 
 func scenarioName(star bool) string {
 	if star {
@@ -651,107 +703,125 @@ func scenarioName(star bool) string {
 	return "induced"
 }
 
-// server is the HTTP facade over one accumulator. Snapshots are cached so
-// that read-heavy traffic between ingests costs one O(K²) estimate, not one
-// per request — and so the accumulator's convergence baseline advances only
-// when the stream does.
+// server is the HTTP facade over the daemon's job registry. Every
+// estimation stream is a *job.Job — accumulator, snapshot cache, crawl slot
+// and checkpoint state live there — and every per-stream route exists twice:
+// under /jobs/{job}/... for the named job and un-prefixed as an alias for
+// the "default" job, so single-tenant clients never see the tenant layer.
 type server struct {
 	mux   *http.ServeMux
-	acc   stream.Ingester
-	names []string
 	start time.Time
 
-	// epoch is acc's epoch-merged form when it has one (nil behind the
-	// single-lock accumulator). The deferred-flush ingest path of
-	// -flush-interval parks writer-private locals on idleLocals between
-	// requests; the background flusher folds the idle ones into the
-	// published view every flushEvery and a request in flight simply keeps
-	// its local out of the list until it returns it, so no Local is ever
-	// touched by two goroutines.
-	epoch      *stream.EpochAccumulator
+	// jobs is the tenant registry; def is the "default" job the legacy
+	// un-prefixed routes serve; template seeds POST /jobs specs — a new job
+	// inherits the daemon's flag-derived configuration except where the
+	// request body overrides it.
+	jobs     *job.Registry
+	def      *job.Job
+	template job.Spec
+
+	// The deferred-flush ingest path of -flush-interval parks writer-private
+	// locals on each job between requests; the background flusher folds the
+	// idle ones of every job into the published views each flushEvery, and a
+	// request in flight simply keeps its local out of the job's pool until
+	// it returns it, so no Local is ever touched by two goroutines.
 	flushEvery time.Duration
 	flushStop  chan struct{}
 	flushDone  chan struct{}
-	localMu    sync.Mutex
-	idleLocals []*stream.Local
 
 	// crawlSource is the graph backend of crawl/demo mode — generated,
 	// packed out-of-core, or rate-limited (nil when the daemon only serves
 	// externally pushed records); crawlDefaults seeds the configuration of
-	// POST /crawl jobs.
+	// POST /crawl jobs. Both are daemon-level: every job crawls the same
+	// backend, each into its own accumulator.
 	crawlSource   graph.Source
 	crawlDefaults crawl.Config
-
-	mu        sync.Mutex
-	cached    *stream.Snapshot
-	cachedCG  *catgraph.Graph
-	cachedGen uint64
 
 	// merger is non-nil on a -merge-from coordinator; /healthz then carries
 	// its per-worker status and shutdown stops its poll loop.
 	merger *merger
-
-	crawlMu sync.Mutex
-	job     *crawl.Crawl
 }
 
+// jobHandler is a per-stream handler: the routing layer resolves which job
+// the request addresses and the handler works purely against it.
+type jobHandler func(w http.ResponseWriter, r *http.Request, j *job.Job)
+
+// newServer builds a server over a lone accumulator: a registry without a
+// checkpoint directory whose default job adopts acc. The daemon's
+// single-tenant construction path and every pre-existing test go through
+// here; durable multi-tenant deployments use newServerWithJobs directly.
 func newServer(acc stream.Ingester, names []string) *server {
-	if names == nil {
-		names = make([]string, acc.Config().K)
-		for i := range names {
-			names[i] = fmt.Sprintf("C%d", i)
-		}
+	reg, err := job.NewRegistry("", 0, nil)
+	if err != nil {
+		panic(err) // unreachable: no directory to create
 	}
-	s := &server{mux: http.NewServeMux(), acc: acc, names: names, start: time.Now()}
-	s.epoch, _ = acc.(*stream.EpochAccumulator)
-	s.mux.HandleFunc("POST /ingest", instrument("/ingest", s.handleIngest))
-	s.mux.HandleFunc("GET /estimate", instrument("/estimate", s.handleEstimate))
-	s.mux.HandleFunc("GET /categorygraph.tsv", instrument("/categorygraph.tsv", s.handleTSV))
-	s.mux.HandleFunc("GET /sums", instrument("/sums", s.handleSums))
+	def, err := reg.Adopt(adoptSpec(acc), acc, names)
+	if err != nil {
+		panic(err) // unreachable: fresh registry, constant valid name
+	}
+	return newServerWithJobs(reg, def)
+}
+
+// adoptSpec reverse-engineers a job spec from a pre-built accumulator.
+func adoptSpec(acc stream.Ingester) job.Spec {
+	cfg := acc.Config()
+	shards := 1
+	if _, ok := acc.(*stream.EpochAccumulator); ok {
+		shards = 2
+	}
+	return job.Spec{
+		Name: job.DefaultName, K: cfg.K, Star: cfg.Star, N: cfg.N,
+		Size: cfg.Size.String(), Shards: shards,
+		Bootstrap: cfg.Replicates.B, BootstrapSeed: cfg.Replicates.Seed,
+	}
+}
+
+// newServerWithJobs builds the HTTP facade over a populated registry whose
+// default job is def. Every per-stream route is registered twice: once
+// un-prefixed, bound to the default job, and once under /jobs/{job}/.
+func newServerWithJobs(reg *job.Registry, def *job.Job) *server {
+	s := &server{mux: http.NewServeMux(), start: time.Now(), jobs: reg, def: def, template: def.Spec()}
+	routes := []struct {
+		method, path string
+		h            jobHandler
+	}{
+		{"POST", "/ingest", s.handleIngest},
+		{"GET", "/estimate", s.handleEstimate},
+		{"GET", "/categorygraph.tsv", s.handleTSV},
+		{"GET", "/sums", s.handleSums},
+		{"POST", "/crawl", s.handleCrawlStart},
+		{"GET", "/crawl/status", s.handleCrawlStatus},
+	}
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.method+" "+rt.path, instrument(rt.path, s.forDefault(rt.h)))
+		s.mux.HandleFunc(rt.method+" /jobs/{job}"+rt.path, instrument("/jobs/{job}"+rt.path, s.forJob(rt.h)))
+	}
+	s.mux.HandleFunc("POST /jobs", instrument("/jobs", s.handleJobCreate))
+	s.mux.HandleFunc("GET /jobs", instrument("/jobs", s.handleJobList))
+	s.mux.HandleFunc("DELETE /jobs/{job}", instrument("/jobs/{job}", s.handleJobDelete))
 	s.mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealthz))
-	s.mux.HandleFunc("POST /crawl", instrument("/crawl", s.handleCrawlStart))
-	s.mux.HandleFunc("GET /crawl/status", instrument("/crawl/status", s.handleCrawlStatus))
 	s.mux.Handle("GET /metrics", obs.Handler(obs.Default))
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// snapshot returns the current estimate and its category-graph view,
-// reusing the cached pair while no new records have been applied — so
-// read-heavy polling between ingests costs one O(K²) recompute total, not
-// per request.
-//
-// Freshness is keyed on the accumulator's monotone ingest generation
-// (Ingester.Gen), NOT on Draws: Gen is a single atomic counter that
-// advances exactly when applied records become visible — per record for
-// the single-lock accumulator, at epoch flush for the epoch-merged one —
-// so reading the same value twice guarantees nothing new was published in
-// between. (The retired lock-sharded accumulator motivated this key: its
-// draw count summed per-shard counters one lock at a time, and that sum
-// could tear under concurrent ingest, letting a stale snapshot be served
-// as fresh.) Reading Gen BEFORE taking the snapshot makes the key
-// conservative — a record racing the snapshot is re-estimated on the next
-// request rather than ever being missed — and records parked in unflushed
-// locals leave Gen unchanged, so deferred-flush ingest never invalidates
-// the cache before its records are actually visible.
-func (s *server) snapshot() (*stream.Snapshot, *catgraph.Graph, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	gen := s.acc.Gen()
-	if s.cached != nil && s.cachedGen == gen {
-		return s.cached, s.cachedCG, nil
+// forDefault binds a per-stream handler to the default job — the legacy
+// un-prefixed routes.
+func (s *server) forDefault(h jobHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.def) }
+}
+
+// forJob resolves the {job} path segment against the registry.
+func (s *server) forJob(h jobHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.jobs.Get(r.PathValue("job"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		h(w, r, j)
 	}
-	snap, err := s.acc.Snapshot()
-	if err != nil {
-		return nil, nil, err
-	}
-	cg, err := catgraph.FromEstimate(snap.Result, s.names)
-	if err != nil {
-		return nil, nil, err
-	}
-	s.cached, s.cachedCG, s.cachedGen = snap, cg, gen
-	return snap, cg, nil
 }
 
 // ingestMode names the accumulator's concurrency design for logs and
@@ -767,13 +837,15 @@ func ingestMode(acc stream.Ingester) string {
 }
 
 // startDeferredFlush switches POST /ingest from flush-per-request to the
-// deferred path: each request borrows a pooled writer-private local,
-// validates and accumulates its records there, and returns it unflushed;
-// a background ticker folds the idle locals into the published view every
-// d. Call before the server starts serving — the switch is not
-// synchronized with in-flight requests.
+// deferred path: each request borrows a pooled writer-private local of its
+// job, validates and accumulates its records there, and returns it
+// unflushed; a background ticker folds every job's idle locals into the
+// published views each d. Jobs on the single-lock accumulator are
+// unaffected — their ingest keeps flushing per request. Call before the
+// server starts serving — the switch is not synchronized with in-flight
+// requests.
 func (s *server) startDeferredFlush(d time.Duration) {
-	if s.epoch == nil || d <= 0 {
+	if d <= 0 {
 		return
 	}
 	s.flushEvery = d
@@ -808,12 +880,16 @@ func (s *server) stopDeferredFlush() {
 
 // shutdown runs after the HTTP server has stopped accepting requests and
 // drained the in-flight ones: publish every record still buffered in the
-// deferred flusher's pooled locals, and stop the merge poll loop if this
-// daemon is a coordinator.
+// deferred flusher's pooled locals, stop the merge poll loop if this daemon
+// is a coordinator, and write one final checkpoint per job (registry
+// shutdown) so everything acknowledged is durable before the process exits.
 func (s *server) shutdown() {
 	s.stopDeferredFlush()
 	if s.merger != nil {
 		s.merger.stopWait()
+	}
+	if err := s.jobs.Shutdown(); err != nil {
+		slog.Error("final checkpoint failed", "err", err)
 	}
 }
 
@@ -823,8 +899,8 @@ func (s *server) shutdown() {
 // version header lets a coordinator reject a newer format before parsing.
 // It works over any Ingester, so a coordinator also serves /sums and tiers
 // stack.
-func (s *server) handleSums(w http.ResponseWriter, r *http.Request) {
-	st, err := s.acc.Export()
+func (s *server) handleSums(w http.ResponseWriter, r *http.Request, j *job.Job) {
+	st, err := j.Acc().Export()
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -847,50 +923,18 @@ func (s *server) handleSums(w http.ResponseWriter, r *http.Request) {
 	w.Write(enc)
 }
 
-// takeLocal borrows an idle writer-private local, growing the pool on
-// demand. The caller must return it with putLocal.
-func (s *server) takeLocal() *stream.Local {
-	s.localMu.Lock()
-	defer s.localMu.Unlock()
-	if n := len(s.idleLocals); n > 0 {
-		l := s.idleLocals[n-1]
-		s.idleLocals = s.idleLocals[:n-1]
-		return l
-	}
-	return s.epoch.NewLocal()
-}
-
-func (s *server) putLocal(l *stream.Local) {
-	s.localMu.Lock()
-	s.idleLocals = append(s.idleLocals, l)
-	s.localMu.Unlock()
-}
-
-// flushIdleLocals publishes every idle local's epoch. The locals are
-// detached from the pool first so ingest requests keep borrowing and
-// returning while the (possibly slow) flushes run without the pool lock.
-// Records dropped by a flush (per-node constants that lost a first-touch
-// race to a contradicting writer) are already counted by the
-// stream_ingest_rejected_total{reason="flush_conflict"} metric; they are
-// logged here because for an HTTP client they are the deferred analogue
-// of a 422 the request path could no longer report.
+// flushIdleLocals publishes every job's idle locals (the borrow/flush
+// mechanics live on job.Job). Records dropped by a flush (per-node constants
+// that lost a first-touch race to a contradicting writer) are already
+// counted by the stream_ingest_rejected_total{reason="flush_conflict"}
+// metric; they are logged here because for an HTTP client they are the
+// deferred analogue of a 422 the request path could no longer report.
 func (s *server) flushIdleLocals() (applied, dropped int) {
-	s.localMu.Lock()
-	locals := s.idleLocals
-	s.idleLocals = nil
-	s.localMu.Unlock()
-	for _, l := range locals {
-		a, d := l.Flush()
-		applied += a
-		dropped += d
-	}
+	applied, dropped = s.jobs.FlushIdleAll()
 	if dropped > 0 {
 		slog.Warn("deferred flush dropped records with conflicting per-node constants",
 			"dropped", dropped, "applied", applied)
 	}
-	s.localMu.Lock()
-	s.idleLocals = append(s.idleLocals, locals...)
-	s.localMu.Unlock()
 	return applied, dropped
 }
 
@@ -913,7 +957,8 @@ type wireRecord struct {
 	Peers  []int32   `json:"peers"`
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, j *job.Job) {
+	t0 := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
@@ -954,7 +999,8 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Deg: wr.Deg, NbrCat: wr.NbrCat, NbrCnt: wr.NbrCnt, Peers: wr.Peers,
 		}
 	}
-	n, err := s.ingestRecords(recs)
+	n, err := s.ingestRecords(j, recs)
+	j.NoteIngest(n, len(body), t0)
 	if errors.Is(err, stream.ErrReadOnly) {
 		httpError(w, http.StatusForbidden, "this daemon is a merge coordinator; ingest on the workers it polls")
 		return
@@ -967,29 +1013,31 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int{"ingested": n, "draws": s.acc.Draws()})
+	json.NewEncoder(w).Encode(map[string]int{"ingested": n, "draws": j.Acc().Draws()})
 }
 
-// ingestRecords applies one request's batch. Normally it goes straight to
-// the accumulator (the epoch-merged one flushes internally before
-// returning, so the HTTP ack implies /estimate visibility, exactly like
-// the single-lock path). In deferred-flush mode the records accumulate in
-// a borrowed writer-private local instead and the background ticker
-// publishes them later; the valid-prefix contract is unchanged — on error
-// the first n records are durably recorded in the local's epoch — but
-// "draws" in the response and /estimate lag until the next flush.
-func (s *server) ingestRecords(recs []sample.NodeObservation) (int, error) {
-	if s.flushStop == nil {
-		return s.acc.IngestBatch(recs)
-	}
-	l := s.takeLocal()
-	defer s.putLocal(l)
-	for i, rec := range recs {
-		if err := l.Ingest(rec); err != nil {
-			return i, err
+// ingestRecords applies one request's batch to the job's stream. Normally
+// it goes straight to the accumulator (the epoch-merged one flushes
+// internally before returning, so the HTTP ack implies /estimate
+// visibility, exactly like the single-lock path). In deferred-flush mode
+// the records accumulate in a borrowed writer-private local of the job
+// instead and the background ticker publishes them later; the valid-prefix
+// contract is unchanged — on error the first n records are durably recorded
+// in the local's epoch — but "draws" in the response and /estimate lag
+// until the next flush.
+func (s *server) ingestRecords(j *job.Job, recs []sample.NodeObservation) (int, error) {
+	if s.flushStop != nil {
+		if l := j.TakeLocal(); l != nil {
+			defer j.PutLocal(l)
+			for i, rec := range recs {
+				if err := l.Ingest(rec); err != nil {
+					return i, err
+				}
+			}
+			return len(recs), nil
 		}
 	}
-	return len(recs), nil
+	return j.Acc().IngestBatch(recs)
 }
 
 // ingestError writes the structured /ingest error body: the human-readable
@@ -1073,9 +1121,9 @@ func finiteIv(iv uncert.Interval) *[2]float64 {
 // configuration: (0, false, nil) when intervals are off (no -bootstrap and
 // no ?ci=), the level and true when they are on, an error for ?ci= without
 // -bootstrap or a level outside (0, 1).
-func (s *server) ciLevel(r *http.Request) (float64, bool, error) {
+func ciLevel(r *http.Request, j *job.Job) (float64, bool, error) {
 	raw := r.URL.Query().Get("ci")
-	bootOn := s.acc.Config().Replicates.Enabled()
+	bootOn := j.Acc().Config().Replicates.Enabled()
 	if raw == "" {
 		return 0.95, bootOn, nil
 	}
@@ -1089,13 +1137,13 @@ func (s *server) ciLevel(r *http.Request) (float64, bool, error) {
 	return level, true, nil
 }
 
-func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	level, withCI, err := s.ciLevel(r)
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, j *job.Job) {
+	level, withCI, err := ciLevel(r, j)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, cg, err := s.snapshot()
+	snap, cg, err := j.Snapshot()
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -1121,7 +1169,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	for c, size := range snap.Result.Sizes {
 		entry := sizeEntry{
-			Cat: int32(c), Name: s.names[c], Size: size,
+			Cat: int32(c), Name: j.Names()[c], Size: size,
 			Within: finitePtr(snap.Within[c]),
 		}
 		if withCI && snap.Boot != nil {
@@ -1144,8 +1192,8 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(doc)
 }
 
-func (s *server) handleTSV(w http.ResponseWriter, r *http.Request) {
-	_, cg, err := s.snapshot()
+func (s *server) handleTSV(w http.ResponseWriter, r *http.Request, j *job.Job) {
+	_, cg, err := j.Snapshot()
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -1216,11 +1264,13 @@ func (req *crawlReq) apply(cfg crawl.Config) crawl.Config {
 	return cfg
 }
 
-// handleCrawlStart launches an adaptive crawl job against the daemon's
-// generated graph, streaming into the daemon's accumulator. One job runs at
-// a time: starting while one is active is a 409; finished jobs may be
-// superseded (the accumulator keeps pooling draws across jobs).
-func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request) {
+// handleCrawlStart launches an adaptive crawl against the daemon's
+// generated graph, streaming into the addressed job's accumulator. One
+// crawl runs at a time per job — starting while the job's crawl is active
+// is a 409, while crawls in other jobs proceed concurrently; finished
+// crawls may be superseded (the accumulator keeps pooling draws across
+// them).
+func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request, j *job.Job) {
 	if s.crawlSource == nil {
 		httpError(w, http.StatusNotFound, "no crawl backend: start the daemon with -crawl or -demo")
 		return
@@ -1238,17 +1288,11 @@ func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	cfg := req.apply(s.crawlDefaults)
-	s.crawlMu.Lock()
-	defer s.crawlMu.Unlock()
-	if s.job != nil {
-		select {
-		case <-s.job.Done():
-		default:
-			httpError(w, http.StatusConflict, "a crawl job is already running; poll GET /crawl/status")
-			return
-		}
+	_, err = j.StartCrawl(s.crawlSource, cfg)
+	if errors.Is(err, job.ErrCrawlRunning) {
+		httpError(w, http.StatusConflict, "a crawl is already running in job %q; poll its crawl/status", j.Name())
+		return
 	}
-	job, err := crawl.Start(s.crawlSource, s.acc, cfg)
 	if err != nil {
 		if errors.Is(err, sample.ErrNoEdges) {
 			httpError(w, http.StatusUnprocessableEntity, "crawl backend is not walkable: %v", err)
@@ -1257,8 +1301,7 @@ func (s *server) handleCrawlStart(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.job = job
-	slog.Info("crawl started",
+	slog.Info("crawl started", "job", j.Name(),
 		"walkers", max(cfg.Walkers, 1), "sampler", orDefault(cfg.Sampler, crawl.SamplerRW),
 		"engine", orDefault(string(cfg.Engine), string(crawl.EngineBootstrap)),
 		"size_target", cfg.SizeTarget, "max_draws", cfg.MaxDraws)
@@ -1335,16 +1378,14 @@ func checkpointToDoc(cp *crawl.Checkpoint) *checkpointDoc {
 	}
 }
 
-// handleCrawlStatus reports the live state of the crawl job: per-walker
+// handleCrawlStatus reports the live state of the job's crawl: per-walker
 // progress, the most recent stopping-rule checkpoint with its CI
 // half-widths, and — once finished — the stop reason.
-func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
-	s.crawlMu.Lock()
-	job := s.job
-	s.crawlMu.Unlock()
+func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request, j *job.Job) {
+	c := j.Crawl()
 	doc := crawlStatusDoc{State: "none"}
-	if job != nil {
-		st := job.Status()
+	if c != nil {
+		st := c.Status()
 		doc.Draws = st.Draws
 		doc.MaxDraws = st.MaxDraws
 		for _, ws := range st.Walkers {
@@ -1356,7 +1397,7 @@ func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
 		doc.Checkpoint = checkpointToDoc(st.Last)
 		if st.Running {
 			doc.State = "running"
-		} else if res, err := job.Wait(); err != nil {
+		} else if res, err := c.Wait(); err != nil {
 			doc.State = "failed"
 			doc.Error = err.Error()
 		} else {
@@ -1376,21 +1417,24 @@ func (s *server) handleCrawlStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports liveness plus enough build and workload context to
-// identify what is running: accumulator configuration and stream position,
+// identify what is running: accumulator configuration and stream position
+// of the default job (the top-level fields every pre-existing probe reads),
 // process pulse (uptime, goroutines), the build the binary was compiled
-// from, and the process-wide cumulative ingest and crawl counters (the same
-// totals /metrics exports, in JSON for humans and probes).
+// from, the process-wide cumulative ingest and crawl counters (the same
+// totals /metrics exports, in JSON for humans and probes), and a per-job
+// section with each job's stream position, crawl state and last checkpoint.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	acc := s.def.Acc()
 	doc := map[string]any{
 		"status":           "ok",
-		"scenario":         scenarioName(s.acc.Config().Star),
-		"k":                s.acc.Config().K,
-		"accumulator":      ingestMode(s.acc),
+		"scenario":         scenarioName(acc.Config().Star),
+		"k":                acc.Config().K,
+		"accumulator":      ingestMode(acc),
 		"flush_interval_s": s.flushEvery.Seconds(),
-		"bootstrap_b":      s.acc.Config().Replicates.B,
-		"draws":            s.acc.Draws(),
-		"distinct":         s.acc.Distinct(),
+		"bootstrap_b":      acc.Config().Replicates.B,
+		"draws":            acc.Draws(),
+		"distinct":         acc.Distinct(),
 		"uptime_s":         time.Since(s.start).Seconds(),
 		"go_version":       runtime.Version(),
 		"goroutines":       runtime.NumGoroutine(),
@@ -1404,10 +1448,179 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"checkpoints": crawl.CheckpointsTotal(),
 		},
 	}
+	jobs := map[string]any{}
+	for _, jb := range s.jobs.List() {
+		jobs[jb.Name()] = jobDoc(jb)
+	}
+	doc["jobs"] = jobs
 	if s.merger != nil {
 		doc["merge"] = s.merger.status()
 	}
 	json.NewEncoder(w).Encode(doc)
+}
+
+// jobDoc is the JSON shape one job takes in GET /jobs and the /healthz jobs
+// section.
+func jobDoc(j *job.Job) map[string]any {
+	acc := j.Acc()
+	doc := map[string]any{
+		"name":        j.Name(),
+		"k":           acc.Config().K,
+		"scenario":    scenarioName(acc.Config().Star),
+		"accumulator": ingestMode(acc),
+		"bootstrap_b": acc.Config().Replicates.B,
+		"draws":       acc.Draws(),
+		"distinct":    acc.Distinct(),
+		"gen":         acc.Gen(),
+		"crawl":       crawlStateName(j),
+	}
+	if gen, at := j.CheckpointStatus(); !at.IsZero() || gen > 0 {
+		doc["checkpoint_gen"] = gen
+		if !at.IsZero() {
+			doc["checkpoint_age_s"] = time.Since(at).Seconds()
+		}
+	}
+	return doc
+}
+
+// crawlStateName summarizes the job's crawl slot for listings.
+func crawlStateName(j *job.Job) string {
+	c := j.Crawl()
+	if c == nil {
+		return "none"
+	}
+	if j.CrawlRunning() {
+		return "running"
+	}
+	if _, err := c.Wait(); err != nil {
+		return "failed"
+	}
+	return "done"
+}
+
+// handleJobCreate registers a new job. The request body is the job's spec:
+// "name" is required; every other field defaults to the daemon's
+// flag-derived configuration, so {"name":"x"} clones the default job's
+// shape. With -checkpoint-dir, a job whose checkpoint file holds a valid
+// frame resumes from it (identity mismatch is a 409 — the durable state
+// contradicts the request).
+func (s *server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req jobReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, `job spec needs a "name"`)
+		return
+	}
+	spec := req.apply(s.template)
+	j, err := s.jobs.Create(spec)
+	switch {
+	case errors.Is(err, job.ErrExists):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		// Identity conflicts with a persisted checkpoint are 409 (the
+		// durable state wins); everything else is a bad spec.
+		if strings.Contains(err.Error(), "checkpoint") {
+			httpError(w, http.StatusConflict, "%v", err)
+		} else {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	slog.Info("job created", "job", j.Name(), "k", j.Spec().K,
+		"scenario", scenarioName(j.Spec().Star), "gen", j.Acc().Gen())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(jobDoc(j))
+}
+
+// jobReq is the wire form of POST /jobs: name plus optional overrides of
+// the daemon's flag-derived defaults (pointer fields distinguish "absent"
+// from zero values).
+type jobReq struct {
+	Name          string   `json:"name"`
+	K             *int     `json:"k"`
+	Names         []string `json:"names"`
+	Star          *bool    `json:"star"`
+	N             *float64 `json:"n"`
+	Size          *string  `json:"size"`
+	Shards        *int     `json:"shards"`
+	Bootstrap     *int     `json:"bootstrap"`
+	BootstrapSeed *uint64  `json:"bootstrap_seed"`
+}
+
+// apply folds the request's overrides into a copy of the daemon's template
+// spec.
+func (req *jobReq) apply(tmpl job.Spec) job.Spec {
+	spec := tmpl
+	spec.Name = req.Name
+	if req.K != nil {
+		spec.K = *req.K
+		spec.Names = nil
+	}
+	if req.Names != nil {
+		spec.Names = req.Names
+	}
+	if req.Star != nil {
+		spec.Star = *req.Star
+	}
+	if req.N != nil {
+		spec.N = *req.N
+	}
+	if req.Size != nil {
+		spec.Size = *req.Size
+	}
+	if req.Shards != nil {
+		spec.Shards = *req.Shards
+	}
+	if req.Bootstrap != nil {
+		spec.Bootstrap = *req.Bootstrap
+	}
+	if req.BootstrapSeed != nil {
+		spec.BootstrapSeed = *req.BootstrapSeed
+	}
+	return spec
+}
+
+// handleJobList lists every job with its stream position and crawl state.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	docs := []map[string]any{}
+	for _, j := range s.jobs.List() {
+		docs = append(docs, jobDoc(j))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"jobs": docs})
+}
+
+// handleJobDelete removes a job and its checkpoint file — the stream is
+// discarded durably. The default job is the daemon's own configuration and
+// cannot be deleted; a job with a running crawl cannot be deleted either.
+func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("job")
+	if name == job.DefaultName {
+		httpError(w, http.StatusBadRequest, "the default job cannot be deleted; it is the daemon's own stream")
+		return
+	}
+	err := s.jobs.Delete(name)
+	switch {
+	case errors.Is(err, job.ErrNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, job.ErrCrawlRunning):
+		httpError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"deleted": name})
+	}
 }
 
 // buildDoc summarizes runtime/debug.ReadBuildInfo: the main module path and

@@ -914,9 +914,7 @@ func TestCrawlEndpoints(t *testing.T) {
 		}
 	}
 	// Wait for completion via the job handle (the HTTP surface is polled).
-	srv.crawlMu.Lock()
-	job := srv.job
-	srv.crawlMu.Unlock()
+	job := srv.def.Crawl()
 	res, err := job.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -952,9 +950,7 @@ func TestCrawlEndpoints(t *testing.T) {
 	if w := post(t, srv, "/crawl", `{"max_draws":500,"size_target":0,"check_every":250}`); w.Code != http.StatusAccepted {
 		t.Fatalf("restart: %d %s", w.Code, w.Body)
 	}
-	srv.crawlMu.Lock()
-	job2 := srv.job
-	srv.crawlMu.Unlock()
+	job2 := srv.def.Crawl()
 	res2, err := job2.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -1045,9 +1041,7 @@ func TestCrawlPackedRateLimited(t *testing.T) {
 	if w := post(t, srv, "/crawl", "{}"); w.Code != http.StatusAccepted {
 		t.Fatalf("POST /crawl: %d %s", w.Code, w.Body)
 	}
-	srv.crawlMu.Lock()
-	job := srv.job
-	srv.crawlMu.Unlock()
+	job := srv.def.Crawl()
 	if _, err := job.Wait(); err != nil {
 		t.Fatal(err)
 	}
@@ -1174,9 +1168,7 @@ func TestMetricsEndToEndPackedCrawl(t *testing.T) {
 		if w := post(t, srv, "/crawl", body); w.Code != http.StatusAccepted {
 			t.Fatalf("POST /crawl: %d %s", w.Code, w.Body)
 		}
-		srv.crawlMu.Lock()
-		job := srv.job
-		srv.crawlMu.Unlock()
+		job := srv.def.Crawl()
 		if _, err := job.Wait(); err != nil {
 			t.Fatal(err)
 		}

@@ -41,7 +41,15 @@
 // workflow: ingest nodes as a crawler visits them and snapshot the live
 // estimate in O(categories²) at any time (batch and streaming share one
 // code path and agree to within float reassociation error). The
-// cmd/topoestd daemon serves this over HTTP.
+// cmd/topoestd daemon serves this over HTTP — multi-tenant: one daemon
+// hosts many named jobs (internal/job), each an independent stream with
+// its own accumulator, bootstrap configuration and crawl slot, addressed
+// as /jobs/{name}/... while the un-prefixed routes keep serving the
+// default job. With -checkpoint-dir, every job's complete resumable state
+// (ExportFullState: sums, replicates, and the node directory that re-draw
+// validation and collision accounting need) is appended periodically as a
+// CRC-framed CheckpointFrame and restored on restart, so a daemon resumes
+// mid-stream within ≤ 1e-9 of an uninterrupted run.
 //
 // The sums are also mergeable, which is the paper's own multi-crawl
 // workflow (Table 2 pools 28 and 25 independent walks): estimate several

@@ -1,0 +1,519 @@
+package job
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/crawl"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sample"
+	"repro/internal/stream"
+)
+
+// jobObs generates the deterministic observation stream shared by the
+// durability tests: 31 distinct nodes over 4 categories with star data.
+func jobObs(i int) sample.NodeObservation {
+	node := int32(i % 31)
+	c := node % 4
+	obs := sample.NodeObservation{Node: node, Cat: c, Weight: 1 + float64(node%6)/5}
+	if i%4 != 0 {
+		obs.Deg = float64(3 + node%7)
+		obs.NbrCat = []int32{(c + 1) % 4, (c + 2) % 4}
+		obs.NbrCnt = []float64{2, 1}
+	}
+	return obs
+}
+
+func ingestRange(t *testing.T, j *Job, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		if err := j.Acc().Ingest(jobObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func testSpec(name string, shards int) Spec {
+	return Spec{Name: name, K: 4, Star: true, N: 800, Shards: shards, Bootstrap: 24, BootstrapSeed: 7}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRegistry(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(Spec{Name: "bad name!", K: 2, Star: true}); err == nil {
+		t.Error("created a job with a filename-hostile name")
+	}
+	if _, err := r.Create(Spec{Name: "nok", Star: true}); err == nil {
+		t.Error("created a job with no categories")
+	}
+	a, err := r.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(testSpec("alpha", 1)); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if _, err := r.Create(Spec{Name: "named", Names: []string{"x", "y", "z"}, Star: true}); err != nil {
+		t.Fatal(err)
+	}
+	nj, _ := r.Get("named")
+	if nj.Spec().K != 3 || nj.Names()[2] != "z" {
+		t.Errorf("names did not derive k: k=%d names=%v", nj.Spec().K, nj.Names())
+	}
+	if got := a.Names(); len(got) != 4 || got[0] != "C0" {
+		t.Errorf("default names = %v", got)
+	}
+
+	names := make([]string, 0, 2)
+	for _, j := range r.List() {
+		names = append(names, j.Name())
+	}
+	if strings.Join(names, ",") != "alpha,named" {
+		t.Errorf("list = %v", names)
+	}
+
+	ingestRange(t, a, 0, 50)
+	if ok, err := a.Checkpoint(); err != nil || !ok {
+		t.Fatalf("checkpoint: ok=%v err=%v", ok, err)
+	}
+	path := filepath.Join(dir, "alpha.ckpt")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	// Unchanged generation → no new frame.
+	if ok, err := a.Checkpoint(); err != nil || ok {
+		t.Fatalf("no-advance checkpoint: ok=%v err=%v", ok, err)
+	}
+
+	if err := r.Delete("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("delete left the checkpoint file behind: %v", err)
+	}
+	if _, err := r.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := r.Delete("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartResume is the package-level durability contract: kill the
+// registry after a checkpoint, build a new one over the same directory, and
+// the job resumes — generation, estimates and bootstrap replicates — within
+// 1e-9 of a run that was never interrupted. Covered for the single-lock
+// design, the epoch design, and the cross-design restart (persisted under
+// shards=1, resumed under shards=4).
+func TestRestartResume(t *testing.T) {
+	const cut, end = 150, 300
+	cases := []struct {
+		name                 string
+		shardsOld, shardsNew int
+	}{
+		{"single", 1, 1},
+		{"epoch", 4, 4},
+		{"cross", 1, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+
+			// The uninterrupted baseline.
+			base, err := NewRegistry("", 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj, err := base.Create(testSpec("ref", tc.shardsNew))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestRange(t, bj, 0, end)
+			want, _, err := bj.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// First life: ingest the head, checkpoint via Shutdown.
+			r1, err := NewRegistry(dir, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j1, err := r1.Create(testSpec("alpha", tc.shardsOld))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestRange(t, j1, 0, cut)
+			if err := r1.Shutdown(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Second life: same directory, serving shard count of the case.
+			r2, err := NewRegistry(dir, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j2, err := r2.Create(testSpec("alpha", tc.shardsNew))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen := j2.Acc().Gen(); gen != cut {
+				t.Fatalf("restored gen = %d, want %d", gen, cut)
+			}
+			if ckGen, _ := j2.CheckpointStatus(); ckGen != cut {
+				t.Fatalf("restored checkpoint gen = %d, want %d", ckGen, cut)
+			}
+			ingestRange(t, j2, cut, end)
+			got, _, err := j2.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.Draws != want.Draws || got.Distinct != want.Distinct {
+				t.Fatalf("draws/distinct: got %d/%d want %d/%d",
+					got.Draws, got.Distinct, want.Draws, want.Distinct)
+			}
+			close := func(a, b float64) bool {
+				if a == b {
+					return true
+				}
+				return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+			}
+			if !close(got.PopEstimate, want.PopEstimate) {
+				t.Errorf("pop estimate %.17g vs %.17g", got.PopEstimate, want.PopEstimate)
+			}
+			for c := range want.Result.Sizes {
+				if !close(got.Result.Sizes[c], want.Result.Sizes[c]) {
+					t.Errorf("size[%d] %.17g vs %.17g", c, got.Result.Sizes[c], want.Result.Sizes[c])
+				}
+			}
+			if want.Boot != nil {
+				if got.Boot == nil {
+					t.Fatal("restored run lost its bootstrap replicates")
+				}
+				for c := range want.Boot.Sizes {
+					for b := range want.Boot.Sizes[c] {
+						gb, wb := got.Boot.Sizes[c][b], want.Boot.Sizes[c][b]
+						if math.IsNaN(gb) != math.IsNaN(wb) || (!math.IsNaN(wb) && !close(gb, wb)) {
+							t.Fatalf("boot size replicate [%d][%d] %.17g vs %.17g", c, b, gb, wb)
+						}
+					}
+				}
+			}
+			if err := r2.Shutdown(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRestoreIdentityMismatch pins the compatibility rule: serving fields
+// may change across a restart, identity fields may not.
+func TestRestoreIdentityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	r1, _ := NewRegistry(dir, 0, nil)
+	j, err := r1.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestRange(t, j, 0, 40)
+	if err := r1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := map[string]Spec{}
+	s := testSpec("alpha", 1)
+	s.K = 5
+	bad["k"] = s
+	s = testSpec("alpha", 1)
+	s.Star = false
+	bad["star"] = s
+	s = testSpec("alpha", 1)
+	s.Bootstrap = 0
+	bad["bootstrap-off"] = s
+	s = testSpec("alpha", 1)
+	s.BootstrapSeed = 99
+	bad["bootstrap-seed"] = s
+
+	for name, spec := range bad {
+		r, _ := NewRegistry(dir, 0, nil)
+		if _, err := r.Create(spec); err == nil {
+			t.Errorf("%s: restore accepted an incompatible spec", name)
+		}
+	}
+
+	// Serving fields are free to change.
+	ok := testSpec("alpha", 1)
+	ok.N = 123456
+	ok.Size = "star"
+	r, _ := NewRegistry(dir, 0, nil)
+	if _, err := r.Create(ok); err != nil {
+		t.Errorf("serving-field change rejected: %v", err)
+	}
+}
+
+// TestTornTailTruncation writes garbage after the last intact frame (the
+// crash-mid-append signature) and checks that Create both restores the
+// intact frame and trims the file so the next append stays readable.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	r1, _ := NewRegistry(dir, 0, nil)
+	j, err := r1.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestRange(t, j, 0, 60)
+	if err := r1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "alpha.ckpt")
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn-frame-garbage")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r2, _ := NewRegistry(dir, 0, nil)
+	j2, err := r2.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := j2.Acc().Gen(); gen != 60 {
+		t.Fatalf("restored gen = %d, want 60", gen)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(intact) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", len(after), len(intact))
+	}
+
+	// The next cycle appends a readable second frame.
+	ingestRange(t, j2, 60, 90)
+	if ok, err := j2.Checkpoint(); err != nil || !ok {
+		t.Fatalf("post-trim checkpoint: ok=%v err=%v", ok, err)
+	}
+	if err := r2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := NewRegistry(dir, 0, nil)
+	j3, err := r3.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := j3.Acc().Gen(); gen != 90 {
+		t.Fatalf("second-cycle restore gen = %d, want 90", gen)
+	}
+}
+
+// TestDeferredLocals covers the epoch job's borrowed-local pool: records
+// ingested through locals publish on FlushIdle, and Shutdown's final flush
+// makes them durable.
+func TestDeferredLocals(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewRegistry(dir, 0, nil)
+	j, err := r.Create(testSpec("alpha", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single, _ := r.Create(testSpec("solo", 1))
+	if single.TakeLocal() != nil {
+		t.Error("single-lock job handed out a local")
+	}
+
+	l := j.TakeLocal()
+	if l == nil {
+		t.Fatal("epoch job refused a local")
+	}
+	for i := 0; i < 80; i++ {
+		if err := l.Ingest(jobObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.PutLocal(l)
+	if gen := j.Acc().Gen(); gen != 0 {
+		t.Fatalf("unflushed local already published gen %d", gen)
+	}
+	if applied, dropped := j.FlushIdle(); applied != 80 || dropped != 0 {
+		t.Fatalf("flush applied %d dropped %d", applied, dropped)
+	}
+	if gen := j.Acc().Gen(); gen != 80 {
+		t.Fatalf("gen after flush = %d", gen)
+	}
+
+	// Records still parked in a local at shutdown are flushed before the
+	// final checkpoint.
+	l = j.TakeLocal()
+	for i := 80; i < 100; i++ {
+		if err := l.Ingest(jobObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.PutLocal(l)
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRegistry(dir, 0, nil)
+	j2, err := r2.Create(testSpec("alpha", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := j2.Acc().Gen(); gen != 100 {
+		t.Fatalf("restored gen = %d, want 100 (shutdown flush lost records)", gen)
+	}
+}
+
+// TestPeriodicCheckpoint runs the registry ticker at a short interval and
+// waits for a frame to appear without an explicit Checkpoint call.
+func TestPeriodicCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRegistry(dir, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := r.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	ingestRange(t, j, 0, 30)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if gen, _ := j.CheckpointStatus(); gen == 30 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never checkpointed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gatedSource blocks every neighbor query until the gate opens — it keeps a
+// test crawl verifiably "running" without timing assumptions.
+type gatedSource struct {
+	graph.Source
+	gate    chan struct{}
+	touched sync.WaitGroup
+	once    sync.Once
+}
+
+func (g *gatedSource) Neighbors(v int32) []int32 {
+	g.once.Do(g.touched.Done)
+	<-g.gate
+	return g.Source.Neighbors(v)
+}
+
+// TestCrawlSlots pins the per-job crawl rule: one crawl at a time within a
+// job, independent crawls across jobs, and no deletion under a live crawl.
+func TestCrawlSlots(t *testing.T) {
+	g, err := gen.Social(randx.New(44), gen.SocialConfig{
+		N: 300, MeanDeg: 8, Dist: gen.PowerLaw, Shape: 2.5,
+		Comms: 4, CommZipf: 0.8, Mixing: 0.3, Connect: true, SetAsCats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewRegistry("", 0, nil)
+	spec := Spec{Name: "a", K: g.NumCategories(), Star: true, N: float64(g.N()), Shards: 4}
+	a, err := r.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Name = "b"
+	b, err := r.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := crawl.Config{Walkers: 2, Star: true, N: float64(g.N()), Seed: 3, MaxDraws: 400, CheckEvery: 400}
+	slow := &gatedSource{Source: g, gate: make(chan struct{})}
+	slow.touched.Add(1)
+	ca, err := a.StartCrawl(slow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.touched.Wait() // the crawl is provably inside a walk now
+
+	if _, err := a.StartCrawl(g, cfg); !errors.Is(err, ErrCrawlRunning) {
+		t.Errorf("second crawl in job a: %v", err)
+	}
+	if err := r.Delete("a"); !errors.Is(err, ErrCrawlRunning) {
+		t.Errorf("delete under live crawl: %v", err)
+	}
+	// A different job's slot is independent.
+	cb, err := b.StartCrawl(g, cfg)
+	if err != nil {
+		t.Fatalf("concurrent crawl in job b: %v", err)
+	}
+	if _, err := cb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	close(slow.gate)
+	if _, err := ca.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Finished crawls free the slot and the job.
+	if _, err := a.StartCrawl(g, cfg); err != nil {
+		t.Errorf("slot not freed after Wait: %v", err)
+	}
+	if c := a.Crawl(); c == nil {
+		t.Error("job lost its crawl handle")
+	}
+	<-a.Crawl().Done()
+	if err := r.Delete("a"); err != nil {
+		t.Errorf("delete after crawls done: %v", err)
+	}
+}
+
+// TestAdoptSkipsCheckpoint: adopted jobs (the merge pool) serve and list
+// like any other but are never checkpointed.
+func TestAdoptSkipsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewRegistry(dir, 0, nil)
+	pool, err := stream.NewPool(stream.Config{K: 3, Star: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := r.Adopt(Spec{Name: DefaultName, K: 3, Star: true}, pool, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := j.Checkpoint(); err != nil || ok {
+		t.Fatalf("adopted job checkpointed: ok=%v err=%v", ok, err)
+	}
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, DefaultName+".ckpt")); !os.IsNotExist(err) {
+		t.Errorf("adopted job left a checkpoint file: %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package job
+
+import "repro/internal/obs"
+
+// Per-job metric families, labeled by job name. These live at package level
+// because the default obs registry panics on duplicate registration: many
+// jobs (and many registries, in tests) share one process-wide family set,
+// fanning out per job through the label.
+var (
+	mIngestRecords = obs.NewCounterVec("topoestd_job_ingest_records_total",
+		"Observation records accepted through the job's ingest endpoint.", "job")
+	mIngestBytes = obs.NewCounterVec("topoestd_job_ingest_bytes_total",
+		"Request-body bytes accepted through the job's ingest endpoint.", "job")
+	mIngestSec = obs.NewHistogramVec("topoestd_job_ingest_seconds",
+		"Latency of the job's ingest batches.", obs.LatencyBuckets(), "job")
+
+	mCrawlStarts = obs.NewCounterVec("topoestd_job_crawl_starts_total",
+		"Crawls started in the job.", "job")
+
+	mCkptFrames = obs.NewCounterVec("topoestd_job_checkpoint_frames_total",
+		"Checkpoint frames appended to the job's checkpoint file.", "job")
+	mCkptBytes = obs.NewCounterVec("topoestd_job_checkpoint_bytes_total",
+		"Bytes of checkpoint frames appended to the job's checkpoint file.", "job")
+	mCkptSec = obs.NewHistogramVec("topoestd_job_checkpoint_seconds",
+		"Time to export and append one checkpoint frame.", obs.LatencyBuckets(), "job")
+	mCkptLast = obs.NewGaugeVec("topoestd_job_checkpoint_last_success_timestamp_seconds",
+		"Unix time of the job's last successful checkpoint append.", "job")
+)

@@ -119,6 +119,12 @@ type EpochAccumulator struct {
 	// /estimate cache probe touches.
 	gen core.PaddedUint64
 
+	// flushGate serializes flushes against ExportFull. Flushes hold it
+	// shared for the phase-1→phase-2 span (one RWMutex op per epoch, not
+	// per record); ExportFull takes it exclusively so its cut never sees a
+	// directory reservation whose sums merge is still mid-flight.
+	flushGate sync.RWMutex
+
 	// mu guards the published view: the merged sums and replicates, the
 	// collision scalars, and the convergence baseline.
 	mu         sync.Mutex
@@ -551,6 +557,7 @@ func (l *Local) Flush() (applied, dropped int) {
 	}
 	t0 := time.Now()
 	ea := l.ea
+	ea.flushGate.RLock()
 	var psi1, psiInv, coll float64
 	for i := range l.nodes {
 		ln := &l.nodes[i]
@@ -682,6 +689,7 @@ func (l *Local) Flush() (applied, dropped int) {
 	ea.collisions += coll
 	ea.gen.Add(uint64(applied))
 	ea.mu.Unlock()
+	ea.flushGate.RUnlock()
 
 	// Reset the epoch in place: every allocation (node slice, map buckets,
 	// sums slices, replicate grids) is reused.

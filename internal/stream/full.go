@@ -1,0 +1,264 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NodeRecord is one entry of an accumulator's node directory in
+// serialization-friendly form: the per-node constants (category, sampling
+// weight), the draw multiplicity, and the scenario payload (reconciled star
+// data, or the induced peer list). Together with a State it is everything an
+// accumulator needs to RESUME a stream, not merely to estimate from it: a
+// restore without the directory would treat a re-drawn node as fresh,
+// undercounting collisions and double-counting star mass.
+type NodeRecord struct {
+	Node   int32
+	Cat    int32
+	Mult   float64
+	Weight float64
+
+	// Star scenario.
+	StarSeen bool
+	Deg      float64
+	NbrCat   []int32
+	NbrCnt   []float64
+
+	// Induced scenario: distinct observed peers. Every edge of G[S] appears
+	// in both endpoints' lists.
+	Peers []int32
+}
+
+// FullState is the complete resumable state of an accumulator: the State cut
+// (sums, collision scalars, bootstrap replicates, generation) plus the node
+// directory at the same cut. It is the payload of the durable checkpoint
+// frames of internal/wire — restore via RestoreAccumulator or
+// RestoreEpochAccumulator and the accumulator continues exactly where the
+// exported one stood: identical estimates, identical re-draw validation,
+// identical collision accounting, to ≤ 1e-9 of an uninterrupted run (the
+// package tests pin bit-equality).
+//
+// Nodes is sorted by node id — the canonical order that makes
+// checkpoint → restore → checkpoint byte-stable.
+type FullState struct {
+	State *State
+	Nodes []NodeRecord
+}
+
+// FullExporter is the optional Ingester extension implemented by the live
+// accumulators (not by the read-only Pool, which is rebuilt from worker
+// exports each round and has nothing durable of its own): ExportFull returns
+// the complete resumable state behind durable checkpointing.
+type FullExporter interface {
+	Ingester
+	ExportFull() (*FullState, error)
+}
+
+// ExportFull returns the accumulator's complete resumable state: the State
+// cut plus the node directory, all describing the same set of applied
+// records (one critical section). It is the periodic-checkpoint path — the
+// node copies happen under the lock, which Export deliberately avoids; use
+// Export when only the mergeable statistics are needed.
+func (a *Accumulator) ExportFull() (*FullState, error) {
+	repPairs := 0
+	if a.reps != nil {
+		a.mu.Lock()
+		repPairs = a.reps.PairCount()
+		a.mu.Unlock()
+	}
+	sh, err := newStateShell(a.cfg, a.reps != nil, repPairs)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	err = sh.copyFrom(a.sums, a.reps, a.gen.Load(), int64(len(a.nodes)), a.psi1, a.psiInv, a.collisions)
+	if err != nil {
+		a.mu.Unlock()
+		panic(err)
+	}
+	nodes := make([]NodeRecord, 0, len(a.nodes))
+	for id, ns := range a.nodes {
+		nodes = append(nodes, NodeRecord{
+			Node: id, Cat: ns.cat, Mult: ns.mult, Weight: ns.weight,
+			StarSeen: ns.starSeen, Deg: ns.deg,
+			NbrCat: append([]int32(nil), ns.nbrCat...),
+			NbrCnt: append([]float64(nil), ns.nbrCnt...),
+			Peers:  append([]int32(nil), ns.peers...),
+		})
+	}
+	a.mu.Unlock()
+	sortNodeRecords(nodes)
+	return &FullState{State: sh.st, Nodes: nodes}, nil
+}
+
+// ExportFull returns the epoch-merged accumulator's complete resumable
+// state. Consistency needs more than the publish mutex here: a flush
+// reserves draw intervals in the striped directory (phase 1) before merging
+// the epoch's sums (phase 2), so between the phases the directory runs ahead
+// of the published view. ExportFull therefore takes the accumulator's
+// flush gate exclusively — flushes hold it shared for the phase-1→phase-2
+// span — so the cut sees no flush mid-flight and the directory, sums,
+// replicates and generation all agree. Records in unflushed Locals are not
+// exported (the flush-visibility contract); ingest into Locals is never
+// blocked, only flushes wait out the copy.
+func (ea *EpochAccumulator) ExportFull() (*FullState, error) {
+	ea.flushGate.Lock()
+	defer ea.flushGate.Unlock()
+	st, err := ea.Export()
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]NodeRecord, 0, st.Distinct)
+	for i := range ea.stripes {
+		stp := &ea.stripes[i]
+		stp.mu.Lock()
+		for id, sh := range stp.nodes {
+			nodes = append(nodes, NodeRecord{
+				Node: id, Cat: sh.cat, Mult: sh.mult, Weight: sh.weight,
+				StarSeen: sh.starSeen, Deg: sh.deg,
+				NbrCat: append([]int32(nil), sh.nbrCat...),
+				NbrCnt: append([]float64(nil), sh.nbrCnt...),
+			})
+		}
+		stp.mu.Unlock()
+	}
+	sortNodeRecords(nodes)
+	return &FullState{State: st, Nodes: nodes}, nil
+}
+
+func sortNodeRecords(nodes []NodeRecord) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+}
+
+// validateFull checks a FullState against the configuration it is being
+// restored under: identity parameters (partition, scenario, bootstrap
+// configuration) must match — estimation-time options (N, size method) are
+// free to differ, they are not part of the state.
+func validateFull(cfg Config, fs *FullState) error {
+	if fs == nil || fs.State == nil || fs.State.Sums == nil {
+		return fmt.Errorf("stream: restore: nil state")
+	}
+	st := fs.State
+	if st.K != cfg.K {
+		return fmt.Errorf("stream: restore: state covers %d categories, config has %d", st.K, cfg.K)
+	}
+	if st.Star != cfg.Star {
+		return fmt.Errorf("stream: restore: state has star=%v, config has star=%v", st.Star, cfg.Star)
+	}
+	switch {
+	case cfg.Replicates.Enabled() && st.Reps == nil:
+		return fmt.Errorf("stream: restore: config wants %d bootstrap replicates but the state carries none", cfg.Replicates.B)
+	case cfg.Replicates.Enabled() && st.Reps.Config() != cfg.Replicates:
+		return fmt.Errorf("stream: restore: state bootstrap config %+v conflicts with %+v", st.Reps.Config(), cfg.Replicates)
+	case !cfg.Replicates.Enabled() && st.Reps != nil:
+		return fmt.Errorf("stream: restore: state carries bootstrap replicates but the config runs without them")
+	}
+	if int64(len(fs.Nodes)) != st.Distinct {
+		return fmt.Errorf("stream: restore: %d node records but the state reports %d distinct nodes", len(fs.Nodes), st.Distinct)
+	}
+	for i := range fs.Nodes {
+		nr := &fs.Nodes[i]
+		if nr.Cat != graph.None && (nr.Cat < 0 || int(nr.Cat) >= cfg.K) {
+			return fmt.Errorf("stream: restore: node %d has category %d outside [0,%d)", nr.Node, nr.Cat, cfg.K)
+		}
+		if nr.Mult < 1 || math.IsNaN(nr.Mult) || math.IsInf(nr.Mult, 0) {
+			return fmt.Errorf("stream: restore: node %d has multiplicity %g", nr.Node, nr.Mult)
+		}
+		if nr.Weight <= 0 || math.IsNaN(nr.Weight) || math.IsInf(nr.Weight, 0) {
+			return fmt.Errorf("stream: restore: node %d has sampling weight %g", nr.Node, nr.Weight)
+		}
+		if len(nr.NbrCat) != len(nr.NbrCnt) {
+			return fmt.Errorf("stream: restore: node %d has %d neighbor categories but %d counts", nr.Node, len(nr.NbrCat), len(nr.NbrCnt))
+		}
+		if cfg.Star && len(nr.Peers) > 0 {
+			return fmt.Errorf("stream: restore: node %d carries induced peers under the star scenario", nr.Node)
+		}
+		if !cfg.Star && (nr.StarSeen || len(nr.NbrCat) > 0) {
+			return fmt.Errorf("stream: restore: node %d carries star data under the induced scenario", nr.Node)
+		}
+	}
+	return nil
+}
+
+// RestoreAccumulator builds a single-lock accumulator that resumes exactly
+// where the exported one stood: sums, collision scalars, replicates,
+// generation and the node directory are all adopted from fs. cfg supplies
+// the estimation-time options (N, size method); its identity parameters
+// must match the state. The convergence baseline restarts empty — the first
+// snapshot after a restore reports +Inf deltas, like a fresh accumulator.
+func RestoreAccumulator(cfg Config, fs *FullState) (*Accumulator, error) {
+	if err := validateFull(cfg, fs); err != nil {
+		return nil, err
+	}
+	a, err := NewAccumulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.sums.CopyFrom(fs.State.Sums); err != nil {
+		return nil, err
+	}
+	if a.reps != nil {
+		if err := a.reps.CopyFrom(fs.State.Reps); err != nil {
+			return nil, err
+		}
+	}
+	a.psi1, a.psiInv, a.collisions = fs.State.Psi1, fs.State.PsiInv, fs.State.Collisions
+	for i := range fs.Nodes {
+		nr := &fs.Nodes[i]
+		if _, dup := a.nodes[nr.Node]; dup {
+			return nil, fmt.Errorf("stream: restore: duplicate node record %d", nr.Node)
+		}
+		a.nodes[nr.Node] = &nodeState{
+			mult: nr.Mult, weight: nr.Weight, cat: nr.Cat,
+			starSeen: nr.StarSeen, deg: nr.Deg,
+			nbrCat: append([]int32(nil), nr.NbrCat...),
+			nbrCnt: append([]float64(nil), nr.NbrCnt...),
+			peers:  append([]int32(nil), nr.Peers...),
+		}
+	}
+	a.gen.Store(fs.State.Gen)
+	return a, nil
+}
+
+// RestoreEpochAccumulator builds an epoch-merged accumulator that resumes
+// exactly where the exported one stood (see RestoreAccumulator; the state
+// may equally come from a single-lock accumulator's ExportFull — the two
+// designs share the same resumable state, only the concurrency machinery
+// differs). flushEvery is as in NewEpochAccumulator.
+func RestoreEpochAccumulator(cfg Config, flushEvery int, fs *FullState) (*EpochAccumulator, error) {
+	if err := validateFull(cfg, fs); err != nil {
+		return nil, err
+	}
+	ea, err := NewEpochAccumulator(cfg, flushEvery)
+	if err != nil {
+		return nil, err
+	}
+	if err := ea.sums.CopyFrom(fs.State.Sums); err != nil {
+		return nil, err
+	}
+	if ea.reps != nil {
+		if err := ea.reps.CopyFrom(fs.State.Reps); err != nil {
+			return nil, err
+		}
+	}
+	ea.psi1, ea.psiInv, ea.collisions = fs.State.Psi1, fs.State.PsiInv, fs.State.Collisions
+	for i := range fs.Nodes {
+		nr := &fs.Nodes[i]
+		stp := ea.stripeFor(nr.Node)
+		if _, dup := stp.nodes[nr.Node]; dup {
+			return nil, fmt.Errorf("stream: restore: duplicate node record %d", nr.Node)
+		}
+		stp.nodes[nr.Node] = &sharedNode{
+			mult: nr.Mult, weight: nr.Weight, cat: nr.Cat,
+			starSeen: nr.StarSeen, deg: nr.Deg,
+			nbrCat: append([]int32(nil), nr.NbrCat...),
+			nbrCnt: append([]float64(nil), nr.NbrCnt...),
+		}
+	}
+	ea.distinct.Store(int64(len(fs.Nodes)))
+	ea.gen.Store(fs.State.Gen)
+	return ea, nil
+}

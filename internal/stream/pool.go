@@ -226,24 +226,40 @@ func (p *Pool) Snapshot() (*Snapshot, error) {
 // Export implements Ingester: the merged view as a State of its own, which
 // is what lets coordinators stack — a higher tier can pull /sums from a
 // coordinator exactly as the coordinator pulls from its workers.
+//
+// Like the live accumulators, the copy is two-phase (allocate outside the
+// mutex, memcpy inside — see stateShell), so /sums requests racing a
+// Rebuild block it only for the flat byte moves. The pool's bootstrap
+// configuration is adopted from the workers and can change between
+// Rebuilds; if it changes between the shape peek and the copy, the export
+// re-peeks and retries with a matching shell.
 func (p *Pool) Export() (*State, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := &State{
-		K:          p.cfg.K,
-		Star:       p.cfg.Star,
-		Gen:        p.gen.Load(),
-		Distinct:   p.distinct,
-		Psi1:       p.psi1,
-		PsiInv:     p.psiInv,
-		Collisions: p.collisions,
-		Sums:       core.NewSums(p.cfg.K, p.cfg.Star),
+	for {
+		p.mu.Lock()
+		repCfg := p.repCfg
+		repPairs := 0
+		if p.reps != nil {
+			repPairs = p.reps.PairCount()
+		}
+		p.mu.Unlock()
+
+		cfg := p.cfg
+		cfg.Replicates = repCfg
+		sh, err := newStateShell(cfg, repCfg.Enabled(), repPairs)
+		if err != nil {
+			return nil, err
+		}
+
+		p.mu.Lock()
+		if p.repCfg != repCfg {
+			p.mu.Unlock()
+			continue // a Rebuild swapped the bootstrap shape; re-size the shell
+		}
+		err = sh.copyFrom(p.sums, p.reps, p.gen.Load(), p.distinct, p.psi1, p.psiInv, p.collisions)
+		p.mu.Unlock()
+		if err != nil {
+			panic(err)
+		}
+		return sh.st, nil
 	}
-	if err := st.Sums.Merge(p.sums); err != nil {
-		panic(err)
-	}
-	if p.reps != nil {
-		st.Reps = p.reps.Clone()
-	}
-	return st, nil
 }

@@ -71,6 +71,11 @@ type Replicates struct {
 	big    []int32
 	bigVal []float64
 	wBuf2  []float64 // dense weights of an induced edge's second endpoint
+
+	// arena is the ReservePairs backing store: pre-allocated B-vectors for
+	// pairs not materialized yet, so CopyFrom under a publish mutex can hand
+	// out fresh pair vectors without heap allocations.
+	arena []float64
 }
 
 // NewReplicates returns empty replicate sums over k categories for the

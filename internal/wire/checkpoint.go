@@ -1,0 +1,402 @@
+package wire
+
+// Durable checkpoint frames. A checkpoint wraps a job's complete resumable
+// state — the TOPOSUM1 payload (sums, collision scalars, replicates,
+// generation) plus the node directory that Export omits — in a framed,
+// CRC-guarded container that is safe to APPEND to a file: a crash can only
+// damage the final frame, and LastCheckpoint recovers the newest frame whose
+// checksum and content both verify, ignoring any torn tail.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	     0     8  magic "TOPOCKP1"
+//	     8     4  version (currently 1)
+//	    12     4  payloadLen (bytes after the 24-byte frame header)
+//	    16     4  crc32 (IEEE) of the payload
+//	    20     4  reserved (zero)
+//	    24     …  payload
+//
+// Payload layout:
+//
+//	gen      u64   ingest generation at the cut (mirrors the inner state's
+//	               Gen so scanners can order frames without a full decode)
+//	nameLen  u32   + name bytes (the job name; 1…255 bytes)
+//	cfgLen   u32   + config bytes (opaque to this codec — the job layer
+//	               stores its serialized spec here; may be empty)
+//	stateLen u32   + a complete TOPOSUM1 encoding (see Encode)
+//	nodes    u32   node directory entries, ascending by node id:
+//	    node i32, cat i32, mult f64, weight f64,
+//	    flags u8 (bit0 = starSeen), deg f64,
+//	    nbrs u32 + nbrs × (cat i32, cnt f64),
+//	    peers u32 + peers × (peer i32)
+//
+// Encoding is canonical — node records ascend, star lists travel in their
+// stored (already canonical) order — so checkpoint → restore → checkpoint
+// reproduces the frame byte for byte, which the robustness tests pin.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/stream"
+)
+
+const (
+	// CheckpointVersion is the frame version this build writes and the
+	// newest it reads.
+	CheckpointVersion = 1
+
+	ckpMagic      = "TOPOCKP1"
+	ckpHeaderSize = 24
+
+	// maxCheckpointName bounds the job-name field; names are
+	// filename-safe short identifiers at the job layer.
+	maxCheckpointName = 255
+
+	ckpFlagStarSeen = 1 << 0
+)
+
+// Checkpoint is one durable frame: a named job's complete resumable state
+// plus its opaque serialized configuration.
+type Checkpoint struct {
+	// Name identifies the job the state belongs to (1…255 bytes).
+	Name string
+	// Config is the job layer's serialized spec, carried opaquely so a
+	// restart can verify it restores under a compatible configuration.
+	Config []byte
+	// Gen is the ingest generation at the cut; it always equals
+	// State.State.Gen and exists in the frame for cheap ordering scans.
+	Gen uint64
+	// State is the complete resumable state (see stream.FullState).
+	State *stream.FullState
+}
+
+// EncodeCheckpoint serializes one frame.
+func EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
+	if cp == nil || cp.State == nil {
+		return nil, fmt.Errorf("wire: cannot encode a nil checkpoint")
+	}
+	if len(cp.Name) < 1 || len(cp.Name) > maxCheckpointName {
+		return nil, fmt.Errorf("wire: checkpoint name must be 1…%d bytes, got %d", maxCheckpointName, len(cp.Name))
+	}
+	if cp.Gen != cp.State.State.Gen {
+		return nil, fmt.Errorf("wire: checkpoint gen %d disagrees with its state's gen %d", cp.Gen, cp.State.State.Gen)
+	}
+	stateBytes, err := Encode(cp.State.State)
+	if err != nil {
+		return nil, err
+	}
+
+	payload := 8 + 4 + len(cp.Name) + 4 + len(cp.Config) + 4 + len(stateBytes) + 4
+	for i := range cp.State.Nodes {
+		nr := &cp.State.Nodes[i]
+		payload += 4 + 4 + 8 + 8 + 1 + 8 + 4 + len(nr.NbrCat)*(4+8) + 4 + len(nr.Peers)*4
+	}
+
+	buf := make([]byte, ckpHeaderSize+payload)
+	w := writer{buf: buf, off: ckpHeaderSize}
+	w.u64(cp.Gen)
+	w.u32(uint32(len(cp.Name)))
+	w.bytes([]byte(cp.Name))
+	w.u32(uint32(len(cp.Config)))
+	w.bytes(cp.Config)
+	w.u32(uint32(len(stateBytes)))
+	w.bytes(stateBytes)
+	w.u32(uint32(len(cp.State.Nodes)))
+	prev := int64(math.MinInt64)
+	for i := range cp.State.Nodes {
+		nr := &cp.State.Nodes[i]
+		if int64(nr.Node) <= prev {
+			return nil, fmt.Errorf("wire: checkpoint node records out of order at node %d", nr.Node)
+		}
+		prev = int64(nr.Node)
+		if len(nr.NbrCat) != len(nr.NbrCnt) {
+			return nil, fmt.Errorf("wire: checkpoint node %d has %d neighbor categories but %d counts", nr.Node, len(nr.NbrCat), len(nr.NbrCnt))
+		}
+		w.u32(uint32(nr.Node))
+		w.u32(uint32(nr.Cat))
+		w.f64(nr.Mult)
+		w.f64(nr.Weight)
+		var flags byte
+		if nr.StarSeen {
+			flags |= ckpFlagStarSeen
+		}
+		w.byte(flags)
+		w.f64(nr.Deg)
+		w.u32(uint32(len(nr.NbrCat)))
+		for j := range nr.NbrCat {
+			w.u32(uint32(nr.NbrCat[j]))
+			w.f64(nr.NbrCnt[j])
+		}
+		w.u32(uint32(len(nr.Peers)))
+		for _, p := range nr.Peers {
+			w.u32(uint32(p))
+		}
+	}
+	if w.off != len(buf) {
+		panic(fmt.Sprintf("wire: encoded %d bytes into a %d-byte checkpoint layout", w.off, len(buf)))
+	}
+
+	copy(buf[0:8], ckpMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], CheckpointVersion)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(payload))
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(buf[ckpHeaderSize:]))
+	return buf, nil
+}
+
+// AppendCheckpoint encodes cp and writes the frame to w — the append-only
+// checkpoint-file discipline. It returns the frame size in bytes.
+func AppendCheckpoint(w io.Writer, cp *Checkpoint) (int, error) {
+	buf, err := EncodeCheckpoint(cp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf)
+	if err != nil {
+		return n, fmt.Errorf("wire: checkpoint write: %w", err)
+	}
+	return n, nil
+}
+
+// DecodeCheckpoint parses the frame at the start of data, returning the
+// checkpoint and the number of bytes it consumed (so callers can walk an
+// appended sequence). Truncation, checksum mismatch and malformed content
+// all error without reading past data.
+func DecodeCheckpoint(data []byte) (*Checkpoint, int, error) {
+	if len(data) < ckpHeaderSize {
+		return nil, 0, fmt.Errorf("wire: truncated checkpoint: %d bytes, need at least the %d-byte frame header", len(data), ckpHeaderSize)
+	}
+	if string(data[0:8]) != ckpMagic {
+		return nil, 0, fmt.Errorf("wire: bad magic %q: not a checkpoint frame", data[0:8])
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version == 0 || version > CheckpointVersion {
+		return nil, 0, fmt.Errorf("wire: checkpoint frame has version %d; this build reads versions 1…%d", version, CheckpointVersion)
+	}
+	payloadLen := binary.LittleEndian.Uint32(data[12:16])
+	if binary.LittleEndian.Uint32(data[16:20]) == 0 && payloadLen == 0 {
+		return nil, 0, fmt.Errorf("wire: empty checkpoint frame")
+	}
+	if binary.LittleEndian.Uint32(data[20:24]) != 0 {
+		return nil, 0, fmt.Errorf("wire: reserved checkpoint header bytes are not zero")
+	}
+	total := ckpHeaderSize + int(payloadLen)
+	if len(data) < total {
+		return nil, 0, fmt.Errorf("wire: truncated checkpoint: frame declares %d payload bytes, %d available", payloadLen, len(data)-ckpHeaderSize)
+	}
+	payload := data[ckpHeaderSize:total]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[16:20]); got != want {
+		return nil, 0, fmt.Errorf("wire: checkpoint checksum mismatch (stored %#x, computed %#x)", want, got)
+	}
+
+	r := ckpReader{buf: payload}
+	gen, err := r.u64()
+	if err != nil {
+		return nil, 0, err
+	}
+	name, err := r.lenBytes("name")
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(name) < 1 || len(name) > maxCheckpointName {
+		return nil, 0, fmt.Errorf("wire: checkpoint name length %d outside 1…%d", len(name), maxCheckpointName)
+	}
+	config, err := r.lenBytes("config")
+	if err != nil {
+		return nil, 0, err
+	}
+	stateBytes, err := r.lenBytes("state")
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := Decode(stateBytes)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: checkpoint state: %w", err)
+	}
+	if st.Gen != gen {
+		return nil, 0, fmt.Errorf("wire: checkpoint frame gen %d disagrees with its state's gen %d", gen, st.Gen)
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Each node record is ≥ 41 bytes; bound the count by the remaining
+	// payload so a corrupt header cannot drive the allocation.
+	if int(count) > r.remaining()/41+1 {
+		return nil, 0, fmt.Errorf("wire: checkpoint declares %d node records in %d remaining bytes", count, r.remaining())
+	}
+	nodes := make([]stream.NodeRecord, count)
+	prev := int64(math.MinInt64)
+	for i := range nodes {
+		nr := &nodes[i]
+		if err := r.nodeRecord(nr); err != nil {
+			return nil, 0, err
+		}
+		if int64(nr.Node) <= prev {
+			return nil, 0, fmt.Errorf("wire: checkpoint node records out of order at node %d", nr.Node)
+		}
+		prev = int64(nr.Node)
+	}
+	if r.remaining() != 0 {
+		return nil, 0, fmt.Errorf("wire: checkpoint frame has %d trailing payload bytes", r.remaining())
+	}
+	return &Checkpoint{
+		Name:   string(name),
+		Config: append([]byte(nil), config...),
+		Gen:    gen,
+		State:  &stream.FullState{State: st, Nodes: nodes},
+	}, total, nil
+}
+
+// LastCheckpoint walks an appended frame sequence and returns the LAST frame
+// that fully verifies (magic, checksum, content), plus the number of
+// trailing bytes it ignored — a torn final frame from a crash mid-append,
+// or garbage. It never fails: an empty or wholly unreadable file returns
+// (nil, len(data)), which restores as a clean empty state.
+func LastCheckpoint(data []byte) (*Checkpoint, int) {
+	var last *Checkpoint
+	off := 0
+	for off < len(data) {
+		cp, n, err := DecodeCheckpoint(data[off:])
+		if err != nil {
+			// Frames after a damaged one are unreachable (frame boundaries
+			// are only known by walking), so everything from here is tail.
+			break
+		}
+		last = cp
+		off += n
+	}
+	return last, len(data) - off
+}
+
+func (w *writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[w.off:], v)
+	w.off += 8
+}
+
+func (w *writer) byte(v byte) {
+	w.buf[w.off] = v
+	w.off++
+}
+
+func (w *writer) bytes(v []byte) {
+	copy(w.buf[w.off:], v)
+	w.off += len(v)
+}
+
+// ckpReader consumes the variable-length checkpoint payload with explicit
+// bounds checks (unlike reader, whose buffer length is pre-validated).
+type ckpReader struct {
+	buf []byte
+	off int
+}
+
+func (r *ckpReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *ckpReader) need(n int, what string) error {
+	if r.remaining() < n {
+		return fmt.Errorf("wire: truncated checkpoint payload reading %s (%d bytes left, need %d)", what, r.remaining(), n)
+	}
+	return nil
+}
+
+func (r *ckpReader) u32() (uint32, error) {
+	if err := r.need(4, "u32"); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *ckpReader) u64() (uint64, error) {
+	if err := r.need(8, "u64"); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *ckpReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *ckpReader) lenBytes(what string) ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(int(n), what); err != nil {
+		return nil, err
+	}
+	v := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return v, nil
+}
+
+func (r *ckpReader) nodeRecord(nr *stream.NodeRecord) error {
+	node, err := r.u32()
+	if err != nil {
+		return err
+	}
+	cat, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if nr.Mult, err = r.f64(); err != nil {
+		return err
+	}
+	if nr.Weight, err = r.f64(); err != nil {
+		return err
+	}
+	if err := r.need(1, "flags"); err != nil {
+		return err
+	}
+	flags := r.buf[r.off]
+	r.off++
+	if flags&^byte(ckpFlagStarSeen) != 0 {
+		return fmt.Errorf("wire: checkpoint node %d has unknown flag bits %#x", int32(node), flags)
+	}
+	if nr.Deg, err = r.f64(); err != nil {
+		return err
+	}
+	nr.Node, nr.Cat = int32(node), int32(cat)
+	nr.StarSeen = flags&ckpFlagStarSeen != 0
+	nbrs, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if err := r.need(int(nbrs)*(4+8), "neighbor list"); err != nil {
+		return err
+	}
+	if nbrs > 0 {
+		nr.NbrCat = make([]int32, nbrs)
+		nr.NbrCnt = make([]float64, nbrs)
+		for j := range nr.NbrCat {
+			c, _ := r.u32()
+			nr.NbrCat[j] = int32(c)
+			nr.NbrCnt[j], _ = r.f64()
+		}
+	}
+	peers, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if err := r.need(int(peers)*4, "peer list"); err != nil {
+		return err
+	}
+	if peers > 0 {
+		nr.Peers = make([]int32, peers)
+		for j := range nr.Peers {
+			p, _ := r.u32()
+			nr.Peers[j] = int32(p)
+		}
+	}
+	return nil
+}

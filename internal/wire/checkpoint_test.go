@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sample"
+	"repro/internal/stream"
+	"repro/internal/uncert"
+)
+
+func ckpObs(i int) sample.NodeObservation {
+	node := int32(i % 23)
+	c := node % 4
+	obs := sample.NodeObservation{Node: node, Cat: c, Weight: 1 + float64(node%5)/8}
+	if i%3 != 0 {
+		obs.Deg = float64(2 + node%6)
+		obs.NbrCat = []int32{(c + 1) % 4}
+		obs.NbrCnt = []float64{2}
+	}
+	return obs
+}
+
+func buildCheckpoint(t *testing.T, name string, records int) (*Checkpoint, stream.Config) {
+	t.Helper()
+	cfg := stream.Config{K: 4, Star: true, Replicates: uncert.Config{B: 16, Seed: 5}}
+	acc, err := stream.NewAccumulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		if err := acc.Ingest(ckpObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := acc.ExportFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Checkpoint{
+		Name:   name,
+		Config: []byte(`{"k":4,"star":true}`),
+		Gen:    fs.State.Gen,
+		State:  fs,
+	}, cfg
+}
+
+// TestCheckpointRoundTrip pins Decode∘Encode as the identity on checkpoints,
+// and the byte-stability invariant the append-only file format relies on:
+// checkpoint → restore → checkpoint reproduces the frame byte for byte.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp, cfg := buildCheckpoint(t, "alpha", 90)
+	frame, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeCheckpoint(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Fatalf("consumed %d of %d frame bytes", n, len(frame))
+	}
+	if got.Name != cp.Name || got.Gen != cp.Gen || !bytes.Equal(got.Config, cp.Config) {
+		t.Fatalf("frame fields round-tripped to %q/%d", got.Name, got.Gen)
+	}
+
+	acc, err := stream.RestoreAccumulator(cfg, got.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := acc.ExportFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2, err := EncodeCheckpoint(&Checkpoint{Name: cp.Name, Config: cp.Config, Gen: fs2.State.Gen, State: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, frame2) {
+		t.Fatalf("checkpoint → restore → checkpoint is not byte-stable (%d vs %d bytes)", len(frame), len(frame2))
+	}
+}
+
+// TestCheckpointRoundTripInduced covers the induced-scenario node payload
+// (peer lists, no star data, no replicates).
+func TestCheckpointRoundTripInduced(t *testing.T) {
+	cfg := stream.Config{K: 3, Star: false}
+	acc, err := stream.NewAccumulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []sample.NodeObservation{
+		{Node: 1, Cat: 0},
+		{Node: 2, Cat: 1, Peers: []int32{1}},
+		{Node: 3, Cat: 2, Peers: []int32{1, 2}},
+		{Node: 1, Cat: 0, Peers: []int32{3}},
+	}
+	for _, r := range recs {
+		if err := acc.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := acc.ExportFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeCheckpoint(&Checkpoint{Name: "induced", Gen: fs.State.Gen, State: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeCheckpoint(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := stream.RestoreAccumulator(cfg, got.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := restored.ExportFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2, err := EncodeCheckpoint(&Checkpoint{Name: "induced", Gen: fs2.State.Gen, State: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, frame2) {
+		t.Fatal("induced checkpoint is not byte-stable through restore")
+	}
+}
+
+// TestLastCheckpointRecovery is the crash-safety contract of the append-only
+// checkpoint file: whatever happens to the final frame — truncated at any
+// byte, checksum corrupted, or the whole file empty/garbage — LastCheckpoint
+// returns the newest frame that still verifies, never an error.
+func TestLastCheckpointRecovery(t *testing.T) {
+	var file []byte
+	var frames [][]byte
+	for gens := 30; gens <= 90; gens += 30 {
+		cp, _ := buildCheckpoint(t, "alpha", gens)
+		frame, err := EncodeCheckpoint(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+		file = append(file, frame...)
+	}
+
+	t.Run("intact", func(t *testing.T) {
+		cp, tail := LastCheckpoint(file)
+		if cp == nil || cp.Gen != 90 || tail != 0 {
+			t.Fatalf("got gen %v, tail %d; want 90, 0", cp, tail)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if cp, tail := LastCheckpoint(nil); cp != nil || tail != 0 {
+			t.Fatalf("empty file: got %v, tail %d", cp, tail)
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		junk := bytes.Repeat([]byte{0xa5}, 300)
+		if cp, tail := LastCheckpoint(junk); cp != nil || tail != len(junk) {
+			t.Fatalf("garbage file: got %v, tail %d", cp, tail)
+		}
+	})
+	t.Run("truncated-final-frame", func(t *testing.T) {
+		prefix := len(file) - len(frames[2])
+		for _, cut := range []int{1, ckpHeaderSize - 1, ckpHeaderSize, ckpHeaderSize + 7, len(frames[2]) / 2, len(frames[2]) - 1} {
+			trunc := file[:prefix+cut]
+			cp, tail := LastCheckpoint(trunc)
+			if cp == nil || cp.Gen != 60 {
+				t.Fatalf("cut at %d: recovered %v, want the gen-60 frame", cut, cp)
+			}
+			if tail != cut {
+				t.Fatalf("cut at %d: ignored tail %d", cut, tail)
+			}
+		}
+	})
+	t.Run("corrupt-crc", func(t *testing.T) {
+		bad := append([]byte(nil), file...)
+		bad[len(bad)-10] ^= 0xff // flip a payload byte inside the final frame
+		cp, tail := LastCheckpoint(bad)
+		if cp == nil || cp.Gen != 60 {
+			t.Fatalf("recovered %v, want the gen-60 frame", cp)
+		}
+		if tail != len(frames[2]) {
+			t.Fatalf("ignored tail %d, want the whole %d-byte final frame", tail, len(frames[2]))
+		}
+	})
+	t.Run("corrupt-header-crc-field", func(t *testing.T) {
+		bad := append([]byte(nil), file...)
+		off := len(file) - len(frames[2]) + 16
+		bad[off] ^= 0x01
+		if cp, _ := LastCheckpoint(bad); cp == nil || cp.Gen != 60 {
+			t.Fatalf("recovered %v, want the gen-60 frame", cp)
+		}
+	})
+	t.Run("every-truncation-point", func(t *testing.T) {
+		// Property: for ANY prefix of the file, recovery yields exactly the
+		// frames wholly contained in the prefix — the newest complete one,
+		// with the partial remainder counted as tail.
+		bounds := []int{len(frames[0]), len(frames[0]) + len(frames[1]), len(file)}
+		for cut := 0; cut <= len(file); cut += 97 {
+			cp, tail := LastCheckpoint(file[:cut])
+			whole := 0
+			var wantGen uint64
+			for i, b := range bounds {
+				if cut >= b {
+					whole = b
+					wantGen = uint64(30 * (i + 1))
+				}
+			}
+			if tail != cut-whole {
+				t.Fatalf("cut %d: tail %d, want %d", cut, tail, cut-whole)
+			}
+			if whole == 0 {
+				if cp != nil {
+					t.Fatalf("cut %d: unexpected frame %v", cut, cp)
+				}
+			} else if cp == nil || cp.Gen != wantGen {
+				t.Fatalf("cut %d: recovered %v, want gen %d", cut, cp, wantGen)
+			}
+		}
+	})
+}
+
+// TestCheckpointValidation rejects malformed frames outright.
+func TestCheckpointValidation(t *testing.T) {
+	cp, _ := buildCheckpoint(t, "alpha", 20)
+	frame, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), frame...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad-magic":    mut(func(b []byte) { b[0] = 'X' }),
+		"bad-version":  mut(func(b []byte) { b[8] = 99 }),
+		"reserved-set": mut(func(b []byte) { b[20] = 1 }),
+		"short-header": frame[:ckpHeaderSize-2],
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeCheckpoint(data); err == nil {
+			t.Errorf("%s: decode accepted a malformed frame", name)
+		}
+	}
+	if _, err := EncodeCheckpoint(&Checkpoint{Name: "", Gen: cp.Gen, State: cp.State}); err == nil {
+		t.Error("encode accepted an empty name")
+	}
+	if _, err := EncodeCheckpoint(&Checkpoint{Name: "x", Gen: cp.Gen + 1, State: cp.State}); err == nil {
+		t.Error("encode accepted gen disagreeing with the state")
+	}
+}

@@ -281,6 +281,59 @@ func EncodeState(st *AccumulatorState) ([]byte, error) { return wire.Encode(st) 
 // so corrupted or truncated payloads are rejected rather than merged.
 func DecodeState(data []byte) (*AccumulatorState, error) { return wire.Decode(data) }
 
+// AccumulatorFullState is the complete resumable state of an accumulator:
+// the mergeable statistics of AccumulatorState plus the node directory at
+// the same cut. It is what durable checkpointing persists — a restore from
+// it continues the stream exactly (identical estimates, re-draw validation
+// and collision accounting), not merely an estimate of it.
+type AccumulatorFullState = stream.FullState
+
+// CheckpointFrame is one durable checkpoint: a named job's spec payload,
+// its monotone ingest generation, and the full resumable state, framed in
+// the CRC-protected append-only format of internal/wire. cmd/topoestd
+// appends one per job per checkpoint interval under -checkpoint-dir.
+type CheckpointFrame = wire.Checkpoint
+
+// ExportFullState returns acc's complete resumable state in one critical
+// section. It errors when the ingester has nothing durable of its own (the
+// read-only StatePool is rebuilt from worker exports each round).
+func ExportFullState(acc StreamIngester) (*AccumulatorFullState, error) {
+	fe, ok := acc.(stream.FullExporter)
+	if !ok {
+		return nil, fmt.Errorf("repro: %T does not export resumable state", acc)
+	}
+	return fe.ExportFull()
+}
+
+// RestoreAccumulator rebuilds a single-lock accumulator from a full state
+// export, resuming the stream exactly where the export stood.
+func RestoreAccumulator(cfg StreamConfig, fs *AccumulatorFullState) (*Accumulator, error) {
+	return stream.RestoreAccumulator(cfg, fs)
+}
+
+// RestoreEpochAccumulator rebuilds a multi-core epoch-merged accumulator
+// from a full state export — the export may come from either accumulator
+// design, so a stream persisted under one concurrency mode can resume
+// under the other (estimates agree to ≤ 1e-9).
+func RestoreEpochAccumulator(cfg StreamConfig, flushEvery int, fs *AccumulatorFullState) (*EpochAccumulator, error) {
+	return stream.RestoreEpochAccumulator(cfg, flushEvery, fs)
+}
+
+// AppendCheckpoint appends one framed checkpoint to w (an append-only
+// file), returning the frame's size in bytes. Frames are self-delimiting
+// and CRC-protected; a torn final append is detected and skipped on read.
+func AppendCheckpoint(w io.Writer, cp *CheckpointFrame) (int, error) {
+	return wire.AppendCheckpoint(w, cp)
+}
+
+// LastCheckpoint scans an append-only checkpoint file and returns its last
+// intact frame plus the number of damaged trailing bytes after it (0 when
+// the file ends cleanly; frame == nil when no frame verifies). It never
+// fails: recovery truncates the tail and resumes from the last good frame.
+func LastCheckpoint(data []byte) (frame *CheckpointFrame, tornTail int) {
+	return wire.LastCheckpoint(data)
+}
+
 // NewStreamObserver returns the streaming counterpart of ObserveInduced /
 // ObserveStar: it reveals each drawn node's observation record one draw at
 // a time, exactly as a live crawler would see it — over any Source, so the
