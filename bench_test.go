@@ -12,6 +12,7 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -39,7 +40,7 @@ func benchParams() exp.Params { return exp.Params{Quick: true, Reps: 2, Seed: 17
 // benchPaperGraph caches a quick-scale §6.2.1 graph across benches.
 var benchPaperGraph *graph.Graph
 
-func getPaperGraph(b *testing.B) *graph.Graph {
+func getPaperGraph(b testing.TB) *graph.Graph {
 	b.Helper()
 	if benchPaperGraph == nil {
 		g, err := gen.Paper(randx.New(3), gen.PaperConfig{
@@ -642,6 +643,143 @@ func BenchmarkSumsDecode(b *testing.B) {
 		if _, err := wire.Decode(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestDecode measures the daemon's full body-to-accumulator
+// ingest path for one 10k-record batch in both wire encodings: decode the
+// request body and fold every record into a reused epoch Local — exactly
+// what POST /ingest does per request. JSON pays the parser and a fresh
+// record slice per body; the TOPOREC1 iterator re-walks the validated frame
+// in place and reuses its decode scratch across records, so after warmup
+// the binary path runs the whole loop without allocating (pinned by
+// TestBinaryDecodeToLocalZeroAlloc and CI's -benchmem gate).
+func BenchmarkIngestDecode(b *testing.B) {
+	recs, _, g := streamBenchRecords(b, 10_000)
+	cfg := stream.Config{K: g.NumCategories(), Star: true, N: float64(g.N())}
+	jsonBody, err := json.Marshal(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	binBody, err := wire.EncodeRecords(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("encoding=json", func(b *testing.B) {
+		ea, err := stream.NewEpochAccumulator(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := ea.NewLocal()
+		defer l.Close()
+		b.SetBytes(int64(len(jsonBody)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var batch []sample.NodeObservation
+			if err := json.Unmarshal(jsonBody, &batch); err != nil {
+				b.Fatal(err)
+			}
+			for _, rec := range batch {
+				if err := l.Ingest(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			l.Flush()
+		}
+	})
+
+	b.Run("encoding=binary", func(b *testing.B) {
+		ea, err := stream.NewEpochAccumulator(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := ea.NewLocal()
+		defer l.Close()
+		it, err := wire.NewRecordIter(binBody)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rec sample.NodeObservation
+		// One warmup pass grows the iterator scratch, the Local's node
+		// table and the shared directory, so the timed loop is the
+		// steady-state request cost.
+		for it.Next(&rec) {
+			if err := l.Ingest(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		l.Flush()
+		b.SetBytes(int64(len(binBody)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := it.Reset(binBody); err != nil {
+				b.Fatal(err)
+			}
+			for it.Next(&rec) {
+				if err := l.Ingest(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			l.Flush()
+		}
+	})
+}
+
+// TestBinaryDecodeToLocalZeroAlloc pins the acceptance bar of the TOPOREC1
+// fast path: once the iterator scratch, the Local's epoch table and the
+// shared directory have warmed up, decoding a full batch and ingesting
+// every record allocates nothing — zero allocations per record, not merely
+// few.
+func TestBinaryDecodeToLocalZeroAlloc(t *testing.T) {
+	g := getPaperGraph(t)
+	s, err := sample.NewRW(500).Sample(randx.New(101), g, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := sample.NewStreamObserver(g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]sample.NodeObservation, s.Len())
+	for i, v := range s.Nodes {
+		recs[i] = so.Observe(v, s.Weight(i))
+	}
+	body, err := wire.EncodeRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := stream.NewEpochAccumulator(stream.Config{
+		K: g.NumCategories(), Star: true, N: float64(g.N()),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ea.NewLocal()
+	defer l.Close()
+	it, err := wire.NewRecordIter(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := func() {
+		if err := it.Reset(body); err != nil {
+			t.Fatal(err)
+		}
+		var rec sample.NodeObservation
+		for it.Next(&rec) {
+			if err := l.Ingest(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Flush()
+	}
+	for i := 0; i < 3; i++ {
+		pass() // warm up every growth path before measuring
+	}
+	if avg := testing.AllocsPerRun(10, pass); avg != 0 {
+		t.Fatalf("decode-to-Local path allocates %.2f times per 4096-record batch, want 0", avg)
 	}
 }
 

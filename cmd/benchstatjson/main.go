@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	go test -bench . -count 5 | benchstatjson -o BENCH_7.json
-//	go test -bench . -count 5 | benchstatjson -baseline BENCH_7.json -max-regress 0.25
-//	benchstatjson -o BENCH_7.json bench.txt        # read a file, not stdin
+//	go test -bench . -count 5 | benchstatjson -o BENCH_10.json
+//	go test -bench . -count 5 | benchstatjson -baseline BENCH_10.json -max-regress 0.25
+//	benchstatjson -o BENCH_10.json bench.txt        # read a file, not stdin
 //
 // Each benchmark's statistic is the MINIMUM ns/op across its -count runs —
 // the standard noise-robust choice: scheduling hiccups only ever make a run
@@ -107,7 +107,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 // the -GOMAXPROCS suffix from names.
 func parseBench(r io.Reader) (*Snapshot, error) {
 	snap := &Snapshot{
-		Note:       "minimum ns/op per benchmark across -count runs; regenerate with: go test -run '^$' -bench <pattern> -benchtime=500ms -count=5 | go run ./cmd/benchstatjson -o BENCH_7.json",
+		Note:       "minimum ns/op per benchmark across -count runs; regenerate with: go test -run '^$' -bench <pattern> -benchtime=500ms -count=5 | go run ./cmd/benchstatjson -o BENCH_10.json",
 		Benchmarks: map[string]Entry{},
 	}
 	sc := bufio.NewScanner(r)

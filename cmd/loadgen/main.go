@@ -10,10 +10,12 @@
 //
 // Records are generated deterministically from -seed over a -nodes node
 // space with -k categories (star-scenario neighbor summaries unless -star
-// is off), in the JSON shape POST /ingest accepts; -job targets a named
-// job's scoped endpoint instead of the default stream. The body format is
-// an internal seam (bodyEncoder) so a future binary wire format can plug
-// in without touching the pacing or reporting.
+// is off); -job targets a named job's scoped endpoint instead of the
+// default stream. -encoding selects the request body format: "json" (the
+// shape POST /ingest always accepted) or "binary" (the TOPOREC1 batch
+// format of internal/wire, sent as application/x-topoest-records) — the
+// same record stream either way, so the two encodings are directly
+// comparable in the benchmark trajectory.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 
 	"repro/internal/randx"
 	"repro/internal/sample"
+	"repro/internal/wire"
 )
 
 type cli struct {
@@ -47,6 +50,14 @@ type cli struct {
 	nodes    int
 	seed     uint64
 	name     string
+	encoding string
+	encode   bodyEncoder
+}
+
+// contentType is the request Content-Type of the selected encoding.
+func (c *cli) contentType() string {
+	_, ct, _ := c.encode(nil)
+	return ct
 }
 
 func main() {
@@ -83,6 +94,7 @@ func parseArgs(args []string) (*cli, error) {
 	fs.IntVar(&c.nodes, "nodes", 10000, "distinct node id space")
 	fs.Uint64Var(&c.seed, "seed", 1, "record stream seed")
 	fs.StringVar(&c.name, "bench-name", "LoadgenIngest", "benchmark name for the benchstatjson line")
+	fs.StringVar(&c.encoding, "encoding", "json", "request body encoding: json or binary (TOPOREC1)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -91,6 +103,14 @@ func parseArgs(args []string) (*cli, error) {
 	}
 	if c.k < 1 || c.nodes < 1 {
 		return nil, fmt.Errorf("-k and -nodes must be at least 1")
+	}
+	switch c.encoding {
+	case "json":
+		c.encode = jsonBody
+	case "binary":
+		c.encode = binaryBody
+	default:
+		return nil, fmt.Errorf("-encoding must be json or binary, got %q", c.encoding)
 	}
 	return c, nil
 }
@@ -117,14 +137,18 @@ func (c *cli) record(rng *rand.Rand, i int) sample.NodeObservation {
 	return obs
 }
 
-// bodyEncoder turns a batch of records into a request body. JSON is the
-// only encoding today; the seam is where a binary wire format would slot
-// in.
+// bodyEncoder turns a batch of records into a request body and the
+// Content-Type that tells the daemon how to decode it.
 type bodyEncoder func(recs []sample.NodeObservation) ([]byte, string, error)
 
 func jsonBody(recs []sample.NodeObservation) ([]byte, string, error) {
 	b, err := json.Marshal(recs)
 	return b, "application/json", err
+}
+
+func binaryBody(recs []sample.NodeObservation) ([]byte, string, error) {
+	b, err := wire.EncodeRecords(recs)
+	return b, wire.RecordsContentType, err
 }
 
 // report aggregates what the run observed.
@@ -150,8 +174,8 @@ func (r *report) percentile(p float64) time.Duration {
 // emits them.
 func (r *report) write(w io.Writer, c *cli) {
 	rate := float64(r.accepted) / r.elapsed.Seconds()
-	fmt.Fprintf(w, "target %s at %.0f records/s for %s (batch %d, %d conns)\n",
-		c.ingestURL(), c.rate, c.duration, c.batch, c.conns)
+	fmt.Fprintf(w, "target %s at %.0f records/s for %s (batch %d, %d conns, %s encoding)\n",
+		c.ingestURL(), c.rate, c.duration, c.batch, c.conns, c.encoding)
 	fmt.Fprintf(w, "sustained %.1f records/s: %d accepted in %d requests, %d failed\n",
 		rate, r.accepted, r.requests, r.failed)
 	fmt.Fprintf(w, "request latency p50 %s  p99 %s\n", r.percentile(0.50), r.percentile(0.99))
@@ -193,7 +217,7 @@ func (c *cli) drive() (*report, error) {
 			defer wg.Done()
 			for body := range work {
 				t0 := time.Now()
-				n, err := postBatch(client, c.ingestURL(), "application/json", body, c.batch)
+				n, err := postBatch(client, c.ingestURL(), c.contentType(), body, c.batch)
 				d := time.Since(t0)
 				accepted.Add(int64(n))
 				if err != nil {
@@ -223,7 +247,7 @@ func (c *cli) drive() (*report, error) {
 		for r := range recs {
 			recs[r] = c.record(rng, i*c.batch+r)
 		}
-		body, _, err := jsonBody(recs)
+		body, _, err := c.encode(recs)
 		if err != nil {
 			close(work)
 			return nil, err

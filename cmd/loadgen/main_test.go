@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -12,14 +13,17 @@ import (
 	"testing"
 
 	"repro/internal/sample"
+	"repro/internal/wire"
 )
 
-// stubDaemon mimics topoestd's ingest surface: it validates the JSON body
-// shape, counts records per endpoint, and can be told to reject a batch
-// partway with the structured 422 the real daemon sends.
+// stubDaemon mimics topoestd's ingest surface: it decodes the body by
+// Content-Type (JSON or TOPOREC1, like the real daemon), counts records per
+// endpoint, and can be told to reject a batch partway with the structured
+// 422 the real daemon sends.
 type stubDaemon struct {
 	mux      *http.ServeMux
 	def, job atomic.Int64
+	binary   atomic.Int64 // requests that arrived TOPOREC1-encoded
 	rejectAt atomic.Int64 // when > 0: 422 with this many records acknowledged
 }
 
@@ -33,7 +37,17 @@ func newStubDaemon() *stubDaemon {
 func (s *stubDaemon) handle(counter *atomic.Int64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var recs []sample.NodeObservation
-		if err := json.NewDecoder(r.Body).Decode(&recs); err != nil {
+		if r.Header.Get("Content-Type") == wire.RecordsContentType {
+			s.binary.Add(1)
+			body, err := io.ReadAll(r.Body)
+			if err == nil {
+				recs, err = wire.DecodeRecords(body)
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		} else if err := json.NewDecoder(r.Body).Decode(&recs); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -181,6 +195,40 @@ func TestRunCountsPartialBatches(t *testing.T) {
 	}
 }
 
+// TestRunBinaryEncoding drives the TOPOREC1 body format end to end: every
+// request must arrive with the binary content type, decode on the daemon
+// side to the same record count, and feed the same benchstatjson reporting.
+func TestRunBinaryEncoding(t *testing.T) {
+	stub := newStubDaemon()
+	ts := httptest.NewServer(stub.mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-url", ts.URL, "-encoding", "binary", "-rate", "2000", "-duration", "100ms",
+		"-batch", "50", "-conns", "2", "-bench-name", "BinaryIngest",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.binary.Load() == 0 {
+		t.Fatal("no request arrived with the TOPOREC1 content type")
+	}
+	if got := stub.def.Load(); got == 0 || got%50 != 0 {
+		t.Fatalf("stub decoded %d records, want a positive multiple of the batch size", got)
+	}
+	f := benchLine(t, out.String())
+	if f[0] != "BenchmarkBinaryIngest" {
+		t.Fatalf("bench name = %q", f[0])
+	}
+	if n, err := strconv.ParseInt(f[1], 10, 64); err != nil || n != stub.def.Load() {
+		t.Fatalf("bench count = %q, stub decoded %d", f[1], stub.def.Load())
+	}
+	if !strings.Contains(out.String(), "binary encoding") {
+		t.Fatalf("summary does not name the encoding:\n%s", out.String())
+	}
+}
+
 func TestArgValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{"-rate", "0"},
@@ -189,6 +237,7 @@ func TestArgValidation(t *testing.T) {
 		{"-conns", "-1"},
 		{"-k", "0"},
 		{"-nodes", "0"},
+		{"-encoding", "protobuf"},
 	} {
 		if err := run(args, &strings.Builder{}); err == nil {
 			t.Errorf("args %v accepted, want error", args)

@@ -79,6 +79,15 @@
 //	-checkpoint-interval periodic checkpoint cadence (default 30s; frames
 //	             are skipped while a job's state has not advanced). A final
 //	             checkpoint is always written on graceful shutdown
+//	-checkpoint-max-frames compact a job's checkpoint file down to its
+//	             newest frame (atomically: temp file + rename) once it
+//	             holds more than this many frames, bounding the file at
+//	             max-frames+1 frames instead of growing without limit
+//	             (default 0 = never compact)
+//	-restore-jobs        at boot, restore every named job that left a
+//	             checkpoint file in -checkpoint-dir — no POST /jobs
+//	             re-creation needed after a crash or restart; each job's
+//	             spec is recovered from its newest intact frame
 //	-pprof       expose net/http/pprof under /debug/pprof/ (opt-in)
 //	-log-format  structured log format: text (default) or json
 //	-log-level   minimum log level: debug|info|warn|error (default info)
@@ -109,7 +118,12 @@
 //	                         crawl, crawl/status
 //
 //	POST /ingest             body: one NodeObservation JSON object, or an
-//	                         array of them; returns {"ingested":…,"draws":…}
+//	                         array of them; returns {"ingested":…,"draws":…}.
+//	                         With Content-Type application/x-topoest-records
+//	                         the body is instead one TOPOREC1 binary batch
+//	                         (internal/wire) — same responses, same 422
+//	                         valid-prefix retry contract, decoded without
+//	                         per-record allocation
 //	GET  /estimate           live estimate: sizes, weights, within-category
 //	                         densities, population estimate, convergence;
 //	                         with -bootstrap, every entry also carries a
@@ -214,6 +228,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -272,6 +287,8 @@ type cli struct {
 
 	checkpointDir      string
 	checkpointInterval time.Duration
+	checkpointMaxF     int
+	restoreJobs        bool
 
 	pprofOn   bool
 	logFormat string
@@ -315,6 +332,8 @@ func main() {
 	flag.DurationVar(&c.mergeMaxStale, "merge-max-stale", time.Minute, "coordinator: drop a dead worker's last-good state from the pool after this age")
 	flag.StringVar(&c.checkpointDir, "checkpoint-dir", "", "append durable per-job checkpoints to <dir>/<job>.ckpt and resume from them on restart (empty = off)")
 	flag.DurationVar(&c.checkpointInterval, "checkpoint-interval", 30*time.Second, "periodic checkpoint cadence (a final checkpoint is always written on graceful shutdown)")
+	flag.IntVar(&c.checkpointMaxF, "checkpoint-max-frames", 0, "compact a job's checkpoint file down to its newest frame once it holds more than this many frames (0 = never compact)")
+	flag.BoolVar(&c.restoreJobs, "restore-jobs", false, "restore every named job with a checkpoint file in -checkpoint-dir at boot, without requiring POST /jobs re-creation")
 	flag.BoolVar(&c.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling reveals internals)")
 	flag.StringVar(&c.logFormat, "log-format", "text", "structured log format: text or json")
 	flag.StringVar(&c.logLevel, "log-level", "info", "minimum log level: debug|info|warn|error")
@@ -370,6 +389,12 @@ func (c *cli) run() error {
 	if c.checkpointInterval <= 0 {
 		return fmt.Errorf("need -checkpoint-interval > 0, got %v", c.checkpointInterval)
 	}
+	if c.checkpointMaxF < 0 {
+		return fmt.Errorf("need -checkpoint-max-frames ≥ 0, got %d", c.checkpointMaxF)
+	}
+	if c.checkpointDir == "" && (c.restoreJobs || c.checkpointMaxF > 0) {
+		return fmt.Errorf("-restore-jobs and -checkpoint-max-frames operate on checkpoint files; combine them with -checkpoint-dir")
+	}
 	if c.mergeFrom != "" {
 		if c.demo || c.crawlMode {
 			return fmt.Errorf("-merge-from is a read-only coordinator; it cannot be combined with -demo or -crawl")
@@ -399,12 +424,20 @@ func (c *cli) run() error {
 	if err != nil {
 		return err
 	}
+	reg.SetMaxFrames(c.checkpointMaxF)
 	def, err := reg.Create(job.Spec{
 		Name: job.DefaultName, K: k, Names: names, Star: c.star, N: c.popN,
 		Size: c.size, Shards: c.shards, Bootstrap: bc.B, BootstrapSeed: bc.Seed,
 	})
 	if err != nil {
 		return err
+	}
+	if c.restoreJobs {
+		restored, err := reg.RestoreAll()
+		if err != nil {
+			return err
+		}
+		slog.Info("named jobs restored from checkpoints", "count", len(restored))
 	}
 	srv := newServerWithJobs(reg, def)
 	if c.flushEvery > 0 {
@@ -553,6 +586,7 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 	if err != nil {
 		return err
 	}
+	reg.SetMaxFrames(c.checkpointMaxF)
 	def, err := reg.Create(job.Spec{
 		Name: job.DefaultName, K: src.NumCategories(), Names: names, Star: c.star,
 		N: float64(src.NumNodes()), Size: c.size, Shards: c.shards,
@@ -560,6 +594,13 @@ func (c *cli) runCrawlMode(method core.SizeMethod, bc uncert.Config) error {
 	})
 	if err != nil {
 		return err
+	}
+	if c.restoreJobs {
+		restored, err := reg.RestoreAll()
+		if err != nil {
+			return err
+		}
+		slog.Info("named jobs restored from checkpoints", "count", len(restored))
 	}
 	srv := newServerWithJobs(reg, def)
 	srv.crawlSource = src
@@ -964,6 +1005,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, j *job.Job
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
+	if isRecordsContentType(r.Header.Get("Content-Type")) {
+		s.handleIngestBinary(w, j, body, t0)
+		return
+	}
 	// Peek at the first non-space byte to accept either one record object
 	// or an array of them, with a single parse either way.
 	i := 0
@@ -1014,6 +1059,82 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request, j *job.Job
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]int{"ingested": n, "draws": j.Acc().Draws()})
+}
+
+// isRecordsContentType reports whether the request negotiated the TOPOREC1
+// binary batch encoding (wire.RecordsContentType, parameters ignored).
+// Everything else — including an absent header — is treated as JSON, the
+// lenient default the daemon always accepted.
+func isRecordsContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), wire.RecordsContentType)
+}
+
+// recordIterPool recycles binary-batch iterators (and their record-decode
+// scratch) across requests, keeping the binary ingest path free of
+// per-record allocations.
+var recordIterPool = sync.Pool{New: func() any { return new(wire.RecordIter) }}
+
+// handleIngestBinary is the TOPOREC1 branch of POST /ingest. The error
+// contract matches JSON exactly: a body that fails frame validation is a
+// 400 with nothing applied (the frame is structurally checked before any
+// record is ingested), and a record the stream rejects is a 422 whose
+// "ingested"/"index" count leading records durably applied — the index
+// means the same thing in both encodings, so a retrying client needs no
+// per-encoding logic.
+func (s *server) handleIngestBinary(w http.ResponseWriter, j *job.Job, body []byte, t0 time.Time) {
+	it := recordIterPool.Get().(*wire.RecordIter)
+	defer recordIterPool.Put(it)
+	if err := it.Reset(body); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := s.ingestStream(j, it)
+	j.NoteIngest(n, len(body), t0)
+	if errors.Is(err, stream.ErrReadOnly) {
+		httpError(w, http.StatusForbidden, "this daemon is a merge coordinator; ingest on the workers it polls")
+		return
+	}
+	if err != nil {
+		ingestError(w, n, it.Len(), n, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"ingested": n, "draws": j.Acc().Draws()})
+}
+
+// ingestStream drains a binary batch straight into the job's stream without
+// materializing a record slice: each decoded record aliases the iterator's
+// scratch, which every ingest path copies before retaining. Epoch-merged
+// jobs ingest through a pooled writer-private local — flushed before the
+// response unless deferred-flush mode owns publishing, exactly mirroring
+// ingestRecords — and the single-lock accumulator takes records directly.
+func (s *server) ingestStream(j *job.Job, it *wire.RecordIter) (int, error) {
+	var rec sample.NodeObservation
+	if l := j.TakeLocal(); l != nil {
+		defer j.PutLocal(l)
+		for i := 0; it.Next(&rec); i++ {
+			if err := l.Ingest(rec); err != nil {
+				if s.flushStop == nil {
+					l.Flush() // publish the valid prefix the 422 acknowledges
+				}
+				return i, err
+			}
+		}
+		if s.flushStop == nil {
+			l.Flush()
+		}
+		return it.Len(), nil
+	}
+	acc := j.Acc()
+	for i := 0; it.Next(&rec); i++ {
+		if err := acc.Ingest(rec); err != nil {
+			return i, err
+		}
+	}
+	return it.Len(), nil
 }
 
 // ingestRecords applies one request's batch to the job's stream. Normally

@@ -21,6 +21,7 @@ package job
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"regexp"
 	"sync"
 	"time"
@@ -185,13 +186,18 @@ type Job struct {
 
 	// ckptMu serializes checkpoint writes. ckptGen is the generation of the
 	// last appended frame — a new frame is written only when the
-	// accumulator's generation has advanced past it.
-	ckptMu   sync.Mutex
-	ckptPath string
-	ckptFile appendFile
-	ckptGen  uint64
-	ckptAt   time.Time
-	specJSON []byte
+	// accumulator's generation has advanced past it. ckptFrames counts the
+	// intact frames in the file (seeded by recovery, advanced per append);
+	// when it exceeds ckptMax (> 0) the file is compacted to its newest
+	// frame.
+	ckptMu     sync.Mutex
+	ckptPath   string
+	ckptFile   appendFile
+	ckptGen    uint64
+	ckptAt     time.Time
+	ckptFrames int
+	ckptMax    int
+	specJSON   []byte
 }
 
 // Name returns the job's name.
@@ -404,6 +410,17 @@ func (j *Job) Checkpoint() (bool, error) {
 	if err := j.ckptFile.Sync(); err != nil {
 		return false, fmt.Errorf("job %q: checkpoint sync: %w", j.spec.Name, err)
 	}
+	if j.ckptFrames == 0 {
+		// This frame created the file (or revived an empty one): fsync the
+		// directory so the entry itself survives a crash — the second half
+		// of the AppendCheckpoint durability contract. Without it, a crash
+		// right after job creation could lose the file despite the frame
+		// fsync above.
+		if err := wire.SyncDir(filepath.Dir(j.ckptPath)); err != nil {
+			return false, fmt.Errorf("job %q: %w", j.spec.Name, err)
+		}
+	}
+	j.ckptFrames++
 	j.ckptGen = fs.State.Gen
 	j.ckptAt = time.Now()
 	name := j.spec.Name
@@ -411,6 +428,21 @@ func (j *Job) Checkpoint() (bool, error) {
 	mCkptBytes.With(name).Add(int64(n))
 	mCkptSec.With(name).ObserveSince(t0)
 	mCkptLast.With(name).Set(float64(j.ckptAt.UnixNano()) / 1e9)
+
+	if j.ckptMax > 0 && j.ckptFrames > j.ckptMax {
+		// Compaction renames a fresh file over the path; the O_APPEND
+		// handle would keep appending to the replaced inode, so close it
+		// first and let the next frame reopen lazily.
+		j.ckptFile.Close()
+		j.ckptFile = nil
+		dropped, err := wire.CompactCheckpoints(j.ckptPath)
+		if err != nil {
+			return true, fmt.Errorf("job %q: %w", j.spec.Name, err)
+		}
+		j.ckptFrames -= dropped
+		mCkptCompactions.With(name).Inc()
+		mCkptDropped.With(name).Add(int64(dropped))
+	}
 	return true, nil
 }
 

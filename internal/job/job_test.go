@@ -16,6 +16,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/sample"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // jobObs generates the deterministic observation stream shared by the
@@ -515,5 +516,182 @@ func TestAdoptSkipsCheckpoint(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, DefaultName+".ckpt")); !os.IsNotExist(err) {
 		t.Errorf("adopted job left a checkpoint file: %v", err)
+	}
+}
+
+// TestCheckpointCompaction drives a job past the registry's frame limit and
+// pins the whole compaction contract: the file shrinks to one frame, appends
+// keep working afterwards (the O_APPEND handle is reopened, not left on the
+// renamed-away inode), and a restore over the compacted file resumes at the
+// exact generation.
+func TestCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRegistry(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetMaxFrames(3)
+	j, err := r.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "alpha.ckpt")
+
+	frameCount := func() (frames int, gen uint64) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, frames, tail := wire.ScanCheckpoints(data)
+		if tail != 0 {
+			t.Fatalf("checkpoint file has %d tail bytes", tail)
+		}
+		if cp != nil {
+			gen = cp.Gen
+		}
+		return frames, gen
+	}
+
+	for round := 1; round <= 3; round++ {
+		ingestRange(t, j, (round-1)*40, round*40)
+		if ok, err := j.Checkpoint(); err != nil || !ok {
+			t.Fatalf("round %d checkpoint: ok=%v err=%v", round, ok, err)
+		}
+		if frames, _ := frameCount(); frames != round {
+			t.Fatalf("round %d: %d frames, want %d", round, frames, round)
+		}
+	}
+
+	// The 4th frame crosses the limit: the file compacts to its newest frame.
+	ingestRange(t, j, 120, 160)
+	if ok, err := j.Checkpoint(); err != nil || !ok {
+		t.Fatalf("triggering checkpoint: ok=%v err=%v", ok, err)
+	}
+	frames, gen := frameCount()
+	if frames != 1 {
+		t.Fatalf("after compaction: %d frames, want 1", frames)
+	}
+	if gen != 160 {
+		t.Fatalf("surviving frame gen = %d, want 160", gen)
+	}
+
+	// The next append must land in the NEW file.
+	ingestRange(t, j, 160, 200)
+	if ok, err := j.Checkpoint(); err != nil || !ok {
+		t.Fatalf("post-compaction checkpoint: ok=%v err=%v", ok, err)
+	}
+	if frames, gen = frameCount(); frames != 2 || gen != 200 {
+		t.Fatalf("post-compaction append: %d frames at gen %d, want 2 at 200", frames, gen)
+	}
+	if err := r.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore over the compacted file resumes exactly.
+	r2, err := NewRegistry(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.Create(testSpec("alpha", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := j2.Acc().Gen(); g != 200 {
+		t.Fatalf("restored gen = %d, want 200", g)
+	}
+	// The restored frame count seeds the next compaction cycle.
+	ingestRange(t, j2, 200, 240)
+	if _, err := j2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if frames, gen = frameCount(); frames != 3 || gen != 240 {
+		t.Fatalf("restored registry append: %d frames at gen %d, want 3 at 240", frames, gen)
+	}
+	if err := r2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreAll pins the -restore-jobs boot path: every checkpoint file in
+// the directory comes back as a job under its persisted spec, already
+// registered names are skipped, and the restored streams match the
+// originals exactly.
+func TestRestoreAll(t *testing.T) {
+	dir := t.TempDir()
+	r1, err := NewRegistry(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]Spec{
+		"alpha": testSpec("alpha", 1),
+		"beta":  {Name: "beta", Names: []string{"w", "x", "y", "z"}, Star: true, Shards: 4, Bootstrap: 8, BootstrapSeed: 3},
+	}
+	wantGen := map[string]uint64{"alpha": 90, "beta": 150}
+	for name, spec := range specs {
+		j, err := r1.Create(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestRange(t, j, 0, int(wantGen[name]))
+	}
+	if err := r1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// A stray non-checkpoint file and an empty checkpoint file must both be
+	// skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "empty.ckpt"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := NewRegistry(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "alpha" is already registered (the daemon's default-create path);
+	// RestoreAll must only pick up what is missing.
+	if _, err := r2.Create(testSpec("alpha", 1)); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := r2.RestoreAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 1 || restored[0].Name() != "beta" {
+		names := make([]string, 0, len(restored))
+		for _, j := range restored {
+			names = append(names, j.Name())
+		}
+		t.Fatalf("RestoreAll returned %v, want [beta]", names)
+	}
+	for name, gen := range wantGen {
+		j, err := r2.Get(name)
+		if err != nil {
+			t.Fatalf("job %q not present after RestoreAll: %v", name, err)
+		}
+		if g := j.Acc().Gen(); g != gen {
+			t.Fatalf("job %q restored at gen %d, want %d", name, g, gen)
+		}
+	}
+	beta, _ := r2.Get("beta")
+	if spec := beta.Spec(); spec.K != 4 || spec.Bootstrap != 8 || spec.BootstrapSeed != 3 || !spec.Star {
+		t.Fatalf("beta restored under the wrong spec: %+v", spec)
+	}
+	if names := beta.Names(); len(names) != 4 || names[0] != "w" {
+		t.Fatalf("beta names = %v", names)
+	}
+	// Idempotent: nothing new on a second sweep.
+	again, err := r2.RestoreAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second RestoreAll restored %d jobs", len(again))
+	}
+	if err := r2.Shutdown(); err != nil {
+		t.Fatal(err)
 	}
 }

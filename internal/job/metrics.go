@@ -25,4 +25,8 @@ var (
 		"Time to export and append one checkpoint frame.", obs.LatencyBuckets(), "job")
 	mCkptLast = obs.NewGaugeVec("topoestd_job_checkpoint_last_success_timestamp_seconds",
 		"Unix time of the job's last successful checkpoint append.", "job")
+	mCkptCompactions = obs.NewCounterVec("topoestd_job_checkpoint_compactions_total",
+		"Times the job's checkpoint file was compacted to its newest frame.", "job")
+	mCkptDropped = obs.NewCounterVec("topoestd_job_checkpoint_frames_dropped_total",
+		"Superseded checkpoint frames dropped by compaction.", "job")
 )

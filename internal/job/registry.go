@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,8 +36,9 @@ func openAppend(path string) (appendFile, error) {
 // file when one exists), lookup, deletion, the periodic checkpoint ticker,
 // and the final flush-and-checkpoint pass at shutdown.
 type Registry struct {
-	dir      string        // checkpoint directory; "" disables durability
-	interval time.Duration // periodic checkpoint cadence; 0 = shutdown-only
+	dir       string        // checkpoint directory; "" disables durability
+	interval  time.Duration // periodic checkpoint cadence; 0 = shutdown-only
+	maxFrames int           // compact a job's file past this many frames; 0 = never
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -65,6 +67,13 @@ func NewRegistry(dir string, interval time.Duration, logger *slog.Logger) (*Regi
 
 // Dir returns the checkpoint directory ("" when durability is off).
 func (r *Registry) Dir() string { return r.dir }
+
+// SetMaxFrames bounds how many frames a job's checkpoint file accumulates
+// before it is compacted to its newest frame (wire.CompactCheckpoints);
+// 0 — the default — never compacts, preserving the pure append-only
+// behavior. Call it before creating jobs: the limit is copied into each job
+// at build time.
+func (r *Registry) SetMaxFrames(n int) { r.maxFrames = n }
 
 // checkpointPath returns the job's checkpoint file path, "" when
 // durability is off.
@@ -113,6 +122,7 @@ func (r *Registry) build(spec Spec) (*Job, error) {
 		spec:     spec,
 		created:  time.Now(),
 		ckptPath: r.checkpointPath(spec.Name),
+		ckptMax:  r.maxFrames,
 		specJSON: specJSON,
 	}
 	if len(spec.Names) > 0 {
@@ -121,10 +131,11 @@ func (r *Registry) build(spec Spec) (*Job, error) {
 		j.names = defaultNames(spec.K)
 	}
 
-	cp, err := r.recoverCheckpoint(spec.Name)
+	cp, frames, err := r.recoverCheckpoint(spec.Name)
 	if err != nil {
 		return nil, err
 	}
+	j.ckptFrames = frames
 	if cp != nil {
 		var persisted Spec
 		if err := json.Unmarshal(cp.Config, &persisted); err != nil {
@@ -161,30 +172,82 @@ func (r *Registry) build(spec Spec) (*Job, error) {
 }
 
 // recoverCheckpoint reads the job's checkpoint file and returns its last
-// intact frame (nil when durability is off, the file is absent, or no frame
-// verifies). When damaged bytes trail the last intact frame, the file is
-// truncated back to the valid prefix.
-func (r *Registry) recoverCheckpoint(name string) (*wire.Checkpoint, error) {
+// intact frame plus how many intact frames the file holds (nil/0 when
+// durability is off, the file is absent, or no frame verifies). When
+// damaged bytes trail the last intact frame, the file is truncated back to
+// the valid prefix.
+func (r *Registry) recoverCheckpoint(name string) (*wire.Checkpoint, int, error) {
 	path := r.checkpointPath(name)
 	if path == "" {
-		return nil, nil
+		return nil, 0, nil
 	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("job %q: read checkpoint file: %w", name, err)
+		return nil, 0, fmt.Errorf("job %q: read checkpoint file: %w", name, err)
 	}
-	cp, tail := wire.LastCheckpoint(data)
+	cp, frames, tail := wire.ScanCheckpoints(data)
 	if tail > 0 {
 		valid := int64(len(data) - tail)
 		if err := os.Truncate(path, valid); err != nil {
-			return nil, fmt.Errorf("job %q: truncate torn checkpoint tail: %w", name, err)
+			return nil, 0, fmt.Errorf("job %q: truncate torn checkpoint tail: %w", name, err)
 		}
 		r.logger.Warn("checkpoint tail discarded", "job", name, "tail_bytes", tail, "kept_bytes", valid)
 	}
-	return cp, nil
+	return cp, frames, nil
+}
+
+// RestoreAll creates a job for every checkpoint file in the registry's
+// directory whose name is not already registered, each restored under the
+// spec persisted inside its newest frame — the -restore-jobs boot path, so
+// named jobs come back without a POST /jobs re-create. Files with no intact
+// frame are skipped with a warning (nothing to restore); files whose names
+// are not valid job names are ignored. Returns the restored jobs.
+func (r *Registry) RestoreAll() ([]*Job, error) {
+	if r.dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("job: scan checkpoint dir: %w", err)
+	}
+	var restored []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".ckpt")
+		if !ValidName(name) {
+			r.logger.Warn("checkpoint file name is not a job name, skipped", "file", e.Name())
+			continue
+		}
+		if _, err := r.Get(name); err == nil {
+			continue
+		}
+		cp, _, err := r.recoverCheckpoint(name)
+		if err != nil {
+			return restored, err
+		}
+		if cp == nil {
+			r.logger.Warn("checkpoint file has no intact frame, not restored", "job", name)
+			continue
+		}
+		var spec Spec
+		if err := json.Unmarshal(cp.Config, &spec); err != nil {
+			return restored, fmt.Errorf("job %q: checkpoint config payload: %w", name, err)
+		}
+		// The file location is authoritative for the name; the persisted
+		// spec supplies everything else.
+		spec.Name = name
+		j, err := r.Create(spec)
+		if err != nil {
+			return restored, err
+		}
+		restored = append(restored, j)
+	}
+	return restored, nil
 }
 
 // Adopt registers a pre-built job around an existing accumulator — the merge

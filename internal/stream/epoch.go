@@ -403,21 +403,23 @@ func (l *Local) Close() (applied, dropped int) {
 	return applied, dropped
 }
 
-// lookupShared snapshots a node's published constants (nil when the node is
-// not in the directory yet). The returned pointer's slices are safe to
+// lookupShared snapshots a node's published constants (ok=false when the
+// node is not in the directory yet). The snapshot is returned by value —
+// not as a fresh heap copy, which would cost one allocation per distinct
+// node per epoch on the ingest hot path — and its slices are safe to
 // reference after the stripe lock is released: directory slices are
 // replaced, never mutated.
-func (ea *EpochAccumulator) lookupShared(node int32) *sharedNode {
+func (ea *EpochAccumulator) lookupShared(node int32) (sharedNode, bool) {
 	st := ea.stripeFor(node)
 	st.mu.Lock()
 	sh := st.nodes[node]
-	var cp *sharedNode
-	if sh != nil {
-		c := *sh
-		cp = &c
+	if sh == nil {
+		st.mu.Unlock()
+		return sharedNode{}, false
 	}
+	cp := *sh
 	st.mu.Unlock()
-	return cp
+	return cp, true
 }
 
 // Ingest folds one node observation into the epoch. Validation matches the
@@ -444,11 +446,12 @@ func (l *Local) Ingest(rec sample.NodeObservation) error {
 		w = 1
 	}
 	var ln *localNode
-	var shared *sharedNode
+	var shared sharedNode
+	var sharedOK bool
 	if idx, known := l.epoch[rec.Node]; known {
 		ln = &l.nodes[idx]
 	} else {
-		shared = l.ea.lookupShared(rec.Node)
+		shared, sharedOK = l.ea.lookupShared(rec.Node)
 	}
 	// The node's constants as this epoch knows them: from its earlier
 	// records, or from the directory snapshot just taken.
@@ -457,7 +460,7 @@ func (l *Local) Ingest(rec sample.NodeObservation) error {
 	switch {
 	case ln != nil:
 		knownCat, knownWeight, constrained = ln.cat, ln.weight, true
-	case shared != nil:
+	case sharedOK:
 		knownCat, knownWeight, constrained = shared.cat, shared.weight, true
 	}
 	if constrained {
@@ -481,7 +484,7 @@ func (l *Local) Ingest(rec sample.NodeObservation) error {
 			return reject("bad_star", "stream: %w", err)
 		}
 		cat, cnt := sample.CanonicalStarCounts(rec.NbrCat, rec.NbrCnt)
-		viewSeen := (ln != nil && ln.starSeen) || (ln == nil && shared != nil && shared.starSeen)
+		viewSeen := (ln != nil && ln.starSeen) || (ln == nil && sharedOK && shared.starSeen)
 		if viewSeen {
 			var vDeg float64
 			var vCat []int32
@@ -514,9 +517,9 @@ func (l *Local) Ingest(rec sample.NodeObservation) error {
 		ln = &l.nodes[n]
 		ln.node, ln.cat, ln.weight = rec.Node, knownCat, knownWeight
 		ln.count = 0
-		ln.sharedKnown = shared != nil
+		ln.sharedKnown = sharedOK
 		ln.starSeen = false
-		if shared != nil && shared.starSeen {
+		if sharedOK && shared.starSeen {
 			ln.starSeen = true
 			ln.deg = shared.deg
 			ln.nbrCat = append(ln.nbrCat[:0], shared.nbrCat...)

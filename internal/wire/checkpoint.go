@@ -41,6 +41,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"repro/internal/stream"
 )
@@ -150,6 +152,16 @@ func EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
 
 // AppendCheckpoint encodes cp and writes the frame to w — the append-only
 // checkpoint-file discipline. It returns the frame size in bytes.
+//
+// Durability contract: AppendCheckpoint only writes; it is the caller's job
+// to make the frame survive a crash. That takes two fsyncs, not one — the
+// file must be fsynced after the write (or the frame can be lost), and when
+// the write is the one that CREATED the file, the containing directory must
+// be fsynced too, or a crash immediately after job creation can lose the
+// file itself: the frame is durable but unreachable, because the directory
+// entry pointing at it never hit disk. The job layer does both (see
+// Job.Checkpoint); CompactCheckpoints honors the same contract when it
+// replaces the file.
 func AppendCheckpoint(w io.Writer, cp *Checkpoint) (int, error) {
 	buf, err := EncodeCheckpoint(cp)
 	if err != nil {
@@ -258,7 +270,15 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, int, error) {
 // or garbage. It never fails: an empty or wholly unreadable file returns
 // (nil, len(data)), which restores as a clean empty state.
 func LastCheckpoint(data []byte) (*Checkpoint, int) {
-	var last *Checkpoint
+	last, _, tail := ScanCheckpoints(data)
+	return last, tail
+}
+
+// ScanCheckpoints is LastCheckpoint plus the frame count: the last fully
+// verifying frame, how many intact frames precede and include it, and the
+// trailing bytes ignored after it. The count is what compaction policies
+// key on (a file holds frames-1 superseded frames).
+func ScanCheckpoints(data []byte) (last *Checkpoint, frames, tail int) {
 	off := 0
 	for off < len(data) {
 		cp, n, err := DecodeCheckpoint(data[off:])
@@ -268,9 +288,88 @@ func LastCheckpoint(data []byte) (*Checkpoint, int) {
 			break
 		}
 		last = cp
+		frames++
 		off += n
 	}
-	return last, len(data) - off
+	return last, frames, len(data) - off
+}
+
+// CompactCheckpoints rewrites the checkpoint file at path so it holds only
+// its newest intact frame, dropping every superseded frame and any torn
+// tail. The rewrite is atomic and durable: the surviving frame's exact
+// bytes go to a temporary file in the same directory, which is fsynced,
+// renamed over path, and followed by a directory fsync — a crash at any
+// instant leaves either the old file or the compacted one, never a mix.
+// Files that are already one intact frame with no tail, or that contain no
+// intact frame at all (recovery's problem, not compaction's), are left
+// untouched. It returns how many superseded frames were dropped.
+//
+// Callers holding an open O_APPEND handle on path MUST close it before
+// compacting and reopen afterwards: the rename leaves such a handle
+// pointing at the replaced inode, and frames appended through it would be
+// silently lost.
+func CompactCheckpoints(path string) (dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wire: compact checkpoints: %w", err)
+	}
+	start, off, frames := 0, 0, 0
+	for off < len(data) {
+		_, n, err := DecodeCheckpoint(data[off:])
+		if err != nil {
+			break
+		}
+		start = off
+		frames++
+		off += n
+	}
+	tail := len(data) - off
+	if frames == 0 || (frames == 1 && tail == 0) {
+		return 0, nil
+	}
+
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wire: compact checkpoints: %w", err)
+	}
+	if _, err := f.Write(data[start:off]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wire: compact checkpoints: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wire: compact checkpoints: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wire: compact checkpoints: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("wire: compact checkpoints: %w", err)
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		return 0, fmt.Errorf("wire: compact checkpoints: %w", err)
+	}
+	return frames - 1, nil
+}
+
+// SyncDir fsyncs a directory, making previously created, renamed or removed
+// directory entries durable — the second half of the AppendCheckpoint
+// durability contract.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wire: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wire: sync dir %q: %w", dir, err)
+	}
+	return nil
 }
 
 func (w *writer) u64(v uint64) {

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/sample"
@@ -253,5 +255,75 @@ func TestCheckpointValidation(t *testing.T) {
 	}
 	if _, err := EncodeCheckpoint(&Checkpoint{Name: "x", Gen: cp.Gen + 1, State: cp.State}); err == nil {
 		t.Error("encode accepted gen disagreeing with the state")
+	}
+}
+
+// TestCompactCheckpoints pins the compaction contract: the file is rewritten
+// to exactly the bytes of its newest intact frame (torn tail and superseded
+// frames dropped), already-compact files are untouched, and files with no
+// intact frame are left for recovery rather than destroyed.
+func TestCompactCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alpha.ckpt")
+
+	var file []byte
+	var frames [][]byte
+	for _, records := range []int{30, 60, 90} {
+		cp, _ := buildCheckpoint(t, "alpha", records)
+		frame, err := EncodeCheckpoint(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+		file = append(file, frame...)
+	}
+	// A torn tail, as a crash mid-append would leave.
+	file = append(file, frames[0][:17]...)
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, n, tail := ScanCheckpoints(file); n != 3 || tail != 17 {
+		t.Fatalf("ScanCheckpoints = %d frames, %d tail; want 3, 17", n, tail)
+	}
+
+	dropped, err := CompactCheckpoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d frames, want 2", dropped)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, frames[2]) {
+		t.Fatalf("compacted file is %d bytes, want the newest frame's exact %d", len(got), len(frames[2]))
+	}
+	cp, n, tail := ScanCheckpoints(got)
+	if n != 1 || tail != 0 || cp == nil {
+		t.Fatalf("after compaction: %d frames, %d tail", n, tail)
+	}
+
+	// Idempotent: an already-compact file is untouched.
+	if dropped, err = CompactCheckpoints(path); err != nil || dropped != 0 {
+		t.Fatalf("second compaction: dropped=%d err=%v", dropped, err)
+	}
+
+	// No intact frame: leave the file alone (recovery's problem).
+	garbage := filepath.Join(dir, "garbage.ckpt")
+	if err := os.WriteFile(garbage, []byte("not a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if dropped, err = CompactCheckpoints(garbage); err != nil || dropped != 0 {
+		t.Fatalf("garbage compaction: dropped=%d err=%v", dropped, err)
+	}
+	if got, _ := os.ReadFile(garbage); string(got) != "not a frame" {
+		t.Fatalf("compaction rewrote a file with no intact frame: %q", got)
+	}
+
+	if _, err := CompactCheckpoints(filepath.Join(dir, "absent.ckpt")); err == nil {
+		t.Fatal("compacting a missing file did not error")
 	}
 }

@@ -67,3 +67,48 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeRecords drives arbitrary bytes through the TOPOREC1 decoder.
+// Same invariants as FuzzDecode: no panics or out-of-bounds reads, and any
+// accepted input is in the image of EncodeRecords — the decoded batch
+// re-encodes byte for byte. Canonical-form enforcement (star/peer sections
+// present iff nonempty, exact frame length) is what makes this a bijection.
+func FuzzDecodeRecords(f *testing.F) {
+	full := recBatch()
+	enc, err := EncodeRecords(full)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	empty, err := EncodeRecords(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	one, err := EncodeRecords(full[:1])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(one)
+	f.Add(enc[:recHeaderSize])
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte(recMagic))
+	f.Add([]byte{})
+	mut := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(mut[8:], 2) // future version
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeRecords(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeRecords(recs)
+		if err != nil {
+			t.Fatalf("DecodeRecords accepted input EncodeRecords rejects: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted %d-byte input re-encodes to different %d bytes", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package wire
+
+// Binary ingest records. TOPOREC1 is the high-rate counterpart of the JSON
+// body POST /ingest accepts: one CRC-framed batch of sample.NodeObservation
+// values — the draw (node, cat, weight) plus the optional star summary
+// (degree, neighbor-category counts, with the same omitted-degree semantics
+// as JSON: a zero degree means "derive it from the counts") and the optional
+// induced-edge peer list. The codec is a faithful bit-level transport: it
+// performs no semantic validation beyond structure (the ingest layer applies
+// the same category/weight/star checks to both encodings), so JSON and
+// binary deliveries of the same records are indistinguishable downstream.
+//
+// Frame layout (all integers little-endian, floats IEEE-754 binary64 bits):
+//
+//	offset  size  field
+//	     0     8  magic "TOPOREC1"
+//	     8     4  version (currently 1)
+//	    12     4  count (records in the batch; 0 is a legal empty batch)
+//	    16     4  payloadLen (bytes after the 24-byte frame header)
+//	    20     4  crc32 (IEEE) of the payload
+//	    24     …  payload: count records, back to back
+//
+// Record layout:
+//
+//	node    i32
+//	cat     i32   (-1 = uncategorized, as in JSON)
+//	weight  f64   (raw bits; 0 means "weight 1 / inherit", as in JSON)
+//	flags   u8    bit0 = star section present, bit1 = peer section present
+//	[star]  deg f64 (raw bits; 0 = omitted degree), nbrs u32,
+//	        nbrs × (cat i32, cnt f64)
+//	[peers] n u32, n × (peer i32)
+//
+// Encoding is canonical, per the TOPOSUM1/TOPOCKP1 discipline: the star
+// section is present iff the observation carries star data (nonzero degree
+// bits or a nonempty neighbor list) and must itself be nonempty; the peer
+// section is present iff the peer list is nonempty; unknown flag bits,
+// reserved-field violations, inexact frame lengths and trailing bytes are
+// all rejected. Decode∘Encode is the identity on values and Encode∘Decode
+// is the identity on accepted byte strings (the FuzzDecodeRecords
+// invariant).
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/sample"
+)
+
+const (
+	// RecordsVersion is the record-batch frame version this build writes
+	// and the newest it decodes.
+	RecordsVersion = 1
+
+	// RecordsContentType is the MIME type that selects the binary record
+	// batch encoding on POST /ingest (JSON remains the default).
+	RecordsContentType = "application/x-topoest-records"
+
+	recMagic      = "TOPOREC1"
+	recHeaderSize = 24
+
+	recFlagStar   = 1 << 0
+	recFlagPeers  = 1 << 1
+	recFlagsKnown = recFlagStar | recFlagPeers
+
+	// recMinSize is the fixed prefix of every record: node, cat, weight,
+	// flags. It bounds the header-declared count before the payload walk.
+	recMinSize = 4 + 4 + 8 + 1
+)
+
+// EncodeRecords serializes one batch as a TOPOREC1 frame. Records travel
+// bit-faithfully (weights and degrees as raw IEEE-754 bits, zero meaning
+// the same "omitted" it means in JSON); the only requirement is structural:
+// neighbor category and count lists must have equal length. An empty batch
+// encodes as a bare frame header.
+func EncodeRecords(recs []sample.NodeObservation) ([]byte, error) {
+	size := recHeaderSize
+	for i := range recs {
+		r := &recs[i]
+		if len(r.NbrCat) != len(r.NbrCnt) {
+			return nil, fmt.Errorf("wire: record %d has %d neighbor categories but %d counts", i, len(r.NbrCat), len(r.NbrCnt))
+		}
+		size += recMinSize
+		if recordHasStar(r) {
+			size += 8 + 4 + len(r.NbrCat)*(4+8)
+		}
+		if len(r.Peers) > 0 {
+			size += 4 + len(r.Peers)*4
+		}
+	}
+	if uint64(len(recs)) > math.MaxUint32 || uint64(size-recHeaderSize) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: record batch of %d records (%d bytes) exceeds the frame's 32-bit dimensions", len(recs), size)
+	}
+
+	buf := make([]byte, size)
+	w := writer{buf: buf, off: recHeaderSize}
+	for i := range recs {
+		r := &recs[i]
+		w.u32(uint32(r.Node))
+		w.u32(uint32(r.Cat))
+		w.f64(r.Weight)
+		var flags byte
+		if recordHasStar(r) {
+			flags |= recFlagStar
+		}
+		if len(r.Peers) > 0 {
+			flags |= recFlagPeers
+		}
+		w.byte(flags)
+		if flags&recFlagStar != 0 {
+			w.f64(r.Deg)
+			w.u32(uint32(len(r.NbrCat)))
+			for j := range r.NbrCat {
+				w.u32(uint32(r.NbrCat[j]))
+				w.f64(r.NbrCnt[j])
+			}
+		}
+		if flags&recFlagPeers != 0 {
+			w.u32(uint32(len(r.Peers)))
+			for _, p := range r.Peers {
+				w.u32(uint32(p))
+			}
+		}
+	}
+	if w.off != len(buf) {
+		panic(fmt.Sprintf("wire: encoded %d bytes into a %d-byte record-batch layout", w.off, len(buf)))
+	}
+
+	copy(buf[0:8], recMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], RecordsVersion)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(recs)))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(size-recHeaderSize))
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(buf[recHeaderSize:]))
+	return buf, nil
+}
+
+// recordHasStar reports whether the observation carries star data and
+// therefore gets a star section. The test is on raw degree bits, not the
+// float value, so -0.0 degrees (which JSON cannot express but the struct
+// can) still round-trip bit-exactly.
+func recordHasStar(r *sample.NodeObservation) bool {
+	return math.Float64bits(r.Deg) != 0 || len(r.NbrCat) > 0
+}
+
+// RecordIter decodes a TOPOREC1 frame record by record without allocating
+// per record: the slice fields of the record filled by Next alias scratch
+// buffers that the following Next call reuses. That is exactly the contract
+// stream ingest wants — stream.Local.Ingest and stream.Accumulator.Ingest
+// copy any slice they retain — so decode feeds the hot path with zero
+// per-record allocations. Callers that keep records past the next call must
+// copy the slices (DecodeRecords does).
+type RecordIter struct {
+	r     reader
+	count int
+	i     int
+
+	nbrCat []int32
+	nbrCnt []float64
+	peers  []int32
+}
+
+// NewRecordIter validates data as one complete TOPOREC1 frame and returns
+// an iterator over its records. See Reset for the validation contract.
+func NewRecordIter(data []byte) (*RecordIter, error) {
+	it := &RecordIter{}
+	if err := it.Reset(data); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Reset re-points the iterator at a new frame, reusing its scratch buffers.
+// The frame is validated completely up front — header, checksum, and a
+// structural walk of every record — so a malformed batch is rejected before
+// the caller ingests anything (matching JSON ingest, where a body that does
+// not parse is refused whole) and Next never fails.
+func (it *RecordIter) Reset(data []byte) error {
+	it.r, it.count, it.i = reader{}, 0, 0
+	if len(data) < recHeaderSize {
+		return fmt.Errorf("wire: truncated record batch: %d bytes, need at least the %d-byte frame header", len(data), recHeaderSize)
+	}
+	if string(data[0:8]) != recMagic {
+		return fmt.Errorf("wire: bad magic %q: not a record batch", data[0:8])
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version == 0 || version > RecordsVersion {
+		return fmt.Errorf("wire: record batch has codec version %d; this build decodes versions 1…%d (upgrade this process or downgrade the sender)", version, RecordsVersion)
+	}
+	count := binary.LittleEndian.Uint32(data[12:16])
+	payloadLen := binary.LittleEndian.Uint32(data[16:20])
+	if len(data) != recHeaderSize+int(payloadLen) {
+		return fmt.Errorf("wire: record batch is %d bytes, frame declares %d", len(data), recHeaderSize+int(payloadLen))
+	}
+	if uint64(count)*recMinSize > uint64(payloadLen) {
+		return fmt.Errorf("wire: record batch declares %d records in %d payload bytes", count, payloadLen)
+	}
+	payload := data[recHeaderSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[20:24]); got != want {
+		return fmt.Errorf("wire: record batch checksum mismatch (stored %#x, computed %#x)", want, got)
+	}
+	off := 0
+	for i := 0; i < int(count); i++ {
+		n, err := walkRecord(payload, off, i)
+		if err != nil {
+			return err
+		}
+		off = n
+	}
+	if off != len(payload) {
+		return fmt.Errorf("wire: record batch has %d trailing payload bytes", len(payload)-off)
+	}
+	it.r = reader{buf: payload}
+	it.count = int(count)
+	return nil
+}
+
+// walkRecord bounds-checks one record starting at off and enforces the
+// canonical-form rules, returning the offset past it.
+func walkRecord(p []byte, off, i int) (int, error) {
+	if len(p)-off < recMinSize {
+		return 0, fmt.Errorf("wire: truncated record %d: %d payload bytes left, need at least %d", i, len(p)-off, recMinSize)
+	}
+	flags := p[off+recMinSize-1]
+	off += recMinSize
+	if flags&^byte(recFlagsKnown) != 0 {
+		return 0, fmt.Errorf("wire: record %d has unknown flag bits %#x (corrupt payload or newer writer)", i, flags&^byte(recFlagsKnown))
+	}
+	if flags&recFlagStar != 0 {
+		if len(p)-off < 8+4 {
+			return 0, fmt.Errorf("wire: truncated record %d: star section header needs 12 bytes, %d left", i, len(p)-off)
+		}
+		degBits := binary.LittleEndian.Uint64(p[off:])
+		nbrs := binary.LittleEndian.Uint32(p[off+8:])
+		off += 12
+		if degBits == 0 && nbrs == 0 {
+			return 0, fmt.Errorf("wire: record %d has an empty star section (non-canonical)", i)
+		}
+		need := int64(nbrs) * (4 + 8)
+		if int64(len(p)-off) < need {
+			return 0, fmt.Errorf("wire: truncated record %d: neighbor list needs %d bytes, %d left", i, need, len(p)-off)
+		}
+		off += int(need)
+	}
+	if flags&recFlagPeers != 0 {
+		if len(p)-off < 4 {
+			return 0, fmt.Errorf("wire: truncated record %d: peer count needs 4 bytes, %d left", i, len(p)-off)
+		}
+		n := binary.LittleEndian.Uint32(p[off:])
+		off += 4
+		if n == 0 {
+			return 0, fmt.Errorf("wire: record %d has an empty peer section (non-canonical)", i)
+		}
+		need := int64(n) * 4
+		if int64(len(p)-off) < need {
+			return 0, fmt.Errorf("wire: truncated record %d: peer list needs %d bytes, %d left", i, need, len(p)-off)
+		}
+		off += int(need)
+	}
+	return off, nil
+}
+
+// Len returns the number of records in the frame.
+func (it *RecordIter) Len() int { return it.count }
+
+// Next decodes the next record into rec, returning false when the frame is
+// exhausted. rec's slice fields alias the iterator's scratch and are only
+// valid until the next Next or Reset call; absent sections leave them nil,
+// exactly as the JSON decoder leaves omitted fields.
+func (it *RecordIter) Next(rec *sample.NodeObservation) bool {
+	if it.i >= it.count {
+		return false
+	}
+	it.i++
+	rec.Node = int32(it.r.u32())
+	rec.Cat = int32(it.r.u32())
+	rec.Weight = it.r.f64()
+	flags := it.r.u8()
+	rec.Deg = 0
+	rec.NbrCat, rec.NbrCnt, rec.Peers = nil, nil, nil
+	if flags&recFlagStar != 0 {
+		rec.Deg = it.r.f64()
+		nbrs := int(it.r.u32())
+		it.nbrCat = it.nbrCat[:0]
+		it.nbrCnt = it.nbrCnt[:0]
+		for j := 0; j < nbrs; j++ {
+			it.nbrCat = append(it.nbrCat, int32(it.r.u32()))
+			it.nbrCnt = append(it.nbrCnt, it.r.f64())
+		}
+		if nbrs > 0 {
+			rec.NbrCat, rec.NbrCnt = it.nbrCat, it.nbrCnt
+		}
+	}
+	if flags&recFlagPeers != 0 {
+		n := int(it.r.u32())
+		it.peers = it.peers[:0]
+		for j := 0; j < n; j++ {
+			it.peers = append(it.peers, int32(it.r.u32()))
+		}
+		rec.Peers = it.peers
+	}
+	return true
+}
+
+// DecodeRecords materializes a frame as an owned slice — the convenience
+// (and fuzz) entry point. Hot paths iterate instead.
+func DecodeRecords(data []byte) ([]sample.NodeObservation, error) {
+	it, err := NewRecordIter(data)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]sample.NodeObservation, 0, it.Len())
+	var rec sample.NodeObservation
+	for it.Next(&rec) {
+		rec.NbrCat = append([]int32(nil), rec.NbrCat...)
+		rec.NbrCnt = append([]float64(nil), rec.NbrCnt...)
+		rec.Peers = append([]int32(nil), rec.Peers...)
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func (r *reader) u8() byte {
+	v := r.buf[r.off]
+	r.off++
+	return v
+}

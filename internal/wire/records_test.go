@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sample"
+)
+
+// recBatch is a batch exercising every record shape the format carries:
+// draw-only, full star, degree-only star, omitted-degree star, induced
+// peers, uncategorized draws, inherited weights, and negative node ids.
+func recBatch() []sample.NodeObservation {
+	return []sample.NodeObservation{
+		{Node: 1, Cat: 0, Weight: 1.5},
+		{Node: 2, Cat: 1, Weight: 2, Deg: 5, NbrCat: []int32{0, 2}, NbrCnt: []float64{3, 2}},
+		{Node: 3, Cat: 2, Weight: 0.25, Deg: 7},
+		{Node: 4, Cat: 0, NbrCat: []int32{1}, NbrCnt: []float64{4}},
+		{Node: 5, Cat: 1, Weight: 1, Peers: []int32{1, 3, -9}},
+		{Node: -6, Cat: -1, Weight: 0},
+		{Node: 7, Cat: 3, Weight: 0.5, Deg: 2.5, NbrCat: []int32{0}, NbrCnt: []float64{2.5}, Peers: []int32{2}},
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	recs := recBatch()
+	enc, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatalf("EncodeRecords: %v", err)
+	}
+	dec, err := DecodeRecords(enc)
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if !reflect.DeepEqual(dec, recs) {
+		t.Fatalf("decode mismatch:\n got %+v\nwant %+v", dec, recs)
+	}
+	re, err := EncodeRecords(dec)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, enc) {
+		t.Fatalf("re-encode differs from original (%d vs %d bytes)", len(re), len(enc))
+	}
+}
+
+func TestRecordsRoundTripEmpty(t *testing.T) {
+	enc, err := EncodeRecords(nil)
+	if err != nil {
+		t.Fatalf("EncodeRecords(nil): %v", err)
+	}
+	if len(enc) != recHeaderSize {
+		t.Fatalf("empty batch is %d bytes, want the bare %d-byte header", len(enc), recHeaderSize)
+	}
+	dec, err := DecodeRecords(enc)
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("empty batch decoded to %d records", len(dec))
+	}
+}
+
+// TestRecordsBitExactFloats pins the raw-bits contract: -0.0 degrees and
+// weights — inexpressible distinctly in JSON but representable in the
+// struct — survive the round trip bit for bit.
+func TestRecordsBitExactFloats(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	recs := []sample.NodeObservation{
+		{Node: 1, Cat: 0, Weight: negZero, Deg: negZero},
+	}
+	enc, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatalf("EncodeRecords: %v", err)
+	}
+	dec, err := DecodeRecords(enc)
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if math.Float64bits(dec[0].Deg) != math.Float64bits(negZero) {
+		t.Fatalf("deg bits %#x, want %#x", math.Float64bits(dec[0].Deg), math.Float64bits(negZero))
+	}
+	if math.Float64bits(dec[0].Weight) != math.Float64bits(negZero) {
+		t.Fatalf("weight bits %#x, want %#x", math.Float64bits(dec[0].Weight), math.Float64bits(negZero))
+	}
+	re, _ := EncodeRecords(dec)
+	if !bytes.Equal(re, enc) {
+		t.Fatalf("re-encode differs")
+	}
+}
+
+// TestRecordIterScratchReuse pins the aliasing contract: the slices Next
+// fills are overwritten by the following Next, and a Reset lets one
+// iterator decode many frames without reallocating.
+func TestRecordIterScratchReuse(t *testing.T) {
+	recs := []sample.NodeObservation{
+		{Node: 1, Cat: 0, Weight: 1, Deg: 3, NbrCat: []int32{0, 1}, NbrCnt: []float64{2, 1}},
+		{Node: 2, Cat: 1, Weight: 1, Deg: 4, NbrCat: []int32{2, 3}, NbrCnt: []float64{3, 1}},
+	}
+	enc, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatalf("EncodeRecords: %v", err)
+	}
+	it, err := NewRecordIter(enc)
+	if err != nil {
+		t.Fatalf("NewRecordIter: %v", err)
+	}
+	if it.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", it.Len())
+	}
+	var first, second sample.NodeObservation
+	if !it.Next(&first) {
+		t.Fatal("Next returned false on record 0")
+	}
+	held := first.NbrCat // aliases scratch
+	if !it.Next(&second) {
+		t.Fatal("Next returned false on record 1")
+	}
+	if &held[0] != &second.NbrCat[0] {
+		t.Fatal("scratch was reallocated between records of equal shape")
+	}
+	if held[0] != 2 {
+		t.Fatalf("scratch now holds record 1's data: got %d, want 2", held[0])
+	}
+	var sink sample.NodeObservation
+	if it.Next(&sink) {
+		t.Fatal("Next returned true past the end")
+	}
+	if err := it.Reset(enc); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if !it.Next(&first) || first.Node != 1 {
+		t.Fatalf("after Reset, first record is %+v", first)
+	}
+}
+
+func TestEncodeRecordsRejectsMismatchedStarLists(t *testing.T) {
+	_, err := EncodeRecords([]sample.NodeObservation{
+		{Node: 1, Cat: 0, NbrCat: []int32{0, 1}, NbrCnt: []float64{2}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "neighbor categories") {
+		t.Fatalf("err = %v, want a neighbor list length error", err)
+	}
+}
+
+// recCorrupt applies fn to a copy of enc and, unless the mutation touched
+// the CRC field itself, refreshes the stored CRC so the test exercises the
+// structural check rather than the checksum.
+func recCorrupt(enc []byte, fixCRC bool, fn func([]byte)) []byte {
+	c := append([]byte(nil), enc...)
+	fn(c)
+	if fixCRC && len(c) >= recHeaderSize {
+		binary.LittleEndian.PutUint32(c[20:24], crc32.ChecksumIEEE(c[recHeaderSize:]))
+	}
+	return c
+}
+
+func TestDecodeRecordsRejectsCorruption(t *testing.T) {
+	enc, err := EncodeRecords(recBatch())
+	if err != nil {
+		t.Fatalf("EncodeRecords: %v", err)
+	}
+	cases := []struct {
+		name   string
+		fixCRC bool
+		fn     func([]byte)
+		grow   func([]byte) []byte // used instead of fn when resizing
+	}{
+		{name: "bad magic", fixCRC: false, fn: func(b []byte) { b[0] = 'X' }},
+		{name: "version zero", fixCRC: true, fn: func(b []byte) { binary.LittleEndian.PutUint32(b[8:12], 0) }},
+		{name: "future version", fixCRC: true, fn: func(b []byte) { binary.LittleEndian.PutUint32(b[8:12], RecordsVersion+1) }},
+		{name: "flipped payload byte", fixCRC: false, fn: func(b []byte) { b[recHeaderSize] ^= 0x40 }},
+		{name: "count too high", fixCRC: true, fn: func(b []byte) {
+			n := binary.LittleEndian.Uint32(b[12:16])
+			binary.LittleEndian.PutUint32(b[12:16], n+1)
+		}},
+		{name: "count too low", fixCRC: true, fn: func(b []byte) {
+			n := binary.LittleEndian.Uint32(b[12:16])
+			binary.LittleEndian.PutUint32(b[12:16], n-1)
+		}},
+		{name: "payloadLen shrunk", fixCRC: true, fn: func(b []byte) {
+			n := binary.LittleEndian.Uint32(b[16:20])
+			binary.LittleEndian.PutUint32(b[16:20], n-1)
+		}},
+		{name: "unknown flag bit", fixCRC: true, fn: func(b []byte) {
+			// Record 0 is draw-only; its flags byte is the 17th payload byte.
+			b[recHeaderSize+recMinSize-1] |= 1 << 7
+		}},
+		{name: "truncated frame", grow: func(b []byte) []byte { return b[:len(b)-3] }},
+		{name: "trailing bytes", grow: func(b []byte) []byte { return append(append([]byte(nil), b...), 0xEE) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c []byte
+			if tc.grow != nil {
+				c = tc.grow(append([]byte(nil), enc...))
+			} else {
+				c = recCorrupt(enc, tc.fixCRC, tc.fn)
+			}
+			if _, err := DecodeRecords(c); err == nil {
+				t.Fatal("corrupted batch decoded without error")
+			}
+		})
+	}
+}
+
+// TestDecodeRecordsRejectsNonCanonical hand-builds frames that are
+// well-formed at the byte level but violate the canonical-form rules the
+// bijection depends on.
+func TestDecodeRecordsRejectsNonCanonical(t *testing.T) {
+	frame := func(payload []byte, count uint32) []byte {
+		b := make([]byte, recHeaderSize+len(payload))
+		copy(b[0:8], recMagic)
+		binary.LittleEndian.PutUint32(b[8:12], RecordsVersion)
+		binary.LittleEndian.PutUint32(b[12:16], count)
+		binary.LittleEndian.PutUint32(b[16:20], uint32(len(payload)))
+		copy(b[recHeaderSize:], payload)
+		binary.LittleEndian.PutUint32(b[20:24], crc32.ChecksumIEEE(payload))
+		return b
+	}
+	fixed := func(flags byte) []byte {
+		p := make([]byte, recMinSize)
+		binary.LittleEndian.PutUint32(p[0:4], 1)      // node
+		binary.LittleEndian.PutUint32(p[4:8], 0)      // cat
+		binary.LittleEndian.PutUint64(p[8:16], 1<<62) // some weight bits
+		p[16] = flags
+		return p
+	}
+
+	t.Run("empty star section", func(t *testing.T) {
+		p := append(fixed(recFlagStar), make([]byte, 12)...) // deg bits 0, nbrs 0
+		if _, err := DecodeRecords(frame(p, 1)); err == nil || !strings.Contains(err.Error(), "empty star section") {
+			t.Fatalf("err = %v, want empty-star rejection", err)
+		}
+	})
+	t.Run("empty peer section", func(t *testing.T) {
+		p := append(fixed(recFlagPeers), make([]byte, 4)...) // n = 0
+		if _, err := DecodeRecords(frame(p, 1)); err == nil || !strings.Contains(err.Error(), "empty peer section") {
+			t.Fatalf("err = %v, want empty-peers rejection", err)
+		}
+	})
+}
